@@ -1,0 +1,95 @@
+//! The random-uniform noise baseline of Table IV.
+
+use pelta_core::GradientOracle;
+use pelta_tensor::Tensor;
+use rand_chacha::ChaCha8Rng;
+
+use crate::gradient::project_linf;
+use crate::{AttackError, EvasionAttack, Result};
+
+/// Adds uniform noise on the surface of the L∞ ε-ball: every pixel is pushed
+/// by ±ε with random sign, the strongest perturbation a gradient-free
+/// attacker can apply within the budget.
+///
+/// Table IV uses this as the "Random" baseline: a defence is effective when
+/// the attack success rate against it is no better than this noise.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomUniform {
+    epsilon: f32,
+}
+
+impl RandomUniform {
+    /// Creates the baseline with the given ε budget.
+    ///
+    /// # Errors
+    /// Returns an error if ε is not positive.
+    pub fn new(epsilon: f32) -> Result<Self> {
+        if epsilon <= 0.0 {
+            return Err(AttackError::InvalidConfig {
+                attack: "RandomUniform",
+                reason: format!("epsilon must be positive, got {epsilon}"),
+            });
+        }
+        Ok(RandomUniform { epsilon })
+    }
+
+    /// The ε budget.
+    pub fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+}
+
+impl EvasionAttack for RandomUniform {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn run(
+        &self,
+        _oracle: &dyn GradientOracle,
+        images: &Tensor,
+        _labels: &[usize],
+        rng: &mut ChaCha8Rng,
+    ) -> Result<Tensor> {
+        let noise = Tensor::rand_uniform(images.dims(), -1.0, 1.0, rng).sign();
+        let candidate = images.axpy(self.epsilon, &noise)?;
+        Ok(project_linf(&candidate, images, self.epsilon)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelta_core::ClearWhiteBox;
+    use pelta_models::{ViTConfig, VisionTransformer};
+    use pelta_tensor::SeedStream;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    #[test]
+    fn construction_validates_epsilon() {
+        assert!(RandomUniform::new(0.0).is_err());
+        assert!(RandomUniform::new(-0.1).is_err());
+        assert_eq!(RandomUniform::new(0.05).unwrap().epsilon(), 0.05);
+    }
+
+    #[test]
+    fn perturbation_stays_in_ball_and_pixel_range() {
+        let mut seeds = SeedStream::new(1);
+        let vit = VisionTransformer::new(
+            ViTConfig::vit_b16_scaled(8, 3, 4),
+            &mut seeds.derive("init"),
+        )
+        .unwrap();
+        let oracle = ClearWhiteBox::new(Arc::new(vit));
+        let x = Tensor::rand_uniform(&[3, 3, 8, 8], 0.2, 0.8, &mut seeds.derive("x"));
+        let attack = RandomUniform::new(0.03).unwrap();
+        assert_eq!(attack.name(), "Random");
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let adv = attack.run(&oracle, &x, &[0, 1, 2], &mut rng).unwrap();
+        let delta = adv.sub(&x).unwrap();
+        assert!(delta.linf_norm() <= 0.03 + 1e-6);
+        assert!(delta.linf_norm() > 0.02, "noise should use most of the budget");
+        assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

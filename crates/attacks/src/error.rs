@@ -1,0 +1,89 @@
+//! Error type for attack execution.
+
+use pelta_core::PeltaError;
+use pelta_tensor::TensorError;
+use std::fmt;
+
+/// Error returned by attack construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackError {
+    /// A probe of the defended model failed.
+    Oracle(PeltaError),
+    /// A tensor operation failed while crafting the perturbation.
+    Tensor(TensorError),
+    /// The attack was configured with invalid hyper-parameters.
+    InvalidConfig {
+        /// The attack being configured.
+        attack: &'static str,
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// The inputs to the attack are inconsistent (batch/label mismatch,
+    /// missing ensemble member…).
+    InvalidInput {
+        /// Explanation of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Oracle(e) => write!(f, "oracle error: {e}"),
+            AttackError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AttackError::InvalidConfig { attack, reason } => {
+                write!(f, "invalid {attack} configuration: {reason}")
+            }
+            AttackError::InvalidInput { reason } => write!(f, "invalid attack input: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Oracle(e) => Some(e),
+            AttackError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PeltaError> for AttackError {
+    fn from(e: PeltaError) -> Self {
+        AttackError::Oracle(e)
+    }
+}
+
+impl From<TensorError> for AttackError {
+    fn from(e: TensorError) -> Self {
+        AttackError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: AttackError = TensorError::EmptyTensor { op: "mean" }.into();
+        assert!(e.to_string().contains("tensor error"));
+        let e: AttackError = PeltaError::GradientMasked {
+            quantity: "input".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("oracle error"));
+        let e = AttackError::InvalidConfig {
+            attack: "PGD",
+            reason: "zero steps".into(),
+        };
+        assert!(e.to_string().contains("PGD"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttackError>();
+    }
+}

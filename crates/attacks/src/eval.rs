@@ -1,0 +1,208 @@
+//! The paper's evaluation protocol: select correctly classified samples,
+//! attack them, and report robust accuracy (astuteness).
+
+use pelta_core::GradientOracle;
+use pelta_models::{predict, ImageModel};
+use pelta_tensor::Tensor;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{AttackError, EvasionAttack, Result};
+
+/// Aggregate result of one attack run against one defender.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// Attack name.
+    pub attack: String,
+    /// Defender name.
+    pub defender: String,
+    /// Fraction of attacked samples still classified correctly (the paper's
+    /// robust accuracy / astuteness; 100% means the attack never succeeded).
+    pub robust_accuracy: f32,
+    /// Fraction of attacked samples that became misclassified.
+    pub attack_success_rate: f32,
+    /// Mean L∞ norm of the applied perturbations.
+    pub mean_linf: f32,
+    /// Mean L2 norm of the applied perturbations.
+    pub mean_l2: f32,
+    /// Number of samples attacked.
+    pub samples: usize,
+}
+
+/// Selects up to `limit` samples that the model classifies correctly — the
+/// pool the paper draws its 1000 evaluation samples from ("robust accuracy
+/// over these samples is 100% if no attack is run").
+///
+/// # Errors
+/// Returns an error if the model rejects the input batch or no sample is
+/// classified correctly.
+pub fn select_correctly_classified<M: ImageModel + ?Sized>(
+    model: &M,
+    images: &Tensor,
+    labels: &[usize],
+    limit: usize,
+) -> Result<(Tensor, Vec<usize>)> {
+    let predictions = predict(model, images).map_err(pelta_core::PeltaError::from)?;
+    let mut selected_images: Vec<Tensor> = Vec::new();
+    let mut selected_labels = Vec::new();
+    for (i, (&pred, &label)) in predictions.iter().zip(labels.iter()).enumerate() {
+        if pred == label {
+            selected_images.push(images.index_axis(0, i)?);
+            selected_labels.push(label);
+            if selected_labels.len() == limit {
+                break;
+            }
+        }
+    }
+    if selected_labels.is_empty() {
+        return Err(AttackError::InvalidInput {
+            reason: "the model classifies no evaluation sample correctly".to_string(),
+        });
+    }
+    let views: Vec<&Tensor> = selected_images.iter().collect();
+    Ok((Tensor::stack(&views)?, selected_labels))
+}
+
+/// Runs `attack` against `oracle` on a batch of correctly classified samples
+/// and reports robust accuracy and perturbation statistics.
+///
+/// # Errors
+/// Returns an error if the attack or the final evaluation fails.
+pub fn robust_accuracy(
+    oracle: &dyn GradientOracle,
+    attack: &dyn EvasionAttack,
+    images: &Tensor,
+    labels: &[usize],
+    rng: &mut ChaCha8Rng,
+) -> Result<AttackOutcome> {
+    if images.dims()[0] != labels.len() {
+        return Err(AttackError::InvalidInput {
+            reason: format!(
+                "{} labels for a batch of {}",
+                labels.len(),
+                images.dims()[0]
+            ),
+        });
+    }
+    let adversarial = attack.run(oracle, images, labels, rng)?;
+    outcome_from_samples(oracle, attack.name(), images, &adversarial, labels)
+}
+
+/// Computes an [`AttackOutcome`] from already-crafted adversarial samples
+/// (used by the SAGA/Table IV harness, whose crafting step spans two
+/// oracles).
+///
+/// # Errors
+/// Returns an error if the oracle rejects the adversarial batch.
+pub fn outcome_from_samples(
+    oracle: &dyn GradientOracle,
+    attack_name: &str,
+    clean: &Tensor,
+    adversarial: &Tensor,
+    labels: &[usize],
+) -> Result<AttackOutcome> {
+    let logits = oracle.logits(adversarial)?;
+    let predictions = logits.argmax_rows()?;
+    let correct = predictions
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    let n = labels.len();
+    let robust = correct as f32 / n as f32;
+
+    let mut linf_sum = 0.0f32;
+    let mut l2_sum = 0.0f32;
+    for i in 0..n {
+        let delta = adversarial.index_axis(0, i)?.sub(&clean.index_axis(0, i)?)?;
+        linf_sum += delta.linf_norm();
+        l2_sum += delta.l2_norm();
+    }
+
+    Ok(AttackOutcome {
+        attack: attack_name.to_string(),
+        defender: oracle.name(),
+        robust_accuracy: robust,
+        attack_success_rate: 1.0 - robust,
+        mean_linf: linf_sum / n as f32,
+        mean_l2: l2_sum / n as f32,
+        samples: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fgsm, RandomUniform};
+    use pelta_core::ClearWhiteBox;
+    use pelta_models::{ViTConfig, VisionTransformer};
+    use pelta_tensor::SeedStream;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn untrained_vit(seed: u64) -> Arc<VisionTransformer> {
+        let mut seeds = SeedStream::new(seed);
+        Arc::new(
+            VisionTransformer::new(
+                ViTConfig::vit_b16_scaled(8, 3, 4),
+                &mut seeds.derive("init"),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn selection_keeps_only_correct_samples() {
+        let vit = untrained_vit(500);
+        let mut seeds = SeedStream::new(501);
+        let images = Tensor::rand_uniform(&[12, 3, 8, 8], 0.0, 1.0, &mut seeds.derive("x"));
+        // Use the model's own predictions as labels: every sample is then
+        // "correctly classified" and selection must return `limit` samples.
+        let labels = predict(vit.as_ref(), &images).unwrap();
+        let (selected, selected_labels) =
+            select_correctly_classified(vit.as_ref(), &images, &labels, 5).unwrap();
+        assert_eq!(selected.dims()[0], 5);
+        assert_eq!(selected_labels.len(), 5);
+
+        // With deliberately wrong labels nothing qualifies.
+        let wrong: Vec<usize> = labels.iter().map(|&l| (l + 1) % 4).collect();
+        assert!(select_correctly_classified(vit.as_ref(), &images, &wrong, 5).is_err());
+    }
+
+    #[test]
+    fn robust_accuracy_is_one_when_attack_is_a_noop() {
+        // A zero-budget "attack": perturbation stays within an invisible ball.
+        let vit = untrained_vit(502);
+        let mut seeds = SeedStream::new(503);
+        let images = Tensor::rand_uniform(&[6, 3, 8, 8], 0.0, 1.0, &mut seeds.derive("x"));
+        let labels = predict(vit.as_ref(), &images).unwrap();
+        let oracle = ClearWhiteBox::new(vit);
+        let attack = RandomUniform::new(1e-6).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let outcome = robust_accuracy(&oracle, &attack, &images, &labels, &mut rng).unwrap();
+        assert_eq!(outcome.samples, 6);
+        assert!((outcome.robust_accuracy - 1.0).abs() < 1e-6);
+        assert!(outcome.attack_success_rate < 1e-6);
+        assert!(outcome.mean_linf <= 2e-6);
+    }
+
+    #[test]
+    fn outcome_statistics_are_consistent() {
+        let vit = untrained_vit(504);
+        let mut seeds = SeedStream::new(505);
+        let images = Tensor::rand_uniform(&[4, 3, 8, 8], 0.2, 0.8, &mut seeds.derive("x"));
+        let labels = predict(vit.as_ref(), &images).unwrap();
+        let oracle = ClearWhiteBox::new(vit);
+        let attack = Fgsm::new(0.05).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let outcome = robust_accuracy(&oracle, &attack, &images, &labels, &mut rng).unwrap();
+        assert!((outcome.robust_accuracy + outcome.attack_success_rate - 1.0).abs() < 1e-6);
+        assert!(outcome.mean_linf <= 0.05 + 1e-5);
+        assert!(outcome.mean_l2 >= outcome.mean_linf);
+        assert_eq!(outcome.attack, "FGSM");
+
+        // Label count mismatch is rejected.
+        let err = robust_accuracy(&oracle, &attack, &images, &labels[..2], &mut rng);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Shared helper: obtain an input-shaped gradient from a probe, whether the
+//! defender is clear (exact `∇ₓL`) or shielded (upsampled `δ_{L+1}`).
+
+use pelta_core::BackwardProbe;
+use pelta_tensor::Tensor;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{AdjointUpsampler, Result};
+
+/// Returns the gradient the attacker will follow for this probe.
+///
+/// On an undefended model this is the exact input gradient. On a
+/// Pelta-shielded model the exact gradient is masked, so the attacker falls
+/// back to the upsampling substitute applied to the last clear adjoint —
+/// the "last resort" §V-B investigates.
+///
+/// # Errors
+/// Returns an error if the adjoint cannot be mapped back onto the input
+/// geometry.
+pub fn effective_input_gradient(
+    probe: &BackwardProbe,
+    upsampler: &mut AdjointUpsampler,
+    batch: usize,
+    rng: &mut ChaCha8Rng,
+) -> Result<Tensor> {
+    match &probe.input_gradient {
+        Some(exact) => Ok(exact.clone()),
+        None => upsampler.upsample(&probe.clear_adjoint, batch, rng),
+    }
+}
+
+/// Projects `candidate` back into the L∞ ε-ball centred on `origin` and into
+/// the valid pixel range `[0, 1]` — the `P` operator of the
+/// maximum-allowable attacks (Fig. 3).
+///
+/// # Errors
+/// Returns an error if the two tensors have different shapes.
+pub fn project_linf(candidate: &Tensor, origin: &Tensor, epsilon: f32) -> Result<Tensor> {
+    let upper = origin.add_scalar(epsilon);
+    let lower = origin.add_scalar(-epsilon);
+    Ok(candidate.minimum(&upper)?.maximum(&lower)?.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_gradient_passes_through() {
+        let grad = Tensor::ones(&[1, 3, 8, 8]);
+        let probe = BackwardProbe {
+            logits: Tensor::zeros(&[1, 4]),
+            loss: 1.0,
+            input_gradient: Some(grad.clone()),
+            clear_adjoint: Tensor::zeros(&[1, 5, 16]),
+            input_dims: vec![3, 8, 8],
+            attention_rollout: None,
+        };
+        let mut up = AdjointUpsampler::new([3, 8, 8]);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let g = effective_input_gradient(&probe, &mut up, 1, &mut rng).unwrap();
+        assert_eq!(g, grad);
+    }
+
+    #[test]
+    fn masked_gradient_falls_back_to_upsampling() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let adjoint = Tensor::rand_uniform(&[1, 5, 16], -1.0, 1.0, &mut rng);
+        let probe = BackwardProbe {
+            logits: Tensor::zeros(&[1, 4]),
+            loss: 1.0,
+            input_gradient: None,
+            clear_adjoint: adjoint,
+            input_dims: vec![3, 8, 8],
+            attention_rollout: None,
+        };
+        let mut up = AdjointUpsampler::new([3, 8, 8]);
+        let g = effective_input_gradient(&probe, &mut up, 1, &mut rng).unwrap();
+        assert_eq!(g.dims(), &[1, 3, 8, 8]);
+    }
+
+    #[test]
+    fn projection_enforces_ball_and_pixel_range() {
+        let origin = Tensor::full(&[4], 0.5);
+        let candidate = Tensor::from_vec(vec![0.9, 0.45, -0.2, 0.52], &[4]).unwrap();
+        let projected = project_linf(&candidate, &origin, 0.1).unwrap();
+        assert!((projected.data()[0] - 0.6).abs() < 1e-6);
+        assert!((projected.data()[1] - 0.45).abs() < 1e-6);
+        assert!((projected.data()[2] - 0.4).abs() < 1e-6);
+        assert!((projected.data()[3] - 0.52).abs() < 1e-6);
+        // Pixel range is clamped even when the ball allows more.
+        let bright = Tensor::full(&[1], 0.99);
+        let cand = Tensor::full(&[1], 1.5);
+        assert_eq!(project_linf(&cand, &bright, 0.5).unwrap().data()[0], 1.0);
+    }
+}

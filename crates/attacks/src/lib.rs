@@ -1,0 +1,91 @@
+//! # pelta-attacks
+//!
+//! The white-box evasion attack suite evaluated in the Pelta paper, written
+//! against the [`pelta_core::GradientOracle`] interface so the **same attack
+//! code** runs against undefended (`ClearWhiteBox`) and Pelta-shielded
+//! (`ShieldedWhiteBox`) models:
+//!
+//! * [`Fgsm`] — Fast Gradient Sign Method (single ε-step);
+//! * [`Pgd`] — Projected Gradient Descent (iterative, ε-ball projection);
+//! * [`Mim`] — Momentum Iterative Method;
+//! * [`Apgd`] — Auto-PGD with adaptive step size and best-point restarts;
+//! * [`CarliniWagner`] — the C&W margin attack (regularisation based);
+//! * [`Saga`] — the Self-Attention Gradient Attack against the ViT + BiT
+//!   ensemble (Eq. 2–4 of the paper);
+//! * [`RandomUniform`] — the random-noise baseline of Table IV;
+//! * [`AdjointUpsampler`] — the BPDA-style substitute the attacker falls
+//!   back to when Pelta masks `∇ₓL`: a randomly initialised transposed
+//!   convolution / un-embedding applied to the last clear adjoint `δ_{L+1}`
+//!   (§IV-C, §V-B);
+//! * [`AdversarialPatch`] — the localised sticker attack the introduction
+//!   motivates (unbounded perturbation confined to a small region);
+//! * [`SubstituteTransfer`] — the adaptive BPDA-with-training attacker of
+//!   §IV-C/§VII: distil a private substitute from the victim's predictions
+//!   and transfer a white-box attack crafted on it;
+//! * [`PriorGuidedPgd`] — the prior-informed attacker of §VII that reuses a
+//!   (possibly inexact) copy of the shielded embedding matrix instead of a
+//!   random upsampling kernel.
+//!
+//! The [`params`] module reproduces Table II (attack hyper-parameters per
+//! dataset) and the [`eval`] module implements the paper's evaluation
+//! protocol: select correctly classified samples, attack them, and report
+//! robust accuracy.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod apgd;
+mod baseline;
+mod cw;
+mod error;
+pub mod eval;
+mod gradient;
+mod iterative;
+pub mod params;
+mod patch;
+mod prior;
+mod saga;
+mod substitute;
+mod upsample;
+
+pub use apgd::Apgd;
+pub use baseline::RandomUniform;
+pub use cw::CarliniWagner;
+pub use error::AttackError;
+pub use eval::{robust_accuracy, select_correctly_classified, AttackOutcome};
+pub use gradient::effective_input_gradient;
+pub use iterative::{Fgsm, Mim, Pgd};
+pub use params::{AttackSuiteParams, SagaParams};
+pub use patch::{AdversarialPatch, PatchPlacement};
+pub use prior::{EmbeddingPrior, PriorGuidedPgd};
+pub use saga::{Saga, SagaTarget};
+pub use substitute::{SubstituteConfig, SubstituteTransfer};
+pub use upsample::AdjointUpsampler;
+
+use pelta_core::GradientOracle;
+use pelta_tensor::Tensor;
+use rand_chacha::ChaCha8Rng;
+
+/// Convenience alias for results returned throughout this crate.
+pub type Result<T> = std::result::Result<T, AttackError>;
+
+/// A white-box evasion attack against a single defender.
+///
+/// Implementations craft adversarial examples for a batch of correctly
+/// classified samples, observing the defender only through its
+/// [`GradientOracle`].
+pub trait EvasionAttack: Send + Sync {
+    /// Short name used in reports ("FGSM", "PGD", …).
+    fn name(&self) -> &'static str;
+
+    /// Crafts one adversarial example per input sample.
+    ///
+    /// # Errors
+    /// Returns an error if the oracle rejects the probe inputs.
+    fn run(
+        &self,
+        oracle: &dyn GradientOracle,
+        images: &Tensor,
+        labels: &[usize],
+        rng: &mut ChaCha8Rng,
+    ) -> Result<Tensor>;
+}

@@ -1,0 +1,254 @@
+//! The adversarial **patch attack** the paper's introduction motivates:
+//!
+//! > *"he puts adversarial stickers on objects (roadsigns for instance) that
+//! > are subject to regular inferences by the FL model: the objects are then
+//! > misclassified by unaware agents running the collaboratively learned
+//! > model"*
+//!
+//! Unlike the ε-ball attacks of Table III, a patch attack concentrates an
+//! unbounded perturbation inside a small contiguous region of the image
+//! (Brown et al., "Adversarial Patch"). It is still a gradient-based evasion
+//! attack — the patch pixels follow the sign of `∇ₓL` — so Pelta mitigates
+//! it through exactly the same mechanism: with the shield active, the
+//! attacker only has the upsampled adjoint to steer the patch.
+
+use pelta_core::{AttackLoss, GradientOracle};
+use pelta_tensor::Tensor;
+use rand_chacha::ChaCha8Rng;
+
+use crate::gradient::effective_input_gradient;
+use crate::{AdjointUpsampler, AttackError, EvasionAttack, Result};
+
+/// Where the patch is placed on the image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatchPlacement {
+    /// Top-left corner (the sticker covers the corner of the sign).
+    TopLeft,
+    /// Centre of the image.
+    Center,
+}
+
+/// An iterative gradient-based adversarial patch attack.
+///
+/// The perturbation is unconstrained in magnitude (pixels may move anywhere
+/// in `[0, 1]`) but confined to a square region covering `area_fraction` of
+/// the image.
+#[derive(Debug, Clone, Copy)]
+pub struct AdversarialPatch {
+    area_fraction: f32,
+    step: f32,
+    steps: usize,
+    placement: PatchPlacement,
+}
+
+impl AdversarialPatch {
+    /// Creates a patch attack covering `area_fraction` of the image area,
+    /// optimised with `steps` sign-gradient steps of size `step`.
+    ///
+    /// # Errors
+    /// Returns an error if the area fraction is outside `(0, 1]` or the
+    /// optimisation budget is non-positive.
+    pub fn new(area_fraction: f32, step: f32, steps: usize) -> Result<Self> {
+        Self::with_placement(area_fraction, step, steps, PatchPlacement::TopLeft)
+    }
+
+    /// Creates a patch attack with an explicit placement.
+    ///
+    /// # Errors
+    /// Returns an error if the area fraction is outside `(0, 1]` or the
+    /// optimisation budget is non-positive.
+    pub fn with_placement(
+        area_fraction: f32,
+        step: f32,
+        steps: usize,
+        placement: PatchPlacement,
+    ) -> Result<Self> {
+        if !(0.0..=1.0).contains(&area_fraction) || area_fraction == 0.0 {
+            return Err(AttackError::InvalidConfig {
+                attack: "AdversarialPatch",
+                reason: format!("area fraction must be in (0, 1], got {area_fraction}"),
+            });
+        }
+        if step <= 0.0 || steps == 0 {
+            return Err(AttackError::InvalidConfig {
+                attack: "AdversarialPatch",
+                reason: "step and steps must be positive".to_string(),
+            });
+        }
+        Ok(AdversarialPatch {
+            area_fraction,
+            step,
+            steps,
+            placement,
+        })
+    }
+
+    /// The square side of the patch for an `h × w` image, in pixels
+    /// (at least one pixel).
+    pub fn patch_side(&self, h: usize, w: usize) -> usize {
+        let area = (h * w) as f32 * self.area_fraction;
+        (area.sqrt().round() as usize).clamp(1, h.min(w))
+    }
+
+    /// Builds the binary patch mask `[1, 1, H, W]` (1 inside the patch).
+    fn mask(&self, c: usize, h: usize, w: usize) -> Tensor {
+        let side = self.patch_side(h, w);
+        let (y0, x0) = match self.placement {
+            PatchPlacement::TopLeft => (0, 0),
+            PatchPlacement::Center => ((h - side) / 2, (w - side) / 2),
+        };
+        let mut mask = Tensor::zeros(&[1, c, h, w]);
+        for ci in 0..c {
+            for y in y0..y0 + side {
+                for x in x0..x0 + side {
+                    mask.data_mut()[(ci * h + y) * w + x] = 1.0;
+                }
+            }
+        }
+        mask
+    }
+}
+
+impl EvasionAttack for AdversarialPatch {
+    fn name(&self) -> &'static str {
+        "Patch"
+    }
+
+    fn run(
+        &self,
+        oracle: &dyn GradientOracle,
+        images: &Tensor,
+        labels: &[usize],
+        rng: &mut ChaCha8Rng,
+    ) -> Result<Tensor> {
+        let (n, c, h, w) = (
+            images.dims()[0],
+            images.dims()[1],
+            images.dims()[2],
+            images.dims()[3],
+        );
+        let mask = self.mask(c, h, w);
+        let inverse = mask.map(|v| 1.0 - v);
+        let mut upsampler = AdjointUpsampler::new([c, h, w]);
+
+        // Start from a mid-grey patch pasted onto the clean samples.
+        let grey_patch = mask.mul_scalar(0.5);
+        let mut current = images.mul(&inverse)?.add(&grey_patch)?;
+
+        for _ in 0..self.steps {
+            let probe = oracle.probe(&current, labels, AttackLoss::CrossEntropy)?;
+            let grad = effective_input_gradient(&probe, &mut upsampler, n, rng)?;
+            // Only the patch pixels move; they are free inside [0, 1].
+            let update = grad.sign().mul(&mask)?;
+            current = current.axpy(self.step, &update)?.clamp(0.0, 1.0);
+            // Re-impose the clean background (numerical drift protection).
+            current = images.mul(&inverse)?.add(&current.mul(&mask)?)?;
+        }
+        Ok(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelta_core::{ClearWhiteBox, ShieldedWhiteBox};
+    use pelta_models::{predict, ImageModel, ViTConfig, VisionTransformer};
+    use pelta_tensor::SeedStream;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn vit(seed: u64) -> Arc<dyn ImageModel> {
+        let mut seeds = SeedStream::new(seed);
+        Arc::new(
+            VisionTransformer::new(ViTConfig::vit_b16_scaled(8, 3, 4), &mut seeds.derive("init"))
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn constructor_validates_parameters() {
+        assert!(AdversarialPatch::new(0.0, 0.1, 5).is_err());
+        assert!(AdversarialPatch::new(1.5, 0.1, 5).is_err());
+        assert!(AdversarialPatch::new(0.25, 0.0, 5).is_err());
+        assert!(AdversarialPatch::new(0.25, 0.1, 0).is_err());
+        let ok = AdversarialPatch::new(0.25, 0.1, 5).unwrap();
+        assert_eq!(ok.name(), "Patch");
+    }
+
+    #[test]
+    fn patch_side_scales_with_area_fraction() {
+        let small = AdversarialPatch::new(0.05, 0.1, 1).unwrap();
+        let large = AdversarialPatch::new(0.5, 0.1, 1).unwrap();
+        assert!(small.patch_side(32, 32) < large.patch_side(32, 32));
+        assert!(large.patch_side(32, 32) <= 32);
+        assert!(small.patch_side(8, 8) >= 1);
+    }
+
+    #[test]
+    fn perturbation_is_confined_to_the_patch_region() {
+        let model = vit(40);
+        let mut seeds = SeedStream::new(41);
+        let images = Tensor::rand_uniform(&[2, 3, 8, 8], 0.2, 0.8, &mut seeds.derive("x"));
+        let labels = predict(model.as_ref(), &images).unwrap();
+        let attack =
+            AdversarialPatch::with_placement(0.25, 0.2, 3, PatchPlacement::TopLeft).unwrap();
+        let oracle = ClearWhiteBox::new(Arc::clone(&model));
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let adv = attack.run(&oracle, &images, &labels, &mut rng).unwrap();
+        assert_eq!(adv.dims(), images.dims());
+        assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+
+        let side = attack.patch_side(8, 8);
+        let delta = adv.sub(&images).unwrap();
+        // Outside the patch the image is untouched.
+        for n in 0..2 {
+            for c in 0..3 {
+                for y in 0..8 {
+                    for x in 0..8 {
+                        let inside = y < side && x < side;
+                        let v = delta.get(&[n, c, y, x]).unwrap();
+                        if !inside {
+                            assert!(
+                                v.abs() < 1e-6,
+                                "pixel outside the patch moved by {v} at ({y},{x})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Inside the patch something moved (the grey initialisation alone
+        // already perturbs it).
+        assert!(delta.linf_norm() > 0.0);
+    }
+
+    #[test]
+    fn center_placement_leaves_the_corners_clean() {
+        let model = vit(42);
+        let mut seeds = SeedStream::new(43);
+        let images = Tensor::rand_uniform(&[1, 3, 8, 8], 0.2, 0.8, &mut seeds.derive("x"));
+        let labels = predict(model.as_ref(), &images).unwrap();
+        let attack =
+            AdversarialPatch::with_placement(0.1, 0.2, 2, PatchPlacement::Center).unwrap();
+        let oracle = ClearWhiteBox::new(Arc::clone(&model));
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let adv = attack.run(&oracle, &images, &labels, &mut rng).unwrap();
+        let delta = adv.sub(&images).unwrap();
+        assert!(delta.get(&[0, 0, 0, 0]).unwrap().abs() < 1e-6);
+        assert!(delta.get(&[0, 2, 7, 7]).unwrap().abs() < 1e-6);
+    }
+
+    #[test]
+    fn patch_attack_runs_against_a_shielded_oracle() {
+        let model = vit(44);
+        let mut seeds = SeedStream::new(45);
+        let images = Tensor::rand_uniform(&[2, 3, 8, 8], 0.2, 0.8, &mut seeds.derive("x"));
+        let labels = predict(model.as_ref(), &images).unwrap();
+        let attack = AdversarialPatch::new(0.25, 0.2, 2).unwrap();
+        let oracle = ShieldedWhiteBox::with_default_enclave(model).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let adv = attack.run(&oracle, &images, &labels, &mut rng).unwrap();
+        assert_eq!(adv.dims(), images.dims());
+        assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

@@ -1,0 +1,342 @@
+//! The **prior-informed** attacker the paper's conclusion warns about:
+//!
+//! > *"an attacker can (i) exploit commonly used embedding matrices and
+//! > subsequent parameters across existing models as a prior on the shielded
+//! > layers (this case being circumvented by the defender if it trains its
+//! > own first parameters)"*
+//!
+//! Instead of the random-uniform upsampling kernel of §V-B, this attacker
+//! un-embeds the clear adjoint `δ_{L+1}` through a *guess* of the shielded
+//! patch-embedding matrix `E`. The quality of the guess is controlled by a
+//! `fidelity` knob: at fidelity 0 the prior is pure noise (equivalent to the
+//! paper's baseline fallback), at fidelity 1 the attacker holds the exact
+//! matrix (the worst case for the defender, e.g. a publicly released
+//! pretrained embedding the defender reused verbatim). The ablation bench
+//! sweeps this knob to quantify how much the defender gains by training its
+//! own first parameters — the mitigation the paper recommends.
+
+use pelta_core::{AttackLoss, GradientOracle};
+use pelta_models::ImageModel;
+use pelta_tensor::Tensor;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::gradient::project_linf;
+use crate::{AttackError, EvasionAttack, Result};
+
+/// The attacker's guess of the shielded patch-embedding matrix.
+#[derive(Debug, Clone)]
+pub struct EmbeddingPrior {
+    /// The guessed un-embedding matrix, `[dim, patch_dim]`.
+    unembed: Tensor,
+    /// Patch side length implied by the matrix geometry.
+    patch: usize,
+    /// Channels implied by the matrix geometry.
+    channels: usize,
+    /// How faithful the guess is (for reporting; 1.0 = exact).
+    fidelity: f32,
+}
+
+impl EmbeddingPrior {
+    /// Builds a prior directly from an un-embedding matrix of shape
+    /// `[dim, channels · patch · patch]`.
+    ///
+    /// # Errors
+    /// Returns an error if the matrix is not two-dimensional or its second
+    /// dimension is not `channels · patch²`.
+    pub fn from_matrix(unembed: Tensor, channels: usize, patch: usize, fidelity: f32) -> Result<Self> {
+        if unembed.rank() != 2 {
+            return Err(AttackError::InvalidInput {
+                reason: format!("embedding prior must be a matrix, got rank {}", unembed.rank()),
+            });
+        }
+        if unembed.dims()[1] != channels * patch * patch {
+            return Err(AttackError::InvalidInput {
+                reason: format!(
+                    "prior maps {} features per token, expected {}·{}² = {}",
+                    unembed.dims()[1],
+                    channels,
+                    patch,
+                    channels * patch * patch
+                ),
+            });
+        }
+        Ok(EmbeddingPrior {
+            unembed,
+            patch,
+            channels,
+            fidelity,
+        })
+    }
+
+    /// Extracts the true patch-embedding matrix from a ViT defender and
+    /// degrades it to the requested `fidelity` by blending it with uniform
+    /// noise of matching scale (`fidelity = 1` keeps it exact, `0` discards
+    /// it entirely).
+    ///
+    /// This models the attacker reusing a publicly available embedding that
+    /// is only approximately the one the defender shields.
+    ///
+    /// # Errors
+    /// Returns an error if the model exposes no patch-embedding projection
+    /// parameter (CNN defenders) or the fidelity is outside `[0, 1]`.
+    pub fn from_vit_defender<R: Rng + ?Sized>(
+        model: &dyn ImageModel,
+        patch: usize,
+        fidelity: f32,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if !(0.0..=1.0).contains(&fidelity) {
+            return Err(AttackError::InvalidInput {
+                reason: format!("fidelity must be in [0, 1], got {fidelity}"),
+            });
+        }
+        let [channels, ..] = model.input_shape();
+        let patch_dim = channels * patch * patch;
+        let weight = model
+            .parameters()
+            .into_iter()
+            .find(|p| {
+                p.name().ends_with("embed.proj.weight")
+                    && p.value().rank() == 2
+                    && p.value().dims().contains(&patch_dim)
+            })
+            .ok_or_else(|| AttackError::InvalidInput {
+                reason: "defender has no patch-embedding projection to build a prior from"
+                    .to_string(),
+            })?;
+        // The projection is stored as [patch_dim, dim]; the un-embedding is
+        // its transpose [dim, patch_dim]. Accept either orientation.
+        let exact = if weight.value().dims()[0] == patch_dim {
+            weight.value().transpose()?
+        } else {
+            weight.value().clone()
+        };
+        let scale = exact.linf_norm().max(1e-6);
+        let noise = Tensor::rand_uniform(exact.dims(), -scale, scale, rng);
+        let blended = exact.mul_scalar(fidelity).add(&noise.mul_scalar(1.0 - fidelity))?;
+        Self::from_matrix(blended, channels, patch, fidelity)
+    }
+
+    /// The fidelity this prior was built with.
+    pub fn fidelity(&self) -> f32 {
+        self.fidelity
+    }
+
+    /// Maps a token adjoint `[N, T(+1), dim]` back onto input pixels
+    /// `[N, C, H, W]` through the guessed un-embedding.
+    ///
+    /// # Errors
+    /// Returns an error if the adjoint geometry cannot be mapped onto the
+    /// requested image size.
+    pub fn unembed_adjoint(&self, adjoint: &Tensor, h: usize, w: usize) -> Result<Tensor> {
+        if adjoint.rank() != 3 {
+            return Err(AttackError::InvalidInput {
+                reason: format!("expected a token adjoint of rank 3, got {}", adjoint.rank()),
+            });
+        }
+        let (n, mut tokens, dim) = (adjoint.dims()[0], adjoint.dims()[1], adjoint.dims()[2]);
+        if dim != self.unembed.dims()[0] {
+            return Err(AttackError::InvalidInput {
+                reason: format!(
+                    "adjoint dimension {dim} does not match the prior's {}",
+                    self.unembed.dims()[0]
+                ),
+            });
+        }
+        // Drop the class token when present.
+        let mut body = adjoint.clone();
+        let side_without_cls = (((tokens - 1) as f64).sqrt().round()) as usize;
+        if tokens > 1 && side_without_cls * side_without_cls == tokens - 1 {
+            body = adjoint.narrow(1, 1, tokens - 1)?;
+            tokens -= 1;
+        }
+        let side = (tokens as f64).sqrt().round() as usize;
+        if side * side != tokens || side * self.patch != h || side * self.patch != w {
+            return Err(AttackError::InvalidInput {
+                reason: format!("cannot map {tokens} tokens onto a {h}x{w} image with patch {}", self.patch),
+            });
+        }
+        let patch = self.patch;
+        let c = self.channels;
+        let patch_dim = c * patch * patch;
+        let pixels = body.reshape(&[n * tokens, dim])?.matmul(&self.unembed)?;
+        let mut out = Tensor::zeros(&[n, c, h, w]);
+        for ni in 0..n {
+            for ty in 0..side {
+                for tx in 0..side {
+                    let token = ty * side + tx;
+                    for ci in 0..c {
+                        for py in 0..patch {
+                            for px in 0..patch {
+                                let feat = (ci * patch + py) * patch + px;
+                                let value = pixels.data()[(ni * tokens + token) * patch_dim + feat];
+                                let y = ty * patch + py;
+                                let x = tx * patch + px;
+                                out.data_mut()[((ni * c + ci) * h + y) * w + x] = value;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// PGD steered by an [`EmbeddingPrior`] whenever the exact `∇ₓL` is masked.
+#[derive(Debug, Clone)]
+pub struct PriorGuidedPgd {
+    epsilon: f32,
+    step: f32,
+    steps: usize,
+    prior: EmbeddingPrior,
+}
+
+impl PriorGuidedPgd {
+    /// Creates the attack.
+    ///
+    /// # Errors
+    /// Returns an error if any budget is non-positive.
+    pub fn new(epsilon: f32, step: f32, steps: usize, prior: EmbeddingPrior) -> Result<Self> {
+        if epsilon <= 0.0 || step <= 0.0 || steps == 0 {
+            return Err(AttackError::InvalidConfig {
+                attack: "PriorGuidedPGD",
+                reason: "epsilon, step and steps must be positive".to_string(),
+            });
+        }
+        Ok(PriorGuidedPgd {
+            epsilon,
+            step,
+            steps,
+            prior,
+        })
+    }
+
+    /// The prior the attack follows when gradients are masked.
+    pub fn prior(&self) -> &EmbeddingPrior {
+        &self.prior
+    }
+}
+
+impl EvasionAttack for PriorGuidedPgd {
+    fn name(&self) -> &'static str {
+        "PriorPGD"
+    }
+
+    fn run(
+        &self,
+        oracle: &dyn GradientOracle,
+        images: &Tensor,
+        labels: &[usize],
+        _rng: &mut ChaCha8Rng,
+    ) -> Result<Tensor> {
+        let (h, w) = (images.dims()[2], images.dims()[3]);
+        let mut current = images.clone();
+        for _ in 0..self.steps {
+            let probe = oracle.probe(&current, labels, AttackLoss::CrossEntropy)?;
+            let grad = match &probe.input_gradient {
+                Some(exact) => exact.clone(),
+                None => self.prior.unembed_adjoint(&probe.clear_adjoint, h, w)?,
+            };
+            let candidate = current.axpy(self.step, &grad.sign())?;
+            current = project_linf(&candidate, images, self.epsilon)?;
+        }
+        Ok(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelta_core::{ClearWhiteBox, ShieldedWhiteBox};
+    use pelta_models::{predict, ViTConfig, VisionTransformer};
+    use pelta_tensor::SeedStream;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn vit(seed: u64) -> (Arc<VisionTransformer>, usize) {
+        let mut seeds = SeedStream::new(seed);
+        let config = ViTConfig::vit_b16_scaled(8, 3, 4);
+        let patch = config.patch;
+        (
+            Arc::new(VisionTransformer::new(config, &mut seeds.derive("init")).unwrap()),
+            patch,
+        )
+    }
+
+    #[test]
+    fn prior_construction_validates_geometry_and_fidelity() {
+        let (model, patch) = vit(70);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert!(EmbeddingPrior::from_vit_defender(model.as_ref(), patch, 1.5, &mut rng).is_err());
+        let prior =
+            EmbeddingPrior::from_vit_defender(model.as_ref(), patch, 1.0, &mut rng).unwrap();
+        assert!((prior.fidelity() - 1.0).abs() < 1e-6);
+
+        let bad = Tensor::zeros(&[4, 7]);
+        assert!(EmbeddingPrior::from_matrix(bad, 3, patch, 0.5).is_err());
+        let rank1 = Tensor::zeros(&[8]);
+        assert!(EmbeddingPrior::from_matrix(rank1, 3, patch, 0.5).is_err());
+    }
+
+    #[test]
+    fn exact_prior_recovers_input_shaped_gradients_from_the_adjoint() {
+        let (model, patch) = vit(71);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let prior =
+            EmbeddingPrior::from_vit_defender(model.as_ref(), patch, 1.0, &mut rng).unwrap();
+        let shielded =
+            ShieldedWhiteBox::with_default_enclave(Arc::clone(&model) as Arc<dyn ImageModel>)
+                .unwrap();
+        let mut seeds = SeedStream::new(72);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.2, 0.8, &mut seeds.derive("x"));
+        let probe = shielded.probe(&x, &[0, 1], AttackLoss::CrossEntropy).unwrap();
+        assert!(probe.input_gradient.is_none());
+        let guessed = prior.unembed_adjoint(&probe.clear_adjoint, 8, 8).unwrap();
+        assert_eq!(guessed.dims(), &[2, 3, 8, 8]);
+        assert!(guessed.linf_norm() > 0.0);
+    }
+
+    #[test]
+    fn prior_guided_pgd_stays_in_the_ball_on_clear_and_shielded_oracles() {
+        let (model, patch) = vit(73);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let prior =
+            EmbeddingPrior::from_vit_defender(model.as_ref(), patch, 0.5, &mut rng).unwrap();
+        let attack = PriorGuidedPgd::new(0.05, 0.02, 3, prior).unwrap();
+        assert_eq!(attack.name(), "PriorPGD");
+        assert!((attack.prior().fidelity() - 0.5).abs() < 1e-6);
+
+        let mut seeds = SeedStream::new(74);
+        let images = Tensor::rand_uniform(&[3, 3, 8, 8], 0.2, 0.8, &mut seeds.derive("x"));
+        let labels = predict(model.as_ref(), &images).unwrap();
+        for shielded in [false, true] {
+            let oracle: Box<dyn GradientOracle> = if shielded {
+                Box::new(
+                    ShieldedWhiteBox::with_default_enclave(
+                        Arc::clone(&model) as Arc<dyn ImageModel>
+                    )
+                    .unwrap(),
+                )
+            } else {
+                Box::new(ClearWhiteBox::new(Arc::clone(&model) as Arc<dyn ImageModel>))
+            };
+            let adv = attack
+                .run(oracle.as_ref(), &images, &labels, &mut rng)
+                .unwrap();
+            assert_eq!(adv.dims(), images.dims());
+            assert!(adv.sub(&images).unwrap().linf_norm() <= 0.05 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn constructor_rejects_degenerate_budgets() {
+        let (model, patch) = vit(75);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let prior =
+            EmbeddingPrior::from_vit_defender(model.as_ref(), patch, 0.0, &mut rng).unwrap();
+        assert!(PriorGuidedPgd::new(0.0, 0.01, 3, prior.clone()).is_err());
+        assert!(PriorGuidedPgd::new(0.05, 0.01, 0, prior).is_err());
+    }
+}

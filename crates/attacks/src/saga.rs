@@ -1,0 +1,229 @@
+//! The Self-Attention Gradient Attack (Mahmood et al.) against the ViT + BiT
+//! ensemble, and the four shielding settings of Table IV.
+
+use pelta_core::{AttackLoss, GradientOracle};
+use pelta_tensor::Tensor;
+use rand_chacha::ChaCha8Rng;
+
+use crate::gradient::{effective_input_gradient, project_linf};
+use crate::params::SagaParams;
+use crate::{AdjointUpsampler, AttackError, Result};
+
+/// The two defenders SAGA blends gradients from, each behind its own oracle
+/// (clear or Pelta-shielded independently — the four columns of Table IV).
+pub struct SagaTarget<'a> {
+    /// The transformer member (its gradient is weighted by the
+    /// self-attention rollout `ϕ_v`).
+    pub vit: &'a dyn GradientOracle,
+    /// The CNN member (BiT).
+    pub cnn: &'a dyn GradientOracle,
+}
+
+/// The Self-Attention Gradient Attack (Eq. 2–4 of the paper):
+///
+/// `x⁽ⁱ⁺¹⁾ = x⁽ⁱ⁾ + ε_step · sign(G_blend(x⁽ⁱ⁾))` with
+/// `G_blend = α_k ∂L_k/∂x + α_v ϕ_v ⊙ ∂L_v/∂x`,
+/// where `ϕ_v` is the pixel-level self-attention rollout of the ViT member.
+///
+/// When a member is Pelta-shielded its `∂L/∂x` term is unavailable and the
+/// attacker substitutes the upsampled last clear adjoint, exactly as for the
+/// individual attacks.
+#[derive(Debug, Clone, Copy)]
+pub struct Saga {
+    params: SagaParams,
+    epsilon: f32,
+}
+
+impl Saga {
+    /// Creates a SAGA attack with the given blending weights and an ε budget
+    /// for the overall perturbation.
+    ///
+    /// # Errors
+    /// Returns an error if the weights or budget are out of range.
+    pub fn new(params: SagaParams, epsilon: f32) -> Result<Self> {
+        if params.step <= 0.0 || params.steps == 0 || epsilon <= 0.0 {
+            return Err(AttackError::InvalidConfig {
+                attack: "SAGA",
+                reason: "step, steps and epsilon must be positive".to_string(),
+            });
+        }
+        if params.alpha_cnn < 0.0 || params.alpha_vit < 0.0 {
+            return Err(AttackError::InvalidConfig {
+                attack: "SAGA",
+                reason: "blending weights must be non-negative".to_string(),
+            });
+        }
+        Ok(Saga { params, epsilon })
+    }
+
+    /// The blending parameters.
+    pub fn params(&self) -> SagaParams {
+        self.params
+    }
+
+    /// Crafts adversarial examples against the ensemble.
+    ///
+    /// # Errors
+    /// Returns an error if either oracle rejects the probe inputs.
+    pub fn run_ensemble(
+        &self,
+        target: &SagaTarget<'_>,
+        images: &Tensor,
+        labels: &[usize],
+        rng: &mut ChaCha8Rng,
+    ) -> Result<Tensor> {
+        let batch = images.dims()[0];
+        let per_sample = [images.dims()[1], images.dims()[2], images.dims()[3]];
+        let mut vit_upsampler = AdjointUpsampler::new(per_sample);
+        let mut cnn_upsampler = AdjointUpsampler::new(per_sample);
+        let mut current = images.clone();
+        for _ in 0..self.params.steps {
+            // CNN term: α_k · ∂L_k/∂x.
+            let cnn_probe = target.cnn.probe(&current, labels, AttackLoss::CrossEntropy)?;
+            let cnn_grad =
+                effective_input_gradient(&cnn_probe, &mut cnn_upsampler, batch, rng)?;
+
+            // ViT term: α_v · ϕ_v ⊙ ∂L_v/∂x.
+            let vit_probe = target.vit.probe(&current, labels, AttackLoss::CrossEntropy)?;
+            let vit_grad =
+                effective_input_gradient(&vit_probe, &mut vit_upsampler, batch, rng)?;
+            let vit_grad = match &vit_probe.attention_rollout {
+                Some(rollout) => vit_grad.mul(rollout)?,
+                None => vit_grad,
+            };
+
+            let blend = cnn_grad
+                .mul_scalar(self.params.alpha_cnn)
+                .add(&vit_grad.mul_scalar(self.params.alpha_vit))?;
+            let candidate = current.axpy(self.params.step, &blend.sign())?;
+            current = project_linf(&candidate, images, self.epsilon)?;
+        }
+        Ok(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelta_core::{ClearWhiteBox, ShieldedWhiteBox};
+    use pelta_models::{
+        BigTransfer, BitConfig, ImageModel, ViTConfig, VisionTransformer,
+    };
+    use pelta_tensor::SeedStream;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn ensemble_members(seed: u64) -> (Arc<dyn ImageModel>, Arc<dyn ImageModel>) {
+        let mut seeds = SeedStream::new(seed);
+        let vit = VisionTransformer::new(
+            ViTConfig {
+                name: "saga_vit".to_string(),
+                image_size: 8,
+                channels: 3,
+                patch: 4,
+                dim: 16,
+                depth: 1,
+                heads: 2,
+                mlp_dim: 32,
+                classes: 4,
+            },
+            &mut seeds.derive("vit"),
+        )
+        .unwrap();
+        let mut bit = BigTransfer::new(
+            BitConfig {
+                name: "saga_bit".to_string(),
+                channels: 3,
+                stem_channels: 4,
+                stage_channels: vec![4],
+                stage_blocks: vec![1],
+                groups: 2,
+                classes: 4,
+            },
+            &mut seeds.derive("bit"),
+        )
+        .unwrap();
+        pelta_nn::Module::set_training(&mut bit, false);
+        (Arc::new(vit), Arc::new(bit))
+    }
+
+    fn default_params() -> SagaParams {
+        SagaParams {
+            alpha_cnn: 0.5,
+            alpha_vit: 0.5,
+            step: 0.02,
+            steps: 4,
+        }
+    }
+
+    #[test]
+    fn constructor_validates_parameters() {
+        let mut bad = default_params();
+        bad.step = 0.0;
+        assert!(Saga::new(bad, 0.1).is_err());
+        let mut bad = default_params();
+        bad.alpha_cnn = -0.1;
+        assert!(Saga::new(bad, 0.1).is_err());
+        assert!(Saga::new(default_params(), 0.0).is_err());
+        assert!(Saga::new(default_params(), 0.1).is_ok());
+    }
+
+    #[test]
+    fn saga_runs_against_all_four_shielding_settings() {
+        let (vit, bit) = ensemble_members(400);
+        let mut seeds = SeedStream::new(401);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.2, 0.8, &mut seeds.derive("x"));
+        let labels = [0usize, 1];
+        let saga = Saga::new(default_params(), 0.1).unwrap();
+        assert_eq!(saga.params().steps, 4);
+
+        let clear_vit = ClearWhiteBox::new(Arc::clone(&vit));
+        let clear_bit = ClearWhiteBox::new(Arc::clone(&bit));
+        let shielded_vit = ShieldedWhiteBox::with_default_enclave(Arc::clone(&vit)).unwrap();
+        let shielded_bit = ShieldedWhiteBox::with_default_enclave(Arc::clone(&bit)).unwrap();
+
+        let settings: Vec<(&str, SagaTarget<'_>)> = vec![
+            ("none", SagaTarget { vit: &clear_vit, cnn: &clear_bit }),
+            ("vit_only", SagaTarget { vit: &shielded_vit, cnn: &clear_bit }),
+            ("bit_only", SagaTarget { vit: &clear_vit, cnn: &shielded_bit }),
+            ("both", SagaTarget { vit: &shielded_vit, cnn: &shielded_bit }),
+        ];
+        for (name, target) in settings {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let adv = saga.run_ensemble(&target, &x, &labels, &mut rng).unwrap();
+            assert_eq!(adv.dims(), x.dims(), "setting {name}");
+            let delta = adv.sub(&x).unwrap();
+            assert!(delta.linf_norm() <= 0.1 + 1e-5, "setting {name} escaped the ball");
+            assert!(delta.linf_norm() > 0.0, "setting {name} produced no perturbation");
+        }
+    }
+
+    #[test]
+    fn saga_uses_the_attention_rollout_of_the_vit_member() {
+        // With α_cnn = 0 the update is driven purely by the ViT term; the
+        // attack must still run and stay in the ball, demonstrating the
+        // ϕ_v ⊙ ∂L_v/∂x path.
+        let (vit, bit) = ensemble_members(402);
+        let mut seeds = SeedStream::new(403);
+        let x = Tensor::rand_uniform(&[1, 3, 8, 8], 0.2, 0.8, &mut seeds.derive("x"));
+        let params = SagaParams {
+            alpha_cnn: 0.0,
+            alpha_vit: 1.0,
+            step: 0.05,
+            steps: 3,
+        };
+        let saga = Saga::new(params, 0.15).unwrap();
+        let clear_vit = ClearWhiteBox::new(vit);
+        let clear_bit = ClearWhiteBox::new(bit);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let adv = saga
+            .run_ensemble(
+                &SagaTarget { vit: &clear_vit, cnn: &clear_bit },
+                &x,
+                &[2],
+                &mut rng,
+            )
+            .unwrap();
+        assert!(adv.sub(&x).unwrap().linf_norm() > 0.0);
+    }
+}

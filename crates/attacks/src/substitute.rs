@@ -1,0 +1,268 @@
+//! The adaptive attacker of §IV-C and §VII: training a **substitute model**
+//! when the shield leaves no usable gradient.
+//!
+//! BPDA (Athalye et al.) replaces a non-differentiable (here: masked) layer
+//! with a trained approximation `g` and back-propagates through `g` instead.
+//! The paper notes that against Pelta this *"becomes increasingly difficult
+//! for the attacker as larger parts of the model are hidden"* and that, in
+//! the limit, it supposes *"training resources equivalent to that of the FL
+//! system"*. This module implements that attacker so the claim can be
+//! measured:
+//!
+//! 1. the attacker labels its own local samples with the defender's
+//!    predictions (the logits API remains available through the shield —
+//!    only backward quantities are masked);
+//! 2. it trains a private substitute model on those distilled labels;
+//! 3. it runs an ordinary white-box attack (PGD) against the substitute,
+//!    where gradients are fully available;
+//! 4. it transfers the crafted samples to the shielded victim.
+//!
+//! The substitute's capacity and training budget are the knobs the ablation
+//! bench sweeps: a weak substitute barely beats the random-upsampling
+//! fallback, a strong one erodes the defence — which is the paper's stated
+//! limit of any gradient-masking scheme.
+
+use std::sync::Arc;
+
+use pelta_core::{ClearWhiteBox, GradientOracle};
+use pelta_models::{train_classifier, ImageModel, TrainingConfig, ViTConfig, VisionTransformer};
+use pelta_tensor::Tensor;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{AttackError, EvasionAttack, Pgd, Result};
+
+/// Hyper-parameters of the substitute-training (BPDA-style) attacker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubstituteConfig {
+    /// Embedding dimension of the substitute ViT (its capacity knob).
+    pub dim: usize,
+    /// Encoder depth of the substitute ViT.
+    pub depth: usize,
+    /// Number of local distillation epochs (the attacker's training budget).
+    pub epochs: usize,
+    /// Learning rate of the distillation.
+    pub learning_rate: f32,
+    /// ε budget of the transfer attack run on the substitute.
+    pub epsilon: f32,
+    /// Step size of the transfer attack.
+    pub epsilon_step: f32,
+    /// Iteration count of the transfer attack.
+    pub attack_steps: usize,
+}
+
+impl Default for SubstituteConfig {
+    fn default() -> Self {
+        SubstituteConfig {
+            dim: 16,
+            depth: 1,
+            epochs: 10,
+            learning_rate: 0.02,
+            epsilon: 0.062,
+            epsilon_step: 0.0155,
+            attack_steps: 10,
+        }
+    }
+}
+
+/// The substitute-model transfer attack (the BPDA-style adaptive attacker).
+#[derive(Debug, Clone, Copy)]
+pub struct SubstituteTransfer {
+    config: SubstituteConfig,
+}
+
+impl SubstituteTransfer {
+    /// Creates the attack from its configuration.
+    ///
+    /// # Errors
+    /// Returns an error if any budget is non-positive or the substitute
+    /// capacity is degenerate.
+    pub fn new(config: SubstituteConfig) -> Result<Self> {
+        if config.epsilon <= 0.0 || config.epsilon_step <= 0.0 || config.attack_steps == 0 {
+            return Err(AttackError::InvalidConfig {
+                attack: "SubstituteTransfer",
+                reason: "epsilon, epsilon_step and attack_steps must be positive".to_string(),
+            });
+        }
+        if config.dim == 0 || config.depth == 0 || config.epochs == 0 {
+            return Err(AttackError::InvalidConfig {
+                attack: "SubstituteTransfer",
+                reason: "substitute dim, depth and epochs must be positive".to_string(),
+            });
+        }
+        if config.learning_rate <= 0.0 {
+            return Err(AttackError::InvalidConfig {
+                attack: "SubstituteTransfer",
+                reason: "learning rate must be positive".to_string(),
+            });
+        }
+        Ok(SubstituteTransfer { config })
+    }
+
+    /// The attacker's configuration.
+    pub fn config(&self) -> &SubstituteConfig {
+        &self.config
+    }
+
+    /// Trains the substitute model on samples distilled from the victim's
+    /// predictions. Exposed so benches can inspect the substitute's fidelity
+    /// (agreement with the victim) separately from the transfer result.
+    ///
+    /// # Errors
+    /// Returns an error if the victim rejects the query batch or the
+    /// substitute architecture cannot fit the victim's input geometry.
+    pub fn train_substitute(
+        &self,
+        oracle: &dyn GradientOracle,
+        images: &Tensor,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<VisionTransformer> {
+        let [c, h, _w] = oracle.input_shape();
+        // The substitute reuses the victim's input geometry; its patch size
+        // is the largest power-of-two-ish divisor that keeps at least four
+        // tokens, falling back to the full image when it is tiny.
+        let patch = if h % 4 == 0 && h > 4 { h / 4 } else { h };
+        let config = ViTConfig {
+            name: "attacker_substitute".to_string(),
+            image_size: h,
+            channels: c,
+            patch,
+            dim: self.config.dim,
+            depth: self.config.depth,
+            heads: 2.min(self.config.dim),
+            mlp_dim: self.config.dim * 2,
+            classes: oracle.num_classes(),
+        };
+        let mut substitute = VisionTransformer::new(config, rng).map_err(to_attack_error)?;
+
+        // Distillation labels: whatever the victim predicts on the
+        // attacker's own samples (hard-label model extraction).
+        let logits = oracle.logits(images)?;
+        let distilled = logits.argmax_rows()?;
+        train_classifier(
+            &mut substitute,
+            images,
+            &distilled,
+            &TrainingConfig {
+                epochs: self.config.epochs,
+                batch_size: images.dims()[0].min(8),
+                learning_rate: self.config.learning_rate,
+                momentum: 0.9,
+            },
+        )
+        .map_err(to_attack_error)?;
+        Ok(substitute)
+    }
+}
+
+fn to_attack_error(e: pelta_nn::NnError) -> AttackError {
+    AttackError::Oracle(pelta_core::PeltaError::from(e))
+}
+
+impl EvasionAttack for SubstituteTransfer {
+    fn name(&self) -> &'static str {
+        "SubstituteTransfer"
+    }
+
+    fn run(
+        &self,
+        oracle: &dyn GradientOracle,
+        images: &Tensor,
+        labels: &[usize],
+        rng: &mut ChaCha8Rng,
+    ) -> Result<Tensor> {
+        let substitute = self.train_substitute(oracle, images, rng)?;
+        let surrogate = ClearWhiteBox::new(Arc::new(substitute) as Arc<dyn ImageModel>);
+        let inner = Pgd::new(
+            self.config.epsilon,
+            self.config.epsilon_step,
+            self.config.attack_steps,
+        )?;
+        inner.run(&surrogate, images, labels, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::outcome_from_samples;
+    use pelta_core::ShieldedWhiteBox;
+    use pelta_models::predict;
+    use pelta_tensor::SeedStream;
+    use rand::SeedableRng;
+
+    fn victim(seed: u64) -> Arc<dyn ImageModel> {
+        let mut seeds = SeedStream::new(seed);
+        Arc::new(
+            VisionTransformer::new(ViTConfig::vit_b16_scaled(8, 3, 4), &mut seeds.derive("init"))
+                .unwrap(),
+        )
+    }
+
+    fn quick_config() -> SubstituteConfig {
+        SubstituteConfig {
+            dim: 8,
+            depth: 1,
+            epochs: 2,
+            learning_rate: 0.02,
+            epsilon: 0.1,
+            epsilon_step: 0.05,
+            attack_steps: 2,
+        }
+    }
+
+    #[test]
+    fn constructor_validates_budgets() {
+        let bad_eps = SubstituteConfig {
+            epsilon: 0.0,
+            ..quick_config()
+        };
+        assert!(SubstituteTransfer::new(bad_eps).is_err());
+        let bad_dim = SubstituteConfig {
+            dim: 0,
+            ..quick_config()
+        };
+        assert!(SubstituteTransfer::new(bad_dim).is_err());
+        let bad_lr = SubstituteConfig {
+            learning_rate: 0.0,
+            ..quick_config()
+        };
+        assert!(SubstituteTransfer::new(bad_lr).is_err());
+        let ok = SubstituteTransfer::new(quick_config()).unwrap();
+        assert_eq!(ok.name(), "SubstituteTransfer");
+        assert_eq!(ok.config().attack_steps, 2);
+    }
+
+    #[test]
+    fn substitute_matches_the_victim_geometry_and_classes() {
+        let model = victim(60);
+        let oracle = ShieldedWhiteBox::with_default_enclave(Arc::clone(&model)).unwrap();
+        let mut seeds = SeedStream::new(61);
+        let images = Tensor::rand_uniform(&[6, 3, 8, 8], 0.2, 0.8, &mut seeds.derive("x"));
+        let attack = SubstituteTransfer::new(quick_config()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let substitute = attack.train_substitute(&oracle, &images, &mut rng).unwrap();
+        assert_eq!(substitute.num_classes(), 4);
+        assert_eq!(substitute.input_shape(), [3, 8, 8]);
+    }
+
+    #[test]
+    fn transfer_attack_respects_the_epsilon_ball_against_a_shielded_victim() {
+        let model = victim(62);
+        let mut seeds = SeedStream::new(63);
+        let images = Tensor::rand_uniform(&[4, 3, 8, 8], 0.2, 0.8, &mut seeds.derive("x"));
+        let labels = predict(model.as_ref(), &images).unwrap();
+        let oracle = ShieldedWhiteBox::with_default_enclave(Arc::clone(&model)).unwrap();
+        let attack = SubstituteTransfer::new(quick_config()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let adv = attack.run(&oracle, &images, &labels, &mut rng).unwrap();
+        assert_eq!(adv.dims(), images.dims());
+        assert!(adv.sub(&images).unwrap().linf_norm() <= 0.1 + 1e-5);
+        assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+
+        // The transferred samples are still evaluable on the victim.
+        let outcome =
+            outcome_from_samples(&oracle, attack.name(), &images, &adv, &labels).unwrap();
+        assert_eq!(outcome.samples, 4);
+        assert!((0.0..=1.0).contains(&outcome.robust_accuracy));
+    }
+}

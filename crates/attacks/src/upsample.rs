@@ -1,0 +1,261 @@
+//! The attacker's BPDA-style fallback against a shielded model: upsampling
+//! the last clear adjoint `δ_{L+1}` back to the input shape with a randomly
+//! initialised geometric transformation (§IV-C, §V-B).
+//!
+//! * For CNN defenders the adjoint is a spatial feature map and the fallback
+//!   is a **transposed convolution** with a random-uniform kernel, followed
+//!   by nearest-neighbour resizing to the exact input geometry.
+//! * For ViT defenders the adjoint is a token sequence; the fallback is a
+//!   random **un-embedding** that projects each token gradient back onto its
+//!   patch pixels.
+//!
+//! The paper hypothesises the attacker has no prior on the shielded
+//! parameters, so the kernels here are drawn fresh from the attack's RNG —
+//! exactly the "random-uniform initialized upsampling kernel" of §V-B.
+
+use pelta_tensor::Tensor;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{AttackError, Result};
+
+/// A randomly initialised upsampler from the clear adjoint to the input
+/// space.
+#[derive(Debug, Clone)]
+pub struct AdjointUpsampler {
+    /// Target per-sample input shape `[C, H, W]`.
+    input_dims: [usize; 3],
+    /// Random transposed-convolution kernel, lazily sized on first use for
+    /// spatial adjoints: `[C_adj, C_in, K, K]`.
+    conv_kernel: Option<Tensor>,
+    /// Random un-embedding matrix for token adjoints: `[D, C·P·P]`.
+    unembed: Option<Tensor>,
+    kernel_size: usize,
+}
+
+impl AdjointUpsampler {
+    /// Creates an upsampler for a model with the given per-sample input
+    /// shape.
+    pub fn new(input_dims: [usize; 3]) -> Self {
+        AdjointUpsampler {
+            input_dims,
+            conv_kernel: None,
+            unembed: None,
+            kernel_size: 3,
+        }
+    }
+
+    /// Maps a clear adjoint to an input-shaped pseudo-gradient for a batch of
+    /// `batch` samples.
+    ///
+    /// # Errors
+    /// Returns an error if the adjoint rank is unsupported or its geometry
+    /// cannot be mapped onto the input.
+    pub fn upsample(
+        &mut self,
+        adjoint: &Tensor,
+        batch: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<Tensor> {
+        match adjoint.rank() {
+            4 => self.upsample_spatial(adjoint, rng),
+            3 => self.upsample_tokens(adjoint, batch, rng),
+            other => Err(AttackError::InvalidInput {
+                reason: format!("cannot upsample adjoint of rank {other}"),
+            }),
+        }
+    }
+
+    /// Spatial adjoint `[N, C_adj, H_adj, W_adj]` → `[N, C, H, W]` via a
+    /// random transposed convolution and nearest-neighbour resize.
+    fn upsample_spatial(&mut self, adjoint: &Tensor, rng: &mut ChaCha8Rng) -> Result<Tensor> {
+        let [c, h, w] = self.input_dims;
+        let (n, c_adj, h_adj, _w_adj) = (
+            adjoint.dims()[0],
+            adjoint.dims()[1],
+            adjoint.dims()[2],
+            adjoint.dims()[3],
+        );
+        let stride = (h / h_adj.max(1)).max(1);
+        let kernel = match &self.conv_kernel {
+            Some(k) if k.dims()[0] == c_adj => k.clone(),
+            _ => {
+                let k = Tensor::rand_uniform(
+                    &[c_adj, c, self.kernel_size, self.kernel_size],
+                    -1.0,
+                    1.0,
+                    rng,
+                );
+                self.conv_kernel = Some(k.clone());
+                k
+            }
+        };
+        let upsampled = adjoint.conv_transpose2d(&kernel, stride)?;
+        let resized = resize_nearest(&upsampled, h, w)?;
+        debug_assert_eq!(resized.dims(), &[n, c, h, w]);
+        Ok(resized)
+    }
+
+    /// Token adjoint `[N, T(+1), D]` → `[N, C, H, W]` via a random
+    /// un-embedding of each patch token.
+    fn upsample_tokens(
+        &mut self,
+        adjoint: &Tensor,
+        batch: usize,
+        rng: &mut ChaCha8Rng,
+    ) -> Result<Tensor> {
+        let [c, h, w] = self.input_dims;
+        let (n, mut tokens, d) = (adjoint.dims()[0], adjoint.dims()[1], adjoint.dims()[2]);
+        if n != batch {
+            return Err(AttackError::InvalidInput {
+                reason: format!("adjoint batch {n} does not match probe batch {batch}"),
+            });
+        }
+        // Drop the class token if present (token count = patches + 1).
+        let mut body = adjoint.clone();
+        let side_with_cls = ((tokens - 1) as f64).sqrt().round() as usize;
+        if side_with_cls * side_with_cls == tokens - 1 {
+            body = adjoint.narrow(1, 1, tokens - 1)?;
+            tokens -= 1;
+        }
+        let side = (tokens as f64).sqrt().round() as usize;
+        if side * side != tokens || h % side != 0 || w % side != 0 {
+            return Err(AttackError::InvalidInput {
+                reason: format!("cannot map {tokens} tokens onto a {h}x{w} image"),
+            });
+        }
+        let patch = h / side;
+        let patch_dim = c * patch * patch;
+        let unembed = match &self.unembed {
+            Some(m) if m.dims() == [d, patch_dim] => m.clone(),
+            _ => {
+                let m = Tensor::rand_uniform(&[d, patch_dim], -1.0, 1.0, rng);
+                self.unembed = Some(m.clone());
+                m
+            }
+        };
+        // [N·T, D] × [D, patch_dim] → per-token pixel gradients.
+        let flat = body.reshape(&[n * tokens, d])?;
+        let pixels = flat.matmul(&unembed)?;
+        // Reassemble patches into the image layout.
+        let mut out = Tensor::zeros(&[n, c, h, w]);
+        for ni in 0..n {
+            for ty in 0..side {
+                for tx in 0..side {
+                    let token = ty * side + tx;
+                    for ci in 0..c {
+                        for py in 0..patch {
+                            for px in 0..patch {
+                                let feat = (ci * patch + py) * patch + px;
+                                let value = pixels.data()[(ni * tokens + token) * patch_dim + feat];
+                                let y = ty * patch + py;
+                                let x = tx * patch + px;
+                                out.data_mut()[((ni * c + ci) * h + y) * w + x] = value;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Nearest-neighbour resize of a `[N, C, H, W]` tensor to `[N, C, h, w]`.
+fn resize_nearest(t: &Tensor, h: usize, w: usize) -> Result<Tensor> {
+    let (n, c, src_h, src_w) = (t.dims()[0], t.dims()[1], t.dims()[2], t.dims()[3]);
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    for ni in 0..n {
+        for ci in 0..c {
+            for y in 0..h {
+                let sy = (y * src_h) / h;
+                for x in 0..w {
+                    let sx = (x * src_w) / w;
+                    out.data_mut()[((ni * c + ci) * h + y) * w + x] =
+                        t.data()[((ni * c + ci) * src_h + sy) * src_w + sx];
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spatial_adjoint_maps_to_input_shape() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut up = AdjointUpsampler::new([3, 16, 16]);
+        // Adjoint from a stride-1 stem: same spatial size, 8 channels.
+        let adjoint = Tensor::rand_uniform(&[2, 8, 16, 16], -1.0, 1.0, &mut rng);
+        let g = up.upsample(&adjoint, 2, &mut rng).unwrap();
+        assert_eq!(g.dims(), &[2, 3, 16, 16]);
+        assert!(g.linf_norm() > 0.0);
+    }
+
+    #[test]
+    fn downsampled_spatial_adjoint_is_stretched_back() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut up = AdjointUpsampler::new([3, 16, 16]);
+        let adjoint = Tensor::rand_uniform(&[1, 4, 8, 8], -1.0, 1.0, &mut rng);
+        let g = up.upsample(&adjoint, 1, &mut rng).unwrap();
+        assert_eq!(g.dims(), &[1, 3, 16, 16]);
+    }
+
+    #[test]
+    fn padded_adjoint_larger_than_input_is_resized() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut up = AdjointUpsampler::new([3, 16, 16]);
+        // BiT frontier child adjoint: padded spatial dims (18x18).
+        let adjoint = Tensor::rand_uniform(&[1, 4, 18, 18], -1.0, 1.0, &mut rng);
+        let g = up.upsample(&adjoint, 1, &mut rng).unwrap();
+        assert_eq!(g.dims(), &[1, 3, 16, 16]);
+    }
+
+    #[test]
+    fn token_adjoint_with_class_token_maps_to_pixels() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut up = AdjointUpsampler::new([3, 8, 8]);
+        // 4 patch tokens (+1 class token) of dimension 16 from an 8x8 image
+        // with patch 4.
+        let adjoint = Tensor::rand_uniform(&[2, 5, 16], -1.0, 1.0, &mut rng);
+        let g = up.upsample(&adjoint, 2, &mut rng).unwrap();
+        assert_eq!(g.dims(), &[2, 3, 8, 8]);
+        assert!(g.linf_norm() > 0.0);
+    }
+
+    #[test]
+    fn upsampler_is_deterministic_given_rng_and_reuses_kernels() {
+        let mut rng1 = ChaCha8Rng::seed_from_u64(5);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(5);
+        let adjoint = Tensor::rand_uniform(&[1, 4, 8, 8], -1.0, 1.0, &mut ChaCha8Rng::seed_from_u64(6));
+        let mut up1 = AdjointUpsampler::new([3, 16, 16]);
+        let mut up2 = AdjointUpsampler::new([3, 16, 16]);
+        let a = up1.upsample(&adjoint, 1, &mut rng1).unwrap();
+        let b = up2.upsample(&adjoint, 1, &mut rng2).unwrap();
+        assert_eq!(a, b);
+        // Second call reuses the same kernel, so an identical adjoint yields
+        // an identical pseudo-gradient regardless of RNG state drift.
+        let c = up1.upsample(&adjoint, 1, &mut rng1).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn invalid_ranks_and_geometry_are_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut up = AdjointUpsampler::new([3, 8, 8]);
+        assert!(up
+            .upsample(&Tensor::zeros(&[2, 4]), 2, &mut rng)
+            .is_err());
+        // 7 tokens cannot tile an 8x8 image.
+        assert!(up
+            .upsample(&Tensor::zeros(&[1, 7, 16]), 1, &mut rng)
+            .is_err());
+        // Batch mismatch.
+        assert!(up
+            .upsample(&Tensor::zeros(&[2, 5, 16]), 1, &mut rng)
+            .is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Error type for graph construction and differentiation.
+
+use pelta_tensor::TensorError;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Error returned by graph construction and backward propagation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AutodiffError {
+    /// A tensor-level operation failed (shape mismatch, bad geometry, …).
+    Tensor(TensorError),
+    /// A node id does not belong to the graph.
+    UnknownNode {
+        /// The offending node id.
+        id: NodeId,
+    },
+    /// A tag was not found in the graph.
+    UnknownTag {
+        /// The tag that was looked up.
+        tag: String,
+    },
+    /// The same tag was registered twice in one graph.
+    DuplicateTag {
+        /// The duplicated tag.
+        tag: String,
+    },
+    /// Backward was requested from a node that is not a scalar.
+    NonScalarLoss {
+        /// The node used as the loss root.
+        id: NodeId,
+        /// Its (non-scalar) shape.
+        shape: Vec<usize>,
+    },
+    /// Backward pass produced no gradient for a requested node (the node does
+    /// not influence the loss).
+    NoGradient {
+        /// The node whose gradient was requested.
+        id: NodeId,
+    },
+    /// An op was applied to an unexpected number of class labels or another
+    /// invalid argument.
+    InvalidArgument {
+        /// Operation name.
+        op: &'static str,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AutodiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutodiffError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AutodiffError::UnknownNode { id } => write!(f, "unknown node id {}", id.index()),
+            AutodiffError::UnknownTag { tag } => write!(f, "unknown tag '{tag}'"),
+            AutodiffError::DuplicateTag { tag } => write!(f, "duplicate tag '{tag}'"),
+            AutodiffError::NonScalarLoss { id, shape } => write!(
+                f,
+                "backward root node {} has shape {:?}, expected a scalar",
+                id.index(),
+                shape
+            ),
+            AutodiffError::NoGradient { id } => {
+                write!(f, "node {} has no gradient (it does not influence the loss)", id.index())
+            }
+            AutodiffError::InvalidArgument { op, reason } => {
+                write!(f, "{op}: invalid argument: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AutodiffError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AutodiffError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for AutodiffError {
+    fn from(e: TensorError) -> Self {
+        AutodiffError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tensor_error_converts() {
+        let te = TensorError::EmptyTensor { op: "sum" };
+        let ae: AutodiffError = te.clone().into();
+        assert_eq!(ae, AutodiffError::Tensor(te));
+    }
+
+    #[test]
+    fn display_includes_node_index() {
+        let e = AutodiffError::UnknownNode { id: NodeId::new(5) };
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn source_links_tensor_error() {
+        use std::error::Error;
+        let e = AutodiffError::Tensor(TensorError::EmptyTensor { op: "mean" });
+        assert!(e.source().is_some());
+        assert!(AutodiffError::UnknownTag { tag: "t".into() }.source().is_none());
+    }
+}

@@ -1,0 +1,403 @@
+//! The computational-graph tape.
+
+use std::collections::HashMap;
+
+use pelta_tensor::Tensor;
+
+use crate::node::{BackwardFn, Node, NodeId, NodeRole};
+use crate::{AutodiffError, Result};
+
+/// A computational graph recorded during one forward pass.
+///
+/// The graph is the object the Pelta defence (Alg. 1) operates on: leaf nodes
+/// are the inputs and parameters of the model, interior nodes are the
+/// differentiable transformations, and edges are parent links. Nodes can be
+/// tagged so that `pelta-core` can select the shielding frontier ("everything
+/// up to the position-embedding addition") and attacks can locate quantities
+/// such as per-block attention maps.
+pub struct Graph {
+    nodes: Vec<Node>,
+    tags: HashMap<String, NodeId>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph {
+            nodes: Vec::new(),
+            tags: HashMap::new(),
+        }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Iterates over all nodes in insertion (topological) order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// Ids of all leaf nodes (inputs, parameters and constants).
+    pub fn leaves(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_leaf())
+            .map(|n| n.id())
+            .collect()
+    }
+
+    /// Ids of all input leaves.
+    pub fn inputs(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.role() == NodeRole::Input)
+            .map(|n| n.id())
+            .collect()
+    }
+
+    /// Ids of all parameter leaves.
+    pub fn parameters(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.role() == NodeRole::Parameter)
+            .map(|n| n.id())
+            .collect()
+    }
+
+    /// Looks up a node.
+    ///
+    /// # Errors
+    /// Returns [`AutodiffError::UnknownNode`] for ids from another graph.
+    pub fn node(&self, id: NodeId) -> Result<&Node> {
+        self.nodes
+            .get(id.index())
+            .ok_or(AutodiffError::UnknownNode { id })
+    }
+
+    /// The forward value of a node.
+    ///
+    /// # Errors
+    /// Returns [`AutodiffError::UnknownNode`] for ids from another graph.
+    pub fn value(&self, id: NodeId) -> Result<&Tensor> {
+        Ok(self.node(id)?.value())
+    }
+
+    /// Looks up a node by tag.
+    ///
+    /// # Errors
+    /// Returns [`AutodiffError::UnknownTag`] if no node carries the tag.
+    pub fn node_by_tag(&self, tag: &str) -> Result<NodeId> {
+        self.tags
+            .get(tag)
+            .copied()
+            .ok_or_else(|| AutodiffError::UnknownTag {
+                tag: tag.to_string(),
+            })
+    }
+
+    /// All `(tag, node id)` pairs, useful for enumerating parameters or
+    /// attention maps matching a prefix.
+    pub fn tags(&self) -> impl Iterator<Item = (&str, NodeId)> {
+        self.tags.iter().map(|(t, id)| (t.as_str(), *id))
+    }
+
+    /// Ids of nodes whose tag starts with `prefix`, sorted by node id.
+    pub fn nodes_with_tag_prefix(&self, prefix: &str) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self
+            .tags
+            .iter()
+            .filter(|(t, _)| t.starts_with(prefix))
+            .map(|(_, id)| *id)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Registers an **input** leaf (the quantity adversarial attacks
+    /// differentiate with respect to).
+    pub fn input(&mut self, value: Tensor, tag: &str) -> NodeId {
+        self.push_tagged(Node::new(
+            NodeId::new(self.nodes.len()),
+            "input",
+            NodeRole::Input,
+            value,
+            vec![],
+            Some(tag.to_string()),
+            None,
+        ))
+    }
+
+    /// Registers a **parameter** leaf.
+    pub fn parameter(&mut self, value: Tensor, tag: &str) -> NodeId {
+        self.push_tagged(Node::new(
+            NodeId::new(self.nodes.len()),
+            "parameter",
+            NodeRole::Parameter,
+            value,
+            vec![],
+            Some(tag.to_string()),
+            None,
+        ))
+    }
+
+    /// Registers a **constant** leaf (no gradient will flow into it).
+    pub fn constant(&mut self, value: Tensor) -> NodeId {
+        self.push(Node::new(
+            NodeId::new(self.nodes.len()),
+            "constant",
+            NodeRole::Constant,
+            value,
+            vec![],
+            None,
+            None,
+        ))
+    }
+
+    /// Attaches a tag to an existing node (e.g. to mark a composite layer's
+    /// output for shield-frontier selection).
+    ///
+    /// # Errors
+    /// Returns [`AutodiffError::DuplicateTag`] if the tag is already used and
+    /// [`AutodiffError::UnknownNode`] if the node does not exist.
+    pub fn set_tag(&mut self, id: NodeId, tag: &str) -> Result<()> {
+        if self.tags.contains_key(tag) {
+            return Err(AutodiffError::DuplicateTag {
+                tag: tag.to_string(),
+            });
+        }
+        self.node(id)?;
+        self.tags.insert(tag.to_string(), id);
+        Ok(())
+    }
+
+    /// Replaces the value of a leaf node (used to rebind inputs between
+    /// attack iterations without rebuilding the whole graph structure).
+    ///
+    /// # Errors
+    /// Returns [`AutodiffError::InvalidArgument`] when called on an interior
+    /// node, and [`AutodiffError::UnknownNode`] for invalid ids.
+    pub fn set_leaf_value(&mut self, id: NodeId, value: Tensor) -> Result<()> {
+        let node = self
+            .nodes
+            .get_mut(id.index())
+            .ok_or(AutodiffError::UnknownNode { id })?;
+        if !node.is_leaf() {
+            return Err(AutodiffError::InvalidArgument {
+                op: "set_leaf_value",
+                reason: format!("node {} is not a leaf", id),
+            });
+        }
+        node.set_value(value);
+        Ok(())
+    }
+
+    /// Core primitive used by the op constructors: appends an interior
+    /// transform node.
+    ///
+    /// # Errors
+    /// Returns [`AutodiffError::UnknownNode`] if any parent id is invalid.
+    pub fn push_op(
+        &mut self,
+        op: &'static str,
+        value: Tensor,
+        parents: Vec<NodeId>,
+        backward: BackwardFn,
+    ) -> Result<NodeId> {
+        for &p in &parents {
+            self.node(p)?;
+        }
+        Ok(self.push(Node::new(
+            NodeId::new(self.nodes.len()),
+            op,
+            NodeRole::Transform,
+            value,
+            parents,
+            None,
+            Some(backward),
+        )))
+    }
+
+    /// All ancestors of `id` (nodes reachable by following parent edges),
+    /// including `id` itself. This is the node set Alg. 1 walks when shielding
+    /// everything between the selected frontier and the input.
+    ///
+    /// # Errors
+    /// Returns [`AutodiffError::UnknownNode`] for invalid ids.
+    pub fn ancestors(&self, id: NodeId) -> Result<Vec<NodeId>> {
+        self.node(id)?;
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack = vec![id];
+        let mut out = Vec::new();
+        while let Some(cur) = stack.pop() {
+            if visited[cur.index()] {
+                continue;
+            }
+            visited[cur.index()] = true;
+            out.push(cur);
+            stack.extend_from_slice(self.nodes[cur.index()].parents());
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Whether `ancestor` is reachable from `descendant` by parent edges.
+    ///
+    /// # Errors
+    /// Returns [`AutodiffError::UnknownNode`] for invalid ids.
+    pub fn is_ancestor(&self, ancestor: NodeId, descendant: NodeId) -> Result<bool> {
+        Ok(self.ancestors(descendant)?.contains(&ancestor))
+    }
+
+    /// Total bytes of the forward values held by the given nodes — used by
+    /// the enclave memory accounting of Table I.
+    ///
+    /// # Errors
+    /// Returns [`AutodiffError::UnknownNode`] for invalid ids.
+    pub fn bytes_of(&self, ids: &[NodeId]) -> Result<usize> {
+        let mut total = 0usize;
+        for &id in ids {
+            total += self.value(id)?.byte_size();
+        }
+        Ok(total)
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = node.id();
+        self.nodes.push(node);
+        id
+    }
+
+    fn push_tagged(&mut self, node: Node) -> NodeId {
+        let id = node.id();
+        if let Some(tag) = node.tag() {
+            // Parameters / inputs registered twice with the same tag keep the
+            // first binding; callers are expected to use unique names. We do
+            // not error here because the tag is also recorded on the node.
+            self.tags.entry(tag.to_string()).or_insert(id);
+        }
+        self.nodes.push(node);
+        id
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Graph with {} nodes:", self.nodes.len())?;
+        for n in &self.nodes {
+            writeln!(
+                f,
+                "  {} {:<12} role={:?} shape={:?} parents={:?} tag={:?}",
+                n.id(),
+                n.op(),
+                n.role(),
+                n.value().dims(),
+                n.parents(),
+                n.tag()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaves_and_roles() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::scalar(1.0), "x");
+        let w = g.parameter(Tensor::scalar(2.0), "w");
+        let c = g.constant(Tensor::scalar(3.0));
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.leaves(), vec![x, w, c]);
+        assert_eq!(g.inputs(), vec![x]);
+        assert_eq!(g.parameters(), vec![w]);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn tag_lookup_and_prefix() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::scalar(1.0), "x");
+        let a = g.parameter(Tensor::scalar(1.0), "block0.attn");
+        let b = g.parameter(Tensor::scalar(1.0), "block1.attn");
+        assert_eq!(g.node_by_tag("x").unwrap(), x);
+        assert!(g.node_by_tag("missing").is_err());
+        assert_eq!(g.nodes_with_tag_prefix("block"), vec![a, b]);
+        assert_eq!(g.tags().count(), 3);
+    }
+
+    #[test]
+    fn set_tag_rejects_duplicates_and_unknown_nodes() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::scalar(1.0), "x");
+        assert!(g.set_tag(x, "alias").is_ok());
+        assert!(g.set_tag(x, "alias").is_err());
+        assert!(g.set_tag(NodeId::new(10), "other").is_err());
+    }
+
+    #[test]
+    fn set_leaf_value_only_on_leaves() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::scalar(1.0), "x");
+        let y = g.relu(x).unwrap();
+        assert!(g.set_leaf_value(x, Tensor::scalar(5.0)).is_ok());
+        assert_eq!(g.value(x).unwrap().item().unwrap(), 5.0);
+        assert!(g.set_leaf_value(y, Tensor::scalar(0.0)).is_err());
+        assert!(g
+            .set_leaf_value(NodeId::new(99), Tensor::scalar(0.0))
+            .is_err());
+    }
+
+    #[test]
+    fn ancestors_walk_parent_edges() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap(), "x");
+        let w = g.parameter(Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap(), "w");
+        let prod = g.mul(x, w).unwrap();
+        let loss = g.sum_all(prod).unwrap();
+        let anc = g.ancestors(loss).unwrap();
+        assert_eq!(anc, vec![x, w, prod, loss]);
+        assert!(g.is_ancestor(x, loss).unwrap());
+        assert!(!g.is_ancestor(loss, x).unwrap());
+        assert!(g.ancestors(NodeId::new(42)).is_err());
+    }
+
+    #[test]
+    fn bytes_of_counts_values() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[2, 2]), "x");
+        let w = g.parameter(Tensor::zeros(&[4]), "w");
+        assert_eq!(g.bytes_of(&[x, w]).unwrap(), 32);
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let g = Graph::new();
+        assert!(g.node(NodeId::new(0)).is_err());
+        assert!(g.value(NodeId::new(0)).is_err());
+    }
+
+    #[test]
+    fn debug_output_lists_nodes() {
+        let mut g = Graph::new();
+        g.input(Tensor::scalar(1.0), "x");
+        let dbg = format!("{g:?}");
+        assert!(dbg.contains("input"));
+        assert!(dbg.contains("1 nodes"));
+    }
+}

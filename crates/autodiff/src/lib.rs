@@ -1,0 +1,66 @@
+//! # pelta-autodiff
+//!
+//! Tape-based reverse-mode automatic differentiation over an **explicit
+//! computational graph**.
+//!
+//! The Pelta paper (§IV-B) defines its shielding algorithm directly on the
+//! computational graph `G = ⟨n, l, E, u1…un, f_{l+1}…f_n⟩` of the model: the
+//! defence walks the graph from a selected frontier towards the input leaves,
+//! moving node values and local Jacobians into the TEE enclave so that the
+//! chain rule of Eq. 1 can no longer be completed by an attacker.
+//!
+//! This crate therefore exposes the graph as a first-class object:
+//!
+//! * [`Graph`] — a tape of [`Node`]s created during a forward pass. Leaf
+//!   nodes are model **inputs** or **parameters**; interior nodes are the
+//!   differentiable transformations `f_i` (convolutions, attention, layer
+//!   normalisation, …).
+//! * Every node records its parent edges, its forward value `u_i`, an
+//!   optional **tag** (used by `pelta-core` to select the shielding frontier
+//!   and by the SAGA attack to locate attention maps) and a backward closure
+//!   computing the vector-Jacobian product of the node.
+//! * [`Graph::backward`] propagates adjoints `dL/du_i` from a scalar loss to
+//!   every node, returning a [`Gradients`] map. Access to individual node
+//!   gradients is what the Pelta shield later restricts.
+//!
+//! # Example
+//!
+//! ```rust
+//! use pelta_autodiff::Graph;
+//! use pelta_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), pelta_autodiff::AutodiffError> {
+//! let mut g = Graph::new();
+//! let x = g.input(Tensor::from_vec(vec![1.0, 2.0], &[2])?, "x");
+//! let w = g.parameter(Tensor::from_vec(vec![3.0, 4.0], &[2])?, "w");
+//! let y = g.mul(x, w)?;
+//! let loss = g.sum_all(y)?;
+//! let grads = g.backward(loss)?;
+//! assert_eq!(grads.get(x).unwrap().data(), &[3.0, 4.0]);
+//! assert_eq!(grads.get(w).unwrap().data(), &[1.0, 2.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod backward;
+mod error;
+mod graph;
+mod node;
+mod ops_basic;
+mod ops_conv;
+mod ops_loss;
+mod ops_matmul;
+mod ops_norm;
+mod ops_shape;
+#[cfg(test)]
+pub(crate) mod test_grad;
+
+pub use backward::Gradients;
+pub use error::AutodiffError;
+pub use graph::Graph;
+pub use node::{BackwardCtx, Node, NodeId, NodeRole};
+
+/// Convenience alias for results returned throughout this crate.
+pub type Result<T> = std::result::Result<T, AutodiffError>;

@@ -1,0 +1,214 @@
+//! Graph nodes: identifiers, roles and the backward-closure contract.
+
+use pelta_tensor::Tensor;
+
+/// Identifier of a node inside a [`crate::Graph`].
+///
+/// Node ids are indices into the graph's tape and are only meaningful for the
+/// graph that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    pub fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// The raw index of the node in the tape.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The role of a node in the computational graph.
+///
+/// The distinction matters for the Pelta shield (Alg. 1): the recursion that
+/// hides local Jacobians only follows parents that are, or lead to, **input**
+/// leaves — gradients flowing into parameters are the concern of inversion
+/// defences (DarkneTZ, PPFL, GradSec), not of Pelta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeRole {
+    /// A model input (the image `x`, i.e. the quantity an evasion attack
+    /// treats as its trainable variable).
+    Input,
+    /// A trainable parameter leaf (weights, biases, embeddings).
+    Parameter,
+    /// A constant leaf (labels, masks, identity matrices…). Constants never
+    /// receive gradients.
+    Constant,
+    /// An interior transformation `f_i` applied to parent nodes.
+    Transform,
+}
+
+impl NodeRole {
+    /// Whether the node is a leaf (has no parents).
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, NodeRole::Input | NodeRole::Parameter | NodeRole::Constant)
+    }
+}
+
+/// Context handed to a node's backward closure.
+///
+/// The closure receives the adjoint of the node's output (`dL/du_i`), the
+/// forward values of its parents `α_i`, and its own forward value `u_i`, and
+/// must return one gradient tensor per parent (the vector–Jacobian products
+/// `(∂f_i/∂u_j)^T · dL/du_i` of Eq. 1).
+pub struct BackwardCtx<'a> {
+    /// Adjoint of this node's output.
+    pub grad_output: &'a Tensor,
+    /// Forward values of the parent nodes, in parent order.
+    pub parent_values: Vec<&'a Tensor>,
+    /// Forward value of this node.
+    pub output_value: &'a Tensor,
+}
+
+/// The vector–Jacobian product of a node: one gradient per parent.
+pub type BackwardFn =
+    Box<dyn Fn(&BackwardCtx<'_>) -> crate::Result<Vec<Tensor>> + Send + Sync>;
+
+/// A single node of the computational graph.
+///
+/// A node corresponds to one vertex `u_i` of the paper's graph
+/// `G = ⟨n, l, E, u1…un, f_{l+1}…f_n⟩`: leaf vertices hold inputs and
+/// parameters, interior vertices hold the output of a differentiable
+/// transformation together with the closure that back-propagates through it.
+pub struct Node {
+    id: NodeId,
+    op: &'static str,
+    role: NodeRole,
+    value: Tensor,
+    parents: Vec<NodeId>,
+    tag: Option<String>,
+    backward: Option<BackwardFn>,
+}
+
+impl Node {
+    /// Creates a node. Interior nodes must provide a backward closure.
+    pub(crate) fn new(
+        id: NodeId,
+        op: &'static str,
+        role: NodeRole,
+        value: Tensor,
+        parents: Vec<NodeId>,
+        tag: Option<String>,
+        backward: Option<BackwardFn>,
+    ) -> Self {
+        Node {
+            id,
+            op,
+            role,
+            value,
+            parents,
+            tag,
+            backward,
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Name of the operation that produced this node (`"conv2d"`, `"input"`…).
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// The node's role (input / parameter / constant / transform).
+    pub fn role(&self) -> NodeRole {
+        self.role
+    }
+
+    /// The forward value `u_i`.
+    pub fn value(&self) -> &Tensor {
+        &self.value
+    }
+
+    /// Replaces the forward value (used when re-binding parameters).
+    pub(crate) fn set_value(&mut self, value: Tensor) {
+        self.value = value;
+    }
+
+    /// Parent node ids, in argument order.
+    pub fn parents(&self) -> &[NodeId] {
+        &self.parents
+    }
+
+    /// Optional tag identifying the node to higher layers (shield frontier
+    /// selection, attention-map lookup, parameter naming).
+    pub fn tag(&self) -> Option<&str> {
+        self.tag.as_deref()
+    }
+
+    /// Whether this node is a leaf of the graph.
+    pub fn is_leaf(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// The backward closure, if the node is differentiable.
+    pub(crate) fn backward_fn(&self) -> Option<&BackwardFn> {
+        self.backward.as_ref()
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.id)
+            .field("op", &self.op)
+            .field("role", &self.role)
+            .field("shape", &self.value.dims())
+            .field("parents", &self.parents)
+            .field("tag", &self.tag)
+            .field("has_backward", &self.backward.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::new(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "n3");
+    }
+
+    #[test]
+    fn roles_classify_leaves() {
+        assert!(NodeRole::Input.is_leaf());
+        assert!(NodeRole::Parameter.is_leaf());
+        assert!(NodeRole::Constant.is_leaf());
+        assert!(!NodeRole::Transform.is_leaf());
+    }
+
+    #[test]
+    fn node_accessors() {
+        let n = Node::new(
+            NodeId::new(0),
+            "input",
+            NodeRole::Input,
+            Tensor::scalar(1.0),
+            vec![],
+            Some("x".to_string()),
+            None,
+        );
+        assert_eq!(n.id().index(), 0);
+        assert_eq!(n.op(), "input");
+        assert_eq!(n.role(), NodeRole::Input);
+        assert_eq!(n.tag(), Some("x"));
+        assert!(n.is_leaf());
+        assert!(n.backward_fn().is_none());
+        let dbg = format!("{n:?}");
+        assert!(dbg.contains("input"));
+    }
+}

@@ -1,0 +1,273 @@
+//! Convolution and pooling graph ops.
+
+use pelta_tensor::{Conv2dSpec, Tensor};
+
+use crate::node::NodeId;
+use crate::{Graph, Result};
+
+impl Graph {
+    /// 2-D convolution of a `[N, C_in, H, W]` node with a `[C_out, C_in, K, K]`
+    /// kernel node.
+    ///
+    /// # Errors
+    /// Returns an error on rank, channel or geometry mismatch.
+    pub fn conv2d(&mut self, x: NodeId, weight: NodeId, spec: Conv2dSpec) -> Result<NodeId> {
+        let value = self.value(x)?.conv2d(self.value(weight)?, spec)?;
+        self.push_op(
+            "conv2d",
+            value,
+            vec![x, weight],
+            Box::new(move |ctx| {
+                let x_val = ctx.parent_values[0];
+                let w_val = ctx.parent_values[1];
+                let gx =
+                    Tensor::conv2d_input_grad(ctx.grad_output, w_val, x_val.dims(), spec)?;
+                let gw =
+                    Tensor::conv2d_weight_grad(x_val, ctx.grad_output, w_val.dims(), spec)?;
+                Ok(vec![gx, gw])
+            }),
+        )
+    }
+
+    /// Adds a per-channel bias `[C]` to a `[N, C, H, W]` feature map.
+    ///
+    /// # Errors
+    /// Returns an error on rank or channel mismatch.
+    pub fn bias_channel(&mut self, x: NodeId, bias: NodeId) -> Result<NodeId> {
+        let x_val = self.value(x)?;
+        let b_val = self.value(bias)?;
+        let c = x_val.dims()[1];
+        let b_reshaped = b_val.reshape(&[1, c, 1, 1])?;
+        let value = x_val.add(&b_reshaped)?;
+        self.push_op(
+            "bias_channel",
+            value,
+            vec![x, bias],
+            Box::new(|ctx| {
+                let gx = ctx.grad_output.clone();
+                // Sum over batch and spatial dims to recover the [C] bias grad.
+                let gb = ctx
+                    .grad_output
+                    .sum_axis(0, false)?
+                    .sum_axis(1, false)?
+                    .sum_axis(1, false)?;
+                Ok(vec![gx, gb])
+            }),
+        )
+    }
+
+    /// 2-D max pooling with square window `k` and stride `k`.
+    ///
+    /// # Errors
+    /// Returns an error on rank or geometry mismatch.
+    pub fn max_pool2d(&mut self, x: NodeId, k: usize) -> Result<NodeId> {
+        let value = self.value(x)?.max_pool2d(k)?;
+        self.push_op(
+            "max_pool2d",
+            value,
+            vec![x],
+            Box::new(move |ctx| {
+                let x_val = ctx.parent_values[0];
+                let (n, c, h, w) = (
+                    x_val.dims()[0],
+                    x_val.dims()[1],
+                    x_val.dims()[2],
+                    x_val.dims()[3],
+                );
+                let (oh, ow) = (h / k, w / k);
+                let mut gx = Tensor::zeros(x_val.dims());
+                for ni in 0..n {
+                    for ci in 0..c {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                // Route the gradient to the argmax location of
+                                // each pooling window.
+                                let mut best = (0usize, 0usize);
+                                let mut best_val = f32::NEG_INFINITY;
+                                for ky in 0..k {
+                                    for kx in 0..k {
+                                        let iy = oy * k + ky;
+                                        let ix = ox * k + kx;
+                                        let v = x_val.data()[((ni * c + ci) * h + iy) * w + ix];
+                                        if v > best_val {
+                                            best_val = v;
+                                            best = (iy, ix);
+                                        }
+                                    }
+                                }
+                                let go =
+                                    ctx.grad_output.data()[((ni * c + ci) * oh + oy) * ow + ox];
+                                let idx = ((ni * c + ci) * h + best.0) * w + best.1;
+                                gx.data_mut()[idx] += go;
+                            }
+                        }
+                    }
+                }
+                Ok(vec![gx])
+            }),
+        )
+    }
+
+    /// Global average pooling `[N, C, H, W] → [N, C]`.
+    ///
+    /// # Errors
+    /// Returns an error for non-rank-4 parents.
+    pub fn global_avg_pool2d(&mut self, x: NodeId) -> Result<NodeId> {
+        let value = self.value(x)?.global_avg_pool2d()?;
+        self.push_op(
+            "global_avg_pool2d",
+            value,
+            vec![x],
+            Box::new(|ctx| {
+                let x_val = ctx.parent_values[0];
+                let (n, c, h, w) = (
+                    x_val.dims()[0],
+                    x_val.dims()[1],
+                    x_val.dims()[2],
+                    x_val.dims()[3],
+                );
+                let area = (h * w) as f32;
+                let mut gx = Tensor::zeros(x_val.dims());
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let g = ctx.grad_output.data()[ni * c + ci] / area;
+                        let base = (ni * c + ci) * h * w;
+                        for i in 0..h * w {
+                            gx.data_mut()[base + i] = g;
+                        }
+                    }
+                }
+                Ok(vec![gx])
+            }),
+        )
+    }
+
+    /// Spatial zero padding of a `[N, C, H, W]` node.
+    ///
+    /// # Errors
+    /// Returns an error for non-rank-4 parents.
+    pub fn pad2d(&mut self, x: NodeId, pad: usize) -> Result<NodeId> {
+        let value = self.value(x)?.pad2d(pad, pad)?;
+        self.push_op(
+            "pad2d",
+            value,
+            vec![x],
+            Box::new(move |ctx| Ok(vec![ctx.grad_output.unpad2d(pad, pad)?])),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_grad::{check_input_gradient, check_parameter_gradient};
+    use pelta_tensor::{SeedStream, Tensor};
+
+    #[test]
+    fn conv2d_input_and_weight_gradients_numerically() {
+        let mut seeds = SeedStream::new(300);
+        let mut rng = seeds.derive("conv");
+        let x = Tensor::rand_uniform(&[1, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[3, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let spec = Conv2dSpec::new(1, 1);
+        let w1 = w.clone();
+        check_input_gradient(&x, 5e-2, |g, xid| {
+            let wid = g.parameter(w1.clone(), "w");
+            let y = g.conv2d(xid, wid, spec)?;
+            g.sum_all(y)
+        });
+        let x2 = x.clone();
+        check_parameter_gradient(&w, "w", 5e-2, move |g, w_current| {
+            let xid = g.input(x2.clone(), "x");
+            let wid = g.parameter(w_current.clone(), "w");
+            let y = g.conv2d(xid, wid, spec)?;
+            g.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn strided_conv_gradient_numerically() {
+        let mut seeds = SeedStream::new(301);
+        let mut rng = seeds.derive("strided");
+        let x = Tensor::rand_uniform(&[1, 1, 6, 6], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[2, 1, 3, 3], -1.0, 1.0, &mut rng);
+        let spec = Conv2dSpec::new(2, 1);
+        check_input_gradient(&x, 5e-2, |g, xid| {
+            let wid = g.parameter(w.clone(), "w");
+            let y = g.conv2d(xid, wid, spec)?;
+            g.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn bias_channel_gradients() {
+        let mut seeds = SeedStream::new(302);
+        let mut rng = seeds.derive("bias");
+        let x = Tensor::rand_uniform(&[2, 3, 4, 4], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[3], -1.0, 1.0, &mut rng);
+        let b1 = b.clone();
+        check_input_gradient(&x, 5e-2, |g, xid| {
+            let bid = g.parameter(b1.clone(), "b");
+            let y = g.bias_channel(xid, bid)?;
+            g.sum_all(y)
+        });
+        let x2 = x.clone();
+        check_parameter_gradient(&b, "b", 5e-2, move |g, b_current| {
+            let xid = g.input(x2.clone(), "x");
+            let bid = g.parameter(b_current.clone(), "b");
+            let y = g.bias_channel(xid, bid)?;
+            g.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn max_pool_routes_gradient_to_argmax() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let mut g = Graph::new();
+        let xid = g.input(x, "x");
+        let y = g.max_pool2d(xid, 2).unwrap();
+        let loss = g.sum_all(y).unwrap();
+        let grads = g.backward(loss).unwrap();
+        let gx = grads.get(xid).unwrap();
+        // Only the four window maxima (6, 8, 14, 16) receive gradient.
+        let nonzero: Vec<usize> = gx
+            .data()
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(nonzero, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn global_avg_pool_gradient_is_uniform() {
+        let mut g = Graph::new();
+        let xid = g.input(Tensor::ones(&[1, 2, 2, 2]), "x");
+        let y = g.global_avg_pool2d(xid).unwrap();
+        let loss = g.sum_all(y).unwrap();
+        let grads = g.backward(loss).unwrap();
+        assert!(grads
+            .get(xid)
+            .unwrap()
+            .data()
+            .iter()
+            .all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn pad2d_gradient_numerically() {
+        let mut seeds = SeedStream::new(303);
+        let mut rng = seeds.derive("pad");
+        let x = Tensor::rand_uniform(&[1, 1, 3, 3], -1.0, 1.0, &mut rng);
+        check_input_gradient(&x, 5e-2, |g, xid| {
+            let y = g.pad2d(xid, 2)?;
+            let sq = g.mul(y, y)?;
+            g.sum_all(sq)
+        });
+    }
+}

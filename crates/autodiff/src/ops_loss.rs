@@ -1,0 +1,256 @@
+//! Loss functions as graph ops: cross-entropy (used for training and by the
+//! FGSM/PGD/MIM/APGD/SAGA attacks) and the Carlini & Wagner margin loss.
+
+use pelta_tensor::Tensor;
+
+use crate::node::NodeId;
+use crate::{AutodiffError, Graph, Result};
+
+impl Graph {
+    /// Mean cross-entropy between a batch of logits `[N, K]` and integer
+    /// class labels.
+    ///
+    /// # Errors
+    /// Returns an error if the logits are not rank 2, the label count does
+    /// not match the batch size, or any label is out of range.
+    pub fn cross_entropy(&mut self, logits: NodeId, labels: &[usize]) -> Result<NodeId> {
+        let logits_val = self.value(logits)?;
+        validate_labels(logits_val, labels)?;
+        let (n, k) = (logits_val.dims()[0], logits_val.dims()[1]);
+        let log_probs = logits_val.log_softmax_last_axis()?;
+        let mut loss = 0.0f32;
+        for (row, &label) in labels.iter().enumerate() {
+            loss -= log_probs.data()[row * k + label];
+        }
+        let value = Tensor::scalar(loss / n as f32);
+        let labels_owned = labels.to_vec();
+        self.push_op(
+            "cross_entropy",
+            value,
+            vec![logits],
+            Box::new(move |ctx| {
+                let logits_val = ctx.parent_values[0];
+                let (n, k) = (logits_val.dims()[0], logits_val.dims()[1]);
+                let softmax = logits_val.softmax_last_axis()?;
+                let mut grad = softmax.clone();
+                for (row, &label) in labels_owned.iter().enumerate() {
+                    grad.data_mut()[row * k + label] -= 1.0;
+                }
+                let scale = ctx.grad_output.item().unwrap_or(1.0) / n as f32;
+                Ok(vec![grad.mul_scalar(scale)])
+            }),
+        )
+    }
+
+    /// The Carlini & Wagner margin objective
+    /// `mean_i max(z_{y_i} − max_{j≠y_i} z_j, −κ)`, where `z` are logits and
+    /// `κ` is the confidence margin. Minimising this drives the true-class
+    /// logit below the best wrong-class logit by at least `κ`.
+    ///
+    /// # Errors
+    /// Returns an error if the logits are not rank 2, the label count does
+    /// not match the batch size, or any label is out of range.
+    pub fn cw_margin_loss(
+        &mut self,
+        logits: NodeId,
+        labels: &[usize],
+        confidence: f32,
+    ) -> Result<NodeId> {
+        let logits_val = self.value(logits)?;
+        validate_labels(logits_val, labels)?;
+        let (n, k) = (logits_val.dims()[0], logits_val.dims()[1]);
+        let mut loss = 0.0f32;
+        for (row, &label) in labels.iter().enumerate() {
+            let z = &logits_val.data()[row * k..(row + 1) * k];
+            let (best_other, _) = best_wrong_class(z, label);
+            loss += (z[label] - best_other).max(-confidence);
+        }
+        let value = Tensor::scalar(loss / n as f32);
+        let labels_owned = labels.to_vec();
+        self.push_op(
+            "cw_margin_loss",
+            value,
+            vec![logits],
+            Box::new(move |ctx| {
+                let logits_val = ctx.parent_values[0];
+                let (n, k) = (logits_val.dims()[0], logits_val.dims()[1]);
+                let mut grad = Tensor::zeros(logits_val.dims());
+                for (row, &label) in labels_owned.iter().enumerate() {
+                    let z = &logits_val.data()[row * k..(row + 1) * k];
+                    let (best_other, best_idx) = best_wrong_class(z, label);
+                    // Sub-gradient: zero once the margin is saturated at −κ.
+                    if z[label] - best_other > -confidence {
+                        grad.data_mut()[row * k + label] = 1.0;
+                        grad.data_mut()[row * k + best_idx] = -1.0;
+                    }
+                }
+                let scale = ctx.grad_output.item().unwrap_or(1.0) / n as f32;
+                Ok(vec![grad.mul_scalar(scale)])
+            }),
+        )
+    }
+
+    /// Mean squared error between a node and a constant target of the same
+    /// shape (used by the BPDA substitute-network training in the attacks
+    /// crate).
+    ///
+    /// # Errors
+    /// Returns an error if the shapes differ.
+    pub fn mse_loss(&mut self, x: NodeId, target: &Tensor) -> Result<NodeId> {
+        let x_val = self.value(x)?;
+        if x_val.dims() != target.dims() {
+            return Err(AutodiffError::InvalidArgument {
+                op: "mse_loss",
+                reason: format!(
+                    "prediction shape {:?} differs from target shape {:?}",
+                    x_val.dims(),
+                    target.dims()
+                ),
+            });
+        }
+        let diff = x_val.sub(target)?;
+        let value = Tensor::scalar(diff.square().mean()?);
+        let target_owned = target.clone();
+        self.push_op(
+            "mse_loss",
+            value,
+            vec![x],
+            Box::new(move |ctx| {
+                let x_val = ctx.parent_values[0];
+                let n = x_val.numel() as f32;
+                let scale = 2.0 * ctx.grad_output.item().unwrap_or(1.0) / n;
+                Ok(vec![x_val.sub(&target_owned)?.mul_scalar(scale)])
+            }),
+        )
+    }
+}
+
+fn validate_labels(logits: &Tensor, labels: &[usize]) -> Result<()> {
+    if logits.rank() != 2 {
+        return Err(AutodiffError::InvalidArgument {
+            op: "loss",
+            reason: format!("expected rank-2 logits, got rank {}", logits.rank()),
+        });
+    }
+    let (n, k) = (logits.dims()[0], logits.dims()[1]);
+    if labels.len() != n {
+        return Err(AutodiffError::InvalidArgument {
+            op: "loss",
+            reason: format!("{} labels for a batch of {n}", labels.len()),
+        });
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= k) {
+        return Err(AutodiffError::InvalidArgument {
+            op: "loss",
+            reason: format!("label {bad} out of range for {k} classes"),
+        });
+    }
+    Ok(())
+}
+
+/// Returns `(value, index)` of the largest logit excluding `label`.
+fn best_wrong_class(logits: &[f32], label: usize) -> (f32, usize) {
+    let mut best = f32::NEG_INFINITY;
+    let mut best_idx = 0usize;
+    for (i, &z) in logits.iter().enumerate() {
+        if i != label && z > best {
+            best = z;
+            best_idx = i;
+        }
+    }
+    (best, best_idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_grad::check_input_gradient;
+    use pelta_tensor::{SeedStream, Tensor};
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let mut g = Graph::new();
+        let logits = g.input(
+            Tensor::from_vec(vec![10.0, -10.0, -10.0, -10.0, 10.0, -10.0], &[2, 3]).unwrap(),
+            "logits",
+        );
+        let loss = g.cross_entropy(logits, &[0, 1]).unwrap();
+        assert!(g.value(loss).unwrap().item().unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_numerically() {
+        let mut seeds = SeedStream::new(600);
+        let mut rng = seeds.derive("ce");
+        let logits = Tensor::rand_uniform(&[3, 5], -2.0, 2.0, &mut rng);
+        check_input_gradient(&logits, 5e-2, |g, xid| g.cross_entropy(xid, &[0, 3, 2]));
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_softmax_minus_onehot() {
+        let mut g = Graph::new();
+        let raw = Tensor::from_vec(vec![1.0, 2.0, 0.5], &[1, 3]).unwrap();
+        let logits = g.input(raw.clone(), "logits");
+        let loss = g.cross_entropy(logits, &[1]).unwrap();
+        let grads = g.backward(loss).unwrap();
+        let softmax = raw.softmax_last_axis().unwrap();
+        let grad = grads.get(logits).unwrap();
+        assert!((grad.data()[0] - softmax.data()[0]).abs() < 1e-5);
+        assert!((grad.data()[1] - (softmax.data()[1] - 1.0)).abs() < 1e-5);
+        assert!((grad.data()[2] - softmax.data()[2]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_validates_inputs() {
+        let mut g = Graph::new();
+        let logits = g.input(Tensor::zeros(&[2, 3]), "logits");
+        assert!(g.cross_entropy(logits, &[0]).is_err()); // wrong batch size
+        assert!(g.cross_entropy(logits, &[0, 3]).is_err()); // label out of range
+        let flat = g.input(Tensor::zeros(&[6]), "flat");
+        assert!(g.cross_entropy(flat, &[0]).is_err()); // wrong rank
+    }
+
+    #[test]
+    fn cw_margin_loss_value_and_saturation() {
+        let mut g = Graph::new();
+        // Correct class well above the others: margin = 5 - 1 = 4.
+        let logits = g.input(Tensor::from_vec(vec![5.0, 1.0, 0.0], &[1, 3]).unwrap(), "l");
+        let loss = g.cw_margin_loss(logits, &[0], 50.0).unwrap();
+        assert!((g.value(loss).unwrap().item().unwrap() - 4.0).abs() < 1e-5);
+        // With the margin saturated at -κ the loss clamps and the gradient
+        // vanishes.
+        let mut g2 = Graph::new();
+        let logits2 = g2.input(
+            Tensor::from_vec(vec![-100.0, 100.0, 0.0], &[1, 3]).unwrap(),
+            "l",
+        );
+        let loss2 = g2.cw_margin_loss(logits2, &[0], 50.0).unwrap();
+        assert!((g2.value(loss2).unwrap().item().unwrap() + 50.0).abs() < 1e-4);
+        let grads = g2.backward(loss2).unwrap();
+        assert!(grads.get(logits2).unwrap().data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn cw_margin_gradient_numerically() {
+        let mut seeds = SeedStream::new(601);
+        let mut rng = seeds.derive("cw");
+        let logits = Tensor::rand_uniform(&[2, 4], -1.0, 1.0, &mut rng);
+        check_input_gradient(&logits, 6e-2, |g, xid| g.cw_margin_loss(xid, &[1, 2], 50.0));
+    }
+
+    #[test]
+    fn mse_loss_value_and_gradient() {
+        let mut seeds = SeedStream::new(602);
+        let mut rng = seeds.derive("mse");
+        let x = Tensor::rand_uniform(&[2, 3], -1.0, 1.0, &mut rng);
+        let target = Tensor::rand_uniform(&[2, 3], -1.0, 1.0, &mut rng);
+        let t1 = target.clone();
+        check_input_gradient(&x, 5e-2, move |g, xid| g.mse_loss(xid, &t1));
+
+        let mut g = Graph::new();
+        let xid = g.input(Tensor::zeros(&[2, 2]), "x");
+        let loss = g.mse_loss(xid, &Tensor::ones(&[2, 2])).unwrap();
+        assert!((g.value(loss).unwrap().item().unwrap() - 1.0).abs() < 1e-6);
+        assert!(g.mse_loss(xid, &Tensor::ones(&[3])).is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! Matrix-product graph ops: `matmul`, batched `matmul` and the fused
+//! `linear` layer primitive.
+
+use crate::node::NodeId;
+use crate::{Graph, Result};
+
+impl Graph {
+    /// Matrix product of two rank-2 nodes: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// # Errors
+    /// Returns an error on rank or inner-dimension mismatch.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
+        let value = self.value(a)?.matmul(self.value(b)?)?;
+        self.push_op(
+            "matmul",
+            value,
+            vec![a, b],
+            Box::new(|ctx| {
+                let a_val = ctx.parent_values[0];
+                let b_val = ctx.parent_values[1];
+                let g = ctx.grad_output;
+                // dL/dA = G Bᵀ ; dL/dB = Aᵀ G.
+                let ga = g.matmul(&b_val.transpose()?)?;
+                let gb = a_val.transpose()?.matmul(g)?;
+                Ok(vec![ga, gb])
+            }),
+        )
+    }
+
+    /// Batched matrix product of rank-3 nodes:
+    /// `[b, m, k] × [b, k, n] → [b, m, n]`.
+    ///
+    /// # Errors
+    /// Returns an error on rank, batch or inner-dimension mismatch.
+    pub fn batch_matmul(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
+        let value = self.value(a)?.batch_matmul(self.value(b)?)?;
+        self.push_op(
+            "batch_matmul",
+            value,
+            vec![a, b],
+            Box::new(|ctx| {
+                let a_val = ctx.parent_values[0];
+                let b_val = ctx.parent_values[1];
+                let g = ctx.grad_output;
+                let bt = b_val.permute(&[0, 2, 1])?;
+                let at = a_val.permute(&[0, 2, 1])?;
+                let ga = g.batch_matmul(&bt)?;
+                let gb = at.batch_matmul(g)?;
+                Ok(vec![ga, gb])
+            }),
+        )
+    }
+
+    /// Fused affine transform `x · Wᵀ + b` for a batch of row vectors.
+    ///
+    /// `x` has shape `[batch, in]`, `weight` has shape `[out, in]` (stored in
+    /// the usual fully-connected layout) and `bias` shape `[out]`.
+    ///
+    /// # Errors
+    /// Returns an error on shape mismatch.
+    pub fn linear(&mut self, x: NodeId, weight: NodeId, bias: NodeId) -> Result<NodeId> {
+        let wt = self.value(weight)?.transpose()?;
+        let xw = self.value(x)?.matmul(&wt)?;
+        let value = xw.add(self.value(bias)?)?;
+        self.push_op(
+            "linear",
+            value,
+            vec![x, weight, bias],
+            Box::new(|ctx| {
+                let x_val = ctx.parent_values[0];
+                let w_val = ctx.parent_values[1];
+                let b_val = ctx.parent_values[2];
+                let g = ctx.grad_output;
+                // y = x Wᵀ + b  ⇒  dL/dx = G W, dL/dW = Gᵀ x, dL/db = Σ_rows G.
+                let gx = g.matmul(w_val)?;
+                let gw = g.transpose()?.matmul(x_val)?;
+                let gb = g.reduce_to_shape(b_val.dims())?;
+                Ok(vec![gx, gw, gb])
+            }),
+        )
+    }
+
+    /// Fused affine transform for a batch of token sequences:
+    /// `[batch, tokens, in] · Wᵀ + b → [batch, tokens, out]`.
+    ///
+    /// # Errors
+    /// Returns an error on shape mismatch.
+    pub fn linear_3d(&mut self, x: NodeId, weight: NodeId, bias: NodeId) -> Result<NodeId> {
+        let x_val = self.value(x)?;
+        let (b, t, d_in) = (x_val.dims()[0], x_val.dims()[1], x_val.dims()[2]);
+        let w_val = self.value(weight)?;
+        let d_out = w_val.dims()[0];
+        let flat = x_val.reshape(&[b * t, d_in])?;
+        let value = flat
+            .matmul(&w_val.transpose()?)?
+            .add(self.value(bias)?)?
+            .reshape(&[b, t, d_out])?;
+        self.push_op(
+            "linear_3d",
+            value,
+            vec![x, weight, bias],
+            Box::new(move |ctx| {
+                let x_val = ctx.parent_values[0];
+                let w_val = ctx.parent_values[1];
+                let b_val = ctx.parent_values[2];
+                let (bb, tt, din) = (x_val.dims()[0], x_val.dims()[1], x_val.dims()[2]);
+                let dout = w_val.dims()[0];
+                let g = ctx.grad_output.reshape(&[bb * tt, dout])?;
+                let x_flat = x_val.reshape(&[bb * tt, din])?;
+                let gx = g.matmul(w_val)?.reshape(&[bb, tt, din])?;
+                let gw = g.transpose()?.matmul(&x_flat)?;
+                let gb = g.reduce_to_shape(b_val.dims())?;
+                Ok(vec![gx, gw, gb])
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_grad::{check_input_gradient, check_parameter_gradient};
+    use pelta_tensor::{SeedStream, Tensor};
+
+    #[test]
+    fn matmul_gradients_numerically() {
+        let mut seeds = SeedStream::new(200);
+        let mut rng = seeds.derive("matmul");
+        let x = Tensor::rand_uniform(&[3, 4], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[4, 2], -1.0, 1.0, &mut rng);
+        let w_for_param = w.clone();
+        check_input_gradient(&x, 5e-2, |g, xid| {
+            let wid = g.parameter(w.clone(), "w");
+            let y = g.matmul(xid, wid)?;
+            g.sum_all(y)
+        });
+        let x2 = x.clone();
+        check_parameter_gradient(&w_for_param, "w", 5e-2, move |g, w_current| {
+            let xid = g.input(x2.clone(), "x");
+            let wid = g.parameter(w_current.clone(), "w");
+            let y = g.matmul(xid, wid)?;
+            g.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn batch_matmul_gradients_numerically() {
+        let mut seeds = SeedStream::new(201);
+        let mut rng = seeds.derive("batch_matmul");
+        let x = Tensor::rand_uniform(&[2, 3, 4], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[2, 4, 3], -1.0, 1.0, &mut rng);
+        check_input_gradient(&x, 5e-2, |g, xid| {
+            let wid = g.parameter(w.clone(), "w");
+            let y = g.batch_matmul(xid, wid)?;
+            g.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn linear_matches_manual_composition() {
+        let mut seeds = SeedStream::new(202);
+        let mut rng = seeds.derive("linear");
+        let x = Tensor::rand_uniform(&[5, 3], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[4, 3], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[4], -1.0, 1.0, &mut rng);
+
+        let mut g = Graph::new();
+        let xid = g.input(x.clone(), "x");
+        let wid = g.parameter(w.clone(), "w");
+        let bid = g.parameter(b.clone(), "b");
+        let y = g.linear(xid, wid, bid).unwrap();
+        let expected = x.matmul(&w.transpose().unwrap()).unwrap().add(&b).unwrap();
+        assert_eq!(g.value(y).unwrap(), &expected);
+    }
+
+    #[test]
+    fn linear_gradients_numerically() {
+        let mut seeds = SeedStream::new(203);
+        let mut rng = seeds.derive("linear_grad");
+        let x = Tensor::rand_uniform(&[4, 3], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[2, 3], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[2], -1.0, 1.0, &mut rng);
+        let (w1, b1) = (w.clone(), b.clone());
+        check_input_gradient(&x, 5e-2, |g, xid| {
+            let wid = g.parameter(w1.clone(), "w");
+            let bid = g.parameter(b1.clone(), "b");
+            let y = g.linear(xid, wid, bid)?;
+            g.sum_all(y)
+        });
+        let x2 = x.clone();
+        let b2 = b.clone();
+        check_parameter_gradient(&w, "w", 5e-2, move |g, w_current| {
+            let xid = g.input(x2.clone(), "x");
+            let wid = g.parameter(w_current.clone(), "w");
+            let bid = g.parameter(b2.clone(), "b");
+            let y = g.linear(xid, wid, bid)?;
+            g.sum_all(y)
+        });
+        let x3 = x.clone();
+        let w3 = w.clone();
+        check_parameter_gradient(&b, "b", 5e-2, move |g, b_current| {
+            let xid = g.input(x3.clone(), "x");
+            let wid = g.parameter(w3.clone(), "w");
+            let bid = g.parameter(b_current.clone(), "b");
+            let y = g.linear(xid, wid, bid)?;
+            g.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn linear_3d_gradients_numerically() {
+        let mut seeds = SeedStream::new(204);
+        let mut rng = seeds.derive("linear3d");
+        let x = Tensor::rand_uniform(&[2, 3, 4], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[5, 4], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[5], -1.0, 1.0, &mut rng);
+        check_input_gradient(&x, 5e-2, |g, xid| {
+            let wid = g.parameter(w.clone(), "w");
+            let bid = g.parameter(b.clone(), "b");
+            let y = g.linear_3d(xid, wid, bid)?;
+            g.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn matmul_shape_errors_propagate() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::zeros(&[2, 3]), "a");
+        let b = g.parameter(Tensor::zeros(&[2, 3]), "b");
+        assert!(g.matmul(a, b).is_err());
+    }
+}

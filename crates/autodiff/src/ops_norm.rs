@@ -1,0 +1,486 @@
+//! Normalisation graph ops: layer norm, batch norm (train / eval), group norm
+//! and the weight standardisation used by the BiT models.
+
+use pelta_tensor::Tensor;
+
+use crate::node::NodeId;
+use crate::{Graph, Result};
+
+/// Numerical stabiliser shared by every normalisation op.
+const NORM_EPS: f32 = 1e-5;
+
+/// Normalises a `[rows, d]` view of `x` row by row, returning `(x_hat,
+/// inv_std)` where `x_hat = (x - μ_row) * inv_std_row`.
+fn normalize_rows(x: &[f32], rows: usize, d: usize, eps: f32) -> (Vec<f32>, Vec<f32>) {
+    let mut x_hat = vec![0.0f32; x.len()];
+    let mut inv_std = vec![0.0f32; rows];
+    for r in 0..rows {
+        let row = &x[r * d..(r + 1) * d];
+        let mean = row.iter().sum::<f32>() / d as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+        let istd = 1.0 / (var + eps).sqrt();
+        inv_std[r] = istd;
+        for i in 0..d {
+            x_hat[r * d + i] = (row[i] - mean) * istd;
+        }
+    }
+    (x_hat, inv_std)
+}
+
+/// Backward of [`normalize_rows`]: given the gradient w.r.t. `x_hat`, returns
+/// the gradient w.r.t. `x`.
+fn normalize_rows_backward(
+    x_hat: &[f32],
+    inv_std: &[f32],
+    g_hat: &[f32],
+    rows: usize,
+    d: usize,
+) -> Vec<f32> {
+    let mut dx = vec![0.0f32; x_hat.len()];
+    for r in 0..rows {
+        let gh = &g_hat[r * d..(r + 1) * d];
+        let xh = &x_hat[r * d..(r + 1) * d];
+        let mean_gh = gh.iter().sum::<f32>() / d as f32;
+        let mean_gh_xh = gh.iter().zip(xh).map(|(&a, &b)| a * b).sum::<f32>() / d as f32;
+        for i in 0..d {
+            dx[r * d + i] = inv_std[r] * (gh[i] - mean_gh - xh[i] * mean_gh_xh);
+        }
+    }
+    dx
+}
+
+impl Graph {
+    /// Layer normalisation over the **last axis** with per-feature affine
+    /// parameters `gamma` and `beta` of shape `[D]`.
+    ///
+    /// # Errors
+    /// Returns an error on shape mismatch.
+    pub fn layer_norm(&mut self, x: NodeId, gamma: NodeId, beta: NodeId) -> Result<NodeId> {
+        let x_val = self.value(x)?;
+        let d = *x_val.dims().last().unwrap_or(&1);
+        let rows = x_val.numel() / d.max(1);
+        let (x_hat, _) = normalize_rows(x_val.data(), rows, d, NORM_EPS);
+        let x_hat_t = Tensor::from_vec(x_hat, x_val.dims())?;
+        let value = x_hat_t.mul(self.value(gamma)?)?.add(self.value(beta)?)?;
+        self.push_op(
+            "layer_norm",
+            value,
+            vec![x, gamma, beta],
+            Box::new(|ctx| {
+                let x_val = ctx.parent_values[0];
+                let gamma = ctx.parent_values[1];
+                let beta = ctx.parent_values[2];
+                let d = *x_val.dims().last().unwrap_or(&1);
+                let rows = x_val.numel() / d.max(1);
+                let (x_hat, inv_std) = normalize_rows(x_val.data(), rows, d, NORM_EPS);
+                let x_hat_t = Tensor::from_vec(x_hat.clone(), x_val.dims())?;
+                let g = ctx.grad_output;
+                // Gradient w.r.t. x̂ folds in gamma.
+                let g_hat = g.mul(gamma)?;
+                let dx = normalize_rows_backward(&x_hat, &inv_std, g_hat.data(), rows, d);
+                let dgamma = g.mul(&x_hat_t)?.reduce_to_shape(gamma.dims())?;
+                let dbeta = g.reduce_to_shape(beta.dims())?;
+                Ok(vec![Tensor::from_vec(dx, x_val.dims())?, dgamma, dbeta])
+            }),
+        )
+    }
+
+    /// Batch normalisation of a `[N, C, H, W]` feature map in **training**
+    /// mode (statistics computed over the batch and spatial dimensions).
+    ///
+    /// # Errors
+    /// Returns an error on shape mismatch.
+    pub fn batch_norm2d_train(
+        &mut self,
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+    ) -> Result<NodeId> {
+        let x_val = self.value(x)?;
+        let c = x_val.dims()[1];
+        // Rearranged to [C, N*H*W] each channel is one normalisation row.
+        let perm = x_val.permute(&[1, 0, 2, 3])?;
+        let d = perm.numel() / c;
+        let (x_hat_p, _) = normalize_rows(perm.data(), c, d, NORM_EPS);
+        let x_hat = Tensor::from_vec(x_hat_p, perm.dims())?.permute(&[1, 0, 2, 3])?;
+        let gamma_r = self.value(gamma)?.reshape(&[1, c, 1, 1])?;
+        let beta_r = self.value(beta)?.reshape(&[1, c, 1, 1])?;
+        let value = x_hat.mul(&gamma_r)?.add(&beta_r)?;
+        self.push_op(
+            "batch_norm2d_train",
+            value,
+            vec![x, gamma, beta],
+            Box::new(|ctx| {
+                let x_val = ctx.parent_values[0];
+                let gamma = ctx.parent_values[1];
+                let beta = ctx.parent_values[2];
+                let c = x_val.dims()[1];
+                let perm = x_val.permute(&[1, 0, 2, 3])?;
+                let d = perm.numel() / c;
+                let (x_hat_p, inv_std) = normalize_rows(perm.data(), c, d, NORM_EPS);
+                let g = ctx.grad_output;
+                let gamma_r = gamma.reshape(&[1, c, 1, 1])?;
+                let g_hat = g.mul(&gamma_r)?.permute(&[1, 0, 2, 3])?;
+                let dx_p = normalize_rows_backward(&x_hat_p, &inv_std, g_hat.data(), c, d);
+                let dx = Tensor::from_vec(dx_p, perm.dims())?.permute(&[1, 0, 2, 3])?;
+                let x_hat =
+                    Tensor::from_vec(x_hat_p, perm.dims())?.permute(&[1, 0, 2, 3])?;
+                let dgamma = g
+                    .mul(&x_hat)?
+                    .sum_axis(0, false)?
+                    .sum_axis(1, false)?
+                    .sum_axis(1, false)?
+                    .reshape(gamma.dims())?;
+                let dbeta = g
+                    .sum_axis(0, false)?
+                    .sum_axis(1, false)?
+                    .sum_axis(1, false)?
+                    .reshape(beta.dims())?;
+                Ok(vec![dx, dgamma, dbeta])
+            }),
+        )
+    }
+
+    /// Batch normalisation of a `[N, C, H, W]` feature map in **inference**
+    /// mode, using frozen running statistics (`running_mean`, `running_var`
+    /// of shape `[C]`).
+    ///
+    /// This is the mode active when a federated client runs the broadcast
+    /// model at inference time — the setting the paper's attacks operate in.
+    ///
+    /// # Errors
+    /// Returns an error on shape mismatch.
+    pub fn batch_norm2d_eval(
+        &mut self,
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        running_mean: &Tensor,
+        running_var: &Tensor,
+    ) -> Result<NodeId> {
+        let x_val = self.value(x)?;
+        let c = x_val.dims()[1];
+        let mean_r = running_mean.reshape(&[1, c, 1, 1])?;
+        let scale = running_var
+            .add_scalar(NORM_EPS)
+            .sqrt()
+            .recip()
+            .reshape(&[1, c, 1, 1])?;
+        let x_hat = x_val.sub(&mean_r)?.mul(&scale)?;
+        let gamma_r = self.value(gamma)?.reshape(&[1, c, 1, 1])?;
+        let beta_r = self.value(beta)?.reshape(&[1, c, 1, 1])?;
+        let value = x_hat.mul(&gamma_r)?.add(&beta_r)?;
+        let scale_for_back = scale.clone();
+        let mean_for_back = mean_r.clone();
+        self.push_op(
+            "batch_norm2d_eval",
+            value,
+            vec![x, gamma, beta],
+            Box::new(move |ctx| {
+                let x_val = ctx.parent_values[0];
+                let gamma = ctx.parent_values[1];
+                let beta = ctx.parent_values[2];
+                let c = x_val.dims()[1];
+                let g = ctx.grad_output;
+                let gamma_r = gamma.reshape(&[1, c, 1, 1])?;
+                // Frozen statistics: the normalisation is an affine map, so
+                // dx = g ⊙ γ ⊙ 1/σ_running.
+                let dx = g.mul(&gamma_r)?.mul(&scale_for_back)?;
+                let x_hat = x_val.sub(&mean_for_back)?.mul(&scale_for_back)?;
+                let dgamma = g
+                    .mul(&x_hat)?
+                    .sum_axis(0, false)?
+                    .sum_axis(1, false)?
+                    .sum_axis(1, false)?
+                    .reshape(gamma.dims())?;
+                let dbeta = g
+                    .sum_axis(0, false)?
+                    .sum_axis(1, false)?
+                    .sum_axis(1, false)?
+                    .reshape(beta.dims())?;
+                Ok(vec![dx, dgamma, dbeta])
+            }),
+        )
+    }
+
+    /// Group normalisation of a `[N, C, H, W]` feature map with `groups`
+    /// groups and per-channel affine parameters, as used by BiT (ResNet-v2
+    /// with GN+WS).
+    ///
+    /// # Errors
+    /// Returns an error on shape mismatch or if `C` is not divisible by
+    /// `groups`.
+    pub fn group_norm(
+        &mut self,
+        x: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        groups: usize,
+    ) -> Result<NodeId> {
+        let x_val = self.value(x)?;
+        let (n, c, h, w) = (
+            x_val.dims()[0],
+            x_val.dims()[1],
+            x_val.dims()[2],
+            x_val.dims()[3],
+        );
+        if groups == 0 || c % groups != 0 {
+            return Err(crate::AutodiffError::InvalidArgument {
+                op: "group_norm",
+                reason: format!("{c} channels not divisible into {groups} groups"),
+            });
+        }
+        let d = (c / groups) * h * w;
+        let rows = n * groups;
+        let (x_hat, _) = normalize_rows(x_val.data(), rows, d, NORM_EPS);
+        let x_hat_t = Tensor::from_vec(x_hat, x_val.dims())?;
+        let gamma_r = self.value(gamma)?.reshape(&[1, c, 1, 1])?;
+        let beta_r = self.value(beta)?.reshape(&[1, c, 1, 1])?;
+        let value = x_hat_t.mul(&gamma_r)?.add(&beta_r)?;
+        self.push_op(
+            "group_norm",
+            value,
+            vec![x, gamma, beta],
+            Box::new(move |ctx| {
+                let x_val = ctx.parent_values[0];
+                let gamma = ctx.parent_values[1];
+                let beta = ctx.parent_values[2];
+                let (n, c, h, w) = (
+                    x_val.dims()[0],
+                    x_val.dims()[1],
+                    x_val.dims()[2],
+                    x_val.dims()[3],
+                );
+                let d = (c / groups) * h * w;
+                let rows = n * groups;
+                let (x_hat, inv_std) = normalize_rows(x_val.data(), rows, d, NORM_EPS);
+                let x_hat_t = Tensor::from_vec(x_hat.clone(), x_val.dims())?;
+                let g = ctx.grad_output;
+                let gamma_r = gamma.reshape(&[1, c, 1, 1])?;
+                let g_hat = g.mul(&gamma_r)?;
+                let dx = normalize_rows_backward(&x_hat, &inv_std, g_hat.data(), rows, d);
+                let dx = Tensor::from_vec(dx, x_val.dims())?;
+                let dgamma = g
+                    .mul(&x_hat_t)?
+                    .sum_axis(0, false)?
+                    .sum_axis(1, false)?
+                    .sum_axis(1, false)?
+                    .reshape(gamma.dims())?;
+                let dbeta = g
+                    .sum_axis(0, false)?
+                    .sum_axis(1, false)?
+                    .sum_axis(1, false)?
+                    .reshape(beta.dims())?;
+                Ok(vec![dx, dgamma, dbeta])
+            }),
+        )
+    }
+
+    /// Weight standardisation of a `[C_out, C_in, K, K]` convolution kernel:
+    /// every output filter is normalised to zero mean and unit variance
+    /// (Kolesnikov et al., Big Transfer). The paper shields exactly this
+    /// non-invertible parametric transform for the BiT defenders.
+    ///
+    /// # Errors
+    /// Returns an error for non-rank-4 parents.
+    pub fn weight_standardize(&mut self, w: NodeId) -> Result<NodeId> {
+        let w_val = self.value(w)?;
+        if w_val.rank() != 4 {
+            return Err(crate::AutodiffError::InvalidArgument {
+                op: "weight_standardize",
+                reason: format!("expected rank-4 kernel, got rank {}", w_val.rank()),
+            });
+        }
+        let c_out = w_val.dims()[0];
+        let d = w_val.numel() / c_out;
+        let (w_hat, _) = normalize_rows(w_val.data(), c_out, d, NORM_EPS);
+        let value = Tensor::from_vec(w_hat, w_val.dims())?;
+        self.push_op(
+            "weight_standardize",
+            value,
+            vec![w],
+            Box::new(|ctx| {
+                let w_val = ctx.parent_values[0];
+                let c_out = w_val.dims()[0];
+                let d = w_val.numel() / c_out;
+                let (w_hat, inv_std) = normalize_rows(w_val.data(), c_out, d, NORM_EPS);
+                let dw =
+                    normalize_rows_backward(&w_hat, &inv_std, ctx.grad_output.data(), c_out, d);
+                Ok(vec![Tensor::from_vec(dw, w_val.dims())?])
+            }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_grad::{check_input_gradient, check_parameter_gradient};
+    use pelta_tensor::{SeedStream, Tensor};
+
+    #[test]
+    fn normalize_rows_zero_mean_unit_var() {
+        let x = vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0];
+        let (x_hat, inv_std) = normalize_rows(&x, 2, 4, 1e-5);
+        for r in 0..2 {
+            let row = &x_hat[r * 4..(r + 1) * 4];
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+            assert!(inv_std[r] > 0.0);
+        }
+    }
+
+    #[test]
+    fn layer_norm_output_statistics() {
+        let mut seeds = SeedStream::new(400);
+        let mut rng = seeds.derive("ln");
+        let x = Tensor::rand_uniform(&[3, 8], -5.0, 5.0, &mut rng);
+        let mut g = Graph::new();
+        let xid = g.input(x, "x");
+        let gamma = g.parameter(Tensor::ones(&[8]), "gamma");
+        let beta = g.parameter(Tensor::zeros(&[8]), "beta");
+        let y = g.layer_norm(xid, gamma, beta).unwrap();
+        let y_val = g.value(y).unwrap();
+        for r in 0..3 {
+            let row = &y_val.data()[r * 8..(r + 1) * 8];
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn layer_norm_gradients_numerically() {
+        let mut seeds = SeedStream::new(401);
+        let mut rng = seeds.derive("ln_grad");
+        let x = Tensor::rand_uniform(&[2, 6], -1.0, 1.0, &mut rng);
+        let gamma = Tensor::rand_uniform(&[6], 0.5, 1.5, &mut rng);
+        let beta = Tensor::rand_uniform(&[6], -0.5, 0.5, &mut rng);
+        let weights = Tensor::rand_uniform(&[2, 6], 0.0, 1.0, &mut rng);
+        let (g1, b1, w1) = (gamma.clone(), beta.clone(), weights.clone());
+        check_input_gradient(&x, 6e-2, move |g, xid| {
+            let gid = g.parameter(g1.clone(), "gamma");
+            let bid = g.parameter(b1.clone(), "beta");
+            let y = g.layer_norm(xid, gid, bid)?;
+            let w = g.constant(w1.clone());
+            let weighted = g.mul(y, w)?;
+            g.sum_all(weighted)
+        });
+        let (x2, b2, w2) = (x.clone(), beta.clone(), weights.clone());
+        check_parameter_gradient(&gamma, "gamma", 6e-2, move |g, gamma_cur| {
+            let xid = g.input(x2.clone(), "x");
+            let gid = g.parameter(gamma_cur.clone(), "gamma");
+            let bid = g.parameter(b2.clone(), "beta");
+            let y = g.layer_norm(xid, gid, bid)?;
+            let w = g.constant(w2.clone());
+            let weighted = g.mul(y, w)?;
+            g.sum_all(weighted)
+        });
+    }
+
+    #[test]
+    fn batch_norm_train_gradients_numerically() {
+        let mut seeds = SeedStream::new(402);
+        let mut rng = seeds.derive("bn");
+        let x = Tensor::rand_uniform(&[2, 3, 3, 3], -1.0, 1.0, &mut rng);
+        let gamma = Tensor::rand_uniform(&[3], 0.5, 1.5, &mut rng);
+        let beta = Tensor::zeros(&[3]);
+        let weights = Tensor::rand_uniform(&[2, 3, 3, 3], 0.0, 1.0, &mut rng);
+        check_input_gradient(&x, 8e-2, move |g, xid| {
+            let gid = g.parameter(gamma.clone(), "gamma");
+            let bid = g.parameter(beta.clone(), "beta");
+            let y = g.batch_norm2d_train(xid, gid, bid)?;
+            let w = g.constant(weights.clone());
+            let weighted = g.mul(y, w)?;
+            g.sum_all(weighted)
+        });
+    }
+
+    #[test]
+    fn batch_norm_eval_gradients_numerically() {
+        let mut seeds = SeedStream::new(403);
+        let mut rng = seeds.derive("bn_eval");
+        let x = Tensor::rand_uniform(&[2, 3, 3, 3], -1.0, 1.0, &mut rng);
+        let gamma = Tensor::rand_uniform(&[3], 0.5, 1.5, &mut rng);
+        let beta = Tensor::rand_uniform(&[3], -0.5, 0.5, &mut rng);
+        let rmean = Tensor::rand_uniform(&[3], -0.2, 0.2, &mut rng);
+        let rvar = Tensor::rand_uniform(&[3], 0.5, 1.5, &mut rng);
+        check_input_gradient(&x, 5e-2, move |g, xid| {
+            let gid = g.parameter(gamma.clone(), "gamma");
+            let bid = g.parameter(beta.clone(), "beta");
+            let y = g.batch_norm2d_eval(xid, gid, bid, &rmean, &rvar)?;
+            let sq = g.mul(y, y)?;
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn group_norm_gradients_numerically() {
+        let mut seeds = SeedStream::new(404);
+        let mut rng = seeds.derive("gn");
+        let x = Tensor::rand_uniform(&[2, 4, 3, 3], -1.0, 1.0, &mut rng);
+        let gamma = Tensor::rand_uniform(&[4], 0.5, 1.5, &mut rng);
+        let beta = Tensor::zeros(&[4]);
+        let weights = Tensor::rand_uniform(&[2, 4, 3, 3], 0.0, 1.0, &mut rng);
+        check_input_gradient(&x, 8e-2, move |g, xid| {
+            let gid = g.parameter(gamma.clone(), "gamma");
+            let bid = g.parameter(beta.clone(), "beta");
+            let y = g.group_norm(xid, gid, bid, 2)?;
+            let w = g.constant(weights.clone());
+            let weighted = g.mul(y, w)?;
+            g.sum_all(weighted)
+        });
+    }
+
+    #[test]
+    fn group_norm_rejects_bad_group_count() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[1, 3, 2, 2]), "x");
+        let gamma = g.parameter(Tensor::ones(&[3]), "gamma");
+        let beta = g.parameter(Tensor::zeros(&[3]), "beta");
+        assert!(g.group_norm(x, gamma, beta, 2).is_err());
+        assert!(g.group_norm(x, gamma, beta, 0).is_err());
+    }
+
+    #[test]
+    fn weight_standardize_gradients_numerically() {
+        let mut seeds = SeedStream::new(405);
+        let mut rng = seeds.derive("ws");
+        let w = Tensor::rand_uniform(&[2, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let weights = Tensor::rand_uniform(&[2, 2, 3, 3], 0.0, 1.0, &mut rng);
+        check_parameter_gradient(&w, "w", 8e-2, move |g, w_cur| {
+            let wid = g.parameter(w_cur.clone(), "w");
+            let ws = g.weight_standardize(wid)?;
+            let c = g.constant(weights.clone());
+            let weighted = g.mul(ws, c)?;
+            g.sum_all(weighted)
+        });
+    }
+
+    #[test]
+    fn weight_standardize_rejects_non_rank4() {
+        let mut g = Graph::new();
+        let w = g.parameter(Tensor::zeros(&[4, 4]), "w");
+        assert!(g.weight_standardize(w).is_err());
+    }
+
+    #[test]
+    fn weight_standardize_output_statistics() {
+        let mut seeds = SeedStream::new(406);
+        let mut rng = seeds.derive("ws_stats");
+        let w = Tensor::rand_uniform(&[3, 2, 3, 3], -2.0, 2.0, &mut rng);
+        let mut g = Graph::new();
+        let wid = g.parameter(w, "w");
+        let ws = g.weight_standardize(wid).unwrap();
+        let v = g.value(ws).unwrap();
+        let d = 2 * 3 * 3;
+        for co in 0..3 {
+            let filt = &v.data()[co * d..(co + 1) * d];
+            let mean: f32 = filt.iter().sum::<f32>() / d as f32;
+            let var: f32 = filt.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / d as f32;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Structural graph ops: reshape, permute, concat, slicing, broadcasting and
+//! the ViT patch-extraction primitive.
+
+use pelta_tensor::Tensor;
+
+use crate::node::NodeId;
+use crate::{AutodiffError, Graph, Result};
+
+impl Graph {
+    /// Reshapes a node to a new shape with the same number of elements.
+    ///
+    /// # Errors
+    /// Returns an error if the element counts differ.
+    pub fn reshape(&mut self, x: NodeId, shape: &[usize]) -> Result<NodeId> {
+        let value = self.value(x)?.reshape(shape)?;
+        self.push_op(
+            "reshape",
+            value,
+            vec![x],
+            Box::new(|ctx| Ok(vec![ctx.grad_output.reshape(ctx.parent_values[0].dims())?])),
+        )
+    }
+
+    /// Permutes the axes of a node.
+    ///
+    /// # Errors
+    /// Returns an error if `axes` is not a permutation of `0..rank`.
+    pub fn permute(&mut self, x: NodeId, axes: &[usize]) -> Result<NodeId> {
+        let value = self.value(x)?.permute(axes)?;
+        let axes_owned = axes.to_vec();
+        self.push_op(
+            "permute",
+            value,
+            vec![x],
+            Box::new(move |ctx| {
+                // Invert the permutation to route the gradient back.
+                let mut inverse = vec![0usize; axes_owned.len()];
+                for (dst, &src) in axes_owned.iter().enumerate() {
+                    inverse[src] = dst;
+                }
+                Ok(vec![ctx.grad_output.permute(&inverse)?])
+            }),
+        )
+    }
+
+    /// Concatenates two nodes along `axis`.
+    ///
+    /// # Errors
+    /// Returns an error on rank or dimension mismatch.
+    pub fn concat(&mut self, a: NodeId, b: NodeId, axis: usize) -> Result<NodeId> {
+        let value = Tensor::concat(&[self.value(a)?, self.value(b)?], axis)?;
+        self.push_op(
+            "concat",
+            value,
+            vec![a, b],
+            Box::new(move |ctx| {
+                let a_len = ctx.parent_values[0].dims()[axis];
+                let b_len = ctx.parent_values[1].dims()[axis];
+                let ga = ctx.grad_output.narrow(axis, 0, a_len)?;
+                let gb = ctx.grad_output.narrow(axis, a_len, b_len)?;
+                Ok(vec![ga, gb])
+            }),
+        )
+    }
+
+    /// Extracts `len` entries starting at `start` along `axis`.
+    ///
+    /// # Errors
+    /// Returns an error if the requested range exceeds the axis length.
+    pub fn narrow(&mut self, x: NodeId, axis: usize, start: usize, len: usize) -> Result<NodeId> {
+        let value = self.value(x)?.narrow(axis, start, len)?;
+        self.push_op(
+            "narrow",
+            value,
+            vec![x],
+            Box::new(move |ctx| {
+                let parent = ctx.parent_values[0];
+                // Scatter the gradient back into a zero tensor of the
+                // parent's shape.
+                let mut grad = Tensor::zeros(parent.dims());
+                let dims = parent.dims();
+                let outer: usize = dims[..axis].iter().product();
+                let mid = dims[axis];
+                let inner: usize = dims[axis + 1..].iter().product();
+                for o in 0..outer {
+                    for m in 0..len {
+                        let src = (o * len + m) * inner;
+                        let dst = (o * mid + start + m) * inner;
+                        grad.data_mut()[dst..dst + inner]
+                            .copy_from_slice(&ctx.grad_output.data()[src..src + inner]);
+                    }
+                }
+                Ok(vec![grad])
+            }),
+        )
+    }
+
+    /// Broadcasts a node to a larger shape (NumPy semantics). The backward
+    /// pass sums over the broadcast axes.
+    ///
+    /// # Errors
+    /// Returns an error if the shapes are not broadcast-compatible.
+    pub fn broadcast_to(&mut self, x: NodeId, shape: &[usize]) -> Result<NodeId> {
+        let x_val = self.value(x)?;
+        let target = Tensor::zeros(shape);
+        let value = x_val.add(&target)?;
+        if value.dims() != shape {
+            return Err(AutodiffError::InvalidArgument {
+                op: "broadcast_to",
+                reason: format!(
+                    "cannot broadcast {:?} to {:?}",
+                    x_val.dims(),
+                    shape
+                ),
+            });
+        }
+        self.push_op(
+            "broadcast_to",
+            value,
+            vec![x],
+            Box::new(|ctx| {
+                Ok(vec![ctx
+                    .grad_output
+                    .reduce_to_shape(ctx.parent_values[0].dims())?])
+            }),
+        )
+    }
+
+    /// Splits a `[N, C, H, W]` image into non-overlapping `patch × patch`
+    /// patches, producing `[N, T, patch·patch·C]` with
+    /// `T = (H/patch)·(W/patch)` tokens — the first transformation of a
+    /// Vision Transformer, and (together with the embedding projection and
+    /// position embedding) the transformation Pelta shields for ViT
+    /// defenders.
+    ///
+    /// # Errors
+    /// Returns an error if the spatial dimensions are not divisible by
+    /// `patch`.
+    pub fn patchify(&mut self, x: NodeId, patch: usize) -> Result<NodeId> {
+        let x_val = self.value(x)?;
+        if x_val.rank() != 4 {
+            return Err(AutodiffError::InvalidArgument {
+                op: "patchify",
+                reason: format!("expected rank-4 input, got rank {}", x_val.rank()),
+            });
+        }
+        let (h, w) = (x_val.dims()[2], x_val.dims()[3]);
+        if patch == 0 || h % patch != 0 || w % patch != 0 {
+            return Err(AutodiffError::InvalidArgument {
+                op: "patchify",
+                reason: format!("patch {patch} does not divide spatial dims {h}x{w}"),
+            });
+        }
+        let value = patchify_forward(x_val, patch)?;
+        self.push_op(
+            "patchify",
+            value,
+            vec![x],
+            Box::new(move |ctx| {
+                let parent = ctx.parent_values[0];
+                Ok(vec![patchify_backward(ctx.grad_output, parent.dims(), patch)?])
+            }),
+        )
+    }
+}
+
+/// Forward patch extraction (see [`Graph::patchify`]).
+fn patchify_forward(x: &Tensor, patch: usize) -> crate::Result<Tensor> {
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let (ph, pw) = (h / patch, w / patch);
+    let tokens = ph * pw;
+    let dim = c * patch * patch;
+    let mut out = vec![0.0f32; n * tokens * dim];
+    for ni in 0..n {
+        for ty in 0..ph {
+            for tx in 0..pw {
+                let token = ty * pw + tx;
+                for ci in 0..c {
+                    for py in 0..patch {
+                        for px in 0..patch {
+                            let iy = ty * patch + py;
+                            let ix = tx * patch + px;
+                            let src = ((ni * c + ci) * h + iy) * w + ix;
+                            let feat = (ci * patch + py) * patch + px;
+                            let dst = (ni * tokens + token) * dim + feat;
+                            out[dst] = x.data()[src];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(Tensor::from_vec(out, &[n, tokens, dim])?)
+}
+
+/// Backward of [`patchify_forward`]: scatters token-feature gradients back to
+/// image pixels.
+fn patchify_backward(grad: &Tensor, image_dims: &[usize], patch: usize) -> crate::Result<Tensor> {
+    let (n, c, h, w) = (image_dims[0], image_dims[1], image_dims[2], image_dims[3]);
+    let (ph, pw) = (h / patch, w / patch);
+    let tokens = ph * pw;
+    let dim = c * patch * patch;
+    let mut out = Tensor::zeros(image_dims);
+    for ni in 0..n {
+        for ty in 0..ph {
+            for tx in 0..pw {
+                let token = ty * pw + tx;
+                for ci in 0..c {
+                    for py in 0..patch {
+                        for px in 0..patch {
+                            let iy = ty * patch + py;
+                            let ix = tx * patch + px;
+                            let dst = ((ni * c + ci) * h + iy) * w + ix;
+                            let feat = (ci * patch + py) * patch + px;
+                            let src = (ni * tokens + token) * dim + feat;
+                            out.data_mut()[dst] = grad.data()[src];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_grad::check_input_gradient;
+    use pelta_tensor::{SeedStream, Tensor};
+
+    #[test]
+    fn reshape_and_permute_gradients() {
+        let mut seeds = SeedStream::new(500);
+        let mut rng = seeds.derive("shape");
+        let x = Tensor::rand_uniform(&[2, 3, 4], -1.0, 1.0, &mut rng);
+        check_input_gradient(&x, 5e-2, |g, xid| {
+            let r = g.reshape(xid, &[6, 4])?;
+            let p = g.permute(r, &[1, 0])?;
+            let sq = g.mul(p, p)?;
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn concat_gradient_splits_correctly() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::ones(&[2, 2]), "a");
+        let b = g.input(Tensor::full(&[2, 3], 2.0), "b");
+        let cat = g.concat(a, b, 1).unwrap();
+        assert_eq!(g.value(cat).unwrap().dims(), &[2, 5]);
+        let sq = g.mul(cat, cat).unwrap();
+        let loss = g.sum_all(sq).unwrap();
+        let grads = g.backward(loss).unwrap();
+        // d(x²)/dx = 2x: ones → 2, twos → 4.
+        assert!(grads.get(a).unwrap().data().iter().all(|&v| (v - 2.0).abs() < 1e-6));
+        assert!(grads.get(b).unwrap().data().iter().all(|&v| (v - 4.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn narrow_gradient_scatters_into_parent() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::arange(6).reshape(&[2, 3]).unwrap(), "x");
+        let mid = g.narrow(x, 1, 1, 2).unwrap();
+        let loss = g.sum_all(mid).unwrap();
+        let grads = g.backward(loss).unwrap();
+        assert_eq!(grads.get(x).unwrap().data(), &[0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn narrow_gradient_numerically() {
+        let mut seeds = SeedStream::new(501);
+        let mut rng = seeds.derive("narrow");
+        let x = Tensor::rand_uniform(&[3, 5], -1.0, 1.0, &mut rng);
+        check_input_gradient(&x, 5e-2, |g, xid| {
+            let s = g.narrow(xid, 0, 1, 2)?;
+            let sq = g.mul(s, s)?;
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn broadcast_to_gradient_sums() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[1, 3]), "x");
+        let b = g.broadcast_to(x, &[4, 3]).unwrap();
+        assert_eq!(g.value(b).unwrap().dims(), &[4, 3]);
+        let loss = g.sum_all(b).unwrap();
+        let grads = g.backward(loss).unwrap();
+        assert_eq!(grads.get(x).unwrap().data(), &[4.0, 4.0, 4.0]);
+        // Incompatible broadcast is an error.
+        let y = g.input(Tensor::ones(&[2, 3]), "y");
+        assert!(g.broadcast_to(y, &[4, 5]).is_err());
+    }
+
+    #[test]
+    fn patchify_shapes_and_content() {
+        // 1 sample, 1 channel, 4x4 image, patch 2 → 4 tokens of dim 4.
+        let x = Tensor::arange(16).reshape(&[1, 1, 4, 4]).unwrap();
+        let mut g = Graph::new();
+        let xid = g.input(x, "x");
+        let p = g.patchify(xid, 2).unwrap();
+        let v = g.value(p).unwrap();
+        assert_eq!(v.dims(), &[1, 4, 4]);
+        // First token is the top-left 2x2 patch: pixels 0, 1, 4, 5.
+        assert_eq!(&v.data()[..4], &[0.0, 1.0, 4.0, 5.0]);
+        // Last token is the bottom-right patch: pixels 10, 11, 14, 15.
+        assert_eq!(&v.data()[12..16], &[10.0, 11.0, 14.0, 15.0]);
+    }
+
+    #[test]
+    fn patchify_gradient_numerically() {
+        let mut seeds = SeedStream::new(502);
+        let mut rng = seeds.derive("patchify");
+        let x = Tensor::rand_uniform(&[1, 2, 4, 4], -1.0, 1.0, &mut rng);
+        check_input_gradient(&x, 5e-2, |g, xid| {
+            let p = g.patchify(xid, 2)?;
+            let sq = g.mul(p, p)?;
+            g.sum_all(sq)
+        });
+    }
+
+    #[test]
+    fn patchify_rejects_bad_geometry() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[1, 1, 5, 5]), "x");
+        assert!(g.patchify(x, 2).is_err());
+        assert!(g.patchify(x, 0).is_err());
+        let flat = g.input(Tensor::zeros(&[5, 5]), "flat");
+        assert!(g.patchify(flat, 1).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! Test-only numerical gradient checking utilities.
+//!
+//! Every op module verifies its backward closure against central finite
+//! differences of its forward computation; this module centralises that
+//! machinery so op tests stay one-liners.
+
+use pelta_tensor::Tensor;
+
+use crate::{Graph, NodeId, Result};
+
+/// Checks the analytic gradient of the loss w.r.t. the **input** leaf against
+/// central finite differences.
+///
+/// `build` receives a fresh graph and the input node id and must return the
+/// scalar loss node. The check compares every element of the analytic
+/// gradient with `(L(x+ε) - L(x-ε)) / 2ε` and panics (test failure) when the
+/// absolute difference exceeds `tol` (with a relative fallback for large
+/// gradients).
+pub fn check_input_gradient<F>(x: &Tensor, tol: f32, build: F)
+where
+    F: Fn(&mut Graph, NodeId) -> Result<NodeId>,
+{
+    let loss_of = |tensor: &Tensor| -> f32 {
+        let mut g = Graph::new();
+        let xid = g.input(tensor.clone(), "gradcheck_input");
+        let loss = build(&mut g, xid).expect("building loss for finite differences");
+        g.value(loss).expect("loss value").item().expect("scalar loss")
+    };
+
+    let mut g = Graph::new();
+    let xid = g.input(x.clone(), "gradcheck_input");
+    let loss = build(&mut g, xid).expect("building loss for analytic gradient");
+    let grads = g.backward(loss).expect("backward pass");
+    let analytic = grads
+        .get(xid)
+        .expect("input should receive a gradient")
+        .clone();
+    assert_eq!(analytic.dims(), x.dims(), "gradient shape mismatch");
+
+    let eps = 1e-2f32;
+    for flat in 0..x.numel() {
+        let mut plus = x.clone();
+        plus.data_mut()[flat] += eps;
+        let mut minus = x.clone();
+        minus.data_mut()[flat] -= eps;
+        let numeric = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
+        let a = analytic.data()[flat];
+        let abs_err = (numeric - a).abs();
+        let rel_err = abs_err / numeric.abs().max(a.abs()).max(1.0);
+        assert!(
+            abs_err < tol || rel_err < tol,
+            "element {flat}: numeric {numeric} vs analytic {a} (abs {abs_err}, rel {rel_err})"
+        );
+    }
+}
+
+/// Checks the analytic gradient of the loss w.r.t. a **parameter** leaf
+/// (identified by tag) against central finite differences.
+///
+/// `build` receives a fresh graph and the current parameter tensor and must
+/// register the parameter itself (with tag `param_tag`) and return the scalar
+/// loss node.
+pub fn check_parameter_gradient<F>(param: &Tensor, param_tag: &str, tol: f32, build: F)
+where
+    F: Fn(&mut Graph, &Tensor) -> Result<NodeId>,
+{
+    let loss_of = |tensor: &Tensor| -> f32 {
+        let mut g = Graph::new();
+        let loss = build(&mut g, tensor).expect("building loss for finite differences");
+        g.value(loss).expect("loss value").item().expect("scalar loss")
+    };
+
+    let mut g = Graph::new();
+    let loss = build(&mut g, param).expect("building loss for analytic gradient");
+    let grads = g.backward(loss).expect("backward pass");
+    let pid = g.node_by_tag(param_tag).expect("parameter tag");
+    let analytic = grads
+        .get(pid)
+        .expect("parameter should receive a gradient")
+        .clone();
+
+    let eps = 1e-2f32;
+    for flat in 0..param.numel() {
+        let mut plus = param.clone();
+        plus.data_mut()[flat] += eps;
+        let mut minus = param.clone();
+        minus.data_mut()[flat] -= eps;
+        let numeric = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
+        let a = analytic.data()[flat];
+        let abs_err = (numeric - a).abs();
+        let rel_err = abs_err / numeric.abs().max(a.abs()).max(1.0);
+        assert!(
+            abs_err < tol || rel_err < tol,
+            "param element {flat}: numeric {numeric} vs analytic {a} (abs {abs_err}, rel {rel_err})"
+        );
+    }
+}

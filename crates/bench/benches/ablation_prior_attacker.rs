@@ -1,0 +1,74 @@
+//! Criterion bench behind the §VII adaptive-attacker ablations: the
+//! prior-guided PGD (exact and noisy priors) and the substitute-training
+//! attacker against a shielded ViT, compared with the random-upsampling
+//! fallback of §V-B.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pelta_attacks::{
+    EmbeddingPrior, EvasionAttack, Pgd, PriorGuidedPgd, SubstituteConfig, SubstituteTransfer,
+};
+use pelta_core::ShieldedWhiteBox;
+use pelta_models::{predict, ImageModel, ViTConfig, VisionTransformer};
+use pelta_tensor::{SeedStream, Tensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn bench_adaptive_attackers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_prior_attacker");
+    group.sample_size(10);
+
+    let mut seeds = SeedStream::new(33);
+    let config = ViTConfig::vit_b16_scaled(16, 3, 10);
+    let patch = config.patch;
+    let vit: Arc<dyn ImageModel> =
+        Arc::new(VisionTransformer::new(config, &mut seeds.derive("vit")).unwrap());
+    let images = Tensor::rand_uniform(&[2, 3, 16, 16], 0.1, 0.9, &mut seeds.derive("x"));
+    let labels = predict(vit.as_ref(), &images).unwrap();
+    let shielded = ShieldedWhiteBox::with_default_enclave(Arc::clone(&vit)).unwrap();
+
+    let pgd = Pgd::new(0.06, 0.02, 3).unwrap();
+    group.bench_function("random_upsampling_fallback", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            criterion::black_box(pgd.run(&shielded, &images, &labels, &mut rng).unwrap())
+        })
+    });
+
+    for (name, fidelity) in [("prior_pgd_noise", 0.0f32), ("prior_pgd_exact", 1.0)] {
+        let mut prior_rng = ChaCha8Rng::seed_from_u64(8);
+        let prior =
+            EmbeddingPrior::from_vit_defender(vit.as_ref(), patch, fidelity, &mut prior_rng)
+                .unwrap();
+        let attack = PriorGuidedPgd::new(0.06, 0.02, 3, prior).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(9);
+                criterion::black_box(attack.run(&shielded, &images, &labels, &mut rng).unwrap())
+            })
+        });
+    }
+
+    let substitute = SubstituteTransfer::new(SubstituteConfig {
+        dim: 8,
+        depth: 1,
+        epochs: 2,
+        learning_rate: 0.02,
+        epsilon: 0.06,
+        epsilon_step: 0.02,
+        attack_steps: 3,
+    })
+    .unwrap();
+    group.bench_function("substitute_transfer_two_epochs", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(10);
+            criterion::black_box(
+                substitute.run(&shielded, &images, &labels, &mut rng).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive_attackers);
+criterion_main!(benches);

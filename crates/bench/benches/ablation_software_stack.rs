@@ -1,0 +1,60 @@
+//! Criterion bench behind the §VII defense-in-depth ablation: one PGD probe
+//! step against the four defense combinations (none / software / Pelta /
+//! Pelta + software).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pelta_attacks::{EvasionAttack, Pgd};
+use pelta_core::{ClearWhiteBox, GradientOracle, ShieldedWhiteBox};
+use pelta_defenses::{DefenseStack, RandomizationConfig};
+use pelta_models::{predict, ViTConfig, VisionTransformer};
+use pelta_tensor::{SeedStream, Tensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn bench_software_stack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_software_stack");
+    group.sample_size(10);
+
+    let mut seeds = SeedStream::new(21);
+    let vit = Arc::new(
+        VisionTransformer::new(ViTConfig::vit_b16_scaled(16, 3, 10), &mut seeds.derive("vit"))
+            .unwrap(),
+    );
+    let images = Tensor::rand_uniform(&[2, 3, 16, 16], 0.1, 0.9, &mut seeds.derive("x"));
+    let labels = predict(vit.as_ref(), &images).unwrap();
+    let pgd = Pgd::new(0.06, 0.02, 3).unwrap();
+
+    let software = |inner: Arc<dyn GradientOracle>| -> Arc<dyn GradientOracle> {
+        DefenseStack::new(inner)
+            .with_quantization(8)
+            .unwrap()
+            .with_randomization(RandomizationConfig::default(), 3)
+            .unwrap()
+            .build()
+    };
+    let clear: Arc<dyn GradientOracle> = Arc::new(ClearWhiteBox::new(Arc::clone(&vit) as _));
+    let shielded: Arc<dyn GradientOracle> =
+        Arc::new(ShieldedWhiteBox::with_default_enclave(Arc::clone(&vit) as _).unwrap());
+    let settings: Vec<(&str, Arc<dyn GradientOracle>)> = vec![
+        ("pgd_undefended", Arc::clone(&clear)),
+        ("pgd_software_only", software(Arc::clone(&clear))),
+        ("pgd_pelta_only", Arc::clone(&shielded)),
+        ("pgd_pelta_plus_software", software(Arc::clone(&shielded))),
+    ];
+
+    for (name, oracle) in settings {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(5);
+                criterion::black_box(
+                    pgd.run(oracle.as_ref(), &images, &labels, &mut rng).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_software_stack);
+criterion_main!(benches);

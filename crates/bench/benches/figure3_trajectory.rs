@@ -1,0 +1,34 @@
+//! Criterion bench behind **Figure 3**: the per-step probe + sign-update +
+//! projection loop of the maximum-allowable attacks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pelta_core::{AttackLoss, ClearWhiteBox, GradientOracle};
+use pelta_models::{ViTConfig, VisionTransformer};
+use pelta_tensor::{SeedStream, Tensor};
+use std::sync::Arc;
+
+fn bench_figure3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3_trajectory");
+    group.sample_size(10);
+
+    let mut seeds = SeedStream::new(5);
+    let vit = Arc::new(
+        VisionTransformer::new(ViTConfig::vit_b16_scaled(16, 3, 10), &mut seeds.derive("vit"))
+            .unwrap(),
+    );
+    let oracle = ClearWhiteBox::new(vit as _);
+    let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.1, 0.9, &mut seeds.derive("x"));
+
+    group.bench_function("single_pgd_step_probe_and_project", |b| {
+        b.iter(|| {
+            let probe = oracle.probe(&x, &[0], AttackLoss::CrossEntropy).unwrap();
+            let grad = probe.input_gradient.unwrap();
+            let step = x.axpy(0.01, &grad.sign()).unwrap();
+            criterion::black_box(step.clamp(0.0, 1.0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure3);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench behind **Figure 4**: one SAGA step on a single sample in
+//! the fully shielded setting (the qualitative case shown in the figure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pelta_attacks::{Saga, SagaParams, SagaTarget};
+use pelta_core::ShieldedWhiteBox;
+use pelta_models::{BigTransfer, BitConfig, ViTConfig, VisionTransformer};
+use pelta_tensor::{SeedStream, Tensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn bench_figure4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure4_saga_qualitative");
+    group.sample_size(10);
+
+    let mut seeds = SeedStream::new(6);
+    let vit = Arc::new(
+        VisionTransformer::new(ViTConfig::vit_b16_scaled(16, 3, 10), &mut seeds.derive("vit"))
+            .unwrap(),
+    );
+    let bit = Arc::new(
+        BigTransfer::new(BitConfig::bit_r101x3_scaled(3, 10), &mut seeds.derive("bit")).unwrap(),
+    );
+    let shielded_vit = ShieldedWhiteBox::with_default_enclave(Arc::clone(&vit) as _).unwrap();
+    let shielded_bit = ShieldedWhiteBox::with_default_enclave(Arc::clone(&bit) as _).unwrap();
+    let sample = Tensor::rand_uniform(&[1, 3, 16, 16], 0.1, 0.9, &mut seeds.derive("x"));
+    let label = pelta_models::predict(vit.as_ref(), &sample).unwrap();
+    let saga = Saga::new(
+        SagaParams { alpha_cnn: 0.5, alpha_vit: 0.5, step: 0.03, steps: 1 },
+        0.06,
+    )
+    .unwrap();
+
+    group.bench_function("saga_single_step_both_shielded", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            criterion::black_box(
+                saga.run_ensemble(
+                    &SagaTarget { vit: &shielded_vit, cnn: &shielded_bit },
+                    &sample,
+                    &label,
+                    &mut rng,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure4);
+criterion_main!(benches);

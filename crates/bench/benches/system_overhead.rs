@@ -1,0 +1,64 @@
+//! Criterion bench behind the **§VI system implications** study: enclave
+//! crossings at inference time, the shielded backward probe, sealing and the
+//! FedAvg aggregation step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pelta_core::{AttackLoss, ClearWhiteBox, GradientOracle, ShieldedWhiteBox};
+use pelta_fl::{FedAvgServer, ModelUpdate};
+use pelta_models::{ViTConfig, VisionTransformer};
+use pelta_tee::{Enclave, EnclaveConfig};
+use pelta_tensor::{SeedStream, Tensor};
+use std::sync::Arc;
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_overhead");
+    group.sample_size(10);
+
+    let mut seeds = SeedStream::new(7);
+    let vit = Arc::new(
+        VisionTransformer::new(ViTConfig::vit_b16_scaled(16, 3, 10), &mut seeds.derive("vit"))
+            .unwrap(),
+    );
+    let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.1, 0.9, &mut seeds.derive("x"));
+
+    let clear = ClearWhiteBox::new(Arc::clone(&vit) as _);
+    group.bench_function("inference_clear", |b| {
+        b.iter(|| criterion::black_box(clear.logits(&x).unwrap()))
+    });
+
+    let shielded = ShieldedWhiteBox::with_default_enclave(Arc::clone(&vit) as _).unwrap();
+    group.bench_function("inference_shielded", |b| {
+        b.iter(|| criterion::black_box(shielded.logits(&x).unwrap()))
+    });
+    group.bench_function("backward_probe_shielded", |b| {
+        b.iter(|| {
+            criterion::black_box(shielded.probe(&x, &[0], AttackLoss::CrossEntropy).unwrap())
+        })
+    });
+
+    group.bench_function("enclave_seal_unseal_1mb", |b| {
+        let enclave = Enclave::new(EnclaveConfig::trustzone_default());
+        enclave.store_tensor("state", Tensor::zeros(&[262_144])).unwrap();
+        b.iter(|| {
+            let blob = enclave.seal("state").unwrap();
+            criterion::black_box(blob.len())
+        })
+    });
+
+    group.bench_function("fedavg_aggregate_two_clients", |b| {
+        let params = vec![("w".to_string(), Tensor::zeros(&[64, 64]))];
+        b.iter(|| {
+            let mut server = FedAvgServer::new(params.clone());
+            let updates = vec![
+                ModelUpdate { client_id: 0, round: 0, num_samples: 8, parameters: params.clone() },
+                ModelUpdate { client_id: 1, round: 0, num_samples: 8, parameters: params.clone() },
+            ];
+            server.aggregate(&updates).unwrap();
+            criterion::black_box(server.round())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench behind **Table I**: analytic paper-scale shield accounting
+//! and measured enclave footprint of the scaled models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pelta_core::measure_shield;
+use pelta_models::paper_scale;
+use pelta_models::{ViTConfig, VisionTransformer};
+use pelta_tensor::{SeedStream, Tensor};
+use std::sync::Arc;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_memory");
+    group.sample_size(10);
+
+    group.bench_function("analytic_paper_scale_estimates", |b| {
+        b.iter(|| {
+            let estimates = paper_scale::table1_estimates();
+            criterion::black_box(estimates.iter().map(|e| e.enclave_bytes).sum::<u64>())
+        })
+    });
+
+    let mut seeds = SeedStream::new(1);
+    let vit = Arc::new(
+        VisionTransformer::new(ViTConfig::vit_b16_scaled(32, 3, 10), &mut seeds.derive("vit"))
+            .unwrap(),
+    );
+    let sample = Tensor::rand_uniform(&[1, 3, 32, 32], 0.0, 1.0, &mut seeds.derive("x"));
+    group.bench_function("measured_scaled_vit_shield", |b| {
+        b.iter(|| {
+            let measurement = measure_shield(Arc::clone(&vit) as _, &sample).unwrap();
+            criterion::black_box(measurement.enclave_bytes())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench behind **Table II**: constructing the per-dataset attack
+//! parameter sets and the corresponding attack objects.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pelta_attacks::{Apgd, AttackSuiteParams, CarliniWagner, Fgsm, Mim, Pgd};
+use pelta_data::DatasetSpec;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_params");
+    group.bench_function("build_attack_suites_all_datasets", |b| {
+        b.iter(|| {
+            for spec in DatasetSpec::all() {
+                let p = AttackSuiteParams::table2(spec).scaled(2.0);
+                criterion::black_box(Fgsm::new(p.epsilon).unwrap());
+                criterion::black_box(Pgd::new(p.epsilon, p.epsilon_step, p.pgd_steps).unwrap());
+                criterion::black_box(
+                    Mim::new(p.epsilon, p.epsilon_step, p.pgd_steps, p.mim_decay).unwrap(),
+                );
+                criterion::black_box(
+                    CarliniWagner::new(p.cw_confidence, p.epsilon_step, p.cw_steps).unwrap(),
+                );
+                criterion::black_box(
+                    Apgd::new(p.epsilon, p.apgd_steps, p.apgd_rho, p.apgd_restarts).unwrap(),
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench behind **Table III**: one attack cell (clear vs shielded
+//! PGD against a ViT defender) at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pelta_attacks::{robust_accuracy, EvasionAttack, Pgd};
+use pelta_core::{ClearWhiteBox, ShieldedWhiteBox};
+use pelta_models::{ViTConfig, VisionTransformer};
+use pelta_tensor::{SeedStream, Tensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_individual");
+    group.sample_size(10);
+
+    let mut seeds = SeedStream::new(3);
+    let vit = Arc::new(
+        VisionTransformer::new(ViTConfig::vit_b16_scaled(16, 3, 10), &mut seeds.derive("vit"))
+            .unwrap(),
+    );
+    let images = Tensor::rand_uniform(&[2, 3, 16, 16], 0.1, 0.9, &mut seeds.derive("x"));
+    let labels = pelta_models::predict(vit.as_ref(), &images).unwrap();
+    let pgd = Pgd::new(0.06, 0.02, 3).unwrap();
+
+    let clear = ClearWhiteBox::new(Arc::clone(&vit) as _);
+    group.bench_function("pgd_cell_clear", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            criterion::black_box(
+                robust_accuracy(&clear, &pgd as &dyn EvasionAttack, &images, &labels, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+
+    let shielded = ShieldedWhiteBox::with_default_enclave(Arc::clone(&vit) as _).unwrap();
+    group.bench_function("pgd_cell_shielded", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            criterion::black_box(
+                robust_accuracy(&shielded, &pgd as &dyn EvasionAttack, &images, &labels, &mut rng)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

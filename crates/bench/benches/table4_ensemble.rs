@@ -1,0 +1,70 @@
+//! Criterion bench behind **Table IV**: one SAGA run against the ViT + BiT
+//! ensemble in the unshielded and fully shielded settings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pelta_attacks::{Saga, SagaParams, SagaTarget};
+use pelta_core::{ClearWhiteBox, ShieldedWhiteBox};
+use pelta_models::{BigTransfer, BitConfig, ViTConfig, VisionTransformer};
+use pelta_tensor::{SeedStream, Tensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_ensemble");
+    group.sample_size(10);
+
+    let mut seeds = SeedStream::new(4);
+    let vit = Arc::new(
+        VisionTransformer::new(ViTConfig::vit_b16_scaled(16, 3, 10), &mut seeds.derive("vit"))
+            .unwrap(),
+    );
+    let bit = Arc::new(
+        BigTransfer::new(BitConfig::bit_r101x3_scaled(3, 10), &mut seeds.derive("bit")).unwrap(),
+    );
+    let images = Tensor::rand_uniform(&[2, 3, 16, 16], 0.1, 0.9, &mut seeds.derive("x"));
+    let labels = pelta_models::predict(vit.as_ref(), &images).unwrap();
+    let saga = Saga::new(
+        SagaParams { alpha_cnn: 2.0e-4, alpha_vit: 1.0 - 2.0e-4, step: 0.02, steps: 3 },
+        0.06,
+    )
+    .unwrap();
+
+    let clear_vit = ClearWhiteBox::new(Arc::clone(&vit) as _);
+    let clear_bit = ClearWhiteBox::new(Arc::clone(&bit) as _);
+    group.bench_function("saga_no_shield", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            criterion::black_box(
+                saga.run_ensemble(
+                    &SagaTarget { vit: &clear_vit, cnn: &clear_bit },
+                    &images,
+                    &labels,
+                    &mut rng,
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    let shielded_vit = ShieldedWhiteBox::with_default_enclave(Arc::clone(&vit) as _).unwrap();
+    let shielded_bit = ShieldedWhiteBox::with_default_enclave(Arc::clone(&bit) as _).unwrap();
+    group.bench_function("saga_both_shielded", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            criterion::black_box(
+                saga.run_ensemble(
+                    &SagaTarget { vit: &shielded_vit, cnn: &shielded_bit },
+                    &images,
+                    &labels,
+                    &mut rng,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

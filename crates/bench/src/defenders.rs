@@ -1,0 +1,258 @@
+//! Building and training the scaled defender models used by every
+//! experiment.
+
+use std::sync::Arc;
+
+use pelta_data::{Dataset, DatasetSpec, GeneratorConfig};
+use pelta_models::{
+    train_classifier, BigTransfer, BitConfig, ImageModel, ResNetConfig, ResNetV2, TrainingConfig,
+    ViTConfig, VisionTransformer,
+};
+use pelta_tensor::SeedStream;
+use serde::{Deserialize, Serialize};
+
+/// Knobs shared by every experiment of the harness.
+///
+/// The defaults are sized so that the complete `repro --all` run finishes in
+/// minutes on a laptop; the `repro` binary exposes flags to raise the sample
+/// counts and iteration budgets towards the paper's protocol (1000 samples,
+/// Table II iteration counts).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Master seed of the experiment.
+    pub seed: u64,
+    /// Training samples per dataset.
+    pub train_samples: usize,
+    /// Held-out samples per dataset (the pool attacked samples are drawn
+    /// from).
+    pub test_samples: usize,
+    /// Local training epochs for each defender.
+    pub train_epochs: usize,
+    /// Number of correctly classified samples attacked per cell (the paper
+    /// uses 1000).
+    pub attack_samples: usize,
+    /// Iteration budget of the iterative attacks (the paper's Table II uses
+    /// 20–5000 depending on the attack).
+    pub attack_steps: usize,
+    /// Uniform scale applied to every ε-like quantity of Table II. The
+    /// synthetic datasets have wider class margins than CIFAR/ImageNet, so
+    /// the default doubles the budgets while preserving all ratios
+    /// (documented in `EXPERIMENTS.md`).
+    pub epsilon_scale: f32,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            seed: 42,
+            train_samples: 64,
+            test_samples: 48,
+            train_epochs: 2,
+            attack_samples: 6,
+            attack_steps: 6,
+            epsilon_scale: 2.0,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The training configuration derived from the experiment knobs.
+    pub fn training(&self) -> TrainingConfig {
+        TrainingConfig {
+            epochs: self.train_epochs,
+            batch_size: 16,
+            learning_rate: 0.02,
+            momentum: 0.9,
+        }
+    }
+
+    /// Generates the synthetic dataset for a spec.
+    ///
+    /// The sample counts are floored at a small multiple of the class count
+    /// so that every class is represented even in quick runs (CIFAR-100-like
+    /// has 100 classes).
+    pub fn dataset(&self, spec: DatasetSpec) -> Dataset {
+        let classes = spec.num_classes();
+        Dataset::generate(
+            spec,
+            &GeneratorConfig {
+                train_samples: self.train_samples.max(2 * classes),
+                test_samples: self.test_samples.max(classes),
+                ..GeneratorConfig::default()
+            },
+            self.seed ^ classes as u64,
+        )
+    }
+}
+
+/// A trained defender ready to be wrapped in a clear or shielded oracle.
+pub struct TrainedDefender {
+    /// The paper model this defender stands in for ("ViT-L/16", …).
+    pub label: String,
+    /// The trained model, in evaluation mode.
+    pub model: Arc<dyn ImageModel>,
+    /// Clean accuracy on the held-out split.
+    pub clean_accuracy: f32,
+}
+
+fn build_model(
+    label: &str,
+    spec: DatasetSpec,
+    seeds: &mut SeedStream,
+) -> Box<dyn ImageModel> {
+    let (size, channels, classes) = (spec.image_size(), spec.channels(), spec.num_classes());
+    let mut rng = seeds.derive(label);
+    match label {
+        "ViT-L/16" => Box::new(
+            VisionTransformer::new(ViTConfig::vit_l16_scaled(size, channels, classes), &mut rng)
+                .expect("valid scaled config"),
+        ),
+        "ViT-B/16" => Box::new(
+            VisionTransformer::new(ViTConfig::vit_b16_scaled(size, channels, classes), &mut rng)
+                .expect("valid scaled config"),
+        ),
+        "ViT-B/32" => Box::new(
+            VisionTransformer::new(ViTConfig::vit_b32_scaled(size, channels, classes), &mut rng)
+                .expect("valid scaled config"),
+        ),
+        "ResNet-56" => Box::new(
+            ResNetV2::new(ResNetConfig::resnet56_scaled(channels, classes), &mut rng)
+                .expect("valid scaled config"),
+        ),
+        "ResNet-164" => Box::new(
+            ResNetV2::new(ResNetConfig::resnet164_scaled(channels, classes), &mut rng)
+                .expect("valid scaled config"),
+        ),
+        "BiT-M-R101x3" => Box::new(
+            BigTransfer::new(BitConfig::bit_r101x3_scaled(channels, classes), &mut rng)
+                .expect("valid scaled config"),
+        ),
+        "BiT-M-R152x4" => Box::new(
+            BigTransfer::new(BitConfig::bit_r152x4_scaled(channels, classes), &mut rng)
+                .expect("valid scaled config"),
+        ),
+        other => panic!("unknown defender label '{other}'"),
+    }
+}
+
+/// The defender line-up of Table III for a dataset (the ImageNet rows use the
+/// larger BiT instead of the ResNets, as in the paper).
+pub fn defender_labels(spec: DatasetSpec) -> Vec<&'static str> {
+    match spec {
+        DatasetSpec::Cifar10Like | DatasetSpec::Cifar100Like => vec![
+            "ViT-L/16",
+            "ViT-B/16",
+            "ViT-B/32",
+            "ResNet-56",
+            "ResNet-164",
+            "BiT-M-R101x3",
+        ],
+        DatasetSpec::ImageNetLike => {
+            vec!["ViT-L/16", "ViT-B/16", "BiT-M-R101x3", "BiT-M-R152x4"]
+        }
+    }
+}
+
+/// Trains the given defenders on a dataset. When `labels` is `None` the full
+/// Table III line-up for the dataset is used.
+pub fn build_defenders(
+    spec: DatasetSpec,
+    config: &ExperimentConfig,
+    labels: Option<&[&str]>,
+) -> Vec<TrainedDefender> {
+    let dataset = config.dataset(spec);
+    let mut seeds = SeedStream::new(config.seed);
+    let default_labels = defender_labels(spec);
+    let labels = labels.unwrap_or(&default_labels);
+    let mut defenders = Vec::with_capacity(labels.len());
+    for &label in labels {
+        let mut model = build_model(label, spec, &mut seeds);
+        let report = train_classifier(
+            model.as_mut(),
+            dataset.train_images(),
+            dataset.train_labels(),
+            &config.training(),
+        )
+        .expect("training the scaled defender");
+        let eval = dataset.test_subset(config.test_samples);
+        let clean_accuracy =
+            pelta_models::accuracy(model.as_ref(), &eval.images, &eval.labels).expect("evaluation");
+        let _ = report;
+        defenders.push(TrainedDefender {
+            label: label.to_string(),
+            model: Arc::from(model),
+            clean_accuracy,
+        });
+    }
+    defenders
+}
+
+/// Trains the two ensemble members of Table IV for a dataset: the ViT-L/16
+/// stand-in and the BiT stand-in (R101x3 for the CIFAR datasets, R152x4 for
+/// ImageNet, following the paper's Table IV).
+pub fn train_ensemble_members(
+    spec: DatasetSpec,
+    config: &ExperimentConfig,
+) -> (TrainedDefender, TrainedDefender) {
+    let bit_label = match spec {
+        DatasetSpec::ImageNetLike => "BiT-M-R152x4",
+        _ => "BiT-M-R101x3",
+    };
+    let mut defenders = build_defenders(spec, config, Some(&["ViT-L/16", bit_label]));
+    let bit = defenders.pop().expect("two defenders trained");
+    let vit = defenders.pop().expect("two defenders trained");
+    (vit, bit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            seed: 7,
+            train_samples: 20,
+            test_samples: 10,
+            train_epochs: 1,
+            attack_samples: 2,
+            attack_steps: 2,
+            epsilon_scale: 2.0,
+        }
+    }
+
+    #[test]
+    fn defender_lineups_match_the_paper_rows() {
+        assert_eq!(defender_labels(DatasetSpec::Cifar10Like).len(), 6);
+        assert_eq!(defender_labels(DatasetSpec::Cifar100Like).len(), 6);
+        assert_eq!(defender_labels(DatasetSpec::ImageNetLike).len(), 4);
+        assert!(defender_labels(DatasetSpec::ImageNetLike).contains(&"BiT-M-R152x4"));
+    }
+
+    #[test]
+    fn build_defenders_trains_and_reports_accuracy() {
+        let config = tiny_config();
+        let defenders =
+            build_defenders(DatasetSpec::Cifar10Like, &config, Some(&["ViT-B/16", "ResNet-56"]));
+        assert_eq!(defenders.len(), 2);
+        for defender in &defenders {
+            assert!((0.0..=1.0).contains(&defender.clean_accuracy));
+            assert_eq!(defender.model.num_classes(), 10);
+        }
+    }
+
+    #[test]
+    fn ensemble_members_are_vit_and_bit() {
+        let config = tiny_config();
+        let (vit, bit) = train_ensemble_members(DatasetSpec::Cifar10Like, &config);
+        assert_eq!(vit.label, "ViT-L/16");
+        assert_eq!(bit.label, "BiT-M-R101x3");
+        assert_eq!(
+            vit.model.architecture(),
+            pelta_models::Architecture::VisionTransformer
+        );
+        assert_eq!(
+            bit.model.architecture(),
+            pelta_models::Architecture::BigTransfer
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! # pelta-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! Pelta paper on the scaled substitution stack (see `DESIGN.md`):
+//!
+//! * [`table1`] — enclave memory cost and shielded model portion
+//!   (paper-scale analytic accounting + measured scaled models);
+//! * [`table2`] — attack hyper-parameters per dataset;
+//! * [`table3`] — robust accuracy of individual defenders, clear vs
+//!   shielded, against FGSM / PGD / MIM / C&W / APGD;
+//! * [`table4`] — robust accuracy of the ViT + BiT ensemble against SAGA
+//!   under the four shielding settings;
+//! * [`figure3`] — the loss-ascent trajectories of the maximum-allowable
+//!   attacks on one sample;
+//! * [`figure4`] — the qualitative SAGA outcome per shielding setting on one
+//!   sample;
+//! * [`system_overhead`] — the §VI system-implications measurements (world
+//!   switches, secure-channel bytes, simulated latency, FL upload bandwidth).
+//!
+//! Beyond the published tables, the ablation studies quantify the design
+//! decisions and future-work extensions the paper discusses:
+//!
+//! * [`ablation_prior_fidelity`] — the §VII embedding-prior attacker;
+//! * [`ablation_substitute_budget`] — the §IV-C BPDA substitute-training
+//!   attacker as a function of its training budget;
+//! * [`ablation_software_stack`] — Pelta combined with software defenses;
+//! * [`ablation_enclave_budget`] — secure-memory feasibility sweep;
+//! * [`backdoor_defense`] — the §I poisoning scenario against robust
+//!   aggregation rules.
+//!
+//! The `repro` binary prints any of these as text tables; the Criterion
+//! benches in `benches/` time the code paths behind each experiment.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod ablations;
+mod defenders;
+mod report;
+mod tables;
+
+pub use ablations::{
+    ablation_enclave_budget, ablation_prior_fidelity, ablation_software_stack,
+    ablation_substitute_budget, backdoor_defense, BackdoorReport, EnclaveBudgetReport,
+    PriorFidelityReport, SoftwareStackReport, SubstituteBudgetReport,
+};
+pub use defenders::{build_defenders, train_ensemble_members, ExperimentConfig, TrainedDefender};
+pub use report::{format_percent, TextTable};
+pub use tables::{
+    figure3, figure4, system_overhead, table1, table2, table3, table4, Figure3Report,
+    Figure4Report, OverheadReport, Table1Report, Table3Cell, Table3Report, Table4Report,
+    Table4Row,
+};

@@ -1,0 +1,96 @@
+//! Small text-table formatting helpers shared by the `repro` binary and the
+//! benches.
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded or truncated to the header width).
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut row: Vec<String> = row.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let columns = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                line.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `0.988` →
+/// `"98.8%"`.
+pub fn format_percent(fraction: f32) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut table = TextTable::new(vec!["Model", "Clean", "Robust"]);
+        table.push_row(vec!["ViT-L/16", "99.4%", "90.6%"]);
+        table.push_row(vec!["BiT", "98.9%"]); // short row gets padded
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+        let rendered = table.render();
+        assert!(rendered.contains("Model"));
+        assert!(rendered.contains("ViT-L/16"));
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(format_percent(0.988), "98.8%");
+        assert_eq!(format_percent(0.0), "0.0%");
+        assert_eq!(format_percent(1.0), "100.0%");
+    }
+}

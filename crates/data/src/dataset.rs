@@ -1,0 +1,332 @@
+//! Synthetic class-conditional dataset generation and batching.
+
+use pelta_tensor::{SeedStream, Tensor};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::DatasetSpec;
+
+/// Configuration of the synthetic dataset generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of training samples.
+    pub train_samples: usize,
+    /// Number of held-out test samples (the pool from which correctly
+    /// classified attack samples are drawn, as in the paper's 1000-sample
+    /// protocol).
+    pub test_samples: usize,
+    /// Resolution of the low-frequency prototype grid (smaller = smoother
+    /// class prototypes = easier task).
+    pub prototype_grid: usize,
+    /// Maximum per-sample brightness jitter.
+    pub brightness_jitter: f32,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            train_samples: 256,
+            test_samples: 128,
+            prototype_grid: 4,
+            brightness_jitter: 0.05,
+        }
+    }
+}
+
+/// A mini-batch view: images plus labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Images, `[B, C, H, W]`.
+    pub images: Tensor,
+    /// One label per image.
+    pub labels: Vec<usize>,
+}
+
+/// A labelled synthetic image-classification dataset with a train/test
+/// split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    spec: DatasetSpec,
+    train_images: Tensor,
+    train_labels: Vec<usize>,
+    test_images: Tensor,
+    test_labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Generates a dataset for the given spec, deterministically from
+    /// `seed`.
+    pub fn generate(spec: DatasetSpec, config: &GeneratorConfig, seed: u64) -> Self {
+        let mut seeds = SeedStream::new(seed);
+        let mut proto_rng = seeds.derive("prototypes");
+        let prototypes: Vec<Vec<f32>> = (0..spec.num_classes())
+            .map(|_| prototype(spec, config.prototype_grid, &mut proto_rng))
+            .collect();
+
+        let mut train_rng = seeds.derive("train");
+        let (train_images, train_labels) =
+            sample_split(spec, config, &prototypes, config.train_samples, &mut train_rng);
+        let mut test_rng = seeds.derive("test");
+        let (test_images, test_labels) =
+            sample_split(spec, config, &prototypes, config.test_samples, &mut test_rng);
+
+        Dataset {
+            spec,
+            train_images,
+            train_labels,
+            test_images,
+            test_labels,
+        }
+    }
+
+    /// The dataset spec this dataset was generated for.
+    pub fn spec(&self) -> DatasetSpec {
+        self.spec
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.spec.num_classes()
+    }
+
+    /// Training images `[N, C, H, W]`.
+    pub fn train_images(&self) -> &Tensor {
+        &self.train_images
+    }
+
+    /// Training labels.
+    pub fn train_labels(&self) -> &[usize] {
+        &self.train_labels
+    }
+
+    /// Held-out test images `[N, C, H, W]`.
+    pub fn test_images(&self) -> &Tensor {
+        &self.test_images
+    }
+
+    /// Held-out test labels.
+    pub fn test_labels(&self) -> &[usize] {
+        &self.test_labels
+    }
+
+    /// Number of training samples.
+    pub fn len(&self) -> usize {
+        self.train_labels.len()
+    }
+
+    /// Whether the training split is empty.
+    pub fn is_empty(&self) -> bool {
+        self.train_labels.is_empty()
+    }
+
+    /// Builds a dataset directly from tensors (used by federated sharding).
+    ///
+    /// # Panics
+    /// Panics if image and label counts disagree; this is an internal
+    /// constructor used by the sharding code which always passes consistent
+    /// slices.
+    pub(crate) fn from_parts(
+        spec: DatasetSpec,
+        train_images: Tensor,
+        train_labels: Vec<usize>,
+        test_images: Tensor,
+        test_labels: Vec<usize>,
+    ) -> Self {
+        assert_eq!(train_images.dims()[0], train_labels.len());
+        assert_eq!(test_images.dims()[0], test_labels.len());
+        Dataset {
+            spec,
+            train_images,
+            train_labels,
+            test_images,
+            test_labels,
+        }
+    }
+
+    /// Iterates over training mini-batches of at most `batch_size` samples,
+    /// in order.
+    pub fn train_batches(&self, batch_size: usize) -> Vec<Batch> {
+        batches(&self.train_images, &self.train_labels, batch_size)
+    }
+
+    /// Returns the first `n` test samples (or all of them if fewer exist).
+    pub fn test_subset(&self, n: usize) -> Batch {
+        let take = n.min(self.test_labels.len());
+        Batch {
+            images: self
+                .test_images
+                .narrow(0, 0, take)
+                .expect("subset within bounds"),
+            labels: self.test_labels[..take].to_vec(),
+        }
+    }
+}
+
+/// Generates one smooth class prototype as a bilinearly upsampled random
+/// low-frequency grid, per channel, in `[0.15, 0.85]`.
+fn prototype<R: Rng + ?Sized>(spec: DatasetSpec, grid: usize, rng: &mut R) -> Vec<f32> {
+    let (c, hw) = (spec.channels(), spec.image_size());
+    let grid = grid.max(2);
+    let mut out = vec![0.0f32; c * hw * hw];
+    for ch in 0..c {
+        // Low-frequency control points.
+        let control: Vec<f32> = (0..grid * grid).map(|_| rng.gen_range(0.15..0.85)).collect();
+        for y in 0..hw {
+            for x in 0..hw {
+                // Bilinear interpolation of the control grid.
+                let fy = y as f32 / (hw - 1) as f32 * (grid - 1) as f32;
+                let fx = x as f32 / (hw - 1) as f32 * (grid - 1) as f32;
+                let (y0, x0) = (fy.floor() as usize, fx.floor() as usize);
+                let (y1, x1) = ((y0 + 1).min(grid - 1), (x0 + 1).min(grid - 1));
+                let (dy, dx) = (fy - y0 as f32, fx - x0 as f32);
+                let top = control[y0 * grid + x0] * (1.0 - dx) + control[y0 * grid + x1] * dx;
+                let bottom = control[y1 * grid + x0] * (1.0 - dx) + control[y1 * grid + x1] * dx;
+                out[(ch * hw + y) * hw + x] = top * (1.0 - dy) + bottom * dy;
+            }
+        }
+    }
+    out
+}
+
+/// Draws `n` samples with uniformly cycled labels.
+fn sample_split<R: Rng + ?Sized>(
+    spec: DatasetSpec,
+    config: &GeneratorConfig,
+    prototypes: &[Vec<f32>],
+    n: usize,
+    rng: &mut R,
+) -> (Tensor, Vec<usize>) {
+    let (c, hw) = (spec.channels(), spec.image_size());
+    let pixels = c * hw * hw;
+    let noise = spec.sample_noise();
+    let mut data = Vec::with_capacity(n * pixels);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % spec.num_classes();
+        labels.push(class);
+        let brightness = rng.gen_range(-config.brightness_jitter..=config.brightness_jitter);
+        for &p in &prototypes[class] {
+            let value = p + brightness + rng.gen_range(-noise..noise);
+            data.push(value.clamp(0.0, 1.0));
+        }
+    }
+    (
+        Tensor::from_vec(data, &[n, c, hw, hw]).expect("generator produces consistent shapes"),
+        labels,
+    )
+}
+
+fn batches(images: &Tensor, labels: &[usize], batch_size: usize) -> Vec<Batch> {
+    let n = labels.len();
+    let batch_size = batch_size.max(1);
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        let len = batch_size.min(n - start);
+        out.push(Batch {
+            images: images.narrow(0, start, len).expect("batch within bounds"),
+            labels: labels[start..start + len].to_vec(),
+        });
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_config() -> GeneratorConfig {
+        GeneratorConfig {
+            train_samples: 40,
+            test_samples: 20,
+            ..GeneratorConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Dataset::generate(DatasetSpec::Cifar10Like, &small_config(), 7);
+        let b = Dataset::generate(DatasetSpec::Cifar10Like, &small_config(), 7);
+        assert_eq!(a.train_images(), b.train_images());
+        assert_eq!(a.train_labels(), b.train_labels());
+        let c = Dataset::generate(DatasetSpec::Cifar10Like, &small_config(), 8);
+        assert_ne!(a.train_images(), c.train_images());
+    }
+
+    #[test]
+    fn shapes_and_ranges() {
+        for spec in DatasetSpec::all() {
+            let ds = Dataset::generate(spec, &small_config(), 1);
+            assert_eq!(ds.train_images().dims(), &[40, 3, 32, 32]);
+            assert_eq!(ds.test_images().dims(), &[20, 3, 32, 32]);
+            assert_eq!(ds.len(), 40);
+            assert!(!ds.is_empty());
+            assert!(ds.train_images().data().iter().all(|&x| (0.0..=1.0).contains(&x)));
+            assert!(ds.train_labels().iter().all(|&l| l < spec.num_classes()));
+            assert_eq!(ds.spec(), spec);
+        }
+    }
+
+    #[test]
+    fn labels_cover_classes_roughly_uniformly() {
+        let ds = Dataset::generate(DatasetSpec::Cifar10Like, &small_config(), 2);
+        let mut counts = vec![0usize; 10];
+        for &l in ds.train_labels() {
+            counts[l] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 4), "counts {counts:?}");
+    }
+
+    #[test]
+    fn same_class_samples_are_similar_and_cross_class_differ() {
+        let ds = Dataset::generate(DatasetSpec::Cifar10Like, &small_config(), 3);
+        let images = ds.train_images();
+        // Samples 0 and 10 share class 0; sample 1 is class 1.
+        let a = images.index_axis(0, 0).unwrap();
+        let b = images.index_axis(0, 10).unwrap();
+        let c = images.index_axis(0, 1).unwrap();
+        let same = a.sub(&b).unwrap().l2_norm();
+        let diff = a.sub(&c).unwrap().l2_norm();
+        assert!(
+            same < diff,
+            "intra-class distance {same} should be below inter-class distance {diff}"
+        );
+    }
+
+    #[test]
+    fn batching_covers_all_samples() {
+        let ds = Dataset::generate(DatasetSpec::Cifar10Like, &small_config(), 4);
+        let batches = ds.train_batches(16);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].images.dims()[0], 16);
+        assert_eq!(batches[2].images.dims()[0], 8);
+        let total: usize = batches.iter().map(|b| b.labels.len()).sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn test_subset_truncates() {
+        let ds = Dataset::generate(DatasetSpec::Cifar100Like, &small_config(), 5);
+        let subset = ds.test_subset(8);
+        assert_eq!(subset.images.dims()[0], 8);
+        assert_eq!(subset.labels.len(), 8);
+        let all = ds.test_subset(10_000);
+        assert_eq!(all.labels.len(), 20);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn prop_generation_always_valid(seed in 0u64..1000) {
+            let ds = Dataset::generate(DatasetSpec::ImageNetLike, &GeneratorConfig {
+                train_samples: 10,
+                test_samples: 5,
+                ..GeneratorConfig::default()
+            }, seed);
+            prop_assert!(ds.train_images().data().iter().all(|x| x.is_finite()));
+            prop_assert!(ds.train_labels().iter().all(|&l| l < 20));
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Federated sharding of a dataset across clients.
+
+use pelta_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Dataset, DatasetSpec};
+
+/// How training samples are partitioned across federated clients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Partition {
+    /// Independent and identically distributed: samples are shuffled and
+    /// dealt round-robin.
+    Iid,
+    /// Label-skewed non-IID partition: each client receives samples drawn
+    /// mostly from a subset of classes (Dirichlet-style skew approximated by
+    /// sorting by label before dealing contiguous shards).
+    LabelSkew,
+}
+
+/// One client's local shard of the federated dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClientShard {
+    /// The owning client's index.
+    pub client_id: usize,
+    /// The client's local dataset (train split only; the test split is kept
+    /// by the evaluation harness, mirroring the paper's central evaluation).
+    pub dataset: Dataset,
+}
+
+impl ClientShard {
+    /// Number of local training samples.
+    pub fn len(&self) -> usize {
+        self.dataset.len()
+    }
+
+    /// Whether the shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dataset.is_empty()
+    }
+}
+
+/// Splits a dataset's training samples across `num_clients` clients.
+///
+/// The held-out test split is copied to every shard so any client (in
+/// particular the compromised one) can select correctly classified samples to
+/// attack, as the threat model assumes local inference data.
+///
+/// # Panics
+/// Panics if `num_clients` is zero.
+pub fn federated_split<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    num_clients: usize,
+    partition: Partition,
+    rng: &mut R,
+) -> Vec<ClientShard> {
+    assert!(num_clients > 0, "at least one client required");
+    let n = dataset.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    match partition {
+        Partition::Iid => order.shuffle(rng),
+        Partition::LabelSkew => {
+            order.shuffle(rng);
+            order.sort_by_key(|&i| dataset.train_labels()[i]);
+        }
+    }
+
+    let mut shards = Vec::with_capacity(num_clients);
+    for client_id in 0..num_clients {
+        let indices: Vec<usize> = order
+            .iter()
+            .copied()
+            .skip(client_id)
+            .step_by(num_clients)
+            .collect();
+        let indices = match partition {
+            Partition::Iid => indices,
+            // Contiguous shards preserve the label skew.
+            Partition::LabelSkew => {
+                let per_client = n / num_clients;
+                let start = client_id * per_client;
+                let end = if client_id + 1 == num_clients { n } else { start + per_client };
+                order[start..end].to_vec()
+            }
+        };
+        let (images, labels) = gather(dataset, &indices);
+        shards.push(ClientShard {
+            client_id,
+            dataset: Dataset::from_parts(
+                dataset.spec(),
+                images,
+                labels,
+                dataset.test_images().clone(),
+                dataset.test_labels().to_vec(),
+            ),
+        });
+    }
+    shards
+}
+
+fn gather(dataset: &Dataset, indices: &[usize]) -> (Tensor, Vec<usize>) {
+    let spec: DatasetSpec = dataset.spec();
+    let (c, hw) = (spec.channels(), spec.image_size());
+    let pixels = c * hw * hw;
+    let mut data = Vec::with_capacity(indices.len() * pixels);
+    let mut labels = Vec::with_capacity(indices.len());
+    for &i in indices {
+        let start = i * pixels;
+        data.extend_from_slice(&dataset.train_images().data()[start..start + pixels]);
+        labels.push(dataset.train_labels()[i]);
+    }
+    (
+        Tensor::from_vec(data, &[indices.len(), c, hw, hw]).expect("gather produces valid shape"),
+        labels,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GeneratorConfig;
+    use pelta_tensor::SeedStream;
+
+    fn dataset() -> Dataset {
+        Dataset::generate(
+            DatasetSpec::Cifar10Like,
+            &GeneratorConfig {
+                train_samples: 60,
+                test_samples: 20,
+                ..GeneratorConfig::default()
+            },
+            11,
+        )
+    }
+
+    #[test]
+    fn iid_split_covers_all_samples() {
+        let ds = dataset();
+        let mut seeds = SeedStream::new(1);
+        let shards = federated_split(&ds, 4, Partition::Iid, &mut seeds.derive("split"));
+        assert_eq!(shards.len(), 4);
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 60);
+        for (i, shard) in shards.iter().enumerate() {
+            assert_eq!(shard.client_id, i);
+            assert!(!shard.is_empty());
+            // Every client keeps the full held-out test pool.
+            assert_eq!(shard.dataset.test_labels().len(), 20);
+        }
+    }
+
+    #[test]
+    fn iid_shards_have_diverse_labels() {
+        let ds = dataset();
+        let mut seeds = SeedStream::new(2);
+        let shards = federated_split(&ds, 3, Partition::Iid, &mut seeds.derive("split"));
+        for shard in &shards {
+            let distinct: std::collections::HashSet<usize> =
+                shard.dataset.train_labels().iter().copied().collect();
+            assert!(distinct.len() >= 5, "IID shard should see many classes");
+        }
+    }
+
+    #[test]
+    fn label_skew_concentrates_classes() {
+        let ds = dataset();
+        let mut seeds = SeedStream::new(3);
+        let shards = federated_split(&ds, 5, Partition::LabelSkew, &mut seeds.derive("split"));
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 60);
+        // A skewed shard sees strictly fewer distinct classes than an IID one
+        // would (60/5 = 12 samples drawn from a sorted-by-label ordering →
+        // at most ~3 classes).
+        for shard in &shards {
+            let distinct: std::collections::HashSet<usize> =
+                shard.dataset.train_labels().iter().copied().collect();
+            assert!(
+                distinct.len() <= 4,
+                "label-skewed shard saw {} classes",
+                distinct.len()
+            );
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic_given_seed() {
+        let ds = dataset();
+        let mut a_seeds = SeedStream::new(4);
+        let mut b_seeds = SeedStream::new(4);
+        let a = federated_split(&ds, 3, Partition::Iid, &mut a_seeds.derive("split"));
+        let b = federated_split(&ds, 3, Partition::Iid, &mut b_seeds.derive("split"));
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.dataset.train_labels(), y.dataset.train_labels());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_panics() {
+        let ds = dataset();
+        let mut seeds = SeedStream::new(5);
+        federated_split(&ds, 0, Partition::Iid, &mut seeds.derive("split"));
+    }
+}

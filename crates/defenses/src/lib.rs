@@ -1,0 +1,50 @@
+//! # pelta-defenses
+//!
+//! Inference-time **software** defenses that the paper positions Pelta as
+//! complementary to (§II, §VII):
+//!
+//! > *"our proposed defense scheme does not interfere with existing software
+//! > solutions for train time or inference time defenses such as
+//! > randomization, quantization or encoding techniques. As a result, Pelta
+//! > should not be regarded as a competitor algorithm … but rather as a
+//! > supplementary hardware-reliant aid to existing protocols."*
+//!
+//! Every defense here is an input-transformation wrapper around a
+//! [`pelta_core::GradientOracle`], so it composes freely with the clear
+//! oracle, with the Pelta-shielded oracle, and with the other software
+//! defenses. The attacker-facing semantics follow the literature the paper
+//! cites (its references 34, 35 and 47):
+//!
+//! * [`InputRandomization`] — random additive noise and a random circular
+//!   pixel shift are applied to the input before every forward pass. The
+//!   transformation is non-deterministic, so an iterative attacker chases a
+//!   moving target; the gradients it reads are straight-through estimates of
+//!   the transformed pass (the exact fragility Athalye et al. exploit, which
+//!   is why the paper pairs randomization with the hardware shield instead
+//!   of relying on it alone).
+//! * [`InputQuantization`] — the input is quantised to a small number of
+//!   levels before the forward pass. The transform is piecewise constant, so
+//!   the true gradient through it is zero almost everywhere; the wrapper
+//!   exposes a straight-through gradient, again mirroring how BPDA attacks
+//!   such defenses.
+//! * [`DefenseStack`] — a convenience builder composing the wrappers in a
+//!   fixed order (quantization → randomization → inner oracle) so the
+//!   ablation bench can evaluate `none / software-only / Pelta-only /
+//!   Pelta + software` with the same attack code.
+//!
+//! The ablation bench `ablation_software_stack` and the
+//! `software_defense_integration` test exercise the four combinations.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod quantization;
+mod randomization;
+mod stack;
+
+pub use quantization::InputQuantization;
+pub use randomization::{InputRandomization, RandomizationConfig};
+pub use stack::DefenseStack;
+
+/// Convenience alias for results returned throughout this crate (shared with
+/// `pelta-core`, whose oracle interface the wrappers implement).
+pub type Result<T> = pelta_core::Result<T>;

@@ -1,0 +1,150 @@
+//! Inference-time input quantization (feature squeezing / bit-depth
+//! reduction, Ren et al. — the paper's reference 47).
+
+use std::sync::Arc;
+
+use pelta_core::{AttackLoss, BackwardProbe, GradientOracle, PeltaError};
+use pelta_models::Architecture;
+use pelta_tensor::Tensor;
+
+use crate::Result;
+
+/// A defender that quantises its input to a fixed number of intensity
+/// levels before every pass.
+///
+/// The transform is piecewise constant, so its true gradient is zero almost
+/// everywhere; like real quantization defenses this wrapper exposes a
+/// straight-through gradient (the gradient of the pass on the quantised
+/// input), which is exactly what a BPDA attacker would substitute anyway.
+pub struct InputQuantization {
+    inner: Arc<dyn GradientOracle>,
+    levels: u32,
+}
+
+impl InputQuantization {
+    /// Wraps an oracle with a `levels`-level quantizer (e.g. 8 levels ≙ 3-bit
+    /// colour depth).
+    ///
+    /// # Errors
+    /// Returns an error if fewer than two levels are requested (the input
+    /// would collapse to a constant image).
+    pub fn new(inner: Arc<dyn GradientOracle>, levels: u32) -> Result<Self> {
+        if levels < 2 {
+            return Err(PeltaError::InvalidProbe {
+                reason: format!("quantization needs at least 2 levels, got {levels}"),
+            });
+        }
+        Ok(InputQuantization { inner, levels })
+    }
+
+    /// Number of quantization levels.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Quantises a batch of `[0, 1]` images to `levels` uniform levels.
+    pub fn quantize(&self, images: &Tensor) -> Tensor {
+        let steps = (self.levels - 1) as f32;
+        images.map(|v| (v.clamp(0.0, 1.0) * steps).round() / steps)
+    }
+}
+
+impl GradientOracle for InputQuantization {
+    fn name(&self) -> String {
+        format!("{} + {}-level quantization", self.inner.name(), self.levels)
+    }
+
+    fn architecture(&self) -> Architecture {
+        self.inner.architecture()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.inner.num_classes()
+    }
+
+    fn input_shape(&self) -> [usize; 3] {
+        self.inner.input_shape()
+    }
+
+    fn is_shielded(&self) -> bool {
+        self.inner.is_shielded()
+    }
+
+    fn logits(&self, images: &Tensor) -> Result<Tensor> {
+        self.inner.logits(&self.quantize(images))
+    }
+
+    fn probe(&self, images: &Tensor, labels: &[usize], loss: AttackLoss) -> Result<BackwardProbe> {
+        self.inner.probe(&self.quantize(images), labels, loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelta_core::ClearWhiteBox;
+    use pelta_models::{ImageModel, ViTConfig, VisionTransformer};
+    use pelta_tensor::SeedStream;
+
+    fn clear_oracle(seed: u64) -> Arc<dyn GradientOracle> {
+        let mut seeds = SeedStream::new(seed);
+        let vit = VisionTransformer::new(
+            ViTConfig::vit_b16_scaled(8, 3, 4),
+            &mut seeds.derive("init"),
+        )
+        .unwrap();
+        Arc::new(ClearWhiteBox::new(Arc::new(vit) as Arc<dyn ImageModel>))
+    }
+
+    #[test]
+    fn construction_requires_at_least_two_levels() {
+        let inner = clear_oracle(10);
+        assert!(InputQuantization::new(Arc::clone(&inner), 1).is_err());
+        let ok = InputQuantization::new(inner, 8).unwrap();
+        assert_eq!(ok.levels(), 8);
+        assert!(ok.name().contains("8-level"));
+    }
+
+    #[test]
+    fn quantization_produces_exactly_the_allowed_levels() {
+        let inner = clear_oracle(11);
+        let defense = InputQuantization::new(inner, 4).unwrap();
+        let mut seeds = SeedStream::new(12);
+        let x = Tensor::rand_uniform(&[1, 3, 8, 8], 0.0, 1.0, &mut seeds.derive("x"));
+        let q = defense.quantize(&x);
+        for &v in q.data() {
+            let scaled = v * 3.0;
+            assert!(
+                (scaled - scaled.round()).abs() < 1e-5,
+                "{v} is not one of the 4 levels"
+            );
+            assert!((0.0..=1.0).contains(&v));
+        }
+        // Quantization is idempotent.
+        assert_eq!(defense.quantize(&q).data(), q.data());
+    }
+
+    #[test]
+    fn small_perturbations_are_absorbed_by_the_quantizer() {
+        let inner = clear_oracle(13);
+        let defense = InputQuantization::new(inner, 8).unwrap();
+        let x = Tensor::full(&[1, 3, 4, 4], 0.5);
+        // A perturbation far below half a quantization step disappears.
+        let perturbed = x.add_scalar(0.01);
+        assert_eq!(defense.quantize(&x).data(), defense.quantize(&perturbed).data());
+    }
+
+    #[test]
+    fn probe_and_logits_run_on_the_quantised_input() {
+        let inner = clear_oracle(14);
+        let defense = InputQuantization::new(Arc::clone(&inner), 2).unwrap();
+        let mut seeds = SeedStream::new(15);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut seeds.derive("x"));
+        let wrapped = defense.logits(&x).unwrap();
+        let direct = inner.logits(&defense.quantize(&x)).unwrap();
+        assert_eq!(wrapped.data(), direct.data());
+        let probe = defense.probe(&x, &[0, 1], AttackLoss::CrossEntropy).unwrap();
+        assert!(probe.input_gradient.is_some());
+        assert!(probe.loss.is_finite());
+    }
+}

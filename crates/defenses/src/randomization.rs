@@ -1,0 +1,251 @@
+//! Inference-time input randomization (Yu et al. and Ren et al. — the
+//! paper's references 34 and 47).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pelta_core::{AttackLoss, BackwardProbe, GradientOracle, PeltaError};
+use pelta_models::Architecture;
+use pelta_tensor::Tensor;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::Result;
+
+/// Hyper-parameters of the randomization defense.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomizationConfig {
+    /// Amplitude of the additive uniform noise (per pixel, in `[0, 1]`
+    /// intensity units).
+    pub noise: f32,
+    /// Maximum circular pixel shift applied independently to each axis.
+    pub max_shift: usize,
+}
+
+impl Default for RandomizationConfig {
+    fn default() -> Self {
+        RandomizationConfig {
+            noise: 0.02,
+            max_shift: 2,
+        }
+    }
+}
+
+/// A defender that randomises its input before every pass.
+///
+/// Each call to [`GradientOracle::logits`] or [`GradientOracle::probe`]
+/// draws a fresh noise mask and a fresh circular shift, so two identical
+/// queries see two different transformed inputs — the property the defense
+/// relies on to destabilise iterative attacks. The gradient returned to the
+/// attacker is the gradient of the *transformed* pass (a straight-through
+/// estimate with respect to the original input).
+pub struct InputRandomization {
+    inner: Arc<dyn GradientOracle>,
+    config: RandomizationConfig,
+    rng: Mutex<ChaCha8Rng>,
+}
+
+impl InputRandomization {
+    /// Wraps an oracle with the randomization defense.
+    ///
+    /// # Errors
+    /// Returns an error if the noise amplitude is negative or not finite.
+    pub fn new(
+        inner: Arc<dyn GradientOracle>,
+        config: RandomizationConfig,
+        seed: u64,
+    ) -> Result<Self> {
+        if config.noise < 0.0 || !config.noise.is_finite() {
+            return Err(PeltaError::InvalidProbe {
+                reason: format!("randomization noise must be non-negative, got {}", config.noise),
+            });
+        }
+        Ok(InputRandomization {
+            inner,
+            config,
+            rng: Mutex::new(ChaCha8Rng::seed_from_u64(seed)),
+        })
+    }
+
+    /// The defense configuration.
+    pub fn config(&self) -> &RandomizationConfig {
+        &self.config
+    }
+
+    /// Applies one fresh random transformation (noise + circular shift) to a
+    /// batch of images, clamped back to the valid pixel range.
+    fn randomize(&self, images: &Tensor) -> Result<Tensor> {
+        let mut rng = self.rng.lock();
+        let noisy = if self.config.noise > 0.0 {
+            let noise = Tensor::rand_uniform(
+                images.dims(),
+                -self.config.noise,
+                self.config.noise,
+                &mut *rng,
+            );
+            images.add(&noise).map_err(PeltaError::from)?
+        } else {
+            images.clone()
+        };
+        let (dy, dx) = if self.config.max_shift > 0 {
+            (
+                rng.gen_range(0..=self.config.max_shift),
+                rng.gen_range(0..=self.config.max_shift),
+            )
+        } else {
+            (0, 0)
+        };
+        Ok(circular_shift(&noisy, dy, dx).clamp(0.0, 1.0))
+    }
+}
+
+/// Circularly shifts a `[N, C, H, W]` batch by `dy` rows and `dx` columns.
+fn circular_shift(images: &Tensor, dy: usize, dx: usize) -> Tensor {
+    if dy == 0 && dx == 0 {
+        return images.clone();
+    }
+    let (n, c, h, w) = (
+        images.dims()[0],
+        images.dims()[1],
+        images.dims()[2],
+        images.dims()[3],
+    );
+    let mut out = Tensor::zeros(images.dims());
+    let src = images.data();
+    let dst = out.data_mut();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            for y in 0..h {
+                let sy = (y + dy) % h;
+                for x in 0..w {
+                    let sx = (x + dx) % w;
+                    dst[base + y * w + x] = src[base + sy * w + sx];
+                }
+            }
+        }
+    }
+    out
+}
+
+impl GradientOracle for InputRandomization {
+    fn name(&self) -> String {
+        format!("{} + randomization", self.inner.name())
+    }
+
+    fn architecture(&self) -> Architecture {
+        self.inner.architecture()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.inner.num_classes()
+    }
+
+    fn input_shape(&self) -> [usize; 3] {
+        self.inner.input_shape()
+    }
+
+    fn is_shielded(&self) -> bool {
+        self.inner.is_shielded()
+    }
+
+    fn logits(&self, images: &Tensor) -> Result<Tensor> {
+        let transformed = self.randomize(images)?;
+        self.inner.logits(&transformed)
+    }
+
+    fn probe(&self, images: &Tensor, labels: &[usize], loss: AttackLoss) -> Result<BackwardProbe> {
+        let transformed = self.randomize(images)?;
+        self.inner.probe(&transformed, labels, loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelta_core::ClearWhiteBox;
+    use pelta_models::{ImageModel, ViTConfig, VisionTransformer};
+    use pelta_tensor::SeedStream;
+
+    fn clear_oracle(seed: u64) -> Arc<dyn GradientOracle> {
+        let mut seeds = SeedStream::new(seed);
+        let vit = VisionTransformer::new(
+            ViTConfig::vit_b16_scaled(8, 3, 4),
+            &mut seeds.derive("init"),
+        )
+        .unwrap();
+        Arc::new(ClearWhiteBox::new(Arc::new(vit) as Arc<dyn ImageModel>))
+    }
+
+    #[test]
+    fn construction_validates_noise() {
+        let inner = clear_oracle(1);
+        let bad = RandomizationConfig {
+            noise: -0.1,
+            max_shift: 1,
+        };
+        assert!(InputRandomization::new(Arc::clone(&inner), bad, 0).is_err());
+        let ok = InputRandomization::new(inner, RandomizationConfig::default(), 0).unwrap();
+        assert!(ok.name().contains("randomization"));
+        assert!((ok.config().noise - 0.02).abs() < 1e-6);
+    }
+
+    #[test]
+    fn circular_shift_is_a_permutation() {
+        let images = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let shifted = circular_shift(&images, 1, 2);
+        let mut original: Vec<f32> = images.data().to_vec();
+        let mut moved: Vec<f32> = shifted.data().to_vec();
+        original.sort_by(f32::total_cmp);
+        moved.sort_by(f32::total_cmp);
+        assert_eq!(original, moved);
+        assert_ne!(images.data(), shifted.data());
+        // Shift by zero is the identity.
+        assert_eq!(circular_shift(&images, 0, 0).data(), images.data());
+    }
+
+    #[test]
+    fn repeated_probes_see_different_transformed_inputs() {
+        let inner = clear_oracle(2);
+        let defense =
+            InputRandomization::new(inner, RandomizationConfig { noise: 0.05, max_shift: 2 }, 7)
+                .unwrap();
+        let mut seeds = SeedStream::new(3);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.2, 0.8, &mut seeds.derive("x"));
+        let a = defense.probe(&x, &[0, 1], AttackLoss::CrossEntropy).unwrap();
+        let b = defense.probe(&x, &[0, 1], AttackLoss::CrossEntropy).unwrap();
+        // The logits (and in general the losses) differ across identical
+        // queries because the transformation is re-drawn.
+        assert_ne!(a.logits.data(), b.logits.data());
+        assert!(a.input_gradient.is_some());
+    }
+
+    #[test]
+    fn delegation_preserves_the_inner_oracle_metadata() {
+        let inner = clear_oracle(4);
+        let defense =
+            InputRandomization::new(Arc::clone(&inner), RandomizationConfig::default(), 0)
+                .unwrap();
+        assert_eq!(defense.num_classes(), inner.num_classes());
+        assert_eq!(defense.input_shape(), inner.input_shape());
+        assert_eq!(defense.is_shielded(), inner.is_shielded());
+        assert_eq!(defense.architecture(), inner.architecture());
+    }
+
+    #[test]
+    fn zero_noise_zero_shift_is_the_identity_defense() {
+        let inner = clear_oracle(5);
+        let defense = InputRandomization::new(
+            Arc::clone(&inner),
+            RandomizationConfig { noise: 0.0, max_shift: 0 },
+            0,
+        )
+        .unwrap();
+        let mut seeds = SeedStream::new(6);
+        let x = Tensor::rand_uniform(&[1, 3, 8, 8], 0.2, 0.8, &mut seeds.derive("x"));
+        let wrapped = defense.logits(&x).unwrap();
+        let direct = inner.logits(&x).unwrap();
+        assert_eq!(wrapped.data(), direct.data());
+    }
+}

@@ -1,0 +1,132 @@
+//! Composing software defenses with each other and with the Pelta shield.
+
+use std::sync::Arc;
+
+use pelta_core::GradientOracle;
+
+use crate::{InputQuantization, InputRandomization, RandomizationConfig, Result};
+
+/// Builder that stacks software defenses on top of any inner oracle.
+///
+/// The composition order is fixed to match how the defenses are deployed in
+/// practice: the quantizer squeezes the stored input first, the
+/// randomization layer perturbs what reaches the model last, and the inner
+/// oracle (clear or Pelta-shielded) sits underneath. The §VII ablation bench
+/// evaluates the four corners `none / software-only / Pelta-only /
+/// Pelta + software` by choosing the inner oracle and the stacked layers.
+///
+/// # Example
+///
+/// ```rust
+/// use std::sync::Arc;
+/// use pelta_core::{ClearWhiteBox, GradientOracle};
+/// use pelta_defenses::{DefenseStack, RandomizationConfig};
+/// use pelta_models::{ImageModel, ViTConfig, VisionTransformer};
+/// use pelta_tensor::SeedStream;
+///
+/// # fn main() -> Result<(), pelta_core::PeltaError> {
+/// let mut seeds = SeedStream::new(0);
+/// let vit = VisionTransformer::new(
+///     ViTConfig::vit_b16_scaled(8, 3, 4),
+///     &mut seeds.derive("init"),
+/// )?;
+/// let inner = Arc::new(ClearWhiteBox::new(Arc::new(vit) as Arc<dyn ImageModel>));
+/// let defended = DefenseStack::new(inner)
+///     .with_quantization(8)?
+///     .with_randomization(RandomizationConfig::default(), 42)?
+///     .build();
+/// assert!(defended.name().contains("quantization"));
+/// # Ok(())
+/// # }
+/// ```
+pub struct DefenseStack {
+    oracle: Arc<dyn GradientOracle>,
+}
+
+impl DefenseStack {
+    /// Starts a stack from the innermost oracle (clear or Pelta-shielded).
+    pub fn new(inner: Arc<dyn GradientOracle>) -> Self {
+        DefenseStack { oracle: inner }
+    }
+
+    /// Adds an input-quantization layer.
+    ///
+    /// # Errors
+    /// Returns an error if fewer than two levels are requested.
+    pub fn with_quantization(self, levels: u32) -> Result<Self> {
+        let oracle = Arc::new(InputQuantization::new(self.oracle, levels)?);
+        Ok(DefenseStack { oracle })
+    }
+
+    /// Adds an input-randomization layer.
+    ///
+    /// # Errors
+    /// Returns an error if the noise amplitude is invalid.
+    pub fn with_randomization(self, config: RandomizationConfig, seed: u64) -> Result<Self> {
+        let oracle = Arc::new(InputRandomization::new(self.oracle, config, seed)?);
+        Ok(DefenseStack { oracle })
+    }
+
+    /// Finishes the stack and returns the composed oracle.
+    pub fn build(self) -> Arc<dyn GradientOracle> {
+        self.oracle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelta_core::{AttackLoss, ClearWhiteBox, ShieldedWhiteBox};
+    use pelta_models::{ImageModel, ViTConfig, VisionTransformer};
+    use pelta_tensor::{SeedStream, Tensor};
+
+    fn model(seed: u64) -> Arc<dyn ImageModel> {
+        let mut seeds = SeedStream::new(seed);
+        Arc::new(
+            VisionTransformer::new(ViTConfig::vit_b16_scaled(8, 3, 4), &mut seeds.derive("init"))
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn empty_stack_is_the_inner_oracle() {
+        let inner: Arc<dyn GradientOracle> = Arc::new(ClearWhiteBox::new(model(20)));
+        let name = inner.name();
+        let built = DefenseStack::new(inner).build();
+        assert_eq!(built.name(), name);
+        assert!(!built.is_shielded());
+    }
+
+    #[test]
+    fn full_stack_over_the_pelta_shield_masks_gradients_and_composes_names() {
+        let shielded: Arc<dyn GradientOracle> =
+            Arc::new(ShieldedWhiteBox::with_default_enclave(model(21)).unwrap());
+        let defended = DefenseStack::new(shielded)
+            .with_quantization(8)
+            .unwrap()
+            .with_randomization(RandomizationConfig::default(), 1)
+            .unwrap()
+            .build();
+        assert!(defended.is_shielded());
+        assert!(defended.name().contains("Pelta"));
+        assert!(defended.name().contains("quantization"));
+        assert!(defended.name().contains("randomization"));
+
+        let mut seeds = SeedStream::new(22);
+        let x = Tensor::rand_uniform(&[1, 3, 8, 8], 0.2, 0.8, &mut seeds.derive("x"));
+        let probe = defended.probe(&x, &[0], AttackLoss::CrossEntropy).unwrap();
+        // Composing software defenses never un-masks the shielded gradient.
+        assert!(probe.input_gradient.is_none());
+    }
+
+    #[test]
+    fn stack_layers_validate_their_parameters() {
+        let inner: Arc<dyn GradientOracle> = Arc::new(ClearWhiteBox::new(model(23)));
+        assert!(DefenseStack::new(Arc::clone(&inner)).with_quantization(1).is_err());
+        let bad = RandomizationConfig {
+            noise: -1.0,
+            max_shift: 0,
+        };
+        assert!(DefenseStack::new(inner).with_randomization(bad, 0).is_err());
+    }
+}

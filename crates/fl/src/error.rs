@@ -1,0 +1,101 @@
+//! Error type for the federated-learning substrate.
+
+use pelta_attacks::AttackError;
+use pelta_core::PeltaError;
+use pelta_nn::NnError;
+use pelta_tensor::TensorError;
+use std::fmt;
+
+/// Error returned by federated training, aggregation and the compromised
+/// client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlError {
+    /// A model/layer operation failed.
+    Nn(NnError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// A Pelta/oracle operation failed.
+    Pelta(PeltaError),
+    /// An evasion attack launched by the compromised client failed.
+    Attack(AttackError),
+    /// The federation was configured inconsistently.
+    InvalidConfig {
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// An update does not match the global model's parameter schema.
+    SchemaMismatch {
+        /// Explanation of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlError::Nn(e) => write!(f, "model error: {e}"),
+            FlError::Tensor(e) => write!(f, "tensor error: {e}"),
+            FlError::Pelta(e) => write!(f, "pelta error: {e}"),
+            FlError::Attack(e) => write!(f, "attack error: {e}"),
+            FlError::InvalidConfig { reason } => write!(f, "invalid federation config: {reason}"),
+            FlError::SchemaMismatch { reason } => write!(f, "update schema mismatch: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlError::Nn(e) => Some(e),
+            FlError::Tensor(e) => Some(e),
+            FlError::Pelta(e) => Some(e),
+            FlError::Attack(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for FlError {
+    fn from(e: NnError) -> Self {
+        FlError::Nn(e)
+    }
+}
+
+impl From<TensorError> for FlError {
+    fn from(e: TensorError) -> Self {
+        FlError::Tensor(e)
+    }
+}
+
+impl From<PeltaError> for FlError {
+    fn from(e: PeltaError) -> Self {
+        FlError::Pelta(e)
+    }
+}
+
+impl From<AttackError> for FlError {
+    fn from(e: AttackError) -> Self {
+        FlError::Attack(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: FlError = TensorError::EmptyTensor { op: "mean" }.into();
+        assert!(e.to_string().contains("tensor error"));
+        let e: FlError = NnError::MissingGradient { param: "w".into() }.into();
+        assert!(e.to_string().contains("model error"));
+        let e = FlError::SchemaMismatch { reason: "missing fc.weight".into() };
+        assert!(e.to_string().contains("fc.weight"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlError>();
+    }
+}

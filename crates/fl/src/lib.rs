@@ -1,0 +1,59 @@
+//! # pelta-fl
+//!
+//! The federated-learning substrate of the Pelta reproduction: the setting in
+//! which the paper's threat model lives (Fig. 1).
+//!
+//! A trusted [`FedAvgServer`] broadcasts the global model to a set of
+//! [`FlClient`]s; each client fine-tunes the model on its local shard and
+//! returns a weighted [`ModelUpdate`]; the server aggregates with federated
+//! averaging and broadcasts the next round. One of the clients may be a
+//! [`CompromisedClient`]: an honest-but-curious participant that follows the
+//! protocol but probes its local copy of the model to craft adversarial
+//! examples (the evasion attack Pelta defends against) — optionally through
+//! the Pelta shield, which is how the end-to-end federated experiment of the
+//! examples and benches compares the defended and undefended settings.
+//!
+//! # Example
+//!
+//! ```rust,no_run
+//! use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
+//! use pelta_fl::{Federation, FederationConfig};
+//! use pelta_tensor::SeedStream;
+//!
+//! # fn main() -> Result<(), pelta_fl::FlError> {
+//! let dataset = Dataset::generate(DatasetSpec::Cifar10Like, &GeneratorConfig::default(), 1);
+//! let mut seeds = SeedStream::new(1);
+//! let mut federation = Federation::vit_federation(
+//!     &dataset,
+//!     &FederationConfig { clients: 4, rounds: 2, ..FederationConfig::default() },
+//!     Partition::Iid,
+//!     &mut seeds,
+//! )?;
+//! let history = federation.run(&mut seeds)?;
+//! println!("final global accuracy: {:.1}%", history.final_accuracy * 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod client;
+mod error;
+mod federation;
+mod malicious;
+mod message;
+mod poisoning;
+mod robust;
+mod server;
+
+pub use client::{export_parameters, import_parameters, FlClient, LocalTrainingReport};
+pub use error::FlError;
+pub use federation::{Federation, FederationConfig, RoundRecord, RunHistory};
+pub use malicious::{AttackKind, CompromisedClient, EvasionReport};
+pub use message::{GlobalModel, ModelUpdate};
+pub use poisoning::{backdoor_success_rate, BackdoorClient, PoisonReport, TrojanTrigger};
+pub use robust::{AggregationRule, RobustAggregator};
+pub use server::FedAvgServer;
+
+/// Convenience alias for results returned throughout this crate.
+pub type Result<T> = std::result::Result<T, FlError>;

@@ -1,0 +1,92 @@
+//! The messages exchanged by the federated-learning protocol.
+//!
+//! Both message types are `serde`-serialisable: the normal message flow of
+//! the protocol is untouched by Pelta (the threat model assumes an
+//! honest-but-curious client that follows the protocol), and the bench
+//! harness uses the serialised size to account the §VI bandwidth overhead of
+//! extracting shielded gradients for aggregation.
+
+use pelta_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// The global model broadcast by the server at the start of a round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlobalModel {
+    /// The federated round this snapshot belongs to.
+    pub round: usize,
+    /// Named parameter tensors, in the model's canonical order.
+    pub parameters: Vec<(String, Tensor)>,
+}
+
+impl GlobalModel {
+    /// Total number of scalar parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.parameters.iter().map(|(_, t)| t.numel()).sum()
+    }
+
+    /// Serialised size in bytes (JSON encoding, an upper bound on what a
+    /// binary wire format would use).
+    pub fn wire_size(&self) -> usize {
+        serde_json::to_vec(self).map(|v| v.len()).unwrap_or(0)
+    }
+}
+
+/// One client's update at the end of a round: its full local parameters and
+/// the number of samples they were trained on (FedAvg weights).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelUpdate {
+    /// The sending client.
+    pub client_id: usize,
+    /// The round the update belongs to.
+    pub round: usize,
+    /// Number of local training samples (the FedAvg weight).
+    pub num_samples: usize,
+    /// Named parameter tensors after local training.
+    pub parameters: Vec<(String, Tensor)>,
+}
+
+impl ModelUpdate {
+    /// Serialised size in bytes.
+    pub fn wire_size(&self) -> usize {
+        serde_json::to_vec(self).map(|v| v.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_and_parameter_count() {
+        let global = GlobalModel {
+            round: 3,
+            parameters: vec![
+                ("fc.weight".to_string(), Tensor::zeros(&[4, 2])),
+                ("fc.bias".to_string(), Tensor::zeros(&[4])),
+            ],
+        };
+        assert_eq!(global.num_parameters(), 12);
+        assert!(global.wire_size() > 0);
+
+        let update = ModelUpdate {
+            client_id: 1,
+            round: 3,
+            num_samples: 32,
+            parameters: global.parameters.clone(),
+        };
+        assert!(update.wire_size() >= global.wire_size());
+    }
+
+    #[test]
+    fn messages_roundtrip_through_serde() {
+        let update = ModelUpdate {
+            client_id: 2,
+            round: 0,
+            num_samples: 8,
+            parameters: vec![("w".to_string(), Tensor::ones(&[3]))],
+        };
+        let json = serde_json::to_string(&update).unwrap();
+        let back: ModelUpdate = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, update);
+    }
+}

@@ -1,0 +1,344 @@
+//! Server-side robust aggregation — the countermeasures the paper's related
+//! work points to for poisoning attacks (§II: defenses "against poisoning,
+//! i.e., altering the model's parameters to have it underperform in its
+//! primary task or overperform in a secondary task unbeknownst to the server
+//! or the nodes").
+//!
+//! Pelta itself defends the *clients* against evasion-sample crafting; these
+//! rules defend the *server* against the poisoned updates such samples feed.
+//! The backdoor bench evaluates plain FedAvg against the two rules below
+//! with and without a [`crate::BackdoorClient`] in the federation.
+
+use pelta_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::{FlError, GlobalModel, ModelUpdate, Result};
+
+/// Which aggregation rule the robust server applies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AggregationRule {
+    /// Plain sample-weighted federated averaging (no defense).
+    FedAvg,
+    /// Each client's update *delta* is clipped to a maximum L2 norm before
+    /// sample-weighted averaging — the standard defense against boosted
+    /// model-replacement backdoors.
+    NormClipping {
+        /// Maximum L2 norm of one client's whole-model delta.
+        max_norm: f32,
+    },
+    /// Coordinate-wise trimmed mean: per parameter coordinate, the largest
+    /// and smallest `trim` client values are discarded before averaging
+    /// (unweighted, as in Yin et al.).
+    TrimmedMean {
+        /// Number of extreme values trimmed at each end.
+        trim: usize,
+    },
+}
+
+/// A federated server with a configurable robust aggregation rule.
+///
+/// It mirrors [`crate::FedAvgServer`]'s interface (broadcast / aggregate /
+/// round) so federations can swap it in without touching client code.
+pub struct RobustAggregator {
+    round: usize,
+    rule: AggregationRule,
+    parameters: Vec<(String, Tensor)>,
+}
+
+impl RobustAggregator {
+    /// Creates a robust server from the initial global parameters.
+    ///
+    /// # Errors
+    /// Returns an error if the rule's own parameters are degenerate
+    /// (non-positive clipping norm).
+    pub fn new(initial_parameters: Vec<(String, Tensor)>, rule: AggregationRule) -> Result<Self> {
+        if let AggregationRule::NormClipping { max_norm } = rule {
+            if max_norm <= 0.0 || !max_norm.is_finite() {
+                return Err(FlError::InvalidConfig {
+                    reason: format!("clipping norm must be positive and finite, got {max_norm}"),
+                });
+            }
+        }
+        Ok(RobustAggregator {
+            round: 0,
+            rule,
+            parameters: initial_parameters,
+        })
+    }
+
+    /// The current round number.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The aggregation rule in force.
+    pub fn rule(&self) -> AggregationRule {
+        self.rule
+    }
+
+    /// The current global parameters.
+    pub fn parameters(&self) -> &[(String, Tensor)] {
+        &self.parameters
+    }
+
+    /// The broadcast message for the current round.
+    pub fn broadcast(&self) -> GlobalModel {
+        GlobalModel {
+            round: self.round,
+            parameters: self.parameters.clone(),
+        }
+    }
+
+    /// Aggregates one round of client updates under the configured rule and
+    /// advances the round counter.
+    ///
+    /// # Errors
+    /// Returns an error if no update was supplied, an update targets a
+    /// different round, schemas disagree, or the trimmed mean would discard
+    /// every client.
+    pub fn aggregate(&mut self, updates: &[ModelUpdate]) -> Result<()> {
+        self.validate(updates)?;
+        let aggregated = match self.rule {
+            AggregationRule::FedAvg => self.fedavg(updates, None)?,
+            AggregationRule::NormClipping { max_norm } => {
+                self.fedavg(updates, Some(max_norm))?
+            }
+            AggregationRule::TrimmedMean { trim } => self.trimmed_mean(updates, trim)?,
+        };
+        self.parameters = aggregated;
+        self.round += 1;
+        Ok(())
+    }
+
+    fn validate(&self, updates: &[ModelUpdate]) -> Result<()> {
+        if updates.is_empty() {
+            return Err(FlError::InvalidConfig {
+                reason: "no client updates to aggregate".to_string(),
+            });
+        }
+        for update in updates {
+            if update.round != self.round {
+                return Err(FlError::SchemaMismatch {
+                    reason: format!(
+                        "update from client {} targets round {}, server is at round {}",
+                        update.client_id, update.round, self.round
+                    ),
+                });
+            }
+            if update.parameters.len() != self.parameters.len() {
+                return Err(FlError::SchemaMismatch {
+                    reason: format!(
+                        "client {} sent {} parameters, expected {}",
+                        update.client_id,
+                        update.parameters.len(),
+                        self.parameters.len()
+                    ),
+                });
+            }
+            for ((name, current), (update_name, value)) in
+                self.parameters.iter().zip(update.parameters.iter())
+            {
+                if name != update_name || value.dims() != current.dims() {
+                    return Err(FlError::SchemaMismatch {
+                        reason: format!(
+                            "client {} parameter '{update_name}' {:?} does not match '{name}' {:?}",
+                            update.client_id,
+                            value.dims(),
+                            current.dims()
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// L2 norm of one client's whole-model delta relative to the current
+    /// global parameters.
+    fn delta_norm(&self, update: &ModelUpdate) -> Result<f32> {
+        let mut sum = 0.0f64;
+        for ((_, current), (_, value)) in self.parameters.iter().zip(update.parameters.iter()) {
+            let delta = value.sub(current)?;
+            let norm = delta.l2_norm();
+            sum += f64::from(norm) * f64::from(norm);
+        }
+        Ok(sum.sqrt() as f32)
+    }
+
+    /// Sample-weighted FedAvg, optionally clipping each client's delta.
+    fn fedavg(
+        &self,
+        updates: &[ModelUpdate],
+        max_norm: Option<f32>,
+    ) -> Result<Vec<(String, Tensor)>> {
+        let total_samples: usize = updates.iter().map(|u| u.num_samples).sum();
+        if total_samples == 0 {
+            return Err(FlError::InvalidConfig {
+                reason: "client updates carry zero samples".to_string(),
+            });
+        }
+        // Per-client scale applied to its delta (1 unless clipped).
+        let mut scales = vec![1.0f32; updates.len()];
+        if let Some(max_norm) = max_norm {
+            for (scale, update) in scales.iter_mut().zip(updates.iter()) {
+                let norm = self.delta_norm(update)?;
+                if norm > max_norm {
+                    *scale = max_norm / norm;
+                }
+            }
+        }
+        let mut aggregated = Vec::with_capacity(self.parameters.len());
+        for (index, (name, current)) in self.parameters.iter().enumerate() {
+            let mut accumulator = current.clone();
+            for (u, update) in updates.iter().enumerate() {
+                let weight = update.num_samples as f32 / total_samples as f32;
+                let delta = update.parameters[index].1.sub(current)?;
+                accumulator = accumulator.axpy(weight * scales[u], &delta)?;
+            }
+            aggregated.push((name.clone(), accumulator));
+        }
+        Ok(aggregated)
+    }
+
+    /// Coordinate-wise trimmed mean of the client parameters.
+    fn trimmed_mean(
+        &self,
+        updates: &[ModelUpdate],
+        trim: usize,
+    ) -> Result<Vec<(String, Tensor)>> {
+        if 2 * trim >= updates.len() {
+            return Err(FlError::InvalidConfig {
+                reason: format!(
+                    "trimming {trim} from each end of {} updates leaves nothing to average",
+                    updates.len()
+                ),
+            });
+        }
+        let kept = updates.len() - 2 * trim;
+        let mut aggregated = Vec::with_capacity(self.parameters.len());
+        let mut column = vec![0.0f32; updates.len()];
+        for (index, (name, current)) in self.parameters.iter().enumerate() {
+            let mut out = Tensor::zeros(current.dims());
+            for coord in 0..current.numel() {
+                for (u, update) in updates.iter().enumerate() {
+                    column[u] = update.parameters[index].1.data()[coord];
+                }
+                column.sort_by(f32::total_cmp);
+                let sum: f32 = column[trim..updates.len() - trim].iter().sum();
+                out.data_mut()[coord] = sum / kept as f32;
+            }
+            aggregated.push((name.clone(), out));
+        }
+        Ok(aggregated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn named(values: &[f32]) -> Vec<(String, Tensor)> {
+        vec![(
+            "w".to_string(),
+            Tensor::from_vec(values.to_vec(), &[values.len()]).unwrap(),
+        )]
+    }
+
+    fn update(client: usize, samples: usize, values: &[f32]) -> ModelUpdate {
+        ModelUpdate {
+            client_id: client,
+            round: 0,
+            num_samples: samples,
+            parameters: named(values),
+        }
+    }
+
+    #[test]
+    fn fedavg_rule_matches_the_plain_server() {
+        let mut robust =
+            RobustAggregator::new(named(&[0.0, 0.0]), AggregationRule::FedAvg).unwrap();
+        robust
+            .aggregate(&[update(0, 30, &[1.0, 1.0]), update(1, 10, &[5.0, 5.0])])
+            .unwrap();
+        assert_eq!(robust.round(), 1);
+        assert!((robust.parameters()[0].1.data()[0] - 2.0).abs() < 1e-6);
+        assert_eq!(robust.broadcast().round, 1);
+        assert_eq!(robust.rule(), AggregationRule::FedAvg);
+    }
+
+    #[test]
+    fn norm_clipping_bounds_a_boosted_malicious_update() {
+        // An honest client moves the single weight by 1; the attacker tries
+        // to move it by 100 with a boosted sample count. Clipping at norm 1
+        // caps the attacker's influence to the same magnitude as the honest
+        // client's.
+        let initial = named(&[0.0]);
+        let honest = update(0, 10, &[1.0]);
+        let malicious = update(1, 30, &[100.0]);
+
+        let mut plain =
+            RobustAggregator::new(initial.clone(), AggregationRule::FedAvg).unwrap();
+        plain.aggregate(&[honest.clone(), malicious.clone()]).unwrap();
+        let undefended = plain.parameters()[0].1.data()[0];
+
+        let mut clipped = RobustAggregator::new(
+            initial,
+            AggregationRule::NormClipping { max_norm: 1.0 },
+        )
+        .unwrap();
+        clipped.aggregate(&[honest, malicious]).unwrap();
+        let defended = clipped.parameters()[0].1.data()[0];
+
+        assert!(undefended > 50.0, "undefended aggregate {undefended}");
+        assert!(defended <= 1.0 + 1e-6, "defended aggregate {defended}");
+        assert!(defended > 0.0);
+    }
+
+    #[test]
+    fn trimmed_mean_discards_the_outlier() {
+        let mut server = RobustAggregator::new(
+            named(&[0.0]),
+            AggregationRule::TrimmedMean { trim: 1 },
+        )
+        .unwrap();
+        server
+            .aggregate(&[
+                update(0, 10, &[1.0]),
+                update(1, 10, &[1.2]),
+                update(2, 10, &[0.8]),
+                update(3, 10, &[100.0]),
+            ])
+            .unwrap();
+        let value = server.parameters()[0].1.data()[0];
+        assert!((value - 1.1).abs() < 1e-5, "trimmed mean {value}");
+    }
+
+    #[test]
+    fn construction_and_aggregation_are_validated() {
+        assert!(RobustAggregator::new(
+            named(&[0.0]),
+            AggregationRule::NormClipping { max_norm: 0.0 }
+        )
+        .is_err());
+
+        let mut server = RobustAggregator::new(
+            named(&[0.0]),
+            AggregationRule::TrimmedMean { trim: 1 },
+        )
+        .unwrap();
+        // Too few updates for the trim level.
+        assert!(server.aggregate(&[update(0, 10, &[1.0]), update(1, 10, &[2.0])]).is_err());
+        // Empty round, stale round, schema mismatch.
+        assert!(server.aggregate(&[]).is_err());
+        let stale = ModelUpdate {
+            round: 3,
+            ..update(0, 10, &[1.0])
+        };
+        assert!(server.aggregate(&[stale]).is_err());
+        let bad_schema = ModelUpdate {
+            parameters: vec![("other".to_string(), Tensor::zeros(&[1]))],
+            ..update(0, 10, &[1.0])
+        };
+        assert!(server.aggregate(&[bad_schema]).is_err());
+    }
+}

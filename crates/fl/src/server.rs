@@ -1,0 +1,169 @@
+//! The trusted aggregation server (FedAvg).
+
+use pelta_tensor::Tensor;
+
+use crate::{FlError, GlobalModel, ModelUpdate, Result};
+
+/// The trusted federated-learning server of Fig. 1: it never sees raw client
+/// data, only model updates, which it combines with federated averaging
+/// (McMahan et al.) weighted by each client's sample count.
+pub struct FedAvgServer {
+    round: usize,
+    parameters: Vec<(String, Tensor)>,
+}
+
+impl FedAvgServer {
+    /// Creates a server from the initial global parameters.
+    pub fn new(initial_parameters: Vec<(String, Tensor)>) -> Self {
+        FedAvgServer {
+            round: 0,
+            parameters: initial_parameters,
+        }
+    }
+
+    /// The current round number.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The current global parameters.
+    pub fn parameters(&self) -> &[(String, Tensor)] {
+        &self.parameters
+    }
+
+    /// The broadcast message for the current round.
+    pub fn broadcast(&self) -> GlobalModel {
+        GlobalModel {
+            round: self.round,
+            parameters: self.parameters.clone(),
+        }
+    }
+
+    /// Aggregates one round of client updates with sample-weighted averaging
+    /// and advances the round counter.
+    ///
+    /// # Errors
+    /// Returns an error if no update was supplied, an update belongs to a
+    /// different round, or parameter schemas disagree.
+    pub fn aggregate(&mut self, updates: &[ModelUpdate]) -> Result<()> {
+        if updates.is_empty() {
+            return Err(FlError::InvalidConfig {
+                reason: "no client updates to aggregate".to_string(),
+            });
+        }
+        let total_samples: usize = updates.iter().map(|u| u.num_samples).sum();
+        if total_samples == 0 {
+            return Err(FlError::InvalidConfig {
+                reason: "client updates carry zero samples".to_string(),
+            });
+        }
+        for update in updates {
+            if update.round != self.round {
+                return Err(FlError::SchemaMismatch {
+                    reason: format!(
+                        "update from client {} targets round {}, server is at round {}",
+                        update.client_id, update.round, self.round
+                    ),
+                });
+            }
+            if update.parameters.len() != self.parameters.len() {
+                return Err(FlError::SchemaMismatch {
+                    reason: format!(
+                        "client {} sent {} parameters, expected {}",
+                        update.client_id,
+                        update.parameters.len(),
+                        self.parameters.len()
+                    ),
+                });
+            }
+        }
+
+        let mut aggregated = Vec::with_capacity(self.parameters.len());
+        for (index, (name, current)) in self.parameters.iter().enumerate() {
+            let mut accumulator = Tensor::zeros(current.dims());
+            for update in updates {
+                let (update_name, value) = &update.parameters[index];
+                if update_name != name || value.dims() != current.dims() {
+                    return Err(FlError::SchemaMismatch {
+                        reason: format!(
+                            "client {} parameter {index} is '{update_name}' {:?}, expected '{name}' {:?}",
+                            update.client_id,
+                            value.dims(),
+                            current.dims()
+                        ),
+                    });
+                }
+                let weight = update.num_samples as f32 / total_samples as f32;
+                accumulator = accumulator.axpy(weight, value)?;
+            }
+            aggregated.push((name.clone(), accumulator));
+        }
+        self.parameters = aggregated;
+        self.round += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn named(value: f32) -> Vec<(String, Tensor)> {
+        vec![("w".to_string(), Tensor::full(&[2], value))]
+    }
+
+    fn update(client: usize, round: usize, samples: usize, value: f32) -> ModelUpdate {
+        ModelUpdate {
+            client_id: client,
+            round,
+            num_samples: samples,
+            parameters: named(value),
+        }
+    }
+
+    #[test]
+    fn weighted_average_matches_fedavg() {
+        let mut server = FedAvgServer::new(named(0.0));
+        assert_eq!(server.round(), 0);
+        // Client 0 has 3x the data of client 1: average = (3·1 + 1·5)/4 = 2.
+        server
+            .aggregate(&[update(0, 0, 30, 1.0), update(1, 0, 10, 5.0)])
+            .unwrap();
+        assert_eq!(server.round(), 1);
+        assert!((server.parameters()[0].1.data()[0] - 2.0).abs() < 1e-6);
+        let broadcast = server.broadcast();
+        assert_eq!(broadcast.round, 1);
+    }
+
+    #[test]
+    fn aggregate_validates_inputs() {
+        let mut server = FedAvgServer::new(named(0.0));
+        assert!(server.aggregate(&[]).is_err());
+        assert!(server.aggregate(&[update(0, 1, 10, 1.0)]).is_err());
+        assert!(server.aggregate(&[update(0, 0, 0, 1.0)]).is_err());
+        // Wrong parameter name.
+        let bad = ModelUpdate {
+            client_id: 0,
+            round: 0,
+            num_samples: 5,
+            parameters: vec![("other".to_string(), Tensor::zeros(&[2]))],
+        };
+        assert!(server.aggregate(&[bad]).is_err());
+        // Wrong shape.
+        let bad_shape = ModelUpdate {
+            client_id: 0,
+            round: 0,
+            num_samples: 5,
+            parameters: vec![("w".to_string(), Tensor::zeros(&[3]))],
+        };
+        assert!(server.aggregate(&[bad_shape]).is_err());
+        // Wrong parameter count.
+        let bad_len = ModelUpdate {
+            client_id: 0,
+            round: 0,
+            num_samples: 5,
+            parameters: vec![],
+        };
+        assert!(server.aggregate(&[bad_len]).is_err());
+    }
+}

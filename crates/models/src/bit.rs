@@ -1,0 +1,317 @@
+//! Big Transfer (BiT) defender: ResNet-v2 with weight-standardised
+//! convolutions and group normalisation (Kolesnikov et al.).
+
+use pelta_autodiff::{Graph, NodeId};
+use pelta_nn::{GroupNorm, Linear, Module, NnError, Param, WsConv2d};
+use rand::Rng;
+
+use crate::{Architecture, BitConfig, ImageModel, Result};
+
+/// One BiT pre-activation residual block: GN → ReLU → WSConv → GN → ReLU →
+/// WSConv, added to a (possibly strided 1×1-projected) skip connection.
+struct BitBlock {
+    norm1: GroupNorm,
+    conv1: WsConv2d,
+    norm2: GroupNorm,
+    conv2: WsConv2d,
+    projection: Option<WsConv2d>,
+}
+
+impl BitBlock {
+    fn new<R: Rng + ?Sized>(
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        stride: usize,
+        groups: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let projection = if stride != 1 || in_channels != out_channels {
+            Some(WsConv2d::new(
+                &format!("{name}.proj"),
+                in_channels,
+                out_channels,
+                1,
+                stride,
+                0,
+                rng,
+            ))
+        } else {
+            None
+        };
+        Ok(BitBlock {
+            norm1: GroupNorm::new(&format!("{name}.gn1"), in_channels, groups)?,
+            conv1: WsConv2d::new(&format!("{name}.conv1"), in_channels, out_channels, 3, stride, 1, rng),
+            norm2: GroupNorm::new(&format!("{name}.gn2"), out_channels, groups)?,
+            conv2: WsConv2d::new(&format!("{name}.conv2"), out_channels, out_channels, 3, 1, 1, rng),
+            projection,
+        })
+    }
+
+    fn forward(&self, graph: &mut Graph, input: NodeId) -> Result<NodeId> {
+        let pre = self.norm1.forward(graph, input)?;
+        let pre = graph.relu(pre)?;
+        let skip = match &self.projection {
+            Some(proj) => proj.forward(graph, pre)?,
+            None => input,
+        };
+        let out = self.conv1.forward(graph, pre)?;
+        let out = self.norm2.forward(graph, out)?;
+        let out = graph.relu(out)?;
+        let out = self.conv2.forward(graph, out)?;
+        Ok(graph.add(out, skip)?)
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        let mut params = self.norm1.parameters();
+        params.extend(self.conv1.parameters());
+        params.extend(self.norm2.parameters());
+        params.extend(self.conv2.parameters());
+        if let Some(proj) = &self.projection {
+            params.extend(proj.parameters());
+        }
+        params
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = self.norm1.parameters_mut();
+        params.extend(self.conv1.parameters_mut());
+        params.extend(self.norm2.parameters_mut());
+        params.extend(self.conv2.parameters_mut());
+        if let Some(proj) = &mut self.projection {
+            params.extend(proj.parameters_mut());
+        }
+        params
+    }
+}
+
+/// A Big Transfer classifier (stand-ins for BiT-M-R101x3 / BiT-M-R152x4), the
+/// CNN member of the ensemble defended against SAGA.
+///
+/// The stem — the first **weight-standardised convolution** and its following
+/// padding operation — is tagged `"<name>.pelta_frontier"` on every forward
+/// pass; it is the prefix the paper shields for BiT defenders (§V-A). Weight
+/// standardisation is a non-invertible parametric transform, so the attacker
+/// cannot recover the hidden kernel from input/output observation.
+pub struct BigTransfer {
+    config: BitConfig,
+    stem_conv: WsConv2d,
+    stages: Vec<BitBlock>,
+    final_norm: GroupNorm,
+    head: Linear,
+}
+
+impl BigTransfer {
+    /// Builds a BiT model from its configuration.
+    ///
+    /// # Errors
+    /// Returns an error if the stage lists are empty, of mismatched length,
+    /// or the group count does not divide the channel widths.
+    pub fn new<R: Rng + ?Sized>(config: BitConfig, rng: &mut R) -> Result<Self> {
+        if config.stage_channels.is_empty()
+            || config.stage_channels.len() != config.stage_blocks.len()
+        {
+            return Err(NnError::InvalidConfig {
+                component: config.name.clone(),
+                reason: "stage_channels and stage_blocks must be non-empty and equal length"
+                    .to_string(),
+            });
+        }
+        let name = config.name.clone();
+        let stem_conv = WsConv2d::new(
+            &format!("{name}.stem.conv"),
+            config.channels,
+            config.stem_channels,
+            3,
+            1,
+            1,
+            rng,
+        );
+        let mut stages = Vec::new();
+        let mut in_channels = config.stem_channels;
+        for (stage_idx, (&width, &blocks)) in config
+            .stage_channels
+            .iter()
+            .zip(config.stage_blocks.iter())
+            .enumerate()
+        {
+            for block_idx in 0..blocks {
+                let stride = if stage_idx > 0 && block_idx == 0 { 2 } else { 1 };
+                stages.push(BitBlock::new(
+                    &format!("{name}.stage{stage_idx}.block{block_idx}"),
+                    in_channels,
+                    width,
+                    stride,
+                    config.groups,
+                    rng,
+                )?);
+                in_channels = width;
+            }
+        }
+        let final_norm = GroupNorm::new(&format!("{name}.norm"), in_channels, config.groups)?;
+        let head = Linear::new(&format!("{name}.head"), in_channels, config.classes, rng);
+        Ok(BigTransfer {
+            config,
+            stem_conv,
+            stages,
+            final_norm,
+            head,
+        })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &BitConfig {
+        &self.config
+    }
+
+    /// Number of residual blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+impl Module for BigTransfer {
+    fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    fn forward(&self, graph: &mut Graph, input: NodeId) -> Result<NodeId> {
+        // --- Shielded prefix: WS-conv and its following padding (§V-A) -----
+        let stem = self.stem_conv.forward(graph, input)?;
+        let padded = graph.pad2d(stem, 1)?;
+        graph.set_tag(padded, &self.frontier_tag())?;
+        // --- Clear suffix ---------------------------------------------------
+        let mut features = padded;
+        for block in &self.stages {
+            features = block.forward(graph, features)?;
+        }
+        let normed = self.final_norm.forward(graph, features)?;
+        let activated = graph.relu(normed)?;
+        let pooled = graph.global_avg_pool2d(activated)?;
+        self.head.forward(graph, pooled)
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        let mut params = self.stem_conv.parameters();
+        for block in &self.stages {
+            params.extend(block.parameters());
+        }
+        params.extend(self.final_norm.parameters());
+        params.extend(self.head.parameters());
+        params
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = self.stem_conv.parameters_mut();
+        for block in &mut self.stages {
+            params.extend(block.parameters_mut());
+        }
+        params.extend(self.final_norm.parameters_mut());
+        params.extend(self.head.parameters_mut());
+        params
+    }
+}
+
+impl ImageModel for BigTransfer {
+    fn architecture(&self) -> Architecture {
+        Architecture::BigTransfer
+    }
+
+    fn num_classes(&self) -> usize {
+        self.config.classes
+    }
+
+    fn input_shape(&self) -> [usize; 3] {
+        [self.config.channels, 32, 32]
+    }
+
+    fn frontier_tag(&self) -> String {
+        format!("{}.pelta_frontier", self.config.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelta_tensor::{SeedStream, Tensor};
+
+    fn tiny_bit(seed: u64) -> BigTransfer {
+        let mut seeds = SeedStream::new(seed);
+        let cfg = BitConfig {
+            name: "tiny_bit".to_string(),
+            channels: 3,
+            stem_channels: 4,
+            stage_channels: vec![4, 8],
+            stage_blocks: vec![1, 1],
+            groups: 2,
+            classes: 5,
+        };
+        BigTransfer::new(cfg, &mut seeds.derive("init")).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_config() {
+        let mut seeds = SeedStream::new(1);
+        let bad_stages = BitConfig {
+            name: "bad".to_string(),
+            channels: 3,
+            stem_channels: 4,
+            stage_channels: vec![],
+            stage_blocks: vec![],
+            groups: 2,
+            classes: 5,
+        };
+        assert!(BigTransfer::new(bad_stages, &mut seeds.derive("x")).is_err());
+        let bad_groups = BitConfig {
+            name: "bad".to_string(),
+            channels: 3,
+            stem_channels: 5,
+            stage_channels: vec![5],
+            stage_blocks: vec![1],
+            groups: 2,
+            classes: 5,
+        };
+        assert!(BigTransfer::new(bad_groups, &mut seeds.derive("y")).is_err());
+    }
+
+    #[test]
+    fn forward_shapes_and_frontier_is_padded_stem() {
+        let bit = tiny_bit(2);
+        assert_eq!(bit.num_blocks(), 2);
+        assert_eq!(bit.architecture(), Architecture::BigTransfer);
+        let mut seeds = SeedStream::new(3);
+        let x = Tensor::rand_uniform(&[2, 3, 16, 16], 0.0, 1.0, &mut seeds.derive("x"));
+        let mut g = Graph::new();
+        let input = g.input(x, "input");
+        let logits = bit.forward(&mut g, input).unwrap();
+        assert_eq!(g.value(logits).unwrap().dims(), &[2, 5]);
+        let frontier = g.node_by_tag("tiny_bit.pelta_frontier").unwrap();
+        // Frontier is the padded stem output: spatial size grows by 2.
+        assert_eq!(g.value(frontier).unwrap().dims(), &[2, 4, 18, 18]);
+    }
+
+    #[test]
+    fn gradients_reach_input_and_stem_kernel() {
+        let bit = tiny_bit(4);
+        let mut seeds = SeedStream::new(5);
+        let x = Tensor::rand_uniform(&[2, 3, 16, 16], 0.0, 1.0, &mut seeds.derive("x"));
+        let mut g = Graph::new();
+        let input = g.input(x, "input");
+        let logits = bit.forward(&mut g, input).unwrap();
+        let loss = g.cross_entropy(logits, &[2, 3]).unwrap();
+        let grads = g.backward(loss).unwrap();
+        assert!(grads.get(input).unwrap().linf_norm() > 0.0);
+        let stem_w = g.node_by_tag("tiny_bit.stem.conv.weight").unwrap();
+        assert!(grads.get(stem_w).is_some());
+    }
+
+    #[test]
+    fn r152x4_scaled_is_larger_than_r101x3_scaled() {
+        let mut seeds = SeedStream::new(6);
+        let small =
+            BigTransfer::new(BitConfig::bit_r101x3_scaled(3, 10), &mut seeds.derive("a")).unwrap();
+        let large =
+            BigTransfer::new(BitConfig::bit_r152x4_scaled(3, 10), &mut seeds.derive("b")).unwrap();
+        assert!(large.num_parameters() > small.num_parameters());
+    }
+}

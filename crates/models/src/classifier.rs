@@ -1,0 +1,116 @@
+//! The [`ImageModel`] trait shared by all defender models, plus inference
+//! helpers.
+
+use pelta_autodiff::Graph;
+use pelta_nn::Module;
+use pelta_tensor::Tensor;
+
+use crate::Result;
+
+/// The architecture family of a defender model.
+///
+/// The Self-Attention Gradient Attack treats transformer and CNN members of
+/// an ensemble differently (the ViT gradient is weighted by the attention
+/// rollout), and the upsampling fallback behaves differently on spatial
+/// (CNN) versus token (ViT) adjoints — so models expose their family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Vision transformer (attention based).
+    VisionTransformer,
+    /// Pre-activation ResNet with batch normalisation.
+    ResNet,
+    /// Big Transfer: ResNet-v2 with weight standardisation and group
+    /// normalisation.
+    BigTransfer,
+}
+
+impl std::fmt::Display for Architecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Architecture::VisionTransformer => write!(f, "ViT"),
+            Architecture::ResNet => write!(f, "ResNet"),
+            Architecture::BigTransfer => write!(f, "BiT"),
+        }
+    }
+}
+
+/// An image classifier usable as a Pelta defender.
+///
+/// `Module::forward` maps a `[N, C, H, W]` input node to `[N, classes]`
+/// logits. On top of that, a defender model:
+///
+/// * reports its input geometry and class count;
+/// * tags, during every forward pass, the output node of the transformation
+///   prefix that Pelta shields for its architecture (`frontier_tag`), which
+///   is how `pelta-core` selects the enclave frontier from the graph;
+/// * reports its architecture family so attacks can specialise.
+pub trait ImageModel: Module {
+    /// The architecture family.
+    fn architecture(&self) -> Architecture;
+
+    /// Number of output classes.
+    fn num_classes(&self) -> usize;
+
+    /// Input geometry as `[channels, height, width]`.
+    fn input_shape(&self) -> [usize; 3];
+
+    /// The graph tag placed on the deepest node of the shielded prefix
+    /// during each forward pass (Alg. 1's `Select` step uses it).
+    fn frontier_tag(&self) -> String;
+
+    /// Prefix of the graph tags under which attention probability maps are
+    /// published, if the architecture has attention (used by SAGA).
+    fn attention_probs_prefix(&self) -> Option<String> {
+        None
+    }
+}
+
+/// Runs a forward pass and returns the raw logits for a batch of images.
+///
+/// # Errors
+/// Returns an error if the input shape is incompatible with the model.
+pub fn predict_logits<M: ImageModel + ?Sized>(model: &M, images: &Tensor) -> Result<Tensor> {
+    let mut graph = Graph::new();
+    let input = graph.input(images.clone(), "input");
+    let logits = model.forward(&mut graph, input)?;
+    Ok(graph.value(logits)?.clone())
+}
+
+/// Predicted class per sample for a batch of images.
+///
+/// # Errors
+/// Returns an error if the input shape is incompatible with the model.
+pub fn predict<M: ImageModel + ?Sized>(model: &M, images: &Tensor) -> Result<Vec<usize>> {
+    let logits = predict_logits(model, images)?;
+    Ok(logits.argmax_rows()?)
+}
+
+/// Fraction of samples whose prediction matches the label.
+///
+/// # Errors
+/// Returns an error if the input shape is incompatible with the model.
+pub fn accuracy<M: ImageModel + ?Sized>(
+    model: &M,
+    images: &Tensor,
+    labels: &[usize],
+) -> Result<f32> {
+    let predictions = predict(model, images)?;
+    let correct = predictions
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    Ok(correct as f32 / labels.len().max(1) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn architecture_display() {
+        assert_eq!(Architecture::VisionTransformer.to_string(), "ViT");
+        assert_eq!(Architecture::ResNet.to_string(), "ResNet");
+        assert_eq!(Architecture::BigTransfer.to_string(), "BiT");
+    }
+}

@@ -1,0 +1,295 @@
+//! Model configurations: scaled presets used by the experiments and the
+//! paper-scale dimensions used for analytic memory accounting (Table I).
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`crate::VisionTransformer`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ViTConfig {
+    /// Model name, used as the parameter tag prefix.
+    pub name: String,
+    /// Square input image size in pixels.
+    pub image_size: usize,
+    /// Input channels.
+    pub channels: usize,
+    /// Square patch size in pixels.
+    pub patch: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Number of encoder blocks.
+    pub depth: usize,
+    /// Number of attention heads per block.
+    pub heads: usize,
+    /// Hidden dimension of the encoder MLPs.
+    pub mlp_dim: usize,
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl ViTConfig {
+    /// Scaled stand-in for ViT-L/16: the deepest and widest ViT of the
+    /// experiment suite.
+    pub fn vit_l16_scaled(image_size: usize, channels: usize, classes: usize) -> Self {
+        ViTConfig {
+            name: "vit_l16".to_string(),
+            image_size,
+            channels,
+            patch: 4,
+            dim: 48,
+            depth: 4,
+            heads: 4,
+            mlp_dim: 96,
+            classes,
+        }
+    }
+
+    /// Scaled stand-in for ViT-B/16.
+    pub fn vit_b16_scaled(image_size: usize, channels: usize, classes: usize) -> Self {
+        ViTConfig {
+            name: "vit_b16".to_string(),
+            image_size,
+            channels,
+            patch: 4,
+            dim: 32,
+            depth: 3,
+            heads: 4,
+            mlp_dim: 64,
+            classes,
+        }
+    }
+
+    /// Scaled stand-in for ViT-B/32 (same width as B/16, coarser patches).
+    pub fn vit_b32_scaled(image_size: usize, channels: usize, classes: usize) -> Self {
+        ViTConfig {
+            name: "vit_b32".to_string(),
+            image_size,
+            channels,
+            patch: 8,
+            dim: 32,
+            depth: 3,
+            heads: 4,
+            mlp_dim: 64,
+            classes,
+        }
+    }
+
+    /// Paper-scale ViT-L/16 (ImageNet, 224×224) — used only for analytic
+    /// accounting, never instantiated as a trainable model.
+    pub fn vit_l16_paper() -> Self {
+        ViTConfig {
+            name: "ViT-L/16".to_string(),
+            image_size: 224,
+            channels: 3,
+            patch: 16,
+            dim: 1024,
+            depth: 24,
+            heads: 16,
+            mlp_dim: 4096,
+            classes: 1000,
+        }
+    }
+
+    /// Paper-scale ViT-B/16.
+    pub fn vit_b16_paper() -> Self {
+        ViTConfig {
+            name: "ViT-B/16".to_string(),
+            image_size: 224,
+            channels: 3,
+            patch: 16,
+            dim: 768,
+            depth: 12,
+            heads: 12,
+            mlp_dim: 3072,
+            classes: 1000,
+        }
+    }
+
+    /// Paper-scale ViT-B/32.
+    pub fn vit_b32_paper() -> Self {
+        ViTConfig {
+            name: "ViT-B/32".to_string(),
+            image_size: 224,
+            channels: 3,
+            patch: 32,
+            dim: 768,
+            depth: 12,
+            heads: 12,
+            mlp_dim: 3072,
+            classes: 1000,
+        }
+    }
+
+    /// Number of patch tokens (excluding the class token).
+    pub fn num_patches(&self) -> usize {
+        (self.image_size / self.patch) * (self.image_size / self.patch)
+    }
+
+    /// Flattened dimension of one image patch.
+    pub fn patch_dim(&self) -> usize {
+        self.channels * self.patch * self.patch
+    }
+}
+
+/// Configuration of a [`crate::ResNetV2`] (pre-activation ResNet with batch
+/// normalisation).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResNetConfig {
+    /// Model name, used as the parameter tag prefix.
+    pub name: String,
+    /// Input channels.
+    pub channels: usize,
+    /// Stem (first convolution) output channels.
+    pub stem_channels: usize,
+    /// Channel width of each residual stage.
+    pub stage_channels: Vec<usize>,
+    /// Number of residual blocks in each stage.
+    pub stage_blocks: Vec<usize>,
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl ResNetConfig {
+    /// Scaled stand-in for ResNet-56.
+    pub fn resnet56_scaled(channels: usize, classes: usize) -> Self {
+        ResNetConfig {
+            name: "resnet56".to_string(),
+            channels,
+            stem_channels: 8,
+            stage_channels: vec![8, 16],
+            stage_blocks: vec![1, 1],
+            classes,
+        }
+    }
+
+    /// Scaled stand-in for ResNet-164 (deeper than the ResNet-56 stand-in).
+    pub fn resnet164_scaled(channels: usize, classes: usize) -> Self {
+        ResNetConfig {
+            name: "resnet164".to_string(),
+            channels,
+            stem_channels: 8,
+            stage_channels: vec![8, 16],
+            stage_blocks: vec![2, 2],
+            classes,
+        }
+    }
+}
+
+/// Configuration of a [`crate::BigTransfer`] model (ResNet-v2 with weight
+/// standardisation and group normalisation).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitConfig {
+    /// Model name, used as the parameter tag prefix.
+    pub name: String,
+    /// Input channels.
+    pub channels: usize,
+    /// Stem (first weight-standardised convolution) output channels.
+    pub stem_channels: usize,
+    /// Channel width of each residual stage.
+    pub stage_channels: Vec<usize>,
+    /// Number of residual blocks in each stage.
+    pub stage_blocks: Vec<usize>,
+    /// Group-normalisation group count.
+    pub groups: usize,
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl BitConfig {
+    /// Scaled stand-in for BiT-M-R101x3.
+    pub fn bit_r101x3_scaled(channels: usize, classes: usize) -> Self {
+        BitConfig {
+            name: "bit_r101x3".to_string(),
+            channels,
+            stem_channels: 16,
+            stage_channels: vec![16, 32],
+            stage_blocks: vec![1, 1],
+            groups: 4,
+            classes,
+        }
+    }
+
+    /// Scaled stand-in for BiT-M-R152x4 (wider and deeper than R101x3).
+    pub fn bit_r152x4_scaled(channels: usize, classes: usize) -> Self {
+        BitConfig {
+            name: "bit_r152x4".to_string(),
+            channels,
+            stem_channels: 24,
+            stage_channels: vec![24, 48],
+            stage_blocks: vec![2, 1],
+            groups: 4,
+            classes,
+        }
+    }
+
+    /// Paper-scale BiT-M-R101x3 stem dimensions (used for Table I
+    /// accounting): 7×7 weight-standardised convolution from 3 channels to
+    /// 64·3 = 192 channels.
+    pub fn bit_r101x3_paper() -> Self {
+        BitConfig {
+            name: "BiT-M-R101x3".to_string(),
+            channels: 3,
+            stem_channels: 192,
+            stage_channels: vec![256 * 3, 512 * 3, 1024 * 3, 2048 * 3],
+            stage_blocks: vec![3, 4, 23, 3],
+            groups: 32,
+            classes: 1000,
+        }
+    }
+
+    /// Paper-scale BiT-M-R152x4 stem dimensions: 7×7 convolution to
+    /// 64·4 = 256 channels.
+    pub fn bit_r152x4_paper() -> Self {
+        BitConfig {
+            name: "BiT-M-R152x4".to_string(),
+            channels: 3,
+            stem_channels: 256,
+            stage_channels: vec![256 * 4, 512 * 4, 1024 * 4, 2048 * 4],
+            stage_blocks: vec![3, 8, 36, 3],
+            groups: 32,
+            classes: 1000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vit_patch_arithmetic() {
+        let cfg = ViTConfig::vit_l16_scaled(32, 3, 10);
+        assert_eq!(cfg.num_patches(), 64);
+        assert_eq!(cfg.patch_dim(), 48);
+        let paper = ViTConfig::vit_l16_paper();
+        assert_eq!(paper.num_patches(), 196);
+        assert_eq!(paper.patch_dim(), 768);
+        let b32 = ViTConfig::vit_b32_paper();
+        assert_eq!(b32.num_patches(), 49);
+    }
+
+    #[test]
+    fn scaled_presets_are_distinct() {
+        let l16 = ViTConfig::vit_l16_scaled(32, 3, 10);
+        let b16 = ViTConfig::vit_b16_scaled(32, 3, 10);
+        let b32 = ViTConfig::vit_b32_scaled(32, 3, 10);
+        assert!(l16.dim > b16.dim);
+        assert_eq!(b16.dim, b32.dim);
+        assert!(b32.patch > b16.patch);
+
+        let r56 = ResNetConfig::resnet56_scaled(3, 10);
+        let r164 = ResNetConfig::resnet164_scaled(3, 10);
+        assert!(r164.stage_blocks.iter().sum::<usize>() > r56.stage_blocks.iter().sum::<usize>());
+
+        let b101 = BitConfig::bit_r101x3_scaled(3, 10);
+        let b152 = BitConfig::bit_r152x4_scaled(3, 10);
+        assert!(b152.stem_channels > b101.stem_channels);
+    }
+
+    #[test]
+    fn paper_scale_stems_match_published_widths() {
+        assert_eq!(BitConfig::bit_r101x3_paper().stem_channels, 192);
+        assert_eq!(BitConfig::bit_r152x4_paper().stem_channels, 256);
+        assert_eq!(ViTConfig::vit_l16_paper().dim, 1024);
+        assert_eq!(ViTConfig::vit_b16_paper().dim, 768);
+    }
+}

@@ -1,0 +1,271 @@
+//! The random-selection ensemble defender of §V-A2.
+
+use pelta_nn::NnError;
+use pelta_tensor::Tensor;
+use rand::Rng;
+
+use crate::{predict, Architecture, ImageModel, Result};
+
+/// One named member of an ensemble.
+pub struct EnsembleMember {
+    name: String,
+    model: Box<dyn ImageModel>,
+}
+
+impl EnsembleMember {
+    /// Wraps a model as an ensemble member.
+    pub fn new(name: impl Into<String>, model: Box<dyn ImageModel>) -> Self {
+        EnsembleMember {
+            name: name.into(),
+            model,
+        }
+    }
+
+    /// The member's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &dyn ImageModel {
+        self.model.as_ref()
+    }
+
+    /// Mutable access to the wrapped model (for training).
+    pub fn model_mut(&mut self) -> &mut dyn ImageModel {
+        self.model.as_mut()
+    }
+
+    /// The member's architecture family.
+    pub fn architecture(&self) -> Architecture {
+        self.model.architecture()
+    }
+}
+
+/// An ensemble of defenders combined by the **random selection** decision
+/// policy (Srisakaokul et al., MULDEF): for every input sample, one member is
+/// drawn uniformly at random and its prediction is returned.
+///
+/// The paper pairs a ViT with a BiT because adversarial examples transfer
+/// poorly between attention-based and CNN-based models; the Self-Attention
+/// Gradient Attack is the attack designed to defeat exactly this ensemble,
+/// and Table IV evaluates Pelta against it.
+pub struct RandomSelectionEnsemble {
+    name: String,
+    members: Vec<EnsembleMember>,
+}
+
+impl RandomSelectionEnsemble {
+    /// Creates an ensemble from its members.
+    ///
+    /// # Errors
+    /// Returns an error if fewer than two members are supplied or if the
+    /// members disagree on the number of classes.
+    pub fn new(name: impl Into<String>, members: Vec<EnsembleMember>) -> Result<Self> {
+        let name = name.into();
+        if members.len() < 2 {
+            return Err(NnError::InvalidConfig {
+                component: name,
+                reason: "an ensemble needs at least two members".to_string(),
+            });
+        }
+        let classes = members[0].model().num_classes();
+        if members.iter().any(|m| m.model().num_classes() != classes) {
+            return Err(NnError::InvalidConfig {
+                component: name,
+                reason: "ensemble members must share the same class count".to_string(),
+            });
+        }
+        Ok(RandomSelectionEnsemble { name, members })
+    }
+
+    /// The ensemble's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ensemble members.
+    pub fn members(&self) -> &[EnsembleMember] {
+        &self.members
+    }
+
+    /// Mutable access to the members (for training).
+    pub fn members_mut(&mut self) -> &mut [EnsembleMember] {
+        &mut self.members
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ensemble has no members (never true for a constructed
+    /// ensemble).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.members[0].model().num_classes()
+    }
+
+    /// Index of the first member with the given architecture, if any — the
+    /// SAGA attack uses this to find the ViT and the CNN member.
+    pub fn member_with_architecture(&self, arch: Architecture) -> Option<usize> {
+        self.members.iter().position(|m| m.architecture() == arch)
+    }
+
+    /// Predicts a batch with the random-selection policy: each sample is
+    /// classified by one member drawn uniformly from `rng`.
+    ///
+    /// # Errors
+    /// Returns an error if a member rejects the input shape.
+    pub fn predict_random_selection<R: Rng + ?Sized>(
+        &self,
+        images: &Tensor,
+        rng: &mut R,
+    ) -> Result<Vec<usize>> {
+        let n = images.dims()[0];
+        // Classify the whole batch with every member once, then pick the
+        // member per sample — equivalent to per-sample selection but avoids
+        // n graph constructions per member.
+        let mut per_member: Vec<Vec<usize>> = Vec::with_capacity(self.members.len());
+        for member in &self.members {
+            per_member.push(predict(member.model(), images)?);
+        }
+        let mut out = Vec::with_capacity(n);
+        for sample in 0..n {
+            let pick = rng.gen_range(0..self.members.len());
+            out.push(per_member[pick][sample]);
+        }
+        Ok(out)
+    }
+
+    /// Robust/clean accuracy of the random-selection policy on a labelled
+    /// batch.
+    ///
+    /// # Errors
+    /// Returns an error if a member rejects the input shape.
+    pub fn accuracy_random_selection<R: Rng + ?Sized>(
+        &self,
+        images: &Tensor,
+        labels: &[usize],
+        rng: &mut R,
+    ) -> Result<f32> {
+        let predictions = self.predict_random_selection(images, rng)?;
+        let correct = predictions
+            .iter()
+            .zip(labels.iter())
+            .filter(|(p, l)| p == l)
+            .count();
+        Ok(correct as f32 / labels.len().max(1) as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BigTransfer, BitConfig, ViTConfig, VisionTransformer};
+    use pelta_tensor::SeedStream;
+
+    fn tiny_ensemble(seed: u64) -> RandomSelectionEnsemble {
+        let mut seeds = SeedStream::new(seed);
+        let vit = VisionTransformer::new(
+            ViTConfig {
+                name: "ens_vit".to_string(),
+                image_size: 8,
+                channels: 3,
+                patch: 4,
+                dim: 16,
+                depth: 1,
+                heads: 2,
+                mlp_dim: 32,
+                classes: 4,
+            },
+            &mut seeds.derive("vit"),
+        )
+        .unwrap();
+        let bit = BigTransfer::new(
+            BitConfig {
+                name: "ens_bit".to_string(),
+                channels: 3,
+                stem_channels: 4,
+                stage_channels: vec![4],
+                stage_blocks: vec![1],
+                groups: 2,
+                classes: 4,
+            },
+            &mut seeds.derive("bit"),
+        )
+        .unwrap();
+        RandomSelectionEnsemble::new(
+            "vit+bit",
+            vec![
+                EnsembleMember::new("ViT", Box::new(vit)),
+                EnsembleMember::new("BiT", Box::new(bit)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_requires_two_compatible_members() {
+        let mut seeds = SeedStream::new(1);
+        let vit = VisionTransformer::new(
+            ViTConfig {
+                name: "solo".to_string(),
+                image_size: 8,
+                channels: 3,
+                patch: 4,
+                dim: 16,
+                depth: 1,
+                heads: 2,
+                mlp_dim: 32,
+                classes: 4,
+            },
+            &mut seeds.derive("vit"),
+        )
+        .unwrap();
+        let single = RandomSelectionEnsemble::new(
+            "single",
+            vec![EnsembleMember::new("ViT", Box::new(vit))],
+        );
+        assert!(single.is_err());
+    }
+
+    #[test]
+    fn members_and_architecture_lookup() {
+        let ens = tiny_ensemble(2);
+        assert_eq!(ens.len(), 2);
+        assert!(!ens.is_empty());
+        assert_eq!(ens.name(), "vit+bit");
+        assert_eq!(ens.num_classes(), 4);
+        assert_eq!(ens.members()[0].name(), "ViT");
+        assert_eq!(
+            ens.member_with_architecture(Architecture::VisionTransformer),
+            Some(0)
+        );
+        assert_eq!(
+            ens.member_with_architecture(Architecture::BigTransfer),
+            Some(1)
+        );
+        assert_eq!(ens.member_with_architecture(Architecture::ResNet), None);
+    }
+
+    #[test]
+    fn random_selection_policy_predicts_every_sample() {
+        let ens = tiny_ensemble(3);
+        let mut seeds = SeedStream::new(4);
+        let images =
+            pelta_tensor::Tensor::rand_uniform(&[6, 3, 8, 8], 0.0, 1.0, &mut seeds.derive("x"));
+        let mut rng = seeds.derive("policy");
+        let preds = ens.predict_random_selection(&images, &mut rng).unwrap();
+        assert_eq!(preds.len(), 6);
+        assert!(preds.iter().all(|&p| p < 4));
+        let acc = ens
+            .accuracy_random_selection(&images, &[0, 1, 2, 3, 0, 1], &mut rng)
+            .unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}

@@ -1,0 +1,47 @@
+//! # pelta-models
+//!
+//! The defender model families evaluated in the Pelta paper, implemented on
+//! the `pelta-nn` / `pelta-autodiff` stack:
+//!
+//! * [`VisionTransformer`] — patch embedding, class token, position
+//!   embedding, pre-norm encoder blocks with multi-head self-attention
+//!   (stand-ins for ViT-L/16, ViT-B/16, ViT-B/32);
+//! * [`ResNetV2`] — pre-activation residual network with batch
+//!   normalisation (stand-ins for ResNet-56 / ResNet-164);
+//! * [`BigTransfer`] — ResNet-v2 with weight-standardised convolutions and
+//!   group normalisation (stand-ins for BiT-M-R101x3 / BiT-M-R152x4);
+//! * [`RandomSelectionEnsemble`] — the ViT + BiT ensemble defended against
+//!   the Self-Attention Gradient Attack, with the random-selection decision
+//!   policy of §V-A2.
+//!
+//! Every model tags the output of the transformation prefix that Pelta
+//! shields (`<name>.pelta_frontier`), so `pelta-core` can select its enclave
+//! frontier purely from the graph, exactly as Algorithm 1 prescribes.
+//!
+//! The models used in experiments are width/depth-scaled versions of the
+//! paper's architectures (see `DESIGN.md` for the substitution argument); the
+//! [`paper_scale`] module additionally provides analytic parameter and
+//! enclave-memory accounting at the paper's true dimensions to regenerate
+//! Table I.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod bit;
+mod classifier;
+mod config;
+mod ensemble;
+pub mod paper_scale;
+mod resnet;
+mod train;
+mod vit;
+
+pub use bit::BigTransfer;
+pub use classifier::{accuracy, predict, predict_logits, Architecture, ImageModel};
+pub use config::{BitConfig, ResNetConfig, ViTConfig};
+pub use ensemble::{EnsembleMember, RandomSelectionEnsemble};
+pub use resnet::ResNetV2;
+pub use train::{train_classifier, TrainReport, TrainingConfig};
+pub use vit::VisionTransformer;
+
+/// Convenience alias for results returned throughout this crate.
+pub type Result<T> = std::result::Result<T, pelta_nn::NnError>;

@@ -1,0 +1,336 @@
+//! Pre-activation ResNet-v2 defender (He et al., "Identity Mappings in Deep
+//! Residual Networks").
+
+use pelta_autodiff::{Graph, NodeId};
+use pelta_nn::{BatchNorm2d, Conv2d, Linear, Module, NnError, Param};
+use rand::Rng;
+
+use crate::{Architecture, ImageModel, ResNetConfig, Result};
+
+/// One pre-activation residual block: BN → ReLU → conv → BN → ReLU → conv,
+/// added to a (possibly strided 1×1-projected) skip connection.
+struct PreActBlock {
+    norm1: BatchNorm2d,
+    conv1: Conv2d,
+    norm2: BatchNorm2d,
+    conv2: Conv2d,
+    projection: Option<Conv2d>,
+}
+
+impl PreActBlock {
+    fn new<R: Rng + ?Sized>(
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        stride: usize,
+        rng: &mut R,
+    ) -> Self {
+        let projection = if stride != 1 || in_channels != out_channels {
+            Some(Conv2d::new(
+                &format!("{name}.proj"),
+                in_channels,
+                out_channels,
+                1,
+                stride,
+                0,
+                rng,
+            ))
+        } else {
+            None
+        };
+        PreActBlock {
+            norm1: BatchNorm2d::new(&format!("{name}.bn1"), in_channels),
+            conv1: Conv2d::new(&format!("{name}.conv1"), in_channels, out_channels, 3, stride, 1, rng),
+            norm2: BatchNorm2d::new(&format!("{name}.bn2"), out_channels),
+            conv2: Conv2d::new(&format!("{name}.conv2"), out_channels, out_channels, 3, 1, 1, rng),
+            projection,
+        }
+    }
+
+    fn forward(&self, graph: &mut Graph, input: NodeId) -> Result<NodeId> {
+        let pre = self.norm1.forward(graph, input)?;
+        let pre = graph.relu(pre)?;
+        let skip = match &self.projection {
+            Some(proj) => proj.forward(graph, pre)?,
+            None => input,
+        };
+        let out = self.conv1.forward(graph, pre)?;
+        let out = self.norm2.forward(graph, out)?;
+        let out = graph.relu(out)?;
+        let out = self.conv2.forward(graph, out)?;
+        Ok(graph.add(out, skip)?)
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        let mut params = self.norm1.parameters();
+        params.extend(self.conv1.parameters());
+        params.extend(self.norm2.parameters());
+        params.extend(self.conv2.parameters());
+        if let Some(proj) = &self.projection {
+            params.extend(proj.parameters());
+        }
+        params
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = self.norm1.parameters_mut();
+        params.extend(self.conv1.parameters_mut());
+        params.extend(self.norm2.parameters_mut());
+        params.extend(self.conv2.parameters_mut());
+        if let Some(proj) = &mut self.projection {
+            params.extend(proj.parameters_mut());
+        }
+        params
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.norm1.set_training(training);
+        self.norm2.set_training(training);
+    }
+}
+
+/// A pre-activation ResNet-v2 classifier, the conventional CNN defender
+/// family of the paper (stand-ins for ResNet-56 / ResNet-164).
+///
+/// The stem — first convolution, batch normalisation and ReLU — is tagged
+/// `"<name>.pelta_frontier"` on every forward pass: it is the transformation
+/// prefix the paper masks inside the enclave for ResNet defenders (§V-A).
+pub struct ResNetV2 {
+    config: ResNetConfig,
+    stem_conv: Conv2d,
+    stem_norm: BatchNorm2d,
+    stages: Vec<PreActBlock>,
+    head: Linear,
+    training: bool,
+}
+
+impl ResNetV2 {
+    /// Builds a ResNet-v2 from its configuration.
+    ///
+    /// # Errors
+    /// Returns an error if the stage lists are empty or of mismatched length.
+    pub fn new<R: Rng + ?Sized>(config: ResNetConfig, rng: &mut R) -> Result<Self> {
+        if config.stage_channels.is_empty()
+            || config.stage_channels.len() != config.stage_blocks.len()
+        {
+            return Err(NnError::InvalidConfig {
+                component: config.name.clone(),
+                reason: "stage_channels and stage_blocks must be non-empty and equal length"
+                    .to_string(),
+            });
+        }
+        let name = config.name.clone();
+        let stem_conv = Conv2d::new(
+            &format!("{name}.stem.conv"),
+            config.channels,
+            config.stem_channels,
+            3,
+            1,
+            1,
+            rng,
+        );
+        let stem_norm = BatchNorm2d::new(&format!("{name}.stem.bn"), config.stem_channels);
+        let mut stages = Vec::new();
+        let mut in_channels = config.stem_channels;
+        for (stage_idx, (&width, &blocks)) in config
+            .stage_channels
+            .iter()
+            .zip(config.stage_blocks.iter())
+            .enumerate()
+        {
+            for block_idx in 0..blocks {
+                let stride = if stage_idx > 0 && block_idx == 0 { 2 } else { 1 };
+                stages.push(PreActBlock::new(
+                    &format!("{name}.stage{stage_idx}.block{block_idx}"),
+                    in_channels,
+                    width,
+                    stride,
+                    rng,
+                ));
+                in_channels = width;
+            }
+        }
+        let head = Linear::new(&format!("{name}.head"), in_channels, config.classes, rng);
+        Ok(ResNetV2 {
+            config,
+            stem_conv,
+            stem_norm,
+            stages,
+            head,
+            training: true,
+        })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ResNetConfig {
+        &self.config
+    }
+
+    /// Number of residual blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+impl Module for ResNetV2 {
+    fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    fn forward(&self, graph: &mut Graph, input: NodeId) -> Result<NodeId> {
+        // --- Shielded prefix: conv → BN → ReLU (§V-A) ----------------------
+        let stem = self.stem_conv.forward(graph, input)?;
+        let stem = self.stem_norm.forward(graph, stem)?;
+        let stem = graph.relu(stem)?;
+        graph.set_tag(stem, &self.frontier_tag())?;
+        // --- Clear suffix ---------------------------------------------------
+        let mut features = stem;
+        for block in &self.stages {
+            features = block.forward(graph, features)?;
+        }
+        let pooled = graph.global_avg_pool2d(features)?;
+        self.head.forward(graph, pooled)
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        let mut params = self.stem_conv.parameters();
+        params.extend(self.stem_norm.parameters());
+        for block in &self.stages {
+            params.extend(block.parameters());
+        }
+        params.extend(self.head.parameters());
+        params
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = self.stem_conv.parameters_mut();
+        params.extend(self.stem_norm.parameters_mut());
+        for block in &mut self.stages {
+            params.extend(block.parameters_mut());
+        }
+        params.extend(self.head.parameters_mut());
+        params
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+        self.stem_norm.set_training(training);
+        for block in &mut self.stages {
+            block.set_training(training);
+        }
+    }
+}
+
+impl ImageModel for ResNetV2 {
+    fn architecture(&self) -> Architecture {
+        Architecture::ResNet
+    }
+
+    fn num_classes(&self) -> usize {
+        self.config.classes
+    }
+
+    fn input_shape(&self) -> [usize; 3] {
+        // ResNets are fully convolutional; the canonical evaluation size of
+        // the scaled models is 32×32.
+        [self.config.channels, 32, 32]
+    }
+
+    fn frontier_tag(&self) -> String {
+        format!("{}.pelta_frontier", self.config.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelta_tensor::{SeedStream, Tensor};
+
+    fn tiny_resnet(seed: u64) -> ResNetV2 {
+        let mut seeds = SeedStream::new(seed);
+        let cfg = ResNetConfig {
+            name: "tiny_resnet".to_string(),
+            channels: 3,
+            stem_channels: 4,
+            stage_channels: vec![4, 8],
+            stage_blocks: vec![1, 1],
+            classes: 5,
+        };
+        ResNetV2::new(cfg, &mut seeds.derive("init")).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_stages() {
+        let mut seeds = SeedStream::new(1);
+        let bad = ResNetConfig {
+            name: "bad".to_string(),
+            channels: 3,
+            stem_channels: 4,
+            stage_channels: vec![4, 8],
+            stage_blocks: vec![1],
+            classes: 5,
+        };
+        assert!(ResNetV2::new(bad, &mut seeds.derive("x")).is_err());
+    }
+
+    #[test]
+    fn forward_shapes_and_frontier() {
+        let resnet = tiny_resnet(2);
+        assert_eq!(resnet.num_blocks(), 2);
+        assert_eq!(resnet.architecture(), Architecture::ResNet);
+        assert!(resnet.attention_probs_prefix().is_none());
+        let mut seeds = SeedStream::new(3);
+        let x = Tensor::rand_uniform(&[2, 3, 16, 16], 0.0, 1.0, &mut seeds.derive("x"));
+        let mut g = Graph::new();
+        let input = g.input(x, "input");
+        let logits = resnet.forward(&mut g, input).unwrap();
+        assert_eq!(g.value(logits).unwrap().dims(), &[2, 5]);
+        let frontier = g.node_by_tag("tiny_resnet.pelta_frontier").unwrap();
+        // The frontier is the post-ReLU stem activation: same spatial size,
+        // stem channel count.
+        assert_eq!(g.value(frontier).unwrap().dims(), &[2, 4, 16, 16]);
+    }
+
+    #[test]
+    fn gradients_reach_input_and_stem_parameters() {
+        let resnet = tiny_resnet(4);
+        let mut seeds = SeedStream::new(5);
+        let x = Tensor::rand_uniform(&[2, 3, 16, 16], 0.0, 1.0, &mut seeds.derive("x"));
+        let mut g = Graph::new();
+        let input = g.input(x, "input");
+        let logits = resnet.forward(&mut g, input).unwrap();
+        let loss = g.cross_entropy(logits, &[0, 4]).unwrap();
+        let grads = g.backward(loss).unwrap();
+        assert!(grads.get(input).unwrap().linf_norm() > 0.0);
+        let stem_w = g.node_by_tag("tiny_resnet.stem.conv.weight").unwrap();
+        assert!(grads.get(stem_w).is_some());
+    }
+
+    #[test]
+    fn eval_mode_uses_running_statistics() {
+        let mut resnet = tiny_resnet(6);
+        let mut seeds = SeedStream::new(7);
+        let x = Tensor::rand_uniform(&[4, 3, 16, 16], 0.0, 1.0, &mut seeds.derive("x"));
+        // Train-mode forward populates the running statistics.
+        let mut g = Graph::new();
+        let input = g.input(x.clone(), "input");
+        resnet.forward(&mut g, input).unwrap();
+        // Eval-mode forward must work with a single-sample batch.
+        resnet.set_training(false);
+        let one = x.narrow(0, 0, 1).unwrap();
+        let mut g2 = Graph::new();
+        let input2 = g2.input(one, "input");
+        let logits = resnet.forward(&mut g2, input2).unwrap();
+        assert_eq!(g2.value(logits).unwrap().dims(), &[1, 5]);
+    }
+
+    #[test]
+    fn resnet164_scaled_is_deeper_than_resnet56_scaled() {
+        let mut seeds = SeedStream::new(8);
+        let r56 = ResNetV2::new(ResNetConfig::resnet56_scaled(3, 10), &mut seeds.derive("a")).unwrap();
+        let r164 =
+            ResNetV2::new(ResNetConfig::resnet164_scaled(3, 10), &mut seeds.derive("b")).unwrap();
+        assert!(r164.num_blocks() > r56.num_blocks());
+        assert!(r164.num_parameters() > r56.num_parameters());
+    }
+}

@@ -1,0 +1,324 @@
+//! Vision Transformer defender.
+
+use pelta_autodiff::{Graph, NodeId};
+use pelta_nn::{
+    ClassToken, LayerNorm, Linear, Module, MultiHeadAttention, NnError, Param, PatchEmbedding,
+    PositionEmbedding,
+};
+use rand::Rng;
+
+use crate::{Architecture, ImageModel, Result, ViTConfig};
+
+/// One pre-norm transformer encoder block: LayerNorm → MHSA → residual,
+/// LayerNorm → MLP(GELU) → residual.
+struct EncoderBlock {
+    norm1: LayerNorm,
+    attn: MultiHeadAttention,
+    norm2: LayerNorm,
+    mlp_fc1: Linear,
+    mlp_fc2: Linear,
+}
+
+impl EncoderBlock {
+    fn new<R: Rng + ?Sized>(name: &str, dim: usize, heads: usize, mlp_dim: usize, rng: &mut R) -> Result<Self> {
+        Ok(EncoderBlock {
+            norm1: LayerNorm::new(&format!("{name}.norm1"), dim),
+            attn: MultiHeadAttention::new(&format!("{name}.attn"), dim, heads, rng)?,
+            norm2: LayerNorm::new(&format!("{name}.norm2"), dim),
+            mlp_fc1: Linear::new(&format!("{name}.mlp.fc1"), dim, mlp_dim, rng),
+            mlp_fc2: Linear::new(&format!("{name}.mlp.fc2"), mlp_dim, dim, rng),
+        })
+    }
+
+    fn forward(&self, graph: &mut Graph, input: NodeId) -> Result<NodeId> {
+        let normed = self.norm1.forward(graph, input)?;
+        let attended = self.attn.forward(graph, normed)?;
+        let residual1 = graph.add(input, attended)?;
+        let normed2 = self.norm2.forward(graph, residual1)?;
+        let hidden = self.mlp_fc1.forward(graph, normed2)?;
+        let activated = graph.gelu(hidden)?;
+        let projected = self.mlp_fc2.forward(graph, activated)?;
+        Ok(graph.add(residual1, projected)?)
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        let mut params = self.norm1.parameters();
+        params.extend(self.attn.parameters());
+        params.extend(self.norm2.parameters());
+        params.extend(self.mlp_fc1.parameters());
+        params.extend(self.mlp_fc2.parameters());
+        params
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = self.norm1.parameters_mut();
+        params.extend(self.attn.parameters_mut());
+        params.extend(self.norm2.parameters_mut());
+        params.extend(self.mlp_fc1.parameters_mut());
+        params.extend(self.mlp_fc2.parameters_mut());
+        params
+    }
+}
+
+/// A Vision Transformer classifier (Dosovitskiy et al.), the attention-based
+/// defender family of the paper.
+///
+/// The embedding prefix — patch extraction, projection matrix `E`, class
+/// token and position embedding `E_pos` — is tagged
+/// `"<name>.pelta_frontier"` during every forward pass; it is exactly the set
+/// of transformations the paper places inside the TrustZone enclave for ViT
+/// defenders (§V-A).
+pub struct VisionTransformer {
+    config: ViTConfig,
+    embed: PatchEmbedding,
+    class_token: ClassToken,
+    position: PositionEmbedding,
+    blocks: Vec<EncoderBlock>,
+    final_norm: LayerNorm,
+    head: Linear,
+}
+
+impl VisionTransformer {
+    /// Builds a ViT from its configuration, initialising weights from `rng`.
+    ///
+    /// # Errors
+    /// Returns an error if the configuration is inconsistent (e.g. the patch
+    /// size does not divide the image size, or heads do not divide the
+    /// embedding dimension).
+    pub fn new<R: Rng + ?Sized>(config: ViTConfig, rng: &mut R) -> Result<Self> {
+        if config.image_size % config.patch != 0 {
+            return Err(NnError::InvalidConfig {
+                component: config.name.clone(),
+                reason: format!(
+                    "patch {} does not divide image size {}",
+                    config.patch, config.image_size
+                ),
+            });
+        }
+        let name = config.name.clone();
+        let tokens = config.num_patches() + 1;
+        let embed = PatchEmbedding::new(
+            &format!("{name}.embed"),
+            config.channels,
+            config.patch,
+            config.dim,
+            rng,
+        );
+        let class_token = ClassToken::new(&format!("{name}.cls"), config.dim, rng);
+        let position = PositionEmbedding::new(&format!("{name}.pos"), tokens, config.dim, rng);
+        let mut blocks = Vec::with_capacity(config.depth);
+        for i in 0..config.depth {
+            blocks.push(EncoderBlock::new(
+                &format!("{name}.block{i}"),
+                config.dim,
+                config.heads,
+                config.mlp_dim,
+                rng,
+            )?);
+        }
+        let final_norm = LayerNorm::new(&format!("{name}.norm"), config.dim);
+        let head = Linear::new(&format!("{name}.head"), config.dim, config.classes, rng);
+        Ok(VisionTransformer {
+            config,
+            embed,
+            class_token,
+            position,
+            blocks,
+            final_norm,
+            head,
+        })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ViTConfig {
+        &self.config
+    }
+
+    /// Number of encoder blocks.
+    pub fn depth(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+impl Module for VisionTransformer {
+    fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    fn forward(&self, graph: &mut Graph, input: NodeId) -> Result<NodeId> {
+        // --- Shielded prefix (inside the enclave under Pelta) -------------
+        let patches = self.embed.forward(graph, input)?;
+        let with_cls = self.class_token.forward(graph, patches)?;
+        let embedded = self.position.forward(graph, with_cls)?;
+        graph.set_tag(embedded, &self.frontier_tag())?;
+        // --- Clear suffix ---------------------------------------------------
+        let mut tokens = embedded;
+        for block in &self.blocks {
+            tokens = block.forward(graph, tokens)?;
+        }
+        let normed = self.final_norm.forward(graph, tokens)?;
+        // Classification head reads the class token (token 0).
+        let cls = graph.narrow(normed, 1, 0, 1)?;
+        let cls_flat = graph.reshape(cls, &[graph.value(cls)?.dims()[0], self.config.dim])?;
+        self.head.forward(graph, cls_flat)
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        let mut params = self.embed.parameters();
+        params.extend(self.class_token.parameters());
+        params.extend(self.position.parameters());
+        for block in &self.blocks {
+            params.extend(block.parameters());
+        }
+        params.extend(self.final_norm.parameters());
+        params.extend(self.head.parameters());
+        params
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = self.embed.parameters_mut();
+        params.extend(self.class_token.parameters_mut());
+        params.extend(self.position.parameters_mut());
+        for block in &mut self.blocks {
+            params.extend(block.parameters_mut());
+        }
+        params.extend(self.final_norm.parameters_mut());
+        params.extend(self.head.parameters_mut());
+        params
+    }
+}
+
+impl ImageModel for VisionTransformer {
+    fn architecture(&self) -> Architecture {
+        Architecture::VisionTransformer
+    }
+
+    fn num_classes(&self) -> usize {
+        self.config.classes
+    }
+
+    fn input_shape(&self) -> [usize; 3] {
+        [
+            self.config.channels,
+            self.config.image_size,
+            self.config.image_size,
+        ]
+    }
+
+    fn frontier_tag(&self) -> String {
+        format!("{}.pelta_frontier", self.config.name)
+    }
+
+    fn attention_probs_prefix(&self) -> Option<String> {
+        Some("attn_probs.".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{accuracy, predict_logits};
+    use pelta_tensor::{SeedStream, Tensor};
+
+    fn tiny_vit(seed: u64) -> VisionTransformer {
+        let mut seeds = SeedStream::new(seed);
+        let cfg = ViTConfig {
+            name: "tiny_vit".to_string(),
+            image_size: 8,
+            channels: 3,
+            patch: 4,
+            dim: 16,
+            depth: 2,
+            heads: 2,
+            mlp_dim: 32,
+            classes: 5,
+        };
+        VisionTransformer::new(cfg, &mut seeds.derive("init")).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_geometry() {
+        let mut seeds = SeedStream::new(1);
+        let bad = ViTConfig {
+            name: "bad".to_string(),
+            image_size: 10,
+            channels: 3,
+            patch: 4,
+            dim: 16,
+            depth: 1,
+            heads: 2,
+            mlp_dim: 32,
+            classes: 5,
+        };
+        assert!(VisionTransformer::new(bad, &mut seeds.derive("x")).is_err());
+    }
+
+    #[test]
+    fn forward_produces_logits_and_frontier_tag() {
+        let vit = tiny_vit(2);
+        assert_eq!(vit.depth(), 2);
+        assert_eq!(vit.num_classes(), 5);
+        assert_eq!(vit.input_shape(), [3, 8, 8]);
+        assert_eq!(vit.architecture(), Architecture::VisionTransformer);
+        assert!(vit.attention_probs_prefix().is_some());
+
+        let mut seeds = SeedStream::new(3);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut seeds.derive("x"));
+        let mut g = Graph::new();
+        let input = g.input(x, "input");
+        let logits = vit.forward(&mut g, input).unwrap();
+        assert_eq!(g.value(logits).unwrap().dims(), &[2, 5]);
+        // The shielded-prefix frontier and per-block attention maps exist.
+        assert!(g.node_by_tag("tiny_vit.pelta_frontier").is_ok());
+        assert_eq!(g.nodes_with_tag_prefix("attn_probs.").len(), 2);
+    }
+
+    #[test]
+    fn gradients_flow_from_loss_to_input_through_full_model() {
+        let vit = tiny_vit(4);
+        let mut seeds = SeedStream::new(5);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut seeds.derive("x"));
+        let mut g = Graph::new();
+        let input = g.input(x, "input");
+        let logits = vit.forward(&mut g, input).unwrap();
+        let loss = g.cross_entropy(logits, &[1, 3]).unwrap();
+        let grads = g.backward(loss).unwrap();
+        let gx = grads.get(input).unwrap();
+        assert_eq!(gx.dims(), &[2, 3, 8, 8]);
+        assert!(gx.linf_norm() > 0.0, "input gradient should be non-zero");
+        // Every parameter on the path receives a gradient.
+        for p in vit.parameters() {
+            let id = g.node_by_tag(p.name()).unwrap();
+            assert!(grads.get(id).is_some(), "no grad for {}", p.name());
+        }
+    }
+
+    #[test]
+    fn prediction_helpers_work() {
+        let vit = tiny_vit(6);
+        let mut seeds = SeedStream::new(7);
+        let x = Tensor::rand_uniform(&[4, 3, 8, 8], 0.0, 1.0, &mut seeds.derive("x"));
+        let logits = predict_logits(&vit, &x).unwrap();
+        assert_eq!(logits.dims(), &[4, 5]);
+        let acc = accuracy(&vit, &x, &[0, 1, 2, 3]).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn parameter_count_matches_analytic_formula() {
+        let vit = tiny_vit(8);
+        let cfg = vit.config();
+        let tokens = cfg.num_patches() + 1;
+        let embed = cfg.patch_dim() * cfg.dim + cfg.dim;
+        let cls = cfg.dim;
+        let pos = tokens * cfg.dim;
+        let per_block = 2 * (2 * cfg.dim) // two layer norms
+            + 4 * (cfg.dim * cfg.dim + cfg.dim) // q, k, v, out projections
+            + (cfg.dim * cfg.mlp_dim + cfg.mlp_dim)
+            + (cfg.mlp_dim * cfg.dim + cfg.dim);
+        let head = cfg.dim * cfg.classes + cfg.classes;
+        let final_norm = 2 * cfg.dim;
+        let expected = embed + cls + pos + cfg.depth * per_block + head + final_norm;
+        assert_eq!(vit.num_parameters(), expected);
+    }
+}

@@ -1,0 +1,215 @@
+//! Convolution layers: plain [`Conv2d`] and the weight-standardised
+//! [`WsConv2d`] used by the BiT (Big Transfer) defenders.
+
+use pelta_autodiff::{Graph, NodeId};
+use pelta_tensor::Conv2dSpec;
+use rand::Rng;
+
+use crate::{Initializer, Module, Param, Result};
+
+/// A 2-D convolution layer with per-channel bias.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    name: String,
+    weight: Param,
+    bias: Param,
+    spec: Conv2dSpec,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-normal weights and zero bias.
+    ///
+    /// `kernel` is the square kernel size; `stride` and `padding` follow the
+    /// usual conv arithmetic.
+    pub fn new<R: Rng + ?Sized>(
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        let weight = Initializer::KaimingNormal.init(
+            &[out_channels, in_channels, kernel, kernel],
+            fan_in,
+            fan_out,
+            rng,
+        );
+        Conv2d {
+            name: name.to_string(),
+            weight: Param::new(format!("{name}.weight"), weight),
+            bias: Param::new(
+                format!("{name}.bias"),
+                Initializer::Zeros.init(&[out_channels], fan_in, fan_out, rng),
+            ),
+            spec: Conv2dSpec::new(stride, padding),
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn spec(&self) -> Conv2dSpec {
+        self.spec
+    }
+
+    /// The kernel parameter (`[C_out, C_in, K, K]`).
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+}
+
+impl Module for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&self, graph: &mut Graph, input: NodeId) -> Result<NodeId> {
+        let w = self.weight.bind(graph);
+        let b = self.bias.bind(graph);
+        let conv = graph.conv2d(input, w, self.spec)?;
+        Ok(graph.bias_channel(conv, b)?)
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+/// A weight-standardised 2-D convolution (Qiao et al.; adopted by Big
+/// Transfer together with group normalisation).
+///
+/// The kernel is re-normalised to zero mean and unit variance per output
+/// filter on every forward pass. The paper's Pelta configuration for BiT
+/// shields exactly this first weight-standardised convolution and its padding
+/// (§V-A): weight standardisation is a non-invertible parametric transform,
+/// so the attacker cannot recover the hidden quantities from the layer output.
+#[derive(Debug, Clone)]
+pub struct WsConv2d {
+    name: String,
+    weight: Param,
+    bias: Param,
+    spec: Conv2dSpec,
+}
+
+impl WsConv2d {
+    /// Creates a weight-standardised convolution.
+    pub fn new<R: Rng + ?Sized>(
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        let weight = Initializer::KaimingNormal.init(
+            &[out_channels, in_channels, kernel, kernel],
+            fan_in,
+            fan_out,
+            rng,
+        );
+        WsConv2d {
+            name: name.to_string(),
+            weight: Param::new(format!("{name}.weight"), weight),
+            bias: Param::new(
+                format!("{name}.bias"),
+                Initializer::Zeros.init(&[out_channels], fan_in, fan_out, rng),
+            ),
+            spec: Conv2dSpec::new(stride, padding),
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn spec(&self) -> Conv2dSpec {
+        self.spec
+    }
+}
+
+impl Module for WsConv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&self, graph: &mut Graph, input: NodeId) -> Result<NodeId> {
+        let w = self.weight.bind(graph);
+        let b = self.bias.bind(graph);
+        let w_std = graph.weight_standardize(w)?;
+        let conv = graph.conv2d(input, w_std, self.spec)?;
+        Ok(graph.bias_channel(conv, b)?)
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelta_tensor::{SeedStream, Tensor};
+
+    #[test]
+    fn conv_forward_shape_and_params() {
+        let mut seeds = SeedStream::new(10);
+        let conv = Conv2d::new("c1", 3, 8, 3, 1, 1, &mut seeds.derive("init"));
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[2, 3, 8, 8]), "x");
+        let y = conv.forward(&mut g, x).unwrap();
+        assert_eq!(g.value(y).unwrap().dims(), &[2, 8, 8, 8]);
+        assert_eq!(conv.num_parameters(), 8 * 3 * 3 * 3 + 8);
+        assert!(g.node_by_tag("c1.weight").is_ok());
+        assert!(g.node_by_tag("c1.bias").is_ok());
+    }
+
+    #[test]
+    fn strided_conv_downsamples() {
+        let mut seeds = SeedStream::new(11);
+        let conv = Conv2d::new("down", 1, 4, 3, 2, 1, &mut seeds.derive("init"));
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[1, 1, 8, 8]), "x");
+        let y = conv.forward(&mut g, x).unwrap();
+        assert_eq!(g.value(y).unwrap().dims(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn ws_conv_forward_and_gradient_flow() {
+        let mut seeds = SeedStream::new(12);
+        let conv = WsConv2d::new("ws", 2, 4, 3, 1, 1, &mut seeds.derive("init"));
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[1, 2, 6, 6]), "x");
+        let y = conv.forward(&mut g, x).unwrap();
+        assert_eq!(g.value(y).unwrap().dims(), &[1, 4, 6, 6]);
+        let sq = g.mul(y, y).unwrap();
+        let loss = g.sum_all(sq).unwrap();
+        let grads = g.backward(loss).unwrap();
+        // Both the input and the raw (pre-standardisation) kernel receive
+        // gradients.
+        assert!(grads.get(x).is_some());
+        let wid = g.node_by_tag("ws.weight").unwrap();
+        assert!(grads.get(wid).is_some());
+    }
+
+    #[test]
+    fn conv_gradients_flow_to_input() {
+        let mut seeds = SeedStream::new(13);
+        let conv = Conv2d::new("c", 1, 2, 3, 1, 1, &mut seeds.derive("init"));
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[1, 1, 5, 5]), "x");
+        let y = conv.forward(&mut g, x).unwrap();
+        let loss = g.sum_all(y).unwrap();
+        let grads = g.backward(loss).unwrap();
+        assert_eq!(grads.get(x).unwrap().dims(), &[1, 1, 5, 5]);
+    }
+}

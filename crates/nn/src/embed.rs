@@ -1,0 +1,273 @@
+//! Vision-transformer input embeddings: patch embedding, class token and
+//! position embedding.
+//!
+//! Together these three modules are exactly the transformation the paper
+//! shields for ViT defenders (§V-A):
+//!
+//! > *"separation of the input into patches, projection onto embedding space
+//! > with embedding matrix E, concatenation with learnable token x_class and
+//! > summation with position embedding matrix E_pos"*
+
+use pelta_autodiff::{Graph, NodeId};
+use rand::Rng;
+
+use crate::{Initializer, Linear, Module, NnError, Param, Result};
+
+/// Splits an image into patches and projects each patch onto the embedding
+/// space: `[N, C, H, W] → [N, T, D]` with `T = (H/P)(W/P)`.
+#[derive(Debug, Clone)]
+pub struct PatchEmbedding {
+    name: String,
+    projection: Linear,
+    patch: usize,
+    channels: usize,
+}
+
+impl PatchEmbedding {
+    /// Creates a patch embedding with patch size `patch` and embedding
+    /// dimension `dim`.
+    pub fn new<R: Rng + ?Sized>(
+        name: &str,
+        channels: usize,
+        patch: usize,
+        dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let patch_dim = channels * patch * patch;
+        PatchEmbedding {
+            name: name.to_string(),
+            projection: Linear::with_init(
+                &format!("{name}.proj"),
+                patch_dim,
+                dim,
+                Initializer::Normal(0.02),
+                rng,
+            ),
+            patch,
+            channels,
+        }
+    }
+
+    /// The patch size.
+    pub fn patch(&self) -> usize {
+        self.patch
+    }
+
+    /// Number of tokens produced for an `image_size × image_size` input.
+    pub fn tokens_for(&self, image_size: usize) -> usize {
+        (image_size / self.patch) * (image_size / self.patch)
+    }
+}
+
+impl Module for PatchEmbedding {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&self, graph: &mut Graph, input: NodeId) -> Result<NodeId> {
+        let dims = graph.value(input)?.dims().to_vec();
+        if dims.len() != 4 || dims[1] != self.channels {
+            return Err(NnError::InvalidConfig {
+                component: self.name.clone(),
+                reason: format!(
+                    "expected [N, {}, H, W] input, got {:?}",
+                    self.channels, dims
+                ),
+            });
+        }
+        let patches = graph.patchify(input, self.patch)?;
+        self.projection.forward(graph, patches)
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        self.projection.parameters()
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        self.projection.parameters_mut()
+    }
+}
+
+/// The learnable classification token prepended to the patch sequence.
+#[derive(Debug, Clone)]
+pub struct ClassToken {
+    name: String,
+    token: Param,
+    dim: usize,
+}
+
+impl ClassToken {
+    /// Creates a class token of dimension `dim`.
+    pub fn new<R: Rng + ?Sized>(name: &str, dim: usize, rng: &mut R) -> Self {
+        ClassToken {
+            name: name.to_string(),
+            token: Param::new(
+                format!("{name}.token"),
+                Initializer::Normal(0.02).init(&[1, 1, dim], dim, dim, rng),
+            ),
+            dim,
+        }
+    }
+
+    /// Prepends the class token to a `[N, T, D]` sequence, producing
+    /// `[N, T+1, D]`.
+    ///
+    /// # Errors
+    /// Returns an error on dimension mismatch.
+    pub fn prepend(&self, graph: &mut Graph, tokens: NodeId) -> Result<NodeId> {
+        let dims = graph.value(tokens)?.dims().to_vec();
+        if dims.len() != 3 || dims[2] != self.dim {
+            return Err(NnError::InvalidConfig {
+                component: self.name.clone(),
+                reason: format!("expected [N, T, {}] tokens, got {:?}", self.dim, dims),
+            });
+        }
+        let n = dims[0];
+        let token = self.token.bind(graph);
+        let broadcast = graph.broadcast_to(token, &[n, 1, self.dim])?;
+        Ok(graph.concat(broadcast, tokens, 1)?)
+    }
+}
+
+impl Module for ClassToken {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&self, graph: &mut Graph, input: NodeId) -> Result<NodeId> {
+        self.prepend(graph, input)
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        vec![&self.token]
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.token]
+    }
+}
+
+/// The learnable position embedding added to the token sequence
+/// (`z_0 = [x_class; x_p E] + E_pos`).
+#[derive(Debug, Clone)]
+pub struct PositionEmbedding {
+    name: String,
+    embedding: Param,
+    tokens: usize,
+    dim: usize,
+}
+
+impl PositionEmbedding {
+    /// Creates a position embedding for `tokens` tokens of dimension `dim`.
+    pub fn new<R: Rng + ?Sized>(name: &str, tokens: usize, dim: usize, rng: &mut R) -> Self {
+        PositionEmbedding {
+            name: name.to_string(),
+            embedding: Param::new(
+                format!("{name}.pos"),
+                Initializer::Normal(0.02).init(&[1, tokens, dim], dim, dim, rng),
+            ),
+            tokens,
+            dim,
+        }
+    }
+}
+
+impl Module for PositionEmbedding {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&self, graph: &mut Graph, input: NodeId) -> Result<NodeId> {
+        let dims = graph.value(input)?.dims().to_vec();
+        if dims.len() != 3 || dims[1] != self.tokens || dims[2] != self.dim {
+            return Err(NnError::InvalidConfig {
+                component: self.name.clone(),
+                reason: format!(
+                    "expected [N, {}, {}] tokens, got {:?}",
+                    self.tokens, self.dim, dims
+                ),
+            });
+        }
+        let pos = self.embedding.bind(graph);
+        Ok(graph.add(input, pos)?)
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        vec![&self.embedding]
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.embedding]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelta_tensor::{SeedStream, Tensor};
+
+    #[test]
+    fn patch_embedding_shapes() {
+        let mut seeds = SeedStream::new(40);
+        let pe = PatchEmbedding::new("embed", 3, 4, 16, &mut seeds.derive("init"));
+        assert_eq!(pe.patch(), 4);
+        assert_eq!(pe.tokens_for(16), 16);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[2, 3, 16, 16]), "x");
+        let y = pe.forward(&mut g, x).unwrap();
+        assert_eq!(g.value(y).unwrap().dims(), &[2, 16, 16]);
+        let bad = g.input(Tensor::ones(&[2, 1, 16, 16]), "bad");
+        assert!(pe.forward(&mut g, bad).is_err());
+    }
+
+    #[test]
+    fn class_token_prepends_one_token() {
+        let mut seeds = SeedStream::new(41);
+        let ct = ClassToken::new("cls", 8, &mut seeds.derive("init"));
+        let mut g = Graph::new();
+        let tokens = g.input(Tensor::ones(&[3, 5, 8]), "tokens");
+        let with_cls = ct.forward(&mut g, tokens).unwrap();
+        assert_eq!(g.value(with_cls).unwrap().dims(), &[3, 6, 8]);
+        let bad = g.input(Tensor::ones(&[3, 5, 7]), "bad");
+        assert!(ct.prepend(&mut g, bad).is_err());
+    }
+
+    #[test]
+    fn position_embedding_adds_and_validates() {
+        let mut seeds = SeedStream::new(42);
+        let pos = PositionEmbedding::new("pos", 6, 8, &mut seeds.derive("init"));
+        let mut g = Graph::new();
+        let tokens = g.input(Tensor::zeros(&[2, 6, 8]), "tokens");
+        let y = pos.forward(&mut g, tokens).unwrap();
+        assert_eq!(g.value(y).unwrap().dims(), &[2, 6, 8]);
+        let bad = g.input(Tensor::zeros(&[2, 5, 8]), "bad");
+        assert!(pos.forward(&mut g, bad).is_err());
+    }
+
+    #[test]
+    fn full_vit_embedding_pipeline_gradients_reach_input_and_params() {
+        // patchify → project → class token → position embedding: the exact
+        // set of transformations Pelta shields for ViT (§V-A).
+        let mut seeds = SeedStream::new(43);
+        let pe = PatchEmbedding::new("vit.embed", 3, 4, 8, &mut seeds.derive("pe"));
+        let ct = ClassToken::new("vit.cls", 8, &mut seeds.derive("ct"));
+        let pos = PositionEmbedding::new("vit.pos", 5, 8, &mut seeds.derive("pos"));
+        let mut g = Graph::new();
+        let x = g.input(
+            Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut seeds.derive("x")),
+            "x",
+        );
+        let patches = pe.forward(&mut g, x).unwrap();
+        let with_cls = ct.forward(&mut g, patches).unwrap();
+        let embedded = pos.forward(&mut g, with_cls).unwrap();
+        assert_eq!(g.value(embedded).unwrap().dims(), &[2, 5, 8]);
+        let sq = g.mul(embedded, embedded).unwrap();
+        let loss = g.sum_all(sq).unwrap();
+        let grads = g.backward(loss).unwrap();
+        assert!(grads.get(x).is_some());
+        for tag in ["vit.embed.proj.weight", "vit.cls.token", "vit.pos.pos"] {
+            let id = g.node_by_tag(tag).unwrap();
+            assert!(grads.get(id).is_some(), "missing gradient for {tag}");
+        }
+    }
+}

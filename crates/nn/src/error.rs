@@ -1,0 +1,84 @@
+//! Error type for layer construction, forward passes and optimisation.
+
+use pelta_autodiff::AutodiffError;
+use pelta_tensor::TensorError;
+use std::fmt;
+
+/// Error returned by layer and optimiser operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A graph-level operation failed.
+    Autodiff(AutodiffError),
+    /// A raw tensor operation failed.
+    Tensor(TensorError),
+    /// A layer was configured with invalid hyper-parameters.
+    InvalidConfig {
+        /// The layer or optimiser being configured.
+        component: String,
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// The optimiser could not find a gradient for a parameter.
+    MissingGradient {
+        /// The parameter's registered name.
+        param: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Autodiff(e) => write!(f, "autodiff error: {e}"),
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::InvalidConfig { component, reason } => {
+                write!(f, "invalid configuration for {component}: {reason}")
+            }
+            NnError::MissingGradient { param } => {
+                write!(f, "no gradient available for parameter '{param}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Autodiff(e) => Some(e),
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AutodiffError> for NnError {
+    fn from(e: AutodiffError) -> Self {
+        NnError::Autodiff(e)
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: NnError = TensorError::EmptyTensor { op: "mean" }.into();
+        assert!(e.to_string().contains("tensor error"));
+        let e: NnError = AutodiffError::UnknownTag { tag: "w".into() }.into();
+        assert!(e.to_string().contains("autodiff error"));
+        let e = NnError::MissingGradient { param: "fc.weight".into() };
+        assert!(e.to_string().contains("fc.weight"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,97 @@
+//! Weight initialisation schemes.
+
+use pelta_tensor::Tensor;
+use rand::Rng;
+
+/// Weight initialisation schemes used by the layer constructors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Initializer {
+    /// All zeros (biases, position embeddings).
+    Zeros,
+    /// All ones (normalisation scales).
+    Ones,
+    /// Uniform Xavier/Glorot initialisation, suited to tanh/softmax layers.
+    XavierUniform,
+    /// Kaiming/He normal initialisation, suited to ReLU convolutions.
+    KaimingNormal,
+    /// Truncated-free normal with the given standard deviation (ViT
+    /// embeddings use 0.02 in the reference implementation).
+    Normal(f32),
+}
+
+impl Initializer {
+    /// Materialises a tensor of the given shape.
+    ///
+    /// `fan_in` and `fan_out` are the receptive-field-adjusted fan values of
+    /// the layer (for a `[out, in]` linear layer they are `in` and `out`; for
+    /// a conv kernel they include the kernel area).
+    pub fn init<R: Rng + ?Sized>(
+        &self,
+        shape: &[usize],
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut R,
+    ) -> Tensor {
+        match self {
+            Initializer::Zeros => Tensor::zeros(shape),
+            Initializer::Ones => Tensor::ones(shape),
+            Initializer::XavierUniform => {
+                let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                Tensor::rand_uniform(shape, -bound, bound, rng)
+            }
+            Initializer::KaimingNormal => {
+                let std = (2.0 / fan_in.max(1) as f32).sqrt();
+                Tensor::rand_normal(shape, 0.0, std, rng)
+            }
+            Initializer::Normal(std) => Tensor::rand_normal(shape, 0.0, *std, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn constant_initializers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(Initializer::Zeros
+            .init(&[3, 3], 3, 3, &mut rng)
+            .data()
+            .iter()
+            .all(|&x| x == 0.0));
+        assert!(Initializer::Ones
+            .init(&[3, 3], 3, 3, &mut rng)
+            .data()
+            .iter()
+            .all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let t = Initializer::XavierUniform.init(&[100, 100], 100, 100, &mut rng);
+        let bound = (6.0f32 / 200.0).sqrt();
+        assert!(t.data().iter().all(|&x| x.abs() <= bound));
+        // Not degenerate.
+        assert!(t.data().iter().any(|&x| x.abs() > bound / 10.0));
+    }
+
+    #[test]
+    fn kaiming_variance_scales_with_fan_in() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let t = Initializer::KaimingNormal.init(&[200, 50], 50, 200, &mut rng);
+        let var = t.data().iter().map(|x| x * x).sum::<f32>() / t.numel() as f32;
+        assert!((var - 2.0 / 50.0).abs() < 0.01, "var {var}");
+    }
+
+    #[test]
+    fn normal_uses_requested_std() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let t = Initializer::Normal(0.02).init(&[10_000], 1, 1, &mut rng);
+        let std = (t.data().iter().map(|x| x * x).sum::<f32>() / t.numel() as f32).sqrt();
+        assert!((std - 0.02).abs() < 0.005, "std {std}");
+    }
+}

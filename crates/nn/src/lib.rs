@@ -1,0 +1,59 @@
+//! # pelta-nn
+//!
+//! Neural-network building blocks on top of the `pelta-autodiff`
+//! computational graph: parameters, the [`Module`] trait, the layers used by
+//! the paper's defender architectures (linear, convolution, weight-standardised
+//! convolution, layer/batch/group normalisation, multi-head self-attention,
+//! patch and position embeddings) and the optimisers used to train them.
+//!
+//! Layers build nodes into a [`pelta_autodiff::Graph`] during each forward
+//! pass; parameters are registered as tagged leaf nodes so that optimisers can
+//! look up their gradients by name and the Pelta shield can decide which
+//! parameter leaves fall inside the TEE enclave.
+//!
+//! # Example
+//!
+//! ```rust
+//! use pelta_autodiff::Graph;
+//! use pelta_nn::{Linear, Module};
+//! use pelta_tensor::{SeedStream, Tensor};
+//!
+//! # fn main() -> Result<(), pelta_nn::NnError> {
+//! let mut seeds = SeedStream::new(0);
+//! let layer = Linear::new("fc", 4, 2, &mut seeds.derive("init"));
+//! let mut g = Graph::new();
+//! let x = g.input(Tensor::ones(&[3, 4]), "x");
+//! let y = layer.forward(&mut g, x)?;
+//! assert_eq!(g.value(y)?.dims(), &[3, 2]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod attention;
+mod conv;
+mod embed;
+mod error;
+mod init;
+mod linear;
+mod module;
+mod norm;
+mod optim;
+mod param;
+mod sequential;
+
+pub use attention::MultiHeadAttention;
+pub use conv::{Conv2d, WsConv2d};
+pub use embed::{ClassToken, PatchEmbedding, PositionEmbedding};
+pub use error::NnError;
+pub use init::Initializer;
+pub use linear::Linear;
+pub use module::Module;
+pub use norm::{BatchNorm2d, GroupNorm, LayerNorm};
+pub use optim::{Adam, Sgd};
+pub use param::Param;
+pub use sequential::Sequential;
+
+/// Convenience alias for results returned throughout this crate.
+pub type Result<T> = std::result::Result<T, NnError>;

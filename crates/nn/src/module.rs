@@ -1,0 +1,89 @@
+//! The [`Module`] trait implemented by every layer and model.
+
+use pelta_autodiff::{Graph, NodeId};
+
+use crate::{Param, Result};
+
+/// A differentiable component that builds its computation into a graph.
+///
+/// A module owns its parameters and, given an input node, appends the nodes
+/// of its transformation to the graph, returning the output node. Modules are
+/// object-safe so that containers ([`crate::Sequential`], the model families
+/// in `pelta-models`) can hold heterogeneous layers.
+pub trait Module: Send + Sync {
+    /// Human-readable name of the module instance (used as a tag prefix for
+    /// its parameters).
+    fn name(&self) -> &str;
+
+    /// Builds the forward computation into `graph`, returning the output
+    /// node.
+    ///
+    /// # Errors
+    /// Returns an error if the input shape is incompatible with the module.
+    fn forward(&self, graph: &mut Graph, input: NodeId) -> Result<NodeId>;
+
+    /// Immutable views of all trainable parameters, in a stable order.
+    fn parameters(&self) -> Vec<&Param>;
+
+    /// Mutable views of all trainable parameters, in the same order as
+    /// [`Module::parameters`].
+    fn parameters_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Switches between training and inference behaviour (batch-norm
+    /// statistics, dropout…). The default is a no-op for stateless layers.
+    fn set_training(&mut self, _training: bool) {}
+
+    /// Total number of scalar parameters.
+    fn num_parameters(&self) -> usize {
+        self.parameters().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Total parameter size in bytes (f32 elements) — the quantity Table I of
+    /// the paper accounts when estimating enclave memory budgets.
+    fn parameter_bytes(&self) -> usize {
+        self.parameters().iter().map(|p| p.byte_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelta_tensor::Tensor;
+
+    struct Dummy {
+        params: Vec<Param>,
+    }
+
+    impl Module for Dummy {
+        fn name(&self) -> &str {
+            "dummy"
+        }
+        fn forward(&self, _graph: &mut Graph, input: NodeId) -> Result<NodeId> {
+            Ok(input)
+        }
+        fn parameters(&self) -> Vec<&Param> {
+            self.params.iter().collect()
+        }
+        fn parameters_mut(&mut self) -> Vec<&mut Param> {
+            self.params.iter_mut().collect()
+        }
+    }
+
+    #[test]
+    fn default_accounting_methods() {
+        let m = Dummy {
+            params: vec![
+                Param::new("a", Tensor::zeros(&[2, 3])),
+                Param::new("b", Tensor::zeros(&[4])),
+            ],
+        };
+        assert_eq!(m.num_parameters(), 10);
+        assert_eq!(m.parameter_bytes(), 40);
+    }
+
+    #[test]
+    fn module_is_object_safe() {
+        let m: Box<dyn Module> = Box::new(Dummy { params: vec![] });
+        assert_eq!(m.name(), "dummy");
+    }
+}

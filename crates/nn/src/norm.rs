@@ -1,0 +1,274 @@
+//! Normalisation layers: [`LayerNorm`], [`BatchNorm2d`] and [`GroupNorm`].
+
+use parking_lot::Mutex;
+use pelta_autodiff::{Graph, NodeId};
+use pelta_tensor::Tensor;
+
+use crate::{Module, NnError, Param, Result};
+
+/// Layer normalisation over the last (feature) axis with learnable affine
+/// parameters, as used throughout transformer encoder blocks.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    name: String,
+    gamma: Param,
+    beta: Param,
+}
+
+impl LayerNorm {
+    /// Creates a layer normalisation over `dim` features (γ=1, β=0).
+    pub fn new(name: &str, dim: usize) -> Self {
+        LayerNorm {
+            name: name.to_string(),
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[dim])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[dim])),
+        }
+    }
+}
+
+impl Module for LayerNorm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&self, graph: &mut Graph, input: NodeId) -> Result<NodeId> {
+        let gamma = self.gamma.bind(graph);
+        let beta = self.beta.bind(graph);
+        Ok(graph.layer_norm(input, gamma, beta)?)
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+/// Batch normalisation over a `[N, C, H, W]` feature map.
+///
+/// In training mode the layer normalises with batch statistics and updates
+/// exponential running averages; in inference mode (the setting in which the
+/// paper's attacks probe the model) it applies the frozen running statistics.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    name: String,
+    gamma: Param,
+    beta: Param,
+    running_mean: Mutex<Tensor>,
+    running_var: Mutex<Tensor>,
+    momentum: f32,
+    training: bool,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch normalisation over `channels` channels.
+    pub fn new(name: &str, channels: usize) -> Self {
+        BatchNorm2d {
+            name: name.to_string(),
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[channels])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[channels])),
+            running_mean: Mutex::new(Tensor::zeros(&[channels])),
+            running_var: Mutex::new(Tensor::ones(&[channels])),
+            momentum: 0.1,
+            training: true,
+        }
+    }
+
+    /// Whether the layer is currently in training mode.
+    pub fn is_training(&self) -> bool {
+        self.training
+    }
+
+    /// Snapshot of the running mean.
+    pub fn running_mean(&self) -> Tensor {
+        self.running_mean.lock().clone()
+    }
+
+    /// Snapshot of the running variance.
+    pub fn running_var(&self) -> Tensor {
+        self.running_var.lock().clone()
+    }
+
+    /// Updates the exponential running statistics from a batch.
+    fn update_running_stats(&self, batch: &Tensor) -> Result<()> {
+        let c = batch.dims()[1];
+        // Per-channel mean/var over (N, H, W).
+        let perm = batch.permute(&[1, 0, 2, 3])?;
+        let per_channel = perm.reshape(&[c, perm.numel() / c])?;
+        let mean = per_channel.mean_axis(1, false)?;
+        let var = per_channel.var_axis(1, false)?;
+        let mut rm = self.running_mean.lock();
+        let mut rv = self.running_var.lock();
+        *rm = rm.mul_scalar(1.0 - self.momentum).add(&mean.mul_scalar(self.momentum))?;
+        *rv = rv.mul_scalar(1.0 - self.momentum).add(&var.mul_scalar(self.momentum))?;
+        Ok(())
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&self, graph: &mut Graph, input: NodeId) -> Result<NodeId> {
+        let x_val = graph.value(input)?;
+        if x_val.rank() != 4 {
+            return Err(NnError::InvalidConfig {
+                component: self.name.clone(),
+                reason: format!("batch norm expects rank-4 input, got rank {}", x_val.rank()),
+            });
+        }
+        let gamma = self.gamma.bind(graph);
+        let beta = self.beta.bind(graph);
+        if self.training {
+            let batch = graph.value(input)?.clone();
+            self.update_running_stats(&batch)?;
+            Ok(graph.batch_norm2d_train(input, gamma, beta)?)
+        } else {
+            let mean = self.running_mean.lock().clone();
+            let var = self.running_var.lock().clone();
+            Ok(graph.batch_norm2d_eval(input, gamma, beta, &mean, &var)?)
+        }
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+}
+
+/// Group normalisation over a `[N, C, H, W]` feature map with learnable
+/// per-channel affine parameters (Wu & He), used by the BiT defenders.
+#[derive(Debug, Clone)]
+pub struct GroupNorm {
+    name: String,
+    gamma: Param,
+    beta: Param,
+    groups: usize,
+}
+
+impl GroupNorm {
+    /// Creates a group normalisation with the given number of groups.
+    ///
+    /// # Errors
+    /// Returns [`NnError::InvalidConfig`] if `channels` is not divisible by
+    /// `groups`.
+    pub fn new(name: &str, channels: usize, groups: usize) -> Result<Self> {
+        if groups == 0 || channels % groups != 0 {
+            return Err(NnError::InvalidConfig {
+                component: name.to_string(),
+                reason: format!("{channels} channels not divisible into {groups} groups"),
+            });
+        }
+        Ok(GroupNorm {
+            name: name.to_string(),
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[channels])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[channels])),
+            groups,
+        })
+    }
+
+    /// The number of normalisation groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+}
+
+impl Module for GroupNorm {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&self, graph: &mut Graph, input: NodeId) -> Result<NodeId> {
+        let gamma = self.gamma.bind(graph);
+        let beta = self.beta.bind(graph);
+        Ok(graph.group_norm(input, gamma, beta, self.groups)?)
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelta_tensor::SeedStream;
+
+    #[test]
+    fn layer_norm_forward_and_params() {
+        let ln = LayerNorm::new("ln", 8);
+        let mut g = Graph::new();
+        let mut seeds = SeedStream::new(20);
+        let x = g.input(
+            Tensor::rand_uniform(&[2, 3, 8], -3.0, 3.0, &mut seeds.derive("x")),
+            "x",
+        );
+        let y = ln.forward(&mut g, x).unwrap();
+        assert_eq!(g.value(y).unwrap().dims(), &[2, 3, 8]);
+        assert_eq!(ln.num_parameters(), 16);
+    }
+
+    #[test]
+    fn batch_norm_training_vs_eval() {
+        let mut seeds = SeedStream::new(21);
+        let mut bn = BatchNorm2d::new("bn", 3);
+        assert!(bn.is_training());
+        let x = Tensor::rand_uniform(&[4, 3, 5, 5], 2.0, 4.0, &mut seeds.derive("x"));
+
+        // Training forward updates running statistics towards the batch mean.
+        let mut g = Graph::new();
+        let xid = g.input(x.clone(), "x");
+        bn.forward(&mut g, xid).unwrap();
+        let rm = bn.running_mean();
+        assert!(rm.data().iter().all(|&m| m > 0.0), "running mean should move towards ~3");
+
+        // Eval forward uses the running statistics and still produces
+        // gradients w.r.t. the input.
+        bn.set_training(false);
+        assert!(!bn.is_training());
+        let mut g2 = Graph::new();
+        let xid2 = g2.input(x, "x");
+        let y2 = bn.forward(&mut g2, xid2).unwrap();
+        let loss = g2.sum_all(y2).unwrap();
+        let grads = g2.backward(loss).unwrap();
+        assert!(grads.get(xid2).is_some());
+    }
+
+    #[test]
+    fn batch_norm_rejects_non_rank4() {
+        let bn = BatchNorm2d::new("bn", 3);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[2, 3]), "x");
+        assert!(bn.forward(&mut g, x).is_err());
+    }
+
+    #[test]
+    fn group_norm_construction_and_forward() {
+        assert!(GroupNorm::new("gn", 6, 4).is_err());
+        assert!(GroupNorm::new("gn", 6, 0).is_err());
+        let gn = GroupNorm::new("gn", 6, 3).unwrap();
+        assert_eq!(gn.groups(), 3);
+        let mut seeds = SeedStream::new(22);
+        let mut g = Graph::new();
+        let x = g.input(
+            Tensor::rand_uniform(&[2, 6, 4, 4], -1.0, 1.0, &mut seeds.derive("x")),
+            "x",
+        );
+        let y = gn.forward(&mut g, x).unwrap();
+        assert_eq!(g.value(y).unwrap().dims(), &[2, 6, 4, 4]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Optimisers: stochastic gradient descent (with momentum) and Adam.
+
+use std::collections::HashMap;
+
+use pelta_autodiff::{Gradients, Graph};
+use pelta_tensor::Tensor;
+
+use crate::{NnError, Param, Result};
+
+/// Stochastic gradient descent with classical momentum.
+///
+/// Gradients are looked up by parameter name in the graph produced by the
+/// last forward pass, which is also how federated clients compute the local
+/// updates they send to the server.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: HashMap<String, Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser with the given learning rate and momentum
+    /// coefficient (0 disables momentum).
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+
+    /// The learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (e.g. for schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update step to `params` using the gradients of the last
+    /// backward pass.
+    ///
+    /// Parameters whose leaf does not appear in the graph (e.g. layers that
+    /// were not exercised by this batch) are skipped; parameters that appear
+    /// but received no gradient are an error, because it indicates a
+    /// disconnected computation.
+    ///
+    /// # Errors
+    /// Returns [`NnError::MissingGradient`] if a bound parameter received no
+    /// gradient.
+    pub fn step(
+        &mut self,
+        params: &mut [&mut Param],
+        graph: &Graph,
+        grads: &Gradients,
+    ) -> Result<()> {
+        for param in params.iter_mut() {
+            let Ok(node) = graph.node_by_tag(param.name()) else {
+                continue;
+            };
+            let grad = grads.get(node).ok_or_else(|| NnError::MissingGradient {
+                param: param.name().to_string(),
+            })?;
+            let update = if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(param.name().to_string())
+                    .or_insert_with(|| Tensor::zeros(grad.dims()));
+                *v = v.mul_scalar(self.momentum).add(grad)?;
+                v.clone()
+            } else {
+                grad.clone()
+            };
+            let new_value = param.value().axpy(-self.lr, &update)?;
+            param.set_value(new_value);
+        }
+        Ok(())
+    }
+}
+
+/// The Adam optimiser (Kingma & Ba) with bias-corrected moment estimates.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    step: u64,
+    first_moment: HashMap<String, Tensor>,
+    second_moment: HashMap<String, Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with the standard β₁ = 0.9, β₂ = 0.999.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            step: 0,
+            first_moment: HashMap::new(),
+            second_moment: HashMap::new(),
+        }
+    }
+
+    /// The learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one update step (see [`Sgd::step`] for the lookup semantics).
+    ///
+    /// # Errors
+    /// Returns [`NnError::MissingGradient`] if a bound parameter received no
+    /// gradient.
+    pub fn step(
+        &mut self,
+        params: &mut [&mut Param],
+        graph: &Graph,
+        grads: &Gradients,
+    ) -> Result<()> {
+        self.step += 1;
+        let t = self.step as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for param in params.iter_mut() {
+            let Ok(node) = graph.node_by_tag(param.name()) else {
+                continue;
+            };
+            let grad = grads.get(node).ok_or_else(|| NnError::MissingGradient {
+                param: param.name().to_string(),
+            })?;
+            let m = self
+                .first_moment
+                .entry(param.name().to_string())
+                .or_insert_with(|| Tensor::zeros(grad.dims()));
+            *m = m.mul_scalar(self.beta1).add(&grad.mul_scalar(1.0 - self.beta1))?;
+            let v = self
+                .second_moment
+                .entry(param.name().to_string())
+                .or_insert_with(|| Tensor::zeros(grad.dims()));
+            *v = v
+                .mul_scalar(self.beta2)
+                .add(&grad.square().mul_scalar(1.0 - self.beta2))?;
+            let m_hat = m.mul_scalar(1.0 / bias1);
+            let v_hat = v.mul_scalar(1.0 / bias2);
+            let denom = v_hat.sqrt().add_scalar(self.eps);
+            let update = m_hat.div(&denom)?;
+            let new_value = param.value().axpy(-self.lr, &update)?;
+            param.set_value(new_value);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Module};
+    use pelta_autodiff::Graph;
+    use pelta_tensor::SeedStream;
+
+    fn quadratic_step(param: &mut Param, optimiser: &mut dyn FnMut(&mut Param, &Graph, &Gradients)) -> f32 {
+        // Loss = Σ w²; gradient = 2w. The optimum is w = 0.
+        let mut g = Graph::new();
+        let w = param.bind(&mut g);
+        let sq = g.mul(w, w).unwrap();
+        let loss = g.sum_all(sq).unwrap();
+        let value = g.value(loss).unwrap().item().unwrap();
+        let grads = g.backward(loss).unwrap();
+        optimiser(param, &g, &grads);
+        value
+    }
+
+    #[test]
+    fn sgd_descends_a_quadratic() {
+        let mut p = Param::new("w", Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]).unwrap());
+        let mut opt = Sgd::new(0.1, 0.0);
+        let mut losses = Vec::new();
+        for _ in 0..20 {
+            losses.push(quadratic_step(&mut p, &mut |param, g, grads| {
+                opt.step(&mut [param], g, grads).unwrap();
+            }));
+        }
+        assert!(losses.last().unwrap() < &(losses[0] * 0.05));
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let run = |momentum: f32| {
+            let mut p = Param::new("w", Tensor::from_vec(vec![5.0], &[1]).unwrap());
+            let mut opt = Sgd::new(0.005, momentum);
+            let mut last = 0.0;
+            for _ in 0..30 {
+                last = quadratic_step(&mut p, &mut |param, g, grads| {
+                    opt.step(&mut [param], g, grads).unwrap();
+                });
+            }
+            last
+        };
+        // With a small learning rate, momentum accumulates velocity and makes
+        // clearly faster progress on the quadratic than plain SGD.
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn adam_descends_a_quadratic() {
+        let mut p = Param::new("w", Tensor::from_vec(vec![4.0, -4.0], &[2]).unwrap());
+        let mut opt = Adam::new(0.3);
+        let mut losses = Vec::new();
+        for _ in 0..40 {
+            losses.push(quadratic_step(&mut p, &mut |param, g, grads| {
+                opt.step(&mut [param], g, grads).unwrap();
+            }));
+        }
+        assert!(losses.last().unwrap() < &(losses[0] * 0.2), "losses: {losses:?}");
+    }
+
+    #[test]
+    fn unused_parameters_are_skipped_and_accessors_work() {
+        let mut seeds = SeedStream::new(60);
+        let mut used = Linear::new("used", 2, 2, &mut seeds.derive("a"));
+        let mut unused = Linear::new("unused", 2, 2, &mut seeds.derive("b"));
+        let mut opt = Sgd::new(0.1, 0.0);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.05);
+        assert_eq!(opt.learning_rate(), 0.05);
+        assert_eq!(Adam::new(0.01).learning_rate(), 0.01);
+
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[1, 2]), "x");
+        let y = used.forward(&mut g, x).unwrap();
+        let loss = g.sum_all(y).unwrap();
+        let grads = g.backward(loss).unwrap();
+        let before = unused.parameters()[0].value().clone();
+        let mut all: Vec<&mut Param> = used
+            .parameters_mut()
+            .into_iter()
+            .chain(unused.parameters_mut())
+            .collect();
+        opt.step(&mut all, &g, &grads).unwrap();
+        assert_eq!(unused.parameters()[0].value(), &before);
+    }
+
+    #[test]
+    fn missing_gradient_is_reported() {
+        // Bind a parameter into the graph but never connect it to the loss.
+        let mut p = Param::new("dangling", Tensor::ones(&[2]));
+        let mut other = Param::new("on_path", Tensor::ones(&[2]));
+        let mut g = Graph::new();
+        let _ = p.bind(&mut g);
+        let w = other.bind(&mut g);
+        let loss = g.sum_all(w).unwrap();
+        let grads = g.backward(loss).unwrap();
+        let mut opt = Sgd::new(0.1, 0.0);
+        let err = opt.step(&mut [&mut p, &mut other], &g, &grads);
+        assert!(matches!(err, Err(NnError::MissingGradient { .. })));
+    }
+}

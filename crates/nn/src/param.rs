@@ -1,0 +1,85 @@
+//! Named trainable parameters.
+
+use pelta_autodiff::{Graph, NodeId};
+use pelta_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A named trainable parameter.
+///
+/// The name doubles as the node tag used when the parameter is bound into a
+/// graph, which is how optimisers locate gradients, how federated clients
+/// serialise updates, and how the Pelta shield identifies which parameter
+/// leaves fall inside the enclave.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    name: String,
+    value: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter with the given unique name and initial value.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        Param {
+            name: name.into(),
+            value,
+        }
+    }
+
+    /// The parameter's unique name (also its graph tag).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current value.
+    pub fn value(&self) -> &Tensor {
+        &self.value
+    }
+
+    /// Mutable access to the value (used by optimisers and FL aggregation).
+    pub fn value_mut(&mut self) -> &mut Tensor {
+        &mut self.value
+    }
+
+    /// Replaces the value, keeping the name.
+    pub fn set_value(&mut self, value: Tensor) {
+        self.value = value;
+    }
+
+    /// Number of scalar elements.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+
+    /// Size of the parameter in bytes (f32 elements).
+    pub fn byte_size(&self) -> usize {
+        self.value.byte_size()
+    }
+
+    /// Registers the parameter as a tagged leaf in `graph` and returns its
+    /// node id.
+    pub fn bind(&self, graph: &mut Graph) -> NodeId {
+        graph.parameter(self.value.clone(), &self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_bind() {
+        let mut p = Param::new("fc.weight", Tensor::ones(&[2, 3]));
+        assert_eq!(p.name(), "fc.weight");
+        assert_eq!(p.numel(), 6);
+        assert_eq!(p.byte_size(), 24);
+        p.value_mut().data_mut()[0] = 7.0;
+        assert_eq!(p.value().data()[0], 7.0);
+        p.set_value(Tensor::zeros(&[2]));
+        assert_eq!(p.numel(), 2);
+
+        let mut g = Graph::new();
+        let id = p.bind(&mut g);
+        assert_eq!(g.node_by_tag("fc.weight").unwrap(), id);
+        assert_eq!(g.value(id).unwrap().dims(), &[2]);
+    }
+}

@@ -1,0 +1,128 @@
+//! A sequential container of modules.
+
+use pelta_autodiff::{Graph, NodeId};
+
+use crate::{Module, Param, Result};
+
+/// Runs a list of modules one after another.
+///
+/// Used by the model families in `pelta-models` to assemble residual stages
+/// and encoder stacks while keeping parameter enumeration uniform.
+pub struct Sequential {
+    name: String,
+    modules: Vec<Box<dyn Module>>,
+}
+
+impl Sequential {
+    /// Creates an empty container.
+    pub fn new(name: &str) -> Self {
+        Sequential {
+            name: name.to_string(),
+            modules: Vec::new(),
+        }
+    }
+
+    /// Appends a module (builder style).
+    #[must_use]
+    pub fn push(mut self, module: Box<dyn Module>) -> Self {
+        self.modules.push(module);
+        self
+    }
+
+    /// Appends a module in place.
+    pub fn add(&mut self, module: Box<dyn Module>) {
+        self.modules.push(module);
+    }
+
+    /// Number of contained modules.
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// The contained modules.
+    pub fn modules(&self) -> &[Box<dyn Module>] {
+        &self.modules
+    }
+}
+
+impl Module for Sequential {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&self, graph: &mut Graph, input: NodeId) -> Result<NodeId> {
+        let mut current = input;
+        for module in &self.modules {
+            current = module.forward(graph, current)?;
+        }
+        Ok(current)
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        self.modules.iter().flat_map(|m| m.parameters()).collect()
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        self.modules
+            .iter_mut()
+            .flat_map(|m| m.parameters_mut())
+            .collect()
+    }
+
+    fn set_training(&mut self, training: bool) {
+        for module in &mut self.modules {
+            module.set_training(training);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BatchNorm2d, Conv2d, Linear};
+    use pelta_tensor::{SeedStream, Tensor};
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let seq = Sequential::new("empty");
+        assert!(seq.is_empty());
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[2, 2]), "x");
+        assert_eq!(seq.forward(&mut g, x).unwrap(), x);
+    }
+
+    #[test]
+    fn chains_modules_and_collects_parameters() {
+        let mut seeds = SeedStream::new(50);
+        let seq = Sequential::new("mlp")
+            .push(Box::new(Linear::new("mlp.fc1", 4, 8, &mut seeds.derive("a"))))
+            .push(Box::new(Linear::new("mlp.fc2", 8, 2, &mut seeds.derive("b"))));
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq.parameters().len(), 4);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[3, 4]), "x");
+        let y = seq.forward(&mut g, x).unwrap();
+        assert_eq!(g.value(y).unwrap().dims(), &[3, 2]);
+    }
+
+    #[test]
+    fn set_training_propagates_to_children() {
+        let mut seeds = SeedStream::new(51);
+        let mut seq = Sequential::new("stage");
+        seq.add(Box::new(Conv2d::new("stage.conv", 1, 2, 3, 1, 1, &mut seeds.derive("c"))));
+        seq.add(Box::new(BatchNorm2d::new("stage.bn", 2)));
+        seq.set_training(false);
+        // Forward in eval mode must use running statistics (no panic, valid
+        // shapes) even for a batch of one sample.
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[1, 1, 4, 4]), "x");
+        let y = seq.forward(&mut g, x).unwrap();
+        assert_eq!(g.value(y).unwrap().dims(), &[1, 2, 4, 4]);
+        assert_eq!(seq.modules().len(), 2);
+    }
+}

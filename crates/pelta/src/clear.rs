@@ -1,0 +1,156 @@
+//! The undefended white-box oracle (no Pelta shield).
+
+use std::sync::Arc;
+
+use pelta_models::{predict_logits, Architecture, ImageModel};
+use pelta_tensor::Tensor;
+
+use crate::oracle::{run_forward_backward, shallowest_clear_adjoint};
+use crate::{attention_rollout_map, AttackLoss, BackwardProbe, GradientOracle, Result};
+
+/// A defender running **without** Pelta: the standard FL white-box setting
+/// in which the compromised client reads the exact `∇ₓL` from its own device
+/// memory. This is the "non-shielded" column of Tables III and IV.
+pub struct ClearWhiteBox {
+    model: Arc<dyn ImageModel>,
+}
+
+impl ClearWhiteBox {
+    /// Wraps a model as an undefended oracle.
+    pub fn new(model: Arc<dyn ImageModel>) -> Self {
+        ClearWhiteBox { model }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &Arc<dyn ImageModel> {
+        &self.model
+    }
+}
+
+impl GradientOracle for ClearWhiteBox {
+    fn name(&self) -> String {
+        self.model.name().to_string()
+    }
+
+    fn architecture(&self) -> Architecture {
+        self.model.architecture()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.model.num_classes()
+    }
+
+    fn input_shape(&self) -> [usize; 3] {
+        self.model.input_shape()
+    }
+
+    fn is_shielded(&self) -> bool {
+        false
+    }
+
+    fn logits(&self, images: &Tensor) -> Result<Tensor> {
+        Ok(predict_logits(self.model.as_ref(), images)?)
+    }
+
+    fn probe(&self, images: &Tensor, labels: &[usize], loss: AttackLoss) -> Result<BackwardProbe> {
+        let exec = run_forward_backward(self.model.as_ref(), images, labels, loss)?;
+        let batch = images.dims()[0];
+        let input_dims = vec![images.dims()[1], images.dims()[2], images.dims()[3]];
+
+        let input_gradient = exec.grads.get(exec.input).cloned();
+
+        // Even in the clear setting the frontier child's adjoint exists; the
+        // attacker simply has no reason to use it because ∇ₓL is available.
+        let frontier_tag = self.model.frontier_tag();
+        let frontier = exec.graph.node_by_tag(&frontier_tag)?;
+        let clear_adjoint =
+            shallowest_clear_adjoint(&exec.graph, &exec.grads, &[], &[frontier])?;
+
+        let attention_rollout = match self.model.attention_probs_prefix() {
+            Some(prefix) => attention_rollout_map(&exec.graph, &prefix, batch, &input_dims)?,
+            None => None,
+        };
+
+        Ok(BackwardProbe {
+            logits: exec.logits,
+            loss: exec.loss_value,
+            input_gradient,
+            clear_adjoint,
+            input_dims,
+            attention_rollout,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelta_models::{ResNetConfig, ResNetV2, ViTConfig, VisionTransformer};
+    use pelta_tensor::SeedStream;
+
+    #[test]
+    fn clear_oracle_exposes_exact_input_gradient() {
+        let mut seeds = SeedStream::new(10);
+        let mut vit = VisionTransformer::new(
+            ViTConfig::vit_b16_scaled(8, 3, 4),
+            &mut seeds.derive("init"),
+        )
+        .unwrap();
+        pelta_nn::Module::set_training(&mut vit, false);
+        let oracle = ClearWhiteBox::new(Arc::new(vit));
+        assert!(!oracle.is_shielded());
+        assert_eq!(oracle.num_classes(), 4);
+        assert_eq!(oracle.input_shape(), [3, 8, 8]);
+        assert_eq!(oracle.architecture(), Architecture::VisionTransformer);
+        assert_eq!(oracle.name(), "vit_b16");
+
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut seeds.derive("x"));
+        let logits = oracle.logits(&x).unwrap();
+        assert_eq!(logits.dims(), &[2, 4]);
+        let probe = oracle.probe(&x, &[0, 1], AttackLoss::CrossEntropy).unwrap();
+        let grad = probe.input_gradient.expect("clear oracle exposes ∇ₓL");
+        assert_eq!(grad.dims(), x.dims());
+        assert!(grad.linf_norm() > 0.0);
+        assert!(probe.attention_rollout.is_some());
+        assert!(probe.loss.is_finite());
+    }
+
+    #[test]
+    fn clear_oracle_works_for_cnns_without_attention() {
+        let mut seeds = SeedStream::new(11);
+        let mut resnet = ResNetV2::new(
+            ResNetConfig {
+                name: "clear_resnet".to_string(),
+                channels: 3,
+                stem_channels: 4,
+                stage_channels: vec![4],
+                stage_blocks: vec![1],
+                classes: 4,
+            },
+            &mut seeds.derive("init"),
+        )
+        .unwrap();
+        pelta_nn::Module::set_training(&mut resnet, false);
+        let oracle = ClearWhiteBox::new(Arc::new(resnet));
+        let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, &mut seeds.derive("x"));
+        let probe = oracle.probe(&x, &[2], AttackLoss::CrossEntropy).unwrap();
+        assert!(probe.input_gradient.is_some());
+        assert!(probe.attention_rollout.is_none());
+        // δ_{L+1} for the ResNet is the adjoint of the first residual-stage
+        // node after the shielded stem: a spatial feature map.
+        assert_eq!(probe.clear_adjoint.rank(), 4);
+    }
+
+    #[test]
+    fn probe_validates_labels() {
+        let mut seeds = SeedStream::new(12);
+        let vit = VisionTransformer::new(
+            ViTConfig::vit_b16_scaled(8, 3, 4),
+            &mut seeds.derive("init"),
+        )
+        .unwrap();
+        let oracle = ClearWhiteBox::new(Arc::new(vit));
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut seeds.derive("x"));
+        assert!(oracle.probe(&x, &[0], AttackLoss::CrossEntropy).is_err());
+    }
+}

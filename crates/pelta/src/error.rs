@@ -1,0 +1,115 @@
+//! Error type for the Pelta defence.
+
+use pelta_autodiff::AutodiffError;
+use pelta_nn::NnError;
+use pelta_tee::TeeError;
+use pelta_tensor::TensorError;
+use std::fmt;
+
+/// Error returned by shield construction, application and oracle probes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PeltaError {
+    /// A graph-level operation failed.
+    Autodiff(AutodiffError),
+    /// A layer/model operation failed.
+    Nn(NnError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// An enclave operation failed (out of secure memory, denied access…).
+    Tee(TeeError),
+    /// The requested gradient is masked by the shield. White-box attacks
+    /// receive this when they ask for `∇ₓL` on a shielded model.
+    GradientMasked {
+        /// The quantity that was requested.
+        quantity: String,
+    },
+    /// The shield frontier could not be located in the graph.
+    FrontierNotFound {
+        /// The frontier tag that was looked up.
+        tag: String,
+    },
+    /// The probe inputs are inconsistent (batch/label mismatch, bad shapes).
+    InvalidProbe {
+        /// Explanation of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeltaError::Autodiff(e) => write!(f, "autodiff error: {e}"),
+            PeltaError::Nn(e) => write!(f, "model error: {e}"),
+            PeltaError::Tensor(e) => write!(f, "tensor error: {e}"),
+            PeltaError::Tee(e) => write!(f, "enclave error: {e}"),
+            PeltaError::GradientMasked { quantity } => {
+                write!(f, "'{quantity}' is masked by the Pelta shield")
+            }
+            PeltaError::FrontierNotFound { tag } => {
+                write!(f, "shield frontier tag '{tag}' not found in the graph")
+            }
+            PeltaError::InvalidProbe { reason } => write!(f, "invalid probe: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PeltaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PeltaError::Autodiff(e) => Some(e),
+            PeltaError::Nn(e) => Some(e),
+            PeltaError::Tensor(e) => Some(e),
+            PeltaError::Tee(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AutodiffError> for PeltaError {
+    fn from(e: AutodiffError) -> Self {
+        PeltaError::Autodiff(e)
+    }
+}
+
+impl From<NnError> for PeltaError {
+    fn from(e: NnError) -> Self {
+        PeltaError::Nn(e)
+    }
+}
+
+impl From<TensorError> for PeltaError {
+    fn from(e: TensorError) -> Self {
+        PeltaError::Tensor(e)
+    }
+}
+
+impl From<TeeError> for PeltaError {
+    fn from(e: TeeError) -> Self {
+        PeltaError::Tee(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: PeltaError = TensorError::EmptyTensor { op: "mean" }.into();
+        assert!(e.to_string().contains("tensor error"));
+        let e: PeltaError = TeeError::SealIntegrity.into();
+        assert!(e.to_string().contains("enclave error"));
+        let e = PeltaError::GradientMasked {
+            quantity: "input gradient".to_string(),
+        };
+        assert!(e.to_string().contains("masked"));
+        let e = PeltaError::FrontierNotFound { tag: "vit.pelta_frontier".to_string() };
+        assert!(e.to_string().contains("vit.pelta_frontier"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PeltaError>();
+    }
+}

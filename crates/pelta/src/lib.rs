@@ -1,0 +1,78 @@
+//! # pelta-core
+//!
+//! **Pelta**: the TEE-backed gradient-masking defence of *"Mitigating
+//! Adversarial Attacks in Federated Learning with Trusted Execution
+//! Environments"* (ICDCS 2023).
+//!
+//! In federated learning every client holds a local copy of the global
+//! model, so a compromised client can mount white-box, gradient-based
+//! evasion attacks (FGSM, PGD, MIM, APGD, C&W, SAGA) against its own copy and
+//! replay the crafted adversarial examples against honest clients. Pelta
+//! breaks those attacks by **masking, inside a TrustZone-class enclave, the
+//! shallowest transformations of the model** — the values, parameters and
+//! local Jacobians closest to the input — so the attacker can no longer
+//! complete the back-propagation chain rule that yields `∇ₓL`, the gradient
+//! of the loss with respect to the input image.
+//!
+//! The crate exposes the defence in three layers:
+//!
+//! * [`build_shield_plan`] / [`apply_shield`] — Algorithm 1 of the paper,
+//!   operating directly on the `pelta-autodiff` computational graph: select
+//!   the frontier, walk back to the input leaves, and move every sensitive
+//!   value, parameter and adjoint into the [`pelta_tee::Enclave`].
+//! * [`GradientOracle`] — the interface white-box attacks program against.
+//!   [`ClearWhiteBox`] is the undefended baseline (full `∇ₓL` available);
+//!   [`ShieldedWhiteBox`] runs the same model with the shield applied, so the
+//!   attacker only ever receives the adjoint `δ_{L+1}` of the shallowest
+//!   clear layer.
+//! * [`measure_shield`] — enclave memory accounting (the per-model numbers
+//!   behind Table I), verified against the enclave's actual byte budget.
+//!
+//! # Example
+//!
+//! ```rust
+//! use pelta_core::{ClearWhiteBox, GradientOracle, ShieldedWhiteBox, AttackLoss};
+//! use pelta_models::{ViTConfig, VisionTransformer};
+//! use pelta_tensor::{SeedStream, Tensor};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), pelta_core::PeltaError> {
+//! let mut seeds = SeedStream::new(0);
+//! let vit = VisionTransformer::new(
+//!     ViTConfig::vit_b16_scaled(8, 3, 4),
+//!     &mut seeds.derive("init"),
+//! )?;
+//! let model = Arc::new(vit);
+//! let x = Tensor::rand_uniform(&[1, 3, 8, 8], 0.0, 1.0, &mut seeds.derive("x"));
+//!
+//! // Undefended: the attacker reads the exact input gradient.
+//! let clear = ClearWhiteBox::new(Arc::clone(&model) as _);
+//! let probe = clear.probe(&x, &[0], AttackLoss::CrossEntropy)?;
+//! assert!(probe.input_gradient.is_some());
+//!
+//! // Shielded: ∇ₓL is physically unavailable; only δ_{L+1} remains.
+//! let shielded = ShieldedWhiteBox::with_default_enclave(model)?;
+//! let probe = shielded.probe(&x, &[0], AttackLoss::CrossEntropy)?;
+//! assert!(probe.input_gradient.is_none());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod clear;
+mod error;
+mod memory;
+mod oracle;
+mod shield;
+mod shielded;
+
+pub use clear::ClearWhiteBox;
+pub use error::PeltaError;
+pub use memory::{measure_shield, ShieldMeasurement};
+pub use oracle::{attention_rollout_map, AttackLoss, BackwardProbe, GradientOracle};
+pub use shield::{apply_shield, build_shield_plan, ShieldPlan, ShieldReport};
+pub use shielded::ShieldedWhiteBox;
+
+/// Convenience alias for results returned throughout this crate.
+pub type Result<T> = std::result::Result<T, PeltaError>;

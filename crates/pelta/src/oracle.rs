@@ -1,0 +1,322 @@
+//! The gradient-oracle interface white-box attacks program against, plus the
+//! shared forward/backward machinery and the attention-rollout helper used
+//! by the Self-Attention Gradient Attack.
+
+use pelta_autodiff::{Gradients, Graph, NodeId};
+use pelta_models::{Architecture, ImageModel};
+use pelta_tensor::Tensor;
+
+use crate::{PeltaError, Result};
+
+/// Which loss the attacker differentiates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttackLoss {
+    /// Cross-entropy of the true label — maximised by FGSM / PGD / MIM /
+    /// APGD / SAGA.
+    CrossEntropy,
+    /// The Carlini & Wagner margin objective with the given confidence κ —
+    /// minimised by the C&W attack.
+    CwMargin {
+        /// Confidence margin κ.
+        confidence: f32,
+    },
+}
+
+/// Everything a white-box attacker can observe from one forward/backward
+/// pass on its local copy of the model.
+///
+/// On an undefended model `input_gradient` carries the exact `∇ₓL`; on a
+/// Pelta-shielded model it is `None` and the attacker must work from
+/// `clear_adjoint` (`δ_{L+1}`, the adjoint of the shallowest clear layer),
+/// e.g. by upsampling it back to the input shape (§V-B).
+#[derive(Debug, Clone)]
+pub struct BackwardProbe {
+    /// Logits of the probed batch, `[N, classes]`.
+    pub logits: Tensor,
+    /// Scalar value of the attacked loss.
+    pub loss: f32,
+    /// `∇ₓL` — present only when the model is not shielded.
+    pub input_gradient: Option<Tensor>,
+    /// Adjoint of the shallowest clear node (`δ_{L+1}`), always available.
+    pub clear_adjoint: Tensor,
+    /// Shape of one input sample `[C, H, W]`, which the attacker knows (it
+    /// feeds the model); used to shape upsampling substitutes.
+    pub input_dims: Vec<usize>,
+    /// Pixel-level self-attention rollout map `[N, 1, H, W]`, available for
+    /// attention-based architectures in both the clear and shielded settings
+    /// (the attention blocks are deep, clear layers).
+    pub attention_rollout: Option<Tensor>,
+}
+
+/// The interface every defender exposes to gradient-based attacks.
+///
+/// `ClearWhiteBox` (no defence) and `ShieldedWhiteBox` (Pelta) implement the
+/// same trait, so Table III/IV's clear-vs-shielded comparison runs the
+/// *identical attack code* against the two oracles.
+pub trait GradientOracle: Send + Sync {
+    /// Display name of the defended model.
+    fn name(&self) -> String;
+
+    /// Architecture family of the defended model.
+    fn architecture(&self) -> Architecture;
+
+    /// Number of classes.
+    fn num_classes(&self) -> usize;
+
+    /// Shape of one input sample, `[C, H, W]`.
+    fn input_shape(&self) -> [usize; 3];
+
+    /// Whether the Pelta shield is active.
+    fn is_shielded(&self) -> bool;
+
+    /// Runs a forward pass and returns the logits (inference only — no
+    /// backward quantities are produced).
+    ///
+    /// # Errors
+    /// Returns an error if the batch shape is incompatible with the model.
+    fn logits(&self, images: &Tensor) -> Result<Tensor>;
+
+    /// Runs a forward **and** backward pass and exposes the
+    /// attacker-observable quantities.
+    ///
+    /// # Errors
+    /// Returns an error if the batch/label shapes are inconsistent.
+    fn probe(&self, images: &Tensor, labels: &[usize], loss: AttackLoss) -> Result<BackwardProbe>;
+}
+
+/// The outcome of one forward/backward execution shared by both oracles.
+pub(crate) struct Execution {
+    pub graph: Graph,
+    pub input: NodeId,
+    pub logits: Tensor,
+    pub loss_value: f32,
+    pub grads: Gradients,
+}
+
+/// Validates a probe batch and runs forward + loss + backward on `model`.
+pub(crate) fn run_forward_backward<M: ImageModel + ?Sized>(
+    model: &M,
+    images: &Tensor,
+    labels: &[usize],
+    loss: AttackLoss,
+) -> Result<Execution> {
+    if images.rank() != 4 {
+        return Err(PeltaError::InvalidProbe {
+            reason: format!("expected [N, C, H, W] images, got rank {}", images.rank()),
+        });
+    }
+    if images.dims()[0] != labels.len() {
+        return Err(PeltaError::InvalidProbe {
+            reason: format!(
+                "{} labels supplied for a batch of {}",
+                labels.len(),
+                images.dims()[0]
+            ),
+        });
+    }
+    let mut graph = Graph::new();
+    let input = graph.input(images.clone(), "input");
+    let logits_node = model.forward(&mut graph, input)?;
+    let loss_node = match loss {
+        AttackLoss::CrossEntropy => graph.cross_entropy(logits_node, labels)?,
+        AttackLoss::CwMargin { confidence } => {
+            graph.cw_margin_loss(logits_node, labels, confidence)?
+        }
+    };
+    let logits = graph.value(logits_node)?.clone();
+    let loss_value = graph.value(loss_node)?.item()?;
+    let grads = graph.backward(loss_node)?;
+    Ok(Execution {
+        graph,
+        input,
+        logits,
+        loss_value,
+        grads,
+    })
+}
+
+/// Computes the pixel-level self-attention rollout map `ϕ` used by SAGA
+/// (Eq. 4 of the paper): per encoder block the head-averaged attention is
+/// mixed with the identity (`0.5·W_att + 0.5·I`), the per-block matrices are
+/// multiplied, the class-token row selects per-patch weights, and the weights
+/// are upsampled nearest-neighbour to pixel resolution.
+///
+/// Returns `None` when the graph contains no attention maps (CNN defenders).
+///
+/// # Errors
+/// Returns an error if the attention tensors have unexpected shapes.
+pub fn attention_rollout_map(
+    graph: &Graph,
+    attention_prefix: &str,
+    batch: usize,
+    input_dims: &[usize],
+) -> Result<Option<Tensor>> {
+    let attn_nodes = graph.nodes_with_tag_prefix(attention_prefix);
+    if attn_nodes.is_empty() {
+        return Ok(None);
+    }
+
+    let mut rollout: Option<Tensor> = None;
+    for id in attn_nodes {
+        let probs = graph.value(id)?; // [N·heads, T, T]
+        let (nh, t) = (probs.dims()[0], probs.dims()[1]);
+        if nh % batch != 0 {
+            return Err(PeltaError::InvalidProbe {
+                reason: format!("attention batch {nh} not divisible by probe batch {batch}"),
+            });
+        }
+        let heads = nh / batch;
+        // Average over heads, mix with identity, row-normalise.
+        let per_sample = probs.reshape(&[batch, heads, t, t])?.mean_axis(1, false)?;
+        let identity = Tensor::eye(t).reshape(&[1, t, t])?;
+        let mixed = per_sample
+            .mul_scalar(0.5)
+            .add(&identity.mul_scalar(0.5))?;
+        let row_sums = mixed.sum_axis(2, true)?;
+        let normalised = mixed.div(&row_sums)?;
+        rollout = Some(match rollout {
+            None => normalised,
+            Some(previous) => normalised.batch_matmul(&previous)?,
+        });
+    }
+
+    let rollout = rollout.expect("at least one attention block");
+    let t = rollout.dims()[1];
+    // Class-token row → weight per patch token (drop the class-token column).
+    let cls_row = rollout.narrow(1, 0, 1)?.reshape(&[batch, t])?;
+    let patch_weights = cls_row.narrow(1, 1, t - 1)?;
+    let patches = t - 1;
+
+    // Upsample token weights to pixel resolution (nearest neighbour).
+    let (c, h, w) = (input_dims[0], input_dims[1], input_dims[2]);
+    let side = (patches as f64).sqrt().round() as usize;
+    if side * side != patches || h % side != 0 || w % side != 0 {
+        return Err(PeltaError::InvalidProbe {
+            reason: format!("cannot map {patches} patch tokens onto a {h}x{w} image"),
+        });
+    }
+    let (ph, pw) = (h / side, w / side);
+    let mut map = Tensor::zeros(&[batch, 1, h, w]);
+    for n in 0..batch {
+        for ty in 0..side {
+            for tx in 0..side {
+                let weight = patch_weights.data()[n * patches + ty * side + tx];
+                for py in 0..ph {
+                    for px in 0..pw {
+                        let y = ty * ph + py;
+                        let x = tx * pw + px;
+                        map.data_mut()[(n * h + y) * w + x] = weight;
+                    }
+                }
+            }
+        }
+    }
+    // Normalise the map to unit maximum per sample so it acts as a relative
+    // weighting of pixel importance, then keep a single channel that
+    // broadcasts over the image channels.
+    let _ = c;
+    for n in 0..batch {
+        let slice = &mut map.data_mut()[n * h * w..(n + 1) * h * w];
+        let max = slice.iter().fold(0.0f32, |acc, &v| acc.max(v));
+        if max > 0.0 {
+            for v in slice.iter_mut() {
+                *v /= max;
+            }
+        }
+    }
+    Ok(Some(map))
+}
+
+/// Locates the adjoint of the shallowest clear node: the lowest-id child of a
+/// frontier node that is not itself shielded. This is the `δ_{L+1}` the
+/// paper leaves the attacker with.
+pub(crate) fn shallowest_clear_adjoint(
+    graph: &Graph,
+    grads: &Gradients,
+    shielded: &[NodeId],
+    frontier: &[NodeId],
+) -> Result<Tensor> {
+    let is_shielded = |id: NodeId| shielded.binary_search(&id).is_ok();
+    let mut best: Option<NodeId> = None;
+    for node in graph.nodes() {
+        if is_shielded(node.id()) {
+            continue;
+        }
+        if node.parents().iter().any(|p| frontier.contains(p)) {
+            best = Some(node.id());
+            break;
+        }
+    }
+    let Some(id) = best else {
+        return Err(PeltaError::InvalidProbe {
+            reason: "no clear child of the shield frontier found".to_string(),
+        });
+    };
+    grads
+        .get(id)
+        .cloned()
+        .ok_or_else(|| PeltaError::InvalidProbe {
+            reason: format!("clear node {id} received no adjoint"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelta_models::{ViTConfig, VisionTransformer};
+    use pelta_tensor::SeedStream;
+
+    fn tiny_vit(seed: u64) -> VisionTransformer {
+        let mut seeds = SeedStream::new(seed);
+        VisionTransformer::new(ViTConfig::vit_b16_scaled(8, 3, 4), &mut seeds.derive("init"))
+            .unwrap()
+    }
+
+    #[test]
+    fn run_forward_backward_validates_inputs() {
+        let vit = tiny_vit(1);
+        let mut seeds = SeedStream::new(2);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut seeds.derive("x"));
+        assert!(run_forward_backward(&vit, &x, &[0], AttackLoss::CrossEntropy).is_err());
+        let flat = Tensor::zeros(&[2, 3]);
+        assert!(run_forward_backward(&vit, &flat, &[0, 1], AttackLoss::CrossEntropy).is_err());
+        let exec = run_forward_backward(&vit, &x, &[0, 1], AttackLoss::CrossEntropy).unwrap();
+        assert_eq!(exec.logits.dims(), &[2, 4]);
+        assert!(exec.loss_value.is_finite());
+        assert!(exec.grads.get(exec.input).is_some());
+    }
+
+    #[test]
+    fn cw_loss_variant_runs() {
+        let vit = tiny_vit(3);
+        let mut seeds = SeedStream::new(4);
+        let x = Tensor::rand_uniform(&[1, 3, 8, 8], 0.0, 1.0, &mut seeds.derive("x"));
+        let exec =
+            run_forward_backward(&vit, &x, &[2], AttackLoss::CwMargin { confidence: 50.0 })
+                .unwrap();
+        assert!(exec.loss_value.is_finite());
+    }
+
+    #[test]
+    fn attention_rollout_map_shape_and_range() {
+        let vit = tiny_vit(5);
+        let mut seeds = SeedStream::new(6);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut seeds.derive("x"));
+        let exec = run_forward_backward(&vit, &x, &[0, 1], AttackLoss::CrossEntropy).unwrap();
+        let map = attention_rollout_map(&exec.graph, "attn_probs.", 2, &[3, 8, 8])
+            .unwrap()
+            .expect("ViT produces attention maps");
+        assert_eq!(map.dims(), &[2, 1, 8, 8]);
+        assert!(map.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(map.max().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn attention_rollout_absent_for_graphs_without_attention() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[1, 3]), "x");
+        let _ = g.relu(x).unwrap();
+        let map = attention_rollout_map(&g, "attn_probs.", 1, &[3, 8, 8]).unwrap();
+        assert!(map.is_none());
+    }
+}

@@ -1,0 +1,317 @@
+//! Algorithm 1 of the paper: selecting the shield frontier and moving every
+//! sensitive quantity into the enclave.
+
+use pelta_autodiff::{Gradients, Graph, NodeId, NodeRole};
+use pelta_tee::Enclave;
+
+use crate::{PeltaError, Result};
+
+/// The outcome of the *Select* + *Shield* walk of Algorithm 1 over one
+/// forward graph.
+///
+/// * `frontier` — the deepest masked nodes chosen by the defender (`S` in
+///   the paper; for the evaluated models it is the output of the embedding /
+///   stem prefix tagged by the model).
+/// * `shielded_nodes` — every node whose forward value and adjoint are kept
+///   inside the enclave: the frontier nodes, all their ancestors up to and
+///   including the input leaf, and the parameter leaves feeding the shielded
+///   transformations (the paper notes weights and biases are "effectively
+///   masked" because they are leaf vertices of the masked operations).
+/// * `masked_jacobians` — the `(parent, child)` edges whose local Jacobians
+///   `J_{j→i}` Algorithm 1 stores in the enclave: edges inside the shielded
+///   region that lie on a path from the input (Jacobians towards non-input
+///   parents "need not be hidden because the parents are not trainable").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShieldPlan {
+    /// The deepest masked nodes (the defender's `Select` output).
+    pub frontier: Vec<NodeId>,
+    /// All nodes whose values and adjoints are enclave-resident.
+    pub shielded_nodes: Vec<NodeId>,
+    /// `(parent, child)` edges whose local Jacobians are enclave-resident.
+    pub masked_jacobians: Vec<(NodeId, NodeId)>,
+}
+
+impl ShieldPlan {
+    /// Whether a node's value/adjoint is masked under this plan.
+    pub fn is_shielded(&self, id: NodeId) -> bool {
+        self.shielded_nodes.binary_search(&id).is_ok()
+    }
+
+    /// Number of shielded nodes.
+    pub fn len(&self) -> usize {
+        self.shielded_nodes.len()
+    }
+
+    /// Whether the plan shields nothing.
+    pub fn is_empty(&self) -> bool {
+        self.shielded_nodes.is_empty()
+    }
+}
+
+/// Byte accounting of one application of the shield (one forward/backward
+/// pass), matching the paper's Table I convention: forward values, parameters
+/// and gradients, in the worst case where nothing is flushed mid-pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShieldReport {
+    /// Bytes of shielded forward values (activations + parameters).
+    pub value_bytes: usize,
+    /// Bytes of shielded adjoints (gradients).
+    pub gradient_bytes: usize,
+    /// Number of shielded nodes whose values were stored.
+    pub nodes_stored: usize,
+    /// Number of shielded adjoints moved out of the normal world.
+    pub gradients_stored: usize,
+}
+
+impl ShieldReport {
+    /// Total enclave bytes consumed by this application of the shield.
+    pub fn total_bytes(&self) -> usize {
+        self.value_bytes + self.gradient_bytes
+    }
+}
+
+/// *Select* + *Shield* (Algorithm 1): given the frontier tags placed by the
+/// model during its forward pass, computes the set of nodes and local
+/// Jacobians that must live in the enclave.
+///
+/// # Errors
+/// Returns [`PeltaError::FrontierNotFound`] if a tag is missing from the
+/// graph (e.g. the model was built without Pelta support).
+pub fn build_shield_plan(graph: &Graph, frontier_tags: &[String]) -> Result<ShieldPlan> {
+    if frontier_tags.is_empty() {
+        return Err(PeltaError::InvalidProbe {
+            reason: "no frontier tags supplied".to_string(),
+        });
+    }
+    let mut frontier = Vec::with_capacity(frontier_tags.len());
+    for tag in frontier_tags {
+        let id = graph
+            .node_by_tag(tag)
+            .map_err(|_| PeltaError::FrontierNotFound { tag: tag.clone() })?;
+        frontier.push(id);
+    }
+
+    // Shield(u): everything reachable from the frontier by parent edges —
+    // the frontier itself, intermediate transforms, the parameter leaves of
+    // those transforms and the input leaf.
+    let mut shielded = Vec::new();
+    for &f in &frontier {
+        shielded.extend(graph.ancestors(f)?);
+    }
+    shielded.sort();
+    shielded.dedup();
+
+    // Local Jacobians are masked on edges (parent → child) inside the
+    // shielded region that lie on a path from the input (Alg. 1 line 7: the
+    // recursion only follows parents that are, or lead to, the input).
+    let inputs = graph.inputs();
+    let mut leads_to_input = vec![false; graph.len()];
+    for &input in &inputs {
+        leads_to_input[input.index()] = true;
+    }
+    // Nodes are topologically ordered, so one forward sweep suffices.
+    for node in graph.nodes() {
+        if node
+            .parents()
+            .iter()
+            .any(|p| leads_to_input[p.index()])
+        {
+            leads_to_input[node.id().index()] = true;
+        }
+    }
+    let mut masked_jacobians = Vec::new();
+    for &child in &shielded {
+        for &parent in graph.node(child)?.parents() {
+            let parent_is_input_path = leads_to_input[parent.index()]
+                || graph.node(parent)?.role() == NodeRole::Input;
+            if parent_is_input_path {
+                masked_jacobians.push((parent, child));
+            }
+        }
+    }
+
+    Ok(ShieldPlan {
+        frontier,
+        shielded_nodes: shielded,
+        masked_jacobians,
+    })
+}
+
+/// Applies a [`ShieldPlan`] after a forward/backward pass: stores every
+/// shielded forward value in the enclave and **moves** every shielded adjoint
+/// out of the normal-world [`Gradients`] into the enclave, so that the
+/// attacker-visible gradient map no longer contains `∇ₓL` or any quantity
+/// that would let it be reconstructed.
+///
+/// The `pass_id` namespaces the enclave keys so repeated probes do not
+/// collide; the previous pass's objects are freed first (the enclave only
+/// ever holds one pass worth of shielded state, the paper's worst case).
+///
+/// # Errors
+/// Returns an enclave error if the shielded set does not fit in the secure
+/// memory budget — the feasibility constraint Table I establishes.
+pub fn apply_shield(
+    graph: &Graph,
+    plan: &ShieldPlan,
+    grads: &mut Gradients,
+    enclave: &Enclave,
+    pass_id: u64,
+) -> Result<ShieldReport> {
+    // One enclave = one pass of shielded state (worst case of Table I).
+    enclave.clear();
+    enclave.record_world_switch(); // enter the enclave for the shielded prefix
+
+    let mut report = ShieldReport::default();
+    for &id in &plan.shielded_nodes {
+        let value = graph.value(id)?;
+        enclave.store_tensor(&format!("pass{pass_id}.value.{id}"), value.clone())?;
+        report.value_bytes += value.byte_size();
+        report.nodes_stored += 1;
+
+        if let Some(adjoint) = grads.take(id) {
+            report.gradient_bytes += adjoint.byte_size();
+            report.gradients_stored += 1;
+            enclave.store_tensor(&format!("pass{pass_id}.grad.{id}"), adjoint)?;
+        }
+    }
+
+    enclave.record_world_switch(); // leave the enclave with the clear activations
+    enclave.record_transfer(frontier_bytes(graph, plan)?);
+    Ok(report)
+}
+
+/// Bytes of the frontier activations that cross the secure channel back to
+/// the normal world so the clear part of the model can continue.
+fn frontier_bytes(graph: &Graph, plan: &ShieldPlan) -> Result<usize> {
+    let mut bytes = 0usize;
+    for &f in &plan.frontier {
+        bytes += graph.value(f)?.byte_size();
+    }
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelta_tee::{EnclaveConfig, TeeError, World};
+    use pelta_tensor::Tensor;
+
+    /// Builds a small graph shaped like a model prefix:
+    /// input → (mul with w1) → relu → (mul with w2) → sum  with the relu
+    /// output tagged as the frontier.
+    fn toy_graph() -> (Graph, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]).unwrap(), "input");
+        let w1 = g.parameter(Tensor::from_vec(vec![2.0, 2.0, 2.0], &[3]).unwrap(), "w1");
+        let prod1 = g.mul(x, w1).unwrap();
+        let frontier = g.relu(prod1).unwrap();
+        g.set_tag(frontier, "toy.pelta_frontier").unwrap();
+        let w2 = g.parameter(Tensor::from_vec(vec![1.0, 1.0, 1.0], &[3]).unwrap(), "w2");
+        let prod2 = g.mul(frontier, w2).unwrap();
+        let _loss = g.sum_all(prod2).unwrap();
+        (g, x, w1, frontier, prod2)
+    }
+
+    #[test]
+    fn plan_contains_prefix_and_not_suffix() {
+        let (g, x, w1, frontier, prod2) = toy_graph();
+        let plan = build_shield_plan(&g, &["toy.pelta_frontier".to_string()]).unwrap();
+        assert_eq!(plan.frontier, vec![frontier]);
+        assert!(plan.is_shielded(x), "input must be shielded");
+        assert!(plan.is_shielded(w1), "prefix parameter must be shielded");
+        assert!(plan.is_shielded(frontier));
+        assert!(!plan.is_shielded(prod2), "clear suffix must not be shielded");
+        assert!(!plan.is_empty());
+        assert_eq!(plan.len(), 4); // x, w1, prod1, frontier
+    }
+
+    #[test]
+    fn masked_jacobians_follow_input_paths_only() {
+        let (g, x, w1, frontier, _) = toy_graph();
+        let plan = build_shield_plan(&g, &["toy.pelta_frontier".to_string()]).unwrap();
+        // prod1 = mul(x, w1): the (x → prod1) edge lies on the input path and
+        // must be masked; the (w1 → prod1) edge leads to a parameter leaf and
+        // need not be (Alg. 1 line 7).
+        let prod1 = g.node(frontier).unwrap().parents()[0];
+        assert!(plan.masked_jacobians.contains(&(x, prod1)));
+        assert!(!plan.masked_jacobians.contains(&(w1, prod1)));
+        // The (prod1 → frontier) edge is on the input path as well.
+        assert!(plan.masked_jacobians.contains(&(prod1, frontier)));
+    }
+
+    #[test]
+    fn missing_frontier_tag_is_an_error() {
+        let (g, ..) = toy_graph();
+        let err = build_shield_plan(&g, &["nonexistent".to_string()]);
+        assert!(matches!(err, Err(PeltaError::FrontierNotFound { .. })));
+        let err = build_shield_plan(&g, &[]);
+        assert!(matches!(err, Err(PeltaError::InvalidProbe { .. })));
+    }
+
+    #[test]
+    fn apply_shield_moves_values_and_adjoints_into_enclave() {
+        let (g, x, _, frontier, prod2) = toy_graph();
+        let loss = NodeId::new(g.len() - 1);
+        let mut grads = g.backward(loss).unwrap();
+        assert!(grads.get(x).is_some(), "clear backward exposes ∇ₓL");
+
+        let plan = build_shield_plan(&g, &["toy.pelta_frontier".to_string()]).unwrap();
+        let enclave = Enclave::new(EnclaveConfig::trustzone_default());
+        let report = apply_shield(&g, &plan, &mut grads, &enclave, 0).unwrap();
+
+        // ∇ₓL and the frontier adjoint are gone from the normal world…
+        assert!(grads.get(x).is_none());
+        assert!(grads.get(frontier).is_none());
+        // …but the clear suffix adjoint (δ_{L+1}) is still visible.
+        assert!(grads.get(prod2).is_some());
+
+        // The values and adjoints are inside the enclave, readable only from
+        // the secure world.
+        assert!(report.nodes_stored >= 4);
+        assert!(report.gradients_stored >= 3);
+        assert!(report.total_bytes() > 0);
+        assert_eq!(enclave.object_count(), report.nodes_stored + report.gradients_stored);
+        let key = format!("pass0.value.{x}");
+        assert!(enclave.contains(&key));
+        assert!(matches!(
+            enclave.read_tensor(&key, World::Normal),
+            Err(TeeError::AccessDenied { .. })
+        ));
+        assert!(enclave.read_tensor(&key, World::Secure).is_ok());
+        // The pass recorded its world switches and the frontier transfer.
+        let ledger = enclave.ledger();
+        assert!(ledger.world_switches >= 2);
+        assert!(ledger.channel_bytes >= 12);
+    }
+
+    #[test]
+    fn repeated_passes_reuse_the_enclave_budget() {
+        let (g, ..) = toy_graph();
+        let loss = NodeId::new(g.len() - 1);
+        let plan = build_shield_plan(&g, &["toy.pelta_frontier".to_string()]).unwrap();
+        // Budget fits exactly one pass; without the per-pass clear() the
+        // second iteration of an attack would exhaust it.
+        let one_pass_bytes = {
+            let mut grads = g.backward(loss).unwrap();
+            let enclave = Enclave::new(EnclaveConfig::trustzone_default());
+            apply_shield(&g, &plan, &mut grads, &enclave, 0).unwrap().total_bytes()
+        };
+        let enclave = Enclave::new(EnclaveConfig::with_budget("tight", one_pass_bytes));
+        for pass in 0..5u64 {
+            let mut grads = g.backward(loss).unwrap();
+            apply_shield(&g, &plan, &mut grads, &enclave, pass).unwrap();
+        }
+        assert!(enclave.used_bytes() <= one_pass_bytes);
+    }
+
+    #[test]
+    fn shield_fails_when_budget_too_small() {
+        let (g, ..) = toy_graph();
+        let loss = NodeId::new(g.len() - 1);
+        let mut grads = g.backward(loss).unwrap();
+        let plan = build_shield_plan(&g, &["toy.pelta_frontier".to_string()]).unwrap();
+        let enclave = Enclave::new(EnclaveConfig::with_budget("tiny", 8));
+        let err = apply_shield(&g, &plan, &mut grads, &enclave, 0);
+        assert!(matches!(err, Err(PeltaError::Tee(TeeError::OutOfSecureMemory { .. }))));
+    }
+}

@@ -1,0 +1,293 @@
+//! The Pelta-shielded white-box oracle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pelta_models::{predict_logits, Architecture, ImageModel};
+use pelta_tee::{CostLedger, Enclave, EnclaveConfig};
+use pelta_tensor::Tensor;
+
+use crate::oracle::{run_forward_backward, shallowest_clear_adjoint};
+use crate::{
+    apply_shield, attention_rollout_map, build_shield_plan, AttackLoss, BackwardProbe,
+    GradientOracle, Result, ShieldReport,
+};
+
+/// A defender running **with** Pelta: the shallow prefix of the model
+/// executes inside the enclave, so the attacker's view of its own device
+/// memory no longer contains `∇ₓL`, the prefix parameters, the prefix
+/// activations, or the local Jacobians needed to reconstruct any of them.
+///
+/// The oracle still runs the complete forward/backward pass (the *defender*
+/// needs correct gradients for federated training); the difference is purely
+/// in what crosses back into the normal world — which is exactly how the
+/// paper frames the defence ("restricted white-box").
+pub struct ShieldedWhiteBox {
+    model: Arc<dyn ImageModel>,
+    enclave: Arc<Enclave>,
+    pass_counter: AtomicU64,
+    last_report: parking_lot::Mutex<ShieldReport>,
+}
+
+impl ShieldedWhiteBox {
+    /// Shields a model with an existing enclave (e.g. one shared by both
+    /// members of an ensemble, the worst case of Table I).
+    pub fn new(model: Arc<dyn ImageModel>, enclave: Arc<Enclave>) -> Self {
+        ShieldedWhiteBox {
+            model,
+            enclave,
+            pass_counter: AtomicU64::new(0),
+            last_report: parking_lot::Mutex::new(ShieldReport::default()),
+        }
+    }
+
+    /// Shields a model with a fresh TrustZone-default enclave (30 MB secure
+    /// memory budget).
+    ///
+    /// # Errors
+    /// Currently infallible, but kept fallible for parity with configurations
+    /// that validate the budget.
+    pub fn with_default_enclave(model: Arc<dyn ImageModel>) -> Result<Self> {
+        let enclave = Arc::new(Enclave::new(EnclaveConfig::trustzone_default()));
+        Ok(Self::new(model, enclave))
+    }
+
+    /// The enclave backing this shield.
+    pub fn enclave(&self) -> &Arc<Enclave> {
+        &self.enclave
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &Arc<dyn ImageModel> {
+        &self.model
+    }
+
+    /// Byte accounting of the most recent shielded pass.
+    pub fn last_shield_report(&self) -> ShieldReport {
+        *self.last_report.lock()
+    }
+
+    /// Snapshot of the enclave cost ledger (world switches, channel bytes) —
+    /// the quantities §VI discusses.
+    pub fn cost_ledger(&self) -> CostLedger {
+        self.enclave.ledger()
+    }
+}
+
+impl GradientOracle for ShieldedWhiteBox {
+    fn name(&self) -> String {
+        format!("{} (Pelta)", self.model.name())
+    }
+
+    fn architecture(&self) -> Architecture {
+        self.model.architecture()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.model.num_classes()
+    }
+
+    fn input_shape(&self) -> [usize; 3] {
+        self.model.input_shape()
+    }
+
+    fn is_shielded(&self) -> bool {
+        true
+    }
+
+    fn logits(&self, images: &Tensor) -> Result<Tensor> {
+        // Plain inference also crosses the enclave boundary twice (input in,
+        // frontier activation out) — the first overhead case of §VI.
+        self.enclave.record_world_switch();
+        self.enclave.record_transfer(images.byte_size());
+        let logits = predict_logits(self.model.as_ref(), images)?;
+        self.enclave.record_world_switch();
+        Ok(logits)
+    }
+
+    fn probe(&self, images: &Tensor, labels: &[usize], loss: AttackLoss) -> Result<BackwardProbe> {
+        let mut exec = run_forward_backward(self.model.as_ref(), images, labels, loss)?;
+        let batch = images.dims()[0];
+        let input_dims = vec![images.dims()[1], images.dims()[2], images.dims()[3]];
+
+        // Select + Shield (Algorithm 1): everything from the input to the
+        // model's tagged frontier moves into the enclave, and the
+        // corresponding adjoints are *removed* from the normal-world view.
+        let frontier_tag = self.model.frontier_tag();
+        let plan = build_shield_plan(&exec.graph, &[frontier_tag])?;
+        let pass = self.pass_counter.fetch_add(1, Ordering::Relaxed);
+        let report = apply_shield(&exec.graph, &plan, &mut exec.grads, &self.enclave, pass)?;
+        *self.last_report.lock() = report;
+
+        debug_assert!(
+            exec.grads.get(exec.input).is_none(),
+            "∇ₓL must not survive the shield"
+        );
+
+        let clear_adjoint = shallowest_clear_adjoint(
+            &exec.graph,
+            &exec.grads,
+            &plan.shielded_nodes,
+            &plan.frontier,
+        )?;
+
+        let attention_rollout = match self.model.attention_probs_prefix() {
+            Some(prefix) => attention_rollout_map(&exec.graph, &prefix, batch, &input_dims)?,
+            None => None,
+        };
+
+        Ok(BackwardProbe {
+            logits: exec.logits,
+            loss: exec.loss_value,
+            input_gradient: None,
+            clear_adjoint,
+            input_dims,
+            attention_rollout,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelta_models::{
+        BigTransfer, BitConfig, ResNetConfig, ResNetV2, ViTConfig, VisionTransformer,
+    };
+    use pelta_nn::Module;
+    use pelta_tensor::SeedStream;
+    use pelta_tee::World;
+
+    fn vit_oracle(seed: u64) -> ShieldedWhiteBox {
+        let mut seeds = SeedStream::new(seed);
+        let mut vit = VisionTransformer::new(
+            ViTConfig::vit_b16_scaled(8, 3, 4),
+            &mut seeds.derive("init"),
+        )
+        .unwrap();
+        vit.set_training(false);
+        ShieldedWhiteBox::with_default_enclave(Arc::new(vit)).unwrap()
+    }
+
+    #[test]
+    fn shielded_probe_masks_input_gradient_but_keeps_adjoint() {
+        let oracle = vit_oracle(20);
+        assert!(oracle.is_shielded());
+        assert!(oracle.name().contains("Pelta"));
+        let mut seeds = SeedStream::new(21);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut seeds.derive("x"));
+        let probe = oracle.probe(&x, &[0, 1], AttackLoss::CrossEntropy).unwrap();
+        assert!(probe.input_gradient.is_none(), "∇ₓL must be masked");
+        assert!(probe.clear_adjoint.linf_norm() > 0.0);
+        // δ_{L+1} for the ViT is token-shaped (the first layer-norm after the
+        // embedding), not image-shaped.
+        assert_eq!(probe.clear_adjoint.rank(), 3);
+        assert!(probe.attention_rollout.is_some());
+        assert_eq!(probe.logits.dims(), &[2, 4]);
+    }
+
+    #[test]
+    fn shielded_quantities_live_in_the_enclave_and_resist_normal_world_reads() {
+        let oracle = vit_oracle(22);
+        let mut seeds = SeedStream::new(23);
+        let x = Tensor::rand_uniform(&[1, 3, 8, 8], 0.0, 1.0, &mut seeds.derive("x"));
+        oracle.probe(&x, &[3], AttackLoss::CrossEntropy).unwrap();
+
+        let report = oracle.last_shield_report();
+        assert!(report.nodes_stored > 0);
+        assert!(report.gradients_stored > 0);
+        assert!(report.total_bytes() > 0);
+        assert_eq!(oracle.enclave().used_bytes(), report.total_bytes());
+
+        // Every stored object refuses normal-world reads.
+        for key in oracle.enclave().keys() {
+            assert!(oracle.enclave().read_tensor(&key, World::Normal).is_err());
+        }
+        // And the ledger recorded the §VI interactions.
+        let ledger = oracle.cost_ledger();
+        assert!(ledger.world_switches >= 2);
+        assert!(ledger.channel_bytes > 0);
+    }
+
+    #[test]
+    fn repeated_probes_do_not_exhaust_the_enclave() {
+        let oracle = vit_oracle(24);
+        let mut seeds = SeedStream::new(25);
+        let x = Tensor::rand_uniform(&[1, 3, 8, 8], 0.0, 1.0, &mut seeds.derive("x"));
+        let mut first_bytes = 0;
+        for i in 0..5 {
+            oracle.probe(&x, &[1], AttackLoss::CrossEntropy).unwrap();
+            let used = oracle.enclave().used_bytes();
+            if i == 0 {
+                first_bytes = used;
+            } else {
+                assert_eq!(used, first_bytes, "enclave usage must not grow across probes");
+            }
+        }
+    }
+
+    #[test]
+    fn cw_margin_loss_is_also_masked() {
+        let oracle = vit_oracle(26);
+        let mut seeds = SeedStream::new(27);
+        let x = Tensor::rand_uniform(&[1, 3, 8, 8], 0.0, 1.0, &mut seeds.derive("x"));
+        let probe = oracle
+            .probe(&x, &[2], AttackLoss::CwMargin { confidence: 50.0 })
+            .unwrap();
+        assert!(probe.input_gradient.is_none());
+    }
+
+    #[test]
+    fn resnet_and_bit_defenders_are_shieldable() {
+        let mut seeds = SeedStream::new(28);
+        let mut resnet = ResNetV2::new(
+            ResNetConfig {
+                name: "shield_resnet".to_string(),
+                channels: 3,
+                stem_channels: 4,
+                stage_channels: vec![4],
+                stage_blocks: vec![1],
+                classes: 4,
+            },
+            &mut seeds.derive("resnet"),
+        )
+        .unwrap();
+        resnet.set_training(false);
+        let mut bit = BigTransfer::new(
+            BitConfig {
+                name: "shield_bit".to_string(),
+                channels: 3,
+                stem_channels: 4,
+                stage_channels: vec![4],
+                stage_blocks: vec![1],
+                groups: 2,
+                classes: 4,
+            },
+            &mut seeds.derive("bit"),
+        )
+        .unwrap();
+        bit.set_training(false);
+        let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, &mut seeds.derive("x"));
+        for model in [
+            ShieldedWhiteBox::with_default_enclave(Arc::new(resnet) as Arc<dyn ImageModel>).unwrap(),
+            ShieldedWhiteBox::with_default_enclave(Arc::new(bit) as Arc<dyn ImageModel>).unwrap(),
+        ] {
+            let probe = model.probe(&x, &[0], AttackLoss::CrossEntropy).unwrap();
+            assert!(probe.input_gradient.is_none());
+            assert!(probe.attention_rollout.is_none());
+            // CNN adjoints keep their spatial structure — the property the
+            // paper identifies as making upsampling more viable against BiT.
+            assert_eq!(probe.clear_adjoint.rank(), 4);
+        }
+    }
+
+    #[test]
+    fn logits_inference_accounts_enclave_crossings() {
+        let oracle = vit_oracle(29);
+        let mut seeds = SeedStream::new(30);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut seeds.derive("x"));
+        let before = oracle.cost_ledger().world_switches;
+        oracle.logits(&x).unwrap();
+        let after = oracle.cost_ledger().world_switches;
+        assert_eq!(after - before, 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! The secure communication channel between the normal world and the
+//! enclave.
+//!
+//! Section VI of the paper identifies the channel — establishing it, and
+//! encrypting/decrypting the tensors that cross it at every inference — as
+//! one of the two sources of Pelta's runtime overhead. The simulation keeps
+//! the protocol shape (establish → transfer with per-byte cost) and accounts
+//! every byte in the owning enclave's [`crate::CostLedger`].
+
+use std::sync::Arc;
+
+use pelta_tensor::Tensor;
+
+use crate::{Enclave, Result, TeeError, World};
+
+/// An established session between normal-world code and an enclave.
+pub struct SecureChannel {
+    enclave: Arc<Enclave>,
+    established: bool,
+    session_nonce: u64,
+}
+
+impl SecureChannel {
+    /// Creates a channel bound to an enclave. The channel must be
+    /// established before use.
+    pub fn new(enclave: Arc<Enclave>) -> Self {
+        SecureChannel {
+            enclave,
+            established: false,
+            session_nonce: 0,
+        }
+    }
+
+    /// Performs the attestation handshake: the normal world supplies a
+    /// nonce, the enclave responds with a report, and the verifier checks it
+    /// against the expected measurement before trusting the session.
+    ///
+    /// # Errors
+    /// Returns [`TeeError::AttestationFailed`] if the report does not verify.
+    pub fn establish(&mut self, nonce: u64) -> Result<()> {
+        let report = self.enclave.attest(nonce);
+        crate::verify_report(&report, self.enclave.config().measurement, nonce)?;
+        // Handshake costs two world switches (request + response).
+        self.enclave.record_world_switch();
+        self.enclave.record_world_switch();
+        self.established = true;
+        self.session_nonce = nonce;
+        Ok(())
+    }
+
+    /// Whether the handshake completed.
+    pub fn is_established(&self) -> bool {
+        self.established
+    }
+
+    /// The nonce of the established session.
+    pub fn session_nonce(&self) -> u64 {
+        self.session_nonce
+    }
+
+    /// Sends a tensor into the enclave (e.g. the input image entering the
+    /// shielded prefix), storing it under `key`.
+    ///
+    /// # Errors
+    /// Returns [`TeeError::ChannelNotEstablished`] before the handshake, plus
+    /// the enclave's storage errors.
+    pub fn send_tensor(&self, key: &str, tensor: Tensor) -> Result<()> {
+        self.require_established()?;
+        self.enclave.record_world_switch();
+        self.enclave.record_transfer(tensor.byte_size());
+        self.enclave.store_tensor(key, tensor)
+    }
+
+    /// Receives a tensor from the enclave **with enclave authorisation**:
+    /// this models the enclave explicitly releasing a value to the normal
+    /// world (e.g. the output of the last shielded layer, which the clear
+    /// part of the model needs). It is *not* a normal-world read of a
+    /// shielded secret — those remain impossible via
+    /// [`Enclave::read_tensor`] with [`World::Normal`].
+    ///
+    /// # Errors
+    /// Returns [`TeeError::ChannelNotEstablished`] before the handshake and
+    /// [`TeeError::NotFound`] for unknown keys.
+    pub fn receive_authorized(&self, key: &str) -> Result<Tensor> {
+        self.require_established()?;
+        let tensor = self.enclave.read_tensor(key, World::Secure)?;
+        self.enclave.record_world_switch();
+        self.enclave.record_transfer(tensor.byte_size());
+        Ok(tensor)
+    }
+
+    /// The enclave this channel is bound to.
+    pub fn enclave(&self) -> &Arc<Enclave> {
+        &self.enclave
+    }
+
+    fn require_established(&self) -> Result<()> {
+        if self.established {
+            Ok(())
+        } else {
+            Err(TeeError::ChannelNotEstablished)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EnclaveConfig;
+
+    #[test]
+    fn channel_requires_establishment() {
+        let enclave = Arc::new(Enclave::new(EnclaveConfig::trustzone_default()));
+        let channel = SecureChannel::new(enclave);
+        assert!(!channel.is_established());
+        assert!(matches!(
+            channel.send_tensor("x", Tensor::zeros(&[2])),
+            Err(TeeError::ChannelNotEstablished)
+        ));
+        assert!(matches!(
+            channel.receive_authorized("x"),
+            Err(TeeError::ChannelNotEstablished)
+        ));
+    }
+
+    #[test]
+    fn establish_then_transfer_accounts_costs() {
+        let enclave = Arc::new(Enclave::new(EnclaveConfig::trustzone_default()));
+        let mut channel = SecureChannel::new(Arc::clone(&enclave));
+        channel.establish(1234).unwrap();
+        assert!(channel.is_established());
+        assert_eq!(channel.session_nonce(), 1234);
+
+        let x = Tensor::ones(&[16, 16]);
+        channel.send_tensor("input", x.clone()).unwrap();
+        let back = channel.receive_authorized("input").unwrap();
+        assert_eq!(back, x);
+
+        let ledger = channel.enclave().ledger();
+        // Handshake (2) + send (1) + receive (1) world switches.
+        assert_eq!(ledger.world_switches, 4);
+        // Send + receive each move 16·16·4 bytes.
+        assert_eq!(ledger.channel_bytes, 2 * 1024);
+        assert_eq!(ledger.attestations, 1);
+    }
+
+    #[test]
+    fn normal_world_still_cannot_read_directly() {
+        // The channel authorises explicit releases, but a direct normal-world
+        // probe of enclave memory remains denied.
+        let enclave = Arc::new(Enclave::new(EnclaveConfig::trustzone_default()));
+        let mut channel = SecureChannel::new(Arc::clone(&enclave));
+        channel.establish(1).unwrap();
+        channel.send_tensor("secret", Tensor::ones(&[4])).unwrap();
+        assert!(enclave.read_tensor("secret", World::Normal).is_err());
+    }
+}

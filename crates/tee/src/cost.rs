@@ -1,0 +1,165 @@
+//! Latency and bandwidth cost model of TEE interactions.
+//!
+//! Section VI of the paper discusses the system implications of running the
+//! shield inside a TEE: world switches, secure-channel encryption and the
+//! extra bandwidth of extracting hidden gradients all add overhead "ranging
+//! from microseconds up to milliseconds at most" (citing measurements on
+//! TrustZone and SGX). The [`CostModel`] encodes those constants and the
+//! [`CostLedger`] accumulates the simulated cost of every enclave
+//! interaction, which the §VI bench reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Latency/bandwidth constants of the simulated TEE.
+///
+/// Defaults are order-of-magnitude figures from the literature the paper
+/// cites: a TrustZone SMC world switch costs a few microseconds, secure
+/// channel encryption costs tens of nanoseconds per byte (AES-class
+/// throughput on edge CPUs), sealing is slightly more expensive, and remote
+/// attestation is a millisecond-scale operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of one normal↔secure world switch, in nanoseconds.
+    pub world_switch_ns: u64,
+    /// Per-byte cost of moving data through the secure channel
+    /// (encrypt + copy + decrypt), in nanoseconds.
+    pub channel_byte_ns: f64,
+    /// Per-byte cost of sealing or unsealing enclave state, in nanoseconds.
+    pub seal_byte_ns: f64,
+    /// Cost of producing or verifying one attestation report, in
+    /// nanoseconds.
+    pub attestation_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            world_switch_ns: 4_000,  // ≈ 4 µs SMC round trip
+            channel_byte_ns: 0.35,   // ≈ 2.8 GB/s AES-class encryption
+            seal_byte_ns: 0.8,
+            attestation_ns: 1_200_000, // ≈ 1.2 ms
+        }
+    }
+}
+
+impl CostModel {
+    /// A cost model in which every operation is free — useful for tests that
+    /// only exercise functional behaviour.
+    pub fn free() -> Self {
+        CostModel {
+            world_switch_ns: 0,
+            channel_byte_ns: 0.0,
+            seal_byte_ns: 0.0,
+            attestation_ns: 0,
+        }
+    }
+}
+
+/// Accumulated counts and simulated latency of all TEE interactions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostLedger {
+    /// Number of world switches performed.
+    pub world_switches: u64,
+    /// Bytes moved through the secure channel.
+    pub channel_bytes: u64,
+    /// Bytes sealed or unsealed.
+    pub sealed_bytes: u64,
+    /// Number of attestation reports produced or verified.
+    pub attestations: u64,
+    /// Total simulated latency in nanoseconds.
+    pub total_ns: u64,
+}
+
+impl CostLedger {
+    /// Records one world switch.
+    pub fn record_world_switch(&mut self, model: &CostModel) {
+        self.world_switches += 1;
+        self.total_ns += model.world_switch_ns;
+    }
+
+    /// Records a secure-channel transfer of `bytes` bytes.
+    pub fn record_channel_transfer(&mut self, bytes: usize, model: &CostModel) {
+        self.channel_bytes += bytes as u64;
+        self.total_ns += (bytes as f64 * model.channel_byte_ns) as u64;
+    }
+
+    /// Records sealing or unsealing of `bytes` bytes.
+    pub fn record_seal(&mut self, bytes: usize, model: &CostModel) {
+        self.sealed_bytes += bytes as u64;
+        self.total_ns += (bytes as f64 * model.seal_byte_ns) as u64;
+    }
+
+    /// Records one attestation.
+    pub fn record_attestation(&mut self, model: &CostModel) {
+        self.attestations += 1;
+        self.total_ns += model.attestation_ns;
+    }
+
+    /// Total simulated latency in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+
+    /// Merges another ledger into this one (used when aggregating per-client
+    /// ledgers in the federated overhead study).
+    pub fn merge(&mut self, other: &CostLedger) {
+        self.world_switches += other.world_switches;
+        self.channel_bytes += other.channel_bytes;
+        self.sealed_bytes += other.sealed_bytes;
+        self.attestations += other.attestations;
+        self.total_ns += other.total_ns;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_is_microsecond_scale() {
+        let model = CostModel::default();
+        assert!(model.world_switch_ns >= 1_000 && model.world_switch_ns <= 100_000);
+        assert!(model.attestation_ns >= 100_000);
+    }
+
+    #[test]
+    fn ledger_accumulates_costs() {
+        let model = CostModel::default();
+        let mut ledger = CostLedger::default();
+        ledger.record_world_switch(&model);
+        ledger.record_world_switch(&model);
+        ledger.record_channel_transfer(1024, &model);
+        ledger.record_seal(2048, &model);
+        ledger.record_attestation(&model);
+        assert_eq!(ledger.world_switches, 2);
+        assert_eq!(ledger.channel_bytes, 1024);
+        assert_eq!(ledger.sealed_bytes, 2048);
+        assert_eq!(ledger.attestations, 1);
+        assert!(ledger.total_ns > 2 * model.world_switch_ns);
+        assert!(ledger.total_ms() > 0.0);
+    }
+
+    #[test]
+    fn free_model_accumulates_zero_latency() {
+        let model = CostModel::free();
+        let mut ledger = CostLedger::default();
+        ledger.record_world_switch(&model);
+        ledger.record_channel_transfer(1 << 20, &model);
+        assert_eq!(ledger.total_ns, 0);
+        assert_eq!(ledger.world_switches, 1);
+    }
+
+    #[test]
+    fn merge_combines_ledgers() {
+        let model = CostModel::default();
+        let mut a = CostLedger::default();
+        a.record_world_switch(&model);
+        let mut b = CostLedger::default();
+        b.record_attestation(&model);
+        b.record_channel_transfer(100, &model);
+        a.merge(&b);
+        assert_eq!(a.world_switches, 1);
+        assert_eq!(a.attestations, 1);
+        assert_eq!(a.channel_bytes, 100);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type for enclave operations.
+
+use std::fmt;
+
+/// Error returned by enclave, sealing, channel and attestation operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TeeError {
+    /// The requested allocation does not fit in the enclave's secure memory
+    /// budget (the TrustZone constraint motivating Pelta's partial shield).
+    OutOfSecureMemory {
+        /// Bytes requested by the allocation.
+        requested: usize,
+        /// Bytes still available.
+        available: usize,
+        /// Total budget of the enclave.
+        budget: usize,
+    },
+    /// No secure object is stored under the given key.
+    NotFound {
+        /// The missing key.
+        key: String,
+    },
+    /// A secure object was accessed from the normal world.
+    AccessDenied {
+        /// The key that was accessed.
+        key: String,
+    },
+    /// A key is already in use.
+    AlreadyExists {
+        /// The duplicated key.
+        key: String,
+    },
+    /// A sealed blob failed its integrity check.
+    SealIntegrity,
+    /// An attestation report failed verification.
+    AttestationFailed {
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// A secure channel was used before being established.
+    ChannelNotEstablished,
+    /// Configuration error (zero budget, empty measurement…).
+    InvalidConfig {
+        /// Explanation of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TeeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TeeError::OutOfSecureMemory {
+                requested,
+                available,
+                budget,
+            } => write!(
+                f,
+                "secure memory exhausted: requested {requested} bytes, {available} of {budget} available"
+            ),
+            TeeError::NotFound { key } => write!(f, "no secure object named '{key}'"),
+            TeeError::AccessDenied { key } => {
+                write!(f, "normal-world access to shielded object '{key}' denied")
+            }
+            TeeError::AlreadyExists { key } => {
+                write!(f, "secure object '{key}' already exists")
+            }
+            TeeError::SealIntegrity => write!(f, "sealed blob failed integrity verification"),
+            TeeError::AttestationFailed { reason } => {
+                write!(f, "attestation failed: {reason}")
+            }
+            TeeError::ChannelNotEstablished => {
+                write!(f, "secure channel used before establishment")
+            }
+            TeeError::InvalidConfig { reason } => write!(f, "invalid enclave config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TeeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_identify_cause() {
+        let e = TeeError::OutOfSecureMemory {
+            requested: 100,
+            available: 10,
+            budget: 50,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(TeeError::AccessDenied { key: "grad".into() }
+            .to_string()
+            .contains("grad"));
+        assert!(TeeError::NotFound { key: "x".into() }.to_string().contains('x'));
+    }
+
+    #[test]
+    fn error_is_send_sync_and_std_error() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<TeeError>();
+    }
+}

@@ -1,0 +1,584 @@
+//! 2-D convolution arithmetic: forward, input/weight gradients, transposed
+//! convolution (used by the BPDA/upsampling substitute attack of §V-B) and
+//! pooling.
+//!
+//! All spatial tensors follow the `[N, C, H, W]` layout and all kernels the
+//! `[C_out, C_in, K_h, K_w]` layout.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Padding policy for a convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Padding {
+    /// No padding ("valid" convolution).
+    Valid,
+    /// Symmetric zero padding of the given amount on each spatial side.
+    Explicit(usize),
+}
+
+impl Padding {
+    /// The number of padded pixels on each side.
+    pub fn amount(&self) -> usize {
+        match self {
+            Padding::Valid => 0,
+            Padding::Explicit(p) => *p,
+        }
+    }
+}
+
+/// Geometry of a 2-D convolution: stride and padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    /// Stride along both spatial dimensions.
+    pub stride: usize,
+    /// Padding policy.
+    pub padding: Padding,
+}
+
+impl Default for Conv2dSpec {
+    fn default() -> Self {
+        Conv2dSpec {
+            stride: 1,
+            padding: Padding::Valid,
+        }
+    }
+}
+
+impl Conv2dSpec {
+    /// A spec with the given stride and explicit symmetric padding.
+    pub fn new(stride: usize, padding: usize) -> Self {
+        Conv2dSpec {
+            stride,
+            padding: Padding::Explicit(padding),
+        }
+    }
+
+    /// Output spatial size for an input of size `in_size` and kernel `k`.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::InvalidConvolution`] if the kernel does not fit.
+    pub fn output_size(&self, in_size: usize, k: usize) -> Result<usize> {
+        let padded = in_size + 2 * self.padding.amount();
+        if k > padded || self.stride == 0 {
+            return Err(TensorError::InvalidConvolution {
+                reason: format!(
+                    "kernel {k} does not fit padded input {padded} (stride {})",
+                    self.stride
+                ),
+            });
+        }
+        Ok((padded - k) / self.stride + 1)
+    }
+}
+
+impl Tensor {
+    /// 2-D convolution of a `[N, C_in, H, W]` input with a
+    /// `[C_out, C_in, K, K]` kernel.
+    ///
+    /// # Errors
+    /// Returns an error on rank, channel or geometry mismatch.
+    pub fn conv2d(&self, weight: &Tensor, spec: Conv2dSpec) -> Result<Tensor> {
+        check_conv_operands(self, weight)?;
+        let pad = spec.padding.amount();
+        let input = if pad > 0 { self.pad2d(pad, pad)? } else { self.clone() };
+        let (n, c_in, h, w) = dims4(&input);
+        let (c_out, wc_in, kh, kw) = dims4(weight);
+        if wc_in != c_in {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d",
+                lhs: self.dims().to_vec(),
+                rhs: weight.dims().to_vec(),
+            });
+        }
+        let oh = spec.output_size(self.dims()[2], kh)?;
+        let ow = spec.output_size(self.dims()[3], kw)?;
+        let s = spec.stride;
+        let mut out = vec![0.0f32; n * c_out * oh * ow];
+        let x = input.data();
+        let k = weight.data();
+        for ni in 0..n {
+            for co in 0..c_out {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ci in 0..c_in {
+                            for ky in 0..kh {
+                                let iy = oy * s + ky;
+                                let x_row = ((ni * c_in + ci) * h + iy) * w + ox * s;
+                                let k_row = ((co * c_in + ci) * kh + ky) * kw;
+                                for kx in 0..kw {
+                                    acc += x[x_row + kx] * k[k_row + kx];
+                                }
+                            }
+                        }
+                        out[((ni * c_out + co) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, c_out, oh, ow])
+    }
+
+    /// Gradient of a convolution with respect to its **input**.
+    ///
+    /// Given `grad_out = dL/dy` for `y = conv2d(x, w)`, returns `dL/dx` with
+    /// the same shape as the original input (`input_hw` is the original
+    /// unpadded spatial size).
+    ///
+    /// # Errors
+    /// Returns an error on geometry mismatch.
+    pub fn conv2d_input_grad(
+        grad_out: &Tensor,
+        weight: &Tensor,
+        input_shape: &[usize],
+        spec: Conv2dSpec,
+    ) -> Result<Tensor> {
+        if input_shape.len() != 4 {
+            return Err(TensorError::RankMismatch {
+                op: "conv2d_input_grad",
+                expected: 4,
+                actual: input_shape.len(),
+            });
+        }
+        check_conv_operands(grad_out, weight)?;
+        let pad = spec.padding.amount();
+        let (n, c_in, h, w) = (
+            input_shape[0],
+            input_shape[1],
+            input_shape[2] + 2 * pad,
+            input_shape[3] + 2 * pad,
+        );
+        let (c_out, wc_in, kh, kw) = dims4(weight);
+        if wc_in != c_in {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d_input_grad",
+                lhs: input_shape.to_vec(),
+                rhs: weight.dims().to_vec(),
+            });
+        }
+        let (gn, gc, oh, ow) = dims4(grad_out);
+        if gn != n || gc != c_out {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d_input_grad",
+                lhs: grad_out.dims().to_vec(),
+                rhs: vec![n, c_out],
+            });
+        }
+        let s = spec.stride;
+        let mut grad_padded = vec![0.0f32; n * c_in * h * w];
+        let g = grad_out.data();
+        let k = weight.data();
+        for ni in 0..n {
+            for co in 0..c_out {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let go = g[((ni * c_out + co) * oh + oy) * ow + ox];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        for ci in 0..c_in {
+                            for ky in 0..kh {
+                                let iy = oy * s + ky;
+                                let gx_row = ((ni * c_in + ci) * h + iy) * w + ox * s;
+                                let k_row = ((co * c_in + ci) * kh + ky) * kw;
+                                for kx in 0..kw {
+                                    grad_padded[gx_row + kx] += go * k[k_row + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let padded = Tensor::from_vec(grad_padded, &[n, c_in, h, w])?;
+        if pad > 0 {
+            padded.unpad2d(pad, pad)
+        } else {
+            Ok(padded)
+        }
+    }
+
+    /// Gradient of a convolution with respect to its **weight**.
+    ///
+    /// Given `grad_out = dL/dy` for `y = conv2d(x, w)`, returns `dL/dw` with
+    /// the same shape as the kernel.
+    ///
+    /// # Errors
+    /// Returns an error on geometry mismatch.
+    pub fn conv2d_weight_grad(
+        input: &Tensor,
+        grad_out: &Tensor,
+        kernel_shape: &[usize],
+        spec: Conv2dSpec,
+    ) -> Result<Tensor> {
+        if kernel_shape.len() != 4 {
+            return Err(TensorError::RankMismatch {
+                op: "conv2d_weight_grad",
+                expected: 4,
+                actual: kernel_shape.len(),
+            });
+        }
+        check_conv_operands(input, grad_out)?;
+        let pad = spec.padding.amount();
+        let padded = if pad > 0 { input.pad2d(pad, pad)? } else { input.clone() };
+        let (n, c_in, h, w) = dims4(&padded);
+        let (c_out, wc_in, kh, kw) = (
+            kernel_shape[0],
+            kernel_shape[1],
+            kernel_shape[2],
+            kernel_shape[3],
+        );
+        if wc_in != c_in {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d_weight_grad",
+                lhs: input.dims().to_vec(),
+                rhs: kernel_shape.to_vec(),
+            });
+        }
+        let (gn, gc, oh, ow) = dims4(grad_out);
+        if gn != n || gc != c_out {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv2d_weight_grad",
+                lhs: grad_out.dims().to_vec(),
+                rhs: vec![n, c_out],
+            });
+        }
+        let s = spec.stride;
+        let mut grad_w = vec![0.0f32; c_out * c_in * kh * kw];
+        let x = padded.data();
+        let g = grad_out.data();
+        for ni in 0..n {
+            for co in 0..c_out {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let go = g[((ni * c_out + co) * oh + oy) * ow + ox];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        for ci in 0..c_in {
+                            for ky in 0..kh {
+                                let iy = oy * s + ky;
+                                let x_row = ((ni * c_in + ci) * h + iy) * w + ox * s;
+                                let w_row = ((co * c_in + ci) * kh + ky) * kw;
+                                for kx in 0..kw {
+                                    grad_w[w_row + kx] += go * x[x_row + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(grad_w, kernel_shape)
+    }
+
+    /// Transposed convolution ("deconvolution") of a `[N, C_in, H, W]` input
+    /// with a `[C_in, C_out, K, K]` kernel and the given stride.
+    ///
+    /// This is the upsampling primitive the attacker applies to the adjoint
+    /// `δ_{L+1}` when facing a Pelta-shielded model (§V-B): a geometrical
+    /// transformation that tries to recover an input-shaped gradient from the
+    /// last clear layer's gradient.
+    ///
+    /// # Errors
+    /// Returns an error on rank or channel mismatch.
+    pub fn conv_transpose2d(&self, weight: &Tensor, stride: usize) -> Result<Tensor> {
+        check_conv_operands(self, weight)?;
+        if stride == 0 {
+            return Err(TensorError::InvalidConvolution {
+                reason: "stride must be non-zero".to_string(),
+            });
+        }
+        let (n, c_in, h, w) = dims4(self);
+        let (wc_in, c_out, kh, kw) = dims4(weight);
+        if wc_in != c_in {
+            return Err(TensorError::ShapeMismatch {
+                op: "conv_transpose2d",
+                lhs: self.dims().to_vec(),
+                rhs: weight.dims().to_vec(),
+            });
+        }
+        let oh = (h - 1) * stride + kh;
+        let ow = (w - 1) * stride + kw;
+        let mut out = vec![0.0f32; n * c_out * oh * ow];
+        let x = self.data();
+        let k = weight.data();
+        for ni in 0..n {
+            for ci in 0..c_in {
+                for iy in 0..h {
+                    for ix in 0..w {
+                        let xv = x[((ni * c_in + ci) * h + iy) * w + ix];
+                        if xv == 0.0 {
+                            continue;
+                        }
+                        for co in 0..c_out {
+                            for ky in 0..kh {
+                                let oy = iy * stride + ky;
+                                let o_row = ((ni * c_out + co) * oh + oy) * ow + ix * stride;
+                                let k_row = ((ci * c_out + co) * kh + ky) * kw;
+                                for kx in 0..kw {
+                                    out[o_row + kx] += xv * k[k_row + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, c_out, oh, ow])
+    }
+
+    /// 2-D max pooling with square window `k` and stride `k`.
+    ///
+    /// # Errors
+    /// Returns an error for non-rank-4 tensors or windows that do not fit.
+    pub fn max_pool2d(&self, k: usize) -> Result<Tensor> {
+        if self.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                op: "max_pool2d",
+                expected: 4,
+                actual: self.rank(),
+            });
+        }
+        let (n, c, h, w) = dims4(self);
+        if k == 0 || h < k || w < k {
+            return Err(TensorError::InvalidConvolution {
+                reason: format!("pool window {k} does not fit input {h}x{w}"),
+            });
+        }
+        let (oh, ow) = (h / k, w / k);
+        let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+        for ni in 0..n {
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut m = f32::NEG_INFINITY;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let v =
+                                    self.data()[((ni * c + ci) * h + oy * k + ky) * w + ox * k + kx];
+                                if v > m {
+                                    m = v;
+                                }
+                            }
+                        }
+                        out[((ni * c + ci) * oh + oy) * ow + ox] = m;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    /// Global average pooling over the spatial dimensions: `[N, C, H, W] → [N, C]`.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::RankMismatch`] for non-rank-4 tensors.
+    pub fn global_avg_pool2d(&self) -> Result<Tensor> {
+        if self.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                op: "global_avg_pool2d",
+                expected: 4,
+                actual: self.rank(),
+            });
+        }
+        let (n, c, h, w) = dims4(self);
+        let area = (h * w) as f32;
+        let mut out = vec![0.0f32; n * c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                out[ni * c + ci] = self.data()[base..base + h * w].iter().sum::<f32>() / area;
+            }
+        }
+        Tensor::from_vec(out, &[n, c])
+    }
+}
+
+fn dims4(t: &Tensor) -> (usize, usize, usize, usize) {
+    (t.dims()[0], t.dims()[1], t.dims()[2], t.dims()[3])
+}
+
+fn check_conv_operands(a: &Tensor, b: &Tensor) -> Result<()> {
+    if a.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "conv2d",
+            expected: 4,
+            actual: a.rank(),
+        });
+    }
+    if b.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            op: "conv2d",
+            expected: 4,
+            actual: b.rank(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn output_size_arithmetic() {
+        let valid = Conv2dSpec::default();
+        assert_eq!(valid.output_size(5, 3).unwrap(), 3);
+        let padded = Conv2dSpec::new(1, 1);
+        assert_eq!(padded.output_size(5, 3).unwrap(), 5);
+        let strided = Conv2dSpec::new(2, 1);
+        assert_eq!(strided.output_size(6, 3).unwrap(), 3);
+        assert!(valid.output_size(2, 5).is_err());
+        assert!(Conv2dSpec { stride: 0, padding: Padding::Valid }.output_size(5, 3).is_err());
+    }
+
+    #[test]
+    fn conv2d_identity_kernel_preserves_input() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let x = Tensor::rand_uniform(&[1, 1, 4, 4], -1.0, 1.0, &mut rng);
+        // 1x1 kernel with weight 1 is the identity.
+        let w = Tensor::ones(&[1, 1, 1, 1]);
+        let y = x.conv2d(&w, Conv2dSpec::default()).unwrap();
+        assert_eq!(y.dims(), x.dims());
+        for (a, b) in x.data().iter().zip(y.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn conv2d_known_values() {
+        // 3x3 input, 2x2 kernel of ones → each output is the sum of a 2x2 patch.
+        let x = Tensor::arange(9).reshape(&[1, 1, 3, 3]).unwrap();
+        let w = Tensor::ones(&[1, 1, 2, 2]);
+        let y = x.conv2d(&w, Conv2dSpec::default()).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[0.0 + 1.0 + 3.0 + 4.0, 1.0 + 2.0 + 4.0 + 5.0, 3.0 + 4.0 + 6.0 + 7.0, 4.0 + 5.0 + 7.0 + 8.0]);
+    }
+
+    #[test]
+    fn conv2d_with_padding_and_stride() {
+        let x = Tensor::ones(&[1, 1, 4, 4]);
+        let w = Tensor::ones(&[2, 1, 3, 3]);
+        let y = x.conv2d(&w, Conv2dSpec::new(2, 1)).unwrap();
+        assert_eq!(y.dims(), &[1, 2, 2, 2]);
+        // Top-left window with padding sees a 2x2 block of ones → 4; both
+        // output channels share the same all-ones kernel.
+        assert_eq!(y.get(&[0, 0, 0, 0]).unwrap(), 4.0);
+        assert_eq!(y.get(&[0, 1, 0, 0]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn conv2d_channel_mismatch_is_error() {
+        let x = Tensor::zeros(&[1, 3, 4, 4]);
+        let w = Tensor::zeros(&[2, 2, 3, 3]);
+        assert!(x.conv2d(&w, Conv2dSpec::default()).is_err());
+        assert!(Tensor::zeros(&[2, 2]).conv2d(&w, Conv2dSpec::default()).is_err());
+    }
+
+    /// Finite-difference check of the input gradient: perturb one input pixel
+    /// and compare d(sum(y))/dx against the analytic gradient with
+    /// grad_out = 1.
+    #[test]
+    fn conv2d_input_grad_matches_finite_difference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let x = Tensor::rand_uniform(&[1, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[3, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let spec = Conv2dSpec::new(1, 1);
+        let y = x.conv2d(&w, spec).unwrap();
+        let grad_out = Tensor::ones(y.dims());
+        let gx = Tensor::conv2d_input_grad(&grad_out, &w, x.dims(), spec).unwrap();
+        assert_eq!(gx.dims(), x.dims());
+        let eps = 1e-2f32;
+        for &flat in &[0usize, 7, 24, 30] {
+            let mut xp = x.clone();
+            xp.data_mut()[flat] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[flat] -= eps;
+            let numeric = (xp.conv2d(&w, spec).unwrap().sum() - xm.conv2d(&w, spec).unwrap().sum())
+                / (2.0 * eps);
+            assert!(
+                (numeric - gx.data()[flat]).abs() < 1e-2,
+                "pixel {flat}: numeric {numeric} vs analytic {}",
+                gx.data()[flat]
+            );
+        }
+    }
+
+    #[test]
+    fn conv2d_weight_grad_matches_finite_difference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let x = Tensor::rand_uniform(&[2, 1, 4, 4], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[2, 1, 3, 3], -1.0, 1.0, &mut rng);
+        let spec = Conv2dSpec::default();
+        let y = x.conv2d(&w, spec).unwrap();
+        let grad_out = Tensor::ones(y.dims());
+        let gw = Tensor::conv2d_weight_grad(&x, &grad_out, w.dims(), spec).unwrap();
+        assert_eq!(gw.dims(), w.dims());
+        let eps = 1e-2f32;
+        for &flat in &[0usize, 5, 17] {
+            let mut wp = w.clone();
+            wp.data_mut()[flat] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[flat] -= eps;
+            let numeric =
+                (x.conv2d(&wp, spec).unwrap().sum() - x.conv2d(&wm, spec).unwrap().sum()) / (2.0 * eps);
+            assert!(
+                (numeric - gw.data()[flat]).abs() < 2e-2,
+                "weight {flat}: numeric {numeric} vs analytic {}",
+                gw.data()[flat]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_transpose_upsamples_spatially() {
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let y = x.conv_transpose2d(&w, 2).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 5, 5]);
+        // Centre pixel receives overlapping contributions.
+        assert!(y.get(&[0, 0, 2, 2]).unwrap() >= 1.0);
+        assert!(x.conv_transpose2d(&w, 0).is_err());
+        assert!(x.conv_transpose2d(&Tensor::zeros(&[2, 1, 3, 3]), 1).is_err());
+    }
+
+    #[test]
+    fn conv_transpose_is_adjoint_of_conv() {
+        // <conv(x, w), y> == <x, conv_transpose(y, w')> where w' swaps the
+        // in/out channel axes. Verified numerically for stride 1.
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let x = Tensor::rand_uniform(&[1, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let w = Tensor::rand_uniform(&[3, 2, 3, 3], -1.0, 1.0, &mut rng);
+        let y = Tensor::rand_uniform(&[1, 3, 3, 3], -1.0, 1.0, &mut rng);
+        let conv_x = x.conv2d(&w, Conv2dSpec::default()).unwrap();
+        let lhs = conv_x.dot(&y).unwrap();
+        let w_swapped = w.permute(&[1, 0, 2, 3]).unwrap();
+        // conv_transpose expects kernel layout [C_in, C_out, K, K] relative to
+        // its own input, which is `y` here with 3 channels.
+        let wt = w_swapped.permute(&[1, 0, 2, 3]).unwrap(); // back to [3,2,k,k]
+        let up = y.conv_transpose2d(&wt, 1).unwrap();
+        let rhs = up.dot(&x).unwrap();
+        assert!((lhs - rhs).abs() < 1e-3, "lhs {lhs} rhs {rhs}");
+    }
+
+    #[test]
+    fn pooling_operations() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let mp = x.max_pool2d(2).unwrap();
+        assert_eq!(mp.dims(), &[1, 1, 2, 2]);
+        assert_eq!(mp.data(), &[6.0, 8.0, 14.0, 16.0]);
+        let gap = x.global_avg_pool2d().unwrap();
+        assert_eq!(gap.dims(), &[1, 1]);
+        assert_eq!(gap.data(), &[8.5]);
+        assert!(x.max_pool2d(5).is_err());
+        assert!(Tensor::zeros(&[2, 2]).max_pool2d(2).is_err());
+        assert!(Tensor::zeros(&[2, 2]).global_avg_pool2d().is_err());
+    }
+}

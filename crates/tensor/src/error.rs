@@ -1,0 +1,157 @@
+//! Error type shared by all tensor operations.
+
+use std::fmt;
+
+/// Error returned by fallible tensor operations.
+///
+/// All variants carry enough context to identify the failing operation and
+/// the offending shapes or indices, which makes shape bugs in the layer and
+/// attack code immediately actionable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the length of
+    /// the backing buffer.
+    ShapeDataMismatch {
+        /// Requested shape.
+        shape: Vec<usize>,
+        /// Length of the provided data buffer.
+        data_len: usize,
+    },
+    /// Two operands have incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// The operation requires a tensor of a specific rank.
+    RankMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// An axis argument is out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Requested axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+    /// An element index is out of bounds.
+    IndexOutOfBounds {
+        /// Requested index (multi-dimensional).
+        index: Vec<usize>,
+        /// Shape of the tensor.
+        shape: Vec<usize>,
+    },
+    /// Reshape target has a different number of elements than the source.
+    InvalidReshape {
+        /// Source shape.
+        from: Vec<usize>,
+        /// Requested shape.
+        to: Vec<usize>,
+    },
+    /// A convolution or pooling specification is geometrically impossible
+    /// (e.g. kernel larger than the padded input).
+    InvalidConvolution {
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// A numeric argument is invalid (negative probability, zero dimension…).
+    InvalidArgument {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// The tensor is empty where a non-empty tensor is required.
+    EmptyTensor {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { shape, data_len } => write!(
+                f,
+                "shape {:?} implies {} elements but buffer holds {}",
+                shape,
+                shape.iter().product::<usize>(),
+                data_len
+            ),
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op}: expected rank {expected}, got rank {actual}"),
+            TensorError::AxisOutOfRange { op, axis, rank } => {
+                write!(f, "{op}: axis {axis} out of range for rank {rank}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidReshape { from, to } => {
+                write!(f, "cannot reshape {from:?} into {to:?}")
+            }
+            TensorError::InvalidConvolution { reason } => {
+                write!(f, "invalid convolution: {reason}")
+            }
+            TensorError::InvalidArgument { op, reason } => {
+                write!(f, "{op}: invalid argument: {reason}")
+            }
+            TensorError::EmptyTensor { op } => write!(f, "{op}: tensor is empty"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_data_mismatch() {
+        let e = TensorError::ShapeDataMismatch {
+            shape: vec![2, 3],
+            data_len: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("6 elements"));
+        assert!(msg.contains('5'));
+    }
+
+    #[test]
+    fn display_shape_mismatch_names_operation() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        assert!(e.to_string().starts_with("matmul"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(TensorError::EmptyTensor { op: "sum" });
+        assert!(e.to_string().contains("sum"));
+    }
+}

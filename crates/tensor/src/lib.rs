@@ -1,0 +1,55 @@
+//! # pelta-tensor
+//!
+//! Dense `f32` tensor substrate for the Pelta reproduction.
+//!
+//! This crate provides the numerical foundation every other crate builds on:
+//! an owned, row-major, contiguous [`Tensor`] with the element-wise,
+//! reduction, linear-algebra and convolution arithmetic required by the
+//! neural-network layers of `pelta-nn`, the autodiff graph of
+//! `pelta-autodiff` and the adversarial attacks of `pelta-attacks`.
+//!
+//! The design goals are, in order:
+//!
+//! 1. **Correctness and explicitness** — every operation validates shapes and
+//!    returns a typed [`TensorError`] rather than panicking, so that the
+//!    higher layers (in particular the shielded-gradient code paths of
+//!    `pelta-core`) can surface precise failures.
+//! 2. **Determinism** — all random constructors take an explicit RNG so that
+//!    every experiment in the benchmark harness is reproducible from a seed.
+//! 3. **Smallness** — the models used by the reproduction are width-scaled
+//!    versions of the paper's ViT / ResNet / BiT architectures, so a simple
+//!    contiguous representation with straightforward loops is sufficient.
+//!
+//! # Example
+//!
+//! ```rust
+//! use pelta_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), pelta_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.data(), a.data());
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod conv;
+mod error;
+mod linalg;
+mod ops;
+mod reduce;
+mod rng;
+mod shape;
+mod tensor;
+
+pub use conv::{Conv2dSpec, Padding};
+pub use error::TensorError;
+pub use rng::SeedStream;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience alias for results returned throughout this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,270 @@
+//! Matrix multiplication and related linear-algebra kernels.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// # Errors
+    /// Returns an error if either operand is not rank 2 or the inner
+    /// dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        if other.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: other.rank(),
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let a = self.data();
+        let b = other.data();
+        let mut out = vec![0.0f32; m * n];
+        // i-k-j loop order: the inner loop walks both `b` and `out` rows
+        // contiguously, which the compiler auto-vectorises.
+        for i in 0..m {
+            for kk in 0..k {
+                let a_ik = a[i * k + kk];
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for j in 0..n {
+                    out_row[j] += a_ik * b_row[j];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Batched matrix product of rank-3 tensors: `[b, m, k] × [b, k, n] → [b, m, n]`.
+    ///
+    /// # Errors
+    /// Returns an error if either operand is not rank 3, the batch sizes
+    /// differ, or the inner dimensions disagree.
+    pub fn batch_matmul(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 3 || other.rank() != 3 {
+            return Err(TensorError::RankMismatch {
+                op: "batch_matmul",
+                expected: 3,
+                actual: if self.rank() != 3 {
+                    self.rank()
+                } else {
+                    other.rank()
+                },
+            });
+        }
+        let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
+        let (b2, k2, n) = (other.dims()[0], other.dims()[1], other.dims()[2]);
+        if b != b2 || k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "batch_matmul",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; b * m * n];
+        for bi in 0..b {
+            let a = &self.data()[bi * m * k..(bi + 1) * m * k];
+            let bb = &other.data()[bi * k * n..(bi + 1) * k * n];
+            let o = &mut out[bi * m * n..(bi + 1) * m * n];
+            for i in 0..m {
+                for kk in 0..k {
+                    let a_ik = a[i * k + kk];
+                    if a_ik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &bb[kk * n..(kk + 1) * n];
+                    let o_row = &mut o[i * n..(i + 1) * n];
+                    for j in 0..n {
+                        o_row[j] += a_ik * b_row[j];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[b, m, n])
+    }
+
+    /// Matrix–vector product `[m, k] × [k] → [m]`.
+    ///
+    /// # Errors
+    /// Returns an error on rank or inner-dimension mismatch.
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 || v.rank() != 1 {
+            return Err(TensorError::RankMismatch {
+                op: "matvec",
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (m, k) = (self.dims()[0], self.dims()[1]);
+        if v.dims()[0] != k {
+            return Err(TensorError::ShapeMismatch {
+                op: "matvec",
+                lhs: self.dims().to_vec(),
+                rhs: v.dims().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; m];
+        for i in 0..m {
+            let row = &self.data()[i * k..(i + 1) * k];
+            out[i] = row.iter().zip(v.data()).map(|(&a, &b)| a * b).sum();
+        }
+        Tensor::from_vec(out, &[m])
+    }
+
+    /// Outer product of two rank-1 tensors: `[m] ⊗ [n] → [m, n]`.
+    ///
+    /// # Errors
+    /// Returns [`TensorError::RankMismatch`] if either tensor is not rank 1.
+    pub fn outer(&self, other: &Tensor) -> Result<Tensor> {
+        if self.rank() != 1 || other.rank() != 1 {
+            return Err(TensorError::RankMismatch {
+                op: "outer",
+                expected: 1,
+                actual: self.rank().max(other.rank()),
+            });
+        }
+        let (m, n) = (self.numel(), other.numel());
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[i * n + j] = self.data()[i] * other.data()[j];
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let a = Tensor::rand_uniform(&[3, 3], -1.0, 1.0, &mut rng);
+        let c = a.matmul(&Tensor::eye(3)).unwrap();
+        for (x, y) in a.data().iter().zip(c.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(a.matmul(&b).is_err());
+        assert!(a.matmul(&Tensor::zeros(&[3])).is_err());
+        assert!(Tensor::zeros(&[3]).matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matmul_rectangular_shapes() {
+        let a = Tensor::arange(6).reshape(&[2, 3]).unwrap();
+        let b = Tensor::arange(12).reshape(&[3, 4]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 4]);
+        // Row 0 of a = [0,1,2]; col 0 of b = [0,4,8] → 0*0+1*4+2*8 = 20.
+        assert_eq!(c.get(&[0, 0]).unwrap(), 20.0);
+        assert_eq!(c.get(&[1, 3]).unwrap(), 3.0 * 3.0 + 4.0 * 7.0 + 5.0 * 11.0);
+    }
+
+    #[test]
+    fn batch_matmul_matches_per_slice_matmul() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let a = Tensor::rand_uniform(&[2, 3, 4], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[2, 4, 5], -1.0, 1.0, &mut rng);
+        let c = a.batch_matmul(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 3, 5]);
+        for bi in 0..2 {
+            let ai = a.index_axis(0, bi).unwrap();
+            let bi_t = b.index_axis(0, bi).unwrap();
+            let ci = c.index_axis(0, bi).unwrap();
+            let expected = ai.matmul(&bi_t).unwrap();
+            for (x, y) in ci.data().iter().zip(expected.data()) {
+                assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matmul_rejects_mismatched_batches() {
+        let a = Tensor::zeros(&[2, 3, 4]);
+        let b = Tensor::zeros(&[3, 4, 5]);
+        assert!(a.batch_matmul(&b).is_err());
+        assert!(a.batch_matmul(&Tensor::zeros(&[2, 5, 6])).is_err());
+        assert!(Tensor::zeros(&[2, 2]).batch_matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matvec_and_outer() {
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let v = Tensor::from_vec(vec![1.0, -1.0], &[2]).unwrap();
+        assert_eq!(m.matvec(&v).unwrap().data(), &[-1.0, -1.0]);
+        assert!(m.matvec(&Tensor::zeros(&[3])).is_err());
+
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0], &[3]).unwrap();
+        let o = a.outer(&b).unwrap();
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.data(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+        assert!(m.outer(&b).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matmul_associates_with_transpose(seed in 0u64..300) {
+            // (A B)^T == B^T A^T
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let a = Tensor::rand_uniform(&[3, 4], -2.0, 2.0, &mut rng);
+            let b = Tensor::rand_uniform(&[4, 2], -2.0, 2.0, &mut rng);
+            let left = a.matmul(&b).unwrap().transpose().unwrap();
+            let right = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+            for (x, y) in left.data().iter().zip(right.data()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn prop_matmul_distributes_over_addition(seed in 0u64..300) {
+            // A (B + C) == A B + A C
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let a = Tensor::rand_uniform(&[2, 3], -1.0, 1.0, &mut rng);
+            let b = Tensor::rand_uniform(&[3, 2], -1.0, 1.0, &mut rng);
+            let c = Tensor::rand_uniform(&[3, 2], -1.0, 1.0, &mut rng);
+            let left = a.matmul(&b.add(&c).unwrap()).unwrap();
+            let right = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+            for (x, y) in left.data().iter().zip(right.data()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+}

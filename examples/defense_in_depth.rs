@@ -1,0 +1,89 @@
+//! Defense in depth (§VII): Pelta is "a supplementary hardware-reliant aid
+//! to existing protocols", so this example stacks it with the software
+//! defenses (input quantization and randomization) and compares the four
+//! combinations under the same PGD attack.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example defense_in_depth
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+
+use pelta_attacks::{robust_accuracy, select_correctly_classified, Pgd};
+use pelta_core::{ClearWhiteBox, GradientOracle, ShieldedWhiteBox};
+use pelta_data::{Dataset, DatasetSpec, GeneratorConfig};
+use pelta_defenses::{DefenseStack, RandomizationConfig};
+use pelta_models::{train_classifier, TrainingConfig, ViTConfig, VisionTransformer};
+use pelta_tensor::SeedStream;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut seeds = SeedStream::new(57);
+    let dataset = Dataset::generate(
+        DatasetSpec::Cifar10Like,
+        &GeneratorConfig {
+            train_samples: 64,
+            test_samples: 48,
+            ..GeneratorConfig::default()
+        },
+        17,
+    );
+    let mut vit = VisionTransformer::new(
+        ViTConfig::vit_b16_scaled(32, 3, 10),
+        &mut seeds.derive("model"),
+    )?;
+    train_classifier(
+        &mut vit,
+        dataset.train_images(),
+        dataset.train_labels(),
+        &TrainingConfig {
+            epochs: 3,
+            batch_size: 16,
+            learning_rate: 0.02,
+            momentum: 0.9,
+        },
+    )?;
+    let model = Arc::new(vit);
+    let test = dataset.test_subset(48);
+    let (samples, labels) =
+        select_correctly_classified(model.as_ref(), &test.images, &test.labels, 8)?;
+
+    let software = |inner: Arc<dyn GradientOracle>, seed: u64| -> Arc<dyn GradientOracle> {
+        DefenseStack::new(inner)
+            .with_quantization(8)
+            .expect("valid quantizer")
+            .with_randomization(RandomizationConfig { noise: 0.02, max_shift: 2 }, seed)
+            .expect("valid randomization")
+            .build()
+    };
+
+    let clear: Arc<dyn GradientOracle> = Arc::new(ClearWhiteBox::new(Arc::clone(&model) as _));
+    let shielded: Arc<dyn GradientOracle> =
+        Arc::new(ShieldedWhiteBox::with_default_enclave(Arc::clone(&model) as _)?);
+    let settings: Vec<(&str, Arc<dyn GradientOracle>)> = vec![
+        ("undefended", Arc::clone(&clear)),
+        ("software only (quantize + randomize)", software(Arc::clone(&clear), 1)),
+        ("Pelta only", Arc::clone(&shielded)),
+        ("Pelta + software", software(Arc::clone(&shielded), 2)),
+    ];
+
+    let pgd = Pgd::new(0.062, 0.0124, 10)?;
+    println!("PGD (ε = 0.062, 10 steps) against {} correctly classified samples:\n", labels.len());
+    for (name, oracle) in settings {
+        let mut rng = seeds.derive(name);
+        let outcome = robust_accuracy(oracle.as_ref(), &pgd, &samples, &labels, &mut rng)?;
+        println!(
+            "{name:<38} robust accuracy {:>6.1}%   attack success {:>6.1}%",
+            outcome.robust_accuracy * 100.0,
+            outcome.attack_success_rate * 100.0
+        );
+    }
+
+    println!(
+        "\nSoftware defenses alone are known to be brittle against adaptive attackers \
+         (Athalye et al.); Pelta removes the gradients they fail to hide, and stacking the \
+         two costs nothing extra in enclave memory."
+    );
+    Ok(())
+}

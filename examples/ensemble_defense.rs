@@ -1,0 +1,140 @@
+//! The Table IV scenario: a ViT + BiT random-selection ensemble attacked by
+//! the Self-Attention Gradient Attack under the four shielding settings.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example ensemble_defense
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+
+use pelta_attacks::eval::outcome_from_samples;
+use pelta_attacks::{select_correctly_classified, Saga, SagaParams, SagaTarget};
+use pelta_core::{ClearWhiteBox, ShieldedWhiteBox};
+use pelta_data::{Dataset, DatasetSpec, GeneratorConfig};
+use pelta_models::{
+    train_classifier, BigTransfer, BitConfig, EnsembleMember, ImageModel,
+    RandomSelectionEnsemble, TrainingConfig, ViTConfig, VisionTransformer,
+};
+use pelta_tensor::SeedStream;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut seeds = SeedStream::new(11);
+    let dataset = Dataset::generate(
+        DatasetSpec::Cifar10Like,
+        &GeneratorConfig {
+            train_samples: 64,
+            test_samples: 48,
+            ..GeneratorConfig::default()
+        },
+        11,
+    );
+    let training = TrainingConfig {
+        epochs: 3,
+        batch_size: 16,
+        learning_rate: 0.02,
+        momentum: 0.9,
+    };
+
+    // Train the two ensemble members.
+    let mut vit = VisionTransformer::new(
+        ViTConfig::vit_l16_scaled(32, 3, 10),
+        &mut seeds.derive("vit"),
+    )?;
+    train_classifier(&mut vit, dataset.train_images(), dataset.train_labels(), &training)?;
+    let mut bit = BigTransfer::new(BitConfig::bit_r101x3_scaled(3, 10), &mut seeds.derive("bit"))?;
+    train_classifier(&mut bit, dataset.train_images(), dataset.train_labels(), &training)?;
+    let vit: Arc<dyn ImageModel> = Arc::new(vit);
+    let bit: Arc<dyn ImageModel> = Arc::new(bit);
+
+    // The random-selection decision policy of §V-A2.
+    let ensemble = RandomSelectionEnsemble::new(
+        "ViT-L/16 + BiT-M-R101x3",
+        vec![
+            EnsembleMember::new("ViT-L/16", Box::new(ArcModel(Arc::clone(&vit)))),
+            EnsembleMember::new("BiT-M-R101x3", Box::new(ArcModel(Arc::clone(&bit)))),
+        ],
+    )?;
+    let test = dataset.test_subset(48);
+    let mut policy_rng = seeds.derive("policy");
+    let clean = ensemble.accuracy_random_selection(&test.images, &test.labels, &mut policy_rng)?;
+    println!("ensemble clean accuracy (random selection): {:.1}%", clean * 100.0);
+
+    // Samples both members classify correctly.
+    let (pool, pool_labels) =
+        select_correctly_classified(vit.as_ref(), &test.images, &test.labels, test.labels.len())?;
+    let (samples, labels) = select_correctly_classified(bit.as_ref(), &pool, &pool_labels, 8)?;
+    println!("attacking {} samples with SAGA", labels.len());
+
+    // SAGA under the four shielding settings of Table IV.
+    let saga = Saga::new(
+        SagaParams { alpha_cnn: 2.0e-4, alpha_vit: 1.0 - 2.0e-4, step: 0.016, steps: 8 },
+        0.062,
+    )?;
+    let clear_vit = ClearWhiteBox::new(Arc::clone(&vit));
+    let clear_bit = ClearWhiteBox::new(Arc::clone(&bit));
+    let shielded_vit = ShieldedWhiteBox::with_default_enclave(Arc::clone(&vit))?;
+    let shielded_bit = ShieldedWhiteBox::with_default_enclave(Arc::clone(&bit))?;
+    let settings: [(&str, SagaTarget<'_>); 4] = [
+        ("no shield", SagaTarget { vit: &clear_vit, cnn: &clear_bit }),
+        ("ViT shielded", SagaTarget { vit: &shielded_vit, cnn: &clear_bit }),
+        ("BiT shielded", SagaTarget { vit: &clear_vit, cnn: &shielded_bit }),
+        ("both shielded", SagaTarget { vit: &shielded_vit, cnn: &shielded_bit }),
+    ];
+
+    for (name, target) in &settings {
+        let mut rng = seeds.derive(&format!("saga.{name}"));
+        let adversarial = saga.run_ensemble(target, &samples, &labels, &mut rng)?;
+        let vit_outcome = outcome_from_samples(&clear_vit, "SAGA", &samples, &adversarial, &labels)?;
+        let bit_outcome = outcome_from_samples(&clear_bit, "SAGA", &samples, &adversarial, &labels)?;
+        println!(
+            "{name:>14}: ViT robust {:.1}%, BiT robust {:.1}%, mean L∞ {:.3}",
+            vit_outcome.robust_accuracy * 100.0,
+            bit_outcome.robust_accuracy * 100.0,
+            vit_outcome.mean_linf
+        );
+    }
+    Ok(())
+}
+
+/// A thin adapter so the same `Arc<dyn ImageModel>` can be both an ensemble
+/// member and an oracle target.
+struct ArcModel(Arc<dyn ImageModel>);
+
+impl pelta_nn::Module for ArcModel {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+    fn forward(
+        &self,
+        graph: &mut pelta_autodiff::Graph,
+        input: pelta_autodiff::NodeId,
+    ) -> pelta_nn::Result<pelta_autodiff::NodeId> {
+        self.0.forward(graph, input)
+    }
+    fn parameters(&self) -> Vec<&pelta_nn::Param> {
+        self.0.parameters()
+    }
+    fn parameters_mut(&mut self) -> Vec<&mut pelta_nn::Param> {
+        Vec::new()
+    }
+}
+
+impl ImageModel for ArcModel {
+    fn architecture(&self) -> pelta_models::Architecture {
+        self.0.architecture()
+    }
+    fn num_classes(&self) -> usize {
+        self.0.num_classes()
+    }
+    fn input_shape(&self) -> [usize; 3] {
+        self.0.input_shape()
+    }
+    fn frontier_tag(&self) -> String {
+        self.0.frontier_tag()
+    }
+    fn attention_probs_prefix(&self) -> Option<String> {
+        self.0.attention_probs_prefix()
+    }
+}

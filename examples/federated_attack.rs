@@ -1,0 +1,93 @@
+//! The full federated threat model of Fig. 1: honest clients fine-tune the
+//! broadcast model with FedAvg while a compromised client probes its local
+//! copy to craft adversarial examples — once against an undefended
+//! deployment, once against a Pelta-shielded one.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example federated_attack
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+
+use pelta_attacks::select_correctly_classified;
+use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
+use pelta_fl::{AttackKind, CompromisedClient, Federation, FederationConfig};
+use pelta_models::{ImageModel, TrainingConfig, ViTConfig, VisionTransformer};
+use pelta_nn::Module;
+use pelta_tensor::SeedStream;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut seeds = SeedStream::new(2024);
+    let dataset = Dataset::generate(
+        DatasetSpec::Cifar10Like,
+        &GeneratorConfig {
+            train_samples: 80,
+            test_samples: 48,
+            ..GeneratorConfig::default()
+        },
+        2024,
+    );
+
+    // --- Federated training rounds (honest clients) -----------------------
+    let config = FederationConfig {
+        clients: 4,
+        rounds: 2,
+        local_training: TrainingConfig {
+            epochs: 2,
+            batch_size: 16,
+            learning_rate: 0.02,
+            momentum: 0.9,
+        },
+        eval_samples: 48,
+    };
+    let mut federation = Federation::vit_federation(&dataset, &config, Partition::Iid, &mut seeds)?;
+    let history = federation.run(&mut seeds)?;
+    for record in &history.rounds {
+        println!(
+            "round {}: mean client loss {:.3}, global accuracy {:.1}%, upload {} bytes",
+            record.round,
+            record.mean_client_loss,
+            record.global_accuracy * 100.0,
+            record.upload_bytes
+        );
+    }
+
+    // --- The compromised client -------------------------------------------
+    // It holds the broadcast global model (same weights as everyone) and
+    // local inference data, and crafts adversarial examples with PGD.
+    let mut replica = VisionTransformer::new(
+        ViTConfig::vit_b16_scaled(32, 3, 10),
+        &mut seeds.derive("replica"),
+    )?;
+    pelta_fl::import_parameters(&mut replica, federation.server().parameters())?;
+    replica.set_training(false);
+    let replica: Arc<dyn ImageModel> = Arc::new(replica);
+
+    let test = dataset.test_subset(48);
+    let (samples, labels) =
+        select_correctly_classified(replica.as_ref(), &test.images, &test.labels, 8)?;
+    println!("\ncompromised client attacks {} correctly classified samples", labels.len());
+
+    for shielded in [false, true] {
+        let client = CompromisedClient::new(
+            3,
+            Arc::clone(&replica),
+            shielded,
+            AttackKind::Pgd,
+            0.062,
+            8,
+        )?;
+        let mut rng = seeds.derive(if shielded { "attack.shielded" } else { "attack.clear" });
+        let (_adv, report) = client.craft_adversarial_examples(&samples, &labels, &mut rng)?;
+        println!(
+            "{}: victim robust accuracy {:.1}% (attack success {:.1}%), enclave world switches {}",
+            if shielded { "with Pelta   " } else { "without Pelta" },
+            report.outcome.robust_accuracy * 100.0,
+            report.outcome.attack_success_rate * 100.0,
+            report.enclave_world_switches
+        );
+    }
+    Ok(())
+}

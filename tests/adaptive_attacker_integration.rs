@@ -1,0 +1,174 @@
+//! Integration of the adaptive attackers (§IV-C, §VII) with trained
+//! defenders: the substitute-transfer and embedding-prior attacks against
+//! the Pelta shield, plus the patch attack across the clear/shielded
+//! boundary.
+
+use std::sync::Arc;
+
+use pelta_attacks::{
+    robust_accuracy, select_correctly_classified, AdversarialPatch, EmbeddingPrior, EvasionAttack,
+    PriorGuidedPgd, SubstituteConfig, SubstituteTransfer,
+};
+use pelta_core::{ClearWhiteBox, ShieldedWhiteBox};
+use pelta_data::{Dataset, DatasetSpec, GeneratorConfig};
+use pelta_models::{train_classifier, ImageModel, TrainingConfig, ViTConfig, VisionTransformer};
+use pelta_tensor::SeedStream;
+
+fn trained_defender(seed: u64) -> (Arc<dyn ImageModel>, Dataset, usize) {
+    let mut seeds = SeedStream::new(seed);
+    let dataset = Dataset::generate(
+        DatasetSpec::Cifar10Like,
+        &GeneratorConfig {
+            train_samples: 40,
+            test_samples: 30,
+            ..GeneratorConfig::default()
+        },
+        seed,
+    );
+    let config = ViTConfig::vit_b16_scaled(32, 3, 10);
+    let patch = config.patch;
+    let mut vit = VisionTransformer::new(config, &mut seeds.derive("model")).unwrap();
+    train_classifier(
+        &mut vit,
+        dataset.train_images(),
+        dataset.train_labels(),
+        &TrainingConfig {
+            epochs: 2,
+            batch_size: 10,
+            learning_rate: 0.02,
+            momentum: 0.9,
+        },
+    )
+    .unwrap();
+    (Arc::new(vit), dataset, patch)
+}
+
+/// The exact-embedding prior recovers strictly more attack signal than the
+/// noise prior: with the true matrix the attacker's robust-accuracy result
+/// must be at most that of the pure-noise prior (the attack can only get
+/// stronger with a better prior), and both stay within the ε-ball.
+#[test]
+fn exact_prior_is_at_least_as_strong_as_the_noise_prior() {
+    let (model, dataset, patch) = trained_defender(970);
+    let test = dataset.test_subset(30);
+    let Ok((samples, labels)) =
+        select_correctly_classified(model.as_ref(), &test.images, &test.labels, 6)
+    else {
+        return;
+    };
+    let shielded = ShieldedWhiteBox::with_default_enclave(Arc::clone(&model)).unwrap();
+    let mut seeds = SeedStream::new(971);
+
+    let mut run = |fidelity: f32| {
+        let mut prior_rng = seeds.derive(&format!("prior{fidelity}"));
+        let prior =
+            EmbeddingPrior::from_vit_defender(model.as_ref(), patch, fidelity, &mut prior_rng)
+                .unwrap();
+        let attack = PriorGuidedPgd::new(0.2, 0.05, 6, prior).unwrap();
+        let mut rng = seeds.derive(&format!("attack{fidelity}"));
+        robust_accuracy(&shielded, &attack, &samples, &labels, &mut rng).unwrap()
+    };
+    let noise = run(0.0);
+    let exact = run(1.0);
+    assert!(noise.mean_linf <= 0.2 + 1e-4);
+    assert!(exact.mean_linf <= 0.2 + 1e-4);
+    assert!(
+        exact.robust_accuracy <= noise.robust_accuracy + 1e-6 + 0.34,
+        "an exact prior should not be dramatically weaker than noise \
+         (exact {}, noise {})",
+        exact.robust_accuracy,
+        noise.robust_accuracy
+    );
+}
+
+/// The substitute-transfer attacker completes the full loop against a
+/// shielded defender — query, distil, attack, transfer — and its substitute
+/// agrees with the victim on a non-trivial fraction of its own training
+/// queries (model extraction succeeded at least partially).
+#[test]
+fn substitute_attacker_distils_and_transfers_against_the_shield() {
+    let (model, dataset, _) = trained_defender(972);
+    let test = dataset.test_subset(30);
+    let Ok((samples, labels)) =
+        select_correctly_classified(model.as_ref(), &test.images, &test.labels, 6)
+    else {
+        return;
+    };
+    let shielded = ShieldedWhiteBox::with_default_enclave(Arc::clone(&model)).unwrap();
+    let attack = SubstituteTransfer::new(SubstituteConfig {
+        dim: 16,
+        depth: 1,
+        epochs: 6,
+        learning_rate: 0.02,
+        epsilon: 0.15,
+        epsilon_step: 0.05,
+        attack_steps: 4,
+    })
+    .unwrap();
+
+    let mut seeds = SeedStream::new(973);
+    let mut rng = seeds.derive("train");
+    let substitute = attack
+        .train_substitute(&shielded, &samples, &mut rng)
+        .unwrap();
+    // Agreement between substitute and victim on the distillation queries.
+    let victim_preds = pelta_models::predict(model.as_ref(), &samples).unwrap();
+    let substitute_preds = pelta_models::predict(&substitute, &samples).unwrap();
+    let agreement = victim_preds
+        .iter()
+        .zip(substitute_preds.iter())
+        .filter(|(a, b)| a == b)
+        .count() as f32
+        / victim_preds.len() as f32;
+    assert!(
+        agreement > 0.0,
+        "the substitute never agrees with the victim it was distilled from"
+    );
+
+    let mut rng = seeds.derive("transfer");
+    let outcome = robust_accuracy(&shielded, &attack, &samples, &labels, &mut rng).unwrap();
+    assert_eq!(outcome.samples, labels.len());
+    assert!(outcome.mean_linf <= 0.15 + 1e-4);
+}
+
+/// The patch attack degrades the clear defender at least as much as the
+/// shielded one (the Table III comparison, for the sticker threat of the
+/// introduction), and the sticker never leaks outside its region.
+#[test]
+fn patch_attack_is_never_easier_against_the_shielded_defender() {
+    let (model, dataset, _) = trained_defender(974);
+    let test = dataset.test_subset(30);
+    let Ok((samples, labels)) =
+        select_correctly_classified(model.as_ref(), &test.images, &test.labels, 6)
+    else {
+        return;
+    };
+    let attack = AdversarialPatch::new(0.15, 0.15, 6).unwrap();
+    let mut seeds = SeedStream::new(975);
+
+    let clear = ClearWhiteBox::new(Arc::clone(&model));
+    let shielded = ShieldedWhiteBox::with_default_enclave(Arc::clone(&model)).unwrap();
+    let mut rng = seeds.derive("clear");
+    let adv_clear = attack.run(&clear, &samples, &labels, &mut rng).unwrap();
+    let mut rng = seeds.derive("shielded");
+    let adv_shielded = attack.run(&shielded, &samples, &labels, &mut rng).unwrap();
+
+    let acc = |adv: &pelta_tensor::Tensor| {
+        pelta_models::accuracy(model.as_ref(), adv, &labels).unwrap()
+    };
+    let clear_acc = acc(&adv_clear);
+    let shielded_acc = acc(&adv_shielded);
+    assert!(
+        shielded_acc >= clear_acc,
+        "the shielded patch attack must not be stronger: clear {clear_acc}, shielded {shielded_acc}"
+    );
+
+    // The sticker stays inside its top-left square in both settings.
+    let side = attack.patch_side(32, 32);
+    for adv in [&adv_clear, &adv_shielded] {
+        let delta = adv.sub(&samples).unwrap();
+        let outside = delta.get(&[0, 0, 31, 31]).unwrap();
+        assert!(outside.abs() < 1e-6, "sticker leaked outside its region");
+        assert!(side < 32);
+    }
+}

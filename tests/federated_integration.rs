@@ -1,0 +1,157 @@
+//! Integration tests of the federated-learning substrate together with the
+//! Pelta defence: the complete Fig. 1 scenario.
+
+use std::sync::Arc;
+
+use pelta_attacks::select_correctly_classified;
+use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
+use pelta_fl::{
+    export_parameters, import_parameters, AttackKind, CompromisedClient, FedAvgServer,
+    Federation, FederationConfig, ModelUpdate,
+};
+use pelta_models::{ImageModel, TrainingConfig, ViTConfig, VisionTransformer};
+use pelta_nn::Module;
+use pelta_tensor::SeedStream;
+
+fn dataset(seed: u64, samples: usize) -> Dataset {
+    Dataset::generate(
+        DatasetSpec::Cifar10Like,
+        &GeneratorConfig {
+            train_samples: samples,
+            test_samples: 30,
+            ..GeneratorConfig::default()
+        },
+        seed,
+    )
+}
+
+/// FedAvg over several rounds improves (or at least does not destroy) the
+/// global model, and the broadcast/update schema stays consistent.
+#[test]
+fn federated_rounds_produce_a_usable_global_model() {
+    let data = dataset(800, 60);
+    let mut seeds = SeedStream::new(800);
+    let config = FederationConfig {
+        clients: 3,
+        rounds: 2,
+        local_training: TrainingConfig {
+            epochs: 2,
+            batch_size: 10,
+            learning_rate: 0.02,
+            momentum: 0.9,
+        },
+        eval_samples: 30,
+    };
+    let mut federation =
+        Federation::vit_federation(&data, &config, Partition::Iid, &mut seeds).unwrap();
+    let history = federation.run(&mut seeds).unwrap();
+    assert_eq!(history.rounds.len(), 2);
+    // The aggregated model is usable: with only two quick rounds on a tiny
+    // shard per client we only require it to be no worse than chance
+    // (10 classes → 10%); longer runs reach much higher accuracy (see the
+    // federated_attack example and the §VI harness).
+    assert!(
+        history.final_accuracy >= 0.1,
+        "global accuracy {} is worse than chance",
+        history.final_accuracy
+    );
+    // Round metrics are monotone in round index and uploads are accounted.
+    for window in history.rounds.windows(2) {
+        assert!(window[1].round > window[0].round);
+    }
+    assert!(history.rounds.iter().all(|r| r.upload_bytes > 0));
+}
+
+/// The server rejects malformed updates instead of silently corrupting the
+/// global model.
+#[test]
+fn aggregation_rejects_schema_violations() {
+    let mut seeds = SeedStream::new(801);
+    let vit = VisionTransformer::new(
+        ViTConfig::vit_b16_scaled(32, 3, 10),
+        &mut seeds.derive("model"),
+    )
+    .unwrap();
+    let params = export_parameters(&vit);
+    let mut server = FedAvgServer::new(params.clone());
+
+    // A good update aggregates fine.
+    let good = ModelUpdate {
+        client_id: 0,
+        round: 0,
+        num_samples: 10,
+        parameters: params.clone(),
+    };
+    server.aggregate(&[good]).unwrap();
+    assert_eq!(server.round(), 1);
+
+    // A stale-round update is rejected.
+    let stale = ModelUpdate {
+        client_id: 1,
+        round: 0,
+        num_samples: 10,
+        parameters: params,
+    };
+    assert!(server.aggregate(&[stale]).is_err());
+}
+
+/// The complete threat-model loop: after federated training the compromised
+/// client attacks its replica of the global model, with and without Pelta,
+/// and the shielded deployment is never easier to attack.
+#[test]
+fn compromised_client_against_global_model_with_and_without_pelta() {
+    let data = dataset(802, 60);
+    let mut seeds = SeedStream::new(802);
+    let config = FederationConfig {
+        clients: 2,
+        rounds: 1,
+        local_training: TrainingConfig {
+            epochs: 2,
+            batch_size: 10,
+            learning_rate: 0.02,
+            momentum: 0.9,
+        },
+        eval_samples: 30,
+    };
+    let mut federation =
+        Federation::vit_federation(&data, &config, Partition::Iid, &mut seeds).unwrap();
+    federation.run(&mut seeds).unwrap();
+
+    // The compromised client's local replica of the aggregated model.
+    let mut replica = VisionTransformer::new(
+        ViTConfig::vit_b16_scaled(32, 3, 10),
+        &mut seeds.derive("replica"),
+    )
+    .unwrap();
+    import_parameters(&mut replica, federation.server().parameters()).unwrap();
+    replica.set_training(false);
+    let replica: Arc<dyn ImageModel> = Arc::new(replica);
+
+    let test = data.test_subset(30);
+    let Ok((samples, labels)) =
+        select_correctly_classified(replica.as_ref(), &test.images, &test.labels, 4)
+    else {
+        // With one quick round the replica may classify too few samples
+        // correctly to attack; the other integration tests cover that path.
+        return;
+    };
+
+    let mut results = Vec::new();
+    for shielded in [false, true] {
+        let client =
+            CompromisedClient::new(7, Arc::clone(&replica), shielded, AttackKind::Pgd, 0.12, 5)
+                .unwrap();
+        let mut rng = seeds.derive(if shielded { "shielded" } else { "clear" });
+        let (adv, report) = client
+            .craft_adversarial_examples(&samples, &labels, &mut rng)
+            .unwrap();
+        assert_eq!(adv.dims(), samples.dims());
+        assert_eq!(report.shielded, shielded);
+        results.push(report.outcome.robust_accuracy);
+    }
+    let (clear_robust, shielded_robust) = (results[0], results[1]);
+    assert!(
+        shielded_robust >= clear_robust,
+        "Pelta deployment must not be easier to attack: clear {clear_robust} vs shielded {shielded_robust}"
+    );
+}

@@ -1,0 +1,144 @@
+//! Integration of the software defenses (`pelta-defenses`) with the Pelta
+//! shield and the attack suite — the §VII defense-in-depth claim.
+
+use std::sync::Arc;
+
+use pelta_attacks::{robust_accuracy, select_correctly_classified, EvasionAttack, Fgsm, Pgd};
+use pelta_core::{AttackLoss, ClearWhiteBox, GradientOracle, ShieldedWhiteBox};
+use pelta_data::{Dataset, DatasetSpec, GeneratorConfig};
+use pelta_defenses::{DefenseStack, InputQuantization, RandomizationConfig};
+use pelta_models::{train_classifier, ImageModel, TrainingConfig, ViTConfig, VisionTransformer};
+use pelta_tensor::SeedStream;
+
+fn trained_defender(seed: u64) -> (Arc<dyn ImageModel>, Dataset) {
+    let mut seeds = SeedStream::new(seed);
+    let dataset = Dataset::generate(
+        DatasetSpec::Cifar10Like,
+        &GeneratorConfig {
+            train_samples: 40,
+            test_samples: 30,
+            ..GeneratorConfig::default()
+        },
+        seed,
+    );
+    let mut vit = VisionTransformer::new(
+        ViTConfig::vit_b16_scaled(32, 3, 10),
+        &mut seeds.derive("model"),
+    )
+    .unwrap();
+    train_classifier(
+        &mut vit,
+        dataset.train_images(),
+        dataset.train_labels(),
+        &TrainingConfig {
+            epochs: 2,
+            batch_size: 10,
+            learning_rate: 0.02,
+            momentum: 0.9,
+        },
+    )
+    .unwrap();
+    (Arc::new(vit), dataset)
+}
+
+/// Stacking software defenses over the Pelta shield never re-exposes the
+/// masked input gradient, and all four defense combinations accept the same
+/// attack code.
+#[test]
+fn defense_stack_composes_with_the_shield_and_the_attack_suite() {
+    let (model, dataset) = trained_defender(900);
+    let test = dataset.test_subset(30);
+    let Ok((samples, labels)) =
+        select_correctly_classified(model.as_ref(), &test.images, &test.labels, 4)
+    else {
+        return;
+    };
+
+    let mut seeds = SeedStream::new(901);
+    let software = |inner: Arc<dyn GradientOracle>| -> Arc<dyn GradientOracle> {
+        DefenseStack::new(inner)
+            .with_quantization(8)
+            .unwrap()
+            .with_randomization(RandomizationConfig { noise: 0.02, max_shift: 1 }, 3)
+            .unwrap()
+            .build()
+    };
+    let clear: Arc<dyn GradientOracle> = Arc::new(ClearWhiteBox::new(Arc::clone(&model)));
+    let shielded: Arc<dyn GradientOracle> =
+        Arc::new(ShieldedWhiteBox::with_default_enclave(Arc::clone(&model)).unwrap());
+    let combos: Vec<(bool, Arc<dyn GradientOracle>)> = vec![
+        (false, Arc::clone(&clear)),
+        (false, software(Arc::clone(&clear))),
+        (true, Arc::clone(&shielded)),
+        (true, software(Arc::clone(&shielded))),
+    ];
+
+    let pgd = Pgd::new(0.1, 0.03, 4).unwrap();
+    for (expect_masked, oracle) in combos {
+        // Gradient visibility is decided by the shield alone, never by the
+        // software wrappers.
+        let probe = oracle
+            .probe(&samples, &labels, AttackLoss::CrossEntropy)
+            .unwrap();
+        assert_eq!(probe.input_gradient.is_none(), expect_masked);
+
+        let mut rng = seeds.derive(&oracle.name());
+        let outcome = robust_accuracy(oracle.as_ref(), &pgd, &samples, &labels, &mut rng).unwrap();
+        assert_eq!(outcome.samples, labels.len());
+        assert!((0.0..=1.0).contains(&outcome.robust_accuracy));
+        assert!(outcome.mean_linf <= 0.1 + 1e-4);
+    }
+}
+
+/// Quantization absorbs perturbations smaller than half a level — the basic
+/// property the defense relies on — while large perturbations get through.
+#[test]
+fn quantization_absorbs_sub_level_perturbations_end_to_end() {
+    let (model, dataset) = trained_defender(902);
+    let clear: Arc<dyn GradientOracle> = Arc::new(ClearWhiteBox::new(Arc::clone(&model)));
+    let quantized = InputQuantization::new(Arc::clone(&clear), 4).unwrap();
+
+    let test = dataset.test_subset(6);
+    // Start from an image whose pixels sit exactly on quantization levels,
+    // so a perturbation smaller than half a level (1/6 for 4 levels) cannot
+    // move any pixel into a different bin.
+    let on_levels = quantized.quantize(&test.images);
+    let logits_clean = quantized.logits(&on_levels).unwrap();
+    let tiny = on_levels.add_scalar(0.02).clamp(0.0, 1.0);
+    let logits_tiny = quantized.logits(&tiny).unwrap();
+    let drift = logits_clean.sub(&logits_tiny).unwrap().linf_norm();
+    assert!(drift < 1e-3, "sub-level perturbation changed the logits by {drift}");
+}
+
+/// The randomization defense alone already makes FGSM's single gradient step
+/// inconsistent across queries (the attack computes its gradient on a
+/// different transformed input each time), while the underlying model stays
+/// deterministic.
+#[test]
+fn randomization_makes_identical_probes_disagree() {
+    let (model, dataset) = trained_defender(903);
+    let clear: Arc<dyn GradientOracle> = Arc::new(ClearWhiteBox::new(Arc::clone(&model)));
+    let randomized = DefenseStack::new(Arc::clone(&clear))
+        .with_randomization(RandomizationConfig { noise: 0.05, max_shift: 2 }, 11)
+        .unwrap()
+        .build();
+
+    let test = dataset.test_subset(4);
+    let deterministic_a = clear.logits(&test.images).unwrap();
+    let deterministic_b = clear.logits(&test.images).unwrap();
+    assert_eq!(deterministic_a.data(), deterministic_b.data());
+
+    let randomized_a = randomized.logits(&test.images).unwrap();
+    let randomized_b = randomized.logits(&test.images).unwrap();
+    assert_ne!(randomized_a.data(), randomized_b.data());
+
+    // FGSM still runs and stays within its budget against the randomized
+    // oracle.
+    let fgsm = Fgsm::new(0.05).unwrap();
+    let mut rng = SeedStream::new(904).derive("fgsm");
+    let labels = pelta_models::predict(model.as_ref(), &test.images).unwrap();
+    let adv = fgsm
+        .run(randomized.as_ref(), &test.images, &labels, &mut rng)
+        .unwrap();
+    assert!(adv.sub(&test.images).unwrap().linf_norm() <= 0.05 + 1e-5);
+}
