@@ -55,7 +55,8 @@ impl Apgd {
         start: &Tensor,
     ) -> Result<(Tensor, f32)> {
         let batch = images.dims()[0];
-        let mut upsampler = AdjointUpsampler::new([images.dims()[1], images.dims()[2], images.dims()[3]]);
+        let mut upsampler =
+            AdjointUpsampler::new([images.dims()[1], images.dims()[2], images.dims()[3]]);
         let mut step_size = 2.0 * self.epsilon;
         let mut current = start.clone();
         let mut previous = start.clone();
@@ -168,7 +169,10 @@ mod tests {
         let oracle = ClearWhiteBox::new(Arc::new(vit) as Arc<dyn ImageModel>);
         let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.3, 0.7, &mut seeds.derive("x"));
         let labels = [0usize, 1];
-        let before = oracle.probe(&x, &labels, AttackLoss::CrossEntropy).unwrap().loss;
+        let before = oracle
+            .probe(&x, &labels, AttackLoss::CrossEntropy)
+            .unwrap()
+            .loss;
 
         let attack = Apgd::new(0.1, 8, 0.75, 2).unwrap();
         assert_eq!(attack.name(), "APGD");
@@ -176,7 +180,10 @@ mod tests {
         let adv = attack.run(&oracle, &x, &labels, &mut rng).unwrap();
         assert!(adv.sub(&x).unwrap().linf_norm() <= 0.1 + 1e-5);
         assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
-        let after = oracle.probe(&adv, &labels, AttackLoss::CrossEntropy).unwrap().loss;
+        let after = oracle
+            .probe(&adv, &labels, AttackLoss::CrossEntropy)
+            .unwrap()
+            .loss;
         assert!(
             after >= before,
             "APGD should not decrease the loss ({before} → {after})"

@@ -53,7 +53,7 @@ impl EvasionAttack for RandomUniform {
     ) -> Result<Tensor> {
         let noise = Tensor::rand_uniform(images.dims(), -1.0, 1.0, rng).sign();
         let candidate = images.axpy(self.epsilon, &noise)?;
-        Ok(project_linf(&candidate, images, self.epsilon)?)
+        project_linf(&candidate, images, self.epsilon)
     }
 }
 
@@ -89,7 +89,10 @@ mod tests {
         let adv = attack.run(&oracle, &x, &[0, 1, 2], &mut rng).unwrap();
         let delta = adv.sub(&x).unwrap();
         assert!(delta.linf_norm() <= 0.03 + 1e-6);
-        assert!(delta.linf_norm() > 0.02, "noise should use most of the budget");
+        assert!(
+            delta.linf_norm() > 0.02,
+            "noise should use most of the budget"
+        );
         assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 }

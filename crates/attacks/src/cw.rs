@@ -37,7 +37,12 @@ impl CarliniWagner {
     ///
     /// # Errors
     /// Returns an error if the step size or iteration count is non-positive.
-    pub fn with_l2_weight(confidence: f32, step: f32, steps: usize, l2_weight: f32) -> Result<Self> {
+    pub fn with_l2_weight(
+        confidence: f32,
+        step: f32,
+        steps: usize,
+        l2_weight: f32,
+    ) -> Result<Self> {
         if step <= 0.0 || steps == 0 || confidence < 0.0 || l2_weight < 0.0 {
             return Err(AttackError::InvalidConfig {
                 attack: "C&W",
@@ -66,7 +71,8 @@ impl EvasionAttack for CarliniWagner {
         rng: &mut ChaCha8Rng,
     ) -> Result<Tensor> {
         let batch = images.dims()[0];
-        let mut upsampler = AdjointUpsampler::new([images.dims()[1], images.dims()[2], images.dims()[3]]);
+        let mut upsampler =
+            AdjointUpsampler::new([images.dims()[1], images.dims()[2], images.dims()[3]]);
         let mut current = images.clone();
         // The attack uses a large effective step because the margin gradient
         // is sparse (±1 on two logits per sample); scale by a factor that

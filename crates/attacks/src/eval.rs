@@ -114,7 +114,9 @@ pub fn outcome_from_samples(
     let mut linf_sum = 0.0f32;
     let mut l2_sum = 0.0f32;
     for i in 0..n {
-        let delta = adversarial.index_axis(0, i)?.sub(&clean.index_axis(0, i)?)?;
+        let delta = adversarial
+            .index_axis(0, i)?
+            .sub(&clean.index_axis(0, i)?)?;
         linf_sum += delta.linf_norm();
         l2_sum += delta.l2_norm();
     }

@@ -43,11 +43,12 @@ impl EvasionAttack for Fgsm {
         rng: &mut ChaCha8Rng,
     ) -> Result<Tensor> {
         let batch = images.dims()[0];
-        let mut upsampler = AdjointUpsampler::new([images.dims()[1], images.dims()[2], images.dims()[3]]);
+        let mut upsampler =
+            AdjointUpsampler::new([images.dims()[1], images.dims()[2], images.dims()[3]]);
         let probe = oracle.probe(images, labels, AttackLoss::CrossEntropy)?;
         let grad = effective_input_gradient(&probe, &mut upsampler, batch, rng)?;
         let candidate = images.axpy(self.epsilon, &grad.sign())?;
-        Ok(project_linf(&candidate, images, self.epsilon)?)
+        project_linf(&candidate, images, self.epsilon)
     }
 }
 
@@ -98,7 +99,8 @@ impl EvasionAttack for Pgd {
         rng: &mut ChaCha8Rng,
     ) -> Result<Tensor> {
         let batch = images.dims()[0];
-        let mut upsampler = AdjointUpsampler::new([images.dims()[1], images.dims()[2], images.dims()[3]]);
+        let mut upsampler =
+            AdjointUpsampler::new([images.dims()[1], images.dims()[2], images.dims()[3]]);
         let mut current = images.clone();
         for _ in 0..self.steps {
             let probe = oracle.probe(&current, labels, AttackLoss::CrossEntropy)?;
@@ -154,7 +156,8 @@ impl EvasionAttack for Mim {
         rng: &mut ChaCha8Rng,
     ) -> Result<Tensor> {
         let batch = images.dims()[0];
-        let mut upsampler = AdjointUpsampler::new([images.dims()[1], images.dims()[2], images.dims()[3]]);
+        let mut upsampler =
+            AdjointUpsampler::new([images.dims()[1], images.dims()[2], images.dims()[3]]);
         let mut current = images.clone();
         let mut velocity = Tensor::zeros(images.dims());
         for _ in 0..self.steps {
@@ -182,7 +185,11 @@ mod tests {
 
     fn trained_vit(seed: u64) -> (Arc<VisionTransformer>, Tensor, Vec<usize>) {
         // A tiny two-class problem the model learns almost perfectly, so
-        // attacks have a meaningful decision boundary to cross.
+        // attacks have a meaningful decision boundary to cross. The classes
+        // differ in overall brightness: a top-half/bottom-half split has
+        // identical patch means, which leaves a depth-1 ViT's class token
+        // with no first-order signal and makes convergence a seed lottery
+        // (the loss plateaus at ln 2).
         use pelta_models::{train_classifier, TrainingConfig};
         use rand::Rng;
         let mut seeds = SeedStream::new(seed);
@@ -194,9 +201,9 @@ mod tests {
             let class = i % 2;
             labels.push(class);
             for _c in 0..3 {
-                for y in 0..8 {
+                for _y in 0..8 {
                     for _x in 0..8 {
-                        let bright = if (class == 0) == (y < 4) { 0.8 } else { 0.2 };
+                        let bright = if class == 0 { 0.8 } else { 0.2 };
                         data.push(bright + rng.gen_range(-0.05..0.05f32));
                     }
                 }

@@ -160,8 +160,11 @@ mod tests {
     fn vit(seed: u64) -> Arc<dyn ImageModel> {
         let mut seeds = SeedStream::new(seed);
         Arc::new(
-            VisionTransformer::new(ViTConfig::vit_b16_scaled(8, 3, 4), &mut seeds.derive("init"))
-                .unwrap(),
+            VisionTransformer::new(
+                ViTConfig::vit_b16_scaled(8, 3, 4),
+                &mut seeds.derive("init"),
+            )
+            .unwrap(),
         )
     }
 
@@ -228,8 +231,7 @@ mod tests {
         let mut seeds = SeedStream::new(43);
         let images = Tensor::rand_uniform(&[1, 3, 8, 8], 0.2, 0.8, &mut seeds.derive("x"));
         let labels = predict(model.as_ref(), &images).unwrap();
-        let attack =
-            AdversarialPatch::with_placement(0.1, 0.2, 2, PatchPlacement::Center).unwrap();
+        let attack = AdversarialPatch::with_placement(0.1, 0.2, 2, PatchPlacement::Center).unwrap();
         let oracle = ClearWhiteBox::new(Arc::clone(&model));
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let adv = attack.run(&oracle, &images, &labels, &mut rng).unwrap();

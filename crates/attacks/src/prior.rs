@@ -44,10 +44,18 @@ impl EmbeddingPrior {
     /// # Errors
     /// Returns an error if the matrix is not two-dimensional or its second
     /// dimension is not `channels · patch²`.
-    pub fn from_matrix(unembed: Tensor, channels: usize, patch: usize, fidelity: f32) -> Result<Self> {
+    pub fn from_matrix(
+        unembed: Tensor,
+        channels: usize,
+        patch: usize,
+        fidelity: f32,
+    ) -> Result<Self> {
         if unembed.rank() != 2 {
             return Err(AttackError::InvalidInput {
-                reason: format!("embedding prior must be a matrix, got rank {}", unembed.rank()),
+                reason: format!(
+                    "embedding prior must be a matrix, got rank {}",
+                    unembed.rank()
+                ),
             });
         }
         if unembed.dims()[1] != channels * patch * patch {
@@ -114,7 +122,9 @@ impl EmbeddingPrior {
         };
         let scale = exact.linf_norm().max(1e-6);
         let noise = Tensor::rand_uniform(exact.dims(), -scale, scale, rng);
-        let blended = exact.mul_scalar(fidelity).add(&noise.mul_scalar(1.0 - fidelity))?;
+        let blended = exact
+            .mul_scalar(fidelity)
+            .add(&noise.mul_scalar(1.0 - fidelity))?;
         Self::from_matrix(blended, channels, patch, fidelity)
     }
 
@@ -154,7 +164,10 @@ impl EmbeddingPrior {
         let side = (tokens as f64).sqrt().round() as usize;
         if side * side != tokens || side * self.patch != h || side * self.patch != w {
             return Err(AttackError::InvalidInput {
-                reason: format!("cannot map {tokens} tokens onto a {h}x{w} image with patch {}", self.patch),
+                reason: format!(
+                    "cannot map {tokens} tokens onto a {h}x{w} image with patch {}",
+                    self.patch
+                ),
             });
         }
         let patch = self.patch;
@@ -291,7 +304,9 @@ mod tests {
                 .unwrap();
         let mut seeds = SeedStream::new(72);
         let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.2, 0.8, &mut seeds.derive("x"));
-        let probe = shielded.probe(&x, &[0, 1], AttackLoss::CrossEntropy).unwrap();
+        let probe = shielded
+            .probe(&x, &[0, 1], AttackLoss::CrossEntropy)
+            .unwrap();
         assert!(probe.input_gradient.is_none());
         let guessed = prior.unembed_adjoint(&probe.clear_adjoint, 8, 8).unwrap();
         assert_eq!(guessed.dims(), &[2, 3, 8, 8]);

@@ -79,14 +79,16 @@ impl Saga {
         let mut current = images.clone();
         for _ in 0..self.params.steps {
             // CNN term: α_k · ∂L_k/∂x.
-            let cnn_probe = target.cnn.probe(&current, labels, AttackLoss::CrossEntropy)?;
-            let cnn_grad =
-                effective_input_gradient(&cnn_probe, &mut cnn_upsampler, batch, rng)?;
+            let cnn_probe = target
+                .cnn
+                .probe(&current, labels, AttackLoss::CrossEntropy)?;
+            let cnn_grad = effective_input_gradient(&cnn_probe, &mut cnn_upsampler, batch, rng)?;
 
             // ViT term: α_v · ϕ_v ⊙ ∂L_v/∂x.
-            let vit_probe = target.vit.probe(&current, labels, AttackLoss::CrossEntropy)?;
-            let vit_grad =
-                effective_input_gradient(&vit_probe, &mut vit_upsampler, batch, rng)?;
+            let vit_probe = target
+                .vit
+                .probe(&current, labels, AttackLoss::CrossEntropy)?;
+            let vit_grad = effective_input_gradient(&vit_probe, &mut vit_upsampler, batch, rng)?;
             let vit_grad = match &vit_probe.attention_rollout {
                 Some(rollout) => vit_grad.mul(rollout)?,
                 None => vit_grad,
@@ -106,9 +108,7 @@ impl Saga {
 mod tests {
     use super::*;
     use pelta_core::{ClearWhiteBox, ShieldedWhiteBox};
-    use pelta_models::{
-        BigTransfer, BitConfig, ImageModel, ViTConfig, VisionTransformer,
-    };
+    use pelta_models::{BigTransfer, BitConfig, ImageModel, ViTConfig, VisionTransformer};
     use pelta_tensor::SeedStream;
     use rand::SeedableRng;
     use std::sync::Arc;
@@ -183,18 +183,48 @@ mod tests {
         let shielded_bit = ShieldedWhiteBox::with_default_enclave(Arc::clone(&bit)).unwrap();
 
         let settings: Vec<(&str, SagaTarget<'_>)> = vec![
-            ("none", SagaTarget { vit: &clear_vit, cnn: &clear_bit }),
-            ("vit_only", SagaTarget { vit: &shielded_vit, cnn: &clear_bit }),
-            ("bit_only", SagaTarget { vit: &clear_vit, cnn: &shielded_bit }),
-            ("both", SagaTarget { vit: &shielded_vit, cnn: &shielded_bit }),
+            (
+                "none",
+                SagaTarget {
+                    vit: &clear_vit,
+                    cnn: &clear_bit,
+                },
+            ),
+            (
+                "vit_only",
+                SagaTarget {
+                    vit: &shielded_vit,
+                    cnn: &clear_bit,
+                },
+            ),
+            (
+                "bit_only",
+                SagaTarget {
+                    vit: &clear_vit,
+                    cnn: &shielded_bit,
+                },
+            ),
+            (
+                "both",
+                SagaTarget {
+                    vit: &shielded_vit,
+                    cnn: &shielded_bit,
+                },
+            ),
         ];
         for (name, target) in settings {
             let mut rng = ChaCha8Rng::seed_from_u64(7);
             let adv = saga.run_ensemble(&target, &x, &labels, &mut rng).unwrap();
             assert_eq!(adv.dims(), x.dims(), "setting {name}");
             let delta = adv.sub(&x).unwrap();
-            assert!(delta.linf_norm() <= 0.1 + 1e-5, "setting {name} escaped the ball");
-            assert!(delta.linf_norm() > 0.0, "setting {name} produced no perturbation");
+            assert!(
+                delta.linf_norm() <= 0.1 + 1e-5,
+                "setting {name} escaped the ball"
+            );
+            assert!(
+                delta.linf_norm() > 0.0,
+                "setting {name} produced no perturbation"
+            );
         }
     }
 
@@ -218,7 +248,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let adv = saga
             .run_ensemble(
-                &SagaTarget { vit: &clear_vit, cnn: &clear_bit },
+                &SagaTarget {
+                    vit: &clear_vit,
+                    cnn: &clear_bit,
+                },
                 &x,
                 &[2],
                 &mut rng,

@@ -193,8 +193,11 @@ mod tests {
     fn victim(seed: u64) -> Arc<dyn ImageModel> {
         let mut seeds = SeedStream::new(seed);
         Arc::new(
-            VisionTransformer::new(ViTConfig::vit_b16_scaled(8, 3, 4), &mut seeds.derive("init"))
-                .unwrap(),
+            VisionTransformer::new(
+                ViTConfig::vit_b16_scaled(8, 3, 4),
+                &mut seeds.derive("init"),
+            )
+            .unwrap(),
         )
     }
 
@@ -260,8 +263,7 @@ mod tests {
         assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
 
         // The transferred samples are still evaluable on the victim.
-        let outcome =
-            outcome_from_samples(&oracle, attack.name(), &images, &adv, &labels).unwrap();
+        let outcome = outcome_from_samples(&oracle, attack.name(), &images, &adv, &labels).unwrap();
         assert_eq!(outcome.samples, 4);
         assert!((0.0..=1.0).contains(&outcome.robust_accuracy));
     }

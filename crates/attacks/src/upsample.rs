@@ -230,7 +230,8 @@ mod tests {
     fn upsampler_is_deterministic_given_rng_and_reuses_kernels() {
         let mut rng1 = ChaCha8Rng::seed_from_u64(5);
         let mut rng2 = ChaCha8Rng::seed_from_u64(5);
-        let adjoint = Tensor::rand_uniform(&[1, 4, 8, 8], -1.0, 1.0, &mut ChaCha8Rng::seed_from_u64(6));
+        let adjoint =
+            Tensor::rand_uniform(&[1, 4, 8, 8], -1.0, 1.0, &mut ChaCha8Rng::seed_from_u64(6));
         let mut up1 = AdjointUpsampler::new([3, 16, 16]);
         let mut up2 = AdjointUpsampler::new([3, 16, 16]);
         let a = up1.upsample(&adjoint, 1, &mut rng1).unwrap();
@@ -246,9 +247,7 @@ mod tests {
     fn invalid_ranks_and_geometry_are_rejected() {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let mut up = AdjointUpsampler::new([3, 8, 8]);
-        assert!(up
-            .upsample(&Tensor::zeros(&[2, 4]), 2, &mut rng)
-            .is_err());
+        assert!(up.upsample(&Tensor::zeros(&[2, 4]), 2, &mut rng).is_err());
         // 7 tokens cannot tile an 8x8 image.
         assert!(up
             .upsample(&Tensor::zeros(&[1, 7, 16]), 1, &mut rng)

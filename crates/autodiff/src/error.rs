@@ -62,7 +62,11 @@ impl fmt::Display for AutodiffError {
                 shape
             ),
             AutodiffError::NoGradient { id } => {
-                write!(f, "node {} has no gradient (it does not influence the loss)", id.index())
+                write!(
+                    f,
+                    "node {} has no gradient (it does not influence the loss)",
+                    id.index()
+                )
             }
             AutodiffError::InvalidArgument { op, reason } => {
                 write!(f, "{op}: invalid argument: {reason}")
@@ -108,6 +112,8 @@ mod tests {
         use std::error::Error;
         let e = AutodiffError::Tensor(TensorError::EmptyTensor { op: "mean" });
         assert!(e.source().is_some());
-        assert!(AutodiffError::UnknownTag { tag: "t".into() }.source().is_none());
+        assert!(AutodiffError::UnknownTag { tag: "t".into() }
+            .source()
+            .is_none());
     }
 }

@@ -50,7 +50,10 @@ pub enum NodeRole {
 impl NodeRole {
     /// Whether the node is a leaf (has no parents).
     pub fn is_leaf(&self) -> bool {
-        matches!(self, NodeRole::Input | NodeRole::Parameter | NodeRole::Constant)
+        matches!(
+            self,
+            NodeRole::Input | NodeRole::Parameter | NodeRole::Constant
+        )
     }
 }
 
@@ -70,8 +73,7 @@ pub struct BackwardCtx<'a> {
 }
 
 /// The vector–Jacobian product of a node: one gradient per parent.
-pub type BackwardFn =
-    Box<dyn Fn(&BackwardCtx<'_>) -> crate::Result<Vec<Tensor>> + Send + Sync>;
+pub type BackwardFn = Box<dyn Fn(&BackwardCtx<'_>) -> crate::Result<Vec<Tensor>> + Send + Sync>;
 
 /// A single node of the computational graph.
 ///

@@ -17,8 +17,12 @@ impl Graph {
             value,
             vec![a, b],
             Box::new(|ctx| {
-                let ga = ctx.grad_output.reduce_to_shape(ctx.parent_values[0].dims())?;
-                let gb = ctx.grad_output.reduce_to_shape(ctx.parent_values[1].dims())?;
+                let ga = ctx
+                    .grad_output
+                    .reduce_to_shape(ctx.parent_values[0].dims())?;
+                let gb = ctx
+                    .grad_output
+                    .reduce_to_shape(ctx.parent_values[1].dims())?;
                 Ok(vec![ga, gb])
             }),
         )
@@ -35,7 +39,9 @@ impl Graph {
             value,
             vec![a, b],
             Box::new(|ctx| {
-                let ga = ctx.grad_output.reduce_to_shape(ctx.parent_values[0].dims())?;
+                let ga = ctx
+                    .grad_output
+                    .reduce_to_shape(ctx.parent_values[0].dims())?;
                 let gb = ctx
                     .grad_output
                     .neg()

@@ -20,10 +20,8 @@ impl Graph {
             Box::new(move |ctx| {
                 let x_val = ctx.parent_values[0];
                 let w_val = ctx.parent_values[1];
-                let gx =
-                    Tensor::conv2d_input_grad(ctx.grad_output, w_val, x_val.dims(), spec)?;
-                let gw =
-                    Tensor::conv2d_weight_grad(x_val, ctx.grad_output, w_val.dims(), spec)?;
+                let gx = Tensor::conv2d_input_grad(ctx.grad_output, w_val, x_val.dims(), spec)?;
+                let gw = Tensor::conv2d_weight_grad(x_val, ctx.grad_output, w_val.dims(), spec)?;
                 Ok(vec![gx, gw])
             }),
         )
@@ -223,7 +221,10 @@ mod tests {
     #[test]
     fn max_pool_routes_gradient_to_argmax() {
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();

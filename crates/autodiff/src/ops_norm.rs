@@ -90,12 +90,7 @@ impl Graph {
     ///
     /// # Errors
     /// Returns an error on shape mismatch.
-    pub fn batch_norm2d_train(
-        &mut self,
-        x: NodeId,
-        gamma: NodeId,
-        beta: NodeId,
-    ) -> Result<NodeId> {
+    pub fn batch_norm2d_train(&mut self, x: NodeId, gamma: NodeId, beta: NodeId) -> Result<NodeId> {
         let x_val = self.value(x)?;
         let c = x_val.dims()[1];
         // Rearranged to [C, N*H*W] each channel is one normalisation row.
@@ -123,8 +118,7 @@ impl Graph {
                 let g_hat = g.mul(&gamma_r)?.permute(&[1, 0, 2, 3])?;
                 let dx_p = normalize_rows_backward(&x_hat_p, &inv_std, g_hat.data(), c, d);
                 let dx = Tensor::from_vec(dx_p, perm.dims())?.permute(&[1, 0, 2, 3])?;
-                let x_hat =
-                    Tensor::from_vec(x_hat_p, perm.dims())?.permute(&[1, 0, 2, 3])?;
+                let x_hat = Tensor::from_vec(x_hat_p, perm.dims())?.permute(&[1, 0, 2, 3])?;
                 let dgamma = g
                     .mul(&x_hat)?
                     .sum_axis(0, false)?

@@ -17,7 +17,11 @@ impl Graph {
             "reshape",
             value,
             vec![x],
-            Box::new(|ctx| Ok(vec![ctx.grad_output.reshape(ctx.parent_values[0].dims())?])),
+            Box::new(|ctx| {
+                Ok(vec![ctx
+                    .grad_output
+                    .reshape(ctx.parent_values[0].dims())?])
+            }),
         )
     }
 
@@ -107,11 +111,7 @@ impl Graph {
         if value.dims() != shape {
             return Err(AutodiffError::InvalidArgument {
                 op: "broadcast_to",
-                reason: format!(
-                    "cannot broadcast {:?} to {:?}",
-                    x_val.dims(),
-                    shape
-                ),
+                reason: format!("cannot broadcast {:?} to {:?}", x_val.dims(), shape),
             });
         }
         self.push_op(
@@ -158,7 +158,11 @@ impl Graph {
             vec![x],
             Box::new(move |ctx| {
                 let parent = ctx.parent_values[0];
-                Ok(vec![patchify_backward(ctx.grad_output, parent.dims(), patch)?])
+                Ok(vec![patchify_backward(
+                    ctx.grad_output,
+                    parent.dims(),
+                    patch,
+                )?])
             }),
         )
     }
@@ -253,8 +257,18 @@ mod tests {
         let loss = g.sum_all(sq).unwrap();
         let grads = g.backward(loss).unwrap();
         // d(x²)/dx = 2x: ones → 2, twos → 4.
-        assert!(grads.get(a).unwrap().data().iter().all(|&v| (v - 2.0).abs() < 1e-6));
-        assert!(grads.get(b).unwrap().data().iter().all(|&v| (v - 4.0).abs() < 1e-6));
+        assert!(grads
+            .get(a)
+            .unwrap()
+            .data()
+            .iter()
+            .all(|&v| (v - 2.0).abs() < 1e-6));
+        assert!(grads
+            .get(b)
+            .unwrap()
+            .data()
+            .iter()
+            .all(|&v| (v - 4.0).abs() < 1e-6));
     }
 
     #[test]
@@ -264,7 +278,10 @@ mod tests {
         let mid = g.narrow(x, 1, 1, 2).unwrap();
         let loss = g.sum_all(mid).unwrap();
         let grads = g.backward(loss).unwrap();
-        assert_eq!(grads.get(x).unwrap().data(), &[0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        assert_eq!(
+            grads.get(x).unwrap().data(),
+            &[0.0, 1.0, 1.0, 0.0, 1.0, 1.0]
+        );
     }
 
     #[test]

@@ -24,7 +24,10 @@ where
         let mut g = Graph::new();
         let xid = g.input(tensor.clone(), "gradcheck_input");
         let loss = build(&mut g, xid).expect("building loss for finite differences");
-        g.value(loss).expect("loss value").item().expect("scalar loss")
+        g.value(loss)
+            .expect("loss value")
+            .item()
+            .expect("scalar loss")
     };
 
     let mut g = Graph::new();
@@ -67,7 +70,10 @@ where
     let loss_of = |tensor: &Tensor| -> f32 {
         let mut g = Graph::new();
         let loss = build(&mut g, tensor).expect("building loss for finite differences");
-        g.value(loss).expect("loss value").item().expect("scalar loss")
+        g.value(loss)
+            .expect("loss value")
+            .item()
+            .expect("scalar loss")
     };
 
     let mut g = Graph::new();

@@ -63,7 +63,9 @@ fn bench_adaptive_attackers(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = ChaCha8Rng::seed_from_u64(10);
             criterion::black_box(
-                substitute.run(&shielded, &images, &labels, &mut rng).unwrap(),
+                substitute
+                    .run(&shielded, &images, &labels, &mut rng)
+                    .unwrap(),
             )
         })
     });

@@ -18,8 +18,11 @@ fn bench_software_stack(c: &mut Criterion) {
 
     let mut seeds = SeedStream::new(21);
     let vit = Arc::new(
-        VisionTransformer::new(ViTConfig::vit_b16_scaled(16, 3, 10), &mut seeds.derive("vit"))
-            .unwrap(),
+        VisionTransformer::new(
+            ViTConfig::vit_b16_scaled(16, 3, 10),
+            &mut seeds.derive("vit"),
+        )
+        .unwrap(),
     );
     let images = Tensor::rand_uniform(&[2, 3, 16, 16], 0.1, 0.9, &mut seeds.derive("x"));
     let labels = predict(vit.as_ref(), &images).unwrap();
@@ -48,7 +51,8 @@ fn bench_software_stack(c: &mut Criterion) {
             b.iter(|| {
                 let mut rng = ChaCha8Rng::seed_from_u64(5);
                 criterion::black_box(
-                    pgd.run(oracle.as_ref(), &images, &labels, &mut rng).unwrap(),
+                    pgd.run(oracle.as_ref(), &images, &labels, &mut rng)
+                        .unwrap(),
                 )
             })
         });

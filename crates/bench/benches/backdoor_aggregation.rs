@@ -54,8 +54,14 @@ fn bench_backdoor_aggregation(c: &mut Criterion) {
 
     for (name, rule) in [
         ("aggregate_fedavg", AggregationRule::FedAvg),
-        ("aggregate_norm_clipping", AggregationRule::NormClipping { max_norm: 1.0 }),
-        ("aggregate_trimmed_mean", AggregationRule::TrimmedMean { trim: 1 }),
+        (
+            "aggregate_norm_clipping",
+            AggregationRule::NormClipping { max_norm: 1.0 },
+        ),
+        (
+            "aggregate_trimmed_mean",
+            AggregationRule::TrimmedMean { trim: 1 },
+        ),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {

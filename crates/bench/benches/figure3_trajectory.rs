@@ -13,8 +13,11 @@ fn bench_figure3(c: &mut Criterion) {
 
     let mut seeds = SeedStream::new(5);
     let vit = Arc::new(
-        VisionTransformer::new(ViTConfig::vit_b16_scaled(16, 3, 10), &mut seeds.derive("vit"))
-            .unwrap(),
+        VisionTransformer::new(
+            ViTConfig::vit_b16_scaled(16, 3, 10),
+            &mut seeds.derive("vit"),
+        )
+        .unwrap(),
     );
     let oracle = ClearWhiteBox::new(vit as _);
     let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.1, 0.9, &mut seeds.derive("x"));

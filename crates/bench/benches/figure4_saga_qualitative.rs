@@ -16,18 +16,30 @@ fn bench_figure4(c: &mut Criterion) {
 
     let mut seeds = SeedStream::new(6);
     let vit = Arc::new(
-        VisionTransformer::new(ViTConfig::vit_b16_scaled(16, 3, 10), &mut seeds.derive("vit"))
-            .unwrap(),
+        VisionTransformer::new(
+            ViTConfig::vit_b16_scaled(16, 3, 10),
+            &mut seeds.derive("vit"),
+        )
+        .unwrap(),
     );
     let bit = Arc::new(
-        BigTransfer::new(BitConfig::bit_r101x3_scaled(3, 10), &mut seeds.derive("bit")).unwrap(),
+        BigTransfer::new(
+            BitConfig::bit_r101x3_scaled(3, 10),
+            &mut seeds.derive("bit"),
+        )
+        .unwrap(),
     );
     let shielded_vit = ShieldedWhiteBox::with_default_enclave(Arc::clone(&vit) as _).unwrap();
     let shielded_bit = ShieldedWhiteBox::with_default_enclave(Arc::clone(&bit) as _).unwrap();
     let sample = Tensor::rand_uniform(&[1, 3, 16, 16], 0.1, 0.9, &mut seeds.derive("x"));
     let label = pelta_models::predict(vit.as_ref(), &sample).unwrap();
     let saga = Saga::new(
-        SagaParams { alpha_cnn: 0.5, alpha_vit: 0.5, step: 0.03, steps: 1 },
+        SagaParams {
+            alpha_cnn: 0.5,
+            alpha_vit: 0.5,
+            step: 0.03,
+            steps: 1,
+        },
         0.06,
     )
     .unwrap();
@@ -37,7 +49,10 @@ fn bench_figure4(c: &mut Criterion) {
             let mut rng = ChaCha8Rng::seed_from_u64(3);
             criterion::black_box(
                 saga.run_ensemble(
-                    &SagaTarget { vit: &shielded_vit, cnn: &shielded_bit },
+                    &SagaTarget {
+                        vit: &shielded_vit,
+                        cnn: &shielded_bit,
+                    },
                     &sample,
                     &label,
                     &mut rng,

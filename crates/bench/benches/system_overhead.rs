@@ -16,8 +16,11 @@ fn bench_overhead(c: &mut Criterion) {
 
     let mut seeds = SeedStream::new(7);
     let vit = Arc::new(
-        VisionTransformer::new(ViTConfig::vit_b16_scaled(16, 3, 10), &mut seeds.derive("vit"))
-            .unwrap(),
+        VisionTransformer::new(
+            ViTConfig::vit_b16_scaled(16, 3, 10),
+            &mut seeds.derive("vit"),
+        )
+        .unwrap(),
     );
     let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.1, 0.9, &mut seeds.derive("x"));
 
@@ -31,14 +34,14 @@ fn bench_overhead(c: &mut Criterion) {
         b.iter(|| criterion::black_box(shielded.logits(&x).unwrap()))
     });
     group.bench_function("backward_probe_shielded", |b| {
-        b.iter(|| {
-            criterion::black_box(shielded.probe(&x, &[0], AttackLoss::CrossEntropy).unwrap())
-        })
+        b.iter(|| criterion::black_box(shielded.probe(&x, &[0], AttackLoss::CrossEntropy).unwrap()))
     });
 
     group.bench_function("enclave_seal_unseal_1mb", |b| {
         let enclave = Enclave::new(EnclaveConfig::trustzone_default());
-        enclave.store_tensor("state", Tensor::zeros(&[262_144])).unwrap();
+        enclave
+            .store_tensor("state", Tensor::zeros(&[262_144]))
+            .unwrap();
         b.iter(|| {
             let blob = enclave.seal("state").unwrap();
             criterion::black_box(blob.len())
@@ -50,8 +53,18 @@ fn bench_overhead(c: &mut Criterion) {
         b.iter(|| {
             let mut server = FedAvgServer::new(params.clone());
             let updates = vec![
-                ModelUpdate { client_id: 0, round: 0, num_samples: 8, parameters: params.clone() },
-                ModelUpdate { client_id: 1, round: 0, num_samples: 8, parameters: params.clone() },
+                ModelUpdate {
+                    client_id: 0,
+                    round: 0,
+                    num_samples: 8,
+                    parameters: params.clone(),
+                },
+                ModelUpdate {
+                    client_id: 1,
+                    round: 0,
+                    num_samples: 8,
+                    parameters: params.clone(),
+                },
             ];
             server.aggregate(&updates).unwrap();
             criterion::black_box(server.round())

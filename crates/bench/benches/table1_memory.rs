@@ -21,8 +21,11 @@ fn bench_table1(c: &mut Criterion) {
 
     let mut seeds = SeedStream::new(1);
     let vit = Arc::new(
-        VisionTransformer::new(ViTConfig::vit_b16_scaled(32, 3, 10), &mut seeds.derive("vit"))
-            .unwrap(),
+        VisionTransformer::new(
+            ViTConfig::vit_b16_scaled(32, 3, 10),
+            &mut seeds.derive("vit"),
+        )
+        .unwrap(),
     );
     let sample = Tensor::rand_uniform(&[1, 3, 32, 32], 0.0, 1.0, &mut seeds.derive("x"));
     group.bench_function("measured_scaled_vit_shield", |b| {

@@ -16,8 +16,11 @@ fn bench_table3(c: &mut Criterion) {
 
     let mut seeds = SeedStream::new(3);
     let vit = Arc::new(
-        VisionTransformer::new(ViTConfig::vit_b16_scaled(16, 3, 10), &mut seeds.derive("vit"))
-            .unwrap(),
+        VisionTransformer::new(
+            ViTConfig::vit_b16_scaled(16, 3, 10),
+            &mut seeds.derive("vit"),
+        )
+        .unwrap(),
     );
     let images = Tensor::rand_uniform(&[2, 3, 16, 16], 0.1, 0.9, &mut seeds.derive("x"));
     let labels = pelta_models::predict(vit.as_ref(), &images).unwrap();
@@ -28,8 +31,14 @@ fn bench_table3(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = ChaCha8Rng::seed_from_u64(1);
             criterion::black_box(
-                robust_accuracy(&clear, &pgd as &dyn EvasionAttack, &images, &labels, &mut rng)
-                    .unwrap(),
+                robust_accuracy(
+                    &clear,
+                    &pgd as &dyn EvasionAttack,
+                    &images,
+                    &labels,
+                    &mut rng,
+                )
+                .unwrap(),
             )
         })
     });
@@ -39,8 +48,14 @@ fn bench_table3(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = ChaCha8Rng::seed_from_u64(1);
             criterion::black_box(
-                robust_accuracy(&shielded, &pgd as &dyn EvasionAttack, &images, &labels, &mut rng)
-                    .unwrap(),
+                robust_accuracy(
+                    &shielded,
+                    &pgd as &dyn EvasionAttack,
+                    &images,
+                    &labels,
+                    &mut rng,
+                )
+                .unwrap(),
             )
         })
     });

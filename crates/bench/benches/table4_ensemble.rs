@@ -16,16 +16,28 @@ fn bench_table4(c: &mut Criterion) {
 
     let mut seeds = SeedStream::new(4);
     let vit = Arc::new(
-        VisionTransformer::new(ViTConfig::vit_b16_scaled(16, 3, 10), &mut seeds.derive("vit"))
-            .unwrap(),
+        VisionTransformer::new(
+            ViTConfig::vit_b16_scaled(16, 3, 10),
+            &mut seeds.derive("vit"),
+        )
+        .unwrap(),
     );
     let bit = Arc::new(
-        BigTransfer::new(BitConfig::bit_r101x3_scaled(3, 10), &mut seeds.derive("bit")).unwrap(),
+        BigTransfer::new(
+            BitConfig::bit_r101x3_scaled(3, 10),
+            &mut seeds.derive("bit"),
+        )
+        .unwrap(),
     );
     let images = Tensor::rand_uniform(&[2, 3, 16, 16], 0.1, 0.9, &mut seeds.derive("x"));
     let labels = pelta_models::predict(vit.as_ref(), &images).unwrap();
     let saga = Saga::new(
-        SagaParams { alpha_cnn: 2.0e-4, alpha_vit: 1.0 - 2.0e-4, step: 0.02, steps: 3 },
+        SagaParams {
+            alpha_cnn: 2.0e-4,
+            alpha_vit: 1.0 - 2.0e-4,
+            step: 0.02,
+            steps: 3,
+        },
         0.06,
     )
     .unwrap();
@@ -37,7 +49,10 @@ fn bench_table4(c: &mut Criterion) {
             let mut rng = ChaCha8Rng::seed_from_u64(2);
             criterion::black_box(
                 saga.run_ensemble(
-                    &SagaTarget { vit: &clear_vit, cnn: &clear_bit },
+                    &SagaTarget {
+                        vit: &clear_vit,
+                        cnn: &clear_bit,
+                    },
                     &images,
                     &labels,
                     &mut rng,
@@ -54,7 +69,10 @@ fn bench_table4(c: &mut Criterion) {
             let mut rng = ChaCha8Rng::seed_from_u64(2);
             criterion::black_box(
                 saga.run_ensemble(
-                    &SagaTarget { vit: &shielded_vit, cnn: &shielded_bit },
+                    &SagaTarget {
+                        vit: &shielded_vit,
+                        cnn: &shielded_bit,
+                    },
                     &images,
                     &labels,
                     &mut rng,

@@ -20,11 +20,11 @@
 
 use std::sync::Arc;
 
+use pelta_attacks::AttackSuiteParams;
 use pelta_attacks::{
     robust_accuracy, select_correctly_classified, EmbeddingPrior, Pgd, PriorGuidedPgd,
     SubstituteConfig, SubstituteTransfer,
 };
-use pelta_attacks::AttackSuiteParams;
 use pelta_core::{AttackLoss, ClearWhiteBox, GradientOracle, ShieldedWhiteBox};
 use pelta_data::{federated_split, DatasetSpec, Partition};
 use pelta_defenses::{DefenseStack, RandomizationConfig};
@@ -73,7 +73,10 @@ impl PriorFidelityReport {
     /// Renders the report as a text table.
     pub fn render(&self) -> String {
         let mut table = TextTable::new(vec!["attacker", "robust accuracy"]);
-        table.push_row(vec!["PGD, no shield".to_string(), format_percent(self.clear_robust_accuracy)]);
+        table.push_row(vec![
+            "PGD, no shield".to_string(),
+            format_percent(self.clear_robust_accuracy),
+        ]);
         table.push_row(vec![
             "PGD, shield + random upsampling".to_string(),
             format_percent(self.shielded_random_fallback),
@@ -130,8 +133,8 @@ pub fn ablation_prior_fidelity(config: &ExperimentConfig) -> PriorFidelityReport
     let random_outcome =
         robust_accuracy(&shielded, &pgd, &samples, &labels, &mut rng).expect("shielded PGD");
 
-    let patch = ViTConfig::vit_l16_scaled(spec.image_size(), spec.channels(), spec.num_classes())
-        .patch;
+    let patch =
+        ViTConfig::vit_l16_scaled(spec.image_size(), spec.channels(), spec.num_classes()).patch;
     let mut rows = Vec::new();
     for &fidelity in &[0.0f32, 0.5, 0.9, 1.0] {
         let mut prior_rng = seeds.derive(&format!("prior.build.{fidelity}"));
@@ -378,8 +381,8 @@ pub fn ablation_software_stack(config: &ExperimentConfig) -> SoftwareStackReport
     let mut rows = Vec::new();
     for (setting, pelta, soft, oracle) in settings {
         let mut rng = seeds.derive(&format!("software.{setting}"));
-        let outcome = robust_accuracy(oracle.as_ref(), &pgd, &samples, &labels, &mut rng)
-            .expect("PGD run");
+        let outcome =
+            robust_accuracy(oracle.as_ref(), &pgd, &samples, &labels, &mut rng).expect("PGD run");
         rows.push(SoftwareStackRow {
             setting,
             pelta,
@@ -422,7 +425,11 @@ pub struct EnclaveBudgetReport {
 impl EnclaveBudgetReport {
     /// Renders the report as a text table.
     pub fn render(&self) -> String {
-        let mut table = TextTable::new(vec!["defender", "shield bytes/pass", "smallest feasible budget"]);
+        let mut table = TextTable::new(vec![
+            "defender",
+            "shield bytes/pass",
+            "smallest feasible budget",
+        ]);
         for row in &self.rows {
             table.push_row(vec![
                 row.defender.clone(),
@@ -552,7 +559,8 @@ pub fn backdoor_defense(config: &ExperimentConfig) -> BackdoorReport {
         &mut seeds.derive("split"),
     );
     let trigger = TrojanTrigger::new(4, 1.0, 0).expect("valid trigger");
-    let vit_config = ViTConfig::vit_b16_scaled(spec.image_size(), spec.channels(), spec.num_classes());
+    let vit_config =
+        ViTConfig::vit_b16_scaled(spec.image_size(), spec.channels(), spec.num_classes());
 
     let rules = [
         ("FedAvg".to_string(), AggregationRule::FedAvg),
@@ -571,8 +579,7 @@ pub fn backdoor_defense(config: &ExperimentConfig) -> BackdoorReport {
     for (rule_name, rule) in rules {
         let init = VisionTransformer::new(vit_config.clone(), &mut seeds.derive("global"))
             .expect("valid config");
-        let mut server =
-            RobustAggregator::new(export_parameters(&init), rule).expect("valid rule");
+        let mut server = RobustAggregator::new(export_parameters(&init), rule).expect("valid rule");
 
         // Honest clients.
         let mut clients: Vec<FlClient> = shards[..honest_clients]
@@ -623,8 +630,8 @@ pub fn backdoor_defense(config: &ExperimentConfig) -> BackdoorReport {
         let mut global = VisionTransformer::new(vit_config.clone(), &mut seeds.derive("eval"))
             .expect("valid config");
         import_parameters(&mut global, server.parameters()).expect("schema matches");
-        let clean = pelta_models::accuracy(&global, &eval.images, &eval.labels)
-            .expect("clean evaluation");
+        let clean =
+            pelta_models::accuracy(&global, &eval.images, &eval.labels).expect("clean evaluation");
         let backdoor = backdoor_success_rate(&global, &eval.images, &eval.labels, &trigger)
             .expect("backdoor evaluation");
         rows.push(BackdoorRow {
@@ -676,7 +683,11 @@ mod tests {
         // The 30 MB TrustZone default must always be feasible for the scaled
         // models, so every row finds some feasible budget.
         for row in &report.rows {
-            assert!(row.smallest_feasible_budget.is_some(), "{} has no feasible budget", row.defender);
+            assert!(
+                row.smallest_feasible_budget.is_some(),
+                "{} has no feasible budget",
+                row.defender
+            );
             assert!(row.required_bytes > 0);
             assert!(row.required_bytes < 30 * 1024 * 1024);
         }

@@ -53,11 +53,19 @@ fn parse_args() -> Result<Cli, String> {
         };
         match flag {
             "--table" => {
-                cli.table = Some(value(&mut i)?.parse().map_err(|_| "bad --table".to_string())?);
+                cli.table = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|_| "bad --table".to_string())?,
+                );
                 any_selection = true;
             }
             "--figure" => {
-                cli.figure = Some(value(&mut i)?.parse().map_err(|_| "bad --figure".to_string())?);
+                cli.figure = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|_| "bad --figure".to_string())?,
+                );
                 any_selection = true;
             }
             "--system" => {
@@ -81,27 +89,34 @@ fn parse_args() -> Result<Cli, String> {
                 });
             }
             "--samples" => {
-                cli.config.attack_samples =
-                    value(&mut i)?.parse().map_err(|_| "bad --samples".to_string())?;
+                cli.config.attack_samples = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --samples".to_string())?;
             }
             "--steps" => {
-                cli.config.attack_steps =
-                    value(&mut i)?.parse().map_err(|_| "bad --steps".to_string())?;
+                cli.config.attack_steps = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --steps".to_string())?;
             }
             "--train-samples" => {
-                cli.config.train_samples =
-                    value(&mut i)?.parse().map_err(|_| "bad --train-samples".to_string())?;
+                cli.config.train_samples = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --train-samples".to_string())?;
             }
             "--epochs" => {
-                cli.config.train_epochs =
-                    value(&mut i)?.parse().map_err(|_| "bad --epochs".to_string())?;
+                cli.config.train_epochs = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --epochs".to_string())?;
             }
             "--eps-scale" => {
-                cli.config.epsilon_scale =
-                    value(&mut i)?.parse().map_err(|_| "bad --eps-scale".to_string())?;
+                cli.config.epsilon_scale = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --eps-scale".to_string())?;
             }
             "--seed" => {
-                cli.config.seed = value(&mut i)?.parse().map_err(|_| "bad --seed".to_string())?;
+                cli.config.seed = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_string())?;
             }
             "--help" | "-h" => {
                 println!("{}", HELP);
@@ -166,7 +181,10 @@ fn main() {
 
     println!(
         "pelta repro (seed {}, {} attack samples, {} attack steps, eps scale {:.1})\n",
-        cli.config.seed, cli.config.attack_samples, cli.config.attack_steps, cli.config.epsilon_scale
+        cli.config.seed,
+        cli.config.attack_samples,
+        cli.config.attack_steps,
+        cli.config.epsilon_scale
     );
 
     if cli.all {

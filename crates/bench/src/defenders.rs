@@ -95,11 +95,7 @@ pub struct TrainedDefender {
     pub clean_accuracy: f32,
 }
 
-fn build_model(
-    label: &str,
-    spec: DatasetSpec,
-    seeds: &mut SeedStream,
-) -> Box<dyn ImageModel> {
+fn build_model(label: &str, spec: DatasetSpec, seeds: &mut SeedStream) -> Box<dyn ImageModel> {
     let (size, channels, classes) = (spec.image_size(), spec.channels(), spec.num_classes());
     let mut rng = seeds.derive(label);
     match label {
@@ -231,8 +227,11 @@ mod tests {
     #[test]
     fn build_defenders_trains_and_reports_accuracy() {
         let config = tiny_config();
-        let defenders =
-            build_defenders(DatasetSpec::Cifar10Like, &config, Some(&["ViT-B/16", "ResNet-56"]));
+        let defenders = build_defenders(
+            DatasetSpec::Cifar10Like,
+            &config,
+            Some(&["ViT-B/16", "ResNet-56"]),
+        );
         assert_eq!(defenders.len(), 2);
         for defender in &defenders {
             assert!((0.0..=1.0).contains(&defender.clean_accuracy));

@@ -47,6 +47,5 @@ pub use defenders::{build_defenders, train_ensemble_members, ExperimentConfig, T
 pub use report::{format_percent, TextTable};
 pub use tables::{
     figure3, figure4, system_overhead, table1, table2, table3, table4, Figure3Report,
-    Figure4Report, OverheadReport, Table1Report, Table3Cell, Table3Report, Table4Report,
-    Table4Row,
+    Figure4Report, OverheadReport, Table1Report, Table3Cell, Table3Report, Table4Report, Table4Row,
 };

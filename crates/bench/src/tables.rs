@@ -7,9 +7,7 @@ use pelta_attacks::{
     robust_accuracy, select_correctly_classified, Apgd, AttackSuiteParams, CarliniWagner,
     EvasionAttack, Fgsm, Mim, Pgd, RandomUniform, Saga, SagaTarget,
 };
-use pelta_core::{
-    measure_shield, AttackLoss, ClearWhiteBox, GradientOracle, ShieldedWhiteBox,
-};
+use pelta_core::{measure_shield, AttackLoss, ClearWhiteBox, GradientOracle, ShieldedWhiteBox};
 use pelta_data::{DatasetSpec, Partition};
 use pelta_fl::{Federation, FederationConfig};
 use pelta_models::paper_scale;
@@ -72,7 +70,11 @@ impl Table1Report {
         let mut out = String::from("Table I — enclave memory cost and shielded portion\n");
         out.push_str(&table.render());
         out.push_str("\nMeasured scaled models (experiment substrate):\n");
-        let mut scaled = TextTable::new(vec!["Scaled model", "Enclave KiB", "Shielded param fraction"]);
+        let mut scaled = TextTable::new(vec![
+            "Scaled model",
+            "Enclave KiB",
+            "Shielded param fraction",
+        ]);
         for (model, kib, fraction) in &self.scaled_measurements {
             scaled.push_row(vec![
                 model.clone(),
@@ -129,8 +131,8 @@ pub fn table1(config: &ExperimentConfig) -> Table1Report {
         &mut seeds.derive("table1_sample"),
     );
     for defender in defenders {
-        let measurement =
-            measure_shield(Arc::clone(&defender.model), &sample).expect("shield fits TrustZone budget");
+        let measurement = measure_shield(Arc::clone(&defender.model), &sample)
+            .expect("shield fits TrustZone budget");
         scaled_measurements.push((
             defender.label,
             measurement.enclave_kib(),
@@ -157,7 +159,10 @@ pub fn table2(config: &ExperimentConfig) -> String {
             spec, config.epsilon_scale
         ));
         let mut table = TextTable::new(vec!["Attack", "Parameters"]);
-        table.push_row(vec!["FGSM".to_string(), format!("eps = {:.4}", params.epsilon)]);
+        table.push_row(vec![
+            "FGSM".to_string(),
+            format!("eps = {:.4}", params.epsilon),
+        ]);
         table.push_row(vec![
             "PGD".to_string(),
             format!(
@@ -417,10 +422,18 @@ pub struct Table4Report {
 impl Table4Report {
     /// Renders the report.
     pub fn render(&self) -> String {
-        let mut out =
-            String::from("Table IV — ensemble robust accuracy against SAGA (four shield settings)\n");
+        let mut out = String::from(
+            "Table IV — ensemble robust accuracy against SAGA (four shield settings)\n",
+        );
         let mut table = TextTable::new(vec![
-            "Dataset", "Model", "Clean", "Random", "None", "ViT shield", "BiT shield", "Ensemble shield",
+            "Dataset",
+            "Model",
+            "Clean",
+            "Random",
+            "None",
+            "ViT shield",
+            "BiT shield",
+            "Ensemble shield",
         ]);
         for row in &self.rows {
             table.push_row(vec![
@@ -509,10 +522,34 @@ pub fn table4(config: &ExperimentConfig, datasets: Option<&[DatasetSpec]>) -> Ta
             .expect("random baseline");
 
         let settings: [(&str, SagaTarget<'_>); 4] = [
-            ("none", SagaTarget { vit: &clear_vit, cnn: &clear_bit }),
-            ("vit", SagaTarget { vit: &shielded_vit, cnn: &clear_bit }),
-            ("bit", SagaTarget { vit: &clear_vit, cnn: &shielded_bit }),
-            ("both", SagaTarget { vit: &shielded_vit, cnn: &shielded_bit }),
+            (
+                "none",
+                SagaTarget {
+                    vit: &clear_vit,
+                    cnn: &clear_bit,
+                },
+            ),
+            (
+                "vit",
+                SagaTarget {
+                    vit: &shielded_vit,
+                    cnn: &clear_bit,
+                },
+            ),
+            (
+                "bit",
+                SagaTarget {
+                    vit: &clear_vit,
+                    cnn: &shielded_bit,
+                },
+            ),
+            (
+                "both",
+                SagaTarget {
+                    vit: &shielded_vit,
+                    cnn: &shielded_bit,
+                },
+            ),
         ];
         let mut per_setting: Vec<Tensor> = Vec::with_capacity(4);
         for (name, target) in &settings {
@@ -525,8 +562,16 @@ pub fn table4(config: &ExperimentConfig, datasets: Option<&[DatasetSpec]>) -> Ta
 
         // Evaluate members and the random-selection ensemble on each set.
         let member_rows: Vec<(&str, &dyn GradientOracle, f32)> = vec![
-            ("ViT-L/16", &clear_vit as &dyn GradientOracle, vit.clean_accuracy),
-            (bit.label.as_str(), &clear_bit as &dyn GradientOracle, bit.clean_accuracy),
+            (
+                "ViT-L/16",
+                &clear_vit as &dyn GradientOracle,
+                vit.clean_accuracy,
+            ),
+            (
+                bit.label.as_str(),
+                &clear_bit as &dyn GradientOracle,
+                bit.clean_accuracy,
+            ),
         ];
         for (model_name, oracle, clean) in member_rows {
             let random_acc = member_robust(oracle, &random_samples, &labels);
@@ -623,7 +668,11 @@ impl Figure3Report {
                 .unwrap_or(false);
             out.push_str(&format!(
                 "\n{attack} ({}):\n",
-                if success { "adversarial example found" } else { "stayed correctly classified" }
+                if success {
+                    "adversarial example found"
+                } else {
+                    "stayed correctly classified"
+                }
             ));
             let mut table = TextTable::new(vec!["step", "loss", "L-inf distance"]);
             for p in points {
@@ -702,9 +751,7 @@ pub fn figure3(config: &ExperimentConfig) -> Figure3Report {
         report
             .successes
             .push((attack_name.to_string(), prediction[0] != labels[0]));
-        report
-            .trajectories
-            .push((attack_name.to_string(), points));
+        report.trajectories.push((attack_name.to_string(), points));
     }
     report
 }
@@ -746,12 +793,20 @@ impl Figure4Report {
             self.true_class
         );
         let mut table = TextTable::new(vec![
-            "Shielding", "Attack result", "Predicted class", "Perturbation L-inf", "Perturbation L2",
+            "Shielding",
+            "Attack result",
+            "Predicted class",
+            "Perturbation L-inf",
+            "Perturbation L2",
         ]);
         for row in &self.rows {
             table.push_row(vec![
                 row.setting.clone(),
-                if row.attack_succeeded { "success".to_string() } else { "failure".to_string() },
+                if row.attack_succeeded {
+                    "success".to_string()
+                } else {
+                    "failure".to_string()
+                },
                 row.predicted_class.to_string(),
                 format!("{:.4}", row.perturbation_linf),
                 format!("{:.4}", row.perturbation_l2),
@@ -792,14 +847,40 @@ pub fn figure4(config: &ExperimentConfig) -> Figure4Report {
 
     let clear_vit = ClearWhiteBox::new(Arc::clone(&vit.model));
     let clear_bit = ClearWhiteBox::new(Arc::clone(&bit.model));
-    let shielded_vit = ShieldedWhiteBox::with_default_enclave(Arc::clone(&vit.model)).expect("enclave");
-    let shielded_bit = ShieldedWhiteBox::with_default_enclave(Arc::clone(&bit.model)).expect("enclave");
+    let shielded_vit =
+        ShieldedWhiteBox::with_default_enclave(Arc::clone(&vit.model)).expect("enclave");
+    let shielded_bit =
+        ShieldedWhiteBox::with_default_enclave(Arc::clone(&bit.model)).expect("enclave");
 
     let settings: [(&str, SagaTarget<'_>); 4] = [
-        ("No shield", SagaTarget { vit: &clear_vit, cnn: &clear_bit }),
-        ("BiT only", SagaTarget { vit: &clear_vit, cnn: &shielded_bit }),
-        ("ViT only", SagaTarget { vit: &shielded_vit, cnn: &clear_bit }),
-        ("Both", SagaTarget { vit: &shielded_vit, cnn: &shielded_bit }),
+        (
+            "No shield",
+            SagaTarget {
+                vit: &clear_vit,
+                cnn: &clear_bit,
+            },
+        ),
+        (
+            "BiT only",
+            SagaTarget {
+                vit: &clear_vit,
+                cnn: &shielded_bit,
+            },
+        ),
+        (
+            "ViT only",
+            SagaTarget {
+                vit: &shielded_vit,
+                cnn: &clear_bit,
+            },
+        ),
+        (
+            "Both",
+            SagaTarget {
+                vit: &shielded_vit,
+                cnn: &shielded_bit,
+            },
+        ),
     ];
 
     let mut seeds = SeedStream::new(config.seed);
@@ -825,7 +906,11 @@ pub fn figure4(config: &ExperimentConfig) -> Figure4Report {
             attack_succeeded: succeeded,
             perturbation_linf: delta.linf_norm(),
             perturbation_l2: delta.l2_norm(),
-            predicted_class: if vit_pred != label[0] { vit_pred } else { bit_pred },
+            predicted_class: if vit_pred != label[0] {
+                vit_pred
+            } else {
+                bit_pred
+            },
         });
     }
     report

@@ -64,11 +64,21 @@ impl Dataset {
             .collect();
 
         let mut train_rng = seeds.derive("train");
-        let (train_images, train_labels) =
-            sample_split(spec, config, &prototypes, config.train_samples, &mut train_rng);
+        let (train_images, train_labels) = sample_split(
+            spec,
+            config,
+            &prototypes,
+            config.train_samples,
+            &mut train_rng,
+        );
         let mut test_rng = seeds.derive("test");
-        let (test_images, test_labels) =
-            sample_split(spec, config, &prototypes, config.test_samples, &mut test_rng);
+        let (test_images, test_labels) = sample_split(
+            spec,
+            config,
+            &prototypes,
+            config.test_samples,
+            &mut test_rng,
+        );
 
         Dataset {
             spec,
@@ -170,7 +180,9 @@ fn prototype<R: Rng + ?Sized>(spec: DatasetSpec, grid: usize, rng: &mut R) -> Ve
     let mut out = vec![0.0f32; c * hw * hw];
     for ch in 0..c {
         // Low-frequency control points.
-        let control: Vec<f32> = (0..grid * grid).map(|_| rng.gen_range(0.15..0.85)).collect();
+        let control: Vec<f32> = (0..grid * grid)
+            .map(|_| rng.gen_range(0.15..0.85))
+            .collect();
         for y in 0..hw {
             for x in 0..hw {
                 // Bilinear interpolation of the control grid.
@@ -263,7 +275,11 @@ mod tests {
             assert_eq!(ds.test_images().dims(), &[20, 3, 32, 32]);
             assert_eq!(ds.len(), 40);
             assert!(!ds.is_empty());
-            assert!(ds.train_images().data().iter().all(|&x| (0.0..=1.0).contains(&x)));
+            assert!(ds
+                .train_images()
+                .data()
+                .iter()
+                .all(|&x| (0.0..=1.0).contains(&x)));
             assert!(ds.train_labels().iter().all(|&l| l < spec.num_classes()));
             assert_eq!(ds.spec(), spec);
         }

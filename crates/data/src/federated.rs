@@ -80,7 +80,11 @@ pub fn federated_split<R: Rng + ?Sized>(
             Partition::LabelSkew => {
                 let per_client = n / num_clients;
                 let start = client_id * per_client;
-                let end = if client_id + 1 == num_clients { n } else { start + per_client };
+                let end = if client_id + 1 == num_clients {
+                    n
+                } else {
+                    start + per_client
+                };
                 order[start..end].to_vec()
             }
         };

@@ -105,8 +105,6 @@ mod tests {
 
     #[test]
     fn imagenet_like_is_hardest() {
-        assert!(
-            DatasetSpec::ImageNetLike.sample_noise() > DatasetSpec::Cifar10Like.sample_noise()
-        );
+        assert!(DatasetSpec::ImageNetLike.sample_noise() > DatasetSpec::Cifar10Like.sample_noise());
     }
 }

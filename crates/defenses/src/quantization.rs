@@ -131,7 +131,10 @@ mod tests {
         let x = Tensor::full(&[1, 3, 4, 4], 0.5);
         // A perturbation far below half a quantization step disappears.
         let perturbed = x.add_scalar(0.01);
-        assert_eq!(defense.quantize(&x).data(), defense.quantize(&perturbed).data());
+        assert_eq!(
+            defense.quantize(&x).data(),
+            defense.quantize(&perturbed).data()
+        );
     }
 
     #[test]
@@ -143,7 +146,9 @@ mod tests {
         let wrapped = defense.logits(&x).unwrap();
         let direct = inner.logits(&defense.quantize(&x)).unwrap();
         assert_eq!(wrapped.data(), direct.data());
-        let probe = defense.probe(&x, &[0, 1], AttackLoss::CrossEntropy).unwrap();
+        let probe = defense
+            .probe(&x, &[0, 1], AttackLoss::CrossEntropy)
+            .unwrap();
         assert!(probe.input_gradient.is_some());
         assert!(probe.loss.is_finite());
     }

@@ -58,7 +58,10 @@ impl InputRandomization {
     ) -> Result<Self> {
         if config.noise < 0.0 || !config.noise.is_finite() {
             return Err(PeltaError::InvalidProbe {
-                reason: format!("randomization noise must be non-negative, got {}", config.noise),
+                reason: format!(
+                    "randomization noise must be non-negative, got {}",
+                    config.noise
+                ),
             });
         }
         Ok(InputRandomization {
@@ -208,13 +211,23 @@ mod tests {
     #[test]
     fn repeated_probes_see_different_transformed_inputs() {
         let inner = clear_oracle(2);
-        let defense =
-            InputRandomization::new(inner, RandomizationConfig { noise: 0.05, max_shift: 2 }, 7)
-                .unwrap();
+        let defense = InputRandomization::new(
+            inner,
+            RandomizationConfig {
+                noise: 0.05,
+                max_shift: 2,
+            },
+            7,
+        )
+        .unwrap();
         let mut seeds = SeedStream::new(3);
         let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.2, 0.8, &mut seeds.derive("x"));
-        let a = defense.probe(&x, &[0, 1], AttackLoss::CrossEntropy).unwrap();
-        let b = defense.probe(&x, &[0, 1], AttackLoss::CrossEntropy).unwrap();
+        let a = defense
+            .probe(&x, &[0, 1], AttackLoss::CrossEntropy)
+            .unwrap();
+        let b = defense
+            .probe(&x, &[0, 1], AttackLoss::CrossEntropy)
+            .unwrap();
         // The logits (and in general the losses) differ across identical
         // queries because the transformation is re-drawn.
         assert_ne!(a.logits.data(), b.logits.data());
@@ -225,8 +238,7 @@ mod tests {
     fn delegation_preserves_the_inner_oracle_metadata() {
         let inner = clear_oracle(4);
         let defense =
-            InputRandomization::new(Arc::clone(&inner), RandomizationConfig::default(), 0)
-                .unwrap();
+            InputRandomization::new(Arc::clone(&inner), RandomizationConfig::default(), 0).unwrap();
         assert_eq!(defense.num_classes(), inner.num_classes());
         assert_eq!(defense.input_shape(), inner.input_shape());
         assert_eq!(defense.is_shielded(), inner.is_shielded());
@@ -238,7 +250,10 @@ mod tests {
         let inner = clear_oracle(5);
         let defense = InputRandomization::new(
             Arc::clone(&inner),
-            RandomizationConfig { noise: 0.0, max_shift: 0 },
+            RandomizationConfig {
+                noise: 0.0,
+                max_shift: 0,
+            },
             0,
         )
         .unwrap();

@@ -83,8 +83,11 @@ mod tests {
     fn model(seed: u64) -> Arc<dyn ImageModel> {
         let mut seeds = SeedStream::new(seed);
         Arc::new(
-            VisionTransformer::new(ViTConfig::vit_b16_scaled(8, 3, 4), &mut seeds.derive("init"))
-                .unwrap(),
+            VisionTransformer::new(
+                ViTConfig::vit_b16_scaled(8, 3, 4),
+                &mut seeds.derive("init"),
+            )
+            .unwrap(),
         )
     }
 
@@ -122,7 +125,9 @@ mod tests {
     #[test]
     fn stack_layers_validate_their_parameters() {
         let inner: Arc<dyn GradientOracle> = Arc::new(ClearWhiteBox::new(model(23)));
-        assert!(DefenseStack::new(Arc::clone(&inner)).with_quantization(1).is_err());
+        assert!(DefenseStack::new(Arc::clone(&inner))
+            .with_quantization(1)
+            .is_err());
         let bad = RandomizationConfig {
             noise: -1.0,
             max_shift: 0,

@@ -111,7 +111,10 @@ impl FlClient {
     /// # Errors
     /// Returns an error if the broadcast snapshot does not match the local
     /// architecture or local training fails.
-    pub fn local_round(&mut self, global: &GlobalModel) -> Result<(ModelUpdate, LocalTrainingReport)> {
+    pub fn local_round(
+        &mut self,
+        global: &GlobalModel,
+    ) -> Result<(ModelUpdate, LocalTrainingReport)> {
         import_parameters(self.model.as_mut(), &global.parameters)?;
         let report = train_classifier(
             self.model.as_mut(),
@@ -181,16 +184,11 @@ mod tests {
     #[test]
     fn export_import_roundtrip() {
         let mut seeds = SeedStream::new(1);
-        let mut a = VisionTransformer::new(
-            ViTConfig::vit_b16_scaled(8, 3, 4),
-            &mut seeds.derive("a"),
-        )
-        .unwrap();
-        let b = VisionTransformer::new(
-            ViTConfig::vit_b16_scaled(8, 3, 4),
-            &mut seeds.derive("b"),
-        )
-        .unwrap();
+        let mut a =
+            VisionTransformer::new(ViTConfig::vit_b16_scaled(8, 3, 4), &mut seeds.derive("a"))
+                .unwrap();
+        let b = VisionTransformer::new(ViTConfig::vit_b16_scaled(8, 3, 4), &mut seeds.derive("b"))
+            .unwrap();
         let exported = export_parameters(&b);
         import_parameters(&mut a, &exported).unwrap();
         assert_eq!(export_parameters(&a), exported);

@@ -89,7 +89,9 @@ mod tests {
         assert!(e.to_string().contains("tensor error"));
         let e: FlError = NnError::MissingGradient { param: "w".into() }.into();
         assert!(e.to_string().contains("model error"));
-        let e = FlError::SchemaMismatch { reason: "missing fc.weight".into() };
+        let e = FlError::SchemaMismatch {
+            reason: "missing fc.weight".into(),
+        };
         assert!(e.to_string().contains("fc.weight"));
     }
 

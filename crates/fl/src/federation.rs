@@ -133,7 +133,11 @@ impl Federation {
         Self::with_factory(dataset, config, partition, seeds, move |rng| {
             Box::new(
                 VisionTransformer::new(
-                    ViTConfig::vit_b16_scaled(spec.image_size(), spec.channels(), spec.num_classes()),
+                    ViTConfig::vit_b16_scaled(
+                        spec.image_size(),
+                        spec.channels(),
+                        spec.num_classes(),
+                    ),
                     rng,
                 )
                 .expect("scaled ViT configuration is valid"),
@@ -171,21 +175,20 @@ impl Federation {
             let round = broadcast.round;
 
             // Parallel local training.
-            let results: Vec<_> = crossbeam::thread::scope(|scope| {
+            let results: Vec<_> = std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .clients
                     .iter_mut()
                     .map(|client| {
                         let broadcast = broadcast.clone();
-                        scope.spawn(move |_| client.local_round(&broadcast))
+                        scope.spawn(move || client.local_round(&broadcast))
                     })
                     .collect();
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("client thread panicked"))
                     .collect()
-            })
-            .expect("crossbeam scope");
+            });
 
             let mut updates = Vec::with_capacity(results.len());
             let mut loss_sum = 0.0f32;

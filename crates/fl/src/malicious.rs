@@ -108,12 +108,21 @@ impl CompromisedClient {
         let attack: Box<dyn EvasionAttack> = match self.attack {
             AttackKind::Fgsm => Box::new(Fgsm::new(self.epsilon).map_err(FlError::from)?),
             AttackKind::Pgd => Box::new(
-                Pgd::new(self.epsilon, self.epsilon / self.steps as f32 * 2.0, self.steps)
-                    .map_err(FlError::from)?,
+                Pgd::new(
+                    self.epsilon,
+                    self.epsilon / self.steps as f32 * 2.0,
+                    self.steps,
+                )
+                .map_err(FlError::from)?,
             ),
             AttackKind::Mim => Box::new(
-                Mim::new(self.epsilon, self.epsilon / self.steps as f32 * 2.0, self.steps, 1.0)
-                    .map_err(FlError::from)?,
+                Mim::new(
+                    self.epsilon,
+                    self.epsilon / self.steps as f32 * 2.0,
+                    self.steps,
+                    1.0,
+                )
+                .map_err(FlError::from)?,
             ),
         };
 
@@ -164,8 +173,12 @@ mod tests {
     #[test]
     fn construction_validates_budget() {
         let model = replica(1);
-        assert!(CompromisedClient::new(0, Arc::clone(&model), false, AttackKind::Pgd, 0.0, 5).is_err());
-        assert!(CompromisedClient::new(0, Arc::clone(&model), false, AttackKind::Pgd, 0.05, 0).is_err());
+        assert!(
+            CompromisedClient::new(0, Arc::clone(&model), false, AttackKind::Pgd, 0.0, 5).is_err()
+        );
+        assert!(
+            CompromisedClient::new(0, Arc::clone(&model), false, AttackKind::Pgd, 0.05, 0).is_err()
+        );
         let ok = CompromisedClient::new(3, model, true, AttackKind::Fgsm, 0.05, 1).unwrap();
         assert_eq!(ok.id(), 3);
         assert!(ok.is_shielded());
@@ -179,15 +192,9 @@ mod tests {
         let labels = predict(model.as_ref(), &images).unwrap();
 
         for (shielded, expected_switches) in [(false, 0u64), (true, 1)] {
-            let client = CompromisedClient::new(
-                0,
-                Arc::clone(&model),
-                shielded,
-                AttackKind::Pgd,
-                0.05,
-                3,
-            )
-            .unwrap();
+            let client =
+                CompromisedClient::new(0, Arc::clone(&model), shielded, AttackKind::Pgd, 0.05, 3)
+                    .unwrap();
             let mut rng = ChaCha8Rng::seed_from_u64(9);
             let (adv, report) = client
                 .craft_adversarial_examples(&images, &labels, &mut rng)
@@ -217,9 +224,10 @@ mod tests {
             let (_, report) = client
                 .craft_adversarial_examples(&images, &labels, &mut rng)
                 .unwrap();
-            assert!((report.outcome.robust_accuracy + report.outcome.attack_success_rate - 1.0)
-                .abs()
-                < 1e-6);
+            assert!(
+                (report.outcome.robust_accuracy + report.outcome.attack_success_rate - 1.0).abs()
+                    < 1e-6
+            );
         }
     }
 }

@@ -119,6 +119,7 @@ impl TrojanTrigger {
         let mut poisoned_labels = labels.to_vec();
         let mut poisoned = 0usize;
         let stamped = self.stamp(images)?;
+        #[allow(clippy::needless_range_loop)] // `i` also indexes image rows below
         for i in 0..n {
             if rng.gen::<f32>() < fraction {
                 let (c, h, w) = (images.dims()[1], images.dims()[2], images.dims()[3]);
@@ -261,8 +262,12 @@ impl BackdoorClient {
 
         let local_clean_accuracy =
             accuracy(self.model.as_ref(), &clean_images, &clean_labels).map_err(FlError::from)?;
-        let local_backdoor_rate =
-            backdoor_success_rate(self.model.as_ref(), &clean_images, &clean_labels, &self.trigger)?;
+        let local_backdoor_rate = backdoor_success_rate(
+            self.model.as_ref(),
+            &clean_images,
+            &clean_labels,
+            &self.trigger,
+        )?;
 
         let update = ModelUpdate {
             client_id: self.id,
@@ -316,7 +321,10 @@ mod tests {
             }
         }
         // Too-large triggers and non-image batches are rejected.
-        assert!(TrojanTrigger::new(9, 1.0, 0).unwrap().stamp(&images).is_err());
+        assert!(TrojanTrigger::new(9, 1.0, 0)
+            .unwrap()
+            .stamp(&images)
+            .is_err());
         assert!(trigger.stamp(&Tensor::zeros(&[4, 4])).is_err());
     }
 
@@ -330,7 +338,10 @@ mod tests {
             trigger.poison(&images, &labels, 0.5, &mut rng).unwrap();
         assert_eq!(poisoned.dims(), images.dims());
         assert_eq!(new_labels.iter().filter(|&&l| l == 1).count(), count);
-        assert!(count > 5 && count < 35, "poisoned {count} of 40 at fraction 0.5");
+        assert!(
+            count > 5 && count < 35,
+            "poisoned {count} of 40 at fraction 0.5"
+        );
         // Fraction 0 and 1 are the exact extremes.
         let (_, all_clean, zero) = trigger.poison(&images, &labels, 0.0, &mut rng).unwrap();
         assert_eq!(zero, 0);
@@ -420,7 +431,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let (update, report) = client.poisoned_round(&global, &mut rng).unwrap();
         assert_eq!(update.client_id, 5);
-        assert_eq!(update.num_samples, shard_len * 3, "boosting multiplies the FedAvg weight");
+        assert_eq!(
+            update.num_samples,
+            shard_len * 3,
+            "boosting multiplies the FedAvg weight"
+        );
         assert!(report.poisoned_samples > 0);
         assert!((0.0..=1.0).contains(&report.local_clean_accuracy));
         assert!((0.0..=1.0).contains(&report.local_backdoor_rate));

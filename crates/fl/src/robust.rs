@@ -100,9 +100,7 @@ impl RobustAggregator {
         self.validate(updates)?;
         let aggregated = match self.rule {
             AggregationRule::FedAvg => self.fedavg(updates, None)?,
-            AggregationRule::NormClipping { max_norm } => {
-                self.fedavg(updates, Some(max_norm))?
-            }
+            AggregationRule::NormClipping { max_norm } => self.fedavg(updates, Some(max_norm))?,
             AggregationRule::TrimmedMean { trim } => self.trimmed_mean(updates, trim)?,
         };
         self.parameters = aggregated;
@@ -201,11 +199,7 @@ impl RobustAggregator {
     }
 
     /// Coordinate-wise trimmed mean of the client parameters.
-    fn trimmed_mean(
-        &self,
-        updates: &[ModelUpdate],
-        trim: usize,
-    ) -> Result<Vec<(String, Tensor)>> {
+    fn trimmed_mean(&self, updates: &[ModelUpdate], trim: usize) -> Result<Vec<(String, Tensor)>> {
         if 2 * trim >= updates.len() {
             return Err(FlError::InvalidConfig {
                 reason: format!(
@@ -276,16 +270,15 @@ mod tests {
         let honest = update(0, 10, &[1.0]);
         let malicious = update(1, 30, &[100.0]);
 
-        let mut plain =
-            RobustAggregator::new(initial.clone(), AggregationRule::FedAvg).unwrap();
-        plain.aggregate(&[honest.clone(), malicious.clone()]).unwrap();
+        let mut plain = RobustAggregator::new(initial.clone(), AggregationRule::FedAvg).unwrap();
+        plain
+            .aggregate(&[honest.clone(), malicious.clone()])
+            .unwrap();
         let undefended = plain.parameters()[0].1.data()[0];
 
-        let mut clipped = RobustAggregator::new(
-            initial,
-            AggregationRule::NormClipping { max_norm: 1.0 },
-        )
-        .unwrap();
+        let mut clipped =
+            RobustAggregator::new(initial, AggregationRule::NormClipping { max_norm: 1.0 })
+                .unwrap();
         clipped.aggregate(&[honest, malicious]).unwrap();
         let defended = clipped.parameters()[0].1.data()[0];
 
@@ -296,11 +289,8 @@ mod tests {
 
     #[test]
     fn trimmed_mean_discards_the_outlier() {
-        let mut server = RobustAggregator::new(
-            named(&[0.0]),
-            AggregationRule::TrimmedMean { trim: 1 },
-        )
-        .unwrap();
+        let mut server =
+            RobustAggregator::new(named(&[0.0]), AggregationRule::TrimmedMean { trim: 1 }).unwrap();
         server
             .aggregate(&[
                 update(0, 10, &[1.0]),
@@ -321,13 +311,12 @@ mod tests {
         )
         .is_err());
 
-        let mut server = RobustAggregator::new(
-            named(&[0.0]),
-            AggregationRule::TrimmedMean { trim: 1 },
-        )
-        .unwrap();
+        let mut server =
+            RobustAggregator::new(named(&[0.0]), AggregationRule::TrimmedMean { trim: 1 }).unwrap();
         // Too few updates for the trim level.
-        assert!(server.aggregate(&[update(0, 10, &[1.0]), update(1, 10, &[2.0])]).is_err());
+        assert!(server
+            .aggregate(&[update(0, 10, &[1.0]), update(1, 10, &[2.0])])
+            .is_err());
         // Empty round, stale round, schema mismatch.
         assert!(server.aggregate(&[]).is_err());
         let stale = ModelUpdate {

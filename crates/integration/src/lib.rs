@@ -1,0 +1,7 @@
+//! # pelta-integration
+//!
+//! Carrier crate for the workspace-level integration tests (`tests/` at the
+//! repository root) and the runnable examples (`examples/`). It has no
+//! library code of its own; every target is declared in `Cargo.toml` with a
+//! path override so the test and example sources can stay at the repo root
+//! where the documentation references them.

@@ -41,9 +41,25 @@ impl BitBlock {
         };
         Ok(BitBlock {
             norm1: GroupNorm::new(&format!("{name}.gn1"), in_channels, groups)?,
-            conv1: WsConv2d::new(&format!("{name}.conv1"), in_channels, out_channels, 3, stride, 1, rng),
+            conv1: WsConv2d::new(
+                &format!("{name}.conv1"),
+                in_channels,
+                out_channels,
+                3,
+                stride,
+                1,
+                rng,
+            ),
             norm2: GroupNorm::new(&format!("{name}.gn2"), out_channels, groups)?,
-            conv2: WsConv2d::new(&format!("{name}.conv2"), out_channels, out_channels, 3, 1, 1, rng),
+            conv2: WsConv2d::new(
+                &format!("{name}.conv2"),
+                out_channels,
+                out_channels,
+                3,
+                1,
+                1,
+                rng,
+            ),
             projection,
         })
     }
@@ -136,7 +152,11 @@ impl BigTransfer {
             .enumerate()
         {
             for block_idx in 0..blocks {
-                let stride = if stage_idx > 0 && block_idx == 0 { 2 } else { 1 };
+                let stride = if stage_idx > 0 && block_idx == 0 {
+                    2
+                } else {
+                    1
+                };
                 stages.push(BitBlock::new(
                     &format!("{name}.stage{stage_idx}.block{block_idx}"),
                     in_channels,

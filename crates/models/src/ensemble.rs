@@ -135,6 +135,8 @@ impl RandomSelectionEnsemble {
             per_member.push(predict(member.model(), images)?);
         }
         let mut out = Vec::with_capacity(n);
+        #[allow(clippy::needless_range_loop)]
+        // indexing keeps the per-sample RNG draw order explicit
         for sample in 0..n {
             let pick = rng.gen_range(0..self.members.len());
             out.push(per_member[pick][sample]);
@@ -227,10 +229,8 @@ mod tests {
             &mut seeds.derive("vit"),
         )
         .unwrap();
-        let single = RandomSelectionEnsemble::new(
-            "single",
-            vec![EnsembleMember::new("ViT", Box::new(vit))],
-        );
+        let single =
+            RandomSelectionEnsemble::new("single", vec![EnsembleMember::new("ViT", Box::new(vit))]);
         assert!(single.is_err());
     }
 

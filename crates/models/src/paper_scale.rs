@@ -198,7 +198,10 @@ mod tests {
         );
         // ViT-B/16 has ≈ 86M parameters.
         let base = vit_total_params(&ViTConfig::vit_b16_paper());
-        assert!((80_000_000..95_000_000).contains(&base), "ViT-B/16 params {base}");
+        assert!(
+            (80_000_000..95_000_000).contains(&base),
+            "ViT-B/16 params {base}"
+        );
     }
 
     #[test]

@@ -40,9 +40,25 @@ impl PreActBlock {
         };
         PreActBlock {
             norm1: BatchNorm2d::new(&format!("{name}.bn1"), in_channels),
-            conv1: Conv2d::new(&format!("{name}.conv1"), in_channels, out_channels, 3, stride, 1, rng),
+            conv1: Conv2d::new(
+                &format!("{name}.conv1"),
+                in_channels,
+                out_channels,
+                3,
+                stride,
+                1,
+                rng,
+            ),
             norm2: BatchNorm2d::new(&format!("{name}.bn2"), out_channels),
-            conv2: Conv2d::new(&format!("{name}.conv2"), out_channels, out_channels, 3, 1, 1, rng),
+            conv2: Conv2d::new(
+                &format!("{name}.conv2"),
+                out_channels,
+                out_channels,
+                3,
+                1,
+                1,
+                rng,
+            ),
             projection,
         }
     }
@@ -139,7 +155,11 @@ impl ResNetV2 {
             .enumerate()
         {
             for block_idx in 0..blocks {
-                let stride = if stage_idx > 0 && block_idx == 0 { 2 } else { 1 };
+                let stride = if stage_idx > 0 && block_idx == 0 {
+                    2
+                } else {
+                    1
+                };
                 stages.push(PreActBlock::new(
                     &format!("{name}.stage{stage_idx}.block{block_idx}"),
                     in_channels,
@@ -327,9 +347,13 @@ mod tests {
     #[test]
     fn resnet164_scaled_is_deeper_than_resnet56_scaled() {
         let mut seeds = SeedStream::new(8);
-        let r56 = ResNetV2::new(ResNetConfig::resnet56_scaled(3, 10), &mut seeds.derive("a")).unwrap();
-        let r164 =
-            ResNetV2::new(ResNetConfig::resnet164_scaled(3, 10), &mut seeds.derive("b")).unwrap();
+        let r56 =
+            ResNetV2::new(ResNetConfig::resnet56_scaled(3, 10), &mut seeds.derive("a")).unwrap();
+        let r164 = ResNetV2::new(
+            ResNetConfig::resnet164_scaled(3, 10),
+            &mut seeds.derive("b"),
+        )
+        .unwrap();
         assert!(r164.num_blocks() > r56.num_blocks());
         assert!(r164.num_parameters() > r56.num_parameters());
     }

@@ -170,7 +170,11 @@ mod tests {
         )
         .unwrap();
         assert!(report.loss_decreased(), "losses: {:?}", report.epoch_losses);
-        assert!(report.final_accuracy >= 0.9, "accuracy {}", report.final_accuracy);
+        assert!(
+            report.final_accuracy >= 0.9,
+            "accuracy {}",
+            report.final_accuracy
+        );
     }
 
     #[test]
@@ -202,7 +206,11 @@ mod tests {
         )
         .unwrap();
         assert!(report.loss_decreased());
-        assert!(report.final_accuracy >= 0.9, "accuracy {}", report.final_accuracy);
+        assert!(
+            report.final_accuracy >= 0.9,
+            "accuracy {}",
+            report.final_accuracy
+        );
     }
 
     #[test]
@@ -224,7 +232,8 @@ mod tests {
         )
         .unwrap();
         let (images, labels) = separable_dataset(8, 75);
-        let bad_labels = train_classifier(&mut vit, &images, &labels[..4], &TrainingConfig::default());
+        let bad_labels =
+            train_classifier(&mut vit, &images, &labels[..4], &TrainingConfig::default());
         assert!(bad_labels.is_err());
         let bad_epochs = train_classifier(
             &mut vit,

@@ -20,7 +20,13 @@ struct EncoderBlock {
 }
 
 impl EncoderBlock {
-    fn new<R: Rng + ?Sized>(name: &str, dim: usize, heads: usize, mlp_dim: usize, rng: &mut R) -> Result<Self> {
+    fn new<R: Rng + ?Sized>(
+        name: &str,
+        dim: usize,
+        heads: usize,
+        mlp_dim: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
         Ok(EncoderBlock {
             norm1: LayerNorm::new(&format!("{name}.norm1"), dim),
             attn: MultiHeadAttention::new(&format!("{name}.attn"), dim, heads, rng)?,
@@ -86,7 +92,7 @@ impl VisionTransformer {
     /// size does not divide the image size, or heads do not divide the
     /// embedding dimension).
     pub fn new<R: Rng + ?Sized>(config: ViTConfig, rng: &mut R) -> Result<Self> {
-        if config.image_size % config.patch != 0 {
+        if !config.image_size.is_multiple_of(config.patch) {
             return Err(NnError::InvalidConfig {
                 component: config.name.clone(),
                 reason: format!(

@@ -30,7 +30,7 @@ impl MultiHeadAttention {
     /// Returns [`NnError::InvalidConfig`] if `dim` is not divisible by
     /// `heads`.
     pub fn new<R: Rng + ?Sized>(name: &str, dim: usize, heads: usize, rng: &mut R) -> Result<Self> {
-        if heads == 0 || dim % heads != 0 {
+        if heads == 0 || !dim.is_multiple_of(heads) {
             return Err(NnError::InvalidConfig {
                 component: name.to_string(),
                 reason: format!("embedding dim {dim} not divisible into {heads} heads"),
@@ -187,7 +187,12 @@ mod tests {
         let loss = g.sum_all(sq).unwrap();
         let grads = g.backward(loss).unwrap();
         assert!(grads.get(x).is_some());
-        for tag in ["attn.query.weight", "attn.key.weight", "attn.value.weight", "attn.out.weight"] {
+        for tag in [
+            "attn.query.weight",
+            "attn.key.weight",
+            "attn.value.weight",
+            "attn.out.weight",
+        ] {
             let id = g.node_by_tag(tag).unwrap();
             assert!(grads.get(id).is_some(), "missing gradient for {tag}");
         }

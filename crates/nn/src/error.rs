@@ -72,7 +72,9 @@ mod tests {
         assert!(e.to_string().contains("tensor error"));
         let e: NnError = AutodiffError::UnknownTag { tag: "w".into() }.into();
         assert!(e.to_string().contains("autodiff error"));
-        let e = NnError::MissingGradient { param: "fc.weight".into() };
+        let e = NnError::MissingGradient {
+            param: "fc.weight".into(),
+        };
         assert!(e.to_string().contains("fc.weight"));
     }
 

@@ -20,7 +20,12 @@ pub struct Linear {
 
 impl Linear {
     /// Creates a layer with Xavier-uniform weights and zero bias.
-    pub fn new<R: Rng + ?Sized>(name: &str, in_features: usize, out_features: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        rng: &mut R,
+    ) -> Self {
         Self::with_init(
             name,
             in_features,
@@ -165,6 +170,9 @@ mod tests {
             let grads = g.backward(loss).unwrap();
             opt.step(&mut layer.parameters_mut(), &g, &grads).unwrap();
         }
-        assert!(last_loss < first_loss.unwrap() * 0.1, "loss did not decrease");
+        assert!(
+            last_loss < first_loss.unwrap() * 0.1,
+            "loss did not decrease"
+        );
     }
 }

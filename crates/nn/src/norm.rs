@@ -101,8 +101,12 @@ impl BatchNorm2d {
         let var = per_channel.var_axis(1, false)?;
         let mut rm = self.running_mean.lock();
         let mut rv = self.running_var.lock();
-        *rm = rm.mul_scalar(1.0 - self.momentum).add(&mean.mul_scalar(self.momentum))?;
-        *rv = rv.mul_scalar(1.0 - self.momentum).add(&var.mul_scalar(self.momentum))?;
+        *rm = rm
+            .mul_scalar(1.0 - self.momentum)
+            .add(&mean.mul_scalar(self.momentum))?;
+        *rv = rv
+            .mul_scalar(1.0 - self.momentum)
+            .add(&var.mul_scalar(self.momentum))?;
         Ok(())
     }
 }
@@ -163,7 +167,7 @@ impl GroupNorm {
     /// Returns [`NnError::InvalidConfig`] if `channels` is not divisible by
     /// `groups`.
     pub fn new(name: &str, channels: usize, groups: usize) -> Result<Self> {
-        if groups == 0 || channels % groups != 0 {
+        if groups == 0 || !channels.is_multiple_of(groups) {
             return Err(NnError::InvalidConfig {
                 component: name.to_string(),
                 reason: format!("{channels} channels not divisible into {groups} groups"),
@@ -234,7 +238,10 @@ mod tests {
         let xid = g.input(x.clone(), "x");
         bn.forward(&mut g, xid).unwrap();
         let rm = bn.running_mean();
-        assert!(rm.data().iter().all(|&m| m > 0.0), "running mean should move towards ~3");
+        assert!(
+            rm.data().iter().all(|&m| m > 0.0),
+            "running mean should move towards ~3"
+        );
 
         // Eval forward uses the running statistics and still produces
         // gradients w.r.t. the input.

@@ -138,7 +138,9 @@ impl Adam {
                 .first_moment
                 .entry(param.name().to_string())
                 .or_insert_with(|| Tensor::zeros(grad.dims()));
-            *m = m.mul_scalar(self.beta1).add(&grad.mul_scalar(1.0 - self.beta1))?;
+            *m = m
+                .mul_scalar(self.beta1)
+                .add(&grad.mul_scalar(1.0 - self.beta1))?;
             let v = self
                 .second_moment
                 .entry(param.name().to_string())
@@ -164,7 +166,10 @@ mod tests {
     use pelta_autodiff::Graph;
     use pelta_tensor::SeedStream;
 
-    fn quadratic_step(param: &mut Param, optimiser: &mut dyn FnMut(&mut Param, &Graph, &Gradients)) -> f32 {
+    fn quadratic_step(
+        param: &mut Param,
+        optimiser: &mut dyn FnMut(&mut Param, &Graph, &Gradients),
+    ) -> f32 {
         // Loss = Σ w²; gradient = 2w. The optimum is w = 0.
         let mut g = Graph::new();
         let w = param.bind(&mut g);
@@ -217,7 +222,10 @@ mod tests {
                 opt.step(&mut [param], g, grads).unwrap();
             }));
         }
-        assert!(losses.last().unwrap() < &(losses[0] * 0.2), "losses: {losses:?}");
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.2),
+            "losses: {losses:?}"
+        );
     }
 
     #[test]

@@ -100,8 +100,18 @@ mod tests {
     fn chains_modules_and_collects_parameters() {
         let mut seeds = SeedStream::new(50);
         let seq = Sequential::new("mlp")
-            .push(Box::new(Linear::new("mlp.fc1", 4, 8, &mut seeds.derive("a"))))
-            .push(Box::new(Linear::new("mlp.fc2", 8, 2, &mut seeds.derive("b"))));
+            .push(Box::new(Linear::new(
+                "mlp.fc1",
+                4,
+                8,
+                &mut seeds.derive("a"),
+            )))
+            .push(Box::new(Linear::new(
+                "mlp.fc2",
+                8,
+                2,
+                &mut seeds.derive("b"),
+            )));
         assert_eq!(seq.len(), 2);
         assert_eq!(seq.parameters().len(), 4);
         let mut g = Graph::new();
@@ -114,7 +124,15 @@ mod tests {
     fn set_training_propagates_to_children() {
         let mut seeds = SeedStream::new(51);
         let mut seq = Sequential::new("stage");
-        seq.add(Box::new(Conv2d::new("stage.conv", 1, 2, 3, 1, 1, &mut seeds.derive("c"))));
+        seq.add(Box::new(Conv2d::new(
+            "stage.conv",
+            1,
+            2,
+            3,
+            1,
+            1,
+            &mut seeds.derive("c"),
+        )));
         seq.add(Box::new(BatchNorm2d::new("stage.bn", 2)));
         seq.set_training(false);
         // Forward in eval mode must use running statistics (no panic, valid

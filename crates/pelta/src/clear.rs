@@ -63,8 +63,7 @@ impl GradientOracle for ClearWhiteBox {
         // attacker simply has no reason to use it because ∇ₓL is available.
         let frontier_tag = self.model.frontier_tag();
         let frontier = exec.graph.node_by_tag(&frontier_tag)?;
-        let clear_adjoint =
-            shallowest_clear_adjoint(&exec.graph, &exec.grads, &[], &[frontier])?;
+        let clear_adjoint = shallowest_clear_adjoint(&exec.graph, &exec.grads, &[], &[frontier])?;
 
         let attention_rollout = match self.model.attention_probs_prefix() {
             Some(prefix) => attention_rollout_map(&exec.graph, &prefix, batch, &input_dims)?,

@@ -103,7 +103,9 @@ mod tests {
             quantity: "input gradient".to_string(),
         };
         assert!(e.to_string().contains("masked"));
-        let e = PeltaError::FrontierNotFound { tag: "vit.pelta_frontier".to_string() };
+        let e = PeltaError::FrontierNotFound {
+            tag: "vit.pelta_frontier".to_string(),
+        };
         assert!(e.to_string().contains("vit.pelta_frontier"));
     }
 

@@ -169,9 +169,7 @@ pub fn attention_rollout_map(
         // Average over heads, mix with identity, row-normalise.
         let per_sample = probs.reshape(&[batch, heads, t, t])?.mean_axis(1, false)?;
         let identity = Tensor::eye(t).reshape(&[1, t, t])?;
-        let mixed = per_sample
-            .mul_scalar(0.5)
-            .add(&identity.mul_scalar(0.5))?;
+        let mixed = per_sample.mul_scalar(0.5).add(&identity.mul_scalar(0.5))?;
         let row_sums = mixed.sum_axis(2, true)?;
         let normalised = mixed.div(&row_sums)?;
         rollout = Some(match rollout {
@@ -268,8 +266,11 @@ mod tests {
 
     fn tiny_vit(seed: u64) -> VisionTransformer {
         let mut seeds = SeedStream::new(seed);
-        VisionTransformer::new(ViTConfig::vit_b16_scaled(8, 3, 4), &mut seeds.derive("init"))
-            .unwrap()
+        VisionTransformer::new(
+            ViTConfig::vit_b16_scaled(8, 3, 4),
+            &mut seeds.derive("init"),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -291,9 +292,8 @@ mod tests {
         let vit = tiny_vit(3);
         let mut seeds = SeedStream::new(4);
         let x = Tensor::rand_uniform(&[1, 3, 8, 8], 0.0, 1.0, &mut seeds.derive("x"));
-        let exec =
-            run_forward_backward(&vit, &x, &[2], AttackLoss::CwMargin { confidence: 50.0 })
-                .unwrap();
+        let exec = run_forward_backward(&vit, &x, &[2], AttackLoss::CwMargin { confidence: 50.0 })
+            .unwrap();
         assert!(exec.loss_value.is_finite());
     }
 

@@ -111,19 +111,15 @@ pub fn build_shield_plan(graph: &Graph, frontier_tags: &[String]) -> Result<Shie
     }
     // Nodes are topologically ordered, so one forward sweep suffices.
     for node in graph.nodes() {
-        if node
-            .parents()
-            .iter()
-            .any(|p| leads_to_input[p.index()])
-        {
+        if node.parents().iter().any(|p| leads_to_input[p.index()]) {
             leads_to_input[node.id().index()] = true;
         }
     }
     let mut masked_jacobians = Vec::new();
     for &child in &shielded {
         for &parent in graph.node(child)?.parents() {
-            let parent_is_input_path = leads_to_input[parent.index()]
-                || graph.node(parent)?.role() == NodeRole::Input;
+            let parent_is_input_path =
+                leads_to_input[parent.index()] || graph.node(parent)?.role() == NodeRole::Input;
             if parent_is_input_path {
                 masked_jacobians.push((parent, child));
             }
@@ -201,7 +197,10 @@ mod tests {
     /// output tagged as the frontier.
     fn toy_graph() -> (Graph, NodeId, NodeId, NodeId, NodeId) {
         let mut g = Graph::new();
-        let x = g.input(Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]).unwrap(), "input");
+        let x = g.input(
+            Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]).unwrap(),
+            "input",
+        );
         let w1 = g.parameter(Tensor::from_vec(vec![2.0, 2.0, 2.0], &[3]).unwrap(), "w1");
         let prod1 = g.mul(x, w1).unwrap();
         let frontier = g.relu(prod1).unwrap();
@@ -220,7 +219,10 @@ mod tests {
         assert!(plan.is_shielded(x), "input must be shielded");
         assert!(plan.is_shielded(w1), "prefix parameter must be shielded");
         assert!(plan.is_shielded(frontier));
-        assert!(!plan.is_shielded(prod2), "clear suffix must not be shielded");
+        assert!(
+            !plan.is_shielded(prod2),
+            "clear suffix must not be shielded"
+        );
         assert!(!plan.is_empty());
         assert_eq!(plan.len(), 4); // x, w1, prod1, frontier
     }
@@ -270,7 +272,10 @@ mod tests {
         assert!(report.nodes_stored >= 4);
         assert!(report.gradients_stored >= 3);
         assert!(report.total_bytes() > 0);
-        assert_eq!(enclave.object_count(), report.nodes_stored + report.gradients_stored);
+        assert_eq!(
+            enclave.object_count(),
+            report.nodes_stored + report.gradients_stored
+        );
         let key = format!("pass0.value.{x}");
         assert!(enclave.contains(&key));
         assert!(matches!(
@@ -294,7 +299,9 @@ mod tests {
         let one_pass_bytes = {
             let mut grads = g.backward(loss).unwrap();
             let enclave = Enclave::new(EnclaveConfig::trustzone_default());
-            apply_shield(&g, &plan, &mut grads, &enclave, 0).unwrap().total_bytes()
+            apply_shield(&g, &plan, &mut grads, &enclave, 0)
+                .unwrap()
+                .total_bytes()
         };
         let enclave = Enclave::new(EnclaveConfig::with_budget("tight", one_pass_bytes));
         for pass in 0..5u64 {
@@ -312,6 +319,9 @@ mod tests {
         let plan = build_shield_plan(&g, &["toy.pelta_frontier".to_string()]).unwrap();
         let enclave = Enclave::new(EnclaveConfig::with_budget("tiny", 8));
         let err = apply_shield(&g, &plan, &mut grads, &enclave, 0);
-        assert!(matches!(err, Err(PeltaError::Tee(TeeError::OutOfSecureMemory { .. }))));
+        assert!(matches!(
+            err,
+            Err(PeltaError::Tee(TeeError::OutOfSecureMemory { .. }))
+        ));
     }
 }

@@ -154,8 +154,8 @@ mod tests {
         BigTransfer, BitConfig, ResNetConfig, ResNetV2, ViTConfig, VisionTransformer,
     };
     use pelta_nn::Module;
-    use pelta_tensor::SeedStream;
     use pelta_tee::World;
+    use pelta_tensor::SeedStream;
 
     fn vit_oracle(seed: u64) -> ShieldedWhiteBox {
         let mut seeds = SeedStream::new(seed);
@@ -220,7 +220,10 @@ mod tests {
             if i == 0 {
                 first_bytes = used;
             } else {
-                assert_eq!(used, first_bytes, "enclave usage must not grow across probes");
+                assert_eq!(
+                    used, first_bytes,
+                    "enclave usage must not grow across probes"
+                );
             }
         }
     }
@@ -268,7 +271,8 @@ mod tests {
         bit.set_training(false);
         let x = Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, &mut seeds.derive("x"));
         for model in [
-            ShieldedWhiteBox::with_default_enclave(Arc::new(resnet) as Arc<dyn ImageModel>).unwrap(),
+            ShieldedWhiteBox::with_default_enclave(Arc::new(resnet) as Arc<dyn ImageModel>)
+                .unwrap(),
             ShieldedWhiteBox::with_default_enclave(Arc::new(bit) as Arc<dyn ImageModel>).unwrap(),
         ] {
             let probe = model.probe(&x, &[0], AttackLoss::CrossEntropy).unwrap();

@@ -34,8 +34,8 @@ pub struct CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         CostModel {
-            world_switch_ns: 4_000,  // ≈ 4 µs SMC round trip
-            channel_byte_ns: 0.35,   // ≈ 2.8 GB/s AES-class encryption
+            world_switch_ns: 4_000, // ≈ 4 µs SMC round trip
+            channel_byte_ns: 0.35,  // ≈ 2.8 GB/s AES-class encryption
             seal_byte_ns: 0.8,
             attestation_ns: 1_200_000, // ≈ 1.2 ms
         }

@@ -46,7 +46,7 @@ impl EnclaveConfig {
             id: "trustzone".to_string(),
             memory_budget: 30 * 1024 * 1024,
             cost_model: CostModel::default(),
-            measurement: 0x70e1_7a_5e1f_ed,
+            measurement: 0x70e1_7a5e_1fed,
         }
     }
 
@@ -57,7 +57,7 @@ impl EnclaveConfig {
             id: id.to_string(),
             memory_budget,
             cost_model: CostModel::default(),
-            measurement: 0x70e1_7a_5e1f_ed,
+            measurement: 0x70e1_7a5e_1fed,
         }
     }
 }
@@ -127,7 +127,9 @@ impl Enclave {
     /// shielded forward pass of `pelta-core` calls this when crossing the
     /// shield frontier.
     pub fn record_world_switch(&self) {
-        self.ledger.lock().record_world_switch(&self.config.cost_model);
+        self.ledger
+            .lock()
+            .record_world_switch(&self.config.cost_model);
     }
 
     /// Records the transfer of `bytes` bytes over the enclave's secure
@@ -305,9 +307,7 @@ mod tests {
     #[test]
     fn store_and_read_respects_world_separation() {
         let enclave = Enclave::new(EnclaveConfig::trustzone_default());
-        enclave
-            .store_tensor("grad", Tensor::ones(&[4, 4]))
-            .unwrap();
+        enclave.store_tensor("grad", Tensor::ones(&[4, 4])).unwrap();
         assert!(enclave.contains("grad"));
         assert_eq!(enclave.object_count(), 1);
         let secure = enclave.read_tensor("grad", World::Secure).unwrap();
@@ -368,7 +368,10 @@ mod tests {
         // A tampered blob is rejected.
         let mut tampered = blob.clone();
         tampered.tamper_for_tests();
-        assert!(matches!(other_unseal(&other, &tampered), Err(TeeError::SealIntegrity)));
+        assert!(matches!(
+            other_unseal(&other, &tampered),
+            Err(TeeError::SealIntegrity)
+        ));
 
         // An enclave with a different measurement cannot unseal.
         let mut foreign_cfg = EnclaveConfig::trustzone_default();
@@ -406,7 +409,9 @@ mod tests {
         // fit a 30 MB TrustZone enclave. Emulate with a tensor of that size.
         let enclave = Enclave::new(EnclaveConfig::trustzone_default());
         let four_million_floats = Tensor::zeros(&[4_000_000]);
-        assert!(enclave.store_tensor("ensemble_shield", four_million_floats).is_ok());
+        assert!(enclave
+            .store_tensor("ensemble_shield", four_million_floats)
+            .is_ok());
         // But a large model slice (40 MB here, a stand-in for the ~500 MB of
         // a full VGG-16) cannot be shielded in addition, which is the
         // paper's motivation for partial shielding.

@@ -93,7 +93,9 @@ mod tests {
         assert!(TeeError::AccessDenied { key: "grad".into() }
             .to_string()
             .contains("grad"));
-        assert!(TeeError::NotFound { key: "x".into() }.to_string().contains('x'));
+        assert!(TeeError::NotFound { key: "x".into() }
+            .to_string()
+            .contains('x'));
     }
 
     #[test]

@@ -125,7 +125,9 @@ mod tests {
         let tensor = Tensor::from_vec(vec![1.5, -2.25, 0.0, 7.0], &[2, 2]).unwrap();
         let blob = SealedBlob::encode_tensor("weights", &tensor, 42);
         assert!(!blob.is_empty());
-        assert!(blob.len() > 0);
+        // The ciphertext carries the JSON payload (key, dims and data), so
+        // it must exceed the raw tensor bytes alone.
+        assert!(blob.len() > 4 * std::mem::size_of::<f32>());
         let (key, restored) = blob.decode(42).unwrap();
         assert_eq!(key, "weights");
         assert_eq!(restored, tensor);

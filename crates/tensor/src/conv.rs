@@ -80,7 +80,11 @@ impl Tensor {
     pub fn conv2d(&self, weight: &Tensor, spec: Conv2dSpec) -> Result<Tensor> {
         check_conv_operands(self, weight)?;
         let pad = spec.padding.amount();
-        let input = if pad > 0 { self.pad2d(pad, pad)? } else { self.clone() };
+        let input = if pad > 0 {
+            self.pad2d(pad, pad)?
+        } else {
+            self.clone()
+        };
         let (n, c_in, h, w) = dims4(&input);
         let (c_out, wc_in, kh, kw) = dims4(weight);
         if wc_in != c_in {
@@ -220,7 +224,11 @@ impl Tensor {
         }
         check_conv_operands(input, grad_out)?;
         let pad = spec.padding.amount();
-        let padded = if pad > 0 { input.pad2d(pad, pad)? } else { input.clone() };
+        let padded = if pad > 0 {
+            input.pad2d(pad, pad)?
+        } else {
+            input.clone()
+        };
         let (n, c_in, h, w) = dims4(&padded);
         let (c_out, wc_in, kh, kw) = (
             kernel_shape[0],
@@ -355,8 +363,8 @@ impl Tensor {
                         let mut m = f32::NEG_INFINITY;
                         for ky in 0..k {
                             for kx in 0..k {
-                                let v =
-                                    self.data()[((ni * c + ci) * h + oy * k + ky) * w + ox * k + kx];
+                                let v = self.data()
+                                    [((ni * c + ci) * h + oy * k + ky) * w + ox * k + kx];
                                 if v > m {
                                     m = v;
                                 }
@@ -432,7 +440,12 @@ mod tests {
         let strided = Conv2dSpec::new(2, 1);
         assert_eq!(strided.output_size(6, 3).unwrap(), 3);
         assert!(valid.output_size(2, 5).is_err());
-        assert!(Conv2dSpec { stride: 0, padding: Padding::Valid }.output_size(5, 3).is_err());
+        assert!(Conv2dSpec {
+            stride: 0,
+            padding: Padding::Valid
+        }
+        .output_size(5, 3)
+        .is_err());
     }
 
     #[test]
@@ -455,7 +468,15 @@ mod tests {
         let w = Tensor::ones(&[1, 1, 2, 2]);
         let y = x.conv2d(&w, Conv2dSpec::default()).unwrap();
         assert_eq!(y.dims(), &[1, 1, 2, 2]);
-        assert_eq!(y.data(), &[0.0 + 1.0 + 3.0 + 4.0, 1.0 + 2.0 + 4.0 + 5.0, 3.0 + 4.0 + 6.0 + 7.0, 4.0 + 5.0 + 7.0 + 8.0]);
+        assert_eq!(
+            y.data(),
+            &[
+                0.0 + 1.0 + 3.0 + 4.0,
+                1.0 + 2.0 + 4.0 + 5.0,
+                3.0 + 4.0 + 6.0 + 7.0,
+                4.0 + 5.0 + 7.0 + 8.0
+            ]
+        );
     }
 
     #[test]
@@ -475,7 +496,9 @@ mod tests {
         let x = Tensor::zeros(&[1, 3, 4, 4]);
         let w = Tensor::zeros(&[2, 2, 3, 3]);
         assert!(x.conv2d(&w, Conv2dSpec::default()).is_err());
-        assert!(Tensor::zeros(&[2, 2]).conv2d(&w, Conv2dSpec::default()).is_err());
+        assert!(Tensor::zeros(&[2, 2])
+            .conv2d(&w, Conv2dSpec::default())
+            .is_err());
     }
 
     /// Finite-difference check of the input gradient: perturb one input pixel
@@ -523,8 +546,8 @@ mod tests {
             wp.data_mut()[flat] += eps;
             let mut wm = w.clone();
             wm.data_mut()[flat] -= eps;
-            let numeric =
-                (x.conv2d(&wp, spec).unwrap().sum() - x.conv2d(&wm, spec).unwrap().sum()) / (2.0 * eps);
+            let numeric = (x.conv2d(&wp, spec).unwrap().sum() - x.conv2d(&wm, spec).unwrap().sum())
+                / (2.0 * eps);
             assert!(
                 (numeric - gw.data()[flat]).abs() < 2e-2,
                 "weight {flat}: numeric {numeric} vs analytic {}",
@@ -542,7 +565,9 @@ mod tests {
         // Centre pixel receives overlapping contributions.
         assert!(y.get(&[0, 0, 2, 2]).unwrap() >= 1.0);
         assert!(x.conv_transpose2d(&w, 0).is_err());
-        assert!(x.conv_transpose2d(&Tensor::zeros(&[2, 1, 3, 3]), 1).is_err());
+        assert!(x
+            .conv_transpose2d(&Tensor::zeros(&[2, 1, 3, 3]), 1)
+            .is_err());
     }
 
     #[test]
@@ -567,7 +592,10 @@ mod tests {
     #[test]
     fn pooling_operations() {
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();

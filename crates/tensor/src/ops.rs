@@ -192,13 +192,14 @@ impl Tensor {
                 .collect();
             return Tensor::from_vec(data, self.dims());
         }
-        let out_shape = lhs_shape.broadcast_with(&rhs_shape).map_err(|_| {
-            TensorError::ShapeMismatch {
-                op,
-                lhs: self.dims().to_vec(),
-                rhs: other.dims().to_vec(),
-            }
-        })?;
+        let out_shape =
+            lhs_shape
+                .broadcast_with(&rhs_shape)
+                .map_err(|_| TensorError::ShapeMismatch {
+                    op,
+                    lhs: self.dims().to_vec(),
+                    rhs: other.dims().to_vec(),
+                })?;
         let numel = out_shape.numel();
         let mut data = Vec::with_capacity(numel);
         for offset in 0..numel {

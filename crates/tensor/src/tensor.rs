@@ -102,7 +102,12 @@ impl Tensor {
     }
 
     /// Uniform random tensor in `[low, high)` drawn from `rng`.
-    pub fn rand_uniform<R: Rng + ?Sized>(shape: &[usize], low: f32, high: f32, rng: &mut R) -> Self {
+    pub fn rand_uniform<R: Rng + ?Sized>(
+        shape: &[usize],
+        low: f32,
+        high: f32,
+        rng: &mut R,
+    ) -> Self {
         let numel: usize = shape.iter().product();
         let data = (0..numel).map(|_| rng.gen_range(low..high)).collect();
         Tensor {
@@ -326,13 +331,8 @@ impl Tensor {
                 shape: self.shape.clone(),
             });
         }
-        self.narrow(axis, index, 1)?.reshape(
-            &self
-                .shape()
-                .remove_axis(axis)?
-                .dims()
-                .to_vec(),
-        )
+        self.narrow(axis, index, 1)?
+            .reshape(self.shape().remove_axis(axis)?.dims())
     }
 
     /// Returns a slice of length `len` starting at `start` along `axis`.
@@ -378,7 +378,9 @@ impl Tensor {
     /// # Errors
     /// Returns an error if the list is empty or the shapes disagree.
     pub fn concat(tensors: &[&Tensor], axis: usize) -> Result<Tensor> {
-        let first = tensors.first().ok_or(TensorError::EmptyTensor { op: "concat" })?;
+        let first = tensors
+            .first()
+            .ok_or(TensorError::EmptyTensor { op: "concat" })?;
         if axis >= first.rank() {
             return Err(TensorError::AxisOutOfRange {
                 op: "concat",
@@ -429,7 +431,9 @@ impl Tensor {
     /// # Errors
     /// Returns an error if the list is empty or the shapes differ.
     pub fn stack(tensors: &[&Tensor]) -> Result<Tensor> {
-        let first = tensors.first().ok_or(TensorError::EmptyTensor { op: "stack" })?;
+        let first = tensors
+            .first()
+            .ok_or(TensorError::EmptyTensor { op: "stack" })?;
         let mut data = Vec::with_capacity(first.numel() * tensors.len());
         for t in tensors {
             if t.shape != first.shape {
@@ -458,7 +462,7 @@ impl Tensor {
                 rank: self.rank(),
             });
         }
-        if parts == 0 || self.shape[axis] % parts != 0 {
+        if parts == 0 || !self.shape[axis].is_multiple_of(parts) {
             return Err(TensorError::InvalidArgument {
                 op: "chunk",
                 reason: format!(

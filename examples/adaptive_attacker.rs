@@ -59,15 +59,24 @@ fn main() -> Result<(), Box<dyn Error>> {
     let clear = ClearWhiteBox::new(Arc::clone(&model) as _);
     let shielded = ShieldedWhiteBox::with_default_enclave(Arc::clone(&model) as _)?;
 
-    println!("attacking {} correctly classified samples (ε = {epsilon})\n", labels.len());
+    println!(
+        "attacking {} correctly classified samples (ε = {epsilon})\n",
+        labels.len()
+    );
 
     // Reference points: full white-box and the paper's §V-B fallback.
     let mut rng = seeds.derive("pgd-clear");
     let full = robust_accuracy(&clear, &pgd, &samples, &labels, &mut rng)?;
     let mut rng = seeds.derive("pgd-shielded");
     let fallback = robust_accuracy(&shielded, &pgd, &samples, &labels, &mut rng)?;
-    println!("PGD, no shield (full white-box):            robust accuracy {:>6.1}%", full.robust_accuracy * 100.0);
-    println!("PGD, Pelta + random upsampling (§V-B):      robust accuracy {:>6.1}%", fallback.robust_accuracy * 100.0);
+    println!(
+        "PGD, no shield (full white-box):            robust accuracy {:>6.1}%",
+        full.robust_accuracy * 100.0
+    );
+    println!(
+        "PGD, Pelta + random upsampling (§V-B):      robust accuracy {:>6.1}%",
+        fallback.robust_accuracy * 100.0
+    );
 
     // (a) The BPDA substitute-training attacker.
     let substitute = SubstituteTransfer::new(SubstituteConfig {
@@ -81,7 +90,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     })?;
     let mut rng = seeds.derive("substitute");
     let transfer = robust_accuracy(&shielded, &substitute, &samples, &labels, &mut rng)?;
-    println!("SubstituteTransfer, Pelta (8 local epochs): robust accuracy {:>6.1}%", transfer.robust_accuracy * 100.0);
+    println!(
+        "SubstituteTransfer, Pelta (8 local epochs): robust accuracy {:>6.1}%",
+        transfer.robust_accuracy * 100.0
+    );
 
     // (b) The embedding-prior attacker, weak and strong priors.
     for fidelity in [0.5f32, 1.0] {

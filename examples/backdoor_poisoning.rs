@@ -46,8 +46,14 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     for (name, rule) in [
         ("FedAvg (no defense)", AggregationRule::FedAvg),
-        ("norm clipping, max L2 = 1.0", AggregationRule::NormClipping { max_norm: 1.0 }),
-        ("trimmed mean, trim 1", AggregationRule::TrimmedMean { trim: 1 }),
+        (
+            "norm clipping, max L2 = 1.0",
+            AggregationRule::NormClipping { max_norm: 1.0 },
+        ),
+        (
+            "trimmed mean, trim 1",
+            AggregationRule::TrimmedMean { trim: 1 },
+        ),
     ] {
         let init = VisionTransformer::new(vit_config.clone(), &mut seeds.derive("init"))?;
         let mut server = RobustAggregator::new(export_parameters(&init), rule)?;

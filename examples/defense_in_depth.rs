@@ -53,23 +53,36 @@ fn main() -> Result<(), Box<dyn Error>> {
         DefenseStack::new(inner)
             .with_quantization(8)
             .expect("valid quantizer")
-            .with_randomization(RandomizationConfig { noise: 0.02, max_shift: 2 }, seed)
+            .with_randomization(
+                RandomizationConfig {
+                    noise: 0.02,
+                    max_shift: 2,
+                },
+                seed,
+            )
             .expect("valid randomization")
             .build()
     };
 
     let clear: Arc<dyn GradientOracle> = Arc::new(ClearWhiteBox::new(Arc::clone(&model) as _));
-    let shielded: Arc<dyn GradientOracle> =
-        Arc::new(ShieldedWhiteBox::with_default_enclave(Arc::clone(&model) as _)?);
+    let shielded: Arc<dyn GradientOracle> = Arc::new(ShieldedWhiteBox::with_default_enclave(
+        Arc::clone(&model) as _,
+    )?);
     let settings: Vec<(&str, Arc<dyn GradientOracle>)> = vec![
         ("undefended", Arc::clone(&clear)),
-        ("software only (quantize + randomize)", software(Arc::clone(&clear), 1)),
+        (
+            "software only (quantize + randomize)",
+            software(Arc::clone(&clear), 1),
+        ),
         ("Pelta only", Arc::clone(&shielded)),
         ("Pelta + software", software(Arc::clone(&shielded), 2)),
     ];
 
     let pgd = Pgd::new(0.062, 0.0124, 10)?;
-    println!("PGD (ε = 0.062, 10 steps) against {} correctly classified samples:\n", labels.len());
+    println!(
+        "PGD (ε = 0.062, 10 steps) against {} correctly classified samples:\n",
+        labels.len()
+    );
     for (name, oracle) in settings {
         let mut rng = seeds.derive(name);
         let outcome = robust_accuracy(oracle.as_ref(), &pgd, &samples, &labels, &mut rng)?;

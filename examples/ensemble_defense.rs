@@ -14,8 +14,8 @@ use pelta_attacks::{select_correctly_classified, Saga, SagaParams, SagaTarget};
 use pelta_core::{ClearWhiteBox, ShieldedWhiteBox};
 use pelta_data::{Dataset, DatasetSpec, GeneratorConfig};
 use pelta_models::{
-    train_classifier, BigTransfer, BitConfig, EnsembleMember, ImageModel,
-    RandomSelectionEnsemble, TrainingConfig, ViTConfig, VisionTransformer,
+    train_classifier, BigTransfer, BitConfig, EnsembleMember, ImageModel, RandomSelectionEnsemble,
+    TrainingConfig, ViTConfig, VisionTransformer,
 };
 use pelta_tensor::SeedStream;
 
@@ -42,9 +42,22 @@ fn main() -> Result<(), Box<dyn Error>> {
         ViTConfig::vit_l16_scaled(32, 3, 10),
         &mut seeds.derive("vit"),
     )?;
-    train_classifier(&mut vit, dataset.train_images(), dataset.train_labels(), &training)?;
-    let mut bit = BigTransfer::new(BitConfig::bit_r101x3_scaled(3, 10), &mut seeds.derive("bit"))?;
-    train_classifier(&mut bit, dataset.train_images(), dataset.train_labels(), &training)?;
+    train_classifier(
+        &mut vit,
+        dataset.train_images(),
+        dataset.train_labels(),
+        &training,
+    )?;
+    let mut bit = BigTransfer::new(
+        BitConfig::bit_r101x3_scaled(3, 10),
+        &mut seeds.derive("bit"),
+    )?;
+    train_classifier(
+        &mut bit,
+        dataset.train_images(),
+        dataset.train_labels(),
+        &training,
+    )?;
     let vit: Arc<dyn ImageModel> = Arc::new(vit);
     let bit: Arc<dyn ImageModel> = Arc::new(bit);
 
@@ -59,7 +72,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let test = dataset.test_subset(48);
     let mut policy_rng = seeds.derive("policy");
     let clean = ensemble.accuracy_random_selection(&test.images, &test.labels, &mut policy_rng)?;
-    println!("ensemble clean accuracy (random selection): {:.1}%", clean * 100.0);
+    println!(
+        "ensemble clean accuracy (random selection): {:.1}%",
+        clean * 100.0
+    );
 
     // Samples both members classify correctly.
     let (pool, pool_labels) =
@@ -69,7 +85,12 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // SAGA under the four shielding settings of Table IV.
     let saga = Saga::new(
-        SagaParams { alpha_cnn: 2.0e-4, alpha_vit: 1.0 - 2.0e-4, step: 0.016, steps: 8 },
+        SagaParams {
+            alpha_cnn: 2.0e-4,
+            alpha_vit: 1.0 - 2.0e-4,
+            step: 0.016,
+            steps: 8,
+        },
         0.062,
     )?;
     let clear_vit = ClearWhiteBox::new(Arc::clone(&vit));
@@ -77,17 +98,43 @@ fn main() -> Result<(), Box<dyn Error>> {
     let shielded_vit = ShieldedWhiteBox::with_default_enclave(Arc::clone(&vit))?;
     let shielded_bit = ShieldedWhiteBox::with_default_enclave(Arc::clone(&bit))?;
     let settings: [(&str, SagaTarget<'_>); 4] = [
-        ("no shield", SagaTarget { vit: &clear_vit, cnn: &clear_bit }),
-        ("ViT shielded", SagaTarget { vit: &shielded_vit, cnn: &clear_bit }),
-        ("BiT shielded", SagaTarget { vit: &clear_vit, cnn: &shielded_bit }),
-        ("both shielded", SagaTarget { vit: &shielded_vit, cnn: &shielded_bit }),
+        (
+            "no shield",
+            SagaTarget {
+                vit: &clear_vit,
+                cnn: &clear_bit,
+            },
+        ),
+        (
+            "ViT shielded",
+            SagaTarget {
+                vit: &shielded_vit,
+                cnn: &clear_bit,
+            },
+        ),
+        (
+            "BiT shielded",
+            SagaTarget {
+                vit: &clear_vit,
+                cnn: &shielded_bit,
+            },
+        ),
+        (
+            "both shielded",
+            SagaTarget {
+                vit: &shielded_vit,
+                cnn: &shielded_bit,
+            },
+        ),
     ];
 
     for (name, target) in &settings {
         let mut rng = seeds.derive(&format!("saga.{name}"));
         let adversarial = saga.run_ensemble(target, &samples, &labels, &mut rng)?;
-        let vit_outcome = outcome_from_samples(&clear_vit, "SAGA", &samples, &adversarial, &labels)?;
-        let bit_outcome = outcome_from_samples(&clear_bit, "SAGA", &samples, &adversarial, &labels)?;
+        let vit_outcome =
+            outcome_from_samples(&clear_vit, "SAGA", &samples, &adversarial, &labels)?;
+        let bit_outcome =
+            outcome_from_samples(&clear_bit, "SAGA", &samples, &adversarial, &labels)?;
         println!(
             "{name:>14}: ViT robust {:.1}%, BiT robust {:.1}%, mean L∞ {:.3}",
             vit_outcome.robust_accuracy * 100.0,

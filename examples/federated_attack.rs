@@ -68,22 +68,27 @@ fn main() -> Result<(), Box<dyn Error>> {
     let test = dataset.test_subset(48);
     let (samples, labels) =
         select_correctly_classified(replica.as_ref(), &test.images, &test.labels, 8)?;
-    println!("\ncompromised client attacks {} correctly classified samples", labels.len());
+    println!(
+        "\ncompromised client attacks {} correctly classified samples",
+        labels.len()
+    );
 
     for shielded in [false, true] {
-        let client = CompromisedClient::new(
-            3,
-            Arc::clone(&replica),
-            shielded,
-            AttackKind::Pgd,
-            0.062,
-            8,
-        )?;
-        let mut rng = seeds.derive(if shielded { "attack.shielded" } else { "attack.clear" });
+        let client =
+            CompromisedClient::new(3, Arc::clone(&replica), shielded, AttackKind::Pgd, 0.062, 8)?;
+        let mut rng = seeds.derive(if shielded {
+            "attack.shielded"
+        } else {
+            "attack.clear"
+        });
         let (_adv, report) = client.craft_adversarial_examples(&samples, &labels, &mut rng)?;
         println!(
             "{}: victim robust accuracy {:.1}% (attack success {:.1}%), enclave world switches {}",
-            if shielded { "with Pelta   " } else { "without Pelta" },
+            if shielded {
+                "with Pelta   "
+            } else {
+                "without Pelta"
+            },
             report.outcome.robust_accuracy * 100.0,
             report.outcome.attack_success_rate * 100.0,
             report.enclave_world_switches

@@ -10,8 +10,8 @@
 use std::error::Error;
 use std::sync::Arc;
 
-use pelta_attacks::{select_correctly_classified, AdversarialPatch, EvasionAttack, PatchPlacement};
 use pelta_attacks::eval::outcome_from_samples;
+use pelta_attacks::{select_correctly_classified, AdversarialPatch, EvasionAttack, PatchPlacement};
 use pelta_core::{ClearWhiteBox, GradientOracle, ShieldedWhiteBox};
 use pelta_data::{Dataset, DatasetSpec, GeneratorConfig};
 use pelta_models::{train_classifier, TrainingConfig, ViTConfig, VisionTransformer};
@@ -65,14 +65,21 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     for shielded in [false, true] {
         let oracle: Box<dyn GradientOracle> = if shielded {
-            Box::new(ShieldedWhiteBox::with_default_enclave(Arc::clone(&model) as _)?)
+            Box::new(ShieldedWhiteBox::with_default_enclave(
+                Arc::clone(&model) as _
+            )?)
         } else {
             Box::new(ClearWhiteBox::new(Arc::clone(&model) as _))
         };
         let mut rng = seeds.derive(if shielded { "shielded" } else { "clear" });
         let adversarial = patch.run(oracle.as_ref(), &samples, &labels, &mut rng)?;
-        let outcome =
-            outcome_from_samples(oracle.as_ref(), patch.name(), &samples, &adversarial, &labels)?;
+        let outcome = outcome_from_samples(
+            oracle.as_ref(),
+            patch.name(),
+            &samples,
+            &adversarial,
+            &labels,
+        )?;
         println!(
             "{:<14} robust accuracy {:>6.1}%   sticker success rate {:>6.1}%   mean L2 of the sticker {:.3}",
             if shielded { "with Pelta:" } else { "without Pelta:" },

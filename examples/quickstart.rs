@@ -16,6 +16,12 @@ use pelta_models::{train_classifier, TrainingConfig, ViTConfig, VisionTransforme
 use pelta_tensor::SeedStream;
 
 fn main() -> Result<(), Box<dyn Error>> {
+    run()
+}
+
+/// The example body, exposed so `tests/examples_smoke.rs` can drive the
+/// exact flow `cargo run --example quickstart` executes.
+pub fn run() -> Result<(), Box<dyn Error>> {
     let mut seeds = SeedStream::new(42);
 
     // 1. A synthetic CIFAR-10-like dataset (see DESIGN.md for the

@@ -71,6 +71,12 @@ fn describe(model: Arc<dyn ImageModel>, sample: &Tensor) -> Result<(), Box<dyn E
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
+    run()
+}
+
+/// The example body, exposed so `tests/examples_smoke.rs` can drive the
+/// exact flow `cargo run --example shielded_inference` executes.
+pub fn run() -> Result<(), Box<dyn Error>> {
     let mut seeds = SeedStream::new(1);
     let sample = Tensor::rand_uniform(&[1, 3, 32, 32], 0.0, 1.0, &mut seeds.derive("sample"));
 

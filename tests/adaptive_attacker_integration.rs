@@ -153,9 +153,8 @@ fn patch_attack_is_never_easier_against_the_shielded_defender() {
     let mut rng = seeds.derive("shielded");
     let adv_shielded = attack.run(&shielded, &samples, &labels, &mut rng).unwrap();
 
-    let acc = |adv: &pelta_tensor::Tensor| {
-        pelta_models::accuracy(model.as_ref(), adv, &labels).unwrap()
-    };
+    let acc =
+        |adv: &pelta_tensor::Tensor| pelta_models::accuracy(model.as_ref(), adv, &labels).unwrap();
     let clear_acc = acc(&adv_clear);
     let shielded_acc = acc(&adv_shielded);
     assert!(

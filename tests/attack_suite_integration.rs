@@ -84,10 +84,19 @@ fn full_attack_suite_runs_against_clear_and_shielded_oracles() {
     for attack in &attacks {
         for oracle in [&clear as &dyn pelta_core::GradientOracle, &shielded as _] {
             let mut rng = seeds.derive(&format!("{}.{}", attack.name(), oracle.is_shielded()));
-            let outcome =
-                robust_accuracy(oracle, attack.as_ref(), &setup.samples, &setup.labels, &mut rng)
-                    .unwrap();
-            assert!((0.0..=1.0).contains(&outcome.robust_accuracy), "{}", attack.name());
+            let outcome = robust_accuracy(
+                oracle,
+                attack.as_ref(),
+                &setup.samples,
+                &setup.labels,
+                &mut rng,
+            )
+            .unwrap();
+            assert!(
+                (0.0..=1.0).contains(&outcome.robust_accuracy),
+                "{}",
+                attack.name()
+            );
             assert!(
                 (outcome.robust_accuracy + outcome.attack_success_rate - 1.0).abs() < 1e-6,
                 "{}",
@@ -121,14 +130,24 @@ fn shielding_does_not_help_the_attacker() {
     let mut shielded_total = 0.0f32;
     for attack in &attacks {
         let mut rng = seeds.derive(attack.name());
-        clear_total +=
-            robust_accuracy(&clear, attack.as_ref(), &setup.samples, &setup.labels, &mut rng)
-                .unwrap()
-                .robust_accuracy;
-        shielded_total +=
-            robust_accuracy(&shielded, attack.as_ref(), &setup.samples, &setup.labels, &mut rng)
-                .unwrap()
-                .robust_accuracy;
+        clear_total += robust_accuracy(
+            &clear,
+            attack.as_ref(),
+            &setup.samples,
+            &setup.labels,
+            &mut rng,
+        )
+        .unwrap()
+        .robust_accuracy;
+        shielded_total += robust_accuracy(
+            &shielded,
+            attack.as_ref(),
+            &setup.samples,
+            &setup.labels,
+            &mut rng,
+        )
+        .unwrap()
+        .robust_accuracy;
     }
     assert!(
         shielded_total >= clear_total,
@@ -161,9 +180,25 @@ fn saga_four_settings_against_trained_ensemble() {
         &mut seeds.derive("vit"),
     )
     .unwrap();
-    train_classifier(&mut vit, dataset.train_images(), dataset.train_labels(), &training).unwrap();
-    let mut bit = BigTransfer::new(BitConfig::bit_r101x3_scaled(3, 10), &mut seeds.derive("bit")).unwrap();
-    train_classifier(&mut bit, dataset.train_images(), dataset.train_labels(), &training).unwrap();
+    train_classifier(
+        &mut vit,
+        dataset.train_images(),
+        dataset.train_labels(),
+        &training,
+    )
+    .unwrap();
+    let mut bit = BigTransfer::new(
+        BitConfig::bit_r101x3_scaled(3, 10),
+        &mut seeds.derive("bit"),
+    )
+    .unwrap();
+    train_classifier(
+        &mut bit,
+        dataset.train_images(),
+        dataset.train_labels(),
+        &training,
+    )
+    .unwrap();
     let vit: Arc<dyn ImageModel> = Arc::new(vit);
     let bit: Arc<dyn ImageModel> = Arc::new(bit);
 
@@ -187,7 +222,12 @@ fn saga_four_settings_against_trained_ensemble() {
 
     let epsilon = 0.08;
     let saga = Saga::new(
-        SagaParams { alpha_cnn: 2.0e-4, alpha_vit: 1.0 - 2.0e-4, step: 0.03, steps: 4 },
+        SagaParams {
+            alpha_cnn: 2.0e-4,
+            alpha_vit: 1.0 - 2.0e-4,
+            step: 0.03,
+            steps: 4,
+        },
         epsilon,
     )
     .unwrap();
@@ -196,16 +236,33 @@ fn saga_four_settings_against_trained_ensemble() {
     let shielded_vit = ShieldedWhiteBox::with_default_enclave(Arc::clone(&vit)).unwrap();
     let shielded_bit = ShieldedWhiteBox::with_default_enclave(Arc::clone(&bit)).unwrap();
     let settings: [SagaTarget<'_>; 4] = [
-        SagaTarget { vit: &clear_vit, cnn: &clear_bit },
-        SagaTarget { vit: &shielded_vit, cnn: &clear_bit },
-        SagaTarget { vit: &clear_vit, cnn: &shielded_bit },
-        SagaTarget { vit: &shielded_vit, cnn: &shielded_bit },
+        SagaTarget {
+            vit: &clear_vit,
+            cnn: &clear_bit,
+        },
+        SagaTarget {
+            vit: &shielded_vit,
+            cnn: &clear_bit,
+        },
+        SagaTarget {
+            vit: &clear_vit,
+            cnn: &shielded_bit,
+        },
+        SagaTarget {
+            vit: &shielded_vit,
+            cnn: &shielded_bit,
+        },
     ];
     for (index, target) in settings.iter().enumerate() {
         let mut rng = seeds.derive(&format!("saga{index}"));
-        let adversarial = saga.run_ensemble(target, &samples, &labels, &mut rng).unwrap();
+        let adversarial = saga
+            .run_ensemble(target, &samples, &labels, &mut rng)
+            .unwrap();
         let delta_linf = adversarial.sub(&samples).unwrap().linf_norm();
-        assert!(delta_linf <= epsilon + 1e-5, "setting {index} escaped the ball");
+        assert!(
+            delta_linf <= epsilon + 1e-5,
+            "setting {index} escaped the ball"
+        );
         let outcome =
             outcome_from_samples(&clear_vit, "SAGA", &samples, &adversarial, &labels).unwrap();
         assert!((0.0..=1.0).contains(&outcome.robust_accuracy));

@@ -1,0 +1,26 @@
+//! Smoke tests keeping the runnable examples honest.
+//!
+//! The `quickstart` and `shielded_inference` examples are the documented
+//! entry points to the codebase; compiling them is not enough to know they
+//! still work. Each example exposes its body as `pub fn run()` (called by
+//! its own `main`), and these tests include the example source as a module
+//! and drive the same entry point, so `cargo test` fails the moment an
+//! example rots.
+
+#[path = "../examples/quickstart.rs"]
+#[allow(dead_code)]
+mod quickstart;
+
+#[path = "../examples/shielded_inference.rs"]
+#[allow(dead_code)]
+mod shielded_inference;
+
+#[test]
+fn quickstart_example_runs() {
+    quickstart::run().expect("quickstart example should run to completion");
+}
+
+#[test]
+fn shielded_inference_example_runs() {
+    shielded_inference::run().expect("shielded_inference example should run to completion");
+}

@@ -6,8 +6,8 @@ use std::sync::Arc;
 use pelta_attacks::select_correctly_classified;
 use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
 use pelta_fl::{
-    export_parameters, import_parameters, AttackKind, CompromisedClient, FedAvgServer,
-    Federation, FederationConfig, ModelUpdate,
+    export_parameters, import_parameters, AttackKind, CompromisedClient, FedAvgServer, Federation,
+    FederationConfig, ModelUpdate,
 };
 use pelta_models::{ImageModel, TrainingConfig, ViTConfig, VisionTransformer};
 use pelta_nn::Module;

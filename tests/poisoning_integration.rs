@@ -10,7 +10,14 @@ use pelta_fl::{
 use pelta_models::{accuracy, TrainingConfig, ViTConfig, VisionTransformer};
 use pelta_tensor::SeedStream;
 
-fn setup(seed: u64) -> (Dataset, Vec<pelta_data::ClientShard>, ViTConfig, TrainingConfig) {
+fn setup(
+    seed: u64,
+) -> (
+    Dataset,
+    Vec<pelta_data::ClientShard>,
+    ViTConfig,
+    TrainingConfig,
+) {
     let mut seeds = SeedStream::new(seed);
     let dataset = Dataset::generate(
         DatasetSpec::Cifar10Like,
@@ -82,8 +89,7 @@ fn one_poisoned_round(seed: u64, rule: AggregationRule) -> (f32, f32) {
     server.aggregate(&updates).unwrap();
     assert_eq!(server.round(), 1);
 
-    let mut global =
-        VisionTransformer::new(vit_config, &mut seeds.derive("eval")).unwrap();
+    let mut global = VisionTransformer::new(vit_config, &mut seeds.derive("eval")).unwrap();
     import_parameters(&mut global, server.parameters()).unwrap();
     let eval = dataset.test_subset(30);
     let clean = accuracy(&global, &eval.images, &eval.labels).unwrap();
@@ -163,7 +169,9 @@ fn norm_clipping_limits_the_influence_of_the_boosted_update() {
         AggregationRule::NormClipping { max_norm: 0.5 },
     )
     .unwrap();
-    clipped.aggregate(&[honest_update, poisoned_update]).unwrap();
+    clipped
+        .aggregate(&[honest_update, poisoned_update])
+        .unwrap();
     let clipped_distance = distance(clipped.parameters());
 
     assert!(
@@ -171,7 +179,10 @@ fn norm_clipping_limits_the_influence_of_the_boosted_update() {
         "clipping must not move the global model further than plain FedAvg \
          (clipped {clipped_distance}, plain {plain_distance})"
     );
-    assert!(clipped_distance <= 0.5 + 1e-4, "clipped aggregate escaped the norm bound");
+    assert!(
+        clipped_distance <= 0.5 + 1e-4,
+        "clipped aggregate escaped the norm bound"
+    );
 }
 
 /// A fully poisoned local model actually carries the backdoor: stamping the

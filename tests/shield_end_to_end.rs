@@ -5,13 +5,12 @@ use std::sync::Arc;
 
 use pelta_autodiff::Graph;
 use pelta_core::{
-    build_shield_plan, measure_shield, AttackLoss, ClearWhiteBox, GradientOracle,
-    ShieldedWhiteBox,
+    build_shield_plan, measure_shield, AttackLoss, ClearWhiteBox, GradientOracle, ShieldedWhiteBox,
 };
 use pelta_data::{Dataset, DatasetSpec, GeneratorConfig};
 use pelta_models::{
-    train_classifier, BigTransfer, BitConfig, ImageModel, ResNetConfig, ResNetV2,
-    TrainingConfig, ViTConfig, VisionTransformer,
+    train_classifier, BigTransfer, BitConfig, ImageModel, ResNetConfig, ResNetV2, TrainingConfig,
+    ViTConfig, VisionTransformer,
 };
 use pelta_nn::Module;
 use pelta_tee::World;
@@ -96,24 +95,44 @@ fn shield_masks_input_gradient_without_changing_predictions() {
 #[test]
 fn shield_plan_covers_the_paper_prefix_for_each_architecture() {
     let mut seeds = SeedStream::new(91);
-    let sample = pelta_tensor::Tensor::rand_uniform(&[1, 3, 32, 32], 0.0, 1.0, &mut seeds.derive("x"));
+    let sample =
+        pelta_tensor::Tensor::rand_uniform(&[1, 3, 32, 32], 0.0, 1.0, &mut seeds.derive("x"));
 
     let vit: Arc<dyn ImageModel> = Arc::new(
-        VisionTransformer::new(ViTConfig::vit_b16_scaled(32, 3, 10), &mut seeds.derive("vit"))
-            .unwrap(),
+        VisionTransformer::new(
+            ViTConfig::vit_b16_scaled(32, 3, 10),
+            &mut seeds.derive("vit"),
+        )
+        .unwrap(),
     );
-    let mut resnet = ResNetV2::new(ResNetConfig::resnet56_scaled(3, 10), &mut seeds.derive("rn")).unwrap();
+    let mut resnet = ResNetV2::new(
+        ResNetConfig::resnet56_scaled(3, 10),
+        &mut seeds.derive("rn"),
+    )
+    .unwrap();
     resnet.set_training(false);
     let resnet: Arc<dyn ImageModel> = Arc::new(resnet);
     let bit: Arc<dyn ImageModel> = Arc::new(
-        BigTransfer::new(BitConfig::bit_r101x3_scaled(3, 10), &mut seeds.derive("bit")).unwrap(),
+        BigTransfer::new(
+            BitConfig::bit_r101x3_scaled(3, 10),
+            &mut seeds.derive("bit"),
+        )
+        .unwrap(),
     );
 
     // (model, parameter-name fragments that must be inside the shield,
     //  fragment that must stay outside).
     let cases: Vec<(Arc<dyn ImageModel>, Vec<&str>, &str)> = vec![
-        (vit, vec![".embed.proj.weight", ".cls.token", ".pos.pos"], "block0"),
-        (resnet, vec![".stem.conv.weight", ".stem.bn.gamma"], "stage0"),
+        (
+            vit,
+            vec![".embed.proj.weight", ".cls.token", ".pos.pos"],
+            "block0",
+        ),
+        (
+            resnet,
+            vec![".stem.conv.weight", ".stem.bn.gamma"],
+            "stage0",
+        ),
         (bit, vec![".stem.conv.weight"], "stage0"),
     ];
     for (model, inside, outside) in cases {
@@ -148,13 +167,21 @@ fn shield_plan_covers_the_paper_prefix_for_each_architecture() {
 #[test]
 fn shield_memory_fits_trustzone_for_every_architecture() {
     let mut seeds = SeedStream::new(92);
-    let sample = pelta_tensor::Tensor::rand_uniform(&[1, 3, 32, 32], 0.0, 1.0, &mut seeds.derive("x"));
+    let sample =
+        pelta_tensor::Tensor::rand_uniform(&[1, 3, 32, 32], 0.0, 1.0, &mut seeds.derive("x"));
     let vit: Arc<dyn ImageModel> = Arc::new(
-        VisionTransformer::new(ViTConfig::vit_l16_scaled(32, 3, 10), &mut seeds.derive("vit"))
-            .unwrap(),
+        VisionTransformer::new(
+            ViTConfig::vit_l16_scaled(32, 3, 10),
+            &mut seeds.derive("vit"),
+        )
+        .unwrap(),
     );
     let bit: Arc<dyn ImageModel> = Arc::new(
-        BigTransfer::new(BitConfig::bit_r101x3_scaled(3, 10), &mut seeds.derive("bit")).unwrap(),
+        BigTransfer::new(
+            BitConfig::bit_r101x3_scaled(3, 10),
+            &mut seeds.derive("bit"),
+        )
+        .unwrap(),
     );
     let vit_measure = measure_shield(vit, &sample).unwrap();
     let bit_measure = measure_shield(bit, &sample).unwrap();

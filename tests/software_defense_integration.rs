@@ -59,7 +59,13 @@ fn defense_stack_composes_with_the_shield_and_the_attack_suite() {
         DefenseStack::new(inner)
             .with_quantization(8)
             .unwrap()
-            .with_randomization(RandomizationConfig { noise: 0.02, max_shift: 1 }, 3)
+            .with_randomization(
+                RandomizationConfig {
+                    noise: 0.02,
+                    max_shift: 1,
+                },
+                3,
+            )
             .unwrap()
             .build()
     };
@@ -107,7 +113,10 @@ fn quantization_absorbs_sub_level_perturbations_end_to_end() {
     let tiny = on_levels.add_scalar(0.02).clamp(0.0, 1.0);
     let logits_tiny = quantized.logits(&tiny).unwrap();
     let drift = logits_clean.sub(&logits_tiny).unwrap().linf_norm();
-    assert!(drift < 1e-3, "sub-level perturbation changed the logits by {drift}");
+    assert!(
+        drift < 1e-3,
+        "sub-level perturbation changed the logits by {drift}"
+    );
 }
 
 /// The randomization defense alone already makes FGSM's single gradient step
@@ -119,7 +128,13 @@ fn randomization_makes_identical_probes_disagree() {
     let (model, dataset) = trained_defender(903);
     let clear: Arc<dyn GradientOracle> = Arc::new(ClearWhiteBox::new(Arc::clone(&model)));
     let randomized = DefenseStack::new(Arc::clone(&clear))
-        .with_randomization(RandomizationConfig { noise: 0.05, max_shift: 2 }, 11)
+        .with_randomization(
+            RandomizationConfig {
+                noise: 0.05,
+                max_shift: 2,
+            },
+            11,
+        )
         .unwrap()
         .build();
 

@@ -1,0 +1,181 @@
+//! Value distributions: the [`Standard`] mappings and uniform ranges.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value from the distribution.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of each primitive type: full-range integers,
+/// unit-interval floats, fair booleans. Mappings mirror `rand 0.8`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<u8> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+        rng.next_u32() as u8
+    }
+}
+
+impl Distribution<u16> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u16 {
+        rng.next_u32() as u16
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<i32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
+impl Distribution<i64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24 mantissa bits mapped to [0, 1), as upstream.
+        const SCALE: f32 = 1.0 / ((1u32 << 24) as f32);
+        (rng.next_u32() >> 8) as f32 * SCALE
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        const SCALE: f64 = 1.0 / ((1u64 << 53) as f64);
+        (rng.next_u64() >> 11) as f64 * SCALE
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling over half-open and inclusive ranges.
+
+    use super::{Distribution, Standard};
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: PartialOrd + Copy {
+        /// Uniform draw from `[low, high)` (`inclusive = false`) or
+        /// `[low, high]` (`inclusive = true`).
+        fn sample_uniform<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    /// Range argument accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_uniform(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "gen_range: empty inclusive range");
+            T::sample_uniform(rng, low, high, true)
+        }
+    }
+
+    macro_rules! impl_uniform_float {
+        ($t:ty) => {
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    _inclusive: bool,
+                ) -> Self {
+                    let unit: $t = Standard.sample(rng);
+                    // `low + unit * (high - low)` keeps precision for tight
+                    // ranges and can't exceed `high` for unit in [0, 1).
+                    low + unit * (high - low)
+                }
+            }
+        };
+    }
+    impl_uniform_float!(f32);
+    impl_uniform_float!(f64);
+
+    macro_rules! impl_uniform_int {
+        ($t:ty, $wide:ty) => {
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let low_w = low as $wide;
+                    let high_w = high as $wide;
+                    let span = high_w.wrapping_sub(low_w).wrapping_add(inclusive as $wide);
+                    if span == 0 {
+                        // Inclusive range covering the whole domain.
+                        return (rng.next_u64() as $wide) as $t;
+                    }
+                    // Modulo with rejection: unbiased uniform in [0, span)
+                    // (simpler than rand 0.8's widening-multiply UniformInt;
+                    // see the crate docs on upstream fidelity).
+                    let span_u = span as u64;
+                    let zone = u64::MAX - (u64::MAX - span_u + 1) % span_u;
+                    loop {
+                        let v = rng.next_u64();
+                        if v <= zone {
+                            let offset = (v % span_u) as $wide;
+                            return low_w.wrapping_add(offset) as $t;
+                        }
+                    }
+                }
+            }
+        };
+    }
+    impl_uniform_int!(u8, u64);
+    impl_uniform_int!(u16, u64);
+    impl_uniform_int!(u32, u64);
+    impl_uniform_int!(u64, u64);
+    impl_uniform_int!(usize, u64);
+    impl_uniform_int!(i8, i64);
+    impl_uniform_int!(i16, i64);
+    impl_uniform_int!(i32, i64);
+    impl_uniform_int!(i64, i64);
+    impl_uniform_int!(isize, i64);
+}

@@ -1,0 +1,107 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The Pelta build environment has no access to crates.io, so this shim
+//! re-implements exactly the subset of the `rand 0.8` API the workspace
+//! uses: [`RngCore`], [`Rng`] (`gen`, `gen_range`, `gen_bool`, `sample`),
+//! [`SeedableRng`] (including the SplitMix64-based `seed_from_u64` fill of
+//! `rand_core`), the [`distributions::Standard`] value mappings and
+//! [`seq::SliceRandom`].
+//!
+//! **Upstream fidelity:** `seed_from_u64` and the [`Standard`] draws
+//! (`f32` as `(u32 >> 8) * 2^-24`, `f64`, full-range integers) follow the
+//! upstream implementations word-for-word. Integer `gen_range` uses
+//! modulo-with-rejection rather than rand 0.8's widening-multiply
+//! `UniformInt`, and `gen_bool` compares an `f64` draw instead of
+//! upstream's scaled-integer test — both are unbiased, but their value
+//! sequences and words-consumed differ from the real crate. Swapping this
+//! shim for crates.io `rand` therefore changes every seeded experiment;
+//! expect to re-baseline tolerance assertions if that swap ever happens.
+
+pub mod distributions;
+pub mod seq;
+
+pub use distributions::{Distribution, Standard};
+
+/// The core of a random number generator: a source of `u32`/`u64` words.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing convenience methods layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples a value uniformly from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range: {p}");
+        let v: f64 = self.gen();
+        v < p
+    }
+
+    /// Samples a value from the given distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// An RNG that can be instantiated deterministically from a seed.
+pub trait SeedableRng: Sized {
+    /// The fixed-size byte seed (e.g. `[u8; 32]` for ChaCha).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with the SplitMix64 generator,
+    /// writing the low 32 bits of each output per 4-byte chunk — identical
+    /// to `rand_core 0.6`, so seeded streams match the real crates.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut state = state;
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}

@@ -1,0 +1,344 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! Instead of serde's visitor-based zero-copy architecture, this shim uses a
+//! simple owned [`Value`] data model: [`Serialize`] lowers a type into a
+//! `Value` tree and [`Deserialize`] rebuilds it. `#[derive(Serialize,
+//! Deserialize)]` is provided by the sibling `serde_derive` shim and follows
+//! serde's external tagging conventions (structs → maps, unit enum variants
+//! → strings, data variants → single-entry maps), so the JSON produced by
+//! the `serde_json` shim looks like what the real stack would emit.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// The self-describing data model every serialisable type lowers into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / Rust `Option::None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An integer, kept exact (an `f64`-only model would corrupt `u64`/`i64`
+    /// values above 2^53 — enclave seal checksums are uniform `u64`s).
+    Int(i128),
+    /// A floating-point number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the map entries if this value is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Returns the sequence elements if this value is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the number if this value is a number (integers widen lossily
+    /// above 2^53; use [`Value::as_int`] when exactness matters).
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the exact integer if this value is an integer, or an
+    /// integral float.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Num(n) if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 => {
+                Some(*n as i128)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Error produced when rebuilding a type from a [`Value`] fails.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lowers `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// Produces the `Value` tree representing `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Rebuilds `Self` from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parses a `Value` tree into `Self`.
+    fn deserialize_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Marker alias mirroring `serde::de::DeserializeOwned`.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned, Error};
+}
+/// In this owned data model every `Deserialize` is already owned.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+/// Looks up a struct field in a map value (derive-generated code calls this).
+pub fn map_get<'a>(entries: &'a [(String, Value)], key: &str) -> Result<&'a Value, Error> {
+    entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{key}`")))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                let i = value
+                    .as_int()
+                    .ok_or_else(|| Error::custom(concat!("expected integer for ", stringify!($t))))?;
+                <$t>::try_from(i)
+                    .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Num(n) => Ok(*n as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    // Real serde_json serialises non-finite floats as null
+                    // but refuses to deserialise null into a plain float;
+                    // erroring here keeps that corruption loud.
+                    _ => Err(Error::custom(concat!("expected number for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::custom("expected char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::custom("expected sequence"))?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                let seq = value.as_seq().ok_or_else(|| Error::custom("expected tuple sequence"))?;
+                let expected = [$($idx),+].len();
+                if seq.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected tuple of length {expected}, found {}",
+                        seq.len()
+                    )));
+                }
+                Ok(($($name::deserialize_value(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: fmt::Display + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::custom("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+            .collect()
+    }
+}
