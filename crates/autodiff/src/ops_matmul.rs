@@ -19,9 +19,10 @@ impl Graph {
                 let a_val = ctx.parent_values[0];
                 let b_val = ctx.parent_values[1];
                 let g = ctx.grad_output;
-                // dL/dA = G Bᵀ ; dL/dB = Aᵀ G.
-                let ga = g.matmul(&b_val.transpose()?)?;
-                let gb = a_val.transpose()?.matmul(g)?;
+                // dL/dA = G Bᵀ ; dL/dB = Aᵀ G — fused variants, no transpose
+                // materialisation.
+                let ga = g.matmul_nt(b_val)?;
+                let gb = a_val.matmul_tn(g)?;
                 Ok(vec![ga, gb])
             }),
         )
@@ -42,10 +43,32 @@ impl Graph {
                 let a_val = ctx.parent_values[0];
                 let b_val = ctx.parent_values[1];
                 let g = ctx.grad_output;
-                let bt = b_val.permute(&[0, 2, 1])?;
-                let at = a_val.permute(&[0, 2, 1])?;
-                let ga = g.batch_matmul(&bt)?;
-                let gb = at.batch_matmul(g)?;
+                let ga = g.batch_matmul_nt(b_val)?;
+                let gb = a_val.batch_matmul_tn(g)?;
+                Ok(vec![ga, gb])
+            }),
+        )
+    }
+
+    /// Batched `A · Bᵀ` of rank-3 nodes: `[b, m, k] × [b, n, k] → [b, m, n]`
+    /// — the per-head `Q·Kᵀ` attention primitive, fused so the key tensor is
+    /// never permuted.
+    ///
+    /// # Errors
+    /// Returns an error on rank, batch or inner-dimension mismatch.
+    pub fn batch_matmul_nt(&mut self, a: NodeId, b: NodeId) -> Result<NodeId> {
+        let value = self.value(a)?.batch_matmul_nt(self.value(b)?)?;
+        self.push_op(
+            "batch_matmul_nt",
+            value,
+            vec![a, b],
+            Box::new(|ctx| {
+                let a_val = ctx.parent_values[0];
+                let b_val = ctx.parent_values[1];
+                let g = ctx.grad_output;
+                // y = A Bᵀ ⇒ dL/dA = G B ; dL/dB = Gᵀ A.
+                let ga = g.batch_matmul(b_val)?;
+                let gb = g.batch_matmul_tn(a_val)?;
                 Ok(vec![ga, gb])
             }),
         )
@@ -59,8 +82,7 @@ impl Graph {
     /// # Errors
     /// Returns an error on shape mismatch.
     pub fn linear(&mut self, x: NodeId, weight: NodeId, bias: NodeId) -> Result<NodeId> {
-        let wt = self.value(weight)?.transpose()?;
-        let xw = self.value(x)?.matmul(&wt)?;
+        let xw = self.value(x)?.matmul_nt(self.value(weight)?)?;
         let value = xw.add(self.value(bias)?)?;
         self.push_op(
             "linear",
@@ -73,7 +95,7 @@ impl Graph {
                 let g = ctx.grad_output;
                 // y = x Wᵀ + b  ⇒  dL/dx = G W, dL/dW = Gᵀ x, dL/db = Σ_rows G.
                 let gx = g.matmul(w_val)?;
-                let gw = g.transpose()?.matmul(x_val)?;
+                let gw = g.matmul_tn(x_val)?;
                 let gb = g.reduce_to_shape(b_val.dims())?;
                 Ok(vec![gx, gw, gb])
             }),
@@ -92,7 +114,7 @@ impl Graph {
         let d_out = w_val.dims()[0];
         let flat = x_val.reshape(&[b * t, d_in])?;
         let value = flat
-            .matmul(&w_val.transpose()?)?
+            .matmul_nt(w_val)?
             .add(self.value(bias)?)?
             .reshape(&[b, t, d_out])?;
         self.push_op(
@@ -108,7 +130,7 @@ impl Graph {
                 let g = ctx.grad_output.reshape(&[bb * tt, dout])?;
                 let x_flat = x_val.reshape(&[bb * tt, din])?;
                 let gx = g.matmul(w_val)?.reshape(&[bb, tt, din])?;
-                let gw = g.transpose()?.matmul(&x_flat)?;
+                let gw = g.matmul_tn(&x_flat)?;
                 let gb = g.reduce_to_shape(b_val.dims())?;
                 Ok(vec![gx, gw, gb])
             }),
@@ -152,6 +174,37 @@ mod tests {
         check_input_gradient(&x, 5e-2, |g, xid| {
             let wid = g.parameter(w.clone(), "w");
             let y = g.batch_matmul(xid, wid)?;
+            g.sum_all(y)
+        });
+    }
+
+    #[test]
+    fn batch_matmul_nt_matches_permuted_composition_and_gradients() {
+        let mut seeds = SeedStream::new(205);
+        let mut rng = seeds.derive("batch_matmul_nt");
+        let q = Tensor::rand_uniform(&[2, 3, 4], -1.0, 1.0, &mut rng);
+        let k = Tensor::rand_uniform(&[2, 5, 4], -1.0, 1.0, &mut rng);
+
+        // Value matches batch_matmul against the explicit permute.
+        let mut g = Graph::new();
+        let qid = g.input(q.clone(), "q");
+        let kid = g.parameter(k.clone(), "k");
+        let fused = g.batch_matmul_nt(qid, kid).unwrap();
+        let expected = q.batch_matmul(&k.permute(&[0, 2, 1]).unwrap()).unwrap();
+        assert_eq!(g.value(fused).unwrap(), &expected);
+
+        // Both gradients check out numerically.
+        let k1 = k.clone();
+        check_input_gradient(&q, 5e-2, |g, qid| {
+            let kid = g.parameter(k1.clone(), "k");
+            let y = g.batch_matmul_nt(qid, kid)?;
+            g.sum_all(y)
+        });
+        let q2 = q.clone();
+        check_parameter_gradient(&k, "k", 5e-2, move |g, k_current| {
+            let qid = g.input(q2.clone(), "q");
+            let kid = g.parameter(k_current.clone(), "k");
+            let y = g.batch_matmul_nt(qid, kid)?;
             g.sum_all(y)
         });
     }

@@ -1,0 +1,49 @@
+//! Criterion benches for the `pelta-tensor` compute backend: packed GEMM and
+//! im2col convolution against the naive seed kernels, plus the fused
+//! transpose variants the autodiff backward passes use.
+//!
+//! The one-shot JSON snapshot lives in the `perf` binary; these benches are
+//! for interactive `cargo bench -p pelta-bench --bench kernels` runs while
+//! tuning block sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pelta_tensor::kernels::reference;
+use pelta_tensor::{Conv2dSpec, Tensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1234);
+    let a = Tensor::rand_uniform(&[256, 256], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(&[256, 256], -1.0, 1.0, &mut rng);
+    let x = Tensor::rand_uniform(&[4, 64, 16, 16], -1.0, 1.0, &mut rng);
+    let w = Tensor::rand_uniform(&[64, 64, 3, 3], -0.5, 0.5, &mut rng);
+    let spec = Conv2dSpec::new(1, 1);
+
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    group.bench_function("matmul_256_naive", |bencher| {
+        bencher.iter(|| black_box(reference::naive_matmul(&a, &b).unwrap()));
+    });
+    group.bench_function("matmul_256_packed", |bencher| {
+        bencher.iter(|| black_box(a.matmul(&b).unwrap()));
+    });
+    group.bench_function("matmul_256_packed_nt", |bencher| {
+        bencher.iter(|| black_box(a.matmul_nt(&b).unwrap()));
+    });
+    group.bench_function("conv2d_resnet_block_naive", |bencher| {
+        bencher.iter(|| black_box(reference::naive_conv2d(&x, &w, spec).unwrap()));
+    });
+    group.bench_function("conv2d_resnet_block_im2col", |bencher| {
+        bencher.iter(|| black_box(x.conv2d(&w, spec).unwrap()));
+    });
+    group.bench_function("conv2d_weight_grad_im2col", |bencher| {
+        let y = x.conv2d(&w, spec).unwrap();
+        let g = Tensor::ones(y.dims());
+        bencher.iter(|| black_box(Tensor::conv2d_weight_grad(&x, &g, w.dims(), spec).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -664,6 +664,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        not(feature = "slow-tests"),
+        ignore = "heavy reproduction test; enable with --features slow-tests"
+    )]
     fn software_stack_ablation_covers_the_four_corners() {
         let report = ablation_software_stack(&quick_config());
         assert_eq!(report.rows.len(), 4);
@@ -677,6 +681,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        not(feature = "slow-tests"),
+        ignore = "heavy reproduction test; enable with --features slow-tests"
+    )]
     fn enclave_budget_ablation_finds_a_feasible_budget_for_small_models() {
         let report = ablation_enclave_budget(&quick_config());
         assert_eq!(report.rows.len(), 4);
@@ -695,6 +703,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        not(feature = "slow-tests"),
+        ignore = "heavy reproduction test; enable with --features slow-tests"
+    )]
     fn backdoor_defense_reports_every_rule() {
         let report = backdoor_defense(&quick_config());
         assert_eq!(report.rows.len(), 3);
@@ -707,6 +719,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        not(feature = "slow-tests"),
+        ignore = "heavy reproduction test; enable with --features slow-tests"
+    )]
     fn prior_fidelity_ablation_sweeps_the_requested_levels() {
         let report = ablation_prior_fidelity(&quick_config());
         if report.rows.is_empty() {

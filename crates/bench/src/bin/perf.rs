@@ -1,0 +1,195 @@
+//! Kernel throughput snapshot → `BENCH_kernels.json`.
+//!
+//! Measures the blocked/parallel compute backend of `pelta-tensor` against
+//! the naive seed kernels on the paper workloads, at one thread and at
+//! `PELTA_THREADS` (default: available parallelism) threads:
+//!
+//! * 256×256×256 matmul GFLOP/s (naive i-k-j vs packed GEMM);
+//! * a ResNet-block conv2d forward (naive 7-loop vs im2col + GEMM);
+//! * end-to-end scaled-ViT train-step latency;
+//! * a determinism probe (max |logit difference| between 1 and N threads,
+//!   which the backend contract requires to be exactly zero).
+//!
+//! Usage: `perf [--quick] [--out <path>]`. `--quick` runs fewer iterations
+//! (the CI snapshot); the JSON lands in `BENCH_kernels.json` by default and
+//! is also printed to stdout.
+
+use std::time::Instant;
+
+use pelta_models::{predict_logits, train_step, ViTConfig, VisionTransformer};
+use pelta_nn::Sgd;
+use pelta_tensor::kernels::reference;
+use pelta_tensor::{pool, Conv2dSpec, Tensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Minimum wall-clock per iteration over `iters` runs, in seconds.
+fn time_best<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct MatmulRow {
+    naive_gflops: f64,
+    kernel_gflops_1t: f64,
+    kernel_gflops_nt: f64,
+}
+
+struct ConvRow {
+    naive_ms: f64,
+    kernel_ms_1t: f64,
+    kernel_ms_nt: f64,
+}
+
+fn bench_matmul(iters: usize, threads: usize) -> MatmulRow {
+    const DIM: usize = 256;
+    let flops = (2 * DIM * DIM * DIM) as f64;
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let a = Tensor::rand_uniform(&[DIM, DIM], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(&[DIM, DIM], -1.0, 1.0, &mut rng);
+
+    let naive = time_best(iters, || {
+        std::hint::black_box(reference::naive_matmul(&a, &b).unwrap());
+    });
+    pool::set_global_threads(1);
+    let kernel_1t = time_best(iters, || {
+        std::hint::black_box(a.matmul(&b).unwrap());
+    });
+    pool::set_global_threads(threads);
+    let kernel_nt = time_best(iters, || {
+        std::hint::black_box(a.matmul(&b).unwrap());
+    });
+    MatmulRow {
+        naive_gflops: flops / naive / 1e9,
+        kernel_gflops_1t: flops / kernel_1t / 1e9,
+        kernel_gflops_nt: flops / kernel_nt / 1e9,
+    }
+}
+
+fn bench_conv(iters: usize, threads: usize) -> ConvRow {
+    // A residual-block body conv at the reproduction's CIFAR scale:
+    // 64→64 channels, 3×3, stride 1, pad 1 on a [4, 64, 16, 16] feature map.
+    let mut rng = ChaCha8Rng::seed_from_u64(43);
+    let x = Tensor::rand_uniform(&[4, 64, 16, 16], -1.0, 1.0, &mut rng);
+    let w = Tensor::rand_uniform(&[64, 64, 3, 3], -0.5, 0.5, &mut rng);
+    let spec = Conv2dSpec::new(1, 1);
+
+    let naive = time_best(iters, || {
+        std::hint::black_box(reference::naive_conv2d(&x, &w, spec).unwrap());
+    });
+    pool::set_global_threads(1);
+    let kernel_1t = time_best(iters, || {
+        std::hint::black_box(x.conv2d(&w, spec).unwrap());
+    });
+    pool::set_global_threads(threads);
+    let kernel_nt = time_best(iters, || {
+        std::hint::black_box(x.conv2d(&w, spec).unwrap());
+    });
+    ConvRow {
+        naive_ms: naive * 1e3,
+        kernel_ms_1t: kernel_1t * 1e3,
+        kernel_ms_nt: kernel_nt * 1e3,
+    }
+}
+
+fn scaled_vit(seed: u64) -> VisionTransformer {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    VisionTransformer::new(ViTConfig::vit_b16_scaled(32, 3, 10), &mut rng)
+        .expect("scaled ViT configuration is valid")
+}
+
+/// Train-step latency (ms) of the scaled ViT on one mini-batch.
+fn bench_train_step(iters: usize, threads: usize) -> (f64, f64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(44);
+    let batch = Tensor::rand_uniform(&[16, 3, 32, 32], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..16).map(|i| i % 10).collect();
+
+    pool::set_global_threads(1);
+    let mut model = scaled_vit(7);
+    let mut opt = Sgd::new(0.01, 0.9);
+    let t1 = time_best(iters, || {
+        train_step(&mut model, &batch, &labels, &mut opt).unwrap();
+    });
+
+    pool::set_global_threads(threads);
+    let mut model = scaled_vit(7);
+    let mut opt = Sgd::new(0.01, 0.9);
+    let tn = time_best(iters, || {
+        train_step(&mut model, &batch, &labels, &mut opt).unwrap();
+    });
+    (t1 * 1e3, tn * 1e3)
+}
+
+/// Max |logit difference| of an identical forward pass at 1 vs N threads.
+/// The determinism contract of the kernel backend requires exactly 0.
+fn determinism_probe(threads: usize) -> f32 {
+    let mut rng = ChaCha8Rng::seed_from_u64(45);
+    let batch = Tensor::rand_uniform(&[8, 3, 32, 32], 0.0, 1.0, &mut rng);
+    let model = scaled_vit(9);
+    pool::set_global_threads(1);
+    let logits_1t = predict_logits(&model, &batch).expect("forward pass");
+    pool::set_global_threads(threads);
+    let logits_nt = predict_logits(&model, &batch).expect("forward pass");
+    logits_1t
+        .data()
+        .iter()
+        .zip(logits_nt.data())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_kernels.json")
+        .to_string();
+    let iters = if quick { 2 } else { 5 };
+    let threads = pool::env_threads();
+
+    eprintln!("kernel perf snapshot: {iters} iters, {threads} threads (PELTA_THREADS)");
+    let matmul = bench_matmul(iters, threads);
+    let conv = bench_conv(iters, threads);
+    let (train_1t, train_nt) = bench_train_step(iters.min(3), threads);
+    let max_diff = determinism_probe(threads);
+    pool::set_global_threads(threads);
+
+    let json = format!(
+        "{{\n  \"threads\": {threads},\n  \"quick\": {quick},\n  \
+         \"matmul_256\": {{\n    \"naive_gflops\": {:.3},\n    \"kernel_gflops_1t\": {:.3},\n    \
+         \"kernel_gflops_nt\": {:.3},\n    \"speedup_1t\": {:.2},\n    \"speedup_nt\": {:.2}\n  }},\n  \
+         \"conv2d_resnet_block\": {{\n    \"naive_ms\": {:.3},\n    \"kernel_ms_1t\": {:.3},\n    \
+         \"kernel_ms_nt\": {:.3},\n    \"speedup_1t\": {:.2},\n    \"speedup_nt\": {:.2}\n  }},\n  \
+         \"vit_train_step_ms\": {{\n    \"threads_1\": {:.3},\n    \"threads_n\": {:.3}\n  }},\n  \
+         \"determinism_max_abs_logit_diff\": {:e}\n}}\n",
+        matmul.naive_gflops,
+        matmul.kernel_gflops_1t,
+        matmul.kernel_gflops_nt,
+        matmul.kernel_gflops_1t / matmul.naive_gflops,
+        matmul.kernel_gflops_nt / matmul.naive_gflops,
+        conv.naive_ms,
+        conv.kernel_ms_1t,
+        conv.kernel_ms_nt,
+        conv.naive_ms / conv.kernel_ms_1t,
+        conv.naive_ms / conv.kernel_ms_nt,
+        train_1t,
+        train_nt,
+        max_diff,
+    );
+    print!("{json}");
+    std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");
+    eprintln!("wrote {out_path}");
+    assert_eq!(
+        max_diff, 0.0,
+        "determinism contract violated: 1-thread and {threads}-thread logits differ"
+    );
+}

@@ -225,6 +225,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        not(feature = "slow-tests"),
+        ignore = "heavy reproduction test; enable with --features slow-tests"
+    )]
     fn build_defenders_trains_and_reports_accuracy() {
         let config = tiny_config();
         let defenders = build_defenders(
@@ -240,6 +244,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        not(feature = "slow-tests"),
+        ignore = "heavy reproduction test; enable with --features slow-tests"
+    )]
     fn ensemble_members_are_vit_and_bit() {
         let config = tiny_config();
         let (vit, bit) = train_ensemble_members(DatasetSpec::Cifar10Like, &config);

@@ -1063,6 +1063,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        not(feature = "slow-tests"),
+        ignore = "heavy reproduction test; enable with --features slow-tests"
+    )]
     fn table1_report_has_four_paper_rows_and_renders() {
         let report = table1(&smoke_config());
         assert_eq!(report.rows.len(), 4);
@@ -1081,6 +1085,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        not(feature = "slow-tests"),
+        ignore = "heavy reproduction test; enable with --features slow-tests"
+    )]
     fn table3_smoke_on_one_dataset_and_reduced_lineup() {
         // Full Table III is exercised by the repro binary; the unit test uses
         // one dataset to keep the suite fast, with the full attack suite.
@@ -1098,6 +1106,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        not(feature = "slow-tests"),
+        ignore = "heavy reproduction test; enable with --features slow-tests"
+    )]
     fn figure3_records_monotone_ball_distances() {
         let report = figure3(&smoke_config());
         assert_eq!(report.trajectories.len(), 3);
@@ -1112,6 +1124,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        not(feature = "slow-tests"),
+        ignore = "heavy reproduction test; enable with --features slow-tests"
+    )]
     fn overhead_report_counts_enclave_interactions() {
         let report = system_overhead(&smoke_config());
         assert!(report.inference_world_switches >= 2);

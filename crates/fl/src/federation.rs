@@ -3,7 +3,7 @@
 
 use pelta_data::{federated_split, Dataset, Partition};
 use pelta_models::{accuracy, ImageModel, TrainingConfig, ViTConfig, VisionTransformer};
-use pelta_tensor::SeedStream;
+use pelta_tensor::{pool, SeedStream};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
@@ -174,21 +174,14 @@ impl Federation {
             let broadcast = self.server.broadcast();
             let round = broadcast.round;
 
-            // Parallel local training.
-            let results: Vec<_> = std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .clients
-                    .iter_mut()
-                    .map(|client| {
-                        let broadcast = broadcast.clone();
-                        scope.spawn(move || client.local_round(&broadcast))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("client thread panicked"))
-                    .collect()
-            });
+            // Parallel local training on the shared compute pool (clients are
+            // independent devices in the real deployment); no per-round OS
+            // threads are spawned, and each client's own kernels degrade to
+            // inline execution inside its worker.
+            let results =
+                pool::parallel_map_mut(&pool::global(), &mut self.clients, |_, client| {
+                    client.local_round(&broadcast)
+                });
 
             let mut updates = Vec::with_capacity(results.len());
             let mut loss_sum = 0.0f32;

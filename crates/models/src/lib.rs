@@ -40,7 +40,7 @@ pub use classifier::{accuracy, predict, predict_logits, Architecture, ImageModel
 pub use config::{BitConfig, ResNetConfig, ViTConfig};
 pub use ensemble::{EnsembleMember, RandomSelectionEnsemble};
 pub use resnet::ResNetV2;
-pub use train::{train_classifier, TrainReport, TrainingConfig};
+pub use train::{train_classifier, train_step, TrainReport, TrainingConfig};
 pub use vit::VisionTransformer;
 
 /// Convenience alias for results returned throughout this crate.

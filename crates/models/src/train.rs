@@ -51,6 +51,37 @@ impl TrainReport {
     }
 }
 
+/// Runs a single forward/backward/update step on one mini-batch and returns
+/// the batch loss.
+///
+/// This is the unit of work the kernel benchmarks time end-to-end (the
+/// `perf` binary of `pelta-bench`); [`train_classifier`] is a loop around it.
+///
+/// # Errors
+/// Returns an error if the label count disagrees with the batch size or a
+/// forward/backward pass fails.
+pub fn train_step<M: ImageModel + ?Sized>(
+    model: &mut M,
+    batch: &Tensor,
+    labels: &[usize],
+    optimiser: &mut Sgd,
+) -> Result<f32> {
+    if labels.len() != batch.dims()[0] {
+        return Err(NnError::InvalidConfig {
+            component: "train_step".to_string(),
+            reason: format!("{} labels for {} images", labels.len(), batch.dims()[0]),
+        });
+    }
+    let mut graph = Graph::new();
+    let input = graph.input(batch.clone(), "input");
+    let logits = model.forward(&mut graph, input)?;
+    let loss = graph.cross_entropy(logits, labels)?;
+    let loss_value = graph.value(loss)?.item().map_err(NnError::from)?;
+    let grads = graph.backward(loss)?;
+    optimiser.step(&mut model.parameters_mut(), &graph, &grads)?;
+    Ok(loss_value)
+}
+
 /// Trains a classifier with mini-batch SGD and cross-entropy loss.
 ///
 /// The model is left in **evaluation mode** on return, which is the state in
@@ -89,14 +120,8 @@ pub fn train_classifier<M: ImageModel + ?Sized>(
             let len = config.batch_size.min(n - start);
             let batch = images.narrow(0, start, len)?;
             let batch_labels = &labels[start..start + len];
-            let mut graph = Graph::new();
-            let input = graph.input(batch, "input");
-            let logits = model.forward(&mut graph, input)?;
-            let loss = graph.cross_entropy(logits, batch_labels)?;
-            epoch_loss += graph.value(loss)?.item().map_err(NnError::from)?;
+            epoch_loss += train_step(model, &batch, batch_labels, &mut optimiser)?;
             batches += 1;
-            let grads = graph.backward(loss)?;
-            optimiser.step(&mut model.parameters_mut(), &graph, &grads)?;
             start += len;
         }
         epoch_losses.push(epoch_loss / batches.max(1) as f32);

@@ -106,9 +106,8 @@ impl Module for MultiHeadAttention {
         let kh = self.split_heads(graph, k)?;
         let vh = self.split_heads(graph, v)?;
 
-        // scores = Q Kᵀ / sqrt(d_h)
-        let kt = graph.permute(kh, &[0, 2, 1])?;
-        let scores = graph.batch_matmul(qh, kt)?;
+        // scores = Q Kᵀ / sqrt(d_h), fused so K is never permuted.
+        let scores = graph.batch_matmul_nt(qh, kh)?;
         let scaled = graph.mul_scalar(scores, 1.0 / (dh as f32).sqrt())?;
         let probs = graph.softmax(scaled)?;
         graph.set_tag(probs, &self.attn_probs_tag())?;

@@ -79,14 +79,8 @@ impl Tensor {
     /// Returns an error on rank, channel or geometry mismatch.
     pub fn conv2d(&self, weight: &Tensor, spec: Conv2dSpec) -> Result<Tensor> {
         check_conv_operands(self, weight)?;
-        let pad = spec.padding.amount();
-        let input = if pad > 0 {
-            self.pad2d(pad, pad)?
-        } else {
-            self.clone()
-        };
-        let (n, c_in, h, w) = dims4(&input);
-        let (c_out, wc_in, kh, kw) = dims4(weight);
+        let (_, c_in, _, _) = dims4(self);
+        let (_, wc_in, _, _) = dims4(weight);
         if wc_in != c_in {
             return Err(TensorError::ShapeMismatch {
                 op: "conv2d",
@@ -94,33 +88,7 @@ impl Tensor {
                 rhs: weight.dims().to_vec(),
             });
         }
-        let oh = spec.output_size(self.dims()[2], kh)?;
-        let ow = spec.output_size(self.dims()[3], kw)?;
-        let s = spec.stride;
-        let mut out = vec![0.0f32; n * c_out * oh * ow];
-        let x = input.data();
-        let k = weight.data();
-        for ni in 0..n {
-            for co in 0..c_out {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = 0.0f32;
-                        for ci in 0..c_in {
-                            for ky in 0..kh {
-                                let iy = oy * s + ky;
-                                let x_row = ((ni * c_in + ci) * h + iy) * w + ox * s;
-                                let k_row = ((co * c_in + ci) * kh + ky) * kw;
-                                for kx in 0..kw {
-                                    acc += x[x_row + kx] * k[k_row + kx];
-                                }
-                            }
-                        }
-                        out[((ni * c_out + co) * oh + oy) * ow + ox] = acc;
-                    }
-                }
-            }
-        }
-        Tensor::from_vec(out, &[n, c_out, oh, ow])
+        crate::kernels::conv::conv2d(&crate::pool::global(), self, weight, spec)
     }
 
     /// Gradient of a convolution with respect to its **input**.
@@ -145,14 +113,8 @@ impl Tensor {
             });
         }
         check_conv_operands(grad_out, weight)?;
-        let pad = spec.padding.amount();
-        let (n, c_in, h, w) = (
-            input_shape[0],
-            input_shape[1],
-            input_shape[2] + 2 * pad,
-            input_shape[3] + 2 * pad,
-        );
-        let (c_out, wc_in, kh, kw) = dims4(weight);
+        let (n, c_in) = (input_shape[0], input_shape[1]);
+        let (c_out, wc_in, _, _) = dims4(weight);
         if wc_in != c_in {
             return Err(TensorError::ShapeMismatch {
                 op: "conv2d_input_grad",
@@ -160,7 +122,7 @@ impl Tensor {
                 rhs: weight.dims().to_vec(),
             });
         }
-        let (gn, gc, oh, ow) = dims4(grad_out);
+        let (gn, gc, _, _) = dims4(grad_out);
         if gn != n || gc != c_out {
             return Err(TensorError::ShapeMismatch {
                 op: "conv2d_input_grad",
@@ -168,38 +130,13 @@ impl Tensor {
                 rhs: vec![n, c_out],
             });
         }
-        let s = spec.stride;
-        let mut grad_padded = vec![0.0f32; n * c_in * h * w];
-        let g = grad_out.data();
-        let k = weight.data();
-        for ni in 0..n {
-            for co in 0..c_out {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let go = g[((ni * c_out + co) * oh + oy) * ow + ox];
-                        if go == 0.0 {
-                            continue;
-                        }
-                        for ci in 0..c_in {
-                            for ky in 0..kh {
-                                let iy = oy * s + ky;
-                                let gx_row = ((ni * c_in + ci) * h + iy) * w + ox * s;
-                                let k_row = ((co * c_in + ci) * kh + ky) * kw;
-                                for kx in 0..kw {
-                                    grad_padded[gx_row + kx] += go * k[k_row + kx];
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        let padded = Tensor::from_vec(grad_padded, &[n, c_in, h, w])?;
-        if pad > 0 {
-            padded.unpad2d(pad, pad)
-        } else {
-            Ok(padded)
-        }
+        crate::kernels::conv::conv2d_input_grad(
+            &crate::pool::global(),
+            grad_out,
+            weight,
+            input_shape,
+            spec,
+        )
     }
 
     /// Gradient of a convolution with respect to its **weight**.
@@ -223,19 +160,8 @@ impl Tensor {
             });
         }
         check_conv_operands(input, grad_out)?;
-        let pad = spec.padding.amount();
-        let padded = if pad > 0 {
-            input.pad2d(pad, pad)?
-        } else {
-            input.clone()
-        };
-        let (n, c_in, h, w) = dims4(&padded);
-        let (c_out, wc_in, kh, kw) = (
-            kernel_shape[0],
-            kernel_shape[1],
-            kernel_shape[2],
-            kernel_shape[3],
-        );
+        let (n, c_in) = (input.dims()[0], input.dims()[1]);
+        let (c_out, wc_in) = (kernel_shape[0], kernel_shape[1]);
         if wc_in != c_in {
             return Err(TensorError::ShapeMismatch {
                 op: "conv2d_weight_grad",
@@ -243,7 +169,7 @@ impl Tensor {
                 rhs: kernel_shape.to_vec(),
             });
         }
-        let (gn, gc, oh, ow) = dims4(grad_out);
+        let (gn, gc, _, _) = dims4(grad_out);
         if gn != n || gc != c_out {
             return Err(TensorError::ShapeMismatch {
                 op: "conv2d_weight_grad",
@@ -251,33 +177,13 @@ impl Tensor {
                 rhs: vec![n, c_out],
             });
         }
-        let s = spec.stride;
-        let mut grad_w = vec![0.0f32; c_out * c_in * kh * kw];
-        let x = padded.data();
-        let g = grad_out.data();
-        for ni in 0..n {
-            for co in 0..c_out {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let go = g[((ni * c_out + co) * oh + oy) * ow + ox];
-                        if go == 0.0 {
-                            continue;
-                        }
-                        for ci in 0..c_in {
-                            for ky in 0..kh {
-                                let iy = oy * s + ky;
-                                let x_row = ((ni * c_in + ci) * h + iy) * w + ox * s;
-                                let w_row = ((co * c_in + ci) * kh + ky) * kw;
-                                for kx in 0..kw {
-                                    grad_w[w_row + kx] += go * x[x_row + kx];
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        Tensor::from_vec(grad_w, kernel_shape)
+        crate::kernels::conv::conv2d_weight_grad(
+            &crate::pool::global(),
+            input,
+            grad_out,
+            kernel_shape,
+            spec,
+        )
     }
 
     /// Transposed convolution ("deconvolution") of a `[N, C_in, H, W]` input
@@ -297,8 +203,8 @@ impl Tensor {
                 reason: "stride must be non-zero".to_string(),
             });
         }
-        let (n, c_in, h, w) = dims4(self);
-        let (wc_in, c_out, kh, kw) = dims4(weight);
+        let (_, c_in, _, _) = dims4(self);
+        let (wc_in, _, _, _) = dims4(weight);
         if wc_in != c_in {
             return Err(TensorError::ShapeMismatch {
                 op: "conv_transpose2d",
@@ -306,34 +212,7 @@ impl Tensor {
                 rhs: weight.dims().to_vec(),
             });
         }
-        let oh = (h - 1) * stride + kh;
-        let ow = (w - 1) * stride + kw;
-        let mut out = vec![0.0f32; n * c_out * oh * ow];
-        let x = self.data();
-        let k = weight.data();
-        for ni in 0..n {
-            for ci in 0..c_in {
-                for iy in 0..h {
-                    for ix in 0..w {
-                        let xv = x[((ni * c_in + ci) * h + iy) * w + ix];
-                        if xv == 0.0 {
-                            continue;
-                        }
-                        for co in 0..c_out {
-                            for ky in 0..kh {
-                                let oy = iy * stride + ky;
-                                let o_row = ((ni * c_out + co) * oh + oy) * ow + ix * stride;
-                                let k_row = ((ci * c_out + co) * kh + ky) * kw;
-                                for kx in 0..kw {
-                                    out[o_row + kx] += xv * k[k_row + kx];
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        Tensor::from_vec(out, &[n, c_out, oh, ow])
+        crate::kernels::conv::conv_transpose2d(&crate::pool::global(), self, weight, stride)
     }
 
     /// 2-D max pooling with square window `k` and stride `k`.

@@ -1,0 +1,347 @@
+//! im2col/col2im lowering of 2-D convolution onto the blocked GEMM.
+//!
+//! The seed implementation walked seven nested loops per convolution; here
+//! each sample is lowered to a `[C_in·K_h·K_w, O_h·O_w]` column matrix and
+//! multiplied by the `[C_out, C_in·K_h·K_w]` kernel matrix with
+//! [`super::gemm::gemm`], which vectorises and blocks far better than the
+//! short `kx` inner loop ever could. Gradients reuse the same machinery:
+//! the input gradient is `Wᵀ · G` scattered back with [`col2im`]
+//! (a transposed convolution), and the weight gradient is `G · colsᵀ`
+//! accumulated over samples in fixed batch order.
+//!
+//! Samples are distributed across the thread pool (disjoint output slices);
+//! within a worker the nested GEMM runs inline, so the summation order per
+//! output element — ascending `(c_in, k_y, k_x)`, then ascending batch for
+//! the weight gradient — is independent of the thread count.
+
+use super::{gemm::gemm, SendPtr};
+use crate::pool::ThreadPool;
+use crate::{Conv2dSpec, Result, Tensor};
+
+/// im2col for one `[C, H, W]` sample: `cols[(c·K_h + ky)·K_w + kx, oy·O_w + ox]
+/// = x[c, oy·s + ky, ox·s + kx]`.
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    oh: usize,
+    ow: usize,
+    cols: &mut [f32],
+) {
+    let ohow = oh * ow;
+    let mut row = 0usize;
+    for ci in 0..c {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let dst_base = row * ohow;
+                row += 1;
+                for oy in 0..oh {
+                    let iy = oy * stride + ky;
+                    let src = (ci * h + iy) * w + kx;
+                    let dst = dst_base + oy * ow;
+                    if stride == 1 {
+                        cols[dst..dst + ow].copy_from_slice(&x[src..src + ow]);
+                    } else {
+                        for ox in 0..ow {
+                            cols[dst + ox] = x[src + ox * stride];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col`]: scatter-adds a column matrix back onto the
+/// `[C, H, W]` image grid (overlapping windows accumulate).
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    oh: usize,
+    ow: usize,
+    x: &mut [f32],
+) {
+    let ohow = oh * ow;
+    let mut row = 0usize;
+    for ci in 0..c {
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let src_base = row * ohow;
+                row += 1;
+                for oy in 0..oh {
+                    let iy = oy * stride + ky;
+                    let dst = (ci * h + iy) * w + kx;
+                    let src = src_base + oy * ow;
+                    if stride == 1 {
+                        let x_row = &mut x[dst..dst + ow];
+                        for (xv, &cv) in x_row.iter_mut().zip(&cols[src..src + ow]) {
+                            *xv += cv;
+                        }
+                    } else {
+                        for ox in 0..ow {
+                            x[dst + ox * stride] += cols[src + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward convolution of validated operands (`input` `[N, C_in, H, W]`,
+/// `weight` `[C_out, C_in, K_h, K_w]`).
+///
+/// # Errors
+/// Returns an error if the kernel does not fit the padded input.
+pub fn conv2d(
+    pool: &ThreadPool,
+    input: &Tensor,
+    weight: &Tensor,
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    let pad = spec.padding.amount();
+    let padded = if pad > 0 {
+        input.pad2d(pad, pad)?
+    } else {
+        input.clone()
+    };
+    let (n, c_in, h, w) = (
+        padded.dims()[0],
+        padded.dims()[1],
+        padded.dims()[2],
+        padded.dims()[3],
+    );
+    let (c_out, kh, kw) = (weight.dims()[0], weight.dims()[2], weight.dims()[3]);
+    let oh = spec.output_size(input.dims()[2], kh)?;
+    let ow = spec.output_size(input.dims()[3], kw)?;
+    let (ckk, ohow) = (c_in * kh * kw, oh * ow);
+    let mut out = vec![0.0f32; n * c_out * ohow];
+    let x = padded.data();
+    let wt = weight.data();
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    pool.run(n, &|ni| {
+        let mut cols = vec![0.0f32; ckk * ohow];
+        im2col(
+            &x[ni * c_in * h * w..(ni + 1) * c_in * h * w],
+            c_in,
+            h,
+            w,
+            kh,
+            kw,
+            spec.stride,
+            oh,
+            ow,
+            &mut cols,
+        );
+        // SAFETY: each task writes only its own sample's output slice.
+        let out_slice = unsafe {
+            std::slice::from_raw_parts_mut(out_ptr.get().add(ni * c_out * ohow), c_out * ohow)
+        };
+        gemm(
+            pool, false, wt, false, &cols, c_out, ckk, ohow, out_slice, false,
+        );
+    });
+    Tensor::from_vec(out, &[n, c_out, oh, ow])
+}
+
+/// Input gradient of [`conv2d`] for validated operands: per sample,
+/// `cols = Wᵀ · G` followed by a [`col2im`] scatter, then unpadding.
+///
+/// # Errors
+/// Returns an error on geometry mismatch.
+pub fn conv2d_input_grad(
+    pool: &ThreadPool,
+    grad_out: &Tensor,
+    weight: &Tensor,
+    input_shape: &[usize],
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    let pad = spec.padding.amount();
+    let (n, c_in, h, w) = (
+        input_shape[0],
+        input_shape[1],
+        input_shape[2] + 2 * pad,
+        input_shape[3] + 2 * pad,
+    );
+    let (c_out, kh, kw) = (weight.dims()[0], weight.dims()[2], weight.dims()[3]);
+    let (oh, ow) = (grad_out.dims()[2], grad_out.dims()[3]);
+    let (ckk, ohow) = (c_in * kh * kw, oh * ow);
+    let mut grad_padded = vec![0.0f32; n * c_in * h * w];
+    let g = grad_out.data();
+    let wt = weight.data();
+    let grad_ptr = SendPtr(grad_padded.as_mut_ptr());
+    pool.run(n, &|ni| {
+        let mut cols = vec![0.0f32; ckk * ohow];
+        gemm(
+            pool,
+            true,
+            wt,
+            false,
+            &g[ni * c_out * ohow..(ni + 1) * c_out * ohow],
+            ckk,
+            c_out,
+            ohow,
+            &mut cols,
+            false,
+        );
+        // SAFETY: each task scatters only into its own sample's slice.
+        let grad_slice = unsafe {
+            std::slice::from_raw_parts_mut(grad_ptr.get().add(ni * c_in * h * w), c_in * h * w)
+        };
+        col2im(&cols, c_in, h, w, kh, kw, spec.stride, oh, ow, grad_slice);
+    });
+    let padded = Tensor::from_vec(grad_padded, &[n, c_in, h, w])?;
+    if pad > 0 {
+        padded.unpad2d(pad, pad)
+    } else {
+        Ok(padded)
+    }
+}
+
+/// Cap on the number of partial weight-gradient accumulators, bounding the
+/// extra memory at `MAX_WGRAD_PARTIALS × |W|` regardless of batch size. The
+/// chunking depends only on the batch size (never the thread count), keeping
+/// the summation order — and therefore the result — deterministic.
+const MAX_WGRAD_PARTIALS: usize = 16;
+
+/// Weight gradient of [`conv2d`] for validated operands: per sample,
+/// `G · colsᵀ`, accumulated into at most [`MAX_WGRAD_PARTIALS`] batch-chunk
+/// partials (each chunk walks its samples in ascending order) that reduce in
+/// ascending chunk order, so the result is independent of the thread count.
+///
+/// # Errors
+/// Returns an error on geometry mismatch.
+pub fn conv2d_weight_grad(
+    pool: &ThreadPool,
+    input: &Tensor,
+    grad_out: &Tensor,
+    kernel_shape: &[usize],
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    let pad = spec.padding.amount();
+    let padded = if pad > 0 {
+        input.pad2d(pad, pad)?
+    } else {
+        input.clone()
+    };
+    let (n, c_in, h, w) = (
+        padded.dims()[0],
+        padded.dims()[1],
+        padded.dims()[2],
+        padded.dims()[3],
+    );
+    let (c_out, kh, kw) = (kernel_shape[0], kernel_shape[2], kernel_shape[3]);
+    let (oh, ow) = (grad_out.dims()[2], grad_out.dims()[3]);
+    let (ckk, ohow) = (c_in * kh * kw, oh * ow);
+    let x = padded.data();
+    let g = grad_out.data();
+    let chunks = n.clamp(1, MAX_WGRAD_PARTIALS);
+    let chunk_len = n.div_ceil(chunks);
+    let mut partials = vec![0.0f32; chunks * c_out * ckk];
+    let partials_ptr = SendPtr(partials.as_mut_ptr());
+    pool.run(chunks, &|chunk| {
+        let lo = chunk * chunk_len;
+        let hi = (lo + chunk_len).min(n);
+        let mut cols = vec![0.0f32; ckk * ohow];
+        // SAFETY: each task writes only its own partial slice.
+        let partial = unsafe {
+            std::slice::from_raw_parts_mut(partials_ptr.get().add(chunk * c_out * ckk), c_out * ckk)
+        };
+        for ni in lo..hi {
+            im2col(
+                &x[ni * c_in * h * w..(ni + 1) * c_in * h * w],
+                c_in,
+                h,
+                w,
+                kh,
+                kw,
+                spec.stride,
+                oh,
+                ow,
+                &mut cols,
+            );
+            gemm(
+                pool,
+                false,
+                &g[ni * c_out * ohow..(ni + 1) * c_out * ohow],
+                true,
+                &cols,
+                c_out,
+                ohow,
+                ckk,
+                partial,
+                ni > lo,
+            );
+        }
+    });
+    // Ordered reduction over the chunks (fixed summation order).
+    let mut grad_w = vec![0.0f32; c_out * ckk];
+    for chunk in 0..chunks {
+        let partial = &partials[chunk * c_out * ckk..(chunk + 1) * c_out * ckk];
+        for (gw, &p) in grad_w.iter_mut().zip(partial) {
+            *gw += p;
+        }
+    }
+    Tensor::from_vec(grad_w, kernel_shape)
+}
+
+/// Transposed convolution of validated operands (`input` `[N, C_in, H, W]`,
+/// `weight` `[C_in, C_out, K_h, K_w]`, output `[N, C_out, (H-1)·s + K_h,
+/// (W-1)·s + K_w]`): per sample `cols = Wᵀ · x` scattered with [`col2im`]
+/// onto the upsampled grid.
+///
+/// # Errors
+/// Returns an error if the output shape is invalid.
+pub fn conv_transpose2d(
+    pool: &ThreadPool,
+    input: &Tensor,
+    weight: &Tensor,
+    stride: usize,
+) -> Result<Tensor> {
+    let (n, c_in, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    let (c_out, kh, kw) = (weight.dims()[1], weight.dims()[2], weight.dims()[3]);
+    let oh = (h - 1) * stride + kh;
+    let ow = (w - 1) * stride + kw;
+    let (ckk, hw) = (c_out * kh * kw, h * w);
+    let mut out = vec![0.0f32; n * c_out * oh * ow];
+    let x = input.data();
+    let wt = weight.data();
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    pool.run(n, &|ni| {
+        let mut cols = vec![0.0f32; ckk * hw];
+        gemm(
+            pool,
+            true,
+            wt,
+            false,
+            &x[ni * c_in * hw..(ni + 1) * c_in * hw],
+            ckk,
+            c_in,
+            hw,
+            &mut cols,
+            false,
+        );
+        // SAFETY: each task scatters only into its own sample's slice.
+        let out_slice = unsafe {
+            std::slice::from_raw_parts_mut(out_ptr.get().add(ni * c_out * oh * ow), c_out * oh * ow)
+        };
+        col2im(&cols, c_out, oh, ow, kh, kw, stride, h, w, out_slice);
+    });
+    Tensor::from_vec(out, &[n, c_out, oh, ow])
+}

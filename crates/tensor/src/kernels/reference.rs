@@ -1,0 +1,185 @@
+//! Naive reference implementations of the hot kernels.
+//!
+//! These are the seed repository's original direct loops, kept for two jobs:
+//!
+//! * **oracles** — the property tests assert the blocked/parallel kernels in
+//!   [`super::gemm`] and [`super::conv`] match them within tolerance over
+//!   randomised shapes, strides, paddings and thread counts;
+//! * **baselines** — the `perf` binary of `pelta-bench` measures speedup of
+//!   the packed kernels against them on the paper workloads.
+//!
+//! They assume pre-validated operands (the public `Tensor` methods do the
+//! shape checking before dispatching to the fast kernels).
+
+use crate::{Conv2dSpec, Result, Tensor};
+
+/// Naive i-k-j matrix multiplication `[m, k] × [k, n] → [m, n]`.
+///
+/// # Errors
+/// Returns an error if the output shape is invalid (it never is for valid
+/// rank-2 operands).
+pub fn naive_matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let av = a.data();
+    let bv = b.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for kk in 0..k {
+            let a_ik = av[i * k + kk];
+            let b_row = &bv[kk * n..(kk + 1) * n];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &bx) in out_row.iter_mut().zip(b_row) {
+                *o += a_ik * bx;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Naive direct 2-D convolution (seven nested loops).
+///
+/// # Errors
+/// Returns an error on geometry mismatch.
+pub fn naive_conv2d(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Result<Tensor> {
+    let pad = spec.padding.amount();
+    let padded = if pad > 0 {
+        input.pad2d(pad, pad)?
+    } else {
+        input.clone()
+    };
+    let (n, c_in, h, w) = (
+        padded.dims()[0],
+        padded.dims()[1],
+        padded.dims()[2],
+        padded.dims()[3],
+    );
+    let (c_out, kh, kw) = (weight.dims()[0], weight.dims()[2], weight.dims()[3]);
+    let oh = spec.output_size(input.dims()[2], kh)?;
+    let ow = spec.output_size(input.dims()[3], kw)?;
+    let s = spec.stride;
+    let mut out = vec![0.0f32; n * c_out * oh * ow];
+    let x = padded.data();
+    let k = weight.data();
+    for ni in 0..n {
+        for co in 0..c_out {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ci in 0..c_in {
+                        for ky in 0..kh {
+                            let iy = oy * s + ky;
+                            let x_row = ((ni * c_in + ci) * h + iy) * w + ox * s;
+                            let k_row = ((co * c_in + ci) * kh + ky) * kw;
+                            for kx in 0..kw {
+                                acc += x[x_row + kx] * k[k_row + kx];
+                            }
+                        }
+                    }
+                    out[((ni * c_out + co) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c_out, oh, ow])
+}
+
+/// Naive input gradient of [`naive_conv2d`].
+///
+/// # Errors
+/// Returns an error on geometry mismatch.
+pub fn naive_conv2d_input_grad(
+    grad_out: &Tensor,
+    weight: &Tensor,
+    input_shape: &[usize],
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    let pad = spec.padding.amount();
+    let (n, c_in, h, w) = (
+        input_shape[0],
+        input_shape[1],
+        input_shape[2] + 2 * pad,
+        input_shape[3] + 2 * pad,
+    );
+    let (c_out, kh, kw) = (weight.dims()[0], weight.dims()[2], weight.dims()[3]);
+    let (oh, ow) = (grad_out.dims()[2], grad_out.dims()[3]);
+    let s = spec.stride;
+    let mut grad_padded = vec![0.0f32; n * c_in * h * w];
+    let g = grad_out.data();
+    let k = weight.data();
+    for ni in 0..n {
+        for co in 0..c_out {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let go = g[((ni * c_out + co) * oh + oy) * ow + ox];
+                    for ci in 0..c_in {
+                        for ky in 0..kh {
+                            let iy = oy * s + ky;
+                            let gx_row = ((ni * c_in + ci) * h + iy) * w + ox * s;
+                            let k_row = ((co * c_in + ci) * kh + ky) * kw;
+                            for kx in 0..kw {
+                                grad_padded[gx_row + kx] += go * k[k_row + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let padded = Tensor::from_vec(grad_padded, &[n, c_in, h, w])?;
+    if pad > 0 {
+        padded.unpad2d(pad, pad)
+    } else {
+        Ok(padded)
+    }
+}
+
+/// Naive weight gradient of [`naive_conv2d`].
+///
+/// # Errors
+/// Returns an error on geometry mismatch.
+pub fn naive_conv2d_weight_grad(
+    input: &Tensor,
+    grad_out: &Tensor,
+    kernel_shape: &[usize],
+    spec: Conv2dSpec,
+) -> Result<Tensor> {
+    let pad = spec.padding.amount();
+    let padded = if pad > 0 {
+        input.pad2d(pad, pad)?
+    } else {
+        input.clone()
+    };
+    let (n, c_in, h, w) = (
+        padded.dims()[0],
+        padded.dims()[1],
+        padded.dims()[2],
+        padded.dims()[3],
+    );
+    let (c_out, kh, kw) = (kernel_shape[0], kernel_shape[2], kernel_shape[3]);
+    let (oh, ow) = (grad_out.dims()[2], grad_out.dims()[3]);
+    let s = spec.stride;
+    let mut grad_w = vec![0.0f32; c_out * c_in * kh * kw];
+    let x = padded.data();
+    let g = grad_out.data();
+    for ni in 0..n {
+        for co in 0..c_out {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let go = g[((ni * c_out + co) * oh + oy) * ow + ox];
+                    for ci in 0..c_in {
+                        for ky in 0..kh {
+                            let iy = oy * s + ky;
+                            let x_row = ((ni * c_in + ci) * h + iy) * w + ox * s;
+                            let w_row = ((co * c_in + ci) * kh + ky) * kw;
+                            for kx in 0..kw {
+                                grad_w[w_row + kx] += go * x[x_row + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(grad_w, kernel_shape)
+}

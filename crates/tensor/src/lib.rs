@@ -16,9 +16,13 @@
 //!    `pelta-core`) can surface precise failures.
 //! 2. **Determinism** — all random constructors take an explicit RNG so that
 //!    every experiment in the benchmark harness is reproducible from a seed.
-//! 3. **Smallness** — the models used by the reproduction are width-scaled
-//!    versions of the paper's ViT / ResNet / BiT architectures, so a simple
-//!    contiguous representation with straightforward loops is sufficient.
+//! 3. **Speed** — the hot paths (matrix products, convolutions, large
+//!    element-wise ops) run on the cache-blocked, panel-packed kernels of
+//!    [`kernels`], parallelised across the persistent thread pool of
+//!    [`pool`] (`PELTA_THREADS` threads, default: available parallelism).
+//!    All kernels fix their floating-point summation order independently of
+//!    the thread count, so results stay bit-identical from one thread to
+//!    many — determinism is never traded for speed.
 //!
 //! # Example
 //!
@@ -38,8 +42,10 @@
 
 mod conv;
 mod error;
+pub mod kernels;
 mod linalg;
 mod ops;
+pub mod pool;
 mod reduce;
 mod rng;
 mod shape;

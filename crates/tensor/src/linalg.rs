@@ -1,6 +1,14 @@
 //! Matrix multiplication and related linear-algebra kernels.
+//!
+//! All matrix products route through the blocked, panel-packed GEMM of
+//! [`crate::kernels::gemm`] running on the shared thread pool. The `_nt` /
+//! `_tn` variants multiply by a transposed operand **without materialising
+//! the transpose** — the packing routines read the operand in its stored
+//! layout — which is what the autodiff backward passes and the fused linear
+//! layers use.
 
-use crate::{Result, Tensor, TensorError};
+use crate::kernels::gemm::{batch_gemm, gemm};
+use crate::{pool, Result, Tensor, TensorError};
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
@@ -9,22 +17,8 @@ impl Tensor {
     /// Returns an error if either operand is not rank 2 or the inner
     /// dimensions disagree.
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
-        if self.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                op: "matmul",
-                expected: 2,
-                actual: self.rank(),
-            });
-        }
-        if other.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                op: "matmul",
-                expected: 2,
-                actual: other.rank(),
-            });
-        }
-        let (m, k) = (self.dims()[0], self.dims()[1]);
-        let (k2, n) = (other.dims()[0], other.dims()[1]);
+        let (m, k) = check_rank2(self, "matmul")?;
+        let (k2, n) = check_rank2(other, "matmul")?;
         if k != k2 {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul",
@@ -32,24 +26,81 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
-        let a = self.data();
-        let b = other.data();
         let mut out = vec![0.0f32; m * n];
-        // i-k-j loop order: the inner loop walks both `b` and `out` rows
-        // contiguously, which the compiler auto-vectorises.
-        for i in 0..m {
-            for kk in 0..k {
-                let a_ik = a[i * k + kk];
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for j in 0..n {
-                    out_row[j] += a_ik * b_row[j];
-                }
-            }
+        gemm(
+            &pool::global(),
+            false,
+            self.data(),
+            false,
+            other.data(),
+            m,
+            k,
+            n,
+            &mut out,
+            false,
+        );
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `self · otherᵀ` for `self` `[m, k]` and `other` `[n, k]`, without
+    /// materialising the transpose.
+    ///
+    /// # Errors
+    /// Returns an error on rank or inner-dimension mismatch.
+    pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k) = check_rank2(self, "matmul_nt")?;
+        let (n, k2) = check_rank2(other, "matmul_nt")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_nt",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
         }
+        let mut out = vec![0.0f32; m * n];
+        gemm(
+            &pool::global(),
+            false,
+            self.data(),
+            true,
+            other.data(),
+            m,
+            k,
+            n,
+            &mut out,
+            false,
+        );
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// `selfᵀ · other` for `self` `[k, m]` and `other` `[k, n]`, without
+    /// materialising the transpose.
+    ///
+    /// # Errors
+    /// Returns an error on rank or inner-dimension mismatch.
+    pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
+        let (k, m) = check_rank2(self, "matmul_tn")?;
+        let (k2, n) = check_rank2(other, "matmul_tn")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_tn",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        gemm(
+            &pool::global(),
+            true,
+            self.data(),
+            false,
+            other.data(),
+            m,
+            k,
+            n,
+            &mut out,
+            false,
+        );
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -59,20 +110,9 @@ impl Tensor {
     /// Returns an error if either operand is not rank 3, the batch sizes
     /// differ, or the inner dimensions disagree.
     pub fn batch_matmul(&self, other: &Tensor) -> Result<Tensor> {
-        if self.rank() != 3 || other.rank() != 3 {
-            return Err(TensorError::RankMismatch {
-                op: "batch_matmul",
-                expected: 3,
-                actual: if self.rank() != 3 {
-                    self.rank()
-                } else {
-                    other.rank()
-                },
-            });
-        }
-        let (b, m, k) = (self.dims()[0], self.dims()[1], self.dims()[2]);
-        let (b2, k2, n) = (other.dims()[0], other.dims()[1], other.dims()[2]);
-        if b != b2 || k != k2 {
+        let (b, m, k) = check_rank3(self, other, "batch_matmul")?;
+        let (k2, n) = (other.dims()[1], other.dims()[2]);
+        if k != k2 {
             return Err(TensorError::ShapeMismatch {
                 op: "batch_matmul",
                 lhs: self.dims().to_vec(),
@@ -80,24 +120,81 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; b * m * n];
-        for bi in 0..b {
-            let a = &self.data()[bi * m * k..(bi + 1) * m * k];
-            let bb = &other.data()[bi * k * n..(bi + 1) * k * n];
-            let o = &mut out[bi * m * n..(bi + 1) * m * n];
-            for i in 0..m {
-                for kk in 0..k {
-                    let a_ik = a[i * k + kk];
-                    if a_ik == 0.0 {
-                        continue;
-                    }
-                    let b_row = &bb[kk * n..(kk + 1) * n];
-                    let o_row = &mut o[i * n..(i + 1) * n];
-                    for j in 0..n {
-                        o_row[j] += a_ik * b_row[j];
-                    }
-                }
-            }
+        batch_gemm(
+            &pool::global(),
+            false,
+            self.data(),
+            false,
+            other.data(),
+            b,
+            m,
+            k,
+            n,
+            &mut out,
+        );
+        Tensor::from_vec(out, &[b, m, n])
+    }
+
+    /// Per-slice `self · otherᵀ` for `self` `[b, m, k]` and `other`
+    /// `[b, n, k]`, without materialising the transpose (the per-head
+    /// `Q·Kᵀ` of attention).
+    ///
+    /// # Errors
+    /// Returns an error on rank, batch or inner-dimension mismatch.
+    pub fn batch_matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
+        let (b, m, k) = check_rank3(self, other, "batch_matmul_nt")?;
+        let (n, k2) = (other.dims()[1], other.dims()[2]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "batch_matmul_nt",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
         }
+        let mut out = vec![0.0f32; b * m * n];
+        batch_gemm(
+            &pool::global(),
+            false,
+            self.data(),
+            true,
+            other.data(),
+            b,
+            m,
+            k,
+            n,
+            &mut out,
+        );
+        Tensor::from_vec(out, &[b, m, n])
+    }
+
+    /// Per-slice `selfᵀ · other` for `self` `[b, k, m]` and `other`
+    /// `[b, k, n]`, without materialising the transpose.
+    ///
+    /// # Errors
+    /// Returns an error on rank, batch or inner-dimension mismatch.
+    pub fn batch_matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
+        let (b, k, m) = check_rank3(self, other, "batch_matmul_tn")?;
+        let (k2, n) = (other.dims()[1], other.dims()[2]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "batch_matmul_tn",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        let mut out = vec![0.0f32; b * m * n];
+        batch_gemm(
+            &pool::global(),
+            true,
+            self.data(),
+            false,
+            other.data(),
+            b,
+            m,
+            k,
+            n,
+            &mut out,
+        );
         Tensor::from_vec(out, &[b, m, n])
     }
 
@@ -150,6 +247,38 @@ impl Tensor {
         }
         Tensor::from_vec(out, &[m, n])
     }
+}
+
+/// Validates a rank-2 operand and returns its dimensions.
+fn check_rank2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+    if t.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 2,
+            actual: t.rank(),
+        });
+    }
+    Ok((t.dims()[0], t.dims()[1]))
+}
+
+/// Validates a pair of rank-3 operands with matching batch sizes and returns
+/// the left operand's dimensions.
+fn check_rank3(a: &Tensor, b: &Tensor, op: &'static str) -> Result<(usize, usize, usize)> {
+    if a.rank() != 3 || b.rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            op,
+            expected: 3,
+            actual: if a.rank() != 3 { a.rank() } else { b.rank() },
+        });
+    }
+    if a.dims()[0] != b.dims()[0] {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    Ok((a.dims()[0], a.dims()[1], a.dims()[2]))
 }
 
 #[cfg(test)]
@@ -222,6 +351,71 @@ mod tests {
         assert!(a.batch_matmul(&b).is_err());
         assert!(a.batch_matmul(&Tensor::zeros(&[2, 5, 6])).is_err());
         assert!(Tensor::zeros(&[2, 2]).batch_matmul(&a).is_err());
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let mut rng = ChaCha8Rng::seed_from_u64(20);
+        let a = Tensor::rand_uniform(&[5, 3], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[4, 3], -1.0, 1.0, &mut rng);
+        let fused = a.matmul_nt(&b).unwrap();
+        let explicit = a.matmul(&b.transpose().unwrap()).unwrap();
+        assert_eq!(fused.dims(), &[5, 4]);
+        for (x, y) in fused.data().iter().zip(explicit.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        assert!(a.matmul_nt(&Tensor::zeros(&[4, 5])).is_err());
+        assert!(a.matmul_nt(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let a = Tensor::rand_uniform(&[3, 5], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[3, 4], -1.0, 1.0, &mut rng);
+        let fused = a.matmul_tn(&b).unwrap();
+        let explicit = a.transpose().unwrap().matmul(&b).unwrap();
+        assert_eq!(fused.dims(), &[5, 4]);
+        for (x, y) in fused.data().iter().zip(explicit.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        assert!(a.matmul_tn(&Tensor::zeros(&[4, 4])).is_err());
+    }
+
+    #[test]
+    fn batch_matmul_transpose_variants_match_permute() {
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let a = Tensor::rand_uniform(&[3, 4, 5], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[3, 6, 5], -1.0, 1.0, &mut rng);
+        let fused = a.batch_matmul_nt(&b).unwrap();
+        let explicit = a.batch_matmul(&b.permute(&[0, 2, 1]).unwrap()).unwrap();
+        assert_eq!(fused.dims(), &[3, 4, 6]);
+        for (x, y) in fused.data().iter().zip(explicit.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+
+        let c = Tensor::rand_uniform(&[3, 4, 6], -1.0, 1.0, &mut rng);
+        let fused_tn = a.batch_matmul_tn(&c).unwrap();
+        let explicit_tn = a.permute(&[0, 2, 1]).unwrap().batch_matmul(&c).unwrap();
+        assert_eq!(fused_tn.dims(), &[3, 5, 6]);
+        for (x, y) in fused_tn.data().iter().zip(explicit_tn.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        assert!(a.batch_matmul_nt(&Tensor::zeros(&[2, 6, 5])).is_err());
+        assert!(a.batch_matmul_tn(&Tensor::zeros(&[3, 5, 2])).is_err());
+    }
+
+    #[test]
+    fn large_matmul_matches_naive_reference() {
+        // Exercises the blocked/packed path (above the small-GEMM cutoff).
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let a = Tensor::rand_uniform(&[70, 90], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[90, 65], -1.0, 1.0, &mut rng);
+        let fast = a.matmul(&b).unwrap();
+        let naive = crate::kernels::reference::naive_matmul(&a, &b).unwrap();
+        for (x, y) in fast.data().iter().zip(naive.data()) {
+            assert!((x - y).abs() < 1e-4);
+        }
     }
 
     #[test]

@@ -8,17 +8,18 @@ impl Tensor {
     // Unary element-wise maps
     // ------------------------------------------------------------------
 
-    /// Applies `f` to every element, returning a new tensor.
-    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
-        Tensor::from_vec(self.data().iter().map(|&x| f(x)).collect(), self.dims())
-            .expect("map preserves element count")
+    /// Applies `f` to every element, returning a new tensor. Large tensors
+    /// fan out across the shared thread pool (element-wise, so results are
+    /// identical at any thread count).
+    pub fn map<F: Fn(f32) -> f32 + Sync>(&self, f: F) -> Tensor {
+        let mut out = vec![0.0f32; self.numel()];
+        crate::kernels::par_map_into(&crate::pool::global(), self.data(), &mut out, f);
+        Tensor::from_vec(out, self.dims()).expect("map preserves element count")
     }
 
     /// In-place variant of [`Tensor::map`].
-    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
-        for x in self.data_mut() {
-            *x = f(*x);
-        }
+    pub fn map_inplace<F: Fn(f32) -> f32 + Sync>(&mut self, f: F) {
+        crate::kernels::par_map_inplace(&crate::pool::global(), self.data_mut(), f);
     }
 
     /// Element-wise negation.
@@ -174,7 +175,7 @@ impl Tensor {
     }
 
     /// Generic broadcasting binary zip.
-    fn broadcast_zip<F: Fn(f32, f32) -> f32>(
+    fn broadcast_zip<F: Fn(f32, f32) -> f32 + Sync>(
         &self,
         other: &Tensor,
         op: &'static str,
@@ -183,13 +184,15 @@ impl Tensor {
         let lhs_shape = self.shape();
         let rhs_shape = other.shape();
         if lhs_shape.same_dims(&rhs_shape) {
-            // Fast path: identical shapes.
-            let data = self
-                .data()
-                .iter()
-                .zip(other.data().iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect();
+            // Fast path: identical shapes, chunk-parallel for large tensors.
+            let mut data = vec![0.0f32; self.numel()];
+            crate::kernels::par_zip_into(
+                &crate::pool::global(),
+                self.data(),
+                other.data(),
+                &mut data,
+                f,
+            );
             return Tensor::from_vec(data, self.dims());
         }
         let out_shape =
@@ -265,12 +268,14 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
-        let data = self
-            .data()
-            .iter()
-            .zip(other.data().iter())
-            .map(|(&a, &b)| a + alpha * b)
-            .collect();
+        let mut data = vec![0.0f32; self.numel()];
+        crate::kernels::par_zip_into(
+            &crate::pool::global(),
+            self.data(),
+            other.data(),
+            &mut data,
+            |a, b| a + alpha * b,
+        );
         Tensor::from_vec(data, self.dims())
     }
 }

@@ -1,0 +1,441 @@
+//! A small persistent thread pool shared by every compute kernel in the
+//! workspace.
+//!
+//! The build environment has no crates.io access (so no `rayon`); this module
+//! provides the minimal parallel substrate the kernels in
+//! [`crate::kernels`] need:
+//!
+//! * a fixed set of worker threads that park between jobs (no per-call
+//!   `thread::spawn`),
+//! * a [`ThreadPool::run`] parallel-for over a task index range, where the
+//!   caller participates and blocks until every task completed,
+//! * a process-wide [`global`] pool sized by the `PELTA_THREADS` environment
+//!   variable (default: available hardware parallelism).
+//!
+//! # Determinism contract
+//!
+//! Tasks are claimed dynamically (an atomic counter, no work stealing), so
+//! *which* thread runs a task is nondeterministic — but callers must arrange
+//! that *what* each task computes is a pure function of the task index with
+//! disjoint output regions, and that any floating-point reduction combines
+//! per-task partials in task-index order. Every kernel in this crate follows
+//! that rule, which is why model outputs are bit-identical at
+//! `PELTA_THREADS=1` and `PELTA_THREADS=N`.
+//!
+//! # Nesting
+//!
+//! A `run` issued from inside a pool task (or from a thread that is already
+//! running a job on the same or another pool) executes inline on the calling
+//! thread. This keeps nested parallelism deadlock-free: e.g. the federated
+//! clients of `pelta-fl` fan out across the pool while each client's matmuls
+//! degrade gracefully to sequential execution inside its worker.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::thread::JoinHandle;
+
+thread_local! {
+    /// Whether the current thread is already executing pool work (either as a
+    /// worker or as a participating submitter).
+    static BUSY: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Type-erased pointer to the job closure. The submitter blocks until every
+/// task finished, so the pointee outlives all uses.
+struct TaskFn(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls are safe) and the submitter
+// keeps it alive for the duration of the job.
+unsafe impl Send for TaskFn {}
+unsafe impl Sync for TaskFn {}
+
+struct Job {
+    func: TaskFn,
+    tasks: usize,
+    /// Next unclaimed task index.
+    next: AtomicUsize,
+    /// Tasks not yet completed.
+    pending: AtomicUsize,
+    /// First panic payload raised by any task; re-raised on the submitter
+    /// once the job has fully drained.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+struct State {
+    job: Option<Arc<Job>>,
+    generation: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_ready: Condvar,
+    work_done: Condvar,
+}
+
+/// A fixed-size pool of persistent worker threads (see the module docs).
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    /// Serialises job submission; a pool runs one parallel-for at a time.
+    submit: Mutex<()>,
+    threads: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool that executes jobs on `threads` threads in total: the
+    /// submitting caller plus `threads - 1` parked workers.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                generation: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pelta-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            submit: Mutex::new(()),
+            threads,
+            workers,
+        }
+    }
+
+    /// Total number of threads (including the submitting caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(0), f(1), …, f(tasks - 1)` across the pool and returns once
+    /// every call completed. The caller participates.
+    ///
+    /// See the module docs for the determinism contract and nesting
+    /// behaviour.
+    pub fn run(&self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        if tasks == 0 {
+            return;
+        }
+        if tasks == 1 || self.threads == 1 || BUSY.with(Cell::get) {
+            for i in 0..tasks {
+                f(i);
+            }
+            return;
+        }
+        BUSY.with(|b| b.set(true));
+        // Reset on unwind too (a task panic is re-raised by run_parallel),
+        // so the thread is not stuck in inline mode afterwards.
+        struct BusyGuard;
+        impl Drop for BusyGuard {
+            fn drop(&mut self) {
+                BUSY.with(|b| b.set(false));
+            }
+        }
+        let _guard = BusyGuard;
+        self.run_parallel(tasks, f);
+    }
+
+    fn run_parallel(&self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+        let _submit = self.submit.lock().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: we block below until `pending == 0`, i.e. until no thread
+        // will touch the closure again, so erasing the lifetime is sound.
+        let func = TaskFn(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f as *const _)
+        });
+        let job = Arc::new(Job {
+            func,
+            tasks,
+            next: AtomicUsize::new(0),
+            pending: AtomicUsize::new(tasks),
+            panic: Mutex::new(None),
+        });
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.job = Some(Arc::clone(&job));
+            st.generation = st.generation.wrapping_add(1);
+            self.shared.work_ready.notify_all();
+        }
+        execute(&self.shared, &job);
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            while job.pending.load(Ordering::Acquire) > 0 {
+                st = self
+                    .shared
+                    .work_done
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            st.job = None;
+        }
+        // The job is fully drained (no thread will touch the closure or the
+        // caller's buffers again), so re-raising a task panic here is safe —
+        // and preserves the original payload for the caller.
+        let payload = job.panic.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(payload) = payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // Workers always execute nested `run` calls inline.
+    BUSY.with(|b| b.set(true));
+    let mut seen_generation = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen_generation {
+                    if let Some(job) = st.job.as_ref() {
+                        seen_generation = st.generation;
+                        break Arc::clone(job);
+                    }
+                }
+                st = shared
+                    .work_ready
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        execute(shared, &job);
+    }
+}
+
+/// Claims and runs tasks from `job` until none remain; wakes the submitter
+/// after completing the last one. A panicking task is caught, its payload
+/// stashed on the job (first one wins), and the drain continues so the
+/// submitter never hangs — it re-raises the payload once the job is done.
+fn execute(shared: &Shared, job: &Job) {
+    loop {
+        // Claim before touching the closure: once every task is claimed the
+        // submitter may return and free it, so a late-waking thread must
+        // bail out on the bounds check without forming the reference.
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.tasks {
+            return;
+        }
+        // SAFETY: task `i` is claimed but not yet completed, so `pending > 0`
+        // and the submitter is still blocked keeping the closure alive.
+        let f = unsafe { &*job.func.0 };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)));
+        if let Err(payload) = result {
+            let mut slot = job.panic.lock().unwrap_or_else(|e| e.into_inner());
+            slot.get_or_insert(payload);
+        }
+        if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last task overall: wake the submitter. Taking the state lock
+            // orders the notify with the submitter's condition check.
+            let _st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            shared.work_done.notify_all();
+        }
+    }
+}
+
+/// Raw-pointer wrapper so disjoint-index writes can cross the closure
+/// boundary of [`ThreadPool::run`].
+struct SendPtr<T>(*mut T);
+
+// SAFETY: callers index disjoint elements per task.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer; capturing via a method keeps the `Sync` wrapper
+    /// (not the raw pointer) in closures.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Applies `f` to every element of `items` in parallel (one task per
+/// element), returning the results in input order.
+///
+/// Used by `pelta-fl` to fan federated clients out across the shared pool
+/// instead of spawning per-round OS threads.
+pub fn parallel_map_mut<T, R, F>(pool: &ThreadPool, items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    let items_ptr = SendPtr(items.as_mut_ptr());
+    let results_ptr = SendPtr(results.as_mut_ptr());
+    pool.run(items.len(), &|i| {
+        // SAFETY: each task index touches exactly one element of each buffer.
+        unsafe {
+            let item = &mut *items_ptr.get().add(i);
+            *results_ptr.get().add(i) = Some(f(i, item));
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("parallel_map_mut task completed"))
+        .collect()
+}
+
+/// Number of threads requested by the environment: `PELTA_THREADS` if set to
+/// a positive integer, otherwise the machine's available parallelism.
+pub fn env_threads() -> usize {
+    std::env::var("PELTA_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+static GLOBAL: OnceLock<RwLock<Arc<ThreadPool>>> = OnceLock::new();
+
+fn global_cell() -> &'static RwLock<Arc<ThreadPool>> {
+    GLOBAL.get_or_init(|| RwLock::new(Arc::new(ThreadPool::new(env_threads()))))
+}
+
+/// The process-wide pool every `Tensor` operation runs on. Sized by
+/// `PELTA_THREADS` (default: available parallelism) on first use.
+pub fn global() -> Arc<ThreadPool> {
+    Arc::clone(&global_cell().read().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// Replaces the global pool with one of `threads` threads.
+///
+/// Intended for benchmarks that compare thread counts (the `perf` binary of
+/// `pelta-bench`); concurrent tensor operations keep using the pool they
+/// already grabbed, which stays alive until its last `Arc` drops.
+pub fn set_global_threads(threads: usize) {
+    let mut cell = global_cell().write().unwrap_or_else(|e| e.into_inner());
+    *cell = Arc::new(ThreadPool::new(threads.max(1)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let counts: Vec<AtomicU32> = (0..100).map(|_| AtomicU32::new(0)).collect();
+        pool.run(100, &|i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let sum = AtomicUsize::new(0);
+        pool.run(10, &|i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn nested_run_executes_inline_without_deadlock() {
+        let pool = ThreadPool::new(2);
+        let total = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            // Nested job: must not deadlock on the submit lock.
+            pool.run(8, &|j| {
+                total.fetch_add(j, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 28);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_jobs() {
+        let pool = ThreadPool::new(3);
+        for round in 1..=5usize {
+            let total = AtomicUsize::new(0);
+            pool.run(round * 7, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(total.load(Ordering::Relaxed), round * 7);
+        }
+    }
+
+    #[test]
+    fn parallel_map_mut_preserves_order_and_mutates() {
+        let pool = ThreadPool::new(4);
+        let mut items: Vec<usize> = (0..32).collect();
+        let doubled = parallel_map_mut(&pool, &mut items, |i, item| {
+            *item += 1;
+            i * 2
+        });
+        assert_eq!(doubled, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(items, (1..=32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn task_panic_propagates_and_pool_stays_usable() {
+        let pool = ThreadPool::new(3);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                if i == 5 {
+                    panic!("task boom");
+                }
+            });
+        }));
+        let payload = caught.expect_err("panic should propagate to the submitter");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("task boom"),
+            "original panic payload is preserved"
+        );
+        // The pool (and this thread) must still run jobs afterwards.
+        let total = AtomicUsize::new(0);
+        pool.run(10, &|_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn env_threads_is_positive() {
+        assert!(env_threads() >= 1);
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        let a = global();
+        let b = global();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

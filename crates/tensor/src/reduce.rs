@@ -4,8 +4,12 @@ use crate::{Result, Tensor, TensorError};
 
 impl Tensor {
     /// Sum of all elements.
+    ///
+    /// Large tensors reduce chunk-parallel with a fixed chunking whose
+    /// partials combine in order, so the value is identical at any thread
+    /// count.
     pub fn sum(&self) -> f32 {
-        self.data().iter().sum()
+        crate::kernels::par_sum_map(&crate::pool::global(), self.data(), |x| x)
     }
 
     /// Mean of all elements.
@@ -189,7 +193,7 @@ impl Tensor {
 
     /// L2 (Euclidean) norm over all elements.
     pub fn l2_norm(&self) -> f32 {
-        self.data().iter().map(|x| x * x).sum::<f32>().sqrt()
+        crate::kernels::par_sum_map(&crate::pool::global(), self.data(), |x| x * x).sqrt()
     }
 
     /// L∞ (maximum-magnitude) norm over all elements — the norm constraining
@@ -200,7 +204,7 @@ impl Tensor {
 
     /// L1 norm over all elements.
     pub fn l1_norm(&self) -> f32 {
-        self.data().iter().map(|x| x.abs()).sum()
+        crate::kernels::par_sum_map(&crate::pool::global(), self.data(), f32::abs)
     }
 
     /// Dot product with another tensor of identical shape.
@@ -215,12 +219,11 @@ impl Tensor {
                 rhs: other.dims().to_vec(),
             });
         }
-        Ok(self
-            .data()
-            .iter()
-            .zip(other.data().iter())
-            .map(|(&a, &b)| a * b)
-            .sum())
+        Ok(crate::kernels::par_dot(
+            &crate::pool::global(),
+            self.data(),
+            other.data(),
+        ))
     }
 
     /// Numerically stable softmax along the last axis.
