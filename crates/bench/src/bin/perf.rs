@@ -10,12 +10,17 @@
 //! * a determinism probe (max |logit difference| between 1 and N threads,
 //!   which the backend contract requires to be exactly zero).
 //!
+//! A second probe measures the **federation message path** (protocol
+//! round-trips through the round state machine, serialised vs in-memory
+//! transport, no local training) and lands in `BENCH_federation.json`.
+//!
 //! Usage: `perf [--quick] [--out <path>]`. `--quick` runs fewer iterations
 //! (the CI snapshot); the JSON lands in `BENCH_kernels.json` by default and
 //! is also printed to stdout.
 
 use std::time::Instant;
 
+use pelta_fl::{export_parameters, FedAvgServer, Message, ModelUpdate, TransportKind};
 use pelta_models::{predict_logits, train_step, ViTConfig, VisionTransformer};
 use pelta_nn::Sgd;
 use pelta_tensor::kernels::reference;
@@ -143,6 +148,120 @@ fn determinism_probe(threads: usize) -> f32 {
         .fold(0.0f32, f32::max)
 }
 
+struct FederationRow {
+    clients: usize,
+    rounds: usize,
+    messages: usize,
+    wire_bytes: usize,
+    in_memory_msgs_per_s: f64,
+    serialized_msgs_per_s: f64,
+    serialized_mb_per_s: f64,
+}
+
+/// Pumps `clients × rounds` protocol round-trips (RoundStart broadcast →
+/// Update delivery → renormalised aggregation) through the server state
+/// machine over the given transport, using scaled-ViT-sized parameter
+/// payloads but no local training — this isolates the wire + state-machine
+/// path the runtime added.
+fn federation_round_trip(
+    kind: TransportKind,
+    parameters: &[(String, Tensor)],
+    clients: usize,
+    rounds: usize,
+) -> (usize, usize) {
+    let mut server = FedAvgServer::new(parameters.to_vec());
+    let links: Vec<_> = (0..clients).map(|_| kind.duplex()).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    for (id, (client_end, server_end)) in links.iter().enumerate() {
+        client_end
+            .send(&Message::Join { client_id: id })
+            .expect("join");
+        let join = server_end.recv().expect("recv").expect("queued join");
+        server.deliver(&join);
+    }
+    for _ in 0..rounds {
+        let participants = server.begin_round(&mut rng).expect("begin round");
+        let broadcast = server.broadcast();
+        for &id in &participants {
+            links[id]
+                .1
+                .send(&Message::RoundStart {
+                    round: broadcast.round,
+                    global: broadcast.clone(),
+                })
+                .expect("broadcast");
+            // The client consumes the broadcast and answers with its update.
+            let Some(Message::RoundStart { global, .. }) = links[id].0.recv().expect("client recv")
+            else {
+                panic!("client expected RoundStart");
+            };
+            links[id]
+                .0
+                .send(&Message::Update {
+                    update: ModelUpdate {
+                        client_id: id,
+                        round: global.round,
+                        num_samples: 16,
+                        parameters: global.parameters,
+                    },
+                    shielded: Vec::new(),
+                })
+                .expect("update");
+        }
+        for &id in &participants {
+            let update = links[id].1.recv().expect("server recv").expect("queued");
+            let responses = server.deliver(&update);
+            assert!(responses.is_empty(), "update unexpectedly refused");
+        }
+        server.close_round().expect("close round");
+    }
+    let messages: usize = links
+        .iter()
+        .map(|(c, s)| c.messages_sent() + s.messages_sent())
+        .sum();
+    let bytes: usize = links
+        .iter()
+        .map(|(c, s)| c.bytes_sent() + s.bytes_sent())
+        .sum();
+    (messages, bytes)
+}
+
+fn bench_federation(iters: usize) -> FederationRow {
+    const CLIENTS: usize = 4;
+    const ROUNDS: usize = 3;
+    // Scaled-ViT-sized payloads: the same parameter schema the real
+    // federation broadcasts and aggregates.
+    let parameters = export_parameters(&scaled_vit(13));
+
+    let (messages, wire_bytes) =
+        federation_round_trip(TransportKind::InMemory, &parameters, CLIENTS, ROUNDS);
+    let in_memory = time_best(iters, || {
+        std::hint::black_box(federation_round_trip(
+            TransportKind::InMemory,
+            &parameters,
+            CLIENTS,
+            ROUNDS,
+        ));
+    });
+    let serialized = time_best(iters, || {
+        std::hint::black_box(federation_round_trip(
+            TransportKind::Serialized,
+            &parameters,
+            CLIENTS,
+            ROUNDS,
+        ));
+    });
+    FederationRow {
+        clients: CLIENTS,
+        rounds: ROUNDS,
+        messages,
+        wire_bytes,
+        in_memory_msgs_per_s: messages as f64 / in_memory,
+        serialized_msgs_per_s: messages as f64 / serialized,
+        serialized_mb_per_s: wire_bytes as f64 / serialized / 1e6,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -188,6 +307,31 @@ fn main() {
     print!("{json}");
     std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");
     eprintln!("wrote {out_path}");
+
+    // Federation message-path throughput → BENCH_federation.json (a sibling
+    // of the kernel snapshot, printed per PR by CI).
+    let federation = bench_federation(iters);
+    let federation_json = format!(
+        "{{\n  \"clients\": {},\n  \"rounds\": {},\n  \"protocol_messages\": {},\n  \
+         \"wire_bytes\": {},\n  \"in_memory_msgs_per_s\": {:.1},\n  \
+         \"serialized_msgs_per_s\": {:.1},\n  \"serialized_wire_mb_per_s\": {:.2}\n}}\n",
+        federation.clients,
+        federation.rounds,
+        federation.messages,
+        federation.wire_bytes,
+        federation.in_memory_msgs_per_s,
+        federation.serialized_msgs_per_s,
+        federation.serialized_mb_per_s,
+    );
+    print!("{federation_json}");
+    let federation_path = if out_path == "BENCH_kernels.json" {
+        "BENCH_federation.json".to_string()
+    } else {
+        format!("{out_path}.federation.json")
+    };
+    std::fs::write(&federation_path, &federation_json).expect("write BENCH_federation.json");
+    eprintln!("wrote {federation_path}");
+
     assert_eq!(
         max_diff, 0.0,
         "determinism contract violated: 1-thread and {threads}-thread logits differ"

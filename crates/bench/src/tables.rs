@@ -1026,6 +1026,12 @@ pub fn system_overhead(config: &ExperimentConfig) -> OverheadReport {
                 momentum: 0.9,
             },
             eval_samples: config.test_samples,
+            // The §VI bandwidth accounting runs the real wire path: shielded
+            // segments sealed through the attested enclave channel, messages
+            // forced through the serialised transport.
+            transport: pelta_fl::TransportKind::Serialized,
+            shield_updates: true,
+            ..FederationConfig::default()
         },
         Partition::Iid,
         &mut seeds,

@@ -1,12 +1,14 @@
-//! Honest federated clients and the parameter import/export helpers shared
-//! with the server and the compromised client.
+//! Honest federated clients: the local-training core ([`FlClient`]), the
+//! parameter import/export helpers shared with the server and the
+//! compromised client, and the message-driven [`ClientAgent`] that speaks
+//! the wire protocol over a [`Transport`].
 
 use pelta_data::ClientShard;
-use pelta_models::{train_classifier, ImageModel, TrainingConfig};
+use pelta_models::{train_classifier, ImageModel, ParameterSegment, TrainingConfig};
 use pelta_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
-use crate::{FlError, GlobalModel, ModelUpdate, Result};
+use crate::{FlError, GlobalModel, Message, ModelUpdate, Result, ShieldedUpdateChannel, Transport};
 
 /// Exports a model's parameters as `(name, tensor)` pairs in canonical
 /// order.
@@ -46,6 +48,39 @@ pub fn import_parameters<M: ImageModel + ?Sized>(
         param.set_value(value.clone());
     }
     Ok(())
+}
+
+/// Partitions named parameters into the **shielded** and **clear** segments
+/// under `model`'s shield plan, both keeping their relative (canonical)
+/// order. This is the single place the segment split lives: the
+/// [`ClientAgent`] uses it on a trained update before sealing, and
+/// [`export_segments`] on a fresh export.
+#[allow(clippy::type_complexity)]
+pub fn split_segments<M: ImageModel + ?Sized>(
+    model: &M,
+    parameters: Vec<(String, Tensor)>,
+) -> (Vec<(String, Tensor)>, Vec<(String, Tensor)>) {
+    let mut shielded = Vec::new();
+    let mut clear = Vec::new();
+    for (name, tensor) in parameters {
+        match model.parameter_segment(&name) {
+            ParameterSegment::Shielded => shielded.push((name, tensor)),
+            ParameterSegment::Clear => clear.push((name, tensor)),
+        }
+    }
+    (shielded, clear)
+}
+
+/// Splits a model's exported parameters into the **shielded** and **clear**
+/// segments, both in canonical order (segment-addressed export; see
+/// [`ImageModel::shielded_parameter_prefixes`]). The shielded segment is
+/// what the attested enclave channel seals for transit; the clear segment
+/// rides in the update message's plaintext parameter list.
+#[allow(clippy::type_complexity)]
+pub fn export_segments<M: ImageModel + ?Sized>(
+    model: &M,
+) -> (Vec<(String, Tensor)>, Vec<(String, Tensor)>) {
+    split_segments(model, export_parameters(model))
 }
 
 /// Summary of one client's local training in a round.
@@ -139,6 +174,158 @@ impl FlClient {
     }
 }
 
+/// What one [`ClientAgent::step`] actually did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutcome {
+    /// The local training report, when the step trained and sent an update.
+    pub trained: Option<LocalTrainingReport>,
+    /// Whether the step answered a broadcast with a mid-round Leave.
+    pub left: bool,
+}
+
+/// A message-driven federated client: an [`FlClient`] bound to one end of a
+/// [`Transport`] link, optionally with an attested shielded-update channel.
+///
+/// The agent is passive between rounds; [`ClientAgent::step`] drains its
+/// inbox and reacts: a [`Message::RoundStart`] triggers local training and
+/// an update (or a mid-round [`Message::Leave`] when the scenario drops the
+/// client this round); [`Message::RoundEnd`] and [`Message::Nack`] are
+/// recorded. The federation runtime steps all agents in parallel on the
+/// shared compute pool.
+pub struct ClientAgent {
+    client: FlClient,
+    transport: Box<dyn Transport>,
+    shield: Option<ShieldedUpdateChannel>,
+    nacks_received: usize,
+}
+
+impl ClientAgent {
+    /// Binds a client to its transport endpoint; `shield` carries the
+    /// established enclave channel when the deployment seals shielded
+    /// parameter segments.
+    pub fn new(
+        client: FlClient,
+        transport: Box<dyn Transport>,
+        shield: Option<ShieldedUpdateChannel>,
+    ) -> Self {
+        ClientAgent {
+            client,
+            transport,
+            shield,
+            nacks_received: 0,
+        }
+    }
+
+    /// The client's identifier.
+    pub fn id(&self) -> usize {
+        self.client.id()
+    }
+
+    /// The wrapped training client.
+    pub fn client(&self) -> &FlClient {
+        &self.client
+    }
+
+    /// The shielded-update channel, when the deployment runs one.
+    pub fn shield(&self) -> Option<&ShieldedUpdateChannel> {
+        self.shield.as_ref()
+    }
+
+    /// Number of Nacks the server has sent this agent.
+    pub fn nacks_received(&self) -> usize {
+        self.nacks_received
+    }
+
+    /// Messages this agent has sent over its transport.
+    pub fn transport_messages(&self) -> usize {
+        self.transport.messages_sent()
+    }
+
+    /// Logical wire bytes this agent has sent over its transport.
+    pub fn transport_bytes(&self) -> usize {
+        self.transport.bytes_sent()
+    }
+
+    /// Announces the client to the server (initial connection or rejoin).
+    ///
+    /// # Errors
+    /// Returns an error if the transport rejects the message.
+    pub fn join(&self) -> Result<()> {
+        self.transport.send(&Message::Join {
+            client_id: self.client.id(),
+        })
+    }
+
+    /// Drains the inbox and reacts to each message. With
+    /// `drop_this_round` set, a received [`Message::RoundStart`] is answered
+    /// by a mid-round [`Message::Leave`] instead of training — the dropout
+    /// scenario of the participation policy.
+    ///
+    /// Returns what the step actually did: the training report if it
+    /// trained, and whether it sent a Leave. A client that was not sampled
+    /// this round receives no broadcast and does neither — the runtime must
+    /// not assume a scheduled dropout happened unless `left` says so.
+    ///
+    /// # Errors
+    /// Returns an error if training fails or the transport rejects a reply.
+    pub fn step(&mut self, drop_this_round: bool) -> Result<StepOutcome> {
+        let mut outcome = StepOutcome {
+            trained: None,
+            left: false,
+        };
+        while let Some(message) = self.transport.recv()? {
+            match message {
+                Message::RoundStart { global, .. } => {
+                    if drop_this_round {
+                        self.transport.send(&Message::Leave {
+                            client_id: self.client.id(),
+                        })?;
+                        outcome.left = true;
+                        continue;
+                    }
+                    let (update, report) = self.client.local_round(&global)?;
+                    let message = self.assemble_update(update)?;
+                    self.transport.send(&message)?;
+                    outcome.trained = Some(report);
+                }
+                Message::Nack { .. } => self.nacks_received += 1,
+                // RoundEnd closes the round; Join/Leave/Update are
+                // client→server only and ignored if misrouted.
+                _ => {}
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Wraps a trained update into its wire message, sealing the shielded
+    /// parameter segment through the enclave channel when one is attached.
+    fn assemble_update(&self, update: ModelUpdate) -> Result<Message> {
+        let Some(shield) = &self.shield else {
+            return Ok(Message::Update {
+                update,
+                shielded: Vec::new(),
+            });
+        };
+        let ModelUpdate {
+            client_id,
+            round,
+            num_samples,
+            parameters,
+        } = update;
+        let (shielded_segment, clear) = split_segments(self.client.model(), parameters);
+        let (blobs, _report) = shield.seal_segments(&shielded_segment)?;
+        Ok(Message::Update {
+            update: ModelUpdate {
+                client_id,
+                round,
+                num_samples,
+                parameters: clear,
+            },
+            shielded: blobs,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,6 +385,37 @@ mod tests {
         assert!(matches!(
             import_parameters(&mut a, truncated),
             Err(FlError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn step_reports_what_actually_happened() {
+        use crate::transport::InMemoryTransport;
+        use crate::Transport;
+
+        let (client_setup, _global) = tiny_setup(7);
+        let (client_end, server_end) = InMemoryTransport::pair();
+        let mut agent = ClientAgent::new(client_setup, Box::new(client_end), None);
+
+        // An empty inbox with a scheduled drop does nothing: the client was
+        // not sampled, received no broadcast, and must NOT count as left.
+        let outcome = agent.step(true).unwrap();
+        assert!(!outcome.left);
+        assert!(outcome.trained.is_none());
+        assert!(!server_end.has_pending());
+
+        // A broadcast answered under the drop flag is a real mid-round
+        // Leave.
+        let (_, global) = tiny_setup(7);
+        server_end
+            .send(&Message::RoundStart { round: 0, global })
+            .unwrap();
+        let outcome = agent.step(true).unwrap();
+        assert!(outcome.left);
+        assert!(outcome.trained.is_none());
+        assert!(matches!(
+            server_end.recv().unwrap().unwrap(),
+            Message::Leave { client_id: 0 }
         ));
     }
 

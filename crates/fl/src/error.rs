@@ -3,6 +3,7 @@
 use pelta_attacks::AttackError;
 use pelta_core::PeltaError;
 use pelta_nn::NnError;
+use pelta_tee::TeeError;
 use pelta_tensor::TensorError;
 use std::fmt;
 
@@ -28,6 +29,23 @@ pub enum FlError {
         /// Explanation of the failure.
         reason: String,
     },
+    /// A wire-protocol frame could not be encoded or decoded.
+    Wire {
+        /// Explanation of the failure.
+        reason: String,
+    },
+    /// The shielded-update channel (enclave, sealing, attestation) failed.
+    Tee(TeeError),
+    /// A round could not complete under the participation policy (e.g. the
+    /// quorum became unreachable after dropouts).
+    QuorumNotMet {
+        /// The round that failed.
+        round: usize,
+        /// Updates received when collection stalled.
+        received: usize,
+        /// The configured quorum.
+        quorum: usize,
+    },
 }
 
 impl fmt::Display for FlError {
@@ -39,6 +57,16 @@ impl fmt::Display for FlError {
             FlError::Attack(e) => write!(f, "attack error: {e}"),
             FlError::InvalidConfig { reason } => write!(f, "invalid federation config: {reason}"),
             FlError::SchemaMismatch { reason } => write!(f, "update schema mismatch: {reason}"),
+            FlError::Wire { reason } => write!(f, "wire protocol error: {reason}"),
+            FlError::Tee(e) => write!(f, "shielded channel error: {e}"),
+            FlError::QuorumNotMet {
+                round,
+                received,
+                quorum,
+            } => write!(
+                f,
+                "round {round} stalled with {received} update(s), quorum is {quorum}"
+            ),
         }
     }
 }
@@ -50,8 +78,15 @@ impl std::error::Error for FlError {
             FlError::Tensor(e) => Some(e),
             FlError::Pelta(e) => Some(e),
             FlError::Attack(e) => Some(e),
+            FlError::Tee(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<TeeError> for FlError {
+    fn from(e: TeeError) -> Self {
+        FlError::Tee(e)
     }
 }
 

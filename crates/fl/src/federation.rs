@@ -1,14 +1,71 @@
-//! End-to-end federation orchestration: broadcast, parallel local training,
-//! aggregation and central evaluation.
+//! The message-driven federation runtime: transports, the per-round server
+//! state machine, parallel local training, deterministic message delivery,
+//! and central evaluation.
+//!
+//! Each client is a [`ClientAgent`] bound to one end of a duplex
+//! [`Transport`] link; the server holds the other end. A round proceeds as
+//!
+//! 1. scheduled rejoins send [`Message::Join`]; all pending client→server
+//!    traffic is delivered;
+//! 2. the server samples participants ([`FedAvgServer::begin_round`]) and
+//!    the runtime broadcasts [`Message::RoundStart`] over their links;
+//! 3. agents step in parallel on the shared compute pool — training is
+//!    concurrent, but **message delivery is not**: the runtime drains the
+//!    links in deterministic sweeps (ascending client id, one message per
+//!    link per sweep, a client's traffic lagging by its scheduled latency),
+//!    so the straggler deadline — counted in delivered messages — and the
+//!    aggregation order are reproducible at any `PELTA_THREADS`;
+//! 4. the server closes the round ([`FedAvgServer::close_round`]),
+//!    renormalising FedAvg weights over the clients that actually reported,
+//!    and the runtime broadcasts [`Message::RoundEnd`].
+//!
+//! Shielded parameter segments arriving inside updates are reassembled
+//! through the server's attested [`ShieldedUpdateChannel`] before delivery,
+//! with their byte accounting surfaced in the [`RoundRecord`].
 
 use pelta_data::{federated_split, Dataset, Partition};
 use pelta_models::{accuracy, ImageModel, TrainingConfig, ViTConfig, VisionTransformer};
+use pelta_tee::{verify_report, CostLedger};
 use pelta_tensor::{pool, SeedStream};
+use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::client::{export_parameters, import_parameters, FlClient};
-use crate::{FedAvgServer, FlError, Result};
+use crate::client::{export_parameters, import_parameters, ClientAgent, FlClient};
+use crate::server::RoundSummary;
+use crate::{
+    FedAvgServer, FlError, Message, ModelUpdate, ParticipationPolicy, Result,
+    ShieldedUpdateChannel, Transport, TransportKind,
+};
+
+/// Scenario schedule for one client: when it drops out, when it rejoins,
+/// and how far its messages lag behind the other clients' (in delivery
+/// sweeps — the deterministic stand-in for network latency).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientSchedule {
+    /// The client this schedule applies to.
+    pub client_id: usize,
+    /// Round in which the client leaves mid-round (it receives the
+    /// broadcast but answers with [`Message::Leave`] instead of an update).
+    pub drop_at_round: Option<usize>,
+    /// Round before which the client rejoins (sends [`Message::Join`]).
+    pub rejoin_at_round: Option<usize>,
+    /// Delivery sweeps this client's messages lag behind; combined with the
+    /// straggler deadline this models a slow client deterministically.
+    pub latency: usize,
+}
+
+impl ClientSchedule {
+    /// A schedule that never drops and has no latency.
+    pub fn punctual(client_id: usize) -> Self {
+        ClientSchedule {
+            client_id,
+            drop_at_round: None,
+            rejoin_at_round: None,
+            latency: 0,
+        }
+    }
+}
 
 /// Configuration of a federation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -21,6 +78,16 @@ pub struct FederationConfig {
     pub local_training: TrainingConfig,
     /// Number of held-out samples used for central evaluation each round.
     pub eval_samples: usize,
+    /// Which transport the client links run over.
+    pub transport: TransportKind,
+    /// Quorum, per-round sampling and straggler policy.
+    pub policy: ParticipationPolicy,
+    /// Whether shielded parameter segments travel sealed through the
+    /// attested enclave channel (clear plaintext otherwise).
+    pub shield_updates: bool,
+    /// Per-client dropout/rejoin/latency schedules (clients without an
+    /// entry behave punctually).
+    pub schedules: Vec<ClientSchedule>,
 }
 
 impl Default for FederationConfig {
@@ -35,6 +102,10 @@ impl Default for FederationConfig {
                 momentum: 0.9,
             },
             eval_samples: 64,
+            transport: TransportKind::InMemory,
+            policy: ParticipationPolicy::default(),
+            shield_updates: false,
+            schedules: Vec::new(),
         }
     }
 }
@@ -44,13 +115,19 @@ impl Default for FederationConfig {
 pub struct RoundRecord {
     /// Round index (0-based).
     pub round: usize,
-    /// Mean of the clients' final local losses.
+    /// Mean of the reporting clients' final local losses.
     pub mean_client_loss: f32,
     /// Accuracy of the aggregated global model on the held-out set.
     pub global_accuracy: f32,
-    /// Total bytes of the updates uploaded this round (bandwidth accounting
-    /// for the §VI discussion).
+    /// Wire bytes of the update messages aggregated this round (bandwidth
+    /// accounting for the §VI discussion).
     pub upload_bytes: usize,
+    /// Sealed-blob bytes of shielded segments that crossed the enclave
+    /// channel this round (0 when shielding is off).
+    pub shielded_bytes: usize,
+    /// Participation outcome: participants, reporters, stragglers,
+    /// dropouts, renormalised weight.
+    pub summary: RoundSummary,
 }
 
 /// The full history of a federation run.
@@ -60,13 +137,27 @@ pub struct RunHistory {
     pub rounds: Vec<RoundRecord>,
     /// Accuracy of the final global model on the held-out set.
     pub final_accuracy: f32,
+    /// Protocol messages that crossed the transports, both directions.
+    pub total_messages: usize,
+    /// Logical wire bytes of those messages.
+    pub total_wire_bytes: usize,
 }
 
-/// A running federation: one server, `clients` honest clients, and a central
-/// evaluation replica.
+/// One client's seat in the federation: its agent, the server-side end of
+/// its link, its schedule, and whether it is currently online.
+struct Slot {
+    agent: ClientAgent,
+    link: Box<dyn Transport>,
+    schedule: ClientSchedule,
+    online: bool,
+}
+
+/// A running federation: one message-driven server, `clients` honest client
+/// agents on transport links, and a central evaluation replica.
 pub struct Federation {
     server: FedAvgServer,
-    clients: Vec<FlClient>,
+    server_shield: Option<ShieldedUpdateChannel>,
+    slots: Vec<Slot>,
     eval_model: Box<dyn ImageModel>,
     dataset: Dataset,
     config: FederationConfig,
@@ -74,10 +165,13 @@ pub struct Federation {
 
 impl Federation {
     /// Builds a federation whose clients all train local replicas produced by
-    /// `factory` (every replica must share the same architecture).
+    /// `factory` (every replica must share the same architecture). Every
+    /// client joins over its transport link; when `shield_updates` is set,
+    /// each client's enclave is attested before it is admitted.
     ///
     /// # Errors
-    /// Returns an error if the configuration is degenerate.
+    /// Returns an error if the configuration is degenerate or attestation
+    /// fails.
     pub fn with_factory<F>(
         dataset: &Dataset,
         config: &FederationConfig,
@@ -93,6 +187,24 @@ impl Federation {
                 reason: "clients and rounds must be positive".to_string(),
             });
         }
+        if config.policy.quorum > config.clients {
+            return Err(FlError::InvalidConfig {
+                reason: format!(
+                    "quorum {} exceeds the client count {}",
+                    config.policy.quorum, config.clients
+                ),
+            });
+        }
+        for schedule in &config.schedules {
+            if schedule.client_id >= config.clients {
+                return Err(FlError::InvalidConfig {
+                    reason: format!(
+                        "schedule refers to client {} of {}",
+                        schedule.client_id, config.clients
+                    ),
+                });
+            }
+        }
         let shards = federated_split(
             dataset,
             config.clients,
@@ -100,22 +212,58 @@ impl Federation {
             &mut seeds.derive("partition"),
         );
         let eval_model = factory(&mut seeds.derive_indexed("model", u64::MAX));
-        let server = FedAvgServer::new(export_parameters(eval_model.as_ref()));
-        let clients = shards
-            .into_iter()
-            .enumerate()
-            .map(|(id, shard)| {
-                let model = factory(&mut seeds.derive_indexed("model", id as u64));
-                FlClient::new(id, shard, model, config.local_training.clone())
-            })
-            .collect();
-        Ok(Federation {
+        let server =
+            FedAvgServer::with_policy(export_parameters(eval_model.as_ref()), config.policy)?;
+        let server_shield = if config.shield_updates {
+            let nonce = seeds.derive_indexed("attest", u64::MAX).gen::<u64>();
+            Some(ShieldedUpdateChannel::connect(nonce)?)
+        } else {
+            None
+        };
+
+        let mut slots = Vec::with_capacity(config.clients);
+        for (id, shard) in shards.into_iter().enumerate() {
+            let model = factory(&mut seeds.derive_indexed("model", id as u64));
+            let client = FlClient::new(id, shard, model, config.local_training.clone());
+            let (client_end, server_end) = config.transport.duplex();
+            let shield = if config.shield_updates {
+                let nonce = seeds.derive_indexed("attest", id as u64).gen::<u64>();
+                let channel = ShieldedUpdateChannel::connect(nonce)?;
+                // WaTZ-style admission: the server verifies the client's
+                // enclave report against the expected measurement before
+                // trusting its sealed segments.
+                let report = channel.attest(nonce);
+                verify_report(&report, channel.measurement(), nonce).map_err(FlError::from)?;
+                Some(channel)
+            } else {
+                None
+            };
+            let agent = ClientAgent::new(client, client_end, shield);
+            agent.join()?;
+            let schedule = config
+                .schedules
+                .iter()
+                .find(|s| s.client_id == id)
+                .cloned()
+                .unwrap_or_else(|| ClientSchedule::punctual(id));
+            slots.push(Slot {
+                agent,
+                link: server_end,
+                schedule,
+                online: true,
+            });
+        }
+        let mut federation = Federation {
             server,
-            clients,
+            server_shield,
+            slots,
             eval_model,
             dataset: dataset.clone(),
             config: config.clone(),
-        })
+        };
+        // Deliver the Join handshakes before the first round opens.
+        federation.pump_links()?;
+        Ok(federation)
     }
 
     /// Convenience constructor: a federation of scaled ViT-B/16 replicas, the
@@ -145,9 +293,9 @@ impl Federation {
         })
     }
 
-    /// Number of clients.
+    /// Number of client seats (online or not).
     pub fn num_clients(&self) -> usize {
-        self.clients.len()
+        self.slots.len()
     }
 
     /// The aggregation server.
@@ -155,7 +303,17 @@ impl Federation {
         &self.server
     }
 
+    /// The server-side enclave ledger of the shielded-update channel, when
+    /// shielding is enabled — the §VI byte accounting next to the
+    /// `ShieldReport` of `pelta-core`.
+    pub fn server_shield_ledger(&self) -> Option<CostLedger> {
+        self.server_shield.as_ref().map(|s| s.ledger())
+    }
+
     /// The current global parameters loaded into an evaluation replica.
+    ///
+    /// # Errors
+    /// Returns an error if the snapshot does not match the replica.
     pub fn global_model(&mut self) -> Result<&dyn ImageModel> {
         import_parameters(self.eval_model.as_mut(), self.server.parameters())?;
         Ok(self.eval_model.as_ref())
@@ -163,36 +321,69 @@ impl Federation {
 
     /// Runs the configured number of rounds and returns the history.
     ///
-    /// Clients train in parallel threads (they are independent devices in the
-    /// real deployment).
+    /// Clients train in parallel on the shared compute pool (they are
+    /// independent devices in the real deployment); message delivery is
+    /// deterministic regardless of the thread count (see the module docs).
     ///
     /// # Errors
-    /// Returns the first error raised by a client, the server or evaluation.
-    pub fn run(&mut self, _seeds: &mut SeedStream) -> Result<RunHistory> {
+    /// Returns the first error raised by a client, the server, a transport
+    /// or evaluation — or [`FlError::QuorumNotMet`] if dropouts starve a
+    /// round below the quorum.
+    pub fn run(&mut self, seeds: &mut SeedStream) -> Result<RunHistory> {
         let mut rounds = Vec::with_capacity(self.config.rounds);
-        for _ in 0..self.config.rounds {
-            let broadcast = self.server.broadcast();
-            let round = broadcast.round;
-
-            // Parallel local training on the shared compute pool (clients are
-            // independent devices in the real deployment); no per-round OS
-            // threads are spawned, and each client's own kernels degrade to
-            // inline execution inside its worker.
-            let results =
-                pool::parallel_map_mut(&pool::global(), &mut self.clients, |_, client| {
-                    client.local_round(&broadcast)
-                });
-
-            let mut updates = Vec::with_capacity(results.len());
-            let mut loss_sum = 0.0f32;
-            let mut upload_bytes = 0usize;
-            for result in results {
-                let (update, report) = result?;
-                loss_sum += report.epoch_losses.last().copied().unwrap_or(0.0);
-                upload_bytes += update.wire_size();
-                updates.push(update);
+        for round_index in 0..self.config.rounds {
+            // Scheduled rejoins announce themselves before the round opens.
+            for slot in &mut self.slots {
+                if !slot.online && slot.schedule.rejoin_at_round == Some(round_index) {
+                    slot.agent.join()?;
+                    slot.online = true;
+                }
             }
-            self.server.aggregate(&updates)?;
+            self.pump_links()?;
+
+            // Sample participants and broadcast the round.
+            let mut sample_rng = seeds.derive_indexed("participants", round_index as u64);
+            let participants = self.server.begin_round(&mut sample_rng)?;
+            let broadcast = self.server.broadcast();
+            for &id in &participants {
+                self.slots[id].link.send(&Message::RoundStart {
+                    round: broadcast.round,
+                    global: broadcast.clone(),
+                })?;
+            }
+
+            // Parallel local training: each agent drains its own inbox and
+            // queues its reply; no shared state crosses agents. A slot only
+            // goes offline when its agent actually sent the mid-round Leave
+            // — a scheduled dropper that was not sampled this round received
+            // no broadcast and stays connected.
+            let results = pool::parallel_map_mut(&pool::global(), &mut self.slots, |_, slot| {
+                let drop_now = slot.schedule.drop_at_round == Some(round_index);
+                let stepped = slot.agent.step(drop_now);
+                if matches!(&stepped, Ok(outcome) if outcome.left) {
+                    slot.online = false;
+                }
+                stepped
+            });
+            let mut loss_sum = 0.0f32;
+            let mut reporters = 0usize;
+            for result in results {
+                if let Some(report) = result?.trained {
+                    loss_sum += report.epoch_losses.last().copied().unwrap_or(0.0);
+                    reporters += 1;
+                }
+            }
+
+            // Deterministic delivery sweeps, then close the round.
+            let shielded_bytes = self.deliver_round_traffic()?;
+            let summary = self.server.close_round()?;
+            for &id in &summary.participants {
+                if self.slots[id].online {
+                    self.slots[id].link.send(&Message::RoundEnd {
+                        round: summary.round,
+                    })?;
+                }
+            }
 
             // Central evaluation on the held-out pool.
             let eval = self.dataset.test_subset(self.config.eval_samples);
@@ -200,17 +391,146 @@ impl Federation {
             let global_accuracy = accuracy(self.eval_model.as_ref(), &eval.images, &eval.labels)?;
 
             rounds.push(RoundRecord {
-                round,
-                mean_client_loss: loss_sum / self.clients.len() as f32,
+                round: summary.round,
+                mean_client_loss: loss_sum / reporters.max(1) as f32,
                 global_accuracy,
-                upload_bytes,
+                upload_bytes: summary.update_bytes,
+                shielded_bytes,
+                summary,
             });
         }
         let final_accuracy = rounds.last().map(|r| r.global_accuracy).unwrap_or(0.0);
+        let (total_messages, total_wire_bytes) = self
+            .slots
+            .iter()
+            .map(|slot| {
+                (
+                    slot.agent.transport_messages() + slot.link.messages_sent(),
+                    slot.agent.transport_bytes() + slot.link.bytes_sent(),
+                )
+            })
+            .fold((0, 0), |(m, b), (dm, db)| (m + dm, b + db));
         Ok(RunHistory {
             rounds,
             final_accuracy,
+            total_messages,
+            total_wire_bytes,
         })
+    }
+
+    /// Delivers all pending client→server traffic outside a round (Join
+    /// handshakes, rejoins, stray RoundEnd acknowledgements).
+    fn pump_links(&mut self) -> Result<()> {
+        loop {
+            let mut delivered = false;
+            for slot in &mut self.slots {
+                if let Some(message) = slot.link.recv()? {
+                    delivered = true;
+                    let responses = self.server.deliver(&message);
+                    for response in responses {
+                        slot.link.send(&response)?;
+                    }
+                }
+            }
+            if !delivered {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Drains the round's client→server traffic in deterministic sweeps:
+    /// ascending client id, one message per link per sweep, each client's
+    /// messages gated by its scheduled latency. Shielded segments are
+    /// reassembled through the server's enclave channel before delivery.
+    /// Returns the sealed bytes that crossed this round.
+    fn deliver_round_traffic(&mut self) -> Result<usize> {
+        let max_latency = self
+            .slots
+            .iter()
+            .map(|s| s.schedule.latency)
+            .max()
+            .unwrap_or(0);
+        let mut shielded_bytes = 0usize;
+        let mut sweep = 0usize;
+        loop {
+            let mut delivered = false;
+            let mut pending_future = false;
+            for index in 0..self.slots.len() {
+                if self.slots[index].schedule.latency > sweep {
+                    if self.slots[index].link.has_pending() {
+                        pending_future = true;
+                    }
+                    continue;
+                }
+                let Some(message) = self.slots[index].link.recv()? else {
+                    continue;
+                };
+                delivered = true;
+                let (message, sealed) = self.reassemble(message)?;
+                shielded_bytes += sealed;
+                let responses = self.server.deliver(&message);
+                for response in responses {
+                    self.slots[index].link.send(&response)?;
+                }
+            }
+            if !delivered && !pending_future && sweep >= max_latency {
+                return Ok(shielded_bytes);
+            }
+            sweep += 1;
+        }
+    }
+
+    /// Opens the sealed segments of an update through the server's enclave
+    /// channel and splices them back into the canonical parameter order, so
+    /// the state machine sees a complete update. Non-update messages pass
+    /// through untouched.
+    fn reassemble(&self, message: Message) -> Result<(Message, usize)> {
+        let Message::Update { update, shielded } = message else {
+            return Ok((message, 0));
+        };
+        if shielded.is_empty() {
+            return Ok((
+                Message::Update {
+                    update,
+                    shielded: Vec::new(),
+                },
+                0,
+            ));
+        }
+        let Some(server_shield) = &self.server_shield else {
+            return Err(FlError::InvalidConfig {
+                reason: format!(
+                    "client {} sent sealed segments but the server shields nothing",
+                    update.client_id
+                ),
+            });
+        };
+        let (opened, report) = server_shield.open_segments(&shielded)?;
+        let mut parameters = Vec::with_capacity(self.server.parameters().len());
+        for (name, _) in self.server.parameters() {
+            if let Some((n, t)) = update.parameters.iter().find(|(n, _)| n == name) {
+                parameters.push((n.clone(), t.clone()));
+            } else if let Some((n, t)) = opened.iter().find(|(n, _)| n == name) {
+                parameters.push((n.clone(), t.clone()));
+            } else {
+                return Err(FlError::SchemaMismatch {
+                    reason: format!(
+                        "client {} update is missing parameter '{name}' in both segments",
+                        update.client_id
+                    ),
+                });
+            }
+        }
+        Ok((
+            Message::Update {
+                update: ModelUpdate {
+                    parameters,
+                    ..update
+                },
+                shielded: Vec::new(),
+            },
+            report.sealed_bytes,
+        ))
     }
 }
 
@@ -231,6 +551,15 @@ mod tests {
         )
     }
 
+    fn quick_training() -> TrainingConfig {
+        TrainingConfig {
+            epochs: 1,
+            batch_size: 10,
+            learning_rate: 0.02,
+            momentum: 0.9,
+        }
+    }
+
     #[test]
     fn construction_validates_config() {
         let dataset = small_dataset(1);
@@ -242,6 +571,22 @@ mod tests {
         assert!(Federation::vit_federation(&dataset, &bad, Partition::Iid, &mut seeds).is_err());
         let bad = FederationConfig {
             rounds: 0,
+            ..FederationConfig::default()
+        };
+        assert!(Federation::vit_federation(&dataset, &bad, Partition::Iid, &mut seeds).is_err());
+        let bad = FederationConfig {
+            clients: 2,
+            policy: ParticipationPolicy {
+                quorum: 3,
+                sample: 0,
+                straggler_deadline: 0,
+            },
+            ..FederationConfig::default()
+        };
+        assert!(Federation::vit_federation(&dataset, &bad, Partition::Iid, &mut seeds).is_err());
+        let bad = FederationConfig {
+            clients: 2,
+            schedules: vec![ClientSchedule::punctual(5)],
             ..FederationConfig::default()
         };
         assert!(Federation::vit_federation(&dataset, &bad, Partition::Iid, &mut seeds).is_err());
@@ -261,6 +606,7 @@ mod tests {
                 momentum: 0.9,
             },
             eval_samples: 20,
+            ..FederationConfig::default()
         };
         let mut federation =
             Federation::vit_federation(&dataset, &config, Partition::Iid, &mut seeds).unwrap();
@@ -268,11 +614,16 @@ mod tests {
         let history = federation.run(&mut seeds).unwrap();
         assert_eq!(history.rounds.len(), 2);
         assert_eq!(federation.server().round(), 2);
+        assert!(history.total_messages > 0);
+        assert!(history.total_wire_bytes > 0);
         for (i, record) in history.rounds.iter().enumerate() {
             assert_eq!(record.round, i);
             assert!(record.upload_bytes > 0);
             assert!((0.0..=1.0).contains(&record.global_accuracy));
             assert!(record.mean_client_loss.is_finite());
+            assert_eq!(record.summary.reporters, vec![0, 1]);
+            assert!(record.summary.stragglers.is_empty());
+            assert_eq!(record.shielded_bytes, 0);
         }
         assert_eq!(
             history.final_accuracy,
@@ -290,18 +641,132 @@ mod tests {
         let config = FederationConfig {
             clients: 2,
             rounds: 1,
-            local_training: TrainingConfig {
-                epochs: 1,
-                batch_size: 10,
-                learning_rate: 0.02,
-                momentum: 0.9,
-            },
+            local_training: quick_training(),
             eval_samples: 10,
+            ..FederationConfig::default()
         };
         let mut federation =
             Federation::vit_federation(&dataset, &config, Partition::LabelSkew, &mut seeds)
                 .unwrap();
         let history = federation.run(&mut seeds).unwrap();
         assert_eq!(history.rounds.len(), 1);
+    }
+
+    #[test]
+    fn dropout_mid_round_completes_with_quorum_and_renormalizes() {
+        let dataset = small_dataset(4);
+        let mut seeds = SeedStream::new(4);
+        let config = FederationConfig {
+            clients: 3,
+            rounds: 2,
+            local_training: quick_training(),
+            eval_samples: 10,
+            policy: ParticipationPolicy {
+                quorum: 2,
+                sample: 0,
+                straggler_deadline: 0,
+            },
+            schedules: vec![ClientSchedule {
+                client_id: 1,
+                drop_at_round: Some(0),
+                rejoin_at_round: Some(1),
+                latency: 0,
+            }],
+            ..FederationConfig::default()
+        };
+        let mut federation =
+            Federation::vit_federation(&dataset, &config, Partition::Iid, &mut seeds).unwrap();
+        let history = federation.run(&mut seeds).unwrap();
+        // Round 0: client 1 left mid-round; the round still completed over
+        // the remaining reporters and the weight renormalised over them.
+        let first = &history.rounds[0].summary;
+        assert_eq!(first.participants, vec![0, 1, 2]);
+        assert_eq!(first.reporters, vec![0, 2]);
+        assert_eq!(first.dropouts, vec![1]);
+        // Round 1: the client rejoined and reported again.
+        let second = &history.rounds[1].summary;
+        assert_eq!(second.participants, vec![0, 1, 2]);
+        assert_eq!(second.reporters, vec![0, 1, 2]);
+        assert!(second.dropouts.is_empty());
+    }
+
+    #[test]
+    fn straggler_past_the_deadline_is_excluded_deterministically() {
+        let run = |seed: u64| {
+            let dataset = small_dataset(5);
+            let mut seeds = SeedStream::new(seed);
+            let config = FederationConfig {
+                clients: 3,
+                rounds: 1,
+                local_training: quick_training(),
+                eval_samples: 10,
+                policy: ParticipationPolicy {
+                    quorum: 2,
+                    sample: 0,
+                    straggler_deadline: 2,
+                },
+                schedules: vec![ClientSchedule {
+                    client_id: 0,
+                    drop_at_round: None,
+                    rejoin_at_round: None,
+                    latency: 3,
+                }],
+                ..FederationConfig::default()
+            };
+            let mut federation =
+                Federation::vit_federation(&dataset, &config, Partition::Iid, &mut seeds).unwrap();
+            federation.run(&mut seeds).unwrap()
+        };
+        let history = run(5);
+        let summary = &history.rounds[0].summary;
+        // Clients 1 and 2 fill the deadline; slow client 0 is a straggler.
+        assert_eq!(summary.reporters, vec![1, 2]);
+        assert_eq!(summary.stragglers, vec![0]);
+        assert!(summary.dropouts.is_empty());
+        // The run is deterministic across repeats.
+        let replay = run(5);
+        assert_eq!(history, replay);
+    }
+
+    #[test]
+    fn shielded_updates_travel_sealed_and_match_the_clear_run() {
+        let dataset = small_dataset(6);
+        let base = FederationConfig {
+            clients: 2,
+            rounds: 1,
+            local_training: quick_training(),
+            eval_samples: 10,
+            ..FederationConfig::default()
+        };
+        let run = |config: &FederationConfig| {
+            let mut seeds = SeedStream::new(6);
+            let mut federation =
+                Federation::vit_federation(&dataset, config, Partition::Iid, &mut seeds).unwrap();
+            let history = federation.run(&mut seeds).unwrap();
+            let params: Vec<(String, Vec<u32>)> = federation
+                .server()
+                .parameters()
+                .iter()
+                .map(|(n, t)| (n.clone(), t.data().iter().map(|v| v.to_bits()).collect()))
+                .collect();
+            (history, params, federation.server_shield_ledger())
+        };
+        let (clear_history, clear_params, clear_ledger) = run(&base);
+        assert!(clear_ledger.is_none());
+        assert_eq!(clear_history.rounds[0].shielded_bytes, 0);
+
+        let shielded_config = FederationConfig {
+            shield_updates: true,
+            ..base
+        };
+        let (shielded_history, shielded_params, shielded_ledger) = run(&shielded_config);
+        // Sealed segments crossed the enclave channel and were accounted.
+        assert!(shielded_history.rounds[0].shielded_bytes > 0);
+        let ledger = shielded_ledger.unwrap();
+        assert!(ledger.channel_bytes > 0);
+        assert!(ledger.sealed_bytes > 0);
+        // The sealed path is bitwise lossless: the global model is identical
+        // to the clear run's.
+        assert_eq!(clear_params, shielded_params);
     }
 }

@@ -1,23 +1,49 @@
 //! # pelta-fl
 //!
-//! The federated-learning substrate of the Pelta reproduction: the setting in
-//! which the paper's threat model lives (Fig. 1).
+//! The **message-driven federated-learning runtime** of the Pelta
+//! reproduction: the setting in which the paper's threat model lives
+//! (Fig. 1), grown from a single-process loop into an explicit
+//! wire-protocol / transport / state-machine architecture.
 //!
-//! A trusted [`FedAvgServer`] broadcasts the global model to a set of
-//! [`FlClient`]s; each client fine-tunes the model on its local shard and
-//! returns a weighted [`ModelUpdate`]; the server aggregates with federated
-//! averaging and broadcasts the next round. One of the clients may be a
-//! [`CompromisedClient`]: an honest-but-curious participant that follows the
-//! protocol but probes its local copy of the model to craft adversarial
-//! examples (the evasion attack Pelta defends against) — optionally through
-//! the Pelta shield, which is how the end-to-end federated experiment of the
-//! examples and benches compares the defended and undefended settings.
+//! ## Architecture
+//!
+//! * **Wire layer** — every exchange is a [`Message`] of the versioned
+//!   protocol (`Join`, `RoundStart`, `Update`, `RoundEnd`, `Leave`,
+//!   `Nack`), with a checksummed binary encoding in which every `f32`
+//!   travels as its exact bit pattern. Messages cross a [`Transport`]:
+//!   either the zero-copy [`InMemoryTransport`] or the
+//!   [`SerializedTransport`] loopback that forces every exchange through
+//!   bytes — both produce bit-identical federations, which the integration
+//!   tests assert.
+//! * **Server layer** — [`FedAvgServer`] is a per-round state machine
+//!   (*Broadcasting → Collecting → Aggregating*) under a
+//!   [`ParticipationPolicy`]: minimum quorum, per-round client sampling, a
+//!   straggler deadline measured in **delivered messages** (never wall
+//!   clock, so runs are deterministic), and dropout/rejoin handling.
+//!   Aggregation weights renormalise over the clients that actually
+//!   reported. [`RobustAggregator`] offers poisoning-resistant rules behind
+//!   the same broadcast/aggregate surface.
+//! * **Security layer** — when a deployment shields updates, the
+//!   enclave-resident parameter segments of the Pelta shield travel sealed
+//!   through the attested [`ShieldedUpdateChannel`] (`pelta-tee` sealing +
+//!   WaTZ-style attestation), never in plaintext; byte accounting is
+//!   surfaced per round next to the core `ShieldReport`.
+//! * **Clients** — [`FlClient`] is the local-training core; [`ClientAgent`]
+//!   speaks the protocol over a transport. [`CompromisedClient`] (evasion)
+//!   and [`BackdoorClient`] (poisoning) implement the paper's adversaries on
+//!   the same message flow.
+//!
+//! The [`Federation`] runtime wires all of this together: parallel local
+//! training on the shared compute pool, deterministic delivery sweeps, and
+//! central evaluation. Determinism contract: for a fixed configuration the
+//! global model is bit-identical across transports and at any
+//! `PELTA_THREADS`, including under dropout/straggler schedules.
 //!
 //! # Example
 //!
 //! ```rust,no_run
 //! use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
-//! use pelta_fl::{Federation, FederationConfig};
+//! use pelta_fl::{Federation, FederationConfig, ParticipationPolicy, TransportKind};
 //! use pelta_tensor::SeedStream;
 //!
 //! # fn main() -> Result<(), pelta_fl::FlError> {
@@ -25,7 +51,17 @@
 //! let mut seeds = SeedStream::new(1);
 //! let mut federation = Federation::vit_federation(
 //!     &dataset,
-//!     &FederationConfig { clients: 4, rounds: 2, ..FederationConfig::default() },
+//!     &FederationConfig {
+//!         clients: 4,
+//!         rounds: 2,
+//!         transport: TransportKind::Serialized,
+//!         policy: ParticipationPolicy {
+//!             quorum: 3,
+//!             sample: 0,
+//!             straggler_deadline: 0,
+//!         },
+//!         ..FederationConfig::default()
+//!     },
 //!     Partition::Iid,
 //!     &mut seeds,
 //! )?;
@@ -45,15 +81,22 @@ mod message;
 mod poisoning;
 mod robust;
 mod server;
+mod shielded;
+mod transport;
 
-pub use client::{export_parameters, import_parameters, FlClient, LocalTrainingReport};
+pub use client::{
+    export_parameters, export_segments, import_parameters, split_segments, ClientAgent, FlClient,
+    LocalTrainingReport, StepOutcome,
+};
 pub use error::FlError;
-pub use federation::{Federation, FederationConfig, RoundRecord, RunHistory};
+pub use federation::{ClientSchedule, Federation, FederationConfig, RoundRecord, RunHistory};
 pub use malicious::{AttackKind, CompromisedClient, EvasionReport};
-pub use message::{GlobalModel, ModelUpdate};
+pub use message::{GlobalModel, Message, ModelUpdate, NackReason, PROTOCOL_VERSION};
 pub use poisoning::{backdoor_success_rate, BackdoorClient, PoisonReport, TrojanTrigger};
 pub use robust::{AggregationRule, RobustAggregator};
-pub use server::FedAvgServer;
+pub use server::{FedAvgServer, ParticipationPolicy, RoundPhase, RoundSummary};
+pub use shielded::{ShieldedTransferReport, ShieldedUpdateChannel};
+pub use transport::{InMemoryTransport, SerializedTransport, Transport, TransportKind};
 
 /// Convenience alias for results returned throughout this crate.
 pub type Result<T> = std::result::Result<T, FlError>;

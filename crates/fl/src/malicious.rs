@@ -12,7 +12,8 @@ use pelta_tensor::Tensor;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::{FlError, Result};
+use crate::client::import_parameters;
+use crate::{FlError, Message, Result};
 
 /// Which evasion attack the compromised client launches against its local
 /// model copy.
@@ -82,6 +83,37 @@ impl CompromisedClient {
             epsilon,
             steps,
         })
+    }
+
+    /// Builds a compromised client whose replica is loaded from the same
+    /// [`Message::RoundStart`] broadcast every honest client receives — the
+    /// honest-but-curious attacker follows the wire protocol exactly and
+    /// only differs in what it *does* with the model afterwards.
+    ///
+    /// # Errors
+    /// Returns an error if the message is not a round start, the broadcast
+    /// does not match the replica architecture, or the attack budget is
+    /// degenerate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_round_start(
+        id: usize,
+        message: &Message,
+        mut replica: Box<dyn ImageModel>,
+        shielded: bool,
+        attack: AttackKind,
+        epsilon: f32,
+        steps: usize,
+    ) -> Result<Self> {
+        let Message::RoundStart { global, .. } = message else {
+            return Err(FlError::InvalidConfig {
+                reason: format!(
+                    "compromised client expected RoundStart, got {}",
+                    message.kind()
+                ),
+            });
+        };
+        import_parameters(replica.as_mut(), &global.parameters)?;
+        Self::new(id, Arc::from(replica), shielded, attack, epsilon, steps)
     }
 
     /// The client's identifier.
@@ -209,6 +241,66 @@ mod tests {
                 assert_eq!(report.enclave_world_switches, 0);
             }
         }
+    }
+
+    #[test]
+    fn replica_loads_from_a_round_start_message() {
+        use crate::client::export_parameters;
+        use crate::{GlobalModel, Message};
+        use pelta_models::{ViTConfig, VisionTransformer};
+
+        let mut seeds = SeedStream::new(21);
+        let source = VisionTransformer::new(
+            ViTConfig::vit_b16_scaled(8, 3, 4),
+            &mut seeds.derive("source"),
+        )
+        .unwrap();
+        let broadcast = Message::RoundStart {
+            round: 0,
+            global: GlobalModel {
+                round: 0,
+                parameters: export_parameters(&source),
+            },
+        };
+        let fresh = Box::new(
+            VisionTransformer::new(
+                ViTConfig::vit_b16_scaled(8, 3, 4),
+                &mut seeds.derive("fresh"),
+            )
+            .unwrap(),
+        );
+        let client = CompromisedClient::from_round_start(
+            2,
+            &broadcast,
+            fresh,
+            false,
+            AttackKind::Fgsm,
+            0.05,
+            1,
+        )
+        .unwrap();
+        assert_eq!(client.id(), 2);
+        // The replica now carries the broadcast weights: identical logits.
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.2, 0.8, &mut seeds.derive("x"));
+        let from_source = predict(&source, &x).unwrap();
+        let from_replica = predict(client.model.as_ref(), &x).unwrap();
+        assert_eq!(from_source, from_replica);
+        // A non-broadcast message is refused.
+        let not_broadcast = Message::RoundEnd { round: 0 };
+        let fresh = Box::new(
+            VisionTransformer::new(ViTConfig::vit_b16_scaled(8, 3, 4), &mut seeds.derive("f2"))
+                .unwrap(),
+        );
+        assert!(CompromisedClient::from_round_start(
+            2,
+            &not_broadcast,
+            fresh,
+            false,
+            AttackKind::Fgsm,
+            0.05,
+            1
+        )
+        .is_err());
     }
 
     #[test]

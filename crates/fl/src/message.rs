@@ -1,13 +1,42 @@
-//! The messages exchanged by the federated-learning protocol.
+//! The wire protocol of the federated-learning runtime.
 //!
-//! Both message types are `serde`-serialisable: the normal message flow of
-//! the protocol is untouched by Pelta (the threat model assumes an
-//! honest-but-curious client that follows the protocol), and the bench
-//! harness uses the serialised size to account the §VI bandwidth overhead of
-//! extracting shielded gradients for aggregation.
+//! Every exchange between the aggregation server and a client is one
+//! [`Message`] of the versioned protocol enum below. Messages cross a
+//! [`crate::Transport`], and the serialised transport moves them as the
+//! **binary wire encoding** defined here: a fixed header (magic, protocol
+//! version, message kind), a payload in which every `f32` travels as its
+//! exact IEEE-754 bit pattern, and a trailing FNV-1a integrity checksum.
+//! The encoding is therefore *bitwise lossless* — ±0.0, subnormals and
+//! extreme exponents survive a round trip unchanged — which is what lets the
+//! federation guarantee bit-identical global models over the in-memory and
+//! the serialised transport (see `tests/wire_protocol.rs` for the property
+//! tests).
+//!
+//! The normal message flow is untouched by Pelta (the threat model assumes
+//! an honest-but-curious client that follows the protocol); shielded
+//! parameter segments ride inside [`Message::Update`] as opaque
+//! [`SealedBlob`]s produced by the attested enclave channel of
+//! [`crate::ShieldedUpdateChannel`]. The bench harness uses [`Message::wire_size`]
+//! to account the §VI bandwidth overhead.
 
+use pelta_tee::SealedBlob;
 use pelta_tensor::Tensor;
 use serde::{Deserialize, Serialize};
+
+use crate::{FlError, Result};
+
+/// Version stamped into every encoded message; receivers reject other
+/// versions instead of guessing at the payload layout.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Leading magic of every encoded message (`"PFL"` + format byte).
+const WIRE_MAGIC: [u8; 4] = *b"PFL\x01";
+
+/// Byte length of the fixed wire header (magic + version + kind).
+const HEADER_LEN: usize = 4 + 2 + 1;
+
+/// Byte length of the trailing checksum.
+const CHECKSUM_LEN: usize = 8;
 
 /// The global model broadcast by the server at the start of a round.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -24,15 +53,16 @@ impl GlobalModel {
         self.parameters.iter().map(|(_, t)| t.numel()).sum()
     }
 
-    /// Serialised size in bytes (JSON encoding, an upper bound on what a
-    /// binary wire format would use).
+    /// Size of this snapshot's parameter payload in the binary wire
+    /// encoding, in bytes.
     pub fn wire_size(&self) -> usize {
-        serde_json::to_vec(self).map(|v| v.len()).unwrap_or(0)
+        8 + params_wire_len(&self.parameters)
     }
 }
 
-/// One client's update at the end of a round: its full local parameters and
-/// the number of samples they were trained on (FedAvg weights).
+/// One client's update at the end of a round: its local parameters (the
+/// clear segment, when shielding is enabled) and the number of samples they
+/// were trained on (the FedAvg weight).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelUpdate {
     /// The sending client.
@@ -46,15 +76,634 @@ pub struct ModelUpdate {
 }
 
 impl ModelUpdate {
-    /// Serialised size in bytes.
+    /// Size of this update's payload in the binary wire encoding, in bytes.
     pub fn wire_size(&self) -> usize {
-        serde_json::to_vec(self).map(|v| v.len()).unwrap_or(0)
+        3 * 8 + params_wire_len(&self.parameters)
+    }
+}
+
+/// Why the server refused a message (carried by [`Message::Nack`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NackReason {
+    /// The update targets a round the server is no longer collecting.
+    StaleRound,
+    /// The update arrived after the straggler deadline closed the round.
+    StragglerDeadline,
+    /// The client was not sampled into (or registered for) this round.
+    NotParticipating,
+    /// The client already reported this round.
+    DuplicateUpdate,
+    /// The update failed schema or attestation validation.
+    Rejected(String),
+}
+
+impl std::fmt::Display for NackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NackReason::StaleRound => write!(f, "stale round"),
+            NackReason::StragglerDeadline => write!(f, "straggler deadline passed"),
+            NackReason::NotParticipating => write!(f, "client not participating this round"),
+            NackReason::DuplicateUpdate => write!(f, "duplicate update"),
+            NackReason::Rejected(reason) => write!(f, "rejected: {reason}"),
+        }
+    }
+}
+
+/// One message of the federation protocol, version [`PROTOCOL_VERSION`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A client announces itself (initial connection or rejoin after a
+    /// dropout).
+    Join {
+        /// The joining client.
+        client_id: usize,
+    },
+    /// The server opens a round by broadcasting the global parameters to
+    /// every sampled participant.
+    RoundStart {
+        /// The round being opened.
+        round: usize,
+        /// The global model snapshot (`global_params`).
+        global: GlobalModel,
+    },
+    /// A client reports its local update (`delta` = full local parameters,
+    /// `weight` = sample count). Shielded parameter segments travel as
+    /// sealed enclave blobs next to the clear segment.
+    Update {
+        /// The clear part of the update (round, client, weight, clear
+        /// parameter segment).
+        update: ModelUpdate,
+        /// Sealed shielded parameter segments (empty when the deployment
+        /// does not shield updates).
+        shielded: Vec<SealedBlob>,
+    },
+    /// The server closes a round towards its participants.
+    RoundEnd {
+        /// The round that was aggregated.
+        round: usize,
+    },
+    /// A client leaves the federation (possibly mid-round).
+    Leave {
+        /// The leaving client.
+        client_id: usize,
+    },
+    /// The server refuses a message.
+    Nack {
+        /// The addressee.
+        client_id: usize,
+        /// The round the refusal concerns.
+        round: usize,
+        /// Why the message was refused.
+        reason: NackReason,
+    },
+}
+
+impl Message {
+    /// Discriminant byte used on the wire.
+    fn kind_byte(&self) -> u8 {
+        match self {
+            Message::Join { .. } => 0,
+            Message::RoundStart { .. } => 1,
+            Message::Update { .. } => 2,
+            Message::RoundEnd { .. } => 3,
+            Message::Leave { .. } => 4,
+            Message::Nack { .. } => 5,
+        }
+    }
+
+    /// Human-readable message kind (logging / reports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Join { .. } => "Join",
+            Message::RoundStart { .. } => "RoundStart",
+            Message::Update { .. } => "Update",
+            Message::RoundEnd { .. } => "RoundEnd",
+            Message::Leave { .. } => "Leave",
+            Message::Nack { .. } => "Nack",
+        }
+    }
+
+    /// Encodes the message into the binary wire format:
+    /// `magic ‖ version ‖ kind ‖ payload ‖ fnv1a64(everything before)`.
+    ///
+    /// Tensors are encoded element-wise as IEEE-754 bit patterns, so the
+    /// encoding is bitwise lossless.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_size());
+        out.extend_from_slice(&WIRE_MAGIC);
+        out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        out.push(self.kind_byte());
+        match self {
+            Message::Join { client_id } => put_u64(&mut out, *client_id as u64),
+            Message::RoundStart { round, global } => {
+                put_u64(&mut out, *round as u64);
+                put_u64(&mut out, global.round as u64);
+                put_params(&mut out, &global.parameters);
+            }
+            Message::Update { update, shielded } => {
+                put_u64(&mut out, update.round as u64);
+                put_u64(&mut out, update.client_id as u64);
+                put_u64(&mut out, update.num_samples as u64);
+                put_params(&mut out, &update.parameters);
+                put_u32(&mut out, shielded.len() as u32);
+                for blob in shielded {
+                    put_bytes(&mut out, blob.ciphertext());
+                    put_u64(&mut out, blob.checksum_value());
+                }
+            }
+            Message::RoundEnd { round } => put_u64(&mut out, *round as u64),
+            Message::Leave { client_id } => put_u64(&mut out, *client_id as u64),
+            Message::Nack {
+                client_id,
+                round,
+                reason,
+            } => {
+                put_u64(&mut out, *client_id as u64);
+                put_u64(&mut out, *round as u64);
+                let (tag, detail): (u8, &str) = match reason {
+                    NackReason::StaleRound => (0, ""),
+                    NackReason::StragglerDeadline => (1, ""),
+                    NackReason::NotParticipating => (2, ""),
+                    NackReason::DuplicateUpdate => (3, ""),
+                    NackReason::Rejected(detail) => (4, detail.as_str()),
+                };
+                out.push(tag);
+                put_str(&mut out, detail);
+            }
+        }
+        let checksum = fnv1a64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Decodes a message from its binary wire format, verifying magic,
+    /// protocol version and integrity checksum.
+    ///
+    /// # Errors
+    /// Returns [`FlError::Wire`] describing the first framing, version or
+    /// integrity violation.
+    pub fn decode(bytes: &[u8]) -> Result<Message> {
+        if bytes.len() < HEADER_LEN + CHECKSUM_LEN {
+            return wire_err("message shorter than header + checksum");
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - CHECKSUM_LEN);
+        let expected = u64::from_le_bytes(tail.try_into().expect("checksum tail is 8 bytes"));
+        if fnv1a64(body) != expected {
+            return wire_err("integrity checksum mismatch");
+        }
+        if body[..4] != WIRE_MAGIC {
+            return wire_err("bad wire magic");
+        }
+        let version = u16::from_le_bytes([body[4], body[5]]);
+        if version != PROTOCOL_VERSION {
+            return Err(FlError::Wire {
+                reason: format!(
+                    "unsupported protocol version {version} (expected {PROTOCOL_VERSION})"
+                ),
+            });
+        }
+        let kind = body[6];
+        let mut cursor = Cursor::new(&body[HEADER_LEN..]);
+        let message = match kind {
+            0 => Message::Join {
+                client_id: cursor.take_u64()? as usize,
+            },
+            1 => {
+                let round = cursor.take_u64()? as usize;
+                let global_round = cursor.take_u64()? as usize;
+                let parameters = cursor.take_params()?;
+                Message::RoundStart {
+                    round,
+                    global: GlobalModel {
+                        round: global_round,
+                        parameters,
+                    },
+                }
+            }
+            2 => {
+                let round = cursor.take_u64()? as usize;
+                let client_id = cursor.take_u64()? as usize;
+                let num_samples = cursor.take_u64()? as usize;
+                let parameters = cursor.take_params()?;
+                let blobs = cursor.take_u32()? as usize;
+                let mut shielded = Vec::with_capacity(blobs.min(1024));
+                for _ in 0..blobs {
+                    let ciphertext = cursor.take_bytes()?;
+                    let checksum = cursor.take_u64()?;
+                    shielded.push(SealedBlob::from_parts(ciphertext, checksum));
+                }
+                Message::Update {
+                    update: ModelUpdate {
+                        client_id,
+                        round,
+                        num_samples,
+                        parameters,
+                    },
+                    shielded,
+                }
+            }
+            3 => Message::RoundEnd {
+                round: cursor.take_u64()? as usize,
+            },
+            4 => Message::Leave {
+                client_id: cursor.take_u64()? as usize,
+            },
+            5 => {
+                let client_id = cursor.take_u64()? as usize;
+                let round = cursor.take_u64()? as usize;
+                let tag = cursor.take_u8()?;
+                let detail = cursor.take_str()?;
+                let reason = match tag {
+                    0 => NackReason::StaleRound,
+                    1 => NackReason::StragglerDeadline,
+                    2 => NackReason::NotParticipating,
+                    3 => NackReason::DuplicateUpdate,
+                    4 => NackReason::Rejected(detail),
+                    other => {
+                        return Err(FlError::Wire {
+                            reason: format!("unknown nack reason tag {other}"),
+                        })
+                    }
+                };
+                Message::Nack {
+                    client_id,
+                    round,
+                    reason,
+                }
+            }
+            other => {
+                return Err(FlError::Wire {
+                    reason: format!("unknown message kind {other}"),
+                })
+            }
+        };
+        cursor.finish()?;
+        Ok(message)
+    }
+
+    /// Exact length in bytes of [`Message::encode`]'s output, computed
+    /// without encoding. Both transports account traffic with it, so the
+    /// in-memory (zero-copy) path reports the same logical volume the
+    /// serialised path actually moves.
+    pub fn wire_size(&self) -> usize {
+        let payload = match self {
+            Message::Join { .. } | Message::RoundEnd { .. } | Message::Leave { .. } => 8,
+            Message::RoundStart { global, .. } => 8 + global.wire_size(),
+            Message::Update { update, shielded } => {
+                let blobs: usize = shielded.iter().map(|b| 4 + b.ciphertext().len() + 8).sum();
+                update.wire_size() + 4 + blobs
+            }
+            Message::Nack { reason, .. } => {
+                let detail = match reason {
+                    NackReason::Rejected(detail) => detail.len(),
+                    _ => 0,
+                };
+                8 + 8 + 1 + 4 + detail
+            }
+        };
+        HEADER_LEN + payload + CHECKSUM_LEN
+    }
+}
+
+/// Wire length of a named parameter list.
+fn params_wire_len(parameters: &[(String, Tensor)]) -> usize {
+    4 + parameters
+        .iter()
+        .map(|(name, tensor)| 4 + name.len() + 4 + 8 * tensor.rank() + 4 * tensor.numel())
+        .sum::<usize>()
+}
+
+fn wire_err<T>(reason: &str) -> Result<T> {
+    Err(FlError::Wire {
+        reason: reason.to_string(),
+    })
+}
+
+/// FNV-1a 64-bit hash, the integrity checksum of the wire format.
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+/// Encodes a tensor element-wise as IEEE-754 bit patterns (bitwise
+/// lossless). Public to the crate so the shielded-update channel can seal
+/// exactly the bytes the wire would carry.
+pub(crate) fn put_tensor(out: &mut Vec<u8>, tensor: &Tensor) {
+    put_u32(out, tensor.rank() as u32);
+    for &dim in tensor.dims() {
+        put_u64(out, dim as u64);
+    }
+    for &v in tensor.data() {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+fn put_params(out: &mut Vec<u8>, parameters: &[(String, Tensor)]) {
+    put_u32(out, parameters.len() as u32);
+    for (name, tensor) in parameters {
+        put_str(out, name);
+        put_tensor(out, tensor);
+    }
+}
+
+/// Standalone binary tensor encoding (`put_tensor` framing), used by the
+/// shielded-update channel to move segments through the enclave bit-exactly.
+pub(crate) fn tensor_to_wire_bytes(tensor: &Tensor) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 8 * tensor.rank() + 4 * tensor.numel());
+    put_tensor(&mut out, tensor);
+    out
+}
+
+/// Inverse of [`tensor_to_wire_bytes`].
+pub(crate) fn tensor_from_wire_bytes(bytes: &[u8]) -> Result<Tensor> {
+    let mut cursor = Cursor::new(bytes);
+    let tensor = cursor.take_tensor()?;
+    cursor.finish()?;
+    Ok(tensor)
+}
+
+/// Bounds-checked little-endian reader over a wire payload.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(len).filter(|&e| e <= self.data.len());
+        match end {
+            Some(end) => {
+                let slice = &self.data[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => wire_err("payload truncated"),
+        }
+    }
+
+    fn take_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn take_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn take_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn take_str(&mut self) -> Result<String> {
+        let len = self.take_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).or_else(|_| wire_err("invalid utf-8 in string field"))
+    }
+
+    fn take_bytes(&mut self) -> Result<Vec<u8>> {
+        let len = self.take_u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn take_tensor(&mut self) -> Result<Tensor> {
+        let rank = self.take_u32()? as usize;
+        if rank > 8 {
+            return wire_err("implausible tensor rank");
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(self.take_u64()? as usize);
+        }
+        // The remaining payload bounds every plausible element count; a
+        // frame is untrusted input, so the dim product must be overflow-
+        // checked — a wrapping product could smuggle a bogus shape past the
+        // length check (or panic in debug builds). A zero dim makes the
+        // count legitimately zero whatever the sibling dims claim.
+        let budget = self.data.len().saturating_sub(self.pos) / 4 + 1;
+        let mut numel = 0usize;
+        if !dims.contains(&0) {
+            numel = 1;
+            for &dim in &dims {
+                numel = match numel.checked_mul(dim) {
+                    Some(n) if n <= budget => n,
+                    _ => return wire_err("tensor larger than remaining payload"),
+                };
+            }
+        }
+        let mut data = Vec::with_capacity(numel);
+        for _ in 0..numel {
+            let bits = self.take_u32()?;
+            data.push(f32::from_bits(bits));
+        }
+        Tensor::from_vec(data, &dims).or_else(|_| wire_err("inconsistent tensor framing"))
+    }
+
+    fn take_params(&mut self) -> Result<Vec<(String, Tensor)>> {
+        let count = self.take_u32()? as usize;
+        let mut parameters = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            let name = self.take_str()?;
+            let tensor = self.take_tensor()?;
+            parameters.push((name, tensor));
+        }
+        Ok(parameters)
+    }
+
+    /// Asserts the payload was consumed exactly.
+    fn finish(&self) -> Result<()> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            wire_err("trailing bytes after payload")
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn params() -> Vec<(String, Tensor)> {
+        vec![
+            ("fc.weight".to_string(), Tensor::arange(8)),
+            (
+                "fc.bias".to_string(),
+                Tensor::from_vec(vec![-0.0, f32::MIN_POSITIVE / 2.0, f32::MAX], &[3]).unwrap(),
+            ),
+        ]
+    }
+
+    fn all_variants() -> Vec<Message> {
+        vec![
+            Message::Join { client_id: 3 },
+            Message::RoundStart {
+                round: 2,
+                global: GlobalModel {
+                    round: 2,
+                    parameters: params(),
+                },
+            },
+            Message::Update {
+                update: ModelUpdate {
+                    client_id: 1,
+                    round: 2,
+                    num_samples: 10,
+                    parameters: params(),
+                },
+                shielded: vec![SealedBlob::from_parts(vec![1, 2, 3, 255], 0xDEAD)],
+            },
+            Message::RoundEnd { round: 2 },
+            Message::Leave { client_id: 0 },
+            Message::Nack {
+                client_id: 4,
+                round: 2,
+                reason: NackReason::Rejected("schema".to_string()),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_roundtrips_and_wire_size_is_exact() {
+        for message in all_variants() {
+            let bytes = message.encode();
+            assert_eq!(bytes.len(), message.wire_size(), "{}", message.kind());
+            let back = Message::decode(&bytes).unwrap();
+            assert_eq!(back, message);
+        }
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let bytes = Message::Join { client_id: 1 }.encode();
+        for position in 0..bytes.len() {
+            let mut tampered = bytes.clone();
+            tampered[position] ^= 0x40;
+            assert!(
+                Message::decode(&tampered).is_err(),
+                "flip at byte {position} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_and_bad_version_are_rejected() {
+        let bytes = Message::RoundEnd { round: 7 }.encode();
+        assert!(Message::decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(Message::decode(&[]).is_err());
+        // A foreign protocol version is refused even with a valid checksum.
+        let mut foreign = bytes.clone();
+        foreign[4] = 0xFF;
+        let body_len = foreign.len() - CHECKSUM_LEN;
+        let checksum = fnv1a64(&foreign[..body_len]);
+        foreign[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        let err = Message::decode(&foreign).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn overflowing_tensor_dims_are_rejected_not_panicked() {
+        // A hand-crafted RoundStart frame claiming a [u64::MAX, 2] tensor:
+        // the dim product would wrap (or panic in debug builds) if decode
+        // trusted it. The checksum is valid — FNV is an integrity check, not
+        // a MAC — so the overflow guard is the only defence.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&WIRE_MAGIC);
+        frame.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        frame.push(1); // RoundStart
+        put_u64(&mut frame, 0); // round
+        put_u64(&mut frame, 0); // global.round
+        put_u32(&mut frame, 1); // one parameter
+        put_str(&mut frame, "w");
+        put_u32(&mut frame, 2); // rank 2
+        put_u64(&mut frame, u64::MAX);
+        put_u64(&mut frame, 2);
+        let checksum = fnv1a64(&frame);
+        frame.extend_from_slice(&checksum.to_le_bytes());
+        let err = Message::decode(&frame).unwrap_err();
+        assert!(err.to_string().contains("larger than remaining payload"));
+        // Zero-element tensors with huge sibling dims remain decodable —
+        // their element count is legitimately zero.
+        let empty = Tensor::from_vec(vec![], &[usize::MAX, 0]).unwrap();
+        let message = Message::RoundStart {
+            round: 0,
+            global: GlobalModel {
+                round: 0,
+                parameters: vec![("w".to_string(), empty)],
+            },
+        };
+        assert_eq!(Message::decode(&message.encode()).unwrap(), message);
+    }
+
+    #[test]
+    fn float_bit_patterns_survive_the_wire() {
+        let specials = vec![
+            0.0f32,
+            -0.0,
+            f32::MIN_POSITIVE,
+            f32::MIN_POSITIVE / 4.0, // subnormal
+            f32::MAX,
+            f32::MIN,
+            1e-38,
+            3.4e38,
+        ];
+        let tensor = Tensor::from_vec(specials.clone(), &[specials.len()]).unwrap();
+        let message = Message::RoundStart {
+            round: 0,
+            global: GlobalModel {
+                round: 0,
+                parameters: vec![("w".to_string(), tensor)],
+            },
+        };
+        let Message::RoundStart { global, .. } = Message::decode(&message.encode()).unwrap() else {
+            panic!("kind changed in flight");
+        };
+        let restored = &global.parameters[0].1;
+        for (a, b) in specials.iter().zip(restored.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn tensor_wire_bytes_roundtrip() {
+        let tensor =
+            Tensor::from_vec(vec![1.5, -0.0, f32::MIN_POSITIVE / 2.0, 4.0], &[2, 2]).unwrap();
+        let bytes = tensor_to_wire_bytes(&tensor);
+        let back = tensor_from_wire_bytes(&bytes).unwrap();
+        assert_eq!(back.dims(), tensor.dims());
+        for (a, b) in tensor.data().iter().zip(back.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(tensor_from_wire_bytes(&bytes[..bytes.len() - 2]).is_err());
+    }
 
     #[test]
     fn wire_size_and_parameter_count() {
@@ -78,7 +727,7 @@ mod tests {
     }
 
     #[test]
-    fn messages_roundtrip_through_serde() {
+    fn snapshots_still_roundtrip_through_serde() {
         let update = ModelUpdate {
             client_id: 2,
             round: 0,

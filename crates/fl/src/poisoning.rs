@@ -19,7 +19,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::client::{export_parameters, import_parameters};
-use crate::{FlError, GlobalModel, ModelUpdate, Result};
+use crate::{FlError, GlobalModel, Message, ModelUpdate, Result};
 
 /// A trojan trigger: a small bright square stamped into a corner of the
 /// image, paired with the attacker's target class.
@@ -284,6 +284,38 @@ impl BackdoorClient {
             },
         ))
     }
+
+    /// The wire-protocol face of [`BackdoorClient::poisoned_round`]: the
+    /// attacker consumes the same [`Message::RoundStart`] every honest
+    /// client receives and answers with a protocol-conformant
+    /// [`Message::Update`] — the server cannot tell it apart by message
+    /// shape, only (possibly) by its robust aggregation rule.
+    ///
+    /// # Errors
+    /// Returns an error if the message is not a round start or local
+    /// training fails.
+    pub fn handle_round_start<R: Rng + ?Sized>(
+        &mut self,
+        message: &Message,
+        rng: &mut R,
+    ) -> Result<(Message, PoisonReport)> {
+        let Message::RoundStart { global, .. } = message else {
+            return Err(FlError::InvalidConfig {
+                reason: format!(
+                    "backdoor client expected RoundStart, got {}",
+                    message.kind()
+                ),
+            });
+        };
+        let (update, report) = self.poisoned_round(global, rng)?;
+        Ok((
+            Message::Update {
+                update,
+                shielded: Vec::new(),
+            },
+            report,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -366,6 +398,61 @@ mod tests {
         assert!((0.0..=1.0).contains(&rate));
         // All-target labels leave nothing to measure.
         assert!(backdoor_success_rate(&vit, &images, &[0; 6], &trigger).is_err());
+    }
+
+    #[test]
+    fn backdoor_client_speaks_the_wire_protocol() {
+        let mut seeds = SeedStream::new(95);
+        let dataset = Dataset::generate(
+            DatasetSpec::Cifar10Like,
+            &GeneratorConfig {
+                train_samples: 20,
+                test_samples: 10,
+                ..GeneratorConfig::default()
+            },
+            95,
+        );
+        let shards = federated_split(&dataset, 2, Partition::Iid, &mut seeds.derive("split"));
+        let vit = VisionTransformer::new(
+            ViTConfig::vit_b16_scaled(32, 3, 10),
+            &mut seeds.derive("model"),
+        )
+        .unwrap();
+        let broadcast = Message::RoundStart {
+            round: 0,
+            global: GlobalModel {
+                round: 0,
+                parameters: export_parameters(&vit),
+            },
+        };
+        let mut client = BackdoorClient::new(
+            1,
+            shards.into_iter().next().unwrap(),
+            Box::new(vit),
+            TrainingConfig {
+                epochs: 1,
+                batch_size: 5,
+                learning_rate: 0.02,
+                momentum: 0.9,
+            },
+            TrojanTrigger::new(3, 1.0, 0).unwrap(),
+            0.5,
+            2,
+        )
+        .unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let (reply, report) = client.handle_round_start(&broadcast, &mut rng).unwrap();
+        let Message::Update { update, shielded } = reply else {
+            panic!("attacker must answer with an Update message");
+        };
+        assert!(shielded.is_empty());
+        assert_eq!(update.client_id, 1);
+        assert_eq!(update.round, 0);
+        assert!(report.poisoned_samples > 0);
+        // Any other message kind is refused.
+        assert!(client
+            .handle_round_start(&Message::RoundEnd { round: 0 }, &mut rng)
+            .is_err());
     }
 
     #[test]

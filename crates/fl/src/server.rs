@@ -1,29 +1,179 @@
-//! The trusted aggregation server (FedAvg).
+//! The trusted aggregation server (FedAvg), driven as an explicit per-round
+//! state machine.
+//!
+//! The server cycles through three phases per round:
+//!
+//! 1. **Broadcasting** — between rounds. [`FedAvgServer::begin_round`]
+//!    samples the round's participants from the connected clients and moves
+//!    to *Collecting*; the caller broadcasts [`Message::RoundStart`] over
+//!    each participant's transport.
+//! 2. **Collecting** — [`FedAvgServer::deliver`] consumes one protocol
+//!    message at a time (in whatever deterministic order the runtime drains
+//!    the transports) and answers with [`Message::Nack`] when a message is
+//!    refused. The **straggler deadline is measured in delivered messages**,
+//!    not wall clock, so runs are reproducible: once the deadline count has
+//!    passed and the quorum is met, late updates are Nack'd instead of
+//!    aggregated. Clients may [`Message::Leave`] mid-round (dropout) or
+//!    [`Message::Join`] for the *next* round (rejoin).
+//! 3. **Aggregating** — [`FedAvgServer::close_round`] renormalises the
+//!    FedAvg weights over the clients that actually reported and folds their
+//!    updates into the global model, then returns to *Broadcasting*.
+//!
+//! The legacy call-level API ([`FedAvgServer::aggregate`] on a plain update
+//! slice) is the phase-3 core and remains available to benches and tests
+//! that do not need the message flow.
+
+use std::collections::BTreeSet;
 
 use pelta_tensor::Tensor;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
-use crate::{FlError, GlobalModel, ModelUpdate, Result};
+use crate::{FlError, GlobalModel, Message, ModelUpdate, NackReason, Result};
+
+/// Who participates in a round and when the server stops waiting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParticipationPolicy {
+    /// Minimum number of client updates required to aggregate a round.
+    pub quorum: usize,
+    /// Number of connected clients sampled into each round (`0` = every
+    /// connected client participates).
+    pub sample: usize,
+    /// Maximum number of messages the server delivers while collecting
+    /// before late updates are treated as stragglers (`0` = wait for every
+    /// participant). Counted in **delivered messages** so federations stay
+    /// deterministic — wall clocks never enter the protocol.
+    pub straggler_deadline: usize,
+}
+
+impl Default for ParticipationPolicy {
+    fn default() -> Self {
+        ParticipationPolicy {
+            quorum: 1,
+            sample: 0,
+            straggler_deadline: 0,
+        }
+    }
+}
+
+/// The server's position in the per-round state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundPhase {
+    /// Between rounds; ready to broadcast the next [`Message::RoundStart`].
+    Broadcasting,
+    /// Waiting for participant updates.
+    Collecting,
+    /// Folding the received updates into the global model (transient, only
+    /// observable from within aggregation hooks).
+    Aggregating,
+}
+
+/// What happened in one completed round.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundSummary {
+    /// The round that was aggregated.
+    pub round: usize,
+    /// Clients sampled into the round (sorted).
+    pub participants: Vec<usize>,
+    /// Clients whose updates were aggregated (sorted by delivery order,
+    /// which the runtime keeps ascending in client id).
+    pub reporters: Vec<usize>,
+    /// Participants whose updates arrived after the straggler deadline.
+    pub stragglers: Vec<usize>,
+    /// Participants that left mid-round.
+    pub dropouts: Vec<usize>,
+    /// Total FedAvg weight (sample count) the aggregate renormalised over.
+    pub total_weight: usize,
+    /// Messages delivered to the server while collecting.
+    pub delivered_messages: usize,
+    /// Wire bytes of the accepted update messages.
+    pub update_bytes: usize,
+}
 
 /// The trusted federated-learning server of Fig. 1: it never sees raw client
 /// data, only model updates, which it combines with federated averaging
-/// (McMahan et al.) weighted by each client's sample count.
+/// (McMahan et al.) weighted by each client's sample count and renormalised
+/// over the clients that actually reported.
 pub struct FedAvgServer {
     round: usize,
     parameters: Vec<(String, Tensor)>,
+    policy: ParticipationPolicy,
+    phase: RoundPhase,
+    connected: BTreeSet<usize>,
+    participants: BTreeSet<usize>,
+    received: Vec<ModelUpdate>,
+    reporters: BTreeSet<usize>,
+    stragglers: Vec<usize>,
+    dropouts: Vec<usize>,
+    delivered: usize,
+    update_bytes: usize,
 }
 
 impl FedAvgServer {
-    /// Creates a server from the initial global parameters.
+    /// Creates a server from the initial global parameters with the default
+    /// participation policy (everyone participates, quorum 1, no deadline).
     pub fn new(initial_parameters: Vec<(String, Tensor)>) -> Self {
-        FedAvgServer {
+        Self::with_policy(initial_parameters, ParticipationPolicy::default())
+            .expect("default policy is valid")
+    }
+
+    /// Creates a server with an explicit participation policy.
+    ///
+    /// # Errors
+    /// Returns an error if the quorum is zero or exceeds a non-zero sample
+    /// size (no round could ever complete).
+    pub fn with_policy(
+        initial_parameters: Vec<(String, Tensor)>,
+        policy: ParticipationPolicy,
+    ) -> Result<Self> {
+        if policy.quorum == 0 {
+            return Err(FlError::InvalidConfig {
+                reason: "participation quorum must be at least 1".to_string(),
+            });
+        }
+        if policy.sample != 0 && policy.quorum > policy.sample {
+            return Err(FlError::InvalidConfig {
+                reason: format!(
+                    "quorum {} exceeds per-round sample size {}",
+                    policy.quorum, policy.sample
+                ),
+            });
+        }
+        Ok(FedAvgServer {
             round: 0,
             parameters: initial_parameters,
-        }
+            policy,
+            phase: RoundPhase::Broadcasting,
+            connected: BTreeSet::new(),
+            participants: BTreeSet::new(),
+            received: Vec::new(),
+            reporters: BTreeSet::new(),
+            stragglers: Vec::new(),
+            dropouts: Vec::new(),
+            delivered: 0,
+            update_bytes: 0,
+        })
     }
 
     /// The current round number.
     pub fn round(&self) -> usize {
         self.round
+    }
+
+    /// The server's phase in the round state machine.
+    pub fn phase(&self) -> RoundPhase {
+        self.phase
+    }
+
+    /// The participation policy in force.
+    pub fn policy(&self) -> ParticipationPolicy {
+        self.policy
+    }
+
+    /// The currently connected (joined, not left) clients.
+    pub fn connected_clients(&self) -> Vec<usize> {
+        self.connected.iter().copied().collect()
     }
 
     /// The current global parameters.
@@ -39,8 +189,250 @@ impl FedAvgServer {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Round state machine
+    // ------------------------------------------------------------------
+
+    /// Opens a round: samples this round's participants from the connected
+    /// clients and moves to the *Collecting* phase. The caller broadcasts
+    /// [`Message::RoundStart`] to the returned (sorted) participant ids.
+    ///
+    /// # Errors
+    /// Returns an error if a round is already open or fewer clients are
+    /// connected than the quorum requires.
+    pub fn begin_round(&mut self, rng: &mut ChaCha8Rng) -> Result<Vec<usize>> {
+        if self.phase != RoundPhase::Broadcasting {
+            return Err(FlError::InvalidConfig {
+                reason: format!("begin_round in phase {:?}", self.phase),
+            });
+        }
+        if self.connected.len() < self.policy.quorum {
+            return Err(FlError::QuorumNotMet {
+                round: self.round,
+                received: 0,
+                quorum: self.policy.quorum,
+            });
+        }
+        let pool: Vec<usize> = self.connected.iter().copied().collect();
+        let sampled: BTreeSet<usize> =
+            if self.policy.sample == 0 || self.policy.sample >= pool.len() {
+                pool.into_iter().collect()
+            } else {
+                // Partial Fisher–Yates over the sorted id list: deterministic
+                // for a given rng state, unbiased over subsets.
+                let mut pool = pool;
+                let mut drawn = BTreeSet::new();
+                for i in 0..self.policy.sample {
+                    let j = rng.gen_range(i..pool.len());
+                    pool.swap(i, j);
+                    drawn.insert(pool[i]);
+                }
+                drawn
+            };
+        self.participants = sampled;
+        self.received.clear();
+        self.reporters.clear();
+        self.stragglers.clear();
+        self.dropouts.clear();
+        self.delivered = 0;
+        self.update_bytes = 0;
+        self.phase = RoundPhase::Collecting;
+        Ok(self.participants.iter().copied().collect())
+    }
+
+    /// Delivers one protocol message to the server and returns the responses
+    /// to route back (Nacks). Shielded update segments must be reassembled
+    /// into the update's parameter list *before* delivery (the runtime's
+    /// [`crate::ShieldedUpdateChannel`] does this) — the state machine never
+    /// touches an enclave.
+    pub fn deliver(&mut self, message: &Message) -> Vec<Message> {
+        if self.phase == RoundPhase::Collecting {
+            self.delivered += 1;
+        }
+        match message {
+            Message::Join { client_id } => {
+                // Joins are accepted in any phase; a mid-round join
+                // participates from the next round on.
+                self.connected.insert(*client_id);
+                Vec::new()
+            }
+            Message::Leave { client_id } => {
+                self.connected.remove(client_id);
+                if self.phase == RoundPhase::Collecting
+                    && self.participants.contains(client_id)
+                    && !self.reporters.contains(client_id)
+                    && !self.dropouts.contains(client_id)
+                {
+                    self.dropouts.push(*client_id);
+                }
+                Vec::new()
+            }
+            Message::Update { update, .. } => self.deliver_update(update, message.wire_size()),
+            other => vec![Message::Nack {
+                client_id: usize::MAX,
+                round: self.round,
+                reason: NackReason::Rejected(format!(
+                    "server cannot accept {} messages",
+                    other.kind()
+                )),
+            }],
+        }
+    }
+
+    fn deliver_update(&mut self, update: &ModelUpdate, wire_size: usize) -> Vec<Message> {
+        let nack = |reason: NackReason| {
+            vec![Message::Nack {
+                client_id: update.client_id,
+                round: update.round,
+                reason,
+            }]
+        };
+        if self.phase != RoundPhase::Collecting || update.round != self.round {
+            return nack(NackReason::StaleRound);
+        }
+        if !self.participants.contains(&update.client_id) {
+            return nack(NackReason::NotParticipating);
+        }
+        if self.reporters.contains(&update.client_id) {
+            return nack(NackReason::DuplicateUpdate);
+        }
+        let deadline = self.policy.straggler_deadline;
+        if deadline != 0 && self.delivered > deadline && self.received.len() >= self.policy.quorum {
+            self.stragglers.push(update.client_id);
+            return nack(NackReason::StragglerDeadline);
+        }
+        if let Err(e) = self.validate_update(update) {
+            return nack(NackReason::Rejected(e.to_string()));
+        }
+        self.reporters.insert(update.client_id);
+        self.update_bytes += wire_size;
+        self.received.push(update.clone());
+        Vec::new()
+    }
+
+    /// Whether the collecting phase can close: every participant is
+    /// accounted for (reported, dropped out, or Nack'd as a straggler), or
+    /// the straggler deadline has passed with the quorum met.
+    pub fn collecting_done(&self) -> bool {
+        if self.phase != RoundPhase::Collecting {
+            return false;
+        }
+        let accounted = self.participants.iter().all(|id| {
+            self.reporters.contains(id)
+                || self.dropouts.contains(id)
+                || self.stragglers.contains(id)
+        });
+        if accounted {
+            return true;
+        }
+        let deadline = self.policy.straggler_deadline;
+        deadline != 0 && self.delivered >= deadline && self.received.len() >= self.policy.quorum
+    }
+
+    /// Closes the round: checks the quorum, renormalises the FedAvg weights
+    /// over the clients that reported, folds their updates into the global
+    /// model, and returns to the *Broadcasting* phase. The caller sends
+    /// [`Message::RoundEnd`] to the participants.
+    ///
+    /// # Errors
+    /// Returns [`FlError::QuorumNotMet`] if too few updates arrived, or the
+    /// aggregation's schema errors.
+    pub fn close_round(&mut self) -> Result<RoundSummary> {
+        if self.phase != RoundPhase::Collecting {
+            return Err(FlError::InvalidConfig {
+                reason: format!("close_round in phase {:?}", self.phase),
+            });
+        }
+        if self.received.len() < self.policy.quorum {
+            return Err(FlError::QuorumNotMet {
+                round: self.round,
+                received: self.received.len(),
+                quorum: self.policy.quorum,
+            });
+        }
+        self.phase = RoundPhase::Aggregating;
+        let round = self.round;
+        let updates = std::mem::take(&mut self.received);
+        let total_weight: usize = updates.iter().map(|u| u.num_samples).sum();
+        self.aggregate(&updates)?;
+        self.phase = RoundPhase::Broadcasting;
+        Ok(RoundSummary {
+            round,
+            participants: self.participants.iter().copied().collect(),
+            reporters: updates.iter().map(|u| u.client_id).collect(),
+            stragglers: std::mem::take(&mut self.stragglers),
+            dropouts: std::mem::take(&mut self.dropouts),
+            total_weight,
+            delivered_messages: self.delivered,
+            update_bytes: self.update_bytes,
+        })
+    }
+
+    /// Abandons an open round without aggregating: the collected updates are
+    /// discarded, the global model and round counter stay untouched, and the
+    /// server returns to the *Broadcasting* phase — the recovery path when
+    /// dropouts starve a round below the quorum
+    /// ([`FedAvgServer::close_round`] returning [`FlError::QuorumNotMet`])
+    /// and the caller wants to retry with the surviving clients.
+    ///
+    /// # Errors
+    /// Returns an error if no round is open.
+    pub fn abort_round(&mut self) -> Result<()> {
+        if self.phase != RoundPhase::Collecting {
+            return Err(FlError::InvalidConfig {
+                reason: format!("abort_round in phase {:?}", self.phase),
+            });
+        }
+        self.participants.clear();
+        self.received.clear();
+        self.reporters.clear();
+        self.stragglers.clear();
+        self.dropouts.clear();
+        self.delivered = 0;
+        self.update_bytes = 0;
+        self.phase = RoundPhase::Broadcasting;
+        Ok(())
+    }
+
+    fn validate_update(&self, update: &ModelUpdate) -> Result<()> {
+        if update.num_samples == 0 {
+            return Err(FlError::InvalidConfig {
+                reason: format!("client {} update carries zero samples", update.client_id),
+            });
+        }
+        if update.parameters.len() != self.parameters.len() {
+            return Err(FlError::SchemaMismatch {
+                reason: format!(
+                    "client {} sent {} parameters, expected {}",
+                    update.client_id,
+                    update.parameters.len(),
+                    self.parameters.len()
+                ),
+            });
+        }
+        for (index, (name, current)) in self.parameters.iter().enumerate() {
+            let (update_name, value) = &update.parameters[index];
+            if update_name != name || value.dims() != current.dims() {
+                return Err(FlError::SchemaMismatch {
+                    reason: format!(
+                        "client {} parameter {index} is '{update_name}' {:?}, expected '{name}' {:?}",
+                        update.client_id,
+                        value.dims(),
+                        current.dims()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Aggregation core (phase 3; also the legacy call-level API)
+    // ------------------------------------------------------------------
+
     /// Aggregates one round of client updates with sample-weighted averaging
-    /// and advances the round counter.
+    /// — the weights renormalise over exactly the updates supplied — and
+    /// advances the round counter.
     ///
     /// # Errors
     /// Returns an error if no update was supplied, an update belongs to a
@@ -107,6 +499,7 @@ impl FedAvgServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
 
     fn named(value: f32) -> Vec<(String, Tensor)> {
         vec![("w".to_string(), Tensor::full(&[2], value))]
@@ -119,6 +512,17 @@ mod tests {
             num_samples: samples,
             parameters: named(value),
         }
+    }
+
+    fn update_message(client: usize, round: usize, samples: usize, value: f32) -> Message {
+        Message::Update {
+            update: update(client, round, samples, value),
+            shielded: Vec::new(),
+        }
+    }
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
     }
 
     #[test]
@@ -165,5 +569,290 @@ mod tests {
             parameters: vec![],
         };
         assert!(server.aggregate(&[bad_len]).is_err());
+    }
+
+    #[test]
+    fn policy_is_validated() {
+        assert!(FedAvgServer::with_policy(
+            named(0.0),
+            ParticipationPolicy {
+                quorum: 0,
+                ..ParticipationPolicy::default()
+            }
+        )
+        .is_err());
+        assert!(FedAvgServer::with_policy(
+            named(0.0),
+            ParticipationPolicy {
+                quorum: 3,
+                sample: 2,
+                straggler_deadline: 0,
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn state_machine_runs_a_full_round() {
+        let mut server = FedAvgServer::new(named(0.0));
+        assert_eq!(server.phase(), RoundPhase::Broadcasting);
+        for id in 0..3 {
+            assert!(server.deliver(&Message::Join { client_id: id }).is_empty());
+        }
+        assert_eq!(server.connected_clients(), vec![0, 1, 2]);
+
+        let participants = server.begin_round(&mut rng()).unwrap();
+        assert_eq!(participants, vec![0, 1, 2]);
+        assert_eq!(server.phase(), RoundPhase::Collecting);
+        assert!(!server.collecting_done());
+
+        for id in 0..3 {
+            let responses = server.deliver(&update_message(id, 0, 10, id as f32));
+            assert!(responses.is_empty(), "update {id} refused: {responses:?}");
+        }
+        assert!(server.collecting_done());
+        let summary = server.close_round().unwrap();
+        assert_eq!(server.phase(), RoundPhase::Broadcasting);
+        assert_eq!(summary.round, 0);
+        assert_eq!(summary.reporters, vec![0, 1, 2]);
+        assert_eq!(summary.total_weight, 30);
+        assert!(summary.stragglers.is_empty());
+        assert!(summary.update_bytes > 0);
+        assert_eq!(server.round(), 1);
+        // Mean of 0, 1, 2 with equal weights.
+        assert!((server.parameters()[0].1.data()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn refusals_produce_nacks() {
+        let mut server = FedAvgServer::new(named(0.0));
+        server.deliver(&Message::Join { client_id: 0 });
+        server.deliver(&Message::Join { client_id: 1 });
+        server.begin_round(&mut rng()).unwrap();
+
+        // Unknown participant.
+        let refused = server.deliver(&update_message(9, 0, 5, 1.0));
+        assert!(matches!(
+            refused[0],
+            Message::Nack {
+                reason: NackReason::NotParticipating,
+                ..
+            }
+        ));
+        // Wrong round.
+        let refused = server.deliver(&update_message(0, 3, 5, 1.0));
+        assert!(matches!(
+            refused[0],
+            Message::Nack {
+                reason: NackReason::StaleRound,
+                ..
+            }
+        ));
+        // Schema violation.
+        let bad = Message::Update {
+            update: ModelUpdate {
+                client_id: 0,
+                round: 0,
+                num_samples: 5,
+                parameters: vec![("other".to_string(), Tensor::zeros(&[2]))],
+            },
+            shielded: Vec::new(),
+        };
+        let refused = server.deliver(&bad);
+        assert!(matches!(
+            refused[0],
+            Message::Nack {
+                reason: NackReason::Rejected(_),
+                ..
+            }
+        ));
+        // Duplicate after a good update.
+        assert!(server.deliver(&update_message(0, 0, 5, 1.0)).is_empty());
+        let refused = server.deliver(&update_message(0, 0, 5, 1.0));
+        assert!(matches!(
+            refused[0],
+            Message::Nack {
+                reason: NackReason::DuplicateUpdate,
+                ..
+            }
+        ));
+        // A RoundStart delivered *to* the server is a protocol violation.
+        let refused = server.deliver(&Message::RoundEnd { round: 0 });
+        assert!(matches!(refused[0], Message::Nack { .. }));
+    }
+
+    #[test]
+    fn dropout_mid_round_renormalizes_over_reporters() {
+        let mut server = FedAvgServer::with_policy(
+            named(0.0),
+            ParticipationPolicy {
+                quorum: 2,
+                sample: 0,
+                straggler_deadline: 0,
+            },
+        )
+        .unwrap();
+        for id in 0..3 {
+            server.deliver(&Message::Join { client_id: id });
+        }
+        server.begin_round(&mut rng()).unwrap();
+        server.deliver(&update_message(0, 0, 10, 3.0));
+        // Client 1 leaves mid-round.
+        server.deliver(&Message::Leave { client_id: 1 });
+        assert!(!server.collecting_done());
+        server.deliver(&update_message(2, 0, 30, 7.0));
+        assert!(server.collecting_done());
+        let summary = server.close_round().unwrap();
+        assert_eq!(summary.reporters, vec![0, 2]);
+        assert_eq!(summary.dropouts, vec![1]);
+        assert_eq!(summary.total_weight, 40);
+        // (10·3 + 30·7) / 40 = 6.0 — weights renormalised over reporters.
+        assert!((server.parameters()[0].1.data()[0] - 6.0).abs() < 1e-6);
+        // The dropped client no longer counts as connected.
+        assert_eq!(server.connected_clients(), vec![0, 2]);
+    }
+
+    #[test]
+    fn quorum_failure_is_reported() {
+        let mut server = FedAvgServer::with_policy(
+            named(0.0),
+            ParticipationPolicy {
+                quorum: 2,
+                sample: 0,
+                straggler_deadline: 0,
+            },
+        )
+        .unwrap();
+        server.deliver(&Message::Join { client_id: 0 });
+        server.deliver(&Message::Join { client_id: 1 });
+        server.begin_round(&mut rng()).unwrap();
+        server.deliver(&update_message(0, 0, 10, 1.0));
+        server.deliver(&Message::Leave { client_id: 1 });
+        let err = server.close_round().unwrap_err();
+        assert!(matches!(err, FlError::QuorumNotMet { received: 1, .. }));
+        // The starved round is not a dead end: aborting discards the partial
+        // collection and returns to Broadcasting with the model untouched,
+        // so a later round (here: after client 1 rejoins) can proceed.
+        assert_eq!(server.phase(), RoundPhase::Collecting);
+        server.abort_round().unwrap();
+        assert_eq!(server.phase(), RoundPhase::Broadcasting);
+        assert_eq!(server.round(), 0, "aborted round must not advance");
+        assert_eq!(server.parameters()[0].1.data()[0], 0.0);
+        assert!(server.abort_round().is_err(), "no round open to abort");
+        server.deliver(&Message::Join { client_id: 1 });
+        server.begin_round(&mut rng()).unwrap();
+        server.deliver(&update_message(0, 0, 10, 2.0));
+        server.deliver(&update_message(1, 0, 10, 4.0));
+        server.close_round().unwrap();
+        assert!((server.parameters()[0].1.data()[0] - 3.0).abs() < 1e-6);
+        // Too few connected clients refuse to even open a round.
+        let mut tiny = FedAvgServer::with_policy(
+            named(0.0),
+            ParticipationPolicy {
+                quorum: 2,
+                sample: 0,
+                straggler_deadline: 0,
+            },
+        )
+        .unwrap();
+        tiny.deliver(&Message::Join { client_id: 0 });
+        assert!(tiny.begin_round(&mut rng()).is_err());
+    }
+
+    #[test]
+    fn straggler_deadline_is_counted_in_delivered_messages() {
+        let mut server = FedAvgServer::with_policy(
+            named(0.0),
+            ParticipationPolicy {
+                quorum: 2,
+                sample: 0,
+                straggler_deadline: 2,
+            },
+        )
+        .unwrap();
+        for id in 0..3 {
+            server.deliver(&Message::Join { client_id: id });
+        }
+        server.begin_round(&mut rng()).unwrap();
+        // Messages 1 and 2 arrive within the deadline.
+        assert!(server.deliver(&update_message(0, 0, 10, 1.0)).is_empty());
+        assert!(server.deliver(&update_message(1, 0, 10, 3.0)).is_empty());
+        assert!(server.collecting_done(), "deadline + quorum met");
+        // Message 3 is late: the quorum is met and the deadline passed.
+        let refused = server.deliver(&update_message(2, 0, 10, 9.0));
+        assert!(matches!(
+            refused[0],
+            Message::Nack {
+                reason: NackReason::StragglerDeadline,
+                ..
+            }
+        ));
+        let summary = server.close_round().unwrap();
+        assert_eq!(summary.reporters, vec![0, 1]);
+        assert_eq!(summary.stragglers, vec![2]);
+        // The straggler's value never entered the aggregate: mean(1, 3) = 2.
+        assert!((server.parameters()[0].1.data()[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampling_draws_a_deterministic_subset() {
+        let mut server = FedAvgServer::with_policy(
+            named(0.0),
+            ParticipationPolicy {
+                quorum: 1,
+                sample: 2,
+                straggler_deadline: 0,
+            },
+        )
+        .unwrap();
+        for id in 0..5 {
+            server.deliver(&Message::Join { client_id: id });
+        }
+        let first = server.begin_round(&mut rng()).unwrap();
+        assert_eq!(first.len(), 2);
+        // A non-participant is refused.
+        let outsider = (0..5).find(|id| !first.contains(id)).unwrap();
+        let refused = server.deliver(&update_message(outsider, 0, 5, 1.0));
+        assert!(matches!(
+            refused[0],
+            Message::Nack {
+                reason: NackReason::NotParticipating,
+                ..
+            }
+        ));
+        for &id in &first {
+            server.deliver(&update_message(id, 0, 5, 1.0));
+        }
+        server.close_round().unwrap();
+        // Same seed → same draw, fresh server included.
+        let mut replay = FedAvgServer::with_policy(
+            named(0.0),
+            ParticipationPolicy {
+                quorum: 1,
+                sample: 2,
+                straggler_deadline: 0,
+            },
+        )
+        .unwrap();
+        for id in 0..5 {
+            replay.deliver(&Message::Join { client_id: id });
+        }
+        assert_eq!(replay.begin_round(&mut rng()).unwrap(), first);
+    }
+
+    #[test]
+    fn rejoin_participates_in_the_next_round() {
+        let mut server = FedAvgServer::new(named(0.0));
+        server.deliver(&Message::Join { client_id: 0 });
+        server.deliver(&Message::Join { client_id: 1 });
+        server.begin_round(&mut rng()).unwrap();
+        server.deliver(&Message::Leave { client_id: 1 });
+        server.deliver(&update_message(0, 0, 5, 1.0));
+        assert!(server.collecting_done());
+        server.close_round().unwrap();
+        // Client 1 rejoins; the next round samples it again.
+        server.deliver(&Message::Join { client_id: 1 });
+        let participants = server.begin_round(&mut rng()).unwrap();
+        assert_eq!(participants, vec![0, 1]);
     }
 }

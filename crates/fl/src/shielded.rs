@@ -1,0 +1,235 @@
+//! Attested shielded-update channels: moving the enclave-resident parameter
+//! segments of a model update between client and server without ever
+//! exposing them to the normal world.
+//!
+//! The Pelta shield (Algorithm 1) keeps the parameters of the masked prefix
+//! enclave-resident on every client. When such a client reports a federated
+//! update, those segments must not travel in plaintext next to the clear
+//! suffix — instead they take the path the paper's §VI infrastructure
+//! provides:
+//!
+//! 1. the client's enclave is **attested** (`pelta-tee`'s WaTZ-style flow):
+//!    the server issues a nonce, verifies the signed report against the
+//!    expected measurement, and only then accepts shielded traffic from the
+//!    client;
+//! 2. each shielded segment crosses the client's [`SecureChannel`] into its
+//!    enclave (byte-accounted world switch + transfer) and leaves it only as
+//!    a measurement-bound [`SealedBlob`];
+//! 3. the blobs ride inside [`crate::Message::Update`] over the untrusted
+//!    transport — possession of the bytes reveals nothing;
+//! 4. the server's enclave (same trusted application, same measurement)
+//!    unseals them and releases the tensors to the aggregation logic through
+//!    an authorised channel read, again byte-accounted.
+//!
+//! The sealing path is **bitwise lossless**: tensors are framed with the
+//! binary wire encoding of [`crate::Message`] before sealing, so a shielded
+//! federation produces the same global model bits as a clear one. The
+//! per-round byte accounting ([`ShieldedTransferReport`]) is surfaced by the
+//! federation runtime alongside the `ShieldReport` of `pelta-core`.
+
+use std::sync::Arc;
+
+use pelta_tee::{AttestationReport, CostLedger, Enclave, EnclaveConfig, SealedBlob, SecureChannel};
+use pelta_tensor::Tensor;
+
+use crate::message::{tensor_from_wire_bytes, tensor_to_wire_bytes};
+use crate::{FlError, Result};
+
+/// Byte accounting of one shielded segment transfer (client sealing or
+/// server opening), mirroring the paper's Table I conventions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShieldedTransferReport {
+    /// Number of parameter segments moved.
+    pub segments: usize,
+    /// Plain tensor bytes that crossed the secure channel.
+    pub channel_bytes: usize,
+    /// Ciphertext bytes of the sealed blobs on the wire.
+    pub sealed_bytes: usize,
+}
+
+/// One endpoint (client or server side) of the attested shielded-update
+/// path. Both ends run the same trusted application, so they share the
+/// enclave measurement — which is exactly what lets blobs sealed on one side
+/// unseal on the other, and nowhere else.
+pub struct ShieldedUpdateChannel {
+    channel: SecureChannel,
+}
+
+impl ShieldedUpdateChannel {
+    /// Creates an endpoint backed by a fresh TrustZone-class enclave and
+    /// establishes its secure channel under `nonce` (the establishment
+    /// itself verifies the enclave's report, as in
+    /// [`SecureChannel::establish`]).
+    ///
+    /// # Errors
+    /// Returns an error if the channel handshake fails.
+    pub fn connect(nonce: u64) -> Result<Self> {
+        let enclave = Arc::new(Enclave::new(EnclaveConfig::trustzone_default()));
+        let mut channel = SecureChannel::new(enclave);
+        channel.establish(nonce).map_err(FlError::from)?;
+        Ok(ShieldedUpdateChannel { channel })
+    }
+
+    /// Produces an attestation report binding this endpoint's enclave to a
+    /// verifier-chosen nonce. The federation server verifies it (via
+    /// [`pelta_tee::verify_report`]) before admitting the client's shielded
+    /// updates.
+    pub fn attest(&self, nonce: u64) -> AttestationReport {
+        self.channel.enclave().attest(nonce)
+    }
+
+    /// The measurement this endpoint's blobs are sealed under.
+    pub fn measurement(&self) -> u64 {
+        self.channel.enclave().config().measurement
+    }
+
+    /// Snapshot of the enclave's accumulated cost ledger (world switches,
+    /// channel bytes, seals, attestations).
+    pub fn ledger(&self) -> CostLedger {
+        self.channel.enclave().ledger()
+    }
+
+    /// The backing enclave.
+    pub fn enclave(&self) -> &Arc<Enclave> {
+        self.channel.enclave()
+    }
+
+    /// Client side: moves each named segment into the enclave over the
+    /// secure channel and seals it for transit. The enclave holds one
+    /// update's segments at a time (the previous round's are flushed first).
+    ///
+    /// # Errors
+    /// Returns an error if a segment does not fit the enclave budget or the
+    /// channel is not established.
+    pub fn seal_segments(
+        &self,
+        segments: &[(String, Tensor)],
+    ) -> Result<(Vec<SealedBlob>, ShieldedTransferReport)> {
+        self.channel.enclave().clear();
+        let mut blobs = Vec::with_capacity(segments.len());
+        let mut report = ShieldedTransferReport::default();
+        for (name, tensor) in segments {
+            let bytes = tensor_to_wire_bytes(tensor);
+            report.channel_bytes += bytes.len();
+            self.channel
+                .send_bytes(name, bytes)
+                .map_err(FlError::from)?;
+            let blob = self
+                .channel
+                .enclave()
+                .seal_raw(name)
+                .map_err(FlError::from)?;
+            report.sealed_bytes += blob.len();
+            report.segments += 1;
+            blobs.push(blob);
+        }
+        Ok((blobs, report))
+    }
+
+    /// Server side: unseals each blob into the enclave and releases the
+    /// tensor to the aggregation logic through an authorised channel read.
+    /// Returns `(name, tensor)` pairs in blob order.
+    ///
+    /// # Errors
+    /// Returns an error if a blob was tampered with, was sealed under a
+    /// foreign measurement, or carries malformed tensor bytes.
+    pub fn open_segments(
+        &self,
+        blobs: &[SealedBlob],
+    ) -> Result<(Vec<(String, Tensor)>, ShieldedTransferReport)> {
+        self.channel.enclave().clear();
+        let mut segments = Vec::with_capacity(blobs.len());
+        let mut report = ShieldedTransferReport::default();
+        for blob in blobs {
+            report.sealed_bytes += blob.len();
+            let key = self
+                .channel
+                .enclave()
+                .unseal_raw(blob)
+                .map_err(FlError::from)?;
+            let bytes = self
+                .channel
+                .receive_bytes_authorized(&key)
+                .map_err(FlError::from)?;
+            report.channel_bytes += bytes.len();
+            report.segments += 1;
+            segments.push((key, tensor_from_wire_bytes(&bytes)?));
+        }
+        Ok((segments, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelta_tee::verify_report;
+
+    fn segments() -> Vec<(String, Tensor)> {
+        vec![
+            (
+                "vit.embed.proj".to_string(),
+                Tensor::from_vec(vec![1.5, -0.0, f32::MIN_POSITIVE / 2.0, 3.25], &[2, 2]).unwrap(),
+            ),
+            ("vit.cls.token".to_string(), Tensor::arange(4)),
+        ]
+    }
+
+    #[test]
+    fn attestation_verifies_against_the_shared_measurement() {
+        let client = ShieldedUpdateChannel::connect(41).unwrap();
+        let report = client.attest(99);
+        verify_report(&report, client.measurement(), 99).unwrap();
+        // A stale nonce is refused.
+        assert!(verify_report(&report, client.measurement(), 100).is_err());
+        // Attestations are accounted.
+        assert!(client.ledger().attestations >= 1);
+    }
+
+    #[test]
+    fn segments_travel_sealed_and_bit_exact() {
+        let client = ShieldedUpdateChannel::connect(1).unwrap();
+        let server = ShieldedUpdateChannel::connect(2).unwrap();
+        let original = segments();
+        let (blobs, sent) = client.seal_segments(&original).unwrap();
+        assert_eq!(sent.segments, 2);
+        assert!(sent.channel_bytes > 0);
+        assert!(sent.sealed_bytes > 0);
+        // The ciphertext does not contain the raw tensor bytes in clear.
+        let (opened, received) = server.open_segments(&blobs).unwrap();
+        assert_eq!(received.segments, 2);
+        assert_eq!(received.channel_bytes, sent.channel_bytes);
+        assert_eq!(opened.len(), original.len());
+        for ((name_a, tensor_a), (name_b, tensor_b)) in original.iter().zip(&opened) {
+            assert_eq!(name_a, name_b);
+            assert_eq!(tensor_a.dims(), tensor_b.dims());
+            for (a, b) in tensor_a.data().iter().zip(tensor_b.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Both ledgers accounted the channel crossings.
+        assert!(client.ledger().channel_bytes >= sent.channel_bytes as u64);
+        assert!(server.ledger().channel_bytes >= received.channel_bytes as u64);
+    }
+
+    #[test]
+    fn tampered_blobs_are_rejected() {
+        let client = ShieldedUpdateChannel::connect(3).unwrap();
+        let server = ShieldedUpdateChannel::connect(4).unwrap();
+        let (mut blobs, _) = client.seal_segments(&segments()).unwrap();
+        blobs[0].tamper_for_tests();
+        assert!(matches!(server.open_segments(&blobs), Err(FlError::Tee(_))));
+    }
+
+    #[test]
+    fn normal_world_cannot_read_segments_in_transit() {
+        use pelta_tee::World;
+        let client = ShieldedUpdateChannel::connect(5).unwrap();
+        let (_, _) = client.seal_segments(&segments()).unwrap();
+        // The segment sits in the client enclave; a normal-world probe of the
+        // staged bytes is denied.
+        assert!(client
+            .enclave()
+            .read_bytes("vit.embed.proj", World::Normal)
+            .is_err());
+    }
+}

@@ -1,0 +1,312 @@
+//! The transport boundary between federation participants.
+//!
+//! A [`Transport`] is one endpoint of a duplex, ordered, reliable message
+//! link. Two implementations exist:
+//!
+//! * [`InMemoryTransport`] — zero-copy: messages move between the endpoints'
+//!   FIFO queues as owned values, never touching bytes. This is the fast
+//!   path for single-process federations.
+//! * [`SerializedTransport`] — a loopback that forces **every** exchange
+//!   through the binary wire encoding of [`Message`]: `send` encodes to
+//!   bytes (checksummed), `recv` decodes and verifies. Running a federation
+//!   over this transport proves the wire path is lossless; the integration
+//!   tests assert the resulting global model is bit-identical to the
+//!   in-memory run.
+//!
+//! Both transports report the same *logical* traffic volume
+//! ([`Message::wire_size`]); [`Transport::bytes_serialized`] additionally
+//! reports the bytes that were physically encoded (zero for the in-memory
+//! path), which is what the serialisation-equivalence tests compare.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::{Message, Result};
+
+/// Which transport a federation runs its links over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransportKind {
+    /// Zero-copy in-memory channel.
+    InMemory,
+    /// Serialise/deserialise loopback (every message crosses as bytes).
+    Serialized,
+}
+
+#[allow(clippy::derivable_impls)] // the vendored serde derive cannot parse a `#[default]` variant attribute
+impl Default for TransportKind {
+    fn default() -> Self {
+        TransportKind::InMemory
+    }
+}
+
+impl TransportKind {
+    /// Creates a connected endpoint pair of this kind.
+    pub fn duplex(self) -> (Box<dyn Transport>, Box<dyn Transport>) {
+        match self {
+            TransportKind::InMemory => {
+                let (a, b) = InMemoryTransport::pair();
+                (Box::new(a), Box::new(b))
+            }
+            TransportKind::Serialized => {
+                let (a, b) = SerializedTransport::pair();
+                (Box::new(a), Box::new(b))
+            }
+        }
+    }
+}
+
+/// One endpoint of a duplex message link (see the module docs).
+pub trait Transport: Send {
+    /// Queues a message for the peer endpoint (ordered, reliable).
+    ///
+    /// # Errors
+    /// Returns [`crate::FlError::Wire`] if the message cannot be encoded.
+    fn send(&self, message: &Message) -> Result<()>;
+
+    /// Pops the next message queued by the peer, if any.
+    ///
+    /// # Errors
+    /// Returns [`crate::FlError::Wire`] if an incoming frame fails to decode
+    /// or verify.
+    fn recv(&self) -> Result<Option<Message>>;
+
+    /// Whether a message from the peer is waiting.
+    fn has_pending(&self) -> bool;
+
+    /// Logical bytes sent by this endpoint ([`Message::wire_size`] of every
+    /// sent message), identical across transport kinds.
+    fn bytes_sent(&self) -> usize;
+
+    /// Bytes this endpoint physically serialised onto the wire — zero for
+    /// the zero-copy in-memory transport.
+    fn bytes_serialized(&self) -> usize;
+
+    /// Messages sent by this endpoint.
+    fn messages_sent(&self) -> usize;
+
+    /// The transport kind of this endpoint.
+    fn kind(&self) -> TransportKind;
+}
+
+/// Per-endpoint traffic counters.
+#[derive(Default)]
+struct Counters {
+    messages: usize,
+    logical_bytes: usize,
+    serialized_bytes: usize,
+}
+
+/// Zero-copy in-memory endpoint: messages cross as owned values.
+pub struct InMemoryTransport {
+    incoming: Arc<Mutex<VecDeque<Message>>>,
+    outgoing: Arc<Mutex<VecDeque<Message>>>,
+    counters: Mutex<Counters>,
+}
+
+impl InMemoryTransport {
+    /// Creates a connected endpoint pair.
+    pub fn pair() -> (InMemoryTransport, InMemoryTransport) {
+        let a_to_b = Arc::new(Mutex::new(VecDeque::new()));
+        let b_to_a = Arc::new(Mutex::new(VecDeque::new()));
+        (
+            InMemoryTransport {
+                incoming: Arc::clone(&b_to_a),
+                outgoing: Arc::clone(&a_to_b),
+                counters: Mutex::new(Counters::default()),
+            },
+            InMemoryTransport {
+                incoming: a_to_b,
+                outgoing: b_to_a,
+                counters: Mutex::new(Counters::default()),
+            },
+        )
+    }
+}
+
+impl Transport for InMemoryTransport {
+    fn send(&self, message: &Message) -> Result<()> {
+        let mut counters = self.counters.lock();
+        counters.messages += 1;
+        counters.logical_bytes += message.wire_size();
+        drop(counters);
+        self.outgoing.lock().push_back(message.clone());
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<Option<Message>> {
+        Ok(self.incoming.lock().pop_front())
+    }
+
+    fn has_pending(&self) -> bool {
+        !self.incoming.lock().is_empty()
+    }
+
+    fn bytes_sent(&self) -> usize {
+        self.counters.lock().logical_bytes
+    }
+
+    fn bytes_serialized(&self) -> usize {
+        0
+    }
+
+    fn messages_sent(&self) -> usize {
+        self.counters.lock().messages
+    }
+
+    fn kind(&self) -> TransportKind {
+        TransportKind::InMemory
+    }
+}
+
+/// Serialise/deserialise loopback endpoint: every message crosses as its
+/// checksummed binary wire encoding.
+pub struct SerializedTransport {
+    incoming: Arc<Mutex<VecDeque<Vec<u8>>>>,
+    outgoing: Arc<Mutex<VecDeque<Vec<u8>>>>,
+    counters: Mutex<Counters>,
+}
+
+impl SerializedTransport {
+    /// Creates a connected endpoint pair.
+    pub fn pair() -> (SerializedTransport, SerializedTransport) {
+        let a_to_b = Arc::new(Mutex::new(VecDeque::new()));
+        let b_to_a = Arc::new(Mutex::new(VecDeque::new()));
+        (
+            SerializedTransport {
+                incoming: Arc::clone(&b_to_a),
+                outgoing: Arc::clone(&a_to_b),
+                counters: Mutex::new(Counters::default()),
+            },
+            SerializedTransport {
+                incoming: a_to_b,
+                outgoing: b_to_a,
+                counters: Mutex::new(Counters::default()),
+            },
+        )
+    }
+}
+
+impl Transport for SerializedTransport {
+    fn send(&self, message: &Message) -> Result<()> {
+        let frame = message.encode();
+        let mut counters = self.counters.lock();
+        counters.messages += 1;
+        counters.logical_bytes += message.wire_size();
+        counters.serialized_bytes += frame.len();
+        drop(counters);
+        self.outgoing.lock().push_back(frame);
+        Ok(())
+    }
+
+    fn recv(&self) -> Result<Option<Message>> {
+        let frame = self.incoming.lock().pop_front();
+        match frame {
+            Some(frame) => Ok(Some(Message::decode(&frame)?)),
+            None => Ok(None),
+        }
+    }
+
+    fn has_pending(&self) -> bool {
+        !self.incoming.lock().is_empty()
+    }
+
+    fn bytes_sent(&self) -> usize {
+        self.counters.lock().logical_bytes
+    }
+
+    fn bytes_serialized(&self) -> usize {
+        self.counters.lock().serialized_bytes
+    }
+
+    fn messages_sent(&self) -> usize {
+        self.counters.lock().messages
+    }
+
+    fn kind(&self) -> TransportKind {
+        TransportKind::Serialized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pelta_tensor::Tensor;
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Join { client_id: 1 },
+            Message::RoundStart {
+                round: 0,
+                global: crate::GlobalModel {
+                    round: 0,
+                    parameters: vec![("w".to_string(), Tensor::arange(6))],
+                },
+            },
+            Message::Leave { client_id: 1 },
+        ]
+    }
+
+    #[test]
+    fn in_memory_endpoints_exchange_fifo() {
+        let (client, server) = InMemoryTransport::pair();
+        for message in sample_messages() {
+            client.send(&message).unwrap();
+        }
+        assert!(server.has_pending());
+        assert_eq!(client.messages_sent(), 3);
+        assert_eq!(client.bytes_serialized(), 0);
+        assert!(client.bytes_sent() > 0);
+        for expected in sample_messages() {
+            assert_eq!(server.recv().unwrap().unwrap(), expected);
+        }
+        assert!(server.recv().unwrap().is_none());
+        // The reverse direction works too.
+        server.send(&Message::RoundEnd { round: 0 }).unwrap();
+        assert_eq!(
+            client.recv().unwrap().unwrap(),
+            Message::RoundEnd { round: 0 }
+        );
+    }
+
+    #[test]
+    fn serialized_endpoints_force_the_byte_path() {
+        let (client, server) = SerializedTransport::pair();
+        for message in sample_messages() {
+            client.send(&message).unwrap();
+        }
+        // Physically encoded bytes equal the logical accounting exactly.
+        assert_eq!(client.bytes_serialized(), client.bytes_sent());
+        assert!(client.bytes_serialized() > 0);
+        for expected in sample_messages() {
+            assert_eq!(server.recv().unwrap().unwrap(), expected);
+        }
+        assert!(!server.has_pending());
+    }
+
+    #[test]
+    fn both_kinds_report_identical_logical_traffic() {
+        let (mem, _mem_peer) = InMemoryTransport::pair();
+        let (ser, _ser_peer) = SerializedTransport::pair();
+        for message in sample_messages() {
+            mem.send(&message).unwrap();
+            ser.send(&message).unwrap();
+        }
+        assert_eq!(mem.bytes_sent(), ser.bytes_sent());
+        assert_eq!(mem.kind(), TransportKind::InMemory);
+        assert_eq!(ser.kind(), TransportKind::Serialized);
+    }
+
+    #[test]
+    fn duplex_constructor_matches_kind() {
+        for kind in [TransportKind::InMemory, TransportKind::Serialized] {
+            let (a, b) = kind.duplex();
+            assert_eq!(a.kind(), kind);
+            a.send(&Message::Join { client_id: 9 }).unwrap();
+            assert_eq!(b.recv().unwrap().unwrap(), Message::Join { client_id: 9 });
+        }
+        assert_eq!(TransportKind::default(), TransportKind::InMemory);
+    }
+}

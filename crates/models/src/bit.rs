@@ -248,6 +248,12 @@ impl ImageModel for BigTransfer {
     fn frontier_tag(&self) -> String {
         format!("{}.pelta_frontier", self.config.name)
     }
+
+    fn shielded_parameter_prefixes(&self) -> Vec<String> {
+        // The weight-standardised stem convolution feeds the shield
+        // frontier.
+        vec![format!("{}.stem.", self.config.name)]
+    }
 }
 
 #[cfg(test)]

@@ -34,6 +34,21 @@ impl std::fmt::Display for Architecture {
     }
 }
 
+/// Which side of the shield frontier a parameter lives on.
+///
+/// Algorithm 1 notes that the parameter leaves of the masked operations are
+/// "effectively masked"; a federated deployment therefore splits a model's
+/// parameter export into two address spaces — the **shielded** segment that
+/// must travel sealed between enclaves, and the **clear** segment the normal
+/// world may carry in plaintext.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParameterSegment {
+    /// Parameter of the shielded transformation prefix (enclave-resident).
+    Shielded,
+    /// Parameter of the clear suffix.
+    Clear,
+}
+
 /// An image classifier usable as a Pelta defender.
 ///
 /// `Module::forward` maps a `[N, C, H, W]` input node to `[N, classes]`
@@ -62,6 +77,30 @@ pub trait ImageModel: Module {
     /// published, if the architecture has attention (used by SAGA).
     fn attention_probs_prefix(&self) -> Option<String> {
         None
+    }
+
+    /// Name prefixes of the parameters belonging to the shielded
+    /// transformation prefix (the parameter leaves of Algorithm 1's masked
+    /// operations). A parameter whose name starts with one of these prefixes
+    /// addresses the [`ParameterSegment::Shielded`] segment; everything else
+    /// is [`ParameterSegment::Clear`]. Models without Pelta support shield
+    /// nothing.
+    fn shielded_parameter_prefixes(&self) -> Vec<String> {
+        Vec::new()
+    }
+
+    /// The segment a parameter name addresses under this model's shield
+    /// plan (see [`ImageModel::shielded_parameter_prefixes`]).
+    fn parameter_segment(&self, name: &str) -> ParameterSegment {
+        if self
+            .shielded_parameter_prefixes()
+            .iter()
+            .any(|p| name.starts_with(p.as_str()))
+        {
+            ParameterSegment::Shielded
+        } else {
+            ParameterSegment::Clear
+        }
     }
 }
 

@@ -36,7 +36,9 @@ mod train;
 mod vit;
 
 pub use bit::BigTransfer;
-pub use classifier::{accuracy, predict, predict_logits, Architecture, ImageModel};
+pub use classifier::{
+    accuracy, predict, predict_logits, Architecture, ImageModel, ParameterSegment,
+};
 pub use config::{BitConfig, ResNetConfig, ViTConfig};
 pub use ensemble::{EnsembleMember, RandomSelectionEnsemble};
 pub use resnet::ResNetV2;

@@ -259,6 +259,12 @@ impl ImageModel for ResNetV2 {
     fn frontier_tag(&self) -> String {
         format!("{}.pelta_frontier", self.config.name)
     }
+
+    fn shielded_parameter_prefixes(&self) -> Vec<String> {
+        // The stem — first convolution and batch normalisation — feeds the
+        // shield frontier.
+        vec![format!("{}.stem.", self.config.name)]
+    }
 }
 
 #[cfg(test)]

@@ -218,6 +218,17 @@ impl ImageModel for VisionTransformer {
     fn attention_probs_prefix(&self) -> Option<String> {
         Some("attn_probs.".to_string())
     }
+
+    fn shielded_parameter_prefixes(&self) -> Vec<String> {
+        // The embedding prefix of §V-A: patch projection `E`, class token
+        // and position embedding `E_pos`.
+        let name = &self.config.name;
+        vec![
+            format!("{name}.embed."),
+            format!("{name}.cls."),
+            format!("{name}.pos."),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -308,6 +319,35 @@ mod tests {
         assert_eq!(logits.dims(), &[4, 5]);
         let acc = accuracy(&vit, &x, &[0, 1, 2, 3]).unwrap();
         assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn parameter_export_is_segment_addressed() {
+        use crate::ParameterSegment;
+        let vit = tiny_vit(9);
+        let shielded: Vec<&str> = vit
+            .parameters()
+            .into_iter()
+            .map(|p| p.name())
+            .filter(|n| vit.parameter_segment(n) == ParameterSegment::Shielded)
+            .collect();
+        // Exactly the embedding prefix: patch projection, class token,
+        // position embedding.
+        assert!(!shielded.is_empty());
+        assert!(shielded.iter().all(|n| {
+            n.starts_with("tiny_vit.embed.")
+                || n.starts_with("tiny_vit.cls.")
+                || n.starts_with("tiny_vit.pos.")
+        }));
+        // Encoder blocks and the head stay clear.
+        assert_eq!(
+            vit.parameter_segment("tiny_vit.block0.attn.q.weight"),
+            ParameterSegment::Clear
+        );
+        assert_eq!(
+            vit.parameter_segment("tiny_vit.head.weight"),
+            ParameterSegment::Clear
+        );
     }
 
     #[test]

@@ -32,6 +32,31 @@ pub struct ShieldPlan {
 }
 
 impl ShieldPlan {
+    /// Assembles a plan, guaranteeing the invariant [`ShieldPlan::is_shielded`]
+    /// relies on: `shielded_nodes` must be **sorted ascending and free of
+    /// duplicates**, because membership is answered with a binary search.
+    /// Plan-construction code must funnel through here so a future change to
+    /// the shield walk cannot silently break lookups.
+    ///
+    /// # Panics
+    /// Debug builds panic if `shielded_nodes` is unsorted or contains
+    /// duplicates.
+    pub fn new(
+        frontier: Vec<NodeId>,
+        shielded_nodes: Vec<NodeId>,
+        masked_jacobians: Vec<(NodeId, NodeId)>,
+    ) -> Self {
+        debug_assert!(
+            shielded_nodes.windows(2).all(|w| w[0] < w[1]),
+            "ShieldPlan::shielded_nodes must be strictly sorted (binary_search invariant)"
+        );
+        ShieldPlan {
+            frontier,
+            shielded_nodes,
+            masked_jacobians,
+        }
+    }
+
     /// Whether a node's value/adjoint is masked under this plan.
     pub fn is_shielded(&self, id: NodeId) -> bool {
         self.shielded_nodes.binary_search(&id).is_ok()
@@ -126,11 +151,7 @@ pub fn build_shield_plan(graph: &Graph, frontier_tags: &[String]) -> Result<Shie
         }
     }
 
-    Ok(ShieldPlan {
-        frontier,
-        shielded_nodes: shielded,
-        masked_jacobians,
-    })
+    Ok(ShieldPlan::new(frontier, shielded, masked_jacobians))
 }
 
 /// Applies a [`ShieldPlan`] after a forward/backward pass: stores every
@@ -239,6 +260,38 @@ mod tests {
         assert!(!plan.masked_jacobians.contains(&(w1, prod1)));
         // The (prod1 → frontier) edge is on the input path as well.
         assert!(plan.masked_jacobians.contains(&(prod1, frontier)));
+    }
+
+    #[test]
+    fn plan_construction_guarantees_the_binary_search_invariant() {
+        // A sorted, duplicate-free set constructs fine and answers lookups.
+        let plan = ShieldPlan::new(
+            vec![NodeId::new(2)],
+            vec![NodeId::new(0), NodeId::new(2), NodeId::new(5)],
+            vec![],
+        );
+        assert!(plan.is_shielded(NodeId::new(0)));
+        assert!(plan.is_shielded(NodeId::new(5)));
+        assert!(!plan.is_shielded(NodeId::new(3)));
+        // The walk in build_shield_plan funnels through the same constructor,
+        // so its output satisfies the invariant by construction.
+        let (g, ..) = toy_graph();
+        let built = build_shield_plan(&g, &["toy.pelta_frontier".to_string()]).unwrap();
+        assert!(built.shielded_nodes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    #[cfg(debug_assertions)]
+    fn unsorted_plan_is_rejected_in_debug_builds() {
+        let _ = ShieldPlan::new(vec![], vec![NodeId::new(5), NodeId::new(2)], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    #[cfg(debug_assertions)]
+    fn duplicate_nodes_are_rejected_in_debug_builds() {
+        let _ = ShieldPlan::new(vec![], vec![NodeId::new(2), NodeId::new(2)], vec![]);
     }
 
     #[test]

@@ -89,6 +89,37 @@ impl SecureChannel {
         Ok(tensor)
     }
 
+    /// Sends an opaque byte string into the enclave (e.g. a binary-encoded
+    /// parameter segment the enclave will seal for transit), storing it
+    /// under `key`. Every byte crossing the channel is accounted.
+    ///
+    /// # Errors
+    /// Returns [`TeeError::ChannelNotEstablished`] before the handshake, plus
+    /// the enclave's storage errors.
+    pub fn send_bytes(&self, key: &str, bytes: Vec<u8>) -> Result<()> {
+        self.require_established()?;
+        self.enclave.record_world_switch();
+        self.enclave.record_transfer(bytes.len());
+        self.enclave.store_bytes(key, bytes)
+    }
+
+    /// Receives a byte object from the enclave **with enclave
+    /// authorisation** (the byte-string analogue of
+    /// [`SecureChannel::receive_authorized`]): the enclave explicitly
+    /// releases the value — e.g. an unsealed update segment the aggregation
+    /// logic needs — to the normal world, with full byte accounting.
+    ///
+    /// # Errors
+    /// Returns [`TeeError::ChannelNotEstablished`] before the handshake and
+    /// [`TeeError::NotFound`] for unknown keys.
+    pub fn receive_bytes_authorized(&self, key: &str) -> Result<Vec<u8>> {
+        self.require_established()?;
+        let bytes = self.enclave.read_bytes(key, World::Secure)?;
+        self.enclave.record_world_switch();
+        self.enclave.record_transfer(bytes.len());
+        Ok(bytes)
+    }
+
     /// The enclave this channel is bound to.
     pub fn enclave(&self) -> &Arc<Enclave> {
         &self.enclave
@@ -142,6 +173,26 @@ mod tests {
         // Send + receive each move 16·16·4 bytes.
         assert_eq!(ledger.channel_bytes, 2 * 1024);
         assert_eq!(ledger.attestations, 1);
+    }
+
+    #[test]
+    fn byte_transfers_are_accounted_and_authorized() {
+        let enclave = Arc::new(Enclave::new(EnclaveConfig::trustzone_default()));
+        let mut channel = SecureChannel::new(Arc::clone(&enclave));
+        assert!(matches!(
+            channel.send_bytes("seg", vec![1, 2, 3]),
+            Err(TeeError::ChannelNotEstablished)
+        ));
+        channel.establish(7).unwrap();
+        channel.send_bytes("seg", vec![1, 2, 3, 4, 5]).unwrap();
+        let back = channel.receive_bytes_authorized("seg").unwrap();
+        assert_eq!(back, vec![1, 2, 3, 4, 5]);
+        let ledger = enclave.ledger();
+        // Handshake (2) + send (1) + receive (1).
+        assert_eq!(ledger.world_switches, 4);
+        assert_eq!(ledger.channel_bytes, 10);
+        // The normal world still cannot read the bytes directly.
+        assert!(enclave.read_bytes("seg", World::Normal).is_err());
     }
 
     #[test]

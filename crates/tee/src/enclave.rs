@@ -203,6 +203,31 @@ impl Enclave {
         })
     }
 
+    /// Reads a raw byte object back. Only the secure world may read;
+    /// normal-world reads are denied, exactly as for tensors.
+    ///
+    /// # Errors
+    /// Returns [`TeeError::AccessDenied`] for normal-world reads and
+    /// [`TeeError::NotFound`] for unknown keys or tensor-valued objects.
+    pub fn read_bytes(&self, key: &str, world: World) -> Result<Vec<u8>> {
+        if world == World::Normal {
+            self.record_world_switch();
+            return Err(TeeError::AccessDenied {
+                key: key.to_string(),
+            });
+        }
+        let store = self.store.lock();
+        let object = store.get(key).ok_or_else(|| TeeError::NotFound {
+            key: key.to_string(),
+        })?;
+        if object.tensor.is_some() {
+            return Err(TeeError::NotFound {
+                key: key.to_string(),
+            });
+        }
+        Ok(object.bytes.clone())
+    }
+
     /// Whether an object exists under `key` (existence is not considered
     /// secret; the attacker knows *which* layers are shielded, just not
     /// their values).
@@ -255,6 +280,47 @@ impl Enclave {
             .lock()
             .record_seal(object.size, &self.config.cost_model);
         Ok(payload)
+    }
+
+    /// Seals a stored **byte** object verbatim (bit-preserving raw framing,
+    /// see [`SealedBlob`]'s raw path), accounting the sealing cost. The
+    /// shielded-update channel of the federation uses this to ship
+    /// binary-encoded parameter segments between enclaves losslessly.
+    ///
+    /// # Errors
+    /// Returns [`TeeError::NotFound`] for unknown keys or tensor-valued
+    /// objects.
+    pub fn seal_raw(&self, key: &str) -> Result<SealedBlob> {
+        let store = self.store.lock();
+        let object = store.get(key).ok_or_else(|| TeeError::NotFound {
+            key: key.to_string(),
+        })?;
+        if object.tensor.is_some() {
+            return Err(TeeError::NotFound {
+                key: key.to_string(),
+            });
+        }
+        let blob = SealedBlob::encode_raw(key, &object.bytes, self.config.measurement);
+        self.ledger
+            .lock()
+            .record_seal(object.size, &self.config.cost_model);
+        Ok(blob)
+    }
+
+    /// Unseals a raw blob produced by [`Enclave::seal_raw`] on an enclave
+    /// with the same measurement, restoring the byte object into secure
+    /// memory.
+    ///
+    /// # Errors
+    /// Returns [`TeeError::SealIntegrity`] if the blob was tampered with or
+    /// sealed by a different measurement, plus the usual storage errors.
+    pub fn unseal_raw(&self, blob: &SealedBlob) -> Result<String> {
+        let (key, bytes) = blob.decode_raw(self.config.measurement)?;
+        self.ledger
+            .lock()
+            .record_seal(blob.len(), &self.config.cost_model);
+        self.store_bytes(&key, bytes)?;
+        Ok(key)
     }
 
     /// Unseals a blob produced by [`Enclave::seal`] on an enclave with the
@@ -384,6 +450,37 @@ mod tests {
         // Fresh key so AlreadyExists does not mask the integrity error.
         enclave.free("weights").ok();
         enclave.unseal(blob)
+    }
+
+    #[test]
+    fn raw_seal_unseal_preserves_bytes_and_respects_worlds() {
+        let enclave = Enclave::new(EnclaveConfig::trustzone_default());
+        let payload: Vec<u8> = vec![0, 255, 1, 254, 127, 128];
+        enclave.store_bytes("seg", payload.clone()).unwrap();
+        // World separation applies to byte objects too.
+        assert!(matches!(
+            enclave.read_bytes("seg", World::Normal),
+            Err(TeeError::AccessDenied { .. })
+        ));
+        assert_eq!(enclave.read_bytes("seg", World::Secure).unwrap(), payload);
+        // Tensor-valued objects are not visible through the bytes API.
+        enclave.store_tensor("t", Tensor::ones(&[2])).unwrap();
+        assert!(enclave.read_bytes("t", World::Secure).is_err());
+        assert!(enclave.seal_raw("t").is_err());
+
+        let blob = enclave.seal_raw("seg").unwrap();
+        let other = Enclave::new(EnclaveConfig::trustzone_default());
+        let key = other.unseal_raw(&blob).unwrap();
+        assert_eq!(key, "seg");
+        assert_eq!(other.read_bytes("seg", World::Secure).unwrap(), payload);
+        // A foreign measurement cannot unseal the raw blob either.
+        let mut foreign_cfg = EnclaveConfig::trustzone_default();
+        foreign_cfg.measurement = 0x1234;
+        let foreign = Enclave::new(foreign_cfg);
+        assert!(matches!(
+            foreign.unseal_raw(&blob),
+            Err(TeeError::SealIntegrity)
+        ));
     }
 
     #[test]

@@ -13,6 +13,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::{Result, TeeError};
 
+/// Leading magic of raw-bytes payloads, distinguishing them from the JSON
+/// tensor payloads at decode time.
+const RAW_MAGIC: &[u8; 4] = b"RAW1";
+
 /// An opaque sealed object that can live in untrusted storage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SealedBlob {
@@ -51,6 +55,56 @@ impl SealedBlob {
         }
     }
 
+    /// Seals an opaque byte string **verbatim** under the given measurement.
+    ///
+    /// Unlike [`SealedBlob::encode_bytes`] (which widens each byte to an
+    /// `f32` tensor element), this path frames the payload as
+    /// `RAW1 ‖ key_len ‖ key ‖ bytes`, so unsealing reproduces the input
+    /// bit for bit. The federation's shielded-update channel relies on this
+    /// to move binary-encoded parameter segments between enclaves without
+    /// any representation change.
+    pub(crate) fn encode_raw(key: &str, bytes: &[u8], measurement: u64) -> SealedBlob {
+        let mut plain = Vec::with_capacity(RAW_MAGIC.len() + 4 + key.len() + bytes.len());
+        plain.extend_from_slice(RAW_MAGIC);
+        plain.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        plain.extend_from_slice(key.as_bytes());
+        plain.extend_from_slice(bytes);
+        let ciphertext = keystream_xor(&plain, measurement);
+        let checksum = checksum(&plain);
+        SealedBlob {
+            ciphertext,
+            checksum,
+        }
+    }
+
+    /// Unseals a blob produced by [`SealedBlob::encode_raw`], returning the
+    /// original key and the verbatim bytes.
+    ///
+    /// # Errors
+    /// Returns [`TeeError::SealIntegrity`] if the measurement is wrong, the
+    /// blob was modified, or the blob does not carry a raw payload.
+    pub(crate) fn decode_raw(&self, measurement: u64) -> Result<(String, Vec<u8>)> {
+        let plain = keystream_xor(&self.ciphertext, measurement);
+        if checksum(&plain) != self.checksum {
+            return Err(TeeError::SealIntegrity);
+        }
+        if plain.len() < RAW_MAGIC.len() + 4 || &plain[..RAW_MAGIC.len()] != RAW_MAGIC {
+            return Err(TeeError::SealIntegrity);
+        }
+        let key_len = u32::from_le_bytes(
+            plain[4..8]
+                .try_into()
+                .map_err(|_| TeeError::SealIntegrity)?,
+        ) as usize;
+        let body = &plain[8..];
+        if body.len() < key_len {
+            return Err(TeeError::SealIntegrity);
+        }
+        let key =
+            String::from_utf8(body[..key_len].to_vec()).map_err(|_| TeeError::SealIntegrity)?;
+        Ok((key, body[key_len..].to_vec()))
+    }
+
     /// Unseals the blob with the given measurement, returning the original
     /// key and tensor.
     ///
@@ -83,6 +137,27 @@ impl SealedBlob {
     pub fn tamper_for_tests(&mut self) {
         if let Some(byte) = self.ciphertext.get_mut(0) {
             *byte ^= 0xFF;
+        }
+    }
+
+    /// The opaque ciphertext, for transports that frame sealed blobs into
+    /// their own wire format. Possessing the bytes reveals nothing without
+    /// the sealing measurement.
+    pub fn ciphertext(&self) -> &[u8] {
+        &self.ciphertext
+    }
+
+    /// The plaintext checksum carried alongside the ciphertext.
+    pub fn checksum_value(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Reassembles a blob from wire parts produced by
+    /// [`SealedBlob::ciphertext`] and [`SealedBlob::checksum_value`].
+    pub fn from_parts(ciphertext: Vec<u8>, checksum: u64) -> SealedBlob {
+        SealedBlob {
+            ciphertext,
+            checksum,
         }
     }
 }
@@ -154,6 +229,37 @@ mod tests {
         let (key, tensor) = blob.decode(9).unwrap();
         assert_eq!(key, "raw");
         assert_eq!(tensor.data(), &[1.0, 2.0, 250.0]);
+    }
+
+    #[test]
+    fn raw_payload_roundtrips_verbatim() {
+        let bytes: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        let blob = SealedBlob::encode_raw("segment", &bytes, 11);
+        let (key, restored) = blob.decode_raw(11).unwrap();
+        assert_eq!(key, "segment");
+        assert_eq!(restored, bytes);
+        // Wrong measurement and tampering are both rejected.
+        assert!(matches!(blob.decode_raw(12), Err(TeeError::SealIntegrity)));
+        let mut tampered = blob.clone();
+        tampered.tamper_for_tests();
+        assert!(matches!(
+            tampered.decode_raw(11),
+            Err(TeeError::SealIntegrity)
+        ));
+        // A JSON tensor blob is not a raw blob.
+        let tensor_blob = SealedBlob::encode_tensor("t", &Tensor::ones(&[2]), 11);
+        assert!(matches!(
+            tensor_blob.decode_raw(11),
+            Err(TeeError::SealIntegrity)
+        ));
+    }
+
+    #[test]
+    fn wire_parts_reassemble() {
+        let blob = SealedBlob::encode_raw("k", &[9, 8, 7], 3);
+        let rebuilt = SealedBlob::from_parts(blob.ciphertext().to_vec(), blob.checksum_value());
+        assert_eq!(rebuilt, blob);
+        assert_eq!(rebuilt.decode_raw(3).unwrap().1, vec![9, 8, 7]);
     }
 
     #[test]

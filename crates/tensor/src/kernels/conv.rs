@@ -14,9 +14,20 @@
 //! output element — ascending `(c_in, k_y, k_x)`, then ascending batch for
 //! the weight gradient — is independent of the thread count.
 
-use super::{gemm::gemm, SendPtr};
+use std::cell::RefCell;
+
+use super::gemm::{ensure_len, gemm, with_pack_buffer};
+use super::SendPtr;
 use crate::pool::ThreadPool;
 use crate::{Conv2dSpec, Result, Tensor};
+
+thread_local! {
+    /// Reusable per-thread im2col/col2im column buffer, so the sample loops
+    /// stop paying a `Vec` allocation per task. Every user overwrites the
+    /// slice it exposes ([`im2col`] writes all `ckk·ohow` entries; the GEMM
+    /// paths zero-fill their output), so stale contents are harmless.
+    static COLS_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// im2col for one `[C, H, W]` sample: `cols[(c·K_h + ky)·K_w + kx, oy·O_w + ox]
 /// = x[c, oy·s + ky, ox·s + kx]`.
@@ -131,26 +142,29 @@ pub fn conv2d(
     let wt = weight.data();
     let out_ptr = SendPtr(out.as_mut_ptr());
     pool.run(n, &|ni| {
-        let mut cols = vec![0.0f32; ckk * ohow];
-        im2col(
-            &x[ni * c_in * h * w..(ni + 1) * c_in * h * w],
-            c_in,
-            h,
-            w,
-            kh,
-            kw,
-            spec.stride,
-            oh,
-            ow,
-            &mut cols,
-        );
-        // SAFETY: each task writes only its own sample's output slice.
-        let out_slice = unsafe {
-            std::slice::from_raw_parts_mut(out_ptr.get().add(ni * c_out * ohow), c_out * ohow)
-        };
-        gemm(
-            pool, false, wt, false, &cols, c_out, ckk, ohow, out_slice, false,
-        );
+        with_pack_buffer(&COLS_BUF, |buf| {
+            ensure_len(buf, ckk * ohow);
+            let cols = &mut buf[..ckk * ohow];
+            im2col(
+                &x[ni * c_in * h * w..(ni + 1) * c_in * h * w],
+                c_in,
+                h,
+                w,
+                kh,
+                kw,
+                spec.stride,
+                oh,
+                ow,
+                cols,
+            );
+            // SAFETY: each task writes only its own sample's output slice.
+            let out_slice = unsafe {
+                std::slice::from_raw_parts_mut(out_ptr.get().add(ni * c_out * ohow), c_out * ohow)
+            };
+            gemm(
+                pool, false, wt, false, cols, c_out, ckk, ohow, out_slice, false,
+            );
+        });
     });
     Tensor::from_vec(out, &[n, c_out, oh, ow])
 }
@@ -182,24 +196,27 @@ pub fn conv2d_input_grad(
     let wt = weight.data();
     let grad_ptr = SendPtr(grad_padded.as_mut_ptr());
     pool.run(n, &|ni| {
-        let mut cols = vec![0.0f32; ckk * ohow];
-        gemm(
-            pool,
-            true,
-            wt,
-            false,
-            &g[ni * c_out * ohow..(ni + 1) * c_out * ohow],
-            ckk,
-            c_out,
-            ohow,
-            &mut cols,
-            false,
-        );
-        // SAFETY: each task scatters only into its own sample's slice.
-        let grad_slice = unsafe {
-            std::slice::from_raw_parts_mut(grad_ptr.get().add(ni * c_in * h * w), c_in * h * w)
-        };
-        col2im(&cols, c_in, h, w, kh, kw, spec.stride, oh, ow, grad_slice);
+        with_pack_buffer(&COLS_BUF, |buf| {
+            ensure_len(buf, ckk * ohow);
+            let cols = &mut buf[..ckk * ohow];
+            gemm(
+                pool,
+                true,
+                wt,
+                false,
+                &g[ni * c_out * ohow..(ni + 1) * c_out * ohow],
+                ckk,
+                c_out,
+                ohow,
+                cols,
+                false,
+            );
+            // SAFETY: each task scatters only into its own sample's slice.
+            let grad_slice = unsafe {
+                std::slice::from_raw_parts_mut(grad_ptr.get().add(ni * c_in * h * w), c_in * h * w)
+            };
+            col2im(cols, c_in, h, w, kh, kw, spec.stride, oh, ow, grad_slice);
+        });
     });
     let padded = Tensor::from_vec(grad_padded, &[n, c_in, h, w])?;
     if pad > 0 {
@@ -253,37 +270,43 @@ pub fn conv2d_weight_grad(
     pool.run(chunks, &|chunk| {
         let lo = chunk * chunk_len;
         let hi = (lo + chunk_len).min(n);
-        let mut cols = vec![0.0f32; ckk * ohow];
-        // SAFETY: each task writes only its own partial slice.
-        let partial = unsafe {
-            std::slice::from_raw_parts_mut(partials_ptr.get().add(chunk * c_out * ckk), c_out * ckk)
-        };
-        for ni in lo..hi {
-            im2col(
-                &x[ni * c_in * h * w..(ni + 1) * c_in * h * w],
-                c_in,
-                h,
-                w,
-                kh,
-                kw,
-                spec.stride,
-                oh,
-                ow,
-                &mut cols,
-            );
-            gemm(
-                pool,
-                false,
-                &g[ni * c_out * ohow..(ni + 1) * c_out * ohow],
-                true,
-                &cols,
-                c_out,
-                ohow,
-                ckk,
-                partial,
-                ni > lo,
-            );
-        }
+        with_pack_buffer(&COLS_BUF, |buf| {
+            ensure_len(buf, ckk * ohow);
+            let cols = &mut buf[..ckk * ohow];
+            // SAFETY: each task writes only its own partial slice.
+            let partial = unsafe {
+                std::slice::from_raw_parts_mut(
+                    partials_ptr.get().add(chunk * c_out * ckk),
+                    c_out * ckk,
+                )
+            };
+            for ni in lo..hi {
+                im2col(
+                    &x[ni * c_in * h * w..(ni + 1) * c_in * h * w],
+                    c_in,
+                    h,
+                    w,
+                    kh,
+                    kw,
+                    spec.stride,
+                    oh,
+                    ow,
+                    cols,
+                );
+                gemm(
+                    pool,
+                    false,
+                    &g[ni * c_out * ohow..(ni + 1) * c_out * ohow],
+                    true,
+                    cols,
+                    c_out,
+                    ohow,
+                    ckk,
+                    partial,
+                    ni > lo,
+                );
+            }
+        });
     });
     // Ordered reduction over the chunks (fixed summation order).
     let mut grad_w = vec![0.0f32; c_out * ckk];
@@ -324,24 +347,30 @@ pub fn conv_transpose2d(
     let wt = weight.data();
     let out_ptr = SendPtr(out.as_mut_ptr());
     pool.run(n, &|ni| {
-        let mut cols = vec![0.0f32; ckk * hw];
-        gemm(
-            pool,
-            true,
-            wt,
-            false,
-            &x[ni * c_in * hw..(ni + 1) * c_in * hw],
-            ckk,
-            c_in,
-            hw,
-            &mut cols,
-            false,
-        );
-        // SAFETY: each task scatters only into its own sample's slice.
-        let out_slice = unsafe {
-            std::slice::from_raw_parts_mut(out_ptr.get().add(ni * c_out * oh * ow), c_out * oh * ow)
-        };
-        col2im(&cols, c_out, oh, ow, kh, kw, stride, h, w, out_slice);
+        with_pack_buffer(&COLS_BUF, |buf| {
+            ensure_len(buf, ckk * hw);
+            let cols = &mut buf[..ckk * hw];
+            gemm(
+                pool,
+                true,
+                wt,
+                false,
+                &x[ni * c_in * hw..(ni + 1) * c_in * hw],
+                ckk,
+                c_in,
+                hw,
+                cols,
+                false,
+            );
+            // SAFETY: each task scatters only into its own sample's slice.
+            let out_slice = unsafe {
+                std::slice::from_raw_parts_mut(
+                    out_ptr.get().add(ni * c_out * oh * ow),
+                    c_out * oh * ow,
+                )
+            };
+            col2im(cols, c_out, oh, ow, kh, kw, stride, h, w, out_slice);
+        });
     });
     Tensor::from_vec(out, &[n, c_out, oh, ow])
 }

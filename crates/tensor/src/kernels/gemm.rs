@@ -20,8 +20,42 @@
 //! once per term instead of twice — which is why the property tests compare
 //! against the oracle with a tolerance.)
 
+use std::cell::RefCell;
+use std::thread::LocalKey;
+
 use super::SendPtr;
 use crate::pool::ThreadPool;
+
+thread_local! {
+    /// Reusable packing buffer for the shared B panel of a `KC × NC` block.
+    /// Packing into a per-thread buffer removes the `Vec` allocation the hot
+    /// loop previously paid once per depth block.
+    static PACK_B_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Reusable packing buffer for the per-task A row panels.
+    static PACK_A_BUF: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` on the thread's reusable packing buffer. Falls back to a fresh
+/// allocation if the buffer is already borrowed further up the call stack
+/// (re-entrant kernels), so reuse is purely an optimisation, never a
+/// correctness concern. Users overwrite every element they expose, so stale
+/// contents from a previous call are harmless.
+pub(super) fn with_pack_buffer<R>(
+    key: &'static LocalKey<RefCell<Vec<f32>>>,
+    f: impl FnOnce(&mut Vec<f32>) -> R,
+) -> R {
+    key.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut buf) => f(&mut buf),
+        Err(_) => f(&mut Vec::new()),
+    })
+}
+
+/// Grows `buf` to at least `len` elements without touching the prefix.
+pub(super) fn ensure_len(buf: &mut Vec<f32>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+}
 
 /// Micro-kernel rows (distinct A values held in registers).
 const MR: usize = 4;
@@ -84,18 +118,22 @@ pub fn gemm(
         let nc = NC.min(n - jc);
         for pc in (0..k).step_by(KC) {
             let kc = KC.min(k - pc);
-            let bp = pack_b(trans_b, b, k, n, pc, kc, jc, nc);
-            let tasks = m.div_ceil(MC);
-            let out_ptr = SendPtr(out.as_mut_ptr());
-            pool.run(tasks, &|t| {
-                let ic = t * MC;
-                let mc = MC.min(m - ic);
-                let ap = pack_a(trans_a, a, m, k, ic, mc, pc, kc);
-                // SAFETY: this task writes only rows `ic..ic + mc`, disjoint
-                // from every other task's range.
-                unsafe {
-                    multiply_block(&ap, &bp, mc, kc, nc, out_ptr.get(), ic, jc, n);
-                }
+            with_pack_buffer(&PACK_B_BUF, |bp_buf| {
+                let bp = pack_b(bp_buf, trans_b, b, k, n, pc, kc, jc, nc);
+                let tasks = m.div_ceil(MC);
+                let out_ptr = SendPtr(out.as_mut_ptr());
+                pool.run(tasks, &|t| {
+                    let ic = t * MC;
+                    let mc = MC.min(m - ic);
+                    with_pack_buffer(&PACK_A_BUF, |ap_buf| {
+                        let ap = pack_a(ap_buf, trans_a, a, m, k, ic, mc, pc, kc);
+                        // SAFETY: this task writes only rows `ic..ic + mc`,
+                        // disjoint from every other task's range.
+                        unsafe {
+                            multiply_block(ap, bp, mc, kc, nc, out_ptr.get(), ic, jc, n);
+                        }
+                    });
+                });
             });
         }
     }
@@ -143,9 +181,11 @@ fn small_gemm(
 
 /// Packs `op(B)[pc..pc+kc, jc..jc+nc]` into `NR`-wide column panels, each
 /// panel laid out `p`-major so the micro-kernel reads it contiguously.
-/// Ragged edges are zero-padded.
+/// Ragged edges are zero-padded explicitly (the reused buffer may hold stale
+/// values from a previous call).
 #[allow(clippy::too_many_arguments)]
-fn pack_b(
+fn pack_b<'a>(
+    buf: &'a mut Vec<f32>,
     trans_b: bool,
     b: &[f32],
     k: usize,
@@ -154,32 +194,37 @@ fn pack_b(
     kc: usize,
     jc: usize,
     nc: usize,
-) -> Vec<f32> {
+) -> &'a [f32] {
     let panels = nc.div_ceil(NR);
-    let mut bp = vec![0.0f32; panels * kc * NR];
+    let len = panels * kc * NR;
+    ensure_len(buf, len);
+    let bp = &mut buf[..len];
     for panel in 0..panels {
         let j0 = panel * NR;
         let width = NR.min(nc - j0);
         let base = panel * kc * NR;
         for p in 0..kc {
-            let dst = &mut bp[base + p * NR..base + p * NR + width];
+            let row = &mut bp[base + p * NR..base + (p + 1) * NR];
             if !trans_b {
                 let src = &b[(pc + p) * n + jc + j0..(pc + p) * n + jc + j0 + width];
-                dst.copy_from_slice(src);
+                row[..width].copy_from_slice(src);
             } else {
-                for (c, d) in dst.iter_mut().enumerate() {
+                for (c, d) in row[..width].iter_mut().enumerate() {
                     *d = b[(jc + j0 + c) * k + pc + p];
                 }
             }
+            row[width..].fill(0.0);
         }
     }
     bp
 }
 
 /// Packs `op(A)[ic..ic+mc, pc..pc+kc]` into `MR`-tall row panels, `p`-major.
-/// Ragged edges are zero-padded.
+/// Ragged edges are zero-padded explicitly (the reused buffer may hold stale
+/// values from a previous call).
 #[allow(clippy::too_many_arguments)]
-fn pack_a(
+fn pack_a<'a>(
+    buf: &'a mut Vec<f32>,
     trans_a: bool,
     a: &[f32],
     m: usize,
@@ -188,17 +233,21 @@ fn pack_a(
     mc: usize,
     pc: usize,
     kc: usize,
-) -> Vec<f32> {
+) -> &'a [f32] {
     let panels = mc.div_ceil(MR);
-    let mut ap = vec![0.0f32; panels * kc * MR];
+    let len = panels * kc * MR;
+    ensure_len(buf, len);
+    let ap = &mut buf[..len];
     for panel in 0..panels {
         let i0 = panel * MR;
         let height = MR.min(mc - i0);
         let base = panel * kc * MR;
         for p in 0..kc {
-            for r in 0..height {
-                ap[base + p * MR + r] = a_at(trans_a, a, m, k, ic + i0 + r, pc + p);
+            let tile = &mut ap[base + p * MR..base + (p + 1) * MR];
+            for (r, t) in tile[..height].iter_mut().enumerate() {
+                *t = a_at(trans_a, a, m, k, ic + i0 + r, pc + p);
             }
+            tile[height..].fill(0.0);
         }
     }
     ap

@@ -31,6 +31,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     // --- Federated training rounds (honest clients) -----------------------
+    // The runtime is message-driven: every exchange crosses the serialised
+    // transport as checksummed bytes, and each client's shielded parameter
+    // segment (the ViT embedding prefix) travels sealed through the attested
+    // enclave channel.
     let config = FederationConfig {
         clients: 4,
         rounds: 2,
@@ -41,16 +45,26 @@ fn main() -> Result<(), Box<dyn Error>> {
             momentum: 0.9,
         },
         eval_samples: 48,
+        transport: pelta_fl::TransportKind::Serialized,
+        shield_updates: true,
+        ..FederationConfig::default()
     };
     let mut federation = Federation::vit_federation(&dataset, &config, Partition::Iid, &mut seeds)?;
     let history = federation.run(&mut seeds)?;
     for record in &history.rounds {
         println!(
-            "round {}: mean client loss {:.3}, global accuracy {:.1}%, upload {} bytes",
+            "round {}: mean client loss {:.3}, global accuracy {:.1}%, upload {} bytes ({} sealed)",
             record.round,
             record.mean_client_loss,
             record.global_accuracy * 100.0,
-            record.upload_bytes
+            record.upload_bytes,
+            record.shielded_bytes,
+        );
+    }
+    if let Some(ledger) = federation.server_shield_ledger() {
+        println!(
+            "shielded-update channel: {} bytes across the enclave boundary, {} sealed, {} attestation(s)",
+            ledger.channel_bytes, ledger.sealed_bytes, ledger.attestations
         );
     }
 

@@ -15,6 +15,10 @@ mod quickstart;
 #[allow(dead_code)]
 mod shielded_inference;
 
+#[path = "../examples/federated_dropout.rs"]
+#[allow(dead_code)]
+mod federated_dropout;
+
 #[test]
 fn quickstart_example_runs() {
     quickstart::run().expect("quickstart example should run to completion");
@@ -23,4 +27,9 @@ fn quickstart_example_runs() {
 #[test]
 fn shielded_inference_example_runs() {
     shielded_inference::run().expect("shielded_inference example should run to completion");
+}
+
+#[test]
+fn federated_dropout_example_runs() {
+    federated_dropout::run().expect("federated_dropout example should run to completion");
 }

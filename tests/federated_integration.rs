@@ -4,14 +4,15 @@
 use std::sync::Arc;
 
 use pelta_attacks::select_correctly_classified;
-use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
+use pelta_data::{federated_split, Dataset, DatasetSpec, GeneratorConfig, Partition};
 use pelta_fl::{
-    export_parameters, import_parameters, AttackKind, CompromisedClient, FedAvgServer, Federation,
-    FederationConfig, ModelUpdate,
+    export_parameters, import_parameters, AttackKind, ClientSchedule, CompromisedClient,
+    FedAvgServer, Federation, FederationConfig, FlClient, ModelUpdate, ParticipationPolicy,
+    TransportKind,
 };
 use pelta_models::{ImageModel, TrainingConfig, ViTConfig, VisionTransformer};
 use pelta_nn::Module;
-use pelta_tensor::SeedStream;
+use pelta_tensor::{pool, SeedStream, Tensor};
 
 fn dataset(seed: u64, samples: usize) -> Dataset {
     Dataset::generate(
@@ -41,6 +42,7 @@ fn federated_rounds_produce_a_usable_global_model() {
             momentum: 0.9,
         },
         eval_samples: 30,
+        ..FederationConfig::default()
     };
     let mut federation =
         Federation::vit_federation(&data, &config, Partition::Iid, &mut seeds).unwrap();
@@ -112,6 +114,7 @@ fn compromised_client_against_global_model_with_and_without_pelta() {
             momentum: 0.9,
         },
         eval_samples: 30,
+        ..FederationConfig::default()
     };
     let mut federation =
         Federation::vit_federation(&data, &config, Partition::Iid, &mut seeds).unwrap();
@@ -154,4 +157,177 @@ fn compromised_client_against_global_model_with_and_without_pelta() {
         shielded_robust >= clear_robust,
         "Pelta deployment must not be easier to attack: clear {clear_robust} vs shielded {shielded_robust}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: transport and thread-count bit-identity, dropout determinism
+// ---------------------------------------------------------------------------
+
+fn equivalence_config(transport: TransportKind) -> FederationConfig {
+    FederationConfig {
+        clients: 2,
+        rounds: 2,
+        local_training: TrainingConfig {
+            epochs: 1,
+            batch_size: 10,
+            learning_rate: 0.02,
+            momentum: 0.9,
+        },
+        eval_samples: 10,
+        transport,
+        ..FederationConfig::default()
+    }
+}
+
+fn global_bits(parameters: &[(String, Tensor)]) -> Vec<(String, Vec<u32>)> {
+    parameters
+        .iter()
+        .map(|(name, tensor)| {
+            (
+                name.clone(),
+                tensor.data().iter().map(|v| v.to_bits()).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Runs the message-driven federation and exports the final global model as
+/// exact bit patterns.
+fn run_federation(seed: u64, transport: TransportKind) -> Vec<(String, Vec<u32>)> {
+    let data = dataset(seed, 40);
+    let mut seeds = SeedStream::new(seed);
+    let config = equivalence_config(transport);
+    let mut federation =
+        Federation::vit_federation(&data, &config, Partition::Iid, &mut seeds).unwrap();
+    federation.run(&mut seeds).unwrap();
+    global_bits(federation.server().parameters())
+}
+
+/// The pre-refactor federation loop, reconstructed verbatim: direct function
+/// calls, no transports, no messages — broadcast, per-client local training
+/// in client order, sample-weighted aggregation. Seed derivations mirror
+/// `Federation::with_factory` exactly, so it trains the same replicas on the
+/// same shards.
+fn run_pre_refactor_loop(seed: u64) -> Vec<(String, Vec<u32>)> {
+    let data = dataset(seed, 40);
+    let mut seeds = SeedStream::new(seed);
+    let config = equivalence_config(TransportKind::InMemory);
+    let spec = data.spec();
+    let factory = |rng: &mut rand_chacha::ChaCha8Rng| {
+        VisionTransformer::new(
+            ViTConfig::vit_b16_scaled(spec.image_size(), spec.channels(), spec.num_classes()),
+            rng,
+        )
+        .unwrap()
+    };
+    let shards = federated_split(
+        &data,
+        config.clients,
+        Partition::Iid,
+        &mut seeds.derive("partition"),
+    );
+    let eval_model = factory(&mut seeds.derive_indexed("model", u64::MAX));
+    let mut server = FedAvgServer::new(export_parameters(&eval_model));
+    let mut clients: Vec<FlClient> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(id, shard)| {
+            let model = factory(&mut seeds.derive_indexed("model", id as u64));
+            FlClient::new(id, shard, Box::new(model), config.local_training.clone())
+        })
+        .collect();
+    for _ in 0..config.rounds {
+        let broadcast = server.broadcast();
+        let mut updates = Vec::new();
+        for client in &mut clients {
+            let (update, _) = client.local_round(&broadcast).unwrap();
+            updates.push(update);
+        }
+        server.aggregate(&updates).unwrap();
+    }
+    global_bits(server.parameters())
+}
+
+/// The headline acceptance property of the message-driven runtime: for the
+/// default participation policy, a federation over the serialised-bytes
+/// transport produces a **bit-identical** global model to the in-memory
+/// transport AND to the pre-refactor direct-call loop, at `PELTA_THREADS=1`
+/// and at multiple threads.
+#[test]
+fn transports_and_thread_counts_are_bit_identical_to_the_pre_refactor_loop() {
+    let seed = 810;
+    let mut reference: Option<Vec<(String, Vec<u32>)>> = None;
+    for threads in [1usize, 4] {
+        pool::set_global_threads(threads);
+        let in_memory = run_federation(seed, TransportKind::InMemory);
+        let serialized = run_federation(seed, TransportKind::Serialized);
+        let direct = run_pre_refactor_loop(seed);
+        assert_eq!(
+            in_memory, serialized,
+            "in-memory vs serialized transport diverged at {threads} thread(s)"
+        );
+        assert_eq!(
+            in_memory, direct,
+            "runtime vs pre-refactor loop diverged at {threads} thread(s)"
+        );
+        match &reference {
+            None => reference = Some(in_memory),
+            Some(reference) => assert_eq!(
+                reference, &in_memory,
+                "global model bits changed with the thread count"
+            ),
+        }
+    }
+    pool::set_global_threads(pool::env_threads());
+}
+
+/// Acceptance: quorum 3-of-4 with one client leaving mid-round — the round
+/// completes, the FedAvg weight renormalises over the three reporters, and
+/// the whole run is deterministic across repeats.
+#[test]
+fn dropout_round_completes_at_quorum_and_is_deterministic() {
+    let run = || {
+        let data = dataset(811, 60);
+        let mut seeds = SeedStream::new(811);
+        let config = FederationConfig {
+            clients: 4,
+            rounds: 1,
+            local_training: TrainingConfig {
+                epochs: 1,
+                batch_size: 10,
+                learning_rate: 0.02,
+                momentum: 0.9,
+            },
+            eval_samples: 10,
+            transport: TransportKind::Serialized,
+            policy: ParticipationPolicy {
+                quorum: 3,
+                sample: 0,
+                straggler_deadline: 0,
+            },
+            schedules: vec![ClientSchedule {
+                client_id: 2,
+                drop_at_round: Some(0),
+                rejoin_at_round: None,
+                latency: 0,
+            }],
+            ..FederationConfig::default()
+        };
+        let mut federation =
+            Federation::vit_federation(&data, &config, Partition::Iid, &mut seeds).unwrap();
+        let history = federation.run(&mut seeds).unwrap();
+        (history, global_bits(federation.server().parameters()))
+    };
+    let (history, bits) = run();
+    let summary = &history.rounds[0].summary;
+    assert_eq!(summary.participants, vec![0, 1, 2, 3]);
+    assert_eq!(summary.reporters, vec![0, 1, 3], "dropout must be excluded");
+    assert_eq!(summary.dropouts, vec![2]);
+    // Renormalisation: the total weight is the three reporters' sample
+    // counts, not all four clients'.
+    assert_eq!(summary.total_weight, 45);
+    // Deterministic across repeats, bits included.
+    let (replay_history, replay_bits) = run();
+    assert_eq!(history, replay_history);
+    assert_eq!(bits, replay_bits);
 }
