@@ -4,10 +4,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pelta_core::{AttackLoss, ClearWhiteBox, GradientOracle, ShieldedWhiteBox};
-use pelta_fl::{FedAvgServer, ModelUpdate};
+use pelta_fl::{FedAvgServer, Message, ModelUpdate};
 use pelta_models::{ViTConfig, VisionTransformer};
 use pelta_tee::{Enclave, EnclaveConfig};
 use pelta_tensor::{SeedStream, Tensor};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
 
 fn bench_overhead(c: &mut Criterion) {
@@ -51,22 +53,26 @@ fn bench_overhead(c: &mut Criterion) {
     group.bench_function("fedavg_aggregate_two_clients", |b| {
         let params = vec![("w".to_string(), Tensor::zeros(&[64, 64]))];
         b.iter(|| {
+            // One protocol round through the state machine — the only
+            // aggregation path since the robust rules moved in-protocol.
             let mut server = FedAvgServer::new(params.clone());
-            let updates = vec![
-                ModelUpdate {
-                    client_id: 0,
-                    round: 0,
-                    num_samples: 8,
-                    parameters: params.clone(),
-                },
-                ModelUpdate {
-                    client_id: 1,
-                    round: 0,
-                    num_samples: 8,
-                    parameters: params.clone(),
-                },
-            ];
-            server.aggregate(&updates).unwrap();
+            for client_id in 0..2 {
+                server.deliver(&Message::Join { client_id });
+            }
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            server.begin_round(&mut rng).unwrap();
+            for client_id in 0..2 {
+                server.deliver(&Message::Update {
+                    update: ModelUpdate {
+                        client_id,
+                        round: 0,
+                        num_samples: 8,
+                        parameters: params.clone(),
+                    },
+                    shielded: Vec::new(),
+                });
+            }
+            server.close_round().unwrap();
             criterion::black_box(server.round())
         })
     });

@@ -12,15 +12,26 @@
 //!
 //! A second probe measures the **federation message path** (protocol
 //! round-trips through the round state machine, serialised vs in-memory
-//! transport, no local training) and lands in `BENCH_federation.json`.
+//! transport, no local training) and lands in `BENCH_federation.json`,
+//! together with an **adversarial-round probe**: a mixed honest/malicious
+//! population (boosted outlier updates + junk-frame spam) aggregated under
+//! the trimmed mean, replayed twice to assert the adversarial path is
+//! bit-deterministic.
 //!
-//! Usage: `perf [--quick] [--out <path>]`. `--quick` runs fewer iterations
-//! (the CI snapshot); the JSON lands in `BENCH_kernels.json` by default and
-//! is also printed to stdout.
+//! Usage: `perf [--quick] [--out <path>] [--check [--tolerance <frac>]]`.
+//! `--quick` runs fewer iterations (the CI snapshot). `--check` (implies
+//! `--quick`) reads the committed `BENCH_kernels.json` /
+//! `BENCH_federation.json` as baselines *before* refreshing them, then fails
+//! (non-zero exit) if any throughput metric regressed by more than
+//! `--tolerance` (default 0.5, i.e. 50%) or any determinism probe is
+//! non-zero — the CI perf-regression gate.
 
 use std::time::Instant;
 
-use pelta_fl::{export_parameters, FedAvgServer, Message, ModelUpdate, TransportKind};
+use pelta_fl::{
+    export_parameters, AggregationRule, FedAvgServer, Message, ModelUpdate, ParticipationPolicy,
+    TransportKind,
+};
 use pelta_models::{predict_logits, train_step, ViTConfig, VisionTransformer};
 use pelta_nn::Sgd;
 use pelta_tensor::kernels::reference;
@@ -226,6 +237,151 @@ fn federation_round_trip(
     (messages, bytes)
 }
 
+struct AdversarialRow {
+    clients: usize,
+    adversaries: usize,
+    spam_frames: usize,
+    messages: usize,
+    msgs_per_s: f64,
+    determinism_param_diffs: usize,
+}
+
+/// One adversarial round over the serialised transport: `clients - 1` honest
+/// seats echo the broadcast, the last seat spams junk frames and ships a
+/// boosted outlier update, and the server aggregates under the trimmed mean
+/// — the message path plus the robust-rule cost the scheduler refactor moved
+/// in-protocol. Returns the message count and the final parameter bits.
+fn adversarial_round_trip(
+    parameters: &[(String, Tensor)],
+    clients: usize,
+    rounds: usize,
+    spam: usize,
+) -> (usize, Vec<u32>) {
+    let mut server = FedAvgServer::with_rule(
+        parameters.to_vec(),
+        ParticipationPolicy {
+            quorum: clients,
+            sample: 0,
+            straggler_deadline: 0,
+        },
+        AggregationRule::TrimmedMean { trim: 1 },
+    )
+    .expect("valid adversarial policy");
+    let links: Vec<_> = (0..clients)
+        .map(|_| TransportKind::Serialized.duplex())
+        .collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    for (id, (client_end, server_end)) in links.iter().enumerate() {
+        client_end
+            .send(&Message::Join { client_id: id })
+            .expect("join");
+        let join = server_end.recv().expect("recv").expect("queued join");
+        server.deliver(&join);
+    }
+    for _ in 0..rounds {
+        let participants = server.begin_round(&mut rng).expect("begin round");
+        let broadcast = server.broadcast();
+        for &id in &participants {
+            links[id]
+                .1
+                .send(&Message::RoundStart {
+                    round: broadcast.round,
+                    global: broadcast.clone(),
+                })
+                .expect("broadcast");
+            // Drain stale Nacks (the replies to earlier junk frames) until
+            // the broadcast arrives.
+            let global = loop {
+                match links[id].0.recv().expect("client recv") {
+                    Some(Message::RoundStart { global, .. }) => break global,
+                    Some(_) => continue,
+                    None => panic!("client expected RoundStart"),
+                }
+            };
+            let malicious = id == clients - 1;
+            if malicious {
+                // Junk frames the server Nacks — each one still burns a
+                // delivered-message unit of the straggler budget.
+                for _ in 0..spam {
+                    links[id]
+                        .0
+                        .send(&Message::RoundEnd {
+                            round: global.round,
+                        })
+                        .expect("spam");
+                }
+            }
+            let parameters: Vec<(String, Tensor)> = if malicious {
+                // A boosted outlier: every coordinate doubled.
+                global
+                    .parameters
+                    .iter()
+                    .map(|(n, t)| (n.clone(), t.axpy(1.0, t).expect("boost")))
+                    .collect()
+            } else {
+                global.parameters
+            };
+            links[id]
+                .0
+                .send(&Message::Update {
+                    update: ModelUpdate {
+                        client_id: id,
+                        round: broadcast.round,
+                        num_samples: if malicious { 512 } else { 16 },
+                        parameters,
+                    },
+                    shielded: Vec::new(),
+                })
+                .expect("update");
+        }
+        for &id in &participants {
+            while let Some(message) = links[id].1.recv().expect("server recv") {
+                for response in server.deliver(&message) {
+                    links[id].1.send(&response).expect("nack route");
+                }
+            }
+        }
+        server.close_round().expect("close round");
+    }
+    let messages: usize = links
+        .iter()
+        .map(|(c, s)| c.messages_sent() + s.messages_sent())
+        .sum();
+    let bits = server
+        .parameters()
+        .iter()
+        .flat_map(|(_, t)| t.data().iter().map(|v| v.to_bits()))
+        .collect();
+    (messages, bits)
+}
+
+fn bench_adversarial(iters: usize) -> AdversarialRow {
+    const CLIENTS: usize = 5;
+    const ROUNDS: usize = 3;
+    const SPAM: usize = 2;
+    let parameters = export_parameters(&scaled_vit(13));
+
+    let (messages, reference_bits) = adversarial_round_trip(&parameters, CLIENTS, ROUNDS, SPAM);
+    let (_, replay_bits) = adversarial_round_trip(&parameters, CLIENTS, ROUNDS, SPAM);
+    let determinism_param_diffs = reference_bits
+        .iter()
+        .zip(replay_bits.iter())
+        .filter(|(a, b)| a != b)
+        .count()
+        + reference_bits.len().abs_diff(replay_bits.len());
+    let elapsed = time_best(iters, || {
+        std::hint::black_box(adversarial_round_trip(&parameters, CLIENTS, ROUNDS, SPAM));
+    });
+    AdversarialRow {
+        clients: CLIENTS,
+        adversaries: 1,
+        spam_frames: SPAM * ROUNDS,
+        messages,
+        msgs_per_s: messages as f64 / elapsed,
+        determinism_param_diffs,
+    }
+}
+
 fn bench_federation(iters: usize) -> FederationRow {
     const CLIENTS: usize = 4;
     const ROUNDS: usize = 3;
@@ -262,9 +418,76 @@ fn bench_federation(iters: usize) -> FederationRow {
     }
 }
 
+/// Extracts the first `"key": <number>` value from a JSON document — enough
+/// structure awareness for the flat snapshot schemas this binary emits.
+fn json_metric(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = doc.find(&needle)? + needle.len();
+    let rest = doc[start..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compares a fresh snapshot against its committed baseline: a
+/// higher-is-better metric may not fall below `baseline * (1 - tolerance)`,
+/// a lower-is-better metric may not rise above `baseline / (1 - tolerance)`.
+/// Returns the regression descriptions (empty = gate passes). Metrics
+/// missing from the baseline are skipped — a freshly introduced probe has no
+/// history to regress against.
+fn check_snapshot(
+    label: &str,
+    baseline: &str,
+    fresh: &str,
+    higher_better: &[&str],
+    lower_better: &[&str],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut regressions = Vec::new();
+    let mut compare = |key: &str, higher: bool| {
+        let Some(base) = json_metric(baseline, key) else {
+            eprintln!("perf-check: {label}.{key} has no baseline yet, skipping");
+            return;
+        };
+        let Some(new) = json_metric(fresh, key) else {
+            regressions.push(format!("{label}.{key}: missing from fresh snapshot"));
+            return;
+        };
+        let ok = if higher {
+            new >= base * (1.0 - tolerance)
+        } else {
+            new <= base / (1.0 - tolerance)
+        };
+        let verdict = if ok { "ok" } else { "REGRESSION" };
+        eprintln!("perf-check: {label}.{key}: baseline {base:.3} -> fresh {new:.3} [{verdict}]");
+        if !ok {
+            regressions.push(format!(
+                "{label}.{key} regressed beyond tolerance {tolerance}: {base:.3} -> {new:.3}"
+            ));
+        }
+    };
+    for key in higher_better {
+        compare(key, true);
+    }
+    for key in lower_better {
+        compare(key, false);
+    }
+    regressions
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let quick = check || args.iter().any(|a| a == "--quick");
+    let tolerance = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.5);
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -274,6 +497,20 @@ fn main() {
         .to_string();
     let iters = if quick { 2 } else { 5 };
     let threads = pool::env_threads();
+
+    let federation_path = if out_path == "BENCH_kernels.json" {
+        "BENCH_federation.json".to_string()
+    } else {
+        format!("{out_path}.federation.json")
+    };
+    // In check mode the committed snapshots are the baselines; read them
+    // before the fresh run overwrites the files.
+    let baseline_kernels = check
+        .then(|| std::fs::read_to_string(&out_path).ok())
+        .flatten();
+    let baseline_federation = check
+        .then(|| std::fs::read_to_string(&federation_path).ok())
+        .flatten();
 
     eprintln!("kernel perf snapshot: {iters} iters, {threads} threads (PELTA_THREADS)");
     let matmul = bench_matmul(iters, threads);
@@ -308,13 +545,19 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");
     eprintln!("wrote {out_path}");
 
-    // Federation message-path throughput → BENCH_federation.json (a sibling
-    // of the kernel snapshot, printed per PR by CI).
+    // Federation message-path throughput (honest + adversarial rounds) →
+    // BENCH_federation.json (a sibling of the kernel snapshot, printed per
+    // PR by CI).
     let federation = bench_federation(iters);
+    let adversarial = bench_adversarial(iters);
     let federation_json = format!(
         "{{\n  \"clients\": {},\n  \"rounds\": {},\n  \"protocol_messages\": {},\n  \
          \"wire_bytes\": {},\n  \"in_memory_msgs_per_s\": {:.1},\n  \
-         \"serialized_msgs_per_s\": {:.1},\n  \"serialized_wire_mb_per_s\": {:.2}\n}}\n",
+         \"serialized_msgs_per_s\": {:.1},\n  \"serialized_wire_mb_per_s\": {:.2},\n  \
+         \"adversarial_round\": {{\n    \"clients\": {},\n    \"adversaries\": {},\n    \
+         \"rule\": \"trimmed_mean\",\n    \"spam_frames\": {},\n    \
+         \"protocol_messages\": {},\n    \"adversarial_msgs_per_s\": {:.1},\n    \
+         \"determinism_param_diffs\": {}\n  }}\n}}\n",
         federation.clients,
         federation.rounds,
         federation.messages,
@@ -322,13 +565,14 @@ fn main() {
         federation.in_memory_msgs_per_s,
         federation.serialized_msgs_per_s,
         federation.serialized_mb_per_s,
+        adversarial.clients,
+        adversarial.adversaries,
+        adversarial.spam_frames,
+        adversarial.messages,
+        adversarial.msgs_per_s,
+        adversarial.determinism_param_diffs,
     );
     print!("{federation_json}");
-    let federation_path = if out_path == "BENCH_kernels.json" {
-        "BENCH_federation.json".to_string()
-    } else {
-        format!("{out_path}.federation.json")
-    };
     std::fs::write(&federation_path, &federation_json).expect("write BENCH_federation.json");
     eprintln!("wrote {federation_path}");
 
@@ -336,4 +580,51 @@ fn main() {
         max_diff, 0.0,
         "determinism contract violated: 1-thread and {threads}-thread logits differ"
     );
+    assert_eq!(
+        adversarial.determinism_param_diffs, 0,
+        "determinism contract violated: adversarial federation replay diverged"
+    );
+
+    // The CI perf-regression gate: diff the fresh snapshots against the
+    // committed baselines read before this run.
+    if check {
+        let mut regressions = Vec::new();
+        match &baseline_kernels {
+            Some(baseline) => regressions.extend(check_snapshot(
+                "kernels",
+                baseline,
+                &json,
+                &["kernel_gflops_1t", "kernel_gflops_nt"],
+                &["kernel_ms_1t", "kernel_ms_nt"],
+                tolerance,
+            )),
+            None => eprintln!("perf-check: no committed {out_path} baseline, skipping kernels"),
+        }
+        match &baseline_federation {
+            Some(baseline) => regressions.extend(check_snapshot(
+                "federation",
+                baseline,
+                &federation_json,
+                &[
+                    "in_memory_msgs_per_s",
+                    "serialized_msgs_per_s",
+                    "serialized_wire_mb_per_s",
+                    "adversarial_msgs_per_s",
+                ],
+                &[],
+                tolerance,
+            )),
+            None => eprintln!(
+                "perf-check: no committed {federation_path} baseline, skipping federation"
+            ),
+        }
+        if !regressions.is_empty() {
+            eprintln!("perf-check FAILED:");
+            for regression in &regressions {
+                eprintln!("  {regression}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("perf-check passed (tolerance {tolerance})");
+    }
 }

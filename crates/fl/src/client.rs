@@ -1,13 +1,16 @@
-//! Honest federated clients: the local-training core ([`FlClient`]), the
-//! parameter import/export helpers shared with the server and the
-//! compromised client, and the message-driven [`ClientAgent`] that speaks
-//! the wire protocol over a [`Transport`].
+//! Federated clients: the [`FederationAgent`] abstraction every scheduler
+//! participant (honest or malicious) implements, the honest local-training
+//! core ([`FlClient`]), the parameter import/export helpers shared with the
+//! server and the adversaries, and the message-driven [`ClientAgent`] that
+//! speaks the wire protocol over a [`Transport`].
 
 use pelta_data::ClientShard;
 use pelta_models::{train_classifier, ImageModel, ParameterSegment, TrainingConfig};
 use pelta_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
+use crate::malicious::EvasionReport;
+use crate::poisoning::PoisonReport;
 use crate::{FlError, GlobalModel, Message, ModelUpdate, Result, ShieldedUpdateChannel, Transport};
 
 /// Exports a model's parameters as `(name, tensor)` pairs in canonical
@@ -174,19 +177,91 @@ impl FlClient {
     }
 }
 
-/// What one [`ClientAgent::step`] actually did.
+/// What an adversarial agent did in a step (honest agents report nothing
+/// here). Surfaced so scenario harnesses can attribute attacks to rounds
+/// without reaching into agent internals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdversarialAction {
+    /// A backdoor client shipped a poisoned (possibly boosted) update.
+    Poisoned(PoisonReport),
+    /// A compromised client probed its replica of the broadcast model with
+    /// an evasion attack (and still reported an honest-looking update).
+    Probed(EvasionReport),
+    /// A free rider echoed the broadcast back as its "update" after sending
+    /// this many junk messages to burn the straggler-deadline budget.
+    FreeRode {
+        /// Junk messages sent before the echoed update.
+        spam_messages: usize,
+    },
+}
+
+/// What one agent step actually did.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StepOutcome {
-    /// The local training report, when the step trained and sent an update.
+    /// The local training report, when the step trained honestly and sent an
+    /// update.
     pub trained: Option<LocalTrainingReport>,
     /// Whether the step answered a broadcast with a mid-round Leave.
     pub left: bool,
+    /// The adversarial action taken this step, for malicious agents.
+    pub adversarial: Option<AdversarialAction>,
 }
 
-/// A message-driven federated client: an [`FlClient`] bound to one end of a
+impl StepOutcome {
+    /// An outcome that did nothing (empty inbox).
+    pub fn idle() -> Self {
+        StepOutcome {
+            trained: None,
+            left: false,
+            adversarial: None,
+        }
+    }
+}
+
+/// One seat in the federation's deterministic scheduler: an agent bound to
+/// one end of a duplex [`Transport`] link, speaking [`Message`]s.
+///
+/// The honest [`ClientAgent`] and the adversaries
+/// ([`crate::BackdoorAgent`], [`crate::FreeRiderAgent`],
+/// [`crate::ProbingAgent`]) all implement this trait, so
+/// [`crate::Federation`] drives mixed honest/malicious populations through
+/// the same delivery sweeps — the server can only tell them apart by what
+/// their updates *contain*, never by message shape or scheduling.
+pub trait FederationAgent: Send {
+    /// The client id this agent occupies in the federation.
+    fn id(&self) -> usize;
+
+    /// Announces the agent to the server (initial connection or rejoin).
+    ///
+    /// # Errors
+    /// Returns an error if the transport rejects the message.
+    fn join(&self) -> Result<()>;
+
+    /// Drains the inbox and reacts to each message. With `drop_this_round`
+    /// set, a received [`Message::RoundStart`] is answered by a mid-round
+    /// [`Message::Leave`] instead of an update — the dropout scenario of the
+    /// participation policy, which applies to adversaries exactly as it does
+    /// to honest clients.
+    ///
+    /// # Errors
+    /// Returns an error if local work fails or the transport rejects a
+    /// reply.
+    fn step(&mut self, drop_this_round: bool) -> Result<StepOutcome>;
+
+    /// Messages this agent has sent over its transport.
+    fn transport_messages(&self) -> usize;
+
+    /// Logical wire bytes this agent has sent over its transport.
+    fn transport_bytes(&self) -> usize;
+
+    /// Number of Nacks the server has sent this agent.
+    fn nacks_received(&self) -> usize;
+}
+
+/// The honest [`FederationAgent`]: an [`FlClient`] bound to one end of a
 /// [`Transport`] link, optionally with an attested shielded-update channel.
 ///
-/// The agent is passive between rounds; [`ClientAgent::step`] drains its
+/// The agent is passive between rounds; [`FederationAgent::step`] drains its
 /// inbox and reacts: a [`Message::RoundStart`] triggers local training and
 /// an update (or a mid-round [`Message::Leave`] when the scenario drops the
 /// client this round); [`Message::RoundEnd`] and [`Message::Nack`] are
@@ -216,11 +291,6 @@ impl ClientAgent {
         }
     }
 
-    /// The client's identifier.
-    pub fn id(&self) -> usize {
-        self.client.id()
-    }
-
     /// The wrapped training client.
     pub fn client(&self) -> &FlClient {
         &self.client
@@ -229,72 +299,6 @@ impl ClientAgent {
     /// The shielded-update channel, when the deployment runs one.
     pub fn shield(&self) -> Option<&ShieldedUpdateChannel> {
         self.shield.as_ref()
-    }
-
-    /// Number of Nacks the server has sent this agent.
-    pub fn nacks_received(&self) -> usize {
-        self.nacks_received
-    }
-
-    /// Messages this agent has sent over its transport.
-    pub fn transport_messages(&self) -> usize {
-        self.transport.messages_sent()
-    }
-
-    /// Logical wire bytes this agent has sent over its transport.
-    pub fn transport_bytes(&self) -> usize {
-        self.transport.bytes_sent()
-    }
-
-    /// Announces the client to the server (initial connection or rejoin).
-    ///
-    /// # Errors
-    /// Returns an error if the transport rejects the message.
-    pub fn join(&self) -> Result<()> {
-        self.transport.send(&Message::Join {
-            client_id: self.client.id(),
-        })
-    }
-
-    /// Drains the inbox and reacts to each message. With
-    /// `drop_this_round` set, a received [`Message::RoundStart`] is answered
-    /// by a mid-round [`Message::Leave`] instead of training — the dropout
-    /// scenario of the participation policy.
-    ///
-    /// Returns what the step actually did: the training report if it
-    /// trained, and whether it sent a Leave. A client that was not sampled
-    /// this round receives no broadcast and does neither — the runtime must
-    /// not assume a scheduled dropout happened unless `left` says so.
-    ///
-    /// # Errors
-    /// Returns an error if training fails or the transport rejects a reply.
-    pub fn step(&mut self, drop_this_round: bool) -> Result<StepOutcome> {
-        let mut outcome = StepOutcome {
-            trained: None,
-            left: false,
-        };
-        while let Some(message) = self.transport.recv()? {
-            match message {
-                Message::RoundStart { global, .. } => {
-                    if drop_this_round {
-                        self.transport.send(&Message::Leave {
-                            client_id: self.client.id(),
-                        })?;
-                        outcome.left = true;
-                        continue;
-                    }
-                    let (update, report) = self.client.local_round(&global)?;
-                    let message = self.assemble_update(update)?;
-                    self.transport.send(&message)?;
-                    outcome.trained = Some(report);
-                }
-                Message::Nack { .. } => self.nacks_received += 1,
-                // RoundEnd closes the round; Join/Leave/Update are
-                // client→server only and ignored if misrouted.
-                _ => {}
-            }
-        }
-        Ok(outcome)
     }
 
     /// Wraps a trained update into its wire message, sealing the shielded
@@ -323,6 +327,61 @@ impl ClientAgent {
             },
             shielded: blobs,
         })
+    }
+}
+
+impl FederationAgent for ClientAgent {
+    fn id(&self) -> usize {
+        self.client.id()
+    }
+
+    fn join(&self) -> Result<()> {
+        self.transport.send(&Message::Join {
+            client_id: self.client.id(),
+        })
+    }
+
+    /// A received [`Message::RoundStart`] triggers honest local training and
+    /// an update (sealed through the enclave channel when one is attached);
+    /// a client that was not sampled this round receives no broadcast and
+    /// does nothing — the runtime must not assume a scheduled dropout
+    /// happened unless `left` says so.
+    fn step(&mut self, drop_this_round: bool) -> Result<StepOutcome> {
+        let mut outcome = StepOutcome::idle();
+        while let Some(message) = self.transport.recv()? {
+            match message {
+                Message::RoundStart { global, .. } => {
+                    if drop_this_round {
+                        self.transport.send(&Message::Leave {
+                            client_id: self.client.id(),
+                        })?;
+                        outcome.left = true;
+                        continue;
+                    }
+                    let (update, report) = self.client.local_round(&global)?;
+                    let message = self.assemble_update(update)?;
+                    self.transport.send(&message)?;
+                    outcome.trained = Some(report);
+                }
+                Message::Nack { .. } => self.nacks_received += 1,
+                // RoundEnd closes the round; Join/Leave/Update are
+                // client→server only and ignored if misrouted.
+                _ => {}
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn transport_messages(&self) -> usize {
+        self.transport.messages_sent()
+    }
+
+    fn transport_bytes(&self) -> usize {
+        self.transport.bytes_sent()
+    }
+
+    fn nacks_received(&self) -> usize {
+        self.nacks_received
     }
 }
 

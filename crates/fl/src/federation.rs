@@ -2,8 +2,11 @@
 //! state machine, parallel local training, deterministic message delivery,
 //! and central evaluation.
 //!
-//! Each client is a [`ClientAgent`] bound to one end of a duplex
-//! [`Transport`] link; the server holds the other end. A round proceeds as
+//! Each client seat holds a [`FederationAgent`] — the honest [`ClientAgent`]
+//! or one of the adversaries ([`crate::BackdoorAgent`],
+//! [`crate::FreeRiderAgent`], [`crate::ProbingAgent`], assigned via
+//! [`ScenarioSpec`]) — bound to one end of a duplex [`Transport`] link; the
+//! server holds the other end. A round proceeds as
 //!
 //! 1. scheduled rejoins send [`Message::Join`]; all pending client→server
 //!    traffic is delivered;
@@ -15,9 +18,16 @@
 //!    link per sweep, a client's traffic lagging by its scheduled latency),
 //!    so the straggler deadline — counted in delivered messages — and the
 //!    aggregation order are reproducible at any `PELTA_THREADS`;
-//! 4. the server closes the round ([`FedAvgServer::close_round`]),
-//!    renormalising FedAvg weights over the clients that actually reported,
-//!    and the runtime broadcasts [`Message::RoundEnd`].
+//! 4. the server closes the round ([`FedAvgServer::close_round`]), applying
+//!    its [`AggregationRule`] to the updates that actually arrived (weights
+//!    renormalise over the reporters under the weighted rules), and the
+//!    runtime broadcasts [`Message::RoundEnd`].
+//!
+//! Adversaries are scheduled exactly like honest agents — same sweeps, same
+//! latency schedules, same dropout semantics — so protocol-timing attacks
+//! (Nack-spam against the straggler deadline, reporting just before it,
+//! boosting after observing the broadcast) play out deterministically and
+//! every scenario replays bit-identically.
 //!
 //! Shielded parameter segments arriving inside updates are reassembled
 //! through the server's attested [`ShieldedUpdateChannel`] before delivery,
@@ -31,10 +41,13 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::client::{export_parameters, import_parameters, ClientAgent, FlClient};
+use crate::client::{export_parameters, import_parameters, ClientAgent, FederationAgent, FlClient};
+use crate::malicious::{FreeRiderAgent, ProbingAgent};
+use crate::poisoning::{BackdoorAgent, BackdoorClient};
+use crate::scenario::{AgentRole, ScenarioSpec};
 use crate::server::RoundSummary;
 use crate::{
-    FedAvgServer, FlError, Message, ModelUpdate, ParticipationPolicy, Result,
+    AggregationRule, FedAvgServer, FlError, Message, ModelUpdate, ParticipationPolicy, Result,
     ShieldedUpdateChannel, Transport, TransportKind,
 };
 
@@ -82,6 +95,9 @@ pub struct FederationConfig {
     pub transport: TransportKind,
     /// Quorum, per-round sampling and straggler policy.
     pub policy: ParticipationPolicy,
+    /// The server's aggregation rule (plain FedAvg, or a robust rule when
+    /// the deployment defends against poisoned updates).
+    pub rule: AggregationRule,
     /// Whether shielded parameter segments travel sealed through the
     /// attested enclave channel (clear plaintext otherwise).
     pub shield_updates: bool,
@@ -104,6 +120,7 @@ impl Default for FederationConfig {
             eval_samples: 64,
             transport: TransportKind::InMemory,
             policy: ParticipationPolicy::default(),
+            rule: AggregationRule::FedAvg,
             shield_updates: false,
             schedules: Vec::new(),
         }
@@ -125,6 +142,9 @@ pub struct RoundRecord {
     /// Sealed-blob bytes of shielded segments that crossed the enclave
     /// channel this round (0 when shielding is off).
     pub shielded_bytes: usize,
+    /// Adversarial actions taken this round (poisoned updates, evasion
+    /// probes, free-rider echoes) — 0 in an all-honest federation.
+    pub adversarial_actions: usize,
     /// Participation outcome: participants, reporters, stragglers,
     /// dropouts, renormalised weight.
     pub summary: RoundSummary,
@@ -143,17 +163,19 @@ pub struct RunHistory {
     pub total_wire_bytes: usize,
 }
 
-/// One client's seat in the federation: its agent, the server-side end of
-/// its link, its schedule, and whether it is currently online.
+/// One client's seat in the federation: its agent (honest or malicious),
+/// the server-side end of its link, its schedule, and whether it is
+/// currently online.
 struct Slot {
-    agent: ClientAgent,
+    agent: Box<dyn FederationAgent>,
     link: Box<dyn Transport>,
     schedule: ClientSchedule,
     online: bool,
 }
 
-/// A running federation: one message-driven server, `clients` honest client
-/// agents on transport links, and a central evaluation replica.
+/// A running federation: one message-driven server, `clients` agents
+/// (honest by default, adversarial where a [`ScenarioSpec`] says so) on
+/// transport links, and a central evaluation replica.
 pub struct Federation {
     server: FedAvgServer,
     server_shield: Option<ShieldedUpdateChannel>,
@@ -164,10 +186,9 @@ pub struct Federation {
 }
 
 impl Federation {
-    /// Builds a federation whose clients all train local replicas produced by
-    /// `factory` (every replica must share the same architecture). Every
-    /// client joins over its transport link; when `shield_updates` is set,
-    /// each client's enclave is attested before it is admitted.
+    /// Builds an all-honest federation whose clients train local replicas
+    /// produced by `factory` (every replica must share the same
+    /// architecture).
     ///
     /// # Errors
     /// Returns an error if the configuration is degenerate or attestation
@@ -182,6 +203,40 @@ impl Federation {
     where
         F: Fn(&mut ChaCha8Rng) -> Box<dyn ImageModel>,
     {
+        Self::from_scenario(
+            dataset,
+            &ScenarioSpec::honest(config.clone()),
+            partition,
+            seeds,
+            factory,
+        )
+    }
+
+    /// Builds a federation from a [`ScenarioSpec`]: every seat gets the
+    /// agent its role prescribes (honest by default), all speaking
+    /// [`Message`] over their transport links and scheduled by the same
+    /// deterministic delivery sweeps. `factory` produces the model replicas
+    /// (honest local models, attacker replicas, the evaluation model — all
+    /// sharing one architecture). Every agent joins over its link; when
+    /// `shield_updates` is set, each honest client's enclave is attested
+    /// before it is admitted (adversaries send clear updates — a malicious
+    /// node would not cooperate with sealing, and the server accepts a
+    /// complete clear parameter list).
+    ///
+    /// # Errors
+    /// Returns an error if the configuration or population mix is
+    /// degenerate, an adversary's budget is invalid, or attestation fails.
+    pub fn from_scenario<F>(
+        dataset: &Dataset,
+        spec: &ScenarioSpec,
+        partition: Partition,
+        seeds: &mut SeedStream,
+        factory: F,
+    ) -> Result<Self>
+    where
+        F: Fn(&mut ChaCha8Rng) -> Box<dyn ImageModel>,
+    {
+        let config = &spec.federation;
         if config.clients == 0 || config.rounds == 0 {
             return Err(FlError::InvalidConfig {
                 reason: "clients and rounds must be positive".to_string(),
@@ -205,6 +260,7 @@ impl Federation {
                 });
             }
         }
+        spec.validate()?;
         let shards = federated_split(
             dataset,
             config.clients,
@@ -212,8 +268,11 @@ impl Federation {
             &mut seeds.derive("partition"),
         );
         let eval_model = factory(&mut seeds.derive_indexed("model", u64::MAX));
-        let server =
-            FedAvgServer::with_policy(export_parameters(eval_model.as_ref()), config.policy)?;
+        let server = FedAvgServer::with_rule(
+            export_parameters(eval_model.as_ref()),
+            config.policy,
+            config.rule,
+        )?;
         let server_shield = if config.shield_updates {
             let nonce = seeds.derive_indexed("attest", u64::MAX).gen::<u64>();
             Some(ShieldedUpdateChannel::connect(nonce)?)
@@ -223,22 +282,89 @@ impl Federation {
 
         let mut slots = Vec::with_capacity(config.clients);
         for (id, shard) in shards.into_iter().enumerate() {
-            let model = factory(&mut seeds.derive_indexed("model", id as u64));
-            let client = FlClient::new(id, shard, model, config.local_training.clone());
             let (client_end, server_end) = config.transport.duplex();
-            let shield = if config.shield_updates {
-                let nonce = seeds.derive_indexed("attest", id as u64).gen::<u64>();
-                let channel = ShieldedUpdateChannel::connect(nonce)?;
-                // WaTZ-style admission: the server verifies the client's
-                // enclave report against the expected measurement before
-                // trusting its sealed segments.
-                let report = channel.attest(nonce);
-                verify_report(&report, channel.measurement(), nonce).map_err(FlError::from)?;
-                Some(channel)
-            } else {
-                None
+            let agent: Box<dyn FederationAgent> = match spec.role_of(id) {
+                AgentRole::Honest => {
+                    let model = factory(&mut seeds.derive_indexed("model", id as u64));
+                    let client = FlClient::new(id, shard, model, config.local_training.clone());
+                    let shield = if config.shield_updates {
+                        let nonce = seeds.derive_indexed("attest", id as u64).gen::<u64>();
+                        let channel = ShieldedUpdateChannel::connect(nonce)?;
+                        // WaTZ-style admission: the server verifies the
+                        // client's enclave report against the expected
+                        // measurement before trusting its sealed segments.
+                        let report = channel.attest(nonce);
+                        verify_report(&report, channel.measurement(), nonce)
+                            .map_err(FlError::from)?;
+                        Some(channel)
+                    } else {
+                        None
+                    };
+                    Box::new(ClientAgent::new(client, client_end, shield))
+                }
+                AgentRole::Backdoor {
+                    trigger,
+                    poison_fraction,
+                    boost,
+                    training,
+                } => {
+                    let model = factory(&mut seeds.derive_indexed("model", id as u64));
+                    let client = BackdoorClient::new(
+                        id,
+                        shard,
+                        model,
+                        training.unwrap_or_else(|| config.local_training.clone()),
+                        trigger,
+                        poison_fraction,
+                        boost,
+                    )?;
+                    Box::new(BackdoorAgent::new(
+                        client,
+                        client_end,
+                        seeds.derive_indexed("adversary", id as u64),
+                    ))
+                }
+                AgentRole::FreeRider {
+                    claimed_samples,
+                    spam,
+                    perturbation,
+                } => {
+                    let claimed = if claimed_samples == 0 {
+                        shard.len()
+                    } else {
+                        claimed_samples
+                    };
+                    Box::new(FreeRiderAgent::new(
+                        id,
+                        claimed,
+                        spam,
+                        perturbation,
+                        client_end,
+                        seeds.derive_indexed("adversary", id as u64),
+                    )?)
+                }
+                AgentRole::Probing {
+                    attack,
+                    epsilon,
+                    steps,
+                    probe_samples,
+                } => {
+                    let model = factory(&mut seeds.derive_indexed("model", id as u64));
+                    let replica = factory(&mut seeds.derive_indexed("replica", id as u64));
+                    let client = FlClient::new(id, shard, model, config.local_training.clone());
+                    Box::new(ProbingAgent::new(
+                        client,
+                        replica,
+                        config.shield_updates,
+                        attack,
+                        epsilon,
+                        steps,
+                        probe_samples,
+                        client_end,
+                        seeds.derive_indexed("adversary", id as u64),
+                    )?)
+                }
             };
-            let agent = ClientAgent::new(client, client_end, shield);
             agent.join()?;
             let schedule = config
                 .schedules
@@ -277,8 +403,29 @@ impl Federation {
         partition: Partition,
         seeds: &mut SeedStream,
     ) -> Result<Self> {
+        Self::vit_scenario(
+            dataset,
+            &ScenarioSpec::honest(config.clone()),
+            partition,
+            seeds,
+        )
+    }
+
+    /// Convenience constructor: a [`ScenarioSpec`] federation of scaled
+    /// ViT-B/16 replicas — the standard harness of the attack/defense
+    /// acceptance matrix.
+    ///
+    /// # Errors
+    /// Returns an error if the configuration or population mix is
+    /// degenerate.
+    pub fn vit_scenario(
+        dataset: &Dataset,
+        scenario: &ScenarioSpec,
+        partition: Partition,
+        seeds: &mut SeedStream,
+    ) -> Result<Self> {
         let spec = dataset.spec();
-        Self::with_factory(dataset, config, partition, seeds, move |rng| {
+        Self::from_scenario(dataset, scenario, partition, seeds, move |rng| {
             Box::new(
                 VisionTransformer::new(
                     ViTConfig::vit_b16_scaled(
@@ -367,10 +514,15 @@ impl Federation {
             });
             let mut loss_sum = 0.0f32;
             let mut reporters = 0usize;
+            let mut adversarial_actions = 0usize;
             for result in results {
-                if let Some(report) = result?.trained {
+                let outcome = result?;
+                if let Some(report) = outcome.trained {
                     loss_sum += report.epoch_losses.last().copied().unwrap_or(0.0);
                     reporters += 1;
+                }
+                if outcome.adversarial.is_some() {
+                    adversarial_actions += 1;
                 }
             }
 
@@ -396,6 +548,7 @@ impl Federation {
                 global_accuracy,
                 upload_bytes: summary.update_bytes,
                 shielded_bytes,
+                adversarial_actions,
                 summary,
             });
         }

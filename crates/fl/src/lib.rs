@@ -2,8 +2,9 @@
 //!
 //! The **message-driven federated-learning runtime** of the Pelta
 //! reproduction: the setting in which the paper's threat model lives
-//! (Fig. 1), grown from a single-process loop into an explicit
-//! wire-protocol / transport / state-machine architecture.
+//! (Fig. 1) — including its adversaries, which are first-class scheduler
+//! participants racing the honest clients inside the same deterministic
+//! delivery sweeps.
 //!
 //! ## Architecture
 //!
@@ -19,25 +20,33 @@
 //!   (*Broadcasting → Collecting → Aggregating*) under a
 //!   [`ParticipationPolicy`]: minimum quorum, per-round client sampling, a
 //!   straggler deadline measured in **delivered messages** (never wall
-//!   clock, so runs are deterministic), and dropout/rejoin handling.
-//!   Aggregation weights renormalise over the clients that actually
-//!   reported. [`RobustAggregator`] offers poisoning-resistant rules behind
-//!   the same broadcast/aggregate surface.
+//!   clock, so runs are deterministic), and dropout/rejoin handling. The
+//!   *Aggregating* phase applies the server's [`AggregationRule`] — plain
+//!   sample-weighted FedAvg, norm clipping, or coordinate-wise trimmed mean
+//!   — through the crate's single aggregation code path in [`mod@robust`]
+//!   (weights renormalise over the clients that actually reported;
+//!   [`RobustAggregator`] wraps the same path for call-level use).
+//! * **Agent layer** — every seat implements [`FederationAgent`]: the
+//!   honest [`ClientAgent`] ([`FlClient`] is its local-training core), the
+//!   [`BackdoorAgent`] shipping boosted trigger-poisoned updates, the
+//!   [`FreeRiderAgent`] echoing the broadcast under a lying weight while
+//!   Nack-spamming the straggler deadline, and the [`ProbingAgent`] running
+//!   white-box evasion probes behind honest cover traffic. A
+//!   [`ScenarioSpec`] assigns roles to seats; the server cannot tell
+//!   adversaries apart by message shape or scheduling, only (possibly) by
+//!   its aggregation rule.
 //! * **Security layer** — when a deployment shields updates, the
 //!   enclave-resident parameter segments of the Pelta shield travel sealed
 //!   through the attested [`ShieldedUpdateChannel`] (`pelta-tee` sealing +
 //!   WaTZ-style attestation), never in plaintext; byte accounting is
 //!   surfaced per round next to the core `ShieldReport`.
-//! * **Clients** — [`FlClient`] is the local-training core; [`ClientAgent`]
-//!   speaks the protocol over a transport. [`CompromisedClient`] (evasion)
-//!   and [`BackdoorClient`] (poisoning) implement the paper's adversaries on
-//!   the same message flow.
 //!
 //! The [`Federation`] runtime wires all of this together: parallel local
-//! training on the shared compute pool, deterministic delivery sweeps, and
-//! central evaluation. Determinism contract: for a fixed configuration the
-//! global model is bit-identical across transports and at any
-//! `PELTA_THREADS`, including under dropout/straggler schedules.
+//! work on the shared compute pool, deterministic delivery sweeps, and
+//! central evaluation. Determinism contract: for a fixed scenario —
+//! including any mix of adversaries, dropouts, latency schedules and robust
+//! rules — the global model is bit-identical across repeats, across
+//! transports and at any `PELTA_THREADS`.
 //!
 //! # Example
 //!
@@ -79,21 +88,25 @@ mod federation;
 mod malicious;
 mod message;
 mod poisoning;
-mod robust;
+pub mod robust;
+mod scenario;
 mod server;
 mod shielded;
 mod transport;
 
 pub use client::{
-    export_parameters, export_segments, import_parameters, split_segments, ClientAgent, FlClient,
-    LocalTrainingReport, StepOutcome,
+    export_parameters, export_segments, import_parameters, split_segments, AdversarialAction,
+    ClientAgent, FederationAgent, FlClient, LocalTrainingReport, StepOutcome,
 };
 pub use error::FlError;
 pub use federation::{ClientSchedule, Federation, FederationConfig, RoundRecord, RunHistory};
-pub use malicious::{AttackKind, CompromisedClient, EvasionReport};
+pub use malicious::{AttackKind, CompromisedClient, EvasionReport, FreeRiderAgent, ProbingAgent};
 pub use message::{GlobalModel, Message, ModelUpdate, NackReason, PROTOCOL_VERSION};
-pub use poisoning::{backdoor_success_rate, BackdoorClient, PoisonReport, TrojanTrigger};
-pub use robust::{AggregationRule, RobustAggregator};
+pub use poisoning::{
+    backdoor_success_rate, BackdoorAgent, BackdoorClient, PoisonReport, TrojanTrigger,
+};
+pub use robust::{aggregate_with_rule, AggregationRule, RobustAggregator};
+pub use scenario::{AgentRole, RoleAssignment, ScenarioSpec};
 pub use server::{FedAvgServer, ParticipationPolicy, RoundPhase, RoundSummary};
 pub use shielded::{ShieldedTransferReport, ShieldedUpdateChannel};
 pub use transport::{InMemoryTransport, SerializedTransport, Transport, TransportKind};

@@ -18,6 +18,15 @@
 //! [`SealedBlob`]s produced by the attested enclave channel of
 //! [`crate::ShieldedUpdateChannel`]. The bench harness uses [`Message::wire_size`]
 //! to account the §VI bandwidth overhead.
+//!
+//! **Adversarial note.** Malicious participants speak this protocol too —
+//! by design nothing in a frame reveals intent, so a poisoned update is
+//! wire-indistinguishable from an honest one. The server answers every
+//! refused or misrouted frame with a [`Message::Nack`] and keeps going; a
+//! spammer gains no parse-level leverage, but *delivered* junk still counts
+//! against the straggler deadline (see [`crate::ParticipationPolicy`]),
+//! which is exactly the timing surface the free-riding adversary of
+//! [`crate::FreeRiderAgent`] exploits and the scenario tests pin down.
 
 use pelta_tee::SealedBlob;
 use pelta_tensor::Tensor;

@@ -16,10 +16,11 @@ use pelta_data::ClientShard;
 use pelta_models::{accuracy, predict, train_classifier, ImageModel, TrainingConfig};
 use pelta_tensor::Tensor;
 use rand::Rng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::client::{export_parameters, import_parameters};
-use crate::{FlError, GlobalModel, Message, ModelUpdate, Result};
+use crate::client::{export_parameters, import_parameters, FederationAgent, StepOutcome};
+use crate::{AdversarialAction, FlError, GlobalModel, Message, ModelUpdate, Result, Transport};
 
 /// A trojan trigger: a small bright square stamped into a corner of the
 /// image, paired with the attacker's target class.
@@ -315,6 +316,90 @@ impl BackdoorClient {
             },
             report,
         ))
+    }
+}
+
+/// The backdoor attacker as a first-class scheduler participant: a
+/// [`BackdoorClient`] bound to a [`Transport`] link, racing the honest
+/// agents inside the federation's deterministic delivery sweeps.
+///
+/// On every [`Message::RoundStart`] it observes the broadcast metadata
+/// (round index and the *current* global parameters — which is exactly what
+/// makes the boosted model-replacement update effective), trains on its
+/// poisoned shard and answers with a protocol-conformant boosted
+/// [`Message::Update`]. The server cannot tell it apart by message shape or
+/// timing, only (possibly) by its robust aggregation rule.
+pub struct BackdoorAgent {
+    client: BackdoorClient,
+    transport: Box<dyn Transport>,
+    rng: ChaCha8Rng,
+    nacks_received: usize,
+}
+
+impl BackdoorAgent {
+    /// Binds a backdoor client to its transport endpoint. `rng` drives the
+    /// per-round poisoning draws; seed it deterministically (the federation
+    /// derives it from the scenario seed stream) to keep runs replayable.
+    pub fn new(client: BackdoorClient, transport: Box<dyn Transport>, rng: ChaCha8Rng) -> Self {
+        BackdoorAgent {
+            client,
+            transport,
+            rng,
+            nacks_received: 0,
+        }
+    }
+
+    /// The wrapped backdoor client.
+    pub fn client(&self) -> &BackdoorClient {
+        &self.client
+    }
+}
+
+impl FederationAgent for BackdoorAgent {
+    fn id(&self) -> usize {
+        self.client.id()
+    }
+
+    fn join(&self) -> Result<()> {
+        self.transport.send(&Message::Join {
+            client_id: self.client.id(),
+        })
+    }
+
+    fn step(&mut self, drop_this_round: bool) -> Result<StepOutcome> {
+        let mut outcome = StepOutcome::idle();
+        while let Some(message) = self.transport.recv()? {
+            match message {
+                Message::RoundStart { .. } => {
+                    if drop_this_round {
+                        self.transport.send(&Message::Leave {
+                            client_id: self.client.id(),
+                        })?;
+                        outcome.left = true;
+                        continue;
+                    }
+                    let (reply, report) =
+                        self.client.handle_round_start(&message, &mut self.rng)?;
+                    self.transport.send(&reply)?;
+                    outcome.adversarial = Some(AdversarialAction::Poisoned(report));
+                }
+                Message::Nack { .. } => self.nacks_received += 1,
+                _ => {}
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn transport_messages(&self) -> usize {
+        self.transport.messages_sent()
+    }
+
+    fn transport_bytes(&self) -> usize {
+        self.transport.bytes_sent()
+    }
+
+    fn nacks_received(&self) -> usize {
+        self.nacks_received
     }
 }
 

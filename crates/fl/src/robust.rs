@@ -1,27 +1,57 @@
-//! Server-side robust aggregation — the countermeasures the paper's related
-//! work points to for poisoning attacks (§II: defenses "against poisoning,
+//! Robust aggregation rules — the in-protocol defense layer of the server
+//! state machine.
+//!
+//! The paper's related work (§II) points at defenses "against poisoning,
 //! i.e., altering the model's parameters to have it underperform in its
 //! primary task or overperform in a secondary task unbeknownst to the server
-//! or the nodes").
+//! or the nodes". Pelta itself defends the *clients* against evasion-sample
+//! crafting; the rules here defend the *server* against the poisoned updates
+//! such samples feed.
 //!
-//! Pelta itself defends the *clients* against evasion-sample crafting; these
-//! rules defend the *server* against the poisoned updates such samples feed.
-//! The backdoor bench evaluates plain FedAvg against the two rules below
-//! with and without a [`crate::BackdoorClient`] in the federation.
+//! Since the adversary-in-the-scheduler refactor there is exactly **one**
+//! aggregation code path: [`aggregate_with_rule`]. The message-driven
+//! [`crate::FedAvgServer`] calls it from its *Aggregating* phase (after
+//! shielded segments were unsealed and the participation policy selected the
+//! reporters), and the call-level [`RobustAggregator`] wraps the same
+//! function for benches and analyses that do not need the message flow.
+//!
+//! **Canonical fold order.** Before any rule runs, the update set is
+//! re-ordered by ascending client id. Floating-point accumulation is not
+//! associative, so this is what makes every rule's output a function of the
+//! update *set* rather than of arrival order — the in-protocol property
+//! tests assert bit-identical aggregates under client permutations, across
+//! transports and across `PELTA_THREADS` values.
+//!
+//! The rules:
+//!
+//! * [`AggregationRule::FedAvg`] — sample-weighted averaging (McMahan et
+//!   al.), no defense; the boosted-weight backdoor walks right in.
+//! * [`AggregationRule::NormClipping`] — each client's whole-model *delta*
+//!   is clipped to a maximum L2 norm and the clipped deltas are averaged
+//!   **equally** (clip-and-average, Sun et al.), bounding the reach of
+//!   boosted model-replacement updates on both of the axes the adversary
+//!   controls: delta magnitude and the self-reported sample count.
+//! * [`AggregationRule::TrimmedMean`] — coordinate-wise trimmed mean (Yin et
+//!   al.): per coordinate the `trim` largest and smallest client values are
+//!   discarded and the rest averaged **unweighted**, so a lying
+//!   `num_samples` buys the adversary nothing.
 
 use pelta_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 use crate::{FlError, GlobalModel, ModelUpdate, Result};
 
-/// Which aggregation rule the robust server applies.
+/// Which aggregation rule the server applies in its *Aggregating* phase.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum AggregationRule {
     /// Plain sample-weighted federated averaging (no defense).
     FedAvg,
-    /// Each client's update *delta* is clipped to a maximum L2 norm before
-    /// sample-weighted averaging — the standard defense against boosted
-    /// model-replacement backdoors.
+    /// Each client's update *delta* is clipped to a maximum L2 norm and the
+    /// clipped deltas are averaged **equally** (clip-and-average, Sun et
+    /// al.) — the standard defense against boosted model-replacement
+    /// backdoors. Self-reported sample counts are ignored: a malicious
+    /// client can inflate `num_samples` just as easily as it can boost its
+    /// delta, so a defense that bounds one must not honor the other.
     NormClipping {
         /// Maximum L2 norm of one client's whole-model delta.
         max_norm: f32,
@@ -35,10 +65,239 @@ pub enum AggregationRule {
     },
 }
 
-/// A federated server with a configurable robust aggregation rule.
+impl AggregationRule {
+    /// Validates the rule's own parameters (independent of any update set).
+    ///
+    /// # Errors
+    /// Returns an error for a non-positive or non-finite clipping norm.
+    pub fn validate(&self) -> Result<()> {
+        if let AggregationRule::NormClipping { max_norm } = self {
+            if *max_norm <= 0.0 || !max_norm.is_finite() {
+                return Err(FlError::InvalidConfig {
+                    reason: format!("clipping norm must be positive and finite, got {max_norm}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The minimum number of updates this rule can aggregate.
+    pub fn min_updates(&self) -> usize {
+        match self {
+            AggregationRule::TrimmedMean { trim } => 2 * trim + 1,
+            _ => 1,
+        }
+    }
+}
+
+/// The single aggregation code path of the federation: validates one round's
+/// update set against the current global parameters, re-orders it into the
+/// canonical ascending-client-id fold order, applies `rule`, and returns the
+/// next global parameters.
 ///
-/// It mirrors [`crate::FedAvgServer`]'s interface (broadcast / aggregate /
-/// round) so federations can swap it in without touching client code.
+/// # Errors
+/// Returns an error if no update was supplied, an update targets a different
+/// round or carries zero samples, a client id appears twice, schemas
+/// disagree, or the trimmed mean would discard every client.
+pub fn aggregate_with_rule(
+    current: &[(String, Tensor)],
+    round: usize,
+    updates: &[ModelUpdate],
+    rule: AggregationRule,
+) -> Result<Vec<(String, Tensor)>> {
+    validate_updates(current, round, updates)?;
+    // Canonical fold order: ascending client id. Float accumulation is not
+    // associative, so sorting here is what makes the aggregate a function of
+    // the update set, not of arrival order.
+    let mut ordered: Vec<&ModelUpdate> = updates.iter().collect();
+    ordered.sort_by_key(|u| u.client_id);
+    match rule {
+        AggregationRule::FedAvg => fedavg(current, &ordered, None),
+        AggregationRule::NormClipping { max_norm } => fedavg(current, &ordered, Some(max_norm)),
+        AggregationRule::TrimmedMean { trim } => trimmed_mean(current, &ordered, trim),
+    }
+}
+
+/// Validates one update against the current global schema: a positive
+/// sample count (zero samples are invalid under every rule — the protocol
+/// Nacks them at delivery, and the call-level path must agree), matching
+/// parameter names/shapes, and **finite values**. The wire protocol is
+/// deliberately bit-exact for NaN/∞, so finiteness must be enforced here:
+/// a NaN coordinate would slip past the clip guard (`NaN > max_norm` is
+/// false) and an ∞ delta would turn `scale · ∞` into NaN — either way one
+/// poisoned update would NaN the next broadcast for every client. Shared by
+/// [`crate::FedAvgServer`]'s delivery validation and the aggregation entry
+/// below, so the two façades cannot drift.
+pub(crate) fn validate_update_schema(
+    current: &[(String, Tensor)],
+    update: &ModelUpdate,
+) -> Result<()> {
+    if update.num_samples == 0 {
+        return Err(FlError::InvalidConfig {
+            reason: format!("client {} update carries zero samples", update.client_id),
+        });
+    }
+    if update.parameters.len() != current.len() {
+        return Err(FlError::SchemaMismatch {
+            reason: format!(
+                "client {} sent {} parameters, expected {}",
+                update.client_id,
+                update.parameters.len(),
+                current.len()
+            ),
+        });
+    }
+    for ((name, reference), (update_name, value)) in current.iter().zip(update.parameters.iter()) {
+        if name != update_name || value.dims() != reference.dims() {
+            return Err(FlError::SchemaMismatch {
+                reason: format!(
+                    "client {} parameter '{update_name}' {:?} does not match '{name}' {:?}",
+                    update.client_id,
+                    value.dims(),
+                    reference.dims()
+                ),
+            });
+        }
+        if value.data().iter().any(|v| !v.is_finite()) {
+            return Err(FlError::InvalidConfig {
+                reason: format!(
+                    "client {} parameter '{update_name}' contains non-finite values",
+                    update.client_id
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn validate_updates(
+    current: &[(String, Tensor)],
+    round: usize,
+    updates: &[ModelUpdate],
+) -> Result<()> {
+    if updates.is_empty() {
+        return Err(FlError::InvalidConfig {
+            reason: "no client updates to aggregate".to_string(),
+        });
+    }
+    for (index, update) in updates.iter().enumerate() {
+        if update.round != round {
+            return Err(FlError::SchemaMismatch {
+                reason: format!(
+                    "update from client {} targets round {}, server is at round {round}",
+                    update.client_id, update.round
+                ),
+            });
+        }
+        // Duplicate ids would make the canonical client-id sort (and thus
+        // the fold order) depend on arrival order — the permutation
+        // invariance the rules promise. The state machine already dedups
+        // via its reporter set; the call-level path must too.
+        if updates[..index]
+            .iter()
+            .any(|earlier| earlier.client_id == update.client_id)
+        {
+            return Err(FlError::InvalidConfig {
+                reason: format!(
+                    "client {} appears twice in the update set",
+                    update.client_id
+                ),
+            });
+        }
+        validate_update_schema(current, update)?;
+    }
+    Ok(())
+}
+
+/// L2 norm of one client's whole-model delta relative to the current global
+/// parameters.
+fn delta_norm(current: &[(String, Tensor)], update: &ModelUpdate) -> Result<f32> {
+    let mut sum = 0.0f64;
+    for ((_, reference), (_, value)) in current.iter().zip(update.parameters.iter()) {
+        let delta = value.sub(reference)?;
+        let norm = delta.l2_norm();
+        sum += f64::from(norm) * f64::from(norm);
+    }
+    Ok(sum.sqrt() as f32)
+}
+
+/// Delta-form averaging: `next = current + Σᵤ wᵤ · scaleᵤ · (paramsᵤ −
+/// current)`. Without clipping, `wᵤ` is the renormalised sample weight
+/// (plain FedAvg). With clipping, each delta is scaled down to `max_norm`
+/// and the weights are **equal** — the clip-and-average defense refuses to
+/// honor sample counts the adversary controls.
+fn fedavg(
+    current: &[(String, Tensor)],
+    updates: &[&ModelUpdate],
+    max_norm: Option<f32>,
+) -> Result<Vec<(String, Tensor)>> {
+    // Per-client (weight, scale) applied to its delta.
+    let mut factors = vec![(0.0f32, 1.0f32); updates.len()];
+    if let Some(max_norm) = max_norm {
+        for (factor, update) in factors.iter_mut().zip(updates.iter()) {
+            factor.0 = 1.0 / updates.len() as f32;
+            let norm = delta_norm(current, update)?;
+            if norm > max_norm {
+                factor.1 = max_norm / norm;
+            }
+        }
+    } else {
+        // Validation guarantees every update carries at least one sample.
+        let total_samples: usize = updates.iter().map(|u| u.num_samples).sum();
+        for (factor, update) in factors.iter_mut().zip(updates.iter()) {
+            factor.0 = update.num_samples as f32 / total_samples as f32;
+        }
+    }
+    let mut aggregated = Vec::with_capacity(current.len());
+    for (index, (name, reference)) in current.iter().enumerate() {
+        let mut accumulator = reference.clone();
+        for (update, (weight, scale)) in updates.iter().zip(factors.iter()) {
+            let delta = update.parameters[index].1.sub(reference)?;
+            accumulator = accumulator.axpy(weight * scale, &delta)?;
+        }
+        aggregated.push((name.clone(), accumulator));
+    }
+    Ok(aggregated)
+}
+
+/// Coordinate-wise trimmed mean of the client parameters (unweighted).
+fn trimmed_mean(
+    current: &[(String, Tensor)],
+    updates: &[&ModelUpdate],
+    trim: usize,
+) -> Result<Vec<(String, Tensor)>> {
+    if 2 * trim >= updates.len() {
+        return Err(FlError::InvalidConfig {
+            reason: format!(
+                "trimming {trim} from each end of {} updates leaves nothing to average",
+                updates.len()
+            ),
+        });
+    }
+    let kept = updates.len() - 2 * trim;
+    let mut aggregated = Vec::with_capacity(current.len());
+    let mut column = vec![0.0f32; updates.len()];
+    for (index, (name, reference)) in current.iter().enumerate() {
+        let mut out = Tensor::zeros(reference.dims());
+        for coord in 0..reference.numel() {
+            for (u, update) in updates.iter().enumerate() {
+                column[u] = update.parameters[index].1.data()[coord];
+            }
+            column.sort_by(f32::total_cmp);
+            let sum: f32 = column[trim..updates.len() - trim].iter().sum();
+            out.data_mut()[coord] = sum / kept as f32;
+        }
+        aggregated.push((name.clone(), out));
+    }
+    Ok(aggregated)
+}
+
+/// A call-level federated aggregator with a configurable robust rule.
+///
+/// It wraps the same [`aggregate_with_rule`] code path the message-driven
+/// [`crate::FedAvgServer`] runs in its *Aggregating* phase, behind the
+/// broadcast/aggregate/round surface benches and one-shot analyses use when
+/// they do not need transports or the participation policy.
 pub struct RobustAggregator {
     round: usize,
     rule: AggregationRule,
@@ -46,19 +305,13 @@ pub struct RobustAggregator {
 }
 
 impl RobustAggregator {
-    /// Creates a robust server from the initial global parameters.
+    /// Creates a robust aggregator from the initial global parameters.
     ///
     /// # Errors
     /// Returns an error if the rule's own parameters are degenerate
     /// (non-positive clipping norm).
     pub fn new(initial_parameters: Vec<(String, Tensor)>, rule: AggregationRule) -> Result<Self> {
-        if let AggregationRule::NormClipping { max_norm } = rule {
-            if max_norm <= 0.0 || !max_norm.is_finite() {
-                return Err(FlError::InvalidConfig {
-                    reason: format!("clipping norm must be positive and finite, got {max_norm}"),
-                });
-            }
-        }
+        rule.validate()?;
         Ok(RobustAggregator {
             round: 0,
             rule,
@@ -97,133 +350,9 @@ impl RobustAggregator {
     /// different round, schemas disagree, or the trimmed mean would discard
     /// every client.
     pub fn aggregate(&mut self, updates: &[ModelUpdate]) -> Result<()> {
-        self.validate(updates)?;
-        let aggregated = match self.rule {
-            AggregationRule::FedAvg => self.fedavg(updates, None)?,
-            AggregationRule::NormClipping { max_norm } => self.fedavg(updates, Some(max_norm))?,
-            AggregationRule::TrimmedMean { trim } => self.trimmed_mean(updates, trim)?,
-        };
-        self.parameters = aggregated;
+        self.parameters = aggregate_with_rule(&self.parameters, self.round, updates, self.rule)?;
         self.round += 1;
         Ok(())
-    }
-
-    fn validate(&self, updates: &[ModelUpdate]) -> Result<()> {
-        if updates.is_empty() {
-            return Err(FlError::InvalidConfig {
-                reason: "no client updates to aggregate".to_string(),
-            });
-        }
-        for update in updates {
-            if update.round != self.round {
-                return Err(FlError::SchemaMismatch {
-                    reason: format!(
-                        "update from client {} targets round {}, server is at round {}",
-                        update.client_id, update.round, self.round
-                    ),
-                });
-            }
-            if update.parameters.len() != self.parameters.len() {
-                return Err(FlError::SchemaMismatch {
-                    reason: format!(
-                        "client {} sent {} parameters, expected {}",
-                        update.client_id,
-                        update.parameters.len(),
-                        self.parameters.len()
-                    ),
-                });
-            }
-            for ((name, current), (update_name, value)) in
-                self.parameters.iter().zip(update.parameters.iter())
-            {
-                if name != update_name || value.dims() != current.dims() {
-                    return Err(FlError::SchemaMismatch {
-                        reason: format!(
-                            "client {} parameter '{update_name}' {:?} does not match '{name}' {:?}",
-                            update.client_id,
-                            value.dims(),
-                            current.dims()
-                        ),
-                    });
-                }
-            }
-        }
-        Ok(())
-    }
-
-    /// L2 norm of one client's whole-model delta relative to the current
-    /// global parameters.
-    fn delta_norm(&self, update: &ModelUpdate) -> Result<f32> {
-        let mut sum = 0.0f64;
-        for ((_, current), (_, value)) in self.parameters.iter().zip(update.parameters.iter()) {
-            let delta = value.sub(current)?;
-            let norm = delta.l2_norm();
-            sum += f64::from(norm) * f64::from(norm);
-        }
-        Ok(sum.sqrt() as f32)
-    }
-
-    /// Sample-weighted FedAvg, optionally clipping each client's delta.
-    fn fedavg(
-        &self,
-        updates: &[ModelUpdate],
-        max_norm: Option<f32>,
-    ) -> Result<Vec<(String, Tensor)>> {
-        let total_samples: usize = updates.iter().map(|u| u.num_samples).sum();
-        if total_samples == 0 {
-            return Err(FlError::InvalidConfig {
-                reason: "client updates carry zero samples".to_string(),
-            });
-        }
-        // Per-client scale applied to its delta (1 unless clipped).
-        let mut scales = vec![1.0f32; updates.len()];
-        if let Some(max_norm) = max_norm {
-            for (scale, update) in scales.iter_mut().zip(updates.iter()) {
-                let norm = self.delta_norm(update)?;
-                if norm > max_norm {
-                    *scale = max_norm / norm;
-                }
-            }
-        }
-        let mut aggregated = Vec::with_capacity(self.parameters.len());
-        for (index, (name, current)) in self.parameters.iter().enumerate() {
-            let mut accumulator = current.clone();
-            for (u, update) in updates.iter().enumerate() {
-                let weight = update.num_samples as f32 / total_samples as f32;
-                let delta = update.parameters[index].1.sub(current)?;
-                accumulator = accumulator.axpy(weight * scales[u], &delta)?;
-            }
-            aggregated.push((name.clone(), accumulator));
-        }
-        Ok(aggregated)
-    }
-
-    /// Coordinate-wise trimmed mean of the client parameters.
-    fn trimmed_mean(&self, updates: &[ModelUpdate], trim: usize) -> Result<Vec<(String, Tensor)>> {
-        if 2 * trim >= updates.len() {
-            return Err(FlError::InvalidConfig {
-                reason: format!(
-                    "trimming {trim} from each end of {} updates leaves nothing to average",
-                    updates.len()
-                ),
-            });
-        }
-        let kept = updates.len() - 2 * trim;
-        let mut aggregated = Vec::with_capacity(self.parameters.len());
-        let mut column = vec![0.0f32; updates.len()];
-        for (index, (name, current)) in self.parameters.iter().enumerate() {
-            let mut out = Tensor::zeros(current.dims());
-            for coord in 0..current.numel() {
-                for (u, update) in updates.iter().enumerate() {
-                    column[u] = update.parameters[index].1.data()[coord];
-                }
-                column.sort_by(f32::total_cmp);
-                let sum: f32 = column[trim..updates.len() - trim].iter().sum();
-                out.data_mut()[coord] = sum / kept as f32;
-            }
-            aggregated.push((name.clone(), out));
-        }
-        Ok(aggregated)
     }
 }
 
@@ -248,7 +377,7 @@ mod tests {
     }
 
     #[test]
-    fn fedavg_rule_matches_the_plain_server() {
+    fn fedavg_rule_matches_the_weighted_average() {
         let mut robust =
             RobustAggregator::new(named(&[0.0, 0.0]), AggregationRule::FedAvg).unwrap();
         robust
@@ -304,6 +433,47 @@ mod tests {
     }
 
     #[test]
+    fn aggregation_is_invariant_under_update_order() {
+        // The same update set in two arrival orders: the canonical
+        // client-id fold order makes the aggregates bit-identical.
+        let updates = [
+            update(0, 10, &[0.125, -3.0]),
+            update(1, 7, &[2.5, 0.0625]),
+            update(2, 13, &[-0.75, 1.0]),
+        ];
+        for rule in [
+            AggregationRule::FedAvg,
+            AggregationRule::NormClipping { max_norm: 1.0 },
+            AggregationRule::TrimmedMean { trim: 1 },
+        ] {
+            let initial = named(&[0.5, -0.25]);
+            let forward = aggregate_with_rule(&initial, 0, &updates, rule).unwrap();
+            let reversed: Vec<ModelUpdate> = updates.iter().rev().cloned().collect();
+            let backward = aggregate_with_rule(&initial, 0, &reversed, rule).unwrap();
+            let bits = |params: &[(String, Tensor)]| -> Vec<u32> {
+                params
+                    .iter()
+                    .flat_map(|(_, t)| t.data().iter().map(|v| v.to_bits()))
+                    .collect()
+            };
+            assert_eq!(bits(&forward), bits(&backward), "rule {rule:?} reordered");
+        }
+    }
+
+    #[test]
+    fn rule_validation_and_min_updates() {
+        assert!(AggregationRule::NormClipping { max_norm: 0.0 }
+            .validate()
+            .is_err());
+        assert!(AggregationRule::NormClipping { max_norm: f32::NAN }
+            .validate()
+            .is_err());
+        assert!(AggregationRule::FedAvg.validate().is_ok());
+        assert_eq!(AggregationRule::FedAvg.min_updates(), 1);
+        assert_eq!(AggregationRule::TrimmedMean { trim: 2 }.min_updates(), 5);
+    }
+
+    #[test]
     fn construction_and_aggregation_are_validated() {
         assert!(RobustAggregator::new(
             named(&[0.0]),
@@ -329,5 +499,37 @@ mod tests {
             ..update(0, 10, &[1.0])
         };
         assert!(server.aggregate(&[bad_schema]).is_err());
+        // Zero-sample updates are invalid under every rule (the protocol
+        // Nacks them at delivery; the call-level path agrees).
+        let mut weighted = RobustAggregator::new(named(&[0.0]), AggregationRule::FedAvg).unwrap();
+        assert!(weighted.aggregate(&[update(0, 0, &[1.0])]).is_err());
+        // Duplicate client ids would make the canonical fold order depend
+        // on arrival order, so they are rejected.
+        let mut duped = RobustAggregator::new(named(&[0.0]), AggregationRule::FedAvg).unwrap();
+        assert!(duped
+            .aggregate(&[update(0, 10, &[1.0]), update(0, 10, &[2.0])])
+            .is_err());
+    }
+
+    #[test]
+    fn non_finite_updates_are_rejected_under_every_rule() {
+        // A NaN coordinate would slip past the `norm > max_norm` clip guard
+        // and an ∞ delta would turn `scale · ∞` into NaN — one poisoned
+        // update must not NaN the global model under ANY rule.
+        for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            for rule in [
+                AggregationRule::FedAvg,
+                AggregationRule::NormClipping { max_norm: 1.0 },
+                AggregationRule::TrimmedMean { trim: 1 },
+            ] {
+                let mut server = RobustAggregator::new(named(&[0.0]), rule).unwrap();
+                let err = server.aggregate(&[
+                    update(0, 10, &[1.0]),
+                    update(1, 10, &[1.2]),
+                    update(2, 10, &[poison]),
+                ]);
+                assert!(err.is_err(), "rule {rule:?} accepted {poison}");
+            }
+        }
     }
 }

@@ -1,0 +1,190 @@
+//! The scenario layer: declarative descriptions of mixed honest/malicious
+//! federations.
+//!
+//! A [`ScenarioSpec`] is everything the paper's attack/defense experiments
+//! vary — the population mix (which client seats are honest, backdoored,
+//! free-riding or probing), the [`crate::ClientSchedule`]s, the server's
+//! [`crate::AggregationRule`] and whether updates travel shielded — bundled
+//! with the base [`FederationConfig`]. [`crate::Federation::from_scenario`]
+//! turns a spec into a running federation whose adversaries race the honest
+//! agents inside the same deterministic delivery sweeps, so every scenario
+//! replays bit-identically across repeats, transports and `PELTA_THREADS`
+//! values.
+
+use pelta_models::TrainingConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::{AttackKind, FederationConfig, FlError, Result, TrojanTrigger};
+
+/// What a client seat does with the protocol: the honest baseline or one of
+/// the paper's adversaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AgentRole {
+    /// An honest [`crate::ClientAgent`]: trains on its shard, reports its
+    /// update (sealed when the deployment shields updates).
+    Honest,
+    /// A [`crate::BackdoorAgent`]: trains on a trigger-poisoned shard and
+    /// ships a boosted model-replacement update.
+    Backdoor {
+        /// The trojan trigger stamped into the poisoned samples.
+        trigger: TrojanTrigger,
+        /// Fraction of the local shard that is poisoned.
+        poison_fraction: f32,
+        /// Multiplier on the reported sample count (the boosting trick).
+        boost: usize,
+        /// Attacker-side training override (attackers often train harder
+        /// than the honest population); `None` uses the federation's
+        /// `local_training`.
+        training: Option<TrainingConfig>,
+    },
+    /// A [`crate::FreeRiderAgent`]: echoes the broadcast back under a lying
+    /// weight after spamming junk frames at the collection deadline.
+    FreeRider {
+        /// The FedAvg weight it claims (`0` claims its shard size, the most
+        /// plausible lie).
+        claimed_samples: usize,
+        /// Junk frames sent per round to burn the straggler budget.
+        spam: usize,
+        /// Half-width of the uniform noise stamped on the echoed parameters.
+        perturbation: f32,
+    },
+    /// A [`crate::ProbingAgent`]: trains honestly as cover while running a
+    /// white-box evasion attack against each broadcast.
+    Probing {
+        /// Which evasion attack probes the replica.
+        attack: AttackKind,
+        /// L∞ budget of the probe.
+        epsilon: f32,
+        /// Attack iterations.
+        steps: usize,
+        /// Number of local samples in the fixed probe batch.
+        probe_samples: usize,
+    },
+}
+
+/// One seat's role assignment (seats without an assignment are honest).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoleAssignment {
+    /// The client seat this role applies to.
+    pub client_id: usize,
+    /// What the seat does with the protocol.
+    pub role: AgentRole,
+}
+
+/// A complete attack/defense scenario: the base federation configuration
+/// (rounds, policy, rule, transport, shielding, schedules) plus the
+/// population mix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// The base federation configuration.
+    pub federation: FederationConfig,
+    /// Role assignments by client id; unlisted seats are honest.
+    pub roles: Vec<RoleAssignment>,
+}
+
+impl ScenarioSpec {
+    /// An all-honest scenario over the given configuration.
+    pub fn honest(federation: FederationConfig) -> Self {
+        ScenarioSpec {
+            federation,
+            roles: Vec::new(),
+        }
+    }
+
+    /// Assigns `role` to `client_id` (builder style).
+    #[must_use]
+    pub fn with_role(mut self, client_id: usize, role: AgentRole) -> Self {
+        self.roles.push(RoleAssignment { client_id, role });
+        self
+    }
+
+    /// The role of one client seat.
+    pub fn role_of(&self, client_id: usize) -> AgentRole {
+        self.roles
+            .iter()
+            .find(|assignment| assignment.client_id == client_id)
+            .map(|assignment| assignment.role.clone())
+            .unwrap_or(AgentRole::Honest)
+    }
+
+    /// Number of seats with a non-honest role.
+    pub fn num_adversaries(&self) -> usize {
+        self.roles
+            .iter()
+            .filter(|assignment| assignment.role != AgentRole::Honest)
+            .count()
+    }
+
+    /// Validates the population mix against the federation configuration.
+    /// (Role-specific budgets — poison fractions, attack budgets — are
+    /// validated by the agent constructors when the federation is built.)
+    ///
+    /// # Errors
+    /// Returns an error if an assignment refers to a seat outside the
+    /// federation or a seat is assigned twice.
+    pub fn validate(&self) -> Result<()> {
+        for (index, assignment) in self.roles.iter().enumerate() {
+            if assignment.client_id >= self.federation.clients {
+                return Err(FlError::InvalidConfig {
+                    reason: format!(
+                        "role assignment refers to client {} of {}",
+                        assignment.client_id, self.federation.clients
+                    ),
+                });
+            }
+            if self.roles[..index]
+                .iter()
+                .any(|earlier| earlier.client_id == assignment.client_id)
+            {
+                return Err(FlError::InvalidConfig {
+                    reason: format!("client {} is assigned two roles", assignment.client_id),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backdoor_role() -> AgentRole {
+        AgentRole::Backdoor {
+            trigger: TrojanTrigger::new(3, 1.0, 0).unwrap(),
+            poison_fraction: 1.0,
+            boost: 10,
+            training: None,
+        }
+    }
+
+    #[test]
+    fn roles_default_to_honest_and_validate() {
+        let spec = ScenarioSpec::honest(FederationConfig::default())
+            .with_role(2, backdoor_role())
+            .with_role(
+                3,
+                AgentRole::FreeRider {
+                    claimed_samples: 0,
+                    spam: 2,
+                    perturbation: 0.0,
+                },
+            );
+        spec.validate().unwrap();
+        assert_eq!(spec.role_of(0), AgentRole::Honest);
+        assert!(matches!(spec.role_of(2), AgentRole::Backdoor { .. }));
+        assert_eq!(spec.num_adversaries(), 2);
+    }
+
+    #[test]
+    fn out_of_range_and_duplicate_assignments_are_rejected() {
+        let out_of_range =
+            ScenarioSpec::honest(FederationConfig::default()).with_role(99, backdoor_role());
+        assert!(out_of_range.validate().is_err());
+
+        let duplicate = ScenarioSpec::honest(FederationConfig::default())
+            .with_role(1, backdoor_role())
+            .with_role(1, AgentRole::Honest);
+        assert!(duplicate.validate().is_err());
+    }
+}

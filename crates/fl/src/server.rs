@@ -15,13 +15,18 @@
 //!    passed and the quorum is met, late updates are Nack'd instead of
 //!    aggregated. Clients may [`Message::Leave`] mid-round (dropout) or
 //!    [`Message::Join`] for the *next* round (rejoin).
-//! 3. **Aggregating** — [`FedAvgServer::close_round`] renormalises the
-//!    FedAvg weights over the clients that actually reported and folds their
-//!    updates into the global model, then returns to *Broadcasting*.
+//! 3. **Aggregating** — [`FedAvgServer::close_round`] applies the server's
+//!    [`AggregationRule`] to the updates that actually arrived (plain
+//!    sample-weighted FedAvg by default; norm clipping or trimmed mean when
+//!    the deployment defends against poisoned updates) and returns to
+//!    *Broadcasting*.
 //!
-//! The legacy call-level API ([`FedAvgServer::aggregate`] on a plain update
-//! slice) is the phase-3 core and remains available to benches and tests
-//! that do not need the message flow.
+//! Aggregation itself — validation, canonical client-id fold order, the rule
+//! dispatch — lives in [`crate::robust::aggregate_with_rule`], the single
+//! aggregation code path of the crate; the legacy call-level
+//! `FedAvgServer::aggregate` API was removed when the rules moved into the
+//! state machine (benches use [`crate::RobustAggregator`], which wraps the
+//! same function).
 
 use std::collections::BTreeSet;
 
@@ -30,7 +35,8 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::{FlError, GlobalModel, Message, ModelUpdate, NackReason, Result};
+use crate::robust::aggregate_with_rule;
+use crate::{AggregationRule, FlError, GlobalModel, Message, ModelUpdate, NackReason, Result};
 
 /// Who participates in a round and when the server stops waiting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -99,6 +105,7 @@ pub struct FedAvgServer {
     round: usize,
     parameters: Vec<(String, Tensor)>,
     policy: ParticipationPolicy,
+    rule: AggregationRule,
     phase: RoundPhase,
     connected: BTreeSet<usize>,
     participants: BTreeSet<usize>,
@@ -118,7 +125,8 @@ impl FedAvgServer {
             .expect("default policy is valid")
     }
 
-    /// Creates a server with an explicit participation policy.
+    /// Creates a server with an explicit participation policy and the plain
+    /// FedAvg rule.
     ///
     /// # Errors
     /// Returns an error if the quorum is zero or exceeds a non-zero sample
@@ -126,6 +134,22 @@ impl FedAvgServer {
     pub fn with_policy(
         initial_parameters: Vec<(String, Tensor)>,
         policy: ParticipationPolicy,
+    ) -> Result<Self> {
+        Self::with_rule(initial_parameters, policy, AggregationRule::FedAvg)
+    }
+
+    /// Creates a server with an explicit participation policy and aggregation
+    /// rule — the fully-specified constructor of the state machine.
+    ///
+    /// # Errors
+    /// Returns an error if the quorum is zero, exceeds a non-zero sample
+    /// size, or cannot satisfy the rule's minimum update count (a trimmed
+    /// mean needs `quorum > 2·trim` or a quorate round could still fail to
+    /// aggregate); also if the rule's own parameters are degenerate.
+    pub fn with_rule(
+        initial_parameters: Vec<(String, Tensor)>,
+        policy: ParticipationPolicy,
+        rule: AggregationRule,
     ) -> Result<Self> {
         if policy.quorum == 0 {
             return Err(FlError::InvalidConfig {
@@ -140,10 +164,21 @@ impl FedAvgServer {
                 ),
             });
         }
+        rule.validate()?;
+        if policy.quorum < rule.min_updates() {
+            return Err(FlError::InvalidConfig {
+                reason: format!(
+                    "quorum {} cannot satisfy rule {rule:?}, which needs at least {} updates",
+                    policy.quorum,
+                    rule.min_updates()
+                ),
+            });
+        }
         Ok(FedAvgServer {
             round: 0,
             parameters: initial_parameters,
             policy,
+            rule,
             phase: RoundPhase::Broadcasting,
             connected: BTreeSet::new(),
             participants: BTreeSet::new(),
@@ -169,6 +204,11 @@ impl FedAvgServer {
     /// The participation policy in force.
     pub fn policy(&self) -> ParticipationPolicy {
         self.policy
+    }
+
+    /// The aggregation rule applied in the *Aggregating* phase.
+    pub fn rule(&self) -> AggregationRule {
+        self.rule
     }
 
     /// The currently connected (joined, not left) clients.
@@ -329,10 +369,11 @@ impl FedAvgServer {
         deadline != 0 && self.delivered >= deadline && self.received.len() >= self.policy.quorum
     }
 
-    /// Closes the round: checks the quorum, renormalises the FedAvg weights
-    /// over the clients that reported, folds their updates into the global
-    /// model, and returns to the *Broadcasting* phase. The caller sends
-    /// [`Message::RoundEnd`] to the participants.
+    /// Closes the round: checks the quorum, applies the server's
+    /// [`AggregationRule`] to the updates that arrived (weights renormalise
+    /// over the reporters under the weighted rules), and returns to the
+    /// *Broadcasting* phase. The caller sends [`Message::RoundEnd`] to the
+    /// participants.
     ///
     /// # Errors
     /// Returns [`FlError::QuorumNotMet`] if too few updates arrived, or the
@@ -354,7 +395,8 @@ impl FedAvgServer {
         let round = self.round;
         let updates = std::mem::take(&mut self.received);
         let total_weight: usize = updates.iter().map(|u| u.num_samples).sum();
-        self.aggregate(&updates)?;
+        self.parameters = aggregate_with_rule(&self.parameters, round, &updates, self.rule)?;
+        self.round += 1;
         self.phase = RoundPhase::Broadcasting;
         Ok(RoundSummary {
             round,
@@ -394,105 +436,12 @@ impl FedAvgServer {
         Ok(())
     }
 
+    /// Per-update validation at delivery time — the same schema check the
+    /// aggregation path re-asserts ([`crate::robust::validate_update_schema`]),
+    /// so a refused update is Nack'd immediately instead of failing the
+    /// whole round at close.
     fn validate_update(&self, update: &ModelUpdate) -> Result<()> {
-        if update.num_samples == 0 {
-            return Err(FlError::InvalidConfig {
-                reason: format!("client {} update carries zero samples", update.client_id),
-            });
-        }
-        if update.parameters.len() != self.parameters.len() {
-            return Err(FlError::SchemaMismatch {
-                reason: format!(
-                    "client {} sent {} parameters, expected {}",
-                    update.client_id,
-                    update.parameters.len(),
-                    self.parameters.len()
-                ),
-            });
-        }
-        for (index, (name, current)) in self.parameters.iter().enumerate() {
-            let (update_name, value) = &update.parameters[index];
-            if update_name != name || value.dims() != current.dims() {
-                return Err(FlError::SchemaMismatch {
-                    reason: format!(
-                        "client {} parameter {index} is '{update_name}' {:?}, expected '{name}' {:?}",
-                        update.client_id,
-                        value.dims(),
-                        current.dims()
-                    ),
-                });
-            }
-        }
-        Ok(())
-    }
-
-    // ------------------------------------------------------------------
-    // Aggregation core (phase 3; also the legacy call-level API)
-    // ------------------------------------------------------------------
-
-    /// Aggregates one round of client updates with sample-weighted averaging
-    /// — the weights renormalise over exactly the updates supplied — and
-    /// advances the round counter.
-    ///
-    /// # Errors
-    /// Returns an error if no update was supplied, an update belongs to a
-    /// different round, or parameter schemas disagree.
-    pub fn aggregate(&mut self, updates: &[ModelUpdate]) -> Result<()> {
-        if updates.is_empty() {
-            return Err(FlError::InvalidConfig {
-                reason: "no client updates to aggregate".to_string(),
-            });
-        }
-        let total_samples: usize = updates.iter().map(|u| u.num_samples).sum();
-        if total_samples == 0 {
-            return Err(FlError::InvalidConfig {
-                reason: "client updates carry zero samples".to_string(),
-            });
-        }
-        for update in updates {
-            if update.round != self.round {
-                return Err(FlError::SchemaMismatch {
-                    reason: format!(
-                        "update from client {} targets round {}, server is at round {}",
-                        update.client_id, update.round, self.round
-                    ),
-                });
-            }
-            if update.parameters.len() != self.parameters.len() {
-                return Err(FlError::SchemaMismatch {
-                    reason: format!(
-                        "client {} sent {} parameters, expected {}",
-                        update.client_id,
-                        update.parameters.len(),
-                        self.parameters.len()
-                    ),
-                });
-            }
-        }
-
-        let mut aggregated = Vec::with_capacity(self.parameters.len());
-        for (index, (name, current)) in self.parameters.iter().enumerate() {
-            let mut accumulator = Tensor::zeros(current.dims());
-            for update in updates {
-                let (update_name, value) = &update.parameters[index];
-                if update_name != name || value.dims() != current.dims() {
-                    return Err(FlError::SchemaMismatch {
-                        reason: format!(
-                            "client {} parameter {index} is '{update_name}' {:?}, expected '{name}' {:?}",
-                            update.client_id,
-                            value.dims(),
-                            current.dims()
-                        ),
-                    });
-                }
-                let weight = update.num_samples as f32 / total_samples as f32;
-                accumulator = accumulator.axpy(weight, value)?;
-            }
-            aggregated.push((name.clone(), accumulator));
-        }
-        self.parameters = aggregated;
-        self.round += 1;
-        Ok(())
+        crate::robust::validate_update_schema(&self.parameters, update)
     }
 }
 
@@ -529,10 +478,14 @@ mod tests {
     fn weighted_average_matches_fedavg() {
         let mut server = FedAvgServer::new(named(0.0));
         assert_eq!(server.round(), 0);
+        assert_eq!(server.rule(), AggregationRule::FedAvg);
+        server.deliver(&Message::Join { client_id: 0 });
+        server.deliver(&Message::Join { client_id: 1 });
+        server.begin_round(&mut rng()).unwrap();
         // Client 0 has 3x the data of client 1: average = (3·1 + 1·5)/4 = 2.
-        server
-            .aggregate(&[update(0, 0, 30, 1.0), update(1, 0, 10, 5.0)])
-            .unwrap();
+        server.deliver(&update_message(0, 0, 30, 1.0));
+        server.deliver(&update_message(1, 0, 10, 5.0));
+        server.close_round().unwrap();
         assert_eq!(server.round(), 1);
         assert!((server.parameters()[0].1.data()[0] - 2.0).abs() < 1e-6);
         let broadcast = server.broadcast();
@@ -540,35 +493,52 @@ mod tests {
     }
 
     #[test]
-    fn aggregate_validates_inputs() {
-        let mut server = FedAvgServer::new(named(0.0));
-        assert!(server.aggregate(&[]).is_err());
-        assert!(server.aggregate(&[update(0, 1, 10, 1.0)]).is_err());
-        assert!(server.aggregate(&[update(0, 0, 0, 1.0)]).is_err());
-        // Wrong parameter name.
-        let bad = ModelUpdate {
-            client_id: 0,
-            round: 0,
-            num_samples: 5,
-            parameters: vec![("other".to_string(), Tensor::zeros(&[2]))],
-        };
-        assert!(server.aggregate(&[bad]).is_err());
-        // Wrong shape.
-        let bad_shape = ModelUpdate {
-            client_id: 0,
-            round: 0,
-            num_samples: 5,
-            parameters: vec![("w".to_string(), Tensor::zeros(&[3]))],
-        };
-        assert!(server.aggregate(&[bad_shape]).is_err());
-        // Wrong parameter count.
-        let bad_len = ModelUpdate {
-            client_id: 0,
-            round: 0,
-            num_samples: 5,
-            parameters: vec![],
-        };
-        assert!(server.aggregate(&[bad_len]).is_err());
+    fn robust_rules_apply_inside_the_state_machine() {
+        // Trimmed mean in-protocol: the boosted outlier of client 3 is
+        // discarded coordinate-wise, and its lying sample count buys nothing
+        // because the trimmed mean is unweighted.
+        let mut server = FedAvgServer::with_rule(
+            named(0.0),
+            ParticipationPolicy {
+                quorum: 3,
+                sample: 0,
+                straggler_deadline: 0,
+            },
+            AggregationRule::TrimmedMean { trim: 1 },
+        )
+        .unwrap();
+        assert_eq!(server.rule(), AggregationRule::TrimmedMean { trim: 1 });
+        for id in 0..4 {
+            server.deliver(&Message::Join { client_id: id });
+        }
+        server.begin_round(&mut rng()).unwrap();
+        server.deliver(&update_message(0, 0, 10, 1.0));
+        server.deliver(&update_message(1, 0, 10, 1.2));
+        server.deliver(&update_message(2, 0, 10, 0.8));
+        server.deliver(&update_message(3, 0, 500, 100.0));
+        let summary = server.close_round().unwrap();
+        assert_eq!(summary.reporters, vec![0, 1, 2, 3]);
+        let value = server.parameters()[0].1.data()[0];
+        assert!((value - 1.1).abs() < 1e-5, "trimmed aggregate {value}");
+
+        // A quorum the trimmed mean can never satisfy is refused up front.
+        assert!(FedAvgServer::with_rule(
+            named(0.0),
+            ParticipationPolicy {
+                quorum: 2,
+                sample: 0,
+                straggler_deadline: 0,
+            },
+            AggregationRule::TrimmedMean { trim: 1 },
+        )
+        .is_err());
+        // Degenerate rule parameters are refused too.
+        assert!(FedAvgServer::with_rule(
+            named(0.0),
+            ParticipationPolicy::default(),
+            AggregationRule::NormClipping { max_norm: -1.0 },
+        )
+        .is_err());
     }
 
     #[test]

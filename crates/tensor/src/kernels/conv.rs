@@ -5,7 +5,7 @@
 //! multiplied by the `[C_out, C_in·K_h·K_w]` kernel matrix with
 //! [`super::gemm::gemm`], which vectorises and blocks far better than the
 //! short `kx` inner loop ever could. Gradients reuse the same machinery:
-//! the input gradient is `Wᵀ · G` scattered back with [`col2im`]
+//! the input gradient is `Wᵀ · G` scattered back with `col2im`
 //! (a transposed convolution), and the weight gradient is `G · colsᵀ`
 //! accumulated over samples in fixed batch order.
 //!
@@ -170,7 +170,7 @@ pub fn conv2d(
 }
 
 /// Input gradient of [`conv2d`] for validated operands: per sample,
-/// `cols = Wᵀ · G` followed by a [`col2im`] scatter, then unpadding.
+/// `cols = Wᵀ · G` followed by a `col2im` scatter, then unpadding.
 ///
 /// # Errors
 /// Returns an error on geometry mismatch.
@@ -233,7 +233,7 @@ pub fn conv2d_input_grad(
 const MAX_WGRAD_PARTIALS: usize = 16;
 
 /// Weight gradient of [`conv2d`] for validated operands: per sample,
-/// `G · colsᵀ`, accumulated into at most [`MAX_WGRAD_PARTIALS`] batch-chunk
+/// `G · colsᵀ`, accumulated into at most `MAX_WGRAD_PARTIALS` batch-chunk
 /// partials (each chunk walks its samples in ascending order) that reduce in
 /// ascending chunk order, so the result is independent of the thread count.
 ///
@@ -321,7 +321,7 @@ pub fn conv2d_weight_grad(
 
 /// Transposed convolution of validated operands (`input` `[N, C_in, H, W]`,
 /// `weight` `[C_in, C_out, K_h, K_w]`, output `[N, C_out, (H-1)·s + K_h,
-/// (W-1)·s + K_w]`): per sample `cols = Wᵀ · x` scattered with [`col2im`]
+/// (W-1)·s + K_w]`): per sample `cols = Wᵀ · x` scattered with `col2im`
 /// onto the upsampled grid.
 ///
 /// # Errors

@@ -18,7 +18,7 @@
 //! disjoint output regions. `PELTA_THREADS=1` and `PELTA_THREADS=N` produce
 //! bit-identical tensors.
 //!
-//! [`reference`] keeps the seed repository's naive loops as property-test
+//! [`mod@reference`] keeps the seed repository's naive loops as property-test
 //! oracles and as the baseline the `perf` binary of `pelta-bench` measures
 //! speedups against.
 

@@ -1,0 +1,129 @@
+//! Adversary-in-the-scheduler federation: a backdoor client races four
+//! honest agents inside the deterministic delivery sweeps, and the server's
+//! aggregation rule decides whether the poisoned update captures the global
+//! model.
+//!
+//! The scenario is declared once as a [`ScenarioSpec`] — population mix,
+//! participation policy, aggregation rule — and run twice: under plain
+//! FedAvg (the boosted model-replacement update walks in) and under the
+//! coordinate-wise trimmed mean (the outlier update is discarded
+//! coordinate-by-coordinate and its inflated sample count is ignored).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example robust_federation
+//! ```
+
+use std::error::Error;
+
+use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
+use pelta_fl::{
+    backdoor_success_rate, AgentRole, AggregationRule, Federation, FederationConfig,
+    ParticipationPolicy, ScenarioSpec, TransportKind, TrojanTrigger,
+};
+use pelta_models::{accuracy, TrainingConfig};
+use pelta_tensor::SeedStream;
+
+fn trigger() -> TrojanTrigger {
+    TrojanTrigger::new(6, 1.0, 0).expect("valid trigger")
+}
+
+/// The shared scenario: 4 honest agents + 1 backdoor agent in seat 4, all
+/// driven by the `Federation` scheduler over the serialised transport.
+fn scenario(rule: AggregationRule) -> ScenarioSpec {
+    ScenarioSpec::honest(FederationConfig {
+        clients: 5,
+        rounds: 1,
+        local_training: TrainingConfig {
+            epochs: 1,
+            batch_size: 8,
+            learning_rate: 0.02,
+            momentum: 0.9,
+        },
+        eval_samples: 30,
+        transport: TransportKind::Serialized,
+        policy: ParticipationPolicy {
+            quorum: 5,
+            sample: 0,
+            straggler_deadline: 0,
+        },
+        rule,
+        ..FederationConfig::default()
+    })
+    .with_role(
+        4,
+        AgentRole::Backdoor {
+            trigger: trigger(),
+            poison_fraction: 1.0,
+            boost: 30,
+            training: Some(TrainingConfig {
+                epochs: 4,
+                batch_size: 5,
+                learning_rate: 0.05,
+                momentum: 0.9,
+            }),
+        },
+    )
+}
+
+/// Example body, also driven by `tests/examples_smoke.rs`.
+pub fn run() -> Result<(), Box<dyn Error>> {
+    let dataset = Dataset::generate(
+        DatasetSpec::Cifar10Like,
+        &GeneratorConfig {
+            train_samples: 50,
+            test_samples: 30,
+            ..GeneratorConfig::default()
+        },
+        820,
+    );
+
+    let mut rates = Vec::new();
+    for (label, rule) in [
+        ("FedAvg (no defense)", AggregationRule::FedAvg),
+        (
+            "TrimmedMean(trim=1)",
+            AggregationRule::TrimmedMean { trim: 1 },
+        ),
+    ] {
+        let mut seeds = SeedStream::new(820);
+        let spec = scenario(rule);
+        let mut federation = Federation::vit_scenario(&dataset, &spec, Partition::Iid, &mut seeds)?;
+        let history = federation.run(&mut seeds)?;
+        let record = &history.rounds[0];
+        let eval = dataset.test_subset(30);
+        let global = federation.global_model()?;
+        let backdoor = backdoor_success_rate(global, &eval.images, &eval.labels, &trigger())?;
+        let clean = accuracy(global, &eval.images, &eval.labels)?;
+        println!(
+            "{label:>20}: backdoor rate {:.0}%, clean accuracy {:.0}%, \
+             {} adversarial action(s), reporters {:?}",
+            backdoor * 100.0,
+            clean * 100.0,
+            record.adversarial_actions,
+            record.summary.reporters,
+        );
+        assert_eq!(
+            record.adversarial_actions, 1,
+            "the backdoor agent must act through the scheduler"
+        );
+        rates.push(backdoor);
+    }
+
+    let (fedavg_rate, trimmed_rate) = (rates[0], rates[1]);
+    assert!(
+        trimmed_rate <= fedavg_rate,
+        "trimmed mean must not amplify the backdoor \
+         (fedavg {fedavg_rate}, trimmed {trimmed_rate})"
+    );
+    println!(
+        "backdoor suppression: {:.0}% under FedAvg -> {:.0}% under the trimmed mean",
+        fedavg_rate * 100.0,
+        trimmed_rate * 100.0
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    run()
+}

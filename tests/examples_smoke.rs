@@ -19,6 +19,10 @@ mod shielded_inference;
 #[allow(dead_code)]
 mod federated_dropout;
 
+#[path = "../examples/robust_federation.rs"]
+#[allow(dead_code)]
+mod robust_federation;
+
 #[test]
 fn quickstart_example_runs() {
     quickstart::run().expect("quickstart example should run to completion");
@@ -32,4 +36,9 @@ fn shielded_inference_example_runs() {
 #[test]
 fn federated_dropout_example_runs() {
     federated_dropout::run().expect("federated_dropout example should run to completion");
+}
+
+#[test]
+fn robust_federation_example_runs() {
+    robust_federation::run().expect("robust_federation example should run to completion");
 }

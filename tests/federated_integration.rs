@@ -6,11 +6,12 @@ use std::sync::Arc;
 use pelta_attacks::select_correctly_classified;
 use pelta_data::{federated_split, Dataset, DatasetSpec, GeneratorConfig, Partition};
 use pelta_fl::{
-    export_parameters, import_parameters, AttackKind, ClientSchedule, CompromisedClient,
-    FedAvgServer, Federation, FederationConfig, FlClient, ModelUpdate, ParticipationPolicy,
-    TransportKind,
+    backdoor_success_rate, export_parameters, import_parameters, AgentRole, AggregationRule,
+    AttackKind, ClientSchedule, CompromisedClient, FedAvgServer, Federation, FederationConfig,
+    FlClient, Message, ModelUpdate, NackReason, ParticipationPolicy, RunHistory, ScenarioSpec,
+    TransportKind, TrojanTrigger,
 };
-use pelta_models::{ImageModel, TrainingConfig, ViTConfig, VisionTransformer};
+use pelta_models::{accuracy, ImageModel, TrainingConfig, ViTConfig, VisionTransformer};
 use pelta_nn::Module;
 use pelta_tensor::{pool, SeedStream, Tensor};
 
@@ -65,7 +66,7 @@ fn federated_rounds_produce_a_usable_global_model() {
 }
 
 /// The server rejects malformed updates instead of silently corrupting the
-/// global model.
+/// global model — through the one aggregation path, the state machine.
 #[test]
 fn aggregation_rejects_schema_violations() {
     let mut seeds = SeedStream::new(801);
@@ -76,6 +77,10 @@ fn aggregation_rejects_schema_violations() {
     .unwrap();
     let params = export_parameters(&vit);
     let mut server = FedAvgServer::new(params.clone());
+    server.deliver(&Message::Join { client_id: 0 });
+    server.deliver(&Message::Join { client_id: 1 });
+    let mut rng = seeds.derive("round");
+    server.begin_round(&mut rng).unwrap();
 
     // A good update aggregates fine.
     let good = ModelUpdate {
@@ -84,17 +89,54 @@ fn aggregation_rejects_schema_violations() {
         num_samples: 10,
         parameters: params.clone(),
     };
-    server.aggregate(&[good]).unwrap();
+    assert!(server
+        .deliver(&Message::Update {
+            update: good,
+            shielded: Vec::new(),
+        })
+        .is_empty());
+
+    // A truncated-schema update is Nack'd instead of corrupting the round.
+    let truncated = ModelUpdate {
+        client_id: 1,
+        round: 0,
+        num_samples: 10,
+        parameters: params[..params.len() - 1].to_vec(),
+    };
+    let refused = server.deliver(&Message::Update {
+        update: truncated,
+        shielded: Vec::new(),
+    });
+    assert!(matches!(
+        refused[0],
+        Message::Nack {
+            reason: NackReason::Rejected(_),
+            ..
+        }
+    ));
+
+    server.close_round().unwrap();
     assert_eq!(server.round(), 1);
 
-    // A stale-round update is rejected.
+    // A stale-round update is Nack'd once the server has moved on.
+    server.begin_round(&mut rng).unwrap();
     let stale = ModelUpdate {
         client_id: 1,
         round: 0,
         num_samples: 10,
         parameters: params,
     };
-    assert!(server.aggregate(&[stale]).is_err());
+    let refused = server.deliver(&Message::Update {
+        update: stale,
+        shielded: Vec::new(),
+    });
+    assert!(matches!(
+        refused[0],
+        Message::Nack {
+            reason: NackReason::StaleRound,
+            ..
+        }
+    ));
 }
 
 /// The complete threat-model loop: after federated training the compromised
@@ -203,11 +245,12 @@ fn run_federation(seed: u64, transport: TransportKind) -> Vec<(String, Vec<u32>)
     global_bits(federation.server().parameters())
 }
 
-/// The pre-refactor federation loop, reconstructed verbatim: direct function
-/// calls, no transports, no messages — broadcast, per-client local training
-/// in client order, sample-weighted aggregation. Seed derivations mirror
-/// `Federation::with_factory` exactly, so it trains the same replicas on the
-/// same shards.
+/// The pre-refactor federation loop, reconstructed: direct function calls,
+/// no transports — broadcast, per-client local training in client order,
+/// updates handed straight to the server state machine. Seed derivations
+/// mirror `Federation::from_scenario` and `Federation::run` exactly, so it
+/// trains the same replicas on the same shards and samples the same
+/// participants.
 fn run_pre_refactor_loop(seed: u64) -> Vec<(String, Vec<u32>)> {
     let data = dataset(seed, 40);
     let mut seeds = SeedStream::new(seed);
@@ -236,14 +279,22 @@ fn run_pre_refactor_loop(seed: u64) -> Vec<(String, Vec<u32>)> {
             FlClient::new(id, shard, Box::new(model), config.local_training.clone())
         })
         .collect();
-    for _ in 0..config.rounds {
+    for id in 0..config.clients {
+        server.deliver(&Message::Join { client_id: id });
+    }
+    for round in 0..config.rounds {
+        let mut rng = seeds.derive_indexed("participants", round as u64);
+        server.begin_round(&mut rng).unwrap();
         let broadcast = server.broadcast();
-        let mut updates = Vec::new();
         for client in &mut clients {
             let (update, _) = client.local_round(&broadcast).unwrap();
-            updates.push(update);
+            let refused = server.deliver(&Message::Update {
+                update,
+                shielded: Vec::new(),
+            });
+            assert!(refused.is_empty());
         }
-        server.aggregate(&updates).unwrap();
+        server.close_round().unwrap();
     }
     global_bits(server.parameters())
 }
@@ -330,4 +381,209 @@ fn dropout_round_completes_at_quorum_and_is_deterministic() {
     let (replay_history, replay_bits) = run();
     assert_eq!(history, replay_history);
     assert_eq!(bits, replay_bits);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: adversary-in-the-scheduler — the backdoor-vs-rule matrix and
+// the deterministic replay of adversarial scenarios
+// ---------------------------------------------------------------------------
+
+fn backdoor_trigger() -> TrojanTrigger {
+    TrojanTrigger::new(6, 1.0, 0).unwrap()
+}
+
+/// One `BackdoorAgent` among 4 honest agents, driven entirely by the
+/// `Federation` scheduler. The attacker fully poisons its shard, trains
+/// harder than the honest population and boosts its reported weight — the
+/// classic model-replacement recipe.
+fn backdoor_spec(rule: AggregationRule, transport: TransportKind) -> ScenarioSpec {
+    ScenarioSpec::honest(FederationConfig {
+        clients: 5,
+        rounds: 1,
+        local_training: TrainingConfig {
+            epochs: 1,
+            batch_size: 8,
+            learning_rate: 0.02,
+            momentum: 0.9,
+        },
+        eval_samples: 30,
+        transport,
+        policy: ParticipationPolicy {
+            quorum: 5,
+            sample: 0,
+            straggler_deadline: 0,
+        },
+        rule,
+        ..FederationConfig::default()
+    })
+    .with_role(
+        4,
+        AgentRole::Backdoor {
+            trigger: backdoor_trigger(),
+            poison_fraction: 1.0,
+            boost: 30,
+            training: Some(TrainingConfig {
+                epochs: 4,
+                batch_size: 5,
+                learning_rate: 0.05,
+                momentum: 0.9,
+            }),
+        },
+    )
+}
+
+/// Runs a backdoor scenario and returns its history, the global model's
+/// exact bits, and the (backdoor rate, clean accuracy) of the global model.
+#[allow(clippy::type_complexity)]
+fn run_backdoor_scenario(spec: &ScenarioSpec) -> (RunHistory, Vec<(String, Vec<u32>)>, f32, f32) {
+    let data = dataset(820, 50);
+    let mut seeds = SeedStream::new(820);
+    let mut federation = Federation::vit_scenario(&data, spec, Partition::Iid, &mut seeds).unwrap();
+    let history = federation.run(&mut seeds).unwrap();
+    let bits = global_bits(federation.server().parameters());
+    let eval = data.test_subset(30);
+    let global = federation.global_model().unwrap();
+    let backdoor =
+        backdoor_success_rate(global, &eval.images, &eval.labels, &backdoor_trigger()).unwrap();
+    let clean = accuracy(global, &eval.images, &eval.labels).unwrap();
+    (history, bits, backdoor, clean)
+}
+
+/// The headline acceptance matrix: under plain FedAvg the boosted backdoor
+/// update captures the global model (measurable backdoor lift), while norm
+/// clipping and the trimmed mean — running *inside* the state machine's
+/// Aggregating phase — suppress it.
+#[test]
+fn backdoor_lift_under_fedavg_is_suppressed_by_robust_rules() {
+    let (history, _, fedavg_rate, fedavg_clean) = run_backdoor_scenario(&backdoor_spec(
+        AggregationRule::FedAvg,
+        TransportKind::InMemory,
+    ));
+    // The attacker acted through the scheduler, not a hand-driven test.
+    assert_eq!(history.rounds[0].adversarial_actions, 1);
+    assert_eq!(history.rounds[0].summary.reporters, vec![0, 1, 2, 3, 4]);
+
+    let (_, _, clipped_rate, clipped_clean) = run_backdoor_scenario(&backdoor_spec(
+        AggregationRule::NormClipping { max_norm: 1.0 },
+        TransportKind::InMemory,
+    ));
+    let (_, _, trimmed_rate, trimmed_clean) = run_backdoor_scenario(&backdoor_spec(
+        AggregationRule::TrimmedMean { trim: 1 },
+        TransportKind::InMemory,
+    ));
+
+    eprintln!(
+        "fedavg: rate {fedavg_rate} clean {fedavg_clean}; clipped: rate {clipped_rate} clean {clipped_clean}; trimmed: rate {trimmed_rate} clean {trimmed_clean}"
+    );
+    for value in [
+        fedavg_rate,
+        fedavg_clean,
+        clipped_rate,
+        clipped_clean,
+        trimmed_rate,
+        trimmed_clean,
+    ] {
+        assert!((0.0..=1.0).contains(&value));
+    }
+    assert!(
+        fedavg_rate >= 0.5,
+        "boosted backdoor should capture the undefended global model, rate {fedavg_rate}"
+    );
+    assert!(
+        fedavg_rate >= clipped_rate + 0.25,
+        "norm clipping failed to suppress the backdoor: fedavg {fedavg_rate} vs clipped {clipped_rate}"
+    );
+    assert!(
+        fedavg_rate >= trimmed_rate + 0.25,
+        "trimmed mean failed to suppress the backdoor: fedavg {fedavg_rate} vs trimmed {trimmed_rate}"
+    );
+}
+
+/// Acceptance: an adversarial scenario — malicious agent, robust rule and
+/// all — replays bit-identically across repeats, transports and
+/// `PELTA_THREADS` values.
+#[test]
+fn adversarial_scenarios_replay_bit_identically() {
+    let spec_for = |transport| backdoor_spec(AggregationRule::TrimmedMean { trim: 1 }, transport);
+
+    pool::set_global_threads(1);
+    let reference = run_backdoor_scenario(&spec_for(TransportKind::InMemory));
+    let repeat = run_backdoor_scenario(&spec_for(TransportKind::InMemory));
+    assert_eq!(reference, repeat, "repeat run diverged");
+
+    let serialized = run_backdoor_scenario(&spec_for(TransportKind::Serialized));
+    assert_eq!(
+        reference.1, serialized.1,
+        "serialized transport changed the global model bits"
+    );
+    assert_eq!(reference.0, serialized.0, "round histories diverged");
+
+    pool::set_global_threads(4);
+    let threaded = run_backdoor_scenario(&spec_for(TransportKind::InMemory));
+    assert_eq!(
+        reference, threaded,
+        "global model bits changed with the thread count"
+    );
+    pool::set_global_threads(pool::env_threads());
+}
+
+/// The protocol-timing attack: a free rider's junk frames burn the
+/// straggler-deadline budget (counted in delivered messages), pushing an
+/// honest laggard past the deadline — while without spam the same laggard
+/// reports in time.
+#[test]
+fn free_rider_spam_starves_the_straggler_deadline() {
+    let run = |spam: usize| {
+        let data = dataset(821, 48);
+        let mut seeds = SeedStream::new(821);
+        let spec = ScenarioSpec::honest(FederationConfig {
+            clients: 4,
+            rounds: 1,
+            local_training: TrainingConfig {
+                epochs: 1,
+                batch_size: 8,
+                learning_rate: 0.02,
+                momentum: 0.9,
+            },
+            eval_samples: 10,
+            policy: ParticipationPolicy {
+                quorum: 2,
+                sample: 0,
+                straggler_deadline: 4,
+            },
+            // Client 1 is an honest straggler: its messages lag two sweeps.
+            schedules: vec![ClientSchedule {
+                client_id: 1,
+                drop_at_round: None,
+                rejoin_at_round: None,
+                latency: 2,
+            }],
+            ..FederationConfig::default()
+        })
+        .with_role(
+            2,
+            AgentRole::FreeRider {
+                claimed_samples: 0,
+                spam,
+                perturbation: 0.0,
+            },
+        );
+        let mut federation =
+            Federation::vit_scenario(&data, &spec, Partition::Iid, &mut seeds).unwrap();
+        federation.run(&mut seeds).unwrap()
+    };
+
+    // Without spam every participant reports (the laggard's update is the
+    // last delivered, but it lands inside the deadline).
+    let calm = run(0);
+    assert_eq!(calm.rounds[0].summary.reporters, vec![0, 2, 3, 1]);
+    assert!(calm.rounds[0].summary.stragglers.is_empty());
+
+    // One junk frame shifts the delivery counts: the free rider's own
+    // update slips to the next sweep (hence after client 3's) and the
+    // honest laggard now lands past the deadline, Nack'd as a straggler.
+    let attacked = run(1);
+    assert_eq!(attacked.rounds[0].adversarial_actions, 1);
+    assert_eq!(attacked.rounds[0].summary.reporters, vec![0, 3, 2]);
+    assert_eq!(attacked.rounds[0].summary.stragglers, vec![1]);
 }

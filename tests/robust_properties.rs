@@ -1,0 +1,174 @@
+//! Property tests of the in-protocol robust aggregation path: for every
+//! rule, the aggregate is **bit-identical**
+//!
+//! * across `PELTA_THREADS = 1` and `4` (the rules ride the deterministic
+//!   kernel backend),
+//! * across the in-memory and the serialised transport (the wire encoding
+//!   is bitwise lossless and the state machine is transport-agnostic),
+//! * under client-id permutations of the same update set (aggregation
+//!   canonicalises the fold order by client id before any float touches an
+//!   accumulator), and
+//! * between the message-driven `FedAvgServer` state machine and the
+//!   call-level `RobustAggregator` — the two façades of the single
+//!   aggregation code path.
+
+use proptest::prelude::*;
+
+use pelta_fl::{
+    AggregationRule, FedAvgServer, Message, ModelUpdate, ParticipationPolicy, RobustAggregator,
+    TransportKind,
+};
+use pelta_tensor::{pool, SeedStream, Tensor};
+
+/// The three rules under test, parameterised off two proptest draws.
+fn rules(max_norm: f32, trim: usize) -> [AggregationRule; 3] {
+    [
+        AggregationRule::FedAvg,
+        AggregationRule::NormClipping { max_norm },
+        AggregationRule::TrimmedMean { trim },
+    ]
+}
+
+/// Two named parameter tensors per client, derived from the drawn values.
+fn updates_from(values: &[Vec<f32>]) -> Vec<ModelUpdate> {
+    values
+        .iter()
+        .enumerate()
+        .map(|(id, row)| {
+            let split = row.len() / 2;
+            ModelUpdate {
+                client_id: id,
+                round: 0,
+                num_samples: 5 + id,
+                parameters: vec![
+                    (
+                        "prefix.w".to_string(),
+                        Tensor::from_vec(row[..split].to_vec(), &[split]).unwrap(),
+                    ),
+                    (
+                        "suffix.w".to_string(),
+                        Tensor::from_vec(row[split..].to_vec(), &[row.len() - split]).unwrap(),
+                    ),
+                ],
+            }
+        })
+        .collect()
+}
+
+fn initial_for(updates: &[ModelUpdate]) -> Vec<(String, Tensor)> {
+    updates[0]
+        .parameters
+        .iter()
+        .map(|(name, tensor)| (name.clone(), Tensor::zeros(tensor.dims())))
+        .collect()
+}
+
+fn bits(parameters: &[(String, Tensor)]) -> Vec<(String, Vec<u32>)> {
+    parameters
+        .iter()
+        .map(|(name, tensor)| {
+            (
+                name.clone(),
+                tensor.data().iter().map(|v| v.to_bits()).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Call-level aggregation of one round under `rule`.
+fn aggregate_call_level(updates: &[ModelUpdate], rule: AggregationRule) -> Vec<(String, Vec<u32>)> {
+    let mut aggregator = RobustAggregator::new(initial_for(updates), rule).unwrap();
+    aggregator.aggregate(updates).unwrap();
+    bits(aggregator.parameters())
+}
+
+/// The same round pushed through the `FedAvgServer` state machine with every
+/// message crossing a transport of the given kind.
+fn aggregate_in_protocol(
+    updates: &[ModelUpdate],
+    rule: AggregationRule,
+    kind: TransportKind,
+) -> Vec<(String, Vec<u32>)> {
+    let mut server = FedAvgServer::with_rule(
+        initial_for(updates),
+        ParticipationPolicy {
+            quorum: rule.min_updates(),
+            sample: 0,
+            straggler_deadline: 0,
+        },
+        rule,
+    )
+    .unwrap();
+    let links: Vec<_> = (0..updates.len()).map(|_| kind.duplex()).collect();
+    for (id, (client_end, server_end)) in links.iter().enumerate() {
+        client_end.send(&Message::Join { client_id: id }).unwrap();
+        let join = server_end.recv().unwrap().unwrap();
+        server.deliver(&join);
+    }
+    let mut rng = SeedStream::new(17).derive("round");
+    server.begin_round(&mut rng).unwrap();
+    for (update, (client_end, _)) in updates.iter().zip(links.iter()) {
+        client_end
+            .send(&Message::Update {
+                update: update.clone(),
+                shielded: Vec::new(),
+            })
+            .unwrap();
+    }
+    for (_, server_end) in &links {
+        let message = server_end.recv().unwrap().unwrap();
+        let refused = server.deliver(&message);
+        assert!(refused.is_empty(), "update unexpectedly refused");
+    }
+    server.close_round().unwrap();
+    bits(server.parameters())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12).with_seed(0x5eed_0b05))]
+
+    /// TrimmedMean / NormClipping (and FedAvg) aggregates are bit-identical
+    /// across thread counts, across transports, under client-id
+    /// permutations, and between the call-level and in-protocol façades.
+    #[test]
+    fn robust_aggregation_is_bit_stable(
+        values in proptest::collection::vec(
+            proptest::collection::vec(-8.0f32..8.0, 8..13),
+            3..6,
+        ),
+        max_norm in 0.1f32..4.0,
+        rotation in 0usize..5,
+    ) {
+        // Every client must carry the same parameter shapes.
+        let width = values[0].len();
+        let values: Vec<Vec<f32>> = values
+            .into_iter()
+            .map(|mut row| { row.resize(width, 0.5); row })
+            .collect();
+        let updates = updates_from(&values);
+
+        for rule in rules(max_norm, 1) {
+            // Reference: call-level aggregate at one thread.
+            pool::set_global_threads(1);
+            let reference = aggregate_call_level(&updates, rule);
+
+            // Thread-count invariance.
+            pool::set_global_threads(4);
+            prop_assert_eq!(&aggregate_call_level(&updates, rule), &reference);
+            pool::set_global_threads(pool::env_threads());
+
+            // Permutation invariance: rotate and reverse the arrival order.
+            let mut permuted = updates.clone();
+            let shift = rotation % permuted.len();
+            permuted.rotate_left(shift);
+            permuted.reverse();
+            prop_assert_eq!(&aggregate_call_level(&permuted, rule), &reference);
+
+            // Transport invariance + state-machine equivalence: the same
+            // set through the server over both transports.
+            for kind in [TransportKind::InMemory, TransportKind::Serialized] {
+                prop_assert_eq!(&aggregate_in_protocol(&updates, rule, kind), &reference);
+            }
+        }
+    }
+}
