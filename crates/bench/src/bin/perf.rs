@@ -16,7 +16,10 @@
 //! together with an **adversarial-round probe**: a mixed honest/malicious
 //! population (boosted outlier updates + junk-frame spam) aggregated under
 //! the trimmed mean, replayed twice to assert the adversarial path is
-//! bit-deterministic.
+//! bit-deterministic. A **hierarchical-round probe** drives the two-hop
+//! path of the topology layer (member → edge aggregator → combined subtree
+//! frame → root) over the serialised transport, again replayed twice for a
+//! determinism field.
 //!
 //! Usage: `perf [--quick] [--out <path>] [--check [--tolerance <frac>]]`.
 //! `--quick` runs fewer iterations (the CI snapshot). `--check` (implies
@@ -29,8 +32,8 @@
 use std::time::Instant;
 
 use pelta_fl::{
-    export_parameters, AggregationRule, FedAvgServer, Message, ModelUpdate, ParticipationPolicy,
-    TransportKind,
+    export_parameters, AggregationRule, EdgeAggregator, FedAvgServer, Message, ModelUpdate,
+    ParticipationPolicy, TransportKind,
 };
 use pelta_models::{predict_logits, train_step, ViTConfig, VisionTransformer};
 use pelta_nn::Sgd;
@@ -382,6 +385,147 @@ fn bench_adversarial(iters: usize) -> AdversarialRow {
     }
 }
 
+struct HierarchicalRow {
+    clients: usize,
+    edges: usize,
+    rounds: usize,
+    messages: usize,
+    msgs_per_s: f64,
+    determinism_param_diffs: usize,
+}
+
+/// Pumps `rounds` federated rounds through the **two-hop** hierarchical
+/// path over the serialised transport: the broadcast relayed through each
+/// edge aggregator to its members, member updates collected by the edges'
+/// per-subtree state machines, one combined subtree frame forwarded per
+/// edge, and the root unwrapping the members into its own state machine. No
+/// local training — this isolates the wire + edge + root cost the topology
+/// layer added. Returns the message count and the final parameter bits.
+fn hierarchical_round_trip(
+    parameters: &[(String, Tensor)],
+    groups: &[Vec<usize>],
+    rounds: usize,
+) -> (usize, Vec<u32>) {
+    let mut root = FedAvgServer::new(parameters.to_vec());
+    let mut edges = Vec::new();
+    let mut uplink_root_ends = Vec::new();
+    let mut agent_ends = Vec::new();
+    for (edge_id, group) in groups.iter().enumerate() {
+        let (edge_end, root_end) = TransportKind::Serialized.duplex();
+        let mut edge = EdgeAggregator::new(edge_id, ParticipationPolicy::default(), edge_end)
+            .expect("valid edge policy");
+        for &member in group {
+            let (agent_end, server_end) = TransportKind::Serialized.duplex();
+            edge.attach_member(member, server_end, 0);
+            agent_end
+                .send(&Message::Join { client_id: member })
+                .expect("join");
+            agent_ends.push((member, agent_end));
+        }
+        edge.pump_idle().expect("join pump");
+        edges.push(edge);
+        uplink_root_ends.push(root_end);
+    }
+    for root_end in &uplink_root_ends {
+        while let Some(message) = root_end.recv().expect("uplink recv") {
+            root.deliver(&message);
+        }
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(29);
+    for _ in 0..rounds {
+        let participants = root.begin_round(&mut rng).expect("begin round");
+        let broadcast = root.broadcast();
+        for (edge, group) in edges.iter_mut().zip(groups) {
+            let subset: Vec<usize> = group
+                .iter()
+                .copied()
+                .filter(|id| participants.contains(id))
+                .collect();
+            edge.open_round(&broadcast, &subset)
+                .expect("open edge round");
+        }
+        for (member, agent_end) in &agent_ends {
+            let Some(Message::RoundStart { global, .. }) = agent_end.recv().expect("client recv")
+            else {
+                panic!("member expected the relayed RoundStart");
+            };
+            agent_end
+                .send(&Message::Update {
+                    update: ModelUpdate {
+                        client_id: *member,
+                        round: global.round,
+                        num_samples: 16,
+                        parameters: global.parameters,
+                    },
+                    shielded: Vec::new(),
+                })
+                .expect("update");
+        }
+        for edge in &mut edges {
+            let mut sweep = 0;
+            while edge.pump(sweep).expect("edge pump").delivered {
+                sweep += 1;
+            }
+            edge.close_and_forward().expect("close edge round");
+        }
+        for root_end in &uplink_root_ends {
+            while let Some(message) = root_end.recv().expect("uplink recv") {
+                let Message::AggregateUpdate { members, .. } = message else {
+                    panic!("uplink must carry combined subtree frames");
+                };
+                for member in members {
+                    let refused = root.deliver(&Message::Update {
+                        update: member.update,
+                        shielded: member.shielded,
+                    });
+                    assert!(refused.is_empty(), "member update unexpectedly refused");
+                }
+            }
+        }
+        root.close_round().expect("close root round");
+    }
+    let mut messages: usize = agent_ends.iter().map(|(_, end)| end.messages_sent()).sum();
+    for edge in &edges {
+        messages += edge.traffic().0;
+    }
+    messages += uplink_root_ends
+        .iter()
+        .map(|end| end.messages_sent())
+        .sum::<usize>();
+    let bits = root
+        .parameters()
+        .iter()
+        .flat_map(|(_, t)| t.data().iter().map(|v| v.to_bits()))
+        .collect();
+    (messages, bits)
+}
+
+fn bench_hierarchical(iters: usize) -> HierarchicalRow {
+    const ROUNDS: usize = 3;
+    let groups = vec![vec![0usize, 1], vec![2, 3]];
+    let parameters = export_parameters(&scaled_vit(13));
+
+    let (messages, reference_bits) = hierarchical_round_trip(&parameters, &groups, ROUNDS);
+    let (_, replay_bits) = hierarchical_round_trip(&parameters, &groups, ROUNDS);
+    let determinism_param_diffs = reference_bits
+        .iter()
+        .zip(replay_bits.iter())
+        .filter(|(a, b)| a != b)
+        .count()
+        + reference_bits.len().abs_diff(replay_bits.len());
+    let elapsed = time_best(iters, || {
+        std::hint::black_box(hierarchical_round_trip(&parameters, &groups, ROUNDS));
+    });
+    HierarchicalRow {
+        clients: groups.iter().map(Vec::len).sum(),
+        edges: groups.len(),
+        rounds: ROUNDS,
+        messages,
+        msgs_per_s: messages as f64 / elapsed,
+        determinism_param_diffs,
+    }
+}
+
 fn bench_federation(iters: usize) -> FederationRow {
     const CLIENTS: usize = 4;
     const ROUNDS: usize = 3;
@@ -550,6 +694,7 @@ fn main() {
     // PR by CI).
     let federation = bench_federation(iters);
     let adversarial = bench_adversarial(iters);
+    let hierarchical = bench_hierarchical(iters);
     let federation_json = format!(
         "{{\n  \"clients\": {},\n  \"rounds\": {},\n  \"protocol_messages\": {},\n  \
          \"wire_bytes\": {},\n  \"in_memory_msgs_per_s\": {:.1},\n  \
@@ -557,7 +702,11 @@ fn main() {
          \"adversarial_round\": {{\n    \"clients\": {},\n    \"adversaries\": {},\n    \
          \"rule\": \"trimmed_mean\",\n    \"spam_frames\": {},\n    \
          \"protocol_messages\": {},\n    \"adversarial_msgs_per_s\": {:.1},\n    \
-         \"determinism_param_diffs\": {}\n  }}\n}}\n",
+         \"determinism_param_diffs\": {}\n  }},\n  \
+         \"hierarchical_round\": {{\n    \"clients\": {},\n    \"edges\": {},\n    \
+         \"rounds\": {},\n    \"protocol_messages\": {},\n    \
+         \"hierarchical_msgs_per_s\": {:.1},\n    \
+         \"hierarchical_determinism_param_diffs\": {}\n  }}\n}}\n",
         federation.clients,
         federation.rounds,
         federation.messages,
@@ -571,6 +720,12 @@ fn main() {
         adversarial.messages,
         adversarial.msgs_per_s,
         adversarial.determinism_param_diffs,
+        hierarchical.clients,
+        hierarchical.edges,
+        hierarchical.rounds,
+        hierarchical.messages,
+        hierarchical.msgs_per_s,
+        hierarchical.determinism_param_diffs,
     );
     print!("{federation_json}");
     std::fs::write(&federation_path, &federation_json).expect("write BENCH_federation.json");
@@ -583,6 +738,10 @@ fn main() {
     assert_eq!(
         adversarial.determinism_param_diffs, 0,
         "determinism contract violated: adversarial federation replay diverged"
+    );
+    assert_eq!(
+        hierarchical.determinism_param_diffs, 0,
+        "determinism contract violated: hierarchical two-hop replay diverged"
     );
 
     // The CI perf-regression gate: diff the fresh snapshots against the
@@ -610,6 +769,7 @@ fn main() {
                     "serialized_msgs_per_s",
                     "serialized_wire_mb_per_s",
                     "adversarial_msgs_per_s",
+                    "hierarchical_msgs_per_s",
                 ],
                 &[],
                 tolerance,

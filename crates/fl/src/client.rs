@@ -227,6 +227,12 @@ impl StepOutcome {
 /// [`crate::Federation`] drives mixed honest/malicious populations through
 /// the same delivery sweeps — the server can only tell them apart by what
 /// their updates *contain*, never by message shape or scheduling.
+///
+/// Agents are **topology-oblivious**: the far end of their link may be the
+/// central server, an edge aggregator relaying a subtree, or a gossip
+/// peer's coordinator daemon ([`crate::Topology`]) — the protocol an agent
+/// speaks is identical in every case, which is what lets one scenario
+/// replay bit-identically across topologies.
 pub trait FederationAgent: Send {
     /// The client id this agent occupies in the federation.
     fn id(&self) -> usize;

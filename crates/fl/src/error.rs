@@ -46,6 +46,16 @@ pub enum FlError {
         /// The configured quorum.
         quorum: usize,
     },
+    /// A gossip peer's local consensus fold diverged from the coordinator's
+    /// aggregate — a violation of the topology determinism contract (every
+    /// peer folds the same converged update set with the same rule in the
+    /// same canonical order, so the bits must agree).
+    ConsensusDiverged {
+        /// The round whose folds disagreed.
+        round: usize,
+        /// The peer whose fold diverged.
+        peer: usize,
+    },
 }
 
 impl fmt::Display for FlError {
@@ -66,6 +76,10 @@ impl fmt::Display for FlError {
             } => write!(
                 f,
                 "round {round} stalled with {received} update(s), quorum is {quorum}"
+            ),
+            FlError::ConsensusDiverged { round, peer } => write!(
+                f,
+                "gossip peer {peer} folded different global-model bits in round {round}"
             ),
         }
     }

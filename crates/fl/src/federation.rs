@@ -32,11 +32,19 @@
 //! Shielded parameter segments arriving inside updates are reassembled
 //! through the server's attested [`ShieldedUpdateChannel`] before delivery,
 //! with their byte accounting surfaced in the [`RoundRecord`].
+//!
+//! The flow above is the star topology's. Under a [`Topology::Hierarchical`]
+//! fabric steps 2 and 4 route through the edge aggregators (broadcast
+//! relayed down, one combined subtree frame forwarded up per edge, per-level
+//! quorum/straggler policy in between), and under [`Topology::Gossip`] the
+//! updates flood a peer mesh before the final consensus fold — see
+//! [`crate::topology`] for the routing details and the cross-topology
+//! bit-determinism contract.
 
 use pelta_data::{federated_split, Dataset, Partition};
 use pelta_models::{accuracy, ImageModel, TrainingConfig, ViTConfig, VisionTransformer};
 use pelta_tee::{verify_report, CostLedger};
-use pelta_tensor::{pool, SeedStream};
+use pelta_tensor::{pool, SeedStream, Tensor};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -46,9 +54,10 @@ use crate::malicious::{FreeRiderAgent, ProbingAgent};
 use crate::poisoning::{BackdoorAgent, BackdoorClient};
 use crate::scenario::{AgentRole, ScenarioSpec};
 use crate::server::RoundSummary;
+use crate::topology::{EdgeAggregator, GossipMesh, Topology};
 use crate::{
-    AggregationRule, FedAvgServer, FlError, Message, ModelUpdate, ParticipationPolicy, Result,
-    ShieldedUpdateChannel, Transport, TransportKind,
+    AggregationRule, FedAvgServer, FlError, MemberUpdate, Message, ModelUpdate,
+    ParticipationPolicy, Result, ShieldedUpdateChannel, Transport, TransportKind,
 };
 
 /// Scenario schedule for one client: when it drops out, when it rejoins,
@@ -93,6 +102,9 @@ pub struct FederationConfig {
     pub eval_samples: usize,
     /// Which transport the client links run over.
     pub transport: TransportKind,
+    /// How updates are routed to the consensus point: the star hub, edge
+    /// aggregators, or a gossip mesh (see [`Topology`]).
+    pub topology: Topology,
     /// Quorum, per-round sampling and straggler policy.
     pub policy: ParticipationPolicy,
     /// The server's aggregation rule (plain FedAvg, or a robust rule when
@@ -119,6 +131,7 @@ impl Default for FederationConfig {
             },
             eval_samples: 64,
             transport: TransportKind::InMemory,
+            topology: Topology::Star,
             policy: ParticipationPolicy::default(),
             rule: AggregationRule::FedAvg,
             shield_updates: false,
@@ -148,6 +161,15 @@ pub struct RoundRecord {
     /// Participation outcome: participants, reporters, stragglers,
     /// dropouts, renormalised weight.
     pub summary: RoundSummary,
+    /// Per-subtree participation outcomes, one entry per edge in edge
+    /// order (hierarchical topologies only; empty otherwise). An edge that
+    /// missed its own quorum appears with zero reporters and weight; an
+    /// edge none of whose members were sampled appears with empty
+    /// participants.
+    pub edge_summaries: Vec<RoundSummary>,
+    /// Gossip frames exchanged across the peer mesh this round (gossip
+    /// topologies only; 0 otherwise).
+    pub gossip_messages: usize,
 }
 
 /// The full history of a federation run.
@@ -164,22 +186,65 @@ pub struct RunHistory {
 }
 
 /// One client's seat in the federation: its agent (honest or malicious),
-/// the server-side end of its link, its schedule, and whether it is
-/// currently online.
+/// its schedule, and whether it is currently online. The runtime-side end
+/// of the agent's link lives in the [`Fabric`] — where it is attached
+/// depends on the topology.
 struct Slot {
     agent: Box<dyn FederationAgent>,
-    link: Box<dyn Transport>,
     schedule: ClientSchedule,
     online: bool,
 }
 
+/// The topology-dependent routing fabric between the agents' links and the
+/// consensus point (see [`crate::topology`]).
+enum Fabric {
+    /// Every runtime-side link end feeds the central server directly,
+    /// indexed by client id.
+    Star { links: Vec<Box<dyn Transport>> },
+    /// Member links are grouped under edge aggregators; the root holds the
+    /// root-side uplink ends, indexed by edge id.
+    Hierarchical {
+        edges: Vec<EdgeAggregator>,
+        uplinks: Vec<Box<dyn Transport>>,
+    },
+    /// A peer mesh floods updates; the coordinator keeps the runtime-side
+    /// agent-link ends inside the mesh.
+    Gossip { mesh: GossipMesh },
+}
+
+impl Fabric {
+    /// Messages and logical bytes sent by the fabric's runtime-side link
+    /// ends (the counterpart of the agents' own counters).
+    fn traffic(&self) -> (usize, usize) {
+        match self {
+            Fabric::Star { links } => links
+                .iter()
+                .map(|link| (link.messages_sent(), link.bytes_sent()))
+                .fold((0, 0), |(m, b), (dm, db)| (m + dm, b + db)),
+            Fabric::Hierarchical { edges, uplinks } => {
+                let from_edges = edges
+                    .iter()
+                    .map(EdgeAggregator::traffic)
+                    .fold((0, 0), |(m, b), (dm, db)| (m + dm, b + db));
+                uplinks
+                    .iter()
+                    .map(|link| (link.messages_sent(), link.bytes_sent()))
+                    .fold(from_edges, |(m, b), (dm, db)| (m + dm, b + db))
+            }
+            Fabric::Gossip { mesh } => mesh.traffic(),
+        }
+    }
+}
+
 /// A running federation: one message-driven server, `clients` agents
 /// (honest by default, adversarial where a [`ScenarioSpec`] says so) on
-/// transport links, and a central evaluation replica.
+/// transport links, a topology fabric routing their traffic, and a central
+/// evaluation replica.
 pub struct Federation {
     server: FedAvgServer,
     server_shield: Option<ShieldedUpdateChannel>,
     slots: Vec<Slot>,
+    fabric: Fabric,
     eval_model: Box<dyn ImageModel>,
     dataset: Dataset,
     config: FederationConfig,
@@ -260,6 +325,26 @@ impl Federation {
                 });
             }
         }
+        config.topology.validate(config.clients)?;
+        if let Topology::Gossip { .. } = config.topology {
+            // Gossip has no attested central enclave to open sealed
+            // segments, and no central collection point for a
+            // delivered-message deadline to count against.
+            if config.shield_updates {
+                return Err(FlError::InvalidConfig {
+                    reason: "gossip topologies cannot shield updates: no peer can open \
+                             another peer's sealed segments"
+                        .to_string(),
+                });
+            }
+            if config.policy.straggler_deadline != 0 {
+                return Err(FlError::InvalidConfig {
+                    reason: "gossip topologies have no central straggler deadline; model \
+                             slow peers with per-client latency schedules instead"
+                        .to_string(),
+                });
+            }
+        }
         spec.validate()?;
         let shards = federated_split(
             dataset,
@@ -281,6 +366,7 @@ impl Federation {
         };
 
         let mut slots = Vec::with_capacity(config.clients);
+        let mut runtime_ends: Vec<Option<Box<dyn Transport>>> = Vec::with_capacity(config.clients);
         for (id, shard) in shards.into_iter().enumerate() {
             let (client_end, server_end) = config.transport.duplex();
             let agent: Box<dyn FederationAgent> = match spec.role_of(id) {
@@ -372,17 +458,57 @@ impl Federation {
                 .find(|s| s.client_id == id)
                 .cloned()
                 .unwrap_or_else(|| ClientSchedule::punctual(id));
+            runtime_ends.push(Some(server_end));
             slots.push(Slot {
                 agent,
-                link: server_end,
                 schedule,
                 online: true,
             });
         }
+        let latency_of = |id: usize| slots.get(id).map(|slot| slot.schedule.latency).unwrap_or(0);
+        let fabric = match &config.topology {
+            Topology::Star => Fabric::Star {
+                links: runtime_ends
+                    .into_iter()
+                    .map(|end| end.expect("one runtime end per client"))
+                    .collect(),
+            },
+            Topology::Hierarchical {
+                groups,
+                edge_policy,
+            } => {
+                let mut edges = Vec::with_capacity(groups.len());
+                let mut uplinks = Vec::with_capacity(groups.len());
+                for (edge_id, group) in groups.iter().enumerate() {
+                    let (edge_end, root_end) = config.transport.duplex();
+                    let mut edge = EdgeAggregator::new(edge_id, *edge_policy, edge_end)?;
+                    for &member in group {
+                        let link = runtime_ends[member]
+                            .take()
+                            .expect("each client belongs to exactly one edge");
+                        edge.attach_member(member, link, latency_of(member));
+                    }
+                    edges.push(edge);
+                    uplinks.push(root_end);
+                }
+                Fabric::Hierarchical { edges, uplinks }
+            }
+            Topology::Gossip { fanout } => {
+                let latencies: Vec<usize> = (0..config.clients).map(latency_of).collect();
+                let coordinators: Vec<Box<dyn Transport>> = runtime_ends
+                    .into_iter()
+                    .map(|end| end.expect("one runtime end per client"))
+                    .collect();
+                Fabric::Gossip {
+                    mesh: GossipMesh::new(config.transport, coordinators, latencies, *fanout),
+                }
+            }
+        };
         let mut federation = Federation {
             server,
             server_shield,
             slots,
+            fabric,
             eval_model,
             dataset: dataset.clone(),
             config: config.clone(),
@@ -488,15 +614,34 @@ impl Federation {
             }
             self.pump_links()?;
 
-            // Sample participants and broadcast the round.
+            // Sample participants and broadcast the round through the
+            // topology fabric: directly over the star links, via the edge
+            // aggregators' relays, or over the gossip coordinator links.
             let mut sample_rng = seeds.derive_indexed("participants", round_index as u64);
             let participants = self.server.begin_round(&mut sample_rng)?;
             let broadcast = self.server.broadcast();
-            for &id in &participants {
-                self.slots[id].link.send(&Message::RoundStart {
-                    round: broadcast.round,
-                    global: broadcast.clone(),
-                })?;
+            match &mut self.fabric {
+                Fabric::Star { links } => {
+                    for &id in &participants {
+                        links[id].send(&Message::RoundStart {
+                            round: broadcast.round,
+                            global: broadcast.clone(),
+                        })?;
+                    }
+                }
+                Fabric::Hierarchical { edges, .. } => {
+                    for edge in edges.iter_mut() {
+                        let subset: Vec<usize> = participants
+                            .iter()
+                            .copied()
+                            .filter(|id| edge.contains(*id))
+                            .collect();
+                        if !subset.is_empty() {
+                            edge.open_round(&broadcast, &subset)?;
+                        }
+                    }
+                }
+                Fabric::Gossip { mesh } => mesh.open_round(&broadcast, &participants)?,
             }
 
             // Parallel local training: each agent drains its own inbox and
@@ -526,16 +671,36 @@ impl Federation {
                 }
             }
 
-            // Deterministic delivery sweeps, then close the round.
-            let shielded_bytes = self.deliver_round_traffic()?;
+            // Deterministic delivery through the fabric, then close the
+            // round at the consensus point.
+            let (shielded_bytes, edge_summaries, gossip_messages) = self.deliver_round()?;
             let summary = self.server.close_round()?;
-            for &id in &summary.participants {
-                if self.slots[id].online {
-                    self.slots[id].link.send(&Message::RoundEnd {
-                        round: summary.round,
-                    })?;
+            if let Fabric::Gossip { mesh } = &self.fabric {
+                // The final deterministic consensus fold: every participant
+                // peer folds its converged knowledge with the same rule and
+                // must land on exactly the coordinator's bits.
+                let reference: Vec<Vec<u32>> = self
+                    .server
+                    .parameters()
+                    .iter()
+                    .map(|(_, t)| t.data().iter().map(|v| v.to_bits()).collect())
+                    .collect();
+                for (peer, fold) in
+                    mesh.consensus_folds(&broadcast.parameters, summary.round, self.config.rule)?
+                {
+                    let peer_bits: Vec<Vec<u32>> = fold
+                        .iter()
+                        .map(|(_, t)| t.data().iter().map(|v| v.to_bits()).collect())
+                        .collect();
+                    if peer_bits != reference {
+                        return Err(FlError::ConsensusDiverged {
+                            round: summary.round,
+                            peer,
+                        });
+                    }
                 }
             }
+            self.send_round_end(&summary)?;
 
             // Central evaluation on the held-out pool.
             let eval = self.dataset.test_subset(self.config.eval_samples);
@@ -550,19 +715,24 @@ impl Federation {
                 shielded_bytes,
                 adversarial_actions,
                 summary,
+                edge_summaries,
+                gossip_messages,
             });
         }
         let final_accuracy = rounds.last().map(|r| r.global_accuracy).unwrap_or(0.0);
+        let (fabric_messages, fabric_bytes) = self.fabric.traffic();
         let (total_messages, total_wire_bytes) = self
             .slots
             .iter()
             .map(|slot| {
                 (
-                    slot.agent.transport_messages() + slot.link.messages_sent(),
-                    slot.agent.transport_bytes() + slot.link.bytes_sent(),
+                    slot.agent.transport_messages(),
+                    slot.agent.transport_bytes(),
                 )
             })
-            .fold((0, 0), |(m, b), (dm, db)| (m + dm, b + db));
+            .fold((fabric_messages, fabric_bytes), |(m, b), (dm, db)| {
+                (m + dm, b + db)
+            });
         Ok(RunHistory {
             rounds,
             final_accuracy,
@@ -572,16 +742,48 @@ impl Federation {
     }
 
     /// Delivers all pending client→server traffic outside a round (Join
-    /// handshakes, rejoins, stray RoundEnd acknowledgements).
+    /// handshakes, rejoins, stray RoundEnd acknowledgements) through the
+    /// topology fabric: star links feed the server directly, edges mirror
+    /// and relay, the gossip coordinator surfaces everything as control
+    /// traffic.
     fn pump_links(&mut self) -> Result<()> {
+        let Federation { server, fabric, .. } = self;
         loop {
             let mut delivered = false;
-            for slot in &mut self.slots {
-                if let Some(message) = slot.link.recv()? {
-                    delivered = true;
-                    let responses = self.server.deliver(&message);
-                    for response in responses {
-                        slot.link.send(&response)?;
+            match fabric {
+                Fabric::Star { links } => {
+                    for link in links.iter_mut() {
+                        if let Some(message) = link.recv()? {
+                            delivered = true;
+                            for response in server.deliver(&message) {
+                                link.send(&response)?;
+                            }
+                        }
+                    }
+                }
+                Fabric::Hierarchical { edges, uplinks } => {
+                    for edge in edges.iter_mut() {
+                        delivered |= edge.pump_idle()?;
+                    }
+                    for uplink in uplinks.iter_mut() {
+                        while let Some(message) = uplink.recv()? {
+                            delivered = true;
+                            for response in server.deliver(&message) {
+                                uplink.send(&response)?;
+                            }
+                        }
+                    }
+                    for edge in edges.iter_mut() {
+                        delivered |= edge.pump_downstream()? > 0;
+                    }
+                }
+                Fabric::Gossip { mesh } => {
+                    let (moved, control) = mesh.pump_idle()?;
+                    delivered |= moved;
+                    for (peer, message) in control {
+                        for response in server.deliver(&message) {
+                            mesh.send_to(peer, &response)?;
+                        }
                     }
                 }
             }
@@ -591,100 +793,276 @@ impl Federation {
         }
     }
 
-    /// Drains the round's client→server traffic in deterministic sweeps:
-    /// ascending client id, one message per link per sweep, each client's
-    /// messages gated by its scheduled latency. Shielded segments are
-    /// reassembled through the server's enclave channel before delivery.
-    /// Returns the sealed bytes that crossed this round.
-    fn deliver_round_traffic(&mut self) -> Result<usize> {
-        let max_latency = self
-            .slots
-            .iter()
-            .map(|s| s.schedule.latency)
-            .max()
-            .unwrap_or(0);
-        let mut shielded_bytes = 0usize;
-        let mut sweep = 0usize;
-        loop {
-            let mut delivered = false;
-            let mut pending_future = false;
-            for index in 0..self.slots.len() {
-                if self.slots[index].schedule.latency > sweep {
-                    if self.slots[index].link.has_pending() {
-                        pending_future = true;
+    /// Drains the round's update traffic through the fabric in
+    /// deterministic sweeps and returns `(sealed bytes, edge summaries,
+    /// gossip frames)`.
+    ///
+    /// * **Star** — ascending client id, one message per link per sweep,
+    ///   each client's messages gated by its scheduled latency; shielded
+    ///   segments are reassembled through the server's enclave channel
+    ///   before delivery.
+    /// * **Hierarchical** — the same sweep discipline runs per subtree at
+    ///   the edges; edges then close in ascending edge order (per-level
+    ///   quorum/straggler semantics) and forward combined frames, which the
+    ///   root unwraps member-by-member in ascending client order — unsealing
+    ///   each member through its enclave channel — before the edges relay
+    ///   any refusals back down.
+    /// * **Gossip** — latency-gated collect sweeps feed each peer's daemon,
+    ///   the mesh floods to quiescence, and the coordinator folds the
+    ///   converged union through the same state machine.
+    fn deliver_round(&mut self) -> Result<(usize, Vec<RoundSummary>, usize)> {
+        let Federation {
+            server,
+            server_shield,
+            slots,
+            fabric,
+            ..
+        } = self;
+        let max_latency = slots.iter().map(|s| s.schedule.latency).max().unwrap_or(0);
+        match fabric {
+            Fabric::Star { links } => {
+                let mut shielded_bytes = 0usize;
+                let mut sweep = 0usize;
+                loop {
+                    let mut delivered = false;
+                    let mut pending_future = false;
+                    for index in 0..links.len() {
+                        if slots[index].schedule.latency > sweep {
+                            if links[index].has_pending() {
+                                pending_future = true;
+                            }
+                            continue;
+                        }
+                        let Some(message) = links[index].recv()? else {
+                            continue;
+                        };
+                        delivered = true;
+                        let (message, sealed) =
+                            reassemble(server.parameters(), server_shield.as_ref(), message)?;
+                        shielded_bytes += sealed;
+                        for response in server.deliver(&message) {
+                            links[index].send(&response)?;
+                        }
                     }
-                    continue;
-                }
-                let Some(message) = self.slots[index].link.recv()? else {
-                    continue;
-                };
-                delivered = true;
-                let (message, sealed) = self.reassemble(message)?;
-                shielded_bytes += sealed;
-                let responses = self.server.deliver(&message);
-                for response in responses {
-                    self.slots[index].link.send(&response)?;
+                    if !delivered && !pending_future && sweep >= max_latency {
+                        return Ok((shielded_bytes, Vec::new(), 0));
+                    }
+                    sweep += 1;
                 }
             }
-            if !delivered && !pending_future && sweep >= max_latency {
-                return Ok(shielded_bytes);
+            Fabric::Hierarchical { edges, uplinks } => {
+                // Phase 1: member → edge sweeps, all subtrees in lockstep.
+                let mut sweep = 0usize;
+                loop {
+                    let mut delivered = false;
+                    let mut pending_future = false;
+                    for edge in edges.iter_mut() {
+                        let pump = edge.pump(sweep)?;
+                        delivered |= pump.delivered;
+                        pending_future |= pump.pending_future;
+                    }
+                    if !delivered && !pending_future && sweep >= max_latency {
+                        break;
+                    }
+                    sweep += 1;
+                }
+                // Phase 2: edges close their subtree rounds and forward.
+                // Every edge gets a summary slot so edge_summaries[i]
+                // always belongs to edge i, sampled or not.
+                let mut edge_summaries = Vec::new();
+                for edge in edges.iter_mut() {
+                    if edge.round_open() {
+                        edge_summaries.push(edge.close_and_forward()?);
+                    } else {
+                        edge_summaries.push(RoundSummary {
+                            round: server.round(),
+                            participants: Vec::new(),
+                            reporters: Vec::new(),
+                            stragglers: Vec::new(),
+                            dropouts: Vec::new(),
+                            total_weight: 0,
+                            delivered_messages: 0,
+                            update_bytes: 0,
+                        });
+                    }
+                }
+                // Phase 3: the root unwraps the combined frames.
+                let mut shielded_bytes = 0usize;
+                loop {
+                    let mut delivered = false;
+                    for uplink in uplinks.iter_mut() {
+                        let Some(message) = uplink.recv()? else {
+                            continue;
+                        };
+                        delivered = true;
+                        match message {
+                            Message::AggregateUpdate { members, .. } => {
+                                for member in members {
+                                    let wrapped = Message::Update {
+                                        update: member.update,
+                                        shielded: member.shielded,
+                                    };
+                                    let (wrapped, sealed) = reassemble(
+                                        server.parameters(),
+                                        server_shield.as_ref(),
+                                        wrapped,
+                                    )?;
+                                    shielded_bytes += sealed;
+                                    for response in server.deliver(&wrapped) {
+                                        uplink.send(&response)?;
+                                    }
+                                }
+                            }
+                            other => {
+                                for response in server.deliver(&other) {
+                                    uplink.send(&response)?;
+                                }
+                            }
+                        }
+                    }
+                    if !delivered {
+                        break;
+                    }
+                }
+                // Phase 4: edges relay the root's refusals to their members.
+                for edge in edges.iter_mut() {
+                    edge.pump_downstream()?;
+                }
+                Ok((shielded_bytes, edge_summaries, 0))
             }
-            sweep += 1;
+            Fabric::Gossip { mesh } => {
+                // Phase 1: collect each peer's own update and the round's
+                // control traffic over the coordinator links.
+                let mut sweep = 0usize;
+                loop {
+                    let pump = mesh.pump_collect(sweep)?;
+                    for (peer, message) in pump.control {
+                        for response in server.deliver(&message) {
+                            mesh.send_to(peer, &response)?;
+                        }
+                    }
+                    if !pump.delivered && !pump.pending_future && sweep >= max_latency {
+                        break;
+                    }
+                    sweep += 1;
+                }
+                // Phase 2: flood the mesh to quiescence.
+                let gossip_messages = mesh.exchange()?;
+                // Phase 3: the coordinator folds the converged union through
+                // the state machine (ascending client id).
+                for member in mesh.union().into_values() {
+                    let MemberUpdate { update, .. } = member;
+                    let client_id = update.client_id;
+                    let message = Message::Update {
+                        update,
+                        shielded: Vec::new(),
+                    };
+                    for response in server.deliver(&message) {
+                        mesh.send_to(client_id, &response)?;
+                    }
+                }
+                Ok((0, Vec::new(), gossip_messages))
+            }
         }
     }
 
-    /// Opens the sealed segments of an update through the server's enclave
-    /// channel and splices them back into the canonical parameter order, so
-    /// the state machine sees a complete update. Non-update messages pass
-    /// through untouched.
-    fn reassemble(&self, message: Message) -> Result<(Message, usize)> {
-        let Message::Update { update, shielded } = message else {
-            return Ok((message, 0));
-        };
-        if shielded.is_empty() {
-            return Ok((
-                Message::Update {
-                    update,
-                    shielded: Vec::new(),
-                },
-                0,
-            ));
+    /// Closes the round towards the participants: [`Message::RoundEnd`]
+    /// over the star links, via the edges' downstream relays, or over the
+    /// gossip coordinator links.
+    fn send_round_end(&mut self, summary: &RoundSummary) -> Result<()> {
+        let Federation { slots, fabric, .. } = self;
+        match fabric {
+            Fabric::Star { links } => {
+                for &id in &summary.participants {
+                    if slots[id].online {
+                        links[id].send(&Message::RoundEnd {
+                            round: summary.round,
+                        })?;
+                    }
+                }
+            }
+            Fabric::Hierarchical { edges, uplinks } => {
+                for (edge, uplink) in edges.iter_mut().zip(uplinks.iter_mut()) {
+                    if edge.served_round(summary.round) {
+                        uplink.send(&Message::RoundEnd {
+                            round: summary.round,
+                        })?;
+                        edge.pump_downstream()?;
+                    }
+                }
+            }
+            Fabric::Gossip { mesh } => {
+                for &id in &summary.participants {
+                    if slots[id].online {
+                        mesh.send_to(
+                            id,
+                            &Message::RoundEnd {
+                                round: summary.round,
+                            },
+                        )?;
+                    }
+                }
+            }
         }
-        let Some(server_shield) = &self.server_shield else {
-            return Err(FlError::InvalidConfig {
+        Ok(())
+    }
+}
+
+/// Opens the sealed segments of an update through the server's enclave
+/// channel and splices them back into the canonical parameter order, so the
+/// state machine sees a complete update. Non-update messages pass through
+/// untouched.
+fn reassemble(
+    current: &[(String, Tensor)],
+    server_shield: Option<&ShieldedUpdateChannel>,
+    message: Message,
+) -> Result<(Message, usize)> {
+    let Message::Update { update, shielded } = message else {
+        return Ok((message, 0));
+    };
+    if shielded.is_empty() {
+        return Ok((
+            Message::Update {
+                update,
+                shielded: Vec::new(),
+            },
+            0,
+        ));
+    }
+    let Some(server_shield) = server_shield else {
+        return Err(FlError::InvalidConfig {
+            reason: format!(
+                "client {} sent sealed segments but the server shields nothing",
+                update.client_id
+            ),
+        });
+    };
+    let (opened, report) = server_shield.open_segments(&shielded)?;
+    let mut parameters = Vec::with_capacity(current.len());
+    for (name, _) in current {
+        if let Some((n, t)) = update.parameters.iter().find(|(n, _)| n == name) {
+            parameters.push((n.clone(), t.clone()));
+        } else if let Some((n, t)) = opened.iter().find(|(n, _)| n == name) {
+            parameters.push((n.clone(), t.clone()));
+        } else {
+            return Err(FlError::SchemaMismatch {
                 reason: format!(
-                    "client {} sent sealed segments but the server shields nothing",
+                    "client {} update is missing parameter '{name}' in both segments",
                     update.client_id
                 ),
             });
-        };
-        let (opened, report) = server_shield.open_segments(&shielded)?;
-        let mut parameters = Vec::with_capacity(self.server.parameters().len());
-        for (name, _) in self.server.parameters() {
-            if let Some((n, t)) = update.parameters.iter().find(|(n, _)| n == name) {
-                parameters.push((n.clone(), t.clone()));
-            } else if let Some((n, t)) = opened.iter().find(|(n, _)| n == name) {
-                parameters.push((n.clone(), t.clone()));
-            } else {
-                return Err(FlError::SchemaMismatch {
-                    reason: format!(
-                        "client {} update is missing parameter '{name}' in both segments",
-                        update.client_id
-                    ),
-                });
-            }
         }
-        Ok((
-            Message::Update {
-                update: ModelUpdate {
-                    parameters,
-                    ..update
-                },
-                shielded: Vec::new(),
-            },
-            report.sealed_bytes,
-        ))
     }
+    Ok((
+        Message::Update {
+            update: ModelUpdate {
+                parameters,
+                ..update
+            },
+            shielded: Vec::new(),
+        },
+        report.sealed_bytes,
+    ))
 }
 
 #[cfg(test)]

@@ -35,18 +35,30 @@
 //!   [`ScenarioSpec`] assigns roles to seats; the server cannot tell
 //!   adversaries apart by message shape or scheduling, only (possibly) by
 //!   its aggregation rule.
+//! * **Topology layer** — a [`Topology`] routes the updates to the
+//!   consensus point: the flat [`Topology::Star`] hub, a
+//!   [`Topology::Hierarchical`] tree of [`EdgeAggregator`]s (each reusing
+//!   the `FedAvgServer` state machine per subtree, with per-level quorum
+//!   and straggler semantics, forwarding one subtree-addressed
+//!   [`Message::AggregateUpdate`] upstream), or a [`Topology::Gossip`] mesh
+//!   flooding updates peer-to-peer with a final deterministic consensus
+//!   fold. Member granularity always survives to the consensus point, so
+//!   the configured rule folds the same update set whatever the route — the
+//!   global model is **bit-identical across topologies** under FedAvg with
+//!   full participation (see [`mod@topology`]).
 //! * **Security layer** — when a deployment shields updates, the
 //!   enclave-resident parameter segments of the Pelta shield travel sealed
 //!   through the attested [`ShieldedUpdateChannel`] (`pelta-tee` sealing +
-//!   WaTZ-style attestation), never in plaintext; byte accounting is
-//!   surfaced per round next to the core `ShieldReport`.
+//!   WaTZ-style attestation), never in plaintext — including through the
+//!   aggregator hop, which forwards blobs it cannot open; byte accounting
+//!   is surfaced per round next to the core `ShieldReport`.
 //!
 //! The [`Federation`] runtime wires all of this together: parallel local
 //! work on the shared compute pool, deterministic delivery sweeps, and
 //! central evaluation. Determinism contract: for a fixed scenario —
-//! including any mix of adversaries, dropouts, latency schedules and robust
-//! rules — the global model is bit-identical across repeats, across
-//! transports and at any `PELTA_THREADS`.
+//! including any mix of adversaries, dropouts, latency schedules, robust
+//! rules and topologies — the global model is bit-identical across repeats,
+//! across transports and at any `PELTA_THREADS`.
 //!
 //! # Example
 //!
@@ -92,6 +104,7 @@ pub mod robust;
 mod scenario;
 mod server;
 mod shielded;
+pub mod topology;
 mod transport;
 
 pub use client::{
@@ -101,7 +114,7 @@ pub use client::{
 pub use error::FlError;
 pub use federation::{ClientSchedule, Federation, FederationConfig, RoundRecord, RunHistory};
 pub use malicious::{AttackKind, CompromisedClient, EvasionReport, FreeRiderAgent, ProbingAgent};
-pub use message::{GlobalModel, Message, ModelUpdate, NackReason, PROTOCOL_VERSION};
+pub use message::{GlobalModel, MemberUpdate, Message, ModelUpdate, NackReason, PROTOCOL_VERSION};
 pub use poisoning::{
     backdoor_success_rate, BackdoorAgent, BackdoorClient, PoisonReport, TrojanTrigger,
 };
@@ -109,6 +122,7 @@ pub use robust::{aggregate_with_rule, AggregationRule, RobustAggregator};
 pub use scenario::{AgentRole, RoleAssignment, ScenarioSpec};
 pub use server::{FedAvgServer, ParticipationPolicy, RoundPhase, RoundSummary};
 pub use shielded::{ShieldedTransferReport, ShieldedUpdateChannel};
+pub use topology::{EdgeAggregator, EdgePump, Topology};
 pub use transport::{InMemoryTransport, SerializedTransport, Transport, TransportKind};
 
 /// Convenience alias for results returned throughout this crate.

@@ -19,6 +19,13 @@
 //! [`crate::ShieldedUpdateChannel`]. The bench harness uses [`Message::wire_size`]
 //! to account the §VI bandwidth overhead.
 //!
+//! Since the topology layer the protocol is no longer star-only: a
+//! [`Message::AggregateUpdate`] is the **subtree-addressed** combined update
+//! an edge aggregator (or gossip peer) forwards upstream — one frame
+//! carrying its accepted member updates with their sealed segments intact,
+//! stamped with the forwarding seat's `origin` id so refusals stay routable
+//! in a multi-hop topology (protocol version 2).
+//!
 //! **Adversarial note.** Malicious participants speak this protocol too —
 //! by design nothing in a frame reveals intent, so a poisoned update is
 //! wire-indistinguishable from an honest one. The server answers every
@@ -35,8 +42,9 @@ use serde::{Deserialize, Serialize};
 use crate::{FlError, Result};
 
 /// Version stamped into every encoded message; receivers reject other
-/// versions instead of guessing at the payload layout.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// versions instead of guessing at the payload layout. Version 2 added the
+/// subtree-addressed [`Message::AggregateUpdate`] of the topology layer.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Leading magic of every encoded message (`"PFL"` + format byte).
 const WIRE_MAGIC: [u8; 4] = *b"PFL\x01";
@@ -88,6 +96,36 @@ impl ModelUpdate {
     /// Size of this update's payload in the binary wire encoding, in bytes.
     pub fn wire_size(&self) -> usize {
         3 * 8 + params_wire_len(&self.parameters)
+    }
+}
+
+/// One client's update as carried inside a subtree-addressed
+/// [`Message::AggregateUpdate`]: the clear update plus its sealed shielded
+/// segments, exactly as the member sent them. An edge aggregator forwards
+/// members **without opening the blobs** — only the root's attested enclave
+/// channel ever unseals — so shielded-update sealing threads through the
+/// aggregator hop untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemberUpdate {
+    /// The member's clear update (round, client, weight, clear segment).
+    pub update: ModelUpdate,
+    /// The member's sealed shielded segments (empty when the deployment
+    /// does not shield updates).
+    pub shielded: Vec<SealedBlob>,
+}
+
+impl MemberUpdate {
+    /// Wraps an unshielded update.
+    pub fn clear(update: ModelUpdate) -> Self {
+        MemberUpdate {
+            update,
+            shielded: Vec::new(),
+        }
+    }
+
+    /// Size of this member's payload in the binary wire encoding, in bytes.
+    pub fn wire_size(&self) -> usize {
+        update_payload_wire_len(&self.update, &self.shielded)
     }
 }
 
@@ -146,6 +184,22 @@ pub enum Message {
         /// does not shield updates).
         shielded: Vec<SealedBlob>,
     },
+    /// A subtree-addressed combined update: the single frame an edge
+    /// aggregator (or gossip peer) forwards upstream, carrying the member
+    /// updates it accepted this round in ascending client-id order. Member
+    /// granularity is preserved — the consensus point folds the round's
+    /// *full* update set under the configured rule, whatever the topology —
+    /// and sealed segments pass through unopened.
+    AggregateUpdate {
+        /// The forwarding seat (edge aggregator index or gossip peer id) —
+        /// the addressee of any refusal, so Nacks stay routable through
+        /// multi-hop topologies.
+        origin: usize,
+        /// The round the members belong to.
+        round: usize,
+        /// Accepted member updates in ascending client-id order.
+        members: Vec<MemberUpdate>,
+    },
     /// The server closes a round towards its participants.
     RoundEnd {
         /// The round that was aggregated.
@@ -177,6 +231,7 @@ impl Message {
             Message::RoundEnd { .. } => 3,
             Message::Leave { .. } => 4,
             Message::Nack { .. } => 5,
+            Message::AggregateUpdate { .. } => 6,
         }
     }
 
@@ -189,6 +244,7 @@ impl Message {
             Message::RoundEnd { .. } => "RoundEnd",
             Message::Leave { .. } => "Leave",
             Message::Nack { .. } => "Nack",
+            Message::AggregateUpdate { .. } => "AggregateUpdate",
         }
     }
 
@@ -210,14 +266,18 @@ impl Message {
                 put_params(&mut out, &global.parameters);
             }
             Message::Update { update, shielded } => {
-                put_u64(&mut out, update.round as u64);
-                put_u64(&mut out, update.client_id as u64);
-                put_u64(&mut out, update.num_samples as u64);
-                put_params(&mut out, &update.parameters);
-                put_u32(&mut out, shielded.len() as u32);
-                for blob in shielded {
-                    put_bytes(&mut out, blob.ciphertext());
-                    put_u64(&mut out, blob.checksum_value());
+                put_update_payload(&mut out, update, shielded);
+            }
+            Message::AggregateUpdate {
+                origin,
+                round,
+                members,
+            } => {
+                put_u64(&mut out, *origin as u64);
+                put_u64(&mut out, *round as u64);
+                put_u32(&mut out, members.len() as u32);
+                for member in members {
+                    put_update_payload(&mut out, &member.update, &member.shielded);
                 }
             }
             Message::RoundEnd { round } => put_u64(&mut out, *round as u64),
@@ -290,25 +350,22 @@ impl Message {
                 }
             }
             2 => {
+                let (update, shielded) = cursor.take_update_payload()?;
+                Message::Update { update, shielded }
+            }
+            6 => {
+                let origin = cursor.take_u64()? as usize;
                 let round = cursor.take_u64()? as usize;
-                let client_id = cursor.take_u64()? as usize;
-                let num_samples = cursor.take_u64()? as usize;
-                let parameters = cursor.take_params()?;
-                let blobs = cursor.take_u32()? as usize;
-                let mut shielded = Vec::with_capacity(blobs.min(1024));
-                for _ in 0..blobs {
-                    let ciphertext = cursor.take_bytes()?;
-                    let checksum = cursor.take_u64()?;
-                    shielded.push(SealedBlob::from_parts(ciphertext, checksum));
+                let count = cursor.take_u32()? as usize;
+                let mut members = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    let (update, shielded) = cursor.take_update_payload()?;
+                    members.push(MemberUpdate { update, shielded });
                 }
-                Message::Update {
-                    update: ModelUpdate {
-                        client_id,
-                        round,
-                        num_samples,
-                        parameters,
-                    },
-                    shielded,
+                Message::AggregateUpdate {
+                    origin,
+                    round,
+                    members,
                 }
             }
             3 => Message::RoundEnd {
@@ -358,9 +415,9 @@ impl Message {
         let payload = match self {
             Message::Join { .. } | Message::RoundEnd { .. } | Message::Leave { .. } => 8,
             Message::RoundStart { global, .. } => 8 + global.wire_size(),
-            Message::Update { update, shielded } => {
-                let blobs: usize = shielded.iter().map(|b| 4 + b.ciphertext().len() + 8).sum();
-                update.wire_size() + 4 + blobs
+            Message::Update { update, shielded } => update_payload_wire_len(update, shielded),
+            Message::AggregateUpdate { members, .. } => {
+                8 + 8 + 4 + members.iter().map(MemberUpdate::wire_size).sum::<usize>()
             }
             Message::Nack { reason, .. } => {
                 let detail = match reason {
@@ -371,6 +428,28 @@ impl Message {
             }
         };
         HEADER_LEN + payload + CHECKSUM_LEN
+    }
+}
+
+/// Wire length of one update payload (shared by [`Message::Update`] and the
+/// members of a [`Message::AggregateUpdate`]).
+fn update_payload_wire_len(update: &ModelUpdate, shielded: &[SealedBlob]) -> usize {
+    let blobs: usize = shielded.iter().map(|b| 4 + b.ciphertext().len() + 8).sum();
+    update.wire_size() + 4 + blobs
+}
+
+/// Encodes one update payload: round, client, weight, clear parameters,
+/// sealed blobs. Shared by [`Message::Update`] and the members of a
+/// [`Message::AggregateUpdate`], so both frame updates identically.
+fn put_update_payload(out: &mut Vec<u8>, update: &ModelUpdate, shielded: &[SealedBlob]) {
+    put_u64(out, update.round as u64);
+    put_u64(out, update.client_id as u64);
+    put_u64(out, update.num_samples as u64);
+    put_params(out, &update.parameters);
+    put_u32(out, shielded.len() as u32);
+    for blob in shielded {
+        put_bytes(out, blob.ciphertext());
+        put_u64(out, blob.checksum_value());
     }
 }
 
@@ -536,6 +615,30 @@ impl<'a> Cursor<'a> {
         Tensor::from_vec(data, &dims).or_else(|_| wire_err("inconsistent tensor framing"))
     }
 
+    /// Inverse of [`put_update_payload`].
+    fn take_update_payload(&mut self) -> Result<(ModelUpdate, Vec<SealedBlob>)> {
+        let round = self.take_u64()? as usize;
+        let client_id = self.take_u64()? as usize;
+        let num_samples = self.take_u64()? as usize;
+        let parameters = self.take_params()?;
+        let blobs = self.take_u32()? as usize;
+        let mut shielded = Vec::with_capacity(blobs.min(1024));
+        for _ in 0..blobs {
+            let ciphertext = self.take_bytes()?;
+            let checksum = self.take_u64()?;
+            shielded.push(SealedBlob::from_parts(ciphertext, checksum));
+        }
+        Ok((
+            ModelUpdate {
+                client_id,
+                round,
+                num_samples,
+                parameters,
+            },
+            shielded,
+        ))
+    }
+
     fn take_params(&mut self) -> Result<Vec<(String, Tensor)>> {
         let count = self.take_u32()? as usize;
         let mut parameters = Vec::with_capacity(count.min(4096));
@@ -589,6 +692,27 @@ mod tests {
                     parameters: params(),
                 },
                 shielded: vec![SealedBlob::from_parts(vec![1, 2, 3, 255], 0xDEAD)],
+            },
+            Message::AggregateUpdate {
+                origin: 1,
+                round: 2,
+                members: vec![
+                    MemberUpdate::clear(ModelUpdate {
+                        client_id: 0,
+                        round: 2,
+                        num_samples: 7,
+                        parameters: params(),
+                    }),
+                    MemberUpdate {
+                        update: ModelUpdate {
+                            client_id: 3,
+                            round: 2,
+                            num_samples: 9,
+                            parameters: params(),
+                        },
+                        shielded: vec![SealedBlob::from_parts(vec![9, 8, 7], 0xBEEF)],
+                    },
+                ],
             },
             Message::RoundEnd { round: 2 },
             Message::Leave { client_id: 0 },

@@ -22,6 +22,16 @@
 //! tests assert bit-identical aggregates under client permutations, across
 //! transports and across `PELTA_THREADS` values.
 //!
+//! **Topology invariance.** Since the topology layer, the rules also see
+//! the same update set whatever route it travelled: edge aggregators and
+//! gossip peers forward member updates with per-client granularity, so the
+//! fold at the consensus point is identical for star, hierarchical and
+//! gossip federations — and the defenses keep their full-population
+//! statistics (a per-subtree trimmed mean would be a weaker, partition-
+//! dependent statistic; see [`crate::topology`]). The
+//! `tests/topology_equivalence.rs` and `tests/robust_properties.rs` suites
+//! pin this down to the bit.
+//!
 //! The rules:
 //!
 //! * [`AggregationRule::FedAvg`] — sample-weighted averaging (McMahan et

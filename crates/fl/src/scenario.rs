@@ -4,17 +4,23 @@
 //! A [`ScenarioSpec`] is everything the paper's attack/defense experiments
 //! vary — the population mix (which client seats are honest, backdoored,
 //! free-riding or probing), the [`crate::ClientSchedule`]s, the server's
-//! [`crate::AggregationRule`] and whether updates travel shielded — bundled
-//! with the base [`FederationConfig`]. [`crate::Federation::from_scenario`]
-//! turns a spec into a running federation whose adversaries race the honest
-//! agents inside the same deterministic delivery sweeps, so every scenario
-//! replays bit-identically across repeats, transports and `PELTA_THREADS`
-//! values.
+//! [`crate::AggregationRule`], the [`Topology`] routing the updates and
+//! whether they travel shielded — bundled with the base
+//! [`FederationConfig`]. [`crate::Federation::from_scenario`] turns a spec
+//! into a running federation whose adversaries race the honest agents
+//! inside the same deterministic delivery sweeps, so every scenario replays
+//! bit-identically across repeats, transports and `PELTA_THREADS` values.
+//!
+//! With non-star topologies, **adversary placement** becomes a scenario
+//! axis of its own: a backdoor seat concentrated under one edge aggregator
+//! is a different experiment from the same seat in a flat star —
+//! [`ScenarioSpec::adversary_edges`] reports where the malicious seats
+//! landed in the tree.
 
 use pelta_models::TrainingConfig;
 use serde::{Deserialize, Serialize};
 
-use crate::{AttackKind, FederationConfig, FlError, Result, TrojanTrigger};
+use crate::{AttackKind, FederationConfig, FlError, Result, Topology, TrojanTrigger};
 
 /// What a client seat does with the protocol: the honest baseline or one of
 /// the paper's adversaries.
@@ -98,6 +104,30 @@ impl ScenarioSpec {
         self
     }
 
+    /// Routes the scenario's updates through `topology` (builder style).
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.federation.topology = topology;
+        self
+    }
+
+    /// Where the adversarial seats sit in a hierarchical topology: the
+    /// `(client_id, edge_id)` placement of every non-honest role. Empty for
+    /// star and gossip topologies (and for all-honest populations) — there
+    /// is no tree to place adversaries in.
+    pub fn adversary_edges(&self) -> Vec<(usize, usize)> {
+        self.roles
+            .iter()
+            .filter(|assignment| assignment.role != AgentRole::Honest)
+            .filter_map(|assignment| {
+                self.federation
+                    .topology
+                    .edge_of(assignment.client_id)
+                    .map(|edge| (assignment.client_id, edge))
+            })
+            .collect()
+    }
+
     /// The role of one client seat.
     pub fn role_of(&self, client_id: usize) -> AgentRole {
         self.roles
@@ -174,6 +204,22 @@ mod tests {
         assert_eq!(spec.role_of(0), AgentRole::Honest);
         assert!(matches!(spec.role_of(2), AgentRole::Backdoor { .. }));
         assert_eq!(spec.num_adversaries(), 2);
+    }
+
+    #[test]
+    fn topology_and_adversary_placement_are_part_of_the_scenario() {
+        let spec = ScenarioSpec::honest(FederationConfig::default())
+            .with_role(2, backdoor_role())
+            .with_topology(Topology::hierarchical(vec![vec![0, 1], vec![2, 3]]));
+        spec.validate().unwrap();
+        assert_eq!(spec.federation.topology.num_edges(), 2);
+        // The backdoor seat sits under edge 1.
+        assert_eq!(spec.adversary_edges(), vec![(2, 1)]);
+        // Star and gossip scenarios have no tree to place adversaries in.
+        let flat = ScenarioSpec::honest(FederationConfig::default()).with_role(2, backdoor_role());
+        assert!(flat.adversary_edges().is_empty());
+        let gossip = flat.with_topology(Topology::Gossip { fanout: 1 });
+        assert!(gossip.adversary_edges().is_empty());
     }
 
     #[test]

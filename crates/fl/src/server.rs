@@ -221,6 +221,25 @@ impl FedAvgServer {
         &self.parameters
     }
 
+    /// Re-anchors the server's parameters to an externally supplied snapshot
+    /// — the multi-level hook: an edge aggregator's subtree server is **not**
+    /// the owner of the global model, so before collecting a round it syncs
+    /// to the coordinator's broadcast (otherwise its local aggregate and its
+    /// schema/delta-norm validation would drift from the real global state).
+    ///
+    /// # Errors
+    /// Returns an error if a round is open — the snapshot of an open round
+    /// must stay fixed, or delta-form aggregation would mix reference points.
+    pub fn sync_parameters(&mut self, parameters: Vec<(String, Tensor)>) -> Result<()> {
+        if self.phase != RoundPhase::Broadcasting {
+            return Err(FlError::InvalidConfig {
+                reason: format!("sync_parameters in phase {:?}", self.phase),
+            });
+        }
+        self.parameters = parameters;
+        Ok(())
+    }
+
     /// The broadcast message for the current round.
     pub fn broadcast(&self) -> GlobalModel {
         GlobalModel {
@@ -280,6 +299,55 @@ impl FedAvgServer {
         Ok(self.participants.iter().copied().collect())
     }
 
+    /// Opens round `round` with an externally selected participant set — the
+    /// multi-level entry point. A star server samples its own participants
+    /// ([`FedAvgServer::begin_round`]); an edge aggregator's subtree server
+    /// is handed the members the **coordinator** sampled, at the
+    /// coordinator's round number (an edge whose subtree was not sampled
+    /// skips rounds entirely, so its own counter cannot be trusted to track
+    /// the federation's).
+    ///
+    /// # Errors
+    /// Returns an error if a round is already open, the set is empty, a
+    /// participant is not connected, or `round` would move backwards.
+    pub fn begin_round_with(&mut self, round: usize, participants: &[usize]) -> Result<()> {
+        if self.phase != RoundPhase::Broadcasting {
+            return Err(FlError::InvalidConfig {
+                reason: format!("begin_round_with in phase {:?}", self.phase),
+            });
+        }
+        if participants.is_empty() {
+            return Err(FlError::InvalidConfig {
+                reason: "begin_round_with needs at least one participant".to_string(),
+            });
+        }
+        if round < self.round {
+            return Err(FlError::InvalidConfig {
+                reason: format!(
+                    "begin_round_with round {round} is behind the server round {}",
+                    self.round
+                ),
+            });
+        }
+        for &id in participants {
+            if !self.connected.contains(&id) {
+                return Err(FlError::InvalidConfig {
+                    reason: format!("participant {id} is not connected"),
+                });
+            }
+        }
+        self.round = round;
+        self.participants = participants.iter().copied().collect();
+        self.received.clear();
+        self.reporters.clear();
+        self.stragglers.clear();
+        self.dropouts.clear();
+        self.delivered = 0;
+        self.update_bytes = 0;
+        self.phase = RoundPhase::Collecting;
+        Ok(())
+    }
+
     /// Delivers one protocol message to the server and returns the responses
     /// to route back (Nacks). Shielded update segments must be reassembled
     /// into the update's parameter list *before* delivery (the runtime's
@@ -308,6 +376,20 @@ impl FedAvgServer {
                 Vec::new()
             }
             Message::Update { update, .. } => self.deliver_update(update, message.wire_size()),
+            // A subtree-addressed combined update must be unwrapped by the
+            // topology runtime (which unseals segments and delivers members
+            // individually); a server handed one directly refuses it — and
+            // the refusal is addressed to the forwarding seat's `origin`, not
+            // to a nobody id, so it stays routable through multi-hop
+            // topologies.
+            Message::AggregateUpdate { origin, .. } => vec![Message::Nack {
+                client_id: *origin,
+                round: self.round,
+                reason: NackReason::Rejected(
+                    "server expects unwrapped member updates, not AggregateUpdate frames"
+                        .to_string(),
+                ),
+            }],
             other => vec![Message::Nack {
                 client_id: usize::MAX,
                 round: self.round,
@@ -808,6 +890,75 @@ mod tests {
             replay.deliver(&Message::Join { client_id: id });
         }
         assert_eq!(replay.begin_round(&mut rng()).unwrap(), first);
+    }
+
+    /// Regression (topology refactor): a combined subtree update handed
+    /// straight to a server is refused with a Nack addressed to the
+    /// forwarding seat's `origin` — the pre-topology catch-all addressed such
+    /// refusals to `usize::MAX`, which no multi-hop runtime could route.
+    #[test]
+    fn aggregate_update_refusal_is_addressed_to_its_origin() {
+        let mut server = FedAvgServer::new(named(0.0));
+        server.deliver(&Message::Join { client_id: 0 });
+        server.begin_round(&mut rng()).unwrap();
+        let combined = Message::AggregateUpdate {
+            origin: 3,
+            round: 0,
+            members: vec![crate::MemberUpdate::clear(update(0, 0, 10, 1.0))],
+        };
+        let refused = server.deliver(&combined);
+        assert!(
+            matches!(
+                refused[0],
+                Message::Nack {
+                    client_id: 3,
+                    reason: NackReason::Rejected(_),
+                    ..
+                }
+            ),
+            "refusal must be addressed to the origin seat: {refused:?}"
+        );
+    }
+
+    /// The multi-level round APIs: an edge server syncs to the coordinator's
+    /// broadcast and opens rounds at the coordinator's round number with an
+    /// externally sampled participant set.
+    #[test]
+    fn multi_level_round_open_and_parameter_sync() {
+        let mut edge = FedAvgServer::new(named(0.0));
+        edge.deliver(&Message::Join { client_id: 2 });
+        edge.deliver(&Message::Join { client_id: 5 });
+
+        // Re-anchor to the coordinator's round-3 global and open round 3
+        // with only the sampled member.
+        edge.sync_parameters(named(1.5)).unwrap();
+        edge.begin_round_with(3, &[5]).unwrap();
+        assert_eq!(edge.round(), 3);
+        assert_eq!(edge.phase(), RoundPhase::Collecting);
+        // Parameters cannot be re-anchored mid-round.
+        assert!(edge.sync_parameters(named(9.0)).is_err());
+        // The unsampled member is refused, the sampled one accepted.
+        let refused = edge.deliver(&update_message(2, 3, 10, 2.0));
+        assert!(matches!(
+            refused[0],
+            Message::Nack {
+                reason: NackReason::NotParticipating,
+                ..
+            }
+        ));
+        assert!(edge.deliver(&update_message(5, 3, 10, 2.0)).is_empty());
+        let summary = edge.close_round().unwrap();
+        assert_eq!(summary.round, 3);
+        assert_eq!(summary.reporters, vec![5]);
+        assert_eq!(edge.round(), 4);
+
+        // Degenerate opens are refused: empty set, unknown participant,
+        // rewinding the round counter, double-open.
+        assert!(edge.begin_round_with(4, &[]).is_err());
+        assert!(edge.begin_round_with(4, &[9]).is_err());
+        assert!(edge.begin_round_with(1, &[5]).is_err());
+        edge.begin_round_with(7, &[5]).unwrap();
+        assert!(edge.begin_round_with(7, &[5]).is_err());
     }
 
     #[test]

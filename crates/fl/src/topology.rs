@@ -1,0 +1,1434 @@
+//! The topology layer: how a federation's updates are routed to the
+//! consensus point.
+//!
+//! PR 3/4 built the message-driven runtime and the adversarial scheduler
+//! around a single star hub. This module generalises the *routing* while
+//! keeping the aggregation *semantics* fixed:
+//!
+//! * [`Topology::Star`] — every client links directly to the central server
+//!   (the original behaviour).
+//! * [`Topology::Hierarchical`] — clients are partitioned into subtrees,
+//!   each under an [`EdgeAggregator`] that reuses the [`FedAvgServer`] state
+//!   machine per subtree (quorum and straggler deadlines apply **per
+//!   level**) and forwards a single combined
+//!   [`Message::AggregateUpdate`] upstream.
+//! * [`Topology::Gossip`] — peers flood their updates over directed
+//!   peer-to-peer [`Transport`] links in deterministic sweep order until the
+//!   mesh is quiescent, then every participant applies the same final
+//!   consensus fold.
+//!
+//! **Determinism contract.** Whatever the topology, the round's *accepted
+//! update set* reaches the consensus point with per-client granularity and
+//! is folded once by [`crate::robust::aggregate_with_rule`] in canonical
+//! ascending-client-id order. An edge aggregator therefore forwards its
+//! members' updates *inside* the combined frame (sealed segments unopened —
+//! only the root's attested enclave channel unseals), and a gossip peer
+//! floods whole member updates rather than partial averages. This is what
+//! makes the global model **bit-identical** across Star, Hierarchical and
+//! Gossip under FedAvg with full participation, and what makes the robust
+//! rules **partition-invariant**: a trimmed mean over two 2-member subtree
+//! averages would be a different (and weaker) statistic than a trimmed mean
+//! over the 4 member updates, and would let a backdoor hiding under a small
+//! edge dominate its subtree. The hierarchy changes routing, per-level
+//! participation policy and accounting — never the aggregate's bits.
+//!
+//! The edge's own [`FedAvgServer`] still closes each subtree round with a
+//! plain FedAvg over the clear segments it can see — the **edge-local
+//! model**, the operational artifact a real edge deployment serves locally —
+//! but that view never feeds the global fold.
+//!
+//! Control plane vs data plane: the `Federation` runtime (the scheduler)
+//! opens rounds on edges and meshes by direct call; everything the paper's
+//! threat model cares about — updates, joins, leaves, refusals, the
+//! combined subtree frames — crosses real [`Transport`] links and is
+//! accounted as wire traffic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pelta_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+use crate::robust::{aggregate_with_rule, validate_update_schema};
+use crate::server::RoundSummary;
+use crate::{
+    AggregationRule, FedAvgServer, FlError, GlobalModel, MemberUpdate, Message, ModelUpdate,
+    NackReason, ParticipationPolicy, Result, Transport, TransportKind,
+};
+
+/// How a federation routes updates to the consensus point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Every client links directly to the central server.
+    Star,
+    /// Two-level tree: clients are partitioned into subtrees, each under an
+    /// edge aggregator that collects the subtree over its own
+    /// [`FedAvgServer`] state machine and forwards one combined
+    /// [`Message::AggregateUpdate`] to the root.
+    Hierarchical {
+        /// The subtree partition: `groups[e]` lists the client ids under
+        /// edge aggregator `e`. Groups must partition `0..clients` exactly.
+        groups: Vec<Vec<usize>>,
+        /// The per-level participation policy every edge runs (quorum and
+        /// straggler deadline count *within* the subtree; `sample` must be
+        /// 0 — only the root samples participants).
+        edge_policy: ParticipationPolicy,
+    },
+    /// Directed gossip ring: peer `i` pushes to peers `i+1 ..= i+fanout`
+    /// (mod `clients`); updates flood in deterministic sweeps until every
+    /// peer holds the round's full update set, then all participants apply
+    /// the same consensus fold.
+    Gossip {
+        /// Out-degree of each peer (clamped to `clients - 1`).
+        fanout: usize,
+    },
+}
+
+#[allow(clippy::derivable_impls)] // the vendored serde derive cannot parse a `#[default]` variant attribute
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::Star
+    }
+}
+
+impl Topology {
+    /// A hierarchical topology over `groups` with the default per-edge
+    /// policy (quorum 1, no deadline).
+    pub fn hierarchical(groups: Vec<Vec<usize>>) -> Self {
+        Topology::Hierarchical {
+            groups,
+            edge_policy: ParticipationPolicy::default(),
+        }
+    }
+
+    /// Short lowercase name for reports and bench snapshots.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Topology::Star => "star",
+            Topology::Hierarchical { .. } => "hierarchical",
+            Topology::Gossip { .. } => "gossip",
+        }
+    }
+
+    /// Number of edge aggregators (0 unless hierarchical).
+    pub fn num_edges(&self) -> usize {
+        match self {
+            Topology::Hierarchical { groups, .. } => groups.len(),
+            _ => 0,
+        }
+    }
+
+    /// The edge aggregator a client sits under, for hierarchical
+    /// topologies.
+    pub fn edge_of(&self, client_id: usize) -> Option<usize> {
+        match self {
+            Topology::Hierarchical { groups, .. } => {
+                groups.iter().position(|group| group.contains(&client_id))
+            }
+            _ => None,
+        }
+    }
+
+    /// Validates the topology against the federation's client count.
+    ///
+    /// # Errors
+    /// Returns an error if a hierarchical grouping is not an exact partition
+    /// of `0..clients`, an edge policy is degenerate (zero or unreachable
+    /// quorum, non-zero sample), or a gossip fanout is zero.
+    pub fn validate(&self, clients: usize) -> Result<()> {
+        match self {
+            Topology::Star => Ok(()),
+            Topology::Hierarchical {
+                groups,
+                edge_policy,
+            } => {
+                if groups.is_empty() {
+                    return Err(FlError::InvalidConfig {
+                        reason: "hierarchical topology needs at least one edge group".to_string(),
+                    });
+                }
+                if edge_policy.quorum == 0 {
+                    return Err(FlError::InvalidConfig {
+                        reason: "edge quorum must be at least 1".to_string(),
+                    });
+                }
+                if edge_policy.sample != 0 {
+                    return Err(FlError::InvalidConfig {
+                        reason: "edges do not sample participants; only the root does".to_string(),
+                    });
+                }
+                let mut seen = BTreeSet::new();
+                for (edge_id, group) in groups.iter().enumerate() {
+                    if group.is_empty() {
+                        return Err(FlError::InvalidConfig {
+                            reason: format!("edge group {edge_id} is empty"),
+                        });
+                    }
+                    if edge_policy.quorum > group.len() {
+                        return Err(FlError::InvalidConfig {
+                            reason: format!(
+                                "edge quorum {} exceeds the {} member(s) of edge group {edge_id}",
+                                edge_policy.quorum,
+                                group.len()
+                            ),
+                        });
+                    }
+                    for &client_id in group {
+                        if client_id >= clients {
+                            return Err(FlError::InvalidConfig {
+                                reason: format!(
+                                    "edge group {edge_id} refers to client {client_id} of {clients}"
+                                ),
+                            });
+                        }
+                        if !seen.insert(client_id) {
+                            return Err(FlError::InvalidConfig {
+                                reason: format!(
+                                    "client {client_id} belongs to more than one edge group"
+                                ),
+                            });
+                        }
+                    }
+                }
+                if seen.len() != clients {
+                    return Err(FlError::InvalidConfig {
+                        reason: format!("edge groups cover {} of {clients} clients", seen.len()),
+                    });
+                }
+                Ok(())
+            }
+            Topology::Gossip { fanout } => {
+                if *fanout == 0 {
+                    return Err(FlError::InvalidConfig {
+                        reason: "gossip fanout must be at least 1".to_string(),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One member seat attached to an edge aggregator: the edge-side end of the
+/// member's transport link and its scheduled latency (in delivery sweeps).
+struct EdgeMember {
+    client_id: usize,
+    link: Box<dyn Transport>,
+    latency: usize,
+}
+
+/// What one latency-gated delivery sweep over an edge's member links did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdgePump {
+    /// Whether any message was delivered this sweep.
+    pub delivered: bool,
+    /// Whether a latency-gated link still holds traffic for a later sweep.
+    pub pending_future: bool,
+}
+
+/// An edge aggregator of a two-level hierarchical federation.
+///
+/// It holds the edge-side ends of its members' links and the edge-side end
+/// of the uplink to the root, runs a [`FedAvgServer`] state machine over its
+/// subtree (per-level quorum, straggler deadline counted in messages the
+/// *edge* delivered, dropout accounting), and forwards the members it
+/// accepted as a single subtree-addressed [`Message::AggregateUpdate`] —
+/// sealed segments untouched, member granularity preserved (see the module
+/// docs for why the defense rule must fold at the root).
+pub struct EdgeAggregator {
+    edge_id: usize,
+    server: FedAvgServer,
+    uplink: Box<dyn Transport>,
+    members: Vec<EdgeMember>,
+    participants: Vec<usize>,
+    left: BTreeSet<usize>,
+    stash: BTreeMap<usize, MemberUpdate>,
+    round: Option<usize>,
+    open: bool,
+}
+
+impl EdgeAggregator {
+    /// Creates an edge aggregator speaking upstream over `uplink` under the
+    /// given per-level policy. Its subtree state machine always runs plain
+    /// FedAvg — the configured defense rule folds once, at the root, over
+    /// the full population.
+    ///
+    /// # Errors
+    /// Returns an error if the policy is degenerate.
+    pub fn new(
+        edge_id: usize,
+        edge_policy: ParticipationPolicy,
+        uplink: Box<dyn Transport>,
+    ) -> Result<Self> {
+        Ok(EdgeAggregator {
+            edge_id,
+            server: FedAvgServer::with_policy(Vec::new(), edge_policy)?,
+            uplink,
+            members: Vec::new(),
+            participants: Vec::new(),
+            left: BTreeSet::new(),
+            stash: BTreeMap::new(),
+            round: None,
+            open: false,
+        })
+    }
+
+    /// Attaches a member's edge-side link end; members are kept in ascending
+    /// client-id order so delivery sweeps stay deterministic.
+    pub fn attach_member(&mut self, client_id: usize, link: Box<dyn Transport>, latency: usize) {
+        let position = self
+            .members
+            .iter()
+            .position(|m| m.client_id > client_id)
+            .unwrap_or(self.members.len());
+        self.members.insert(
+            position,
+            EdgeMember {
+                client_id,
+                link,
+                latency,
+            },
+        );
+    }
+
+    /// The edge aggregator's index.
+    pub fn edge_id(&self) -> usize {
+        self.edge_id
+    }
+
+    /// Member client ids in ascending order.
+    pub fn member_ids(&self) -> Vec<usize> {
+        self.members.iter().map(|m| m.client_id).collect()
+    }
+
+    /// Whether `client_id` sits under this edge.
+    pub fn contains(&self, client_id: usize) -> bool {
+        self.members.iter().any(|m| m.client_id == client_id)
+    }
+
+    /// The edge-local model: the subtree's plain-FedAvg view over the clear
+    /// segments (sealed segments are opaque to the edge by design and
+    /// contribute zero delta here).
+    pub fn parameters(&self) -> &[(String, Tensor)] {
+        self.server.parameters()
+    }
+
+    /// Whether a subtree round is currently collecting.
+    pub fn round_open(&self) -> bool {
+        self.open
+    }
+
+    /// Whether this edge served the given round (had sampled members).
+    pub fn served_round(&self, round: usize) -> bool {
+        self.round == Some(round)
+    }
+
+    /// Opens a subtree round: re-anchors the edge-local model to the root's
+    /// broadcast, opens the state machine at the root's round number with
+    /// the members the root sampled, and relays [`Message::RoundStart`] to
+    /// them.
+    ///
+    /// # Errors
+    /// Returns an error if a participant is not a member of this edge or
+    /// the state machine refuses the round.
+    pub fn open_round(&mut self, broadcast: &GlobalModel, participants: &[usize]) -> Result<()> {
+        for &id in participants {
+            if !self.contains(id) {
+                return Err(FlError::InvalidConfig {
+                    reason: format!("client {id} is not a member of edge {}", self.edge_id),
+                });
+            }
+        }
+        self.server.sync_parameters(broadcast.parameters.clone())?;
+        self.server
+            .begin_round_with(broadcast.round, participants)?;
+        self.participants = participants.to_vec();
+        self.left.clear();
+        self.stash.clear();
+        self.round = Some(broadcast.round);
+        self.open = true;
+        for member in &self.members {
+            if participants.contains(&member.client_id) {
+                member.link.send(&Message::RoundStart {
+                    round: broadcast.round,
+                    global: broadcast.clone(),
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// One latency-gated delivery sweep over the member links, ascending
+    /// client id, one message per link — the per-subtree replica of the
+    /// star runtime's sweep discipline.
+    ///
+    /// # Errors
+    /// Returns an error if a transport fails.
+    pub fn pump(&mut self, sweep: usize) -> Result<EdgePump> {
+        let mut outcome = EdgePump::default();
+        for index in 0..self.members.len() {
+            if self.members[index].latency > sweep {
+                if self.members[index].link.has_pending() {
+                    outcome.pending_future = true;
+                }
+                continue;
+            }
+            let Some(message) = self.members[index].link.recv()? else {
+                continue;
+            };
+            outcome.delivered = true;
+            self.route_upward(index, message)?;
+        }
+        Ok(outcome)
+    }
+
+    /// Drains the member links completely (between rounds — Join
+    /// handshakes, rejoins, stray acknowledgements). Returns whether
+    /// anything was delivered.
+    ///
+    /// # Errors
+    /// Returns an error if a transport fails.
+    pub fn pump_idle(&mut self) -> Result<bool> {
+        let mut delivered = false;
+        for index in 0..self.members.len() {
+            while let Some(message) = self.members[index].link.recv()? {
+                delivered = true;
+                self.route_upward(index, message)?;
+            }
+        }
+        Ok(delivered)
+    }
+
+    /// Routes one member message: Join/Leave are mirrored into the subtree
+    /// state machine *and* relayed upstream (the root tracks the global
+    /// connected set); an Update is mirrored (with broadcast-value
+    /// placeholders spliced over its sealed segment, which the edge cannot
+    /// open) and, if the subtree state machine accepts it, the **original**
+    /// update is stashed for upstream forwarding; anything else is answered
+    /// by the subtree state machine's Nack — junk frames burn the *edge's*
+    /// straggler budget, which is exactly the per-level semantics.
+    fn route_upward(&mut self, index: usize, message: Message) -> Result<()> {
+        match message {
+            Message::Join { .. } => {
+                self.server.deliver(&message);
+                self.uplink.send(&message)?;
+            }
+            Message::Leave { client_id } => {
+                self.left.insert(client_id);
+                self.server.deliver(&message);
+                self.uplink.send(&message)?;
+            }
+            Message::Update { update, shielded } => {
+                let mirrored = if shielded.is_empty() {
+                    update.clone()
+                } else {
+                    splice_placeholders(self.server.parameters(), &update)
+                };
+                let responses = self.server.deliver(&Message::Update {
+                    update: mirrored,
+                    shielded: Vec::new(),
+                });
+                if responses.is_empty() {
+                    self.stash
+                        .insert(update.client_id, MemberUpdate { update, shielded });
+                } else {
+                    for response in responses {
+                        self.members[index].link.send(&response)?;
+                    }
+                }
+            }
+            other => {
+                for response in self.server.deliver(&other) {
+                    self.members[index].link.send(&response)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes the subtree round and forwards the accepted members upstream
+    /// as one [`Message::AggregateUpdate`] (ascending client id, sealed
+    /// segments intact). If the subtree missed its per-level quorum, the
+    /// whole subtree is **withheld** — an empty combined frame goes up, the
+    /// edge-local model stays untouched, and the returned summary carries
+    /// zero reporters and weight.
+    ///
+    /// # Errors
+    /// Returns an error if no round is open or the state machine fails for
+    /// a reason other than the quorum.
+    pub fn close_and_forward(&mut self) -> Result<RoundSummary> {
+        if !self.open {
+            return Err(FlError::InvalidConfig {
+                reason: format!("edge {} has no open round to close", self.edge_id),
+            });
+        }
+        self.open = false;
+        let round = self.round.expect("open round has a round number");
+        match self.server.close_round() {
+            Ok(summary) => {
+                let members: Vec<MemberUpdate> =
+                    std::mem::take(&mut self.stash).into_values().collect();
+                self.uplink.send(&Message::AggregateUpdate {
+                    origin: self.edge_id,
+                    round,
+                    members,
+                })?;
+                Ok(summary)
+            }
+            Err(FlError::QuorumNotMet { .. }) => {
+                self.server.abort_round()?;
+                self.stash.clear();
+                self.uplink.send(&Message::AggregateUpdate {
+                    origin: self.edge_id,
+                    round,
+                    members: Vec::new(),
+                })?;
+                Ok(RoundSummary {
+                    round,
+                    participants: self.participants.clone(),
+                    reporters: Vec::new(),
+                    stragglers: Vec::new(),
+                    dropouts: Vec::new(),
+                    total_weight: 0,
+                    delivered_messages: 0,
+                    update_bytes: 0,
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Relays downstream traffic from the root: a [`Message::Nack`] goes to
+    /// the addressed member's link, a [`Message::RoundEnd`] to every round
+    /// participant that did not leave mid-round. Returns the number of
+    /// frames relayed.
+    ///
+    /// # Errors
+    /// Returns an error if a transport fails.
+    pub fn pump_downstream(&mut self) -> Result<usize> {
+        let mut relayed = 0;
+        while let Some(message) = self.uplink.recv()? {
+            match &message {
+                Message::Nack { client_id, .. } => {
+                    if let Some(member) = self.members.iter().find(|m| m.client_id == *client_id) {
+                        member.link.send(&message)?;
+                        relayed += 1;
+                    }
+                    // A Nack addressed to the edge itself (a refused
+                    // combined frame) is consumed here.
+                }
+                Message::RoundEnd { .. } => {
+                    for member in &self.members {
+                        if self.participants.contains(&member.client_id)
+                            && !self.left.contains(&member.client_id)
+                        {
+                            member.link.send(&message)?;
+                            relayed += 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(relayed)
+    }
+
+    /// Messages and logical bytes sent by this edge's runtime-side link
+    /// ends (member downlinks + uplink).
+    pub fn traffic(&self) -> (usize, usize) {
+        let mut messages = self.uplink.messages_sent();
+        let mut bytes = self.uplink.bytes_sent();
+        for member in &self.members {
+            messages += member.link.messages_sent();
+            bytes += member.link.bytes_sent();
+        }
+        (messages, bytes)
+    }
+}
+
+/// Fills the parameters missing from a (shielded) update's clear segment
+/// with the current broadcast values, in canonical order — the edge-local
+/// mirror of the root's enclave reassembly: sealed segments contribute zero
+/// delta to the subtree view the edge is allowed to see.
+fn splice_placeholders(current: &[(String, Tensor)], update: &ModelUpdate) -> ModelUpdate {
+    let parameters = current
+        .iter()
+        .map(
+            |(name, reference)| match update.parameters.iter().find(|(n, _)| n == name) {
+                Some((n, t)) => (n.clone(), t.clone()),
+                None => (name.clone(), reference.clone()),
+            },
+        )
+        .collect();
+    ModelUpdate {
+        client_id: update.client_id,
+        round: update.round,
+        num_samples: update.num_samples,
+        parameters,
+    }
+}
+
+/// One directed gossip out-link with its push bookkeeping.
+struct GossipLink {
+    link: Box<dyn Transport>,
+    sent: BTreeSet<usize>,
+}
+
+/// One gossip peer's runtime-side daemon: the coordinator-side end of the
+/// agent's link, the peer-to-peer link ends, and the update set it has
+/// learned so far this round.
+struct GossipPeer {
+    id: usize,
+    coordinator: Box<dyn Transport>,
+    latency: usize,
+    out_links: Vec<GossipLink>,
+    in_links: Vec<(usize, Box<dyn Transport>)>,
+    known: BTreeMap<usize, MemberUpdate>,
+}
+
+/// What one latency-gated collect sweep over the coordinator links did.
+#[derive(Default)]
+pub(crate) struct GossipPump {
+    pub(crate) delivered: bool,
+    pub(crate) pending_future: bool,
+    /// Non-update traffic (Join/Leave/junk) for the coordinator's state
+    /// machine, in deterministic (ascending peer) order.
+    pub(crate) control: Vec<(usize, Message)>,
+}
+
+/// The runtime fabric of a gossip federation: a directed ring mesh that
+/// floods member updates in deterministic sweeps and exposes every peer's
+/// converged update set for the consensus fold.
+pub(crate) struct GossipMesh {
+    peers: Vec<GossipPeer>,
+    round: Option<usize>,
+    participants: Vec<usize>,
+}
+
+impl GossipMesh {
+    /// Builds the mesh: peer `i` pushes to `i+1 ..= i+fanout` (mod `n`) over
+    /// fresh duplex links of the given transport kind. `coordinators[i]` is
+    /// the runtime-side end of client `i`'s agent link.
+    pub(crate) fn new(
+        kind: TransportKind,
+        coordinators: Vec<Box<dyn Transport>>,
+        latencies: Vec<usize>,
+        fanout: usize,
+    ) -> Self {
+        let n = coordinators.len();
+        let fanout = fanout.min(n.saturating_sub(1));
+        let mut outs: Vec<Vec<GossipLink>> = (0..n).map(|_| Vec::new()).collect();
+        let mut ins: Vec<Vec<(usize, Box<dyn Transport>)>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, out) in outs.iter_mut().enumerate() {
+            for j in 1..=fanout {
+                let target = (i + j) % n;
+                let (a, b) = kind.duplex();
+                out.push(GossipLink {
+                    link: a,
+                    sent: BTreeSet::new(),
+                });
+                ins[target].push((i, b));
+            }
+        }
+        let mut peers = Vec::with_capacity(n);
+        for (id, (coordinator, latency)) in coordinators.into_iter().zip(latencies).enumerate() {
+            let mut in_links = std::mem::take(&mut ins[id]);
+            in_links.sort_by_key(|(source, _)| *source);
+            peers.push(GossipPeer {
+                id,
+                coordinator,
+                latency,
+                out_links: std::mem::take(&mut outs[id]),
+                in_links,
+                known: BTreeMap::new(),
+            });
+        }
+        GossipMesh {
+            peers,
+            round: None,
+            participants: Vec::new(),
+        }
+    }
+
+    /// Opens a gossip round: clears every peer's knowledge and push
+    /// bookkeeping and relays [`Message::RoundStart`] to the sampled
+    /// participants.
+    pub(crate) fn open_round(
+        &mut self,
+        broadcast: &GlobalModel,
+        participants: &[usize],
+    ) -> Result<()> {
+        self.round = Some(broadcast.round);
+        self.participants = participants.to_vec();
+        for peer in &mut self.peers {
+            peer.known.clear();
+            for link in &mut peer.out_links {
+                link.sent.clear();
+            }
+            if participants.contains(&peer.id) {
+                peer.coordinator.send(&Message::RoundStart {
+                    round: broadcast.round,
+                    global: broadcast.clone(),
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// One latency-gated collect sweep over the coordinator links: a peer's
+    /// own round-`r` [`Message::Update`] enters its knowledge; everything
+    /// else is surfaced as control traffic for the coordinator's state
+    /// machine.
+    ///
+    /// Adversarial frames never abort the run here: the daemon knows whose
+    /// link it is, so an update under a spoofed client id, for a stale
+    /// round, or from an unsampled seat is **refused at the daemon** with a
+    /// [`Message::Nack`] on the receiving peer's own link (forwarding it
+    /// would let a spoofed frame impersonate a genuine participant at the
+    /// coordinator, and the spoofed id inside the frame is never trusted
+    /// for routing), and a duplicate is dropped first-wins, matching both
+    /// the flood's `or_insert` semantics and the coordinator's reporter
+    /// dedup. This keeps every daemon's knowledge exactly the set the
+    /// coordinator will accept, which the consensus-fold assertion relies
+    /// on.
+    ///
+    /// # Errors
+    /// Returns an error if a transport fails or an update carries sealed
+    /// segments (gossip has no attested central enclave to open them).
+    pub(crate) fn pump_collect(&mut self, sweep: usize) -> Result<GossipPump> {
+        let round = self.round;
+        let mut outcome = GossipPump::default();
+        for peer in &mut self.peers {
+            if peer.latency > sweep {
+                if peer.coordinator.has_pending() {
+                    outcome.pending_future = true;
+                }
+                continue;
+            }
+            let Some(message) = peer.coordinator.recv()? else {
+                continue;
+            };
+            outcome.delivered = true;
+            match message {
+                Message::Update { update, shielded } => {
+                    if !shielded.is_empty() {
+                        return Err(FlError::InvalidConfig {
+                            reason: format!(
+                                "gossip peer {} sent sealed segments, which no peer can open",
+                                update.client_id
+                            ),
+                        });
+                    }
+                    let legitimate = update.client_id == peer.id
+                        && Some(update.round) == round
+                        && self.participants.contains(&peer.id);
+                    if legitimate {
+                        peer.known
+                            .entry(update.client_id)
+                            .or_insert(MemberUpdate::clear(update));
+                    } else {
+                        let reason = if update.client_id != peer.id {
+                            NackReason::Rejected(format!(
+                                "update claims client {} on client {}'s link",
+                                update.client_id, peer.id
+                            ))
+                        } else if Some(update.round) != round {
+                            NackReason::StaleRound
+                        } else {
+                            NackReason::NotParticipating
+                        };
+                        peer.coordinator.send(&Message::Nack {
+                            client_id: peer.id,
+                            round: update.round,
+                            reason,
+                        })?;
+                    }
+                }
+                other => outcome.control.push((peer.id, other)),
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Drains the coordinator links completely between rounds; everything
+    /// is control traffic (there is no open round for updates to enter).
+    ///
+    /// # Errors
+    /// Returns an error if a transport fails.
+    pub(crate) fn pump_idle(&mut self) -> Result<(bool, Vec<(usize, Message)>)> {
+        let mut delivered = false;
+        let mut control = Vec::new();
+        for peer in &mut self.peers {
+            while let Some(message) = peer.coordinator.recv()? {
+                delivered = true;
+                control.push((peer.id, message));
+            }
+        }
+        Ok((delivered, control))
+    }
+
+    /// Floods the collected updates across the mesh until quiescent:
+    /// per sweep, every peer (ascending id) first receives one frame per
+    /// in-link (ascending source id), then pushes its newly learned updates
+    /// to each out-link as a [`Message::AggregateUpdate`]. Returns the
+    /// number of gossip frames exchanged.
+    ///
+    /// # Errors
+    /// Returns an error if a transport fails or no round is open.
+    pub(crate) fn exchange(&mut self) -> Result<usize> {
+        let round = self.round.ok_or_else(|| FlError::InvalidConfig {
+            reason: "gossip exchange without an open round".to_string(),
+        })?;
+        let mut exchanged = 0;
+        loop {
+            let mut moved = false;
+            for peer in &mut self.peers {
+                for (_, link) in &mut peer.in_links {
+                    let Some(message) = link.recv()? else {
+                        continue;
+                    };
+                    moved = true;
+                    if let Message::AggregateUpdate { members, .. } = message {
+                        for member in members {
+                            peer.known.entry(member.update.client_id).or_insert(member);
+                        }
+                    }
+                }
+            }
+            for peer in &mut self.peers {
+                for link in &mut peer.out_links {
+                    let fresh: Vec<MemberUpdate> = peer
+                        .known
+                        .iter()
+                        .filter(|(id, _)| !link.sent.contains(id))
+                        .map(|(_, member)| member.clone())
+                        .collect();
+                    if fresh.is_empty() {
+                        continue;
+                    }
+                    for member in &fresh {
+                        link.sent.insert(member.update.client_id);
+                    }
+                    link.link.send(&Message::AggregateUpdate {
+                        origin: peer.id,
+                        round,
+                        members: fresh,
+                    })?;
+                    moved = true;
+                    exchanged += 1;
+                }
+            }
+            if !moved {
+                return Ok(exchanged);
+            }
+        }
+    }
+
+    /// The union of every peer's knowledge, keyed by client id — the
+    /// round's full update set after flooding converged.
+    pub(crate) fn union(&self) -> BTreeMap<usize, MemberUpdate> {
+        let mut union = BTreeMap::new();
+        for peer in &self.peers {
+            for (id, member) in &peer.known {
+                union.entry(*id).or_insert_with(|| member.clone());
+            }
+        }
+        union
+    }
+
+    /// Every participant's local consensus fold: the same
+    /// [`aggregate_with_rule`] the coordinator runs, over the peer's
+    /// schema-valid knowledge. All folds must be bit-identical to the
+    /// coordinator's aggregate — the topology determinism contract the
+    /// runtime asserts each round.
+    ///
+    /// # Errors
+    /// Returns an error if a fold itself fails.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn consensus_folds(
+        &self,
+        current: &[(String, Tensor)],
+        round: usize,
+        rule: AggregationRule,
+    ) -> Result<Vec<(usize, Vec<(String, Tensor)>)>> {
+        let mut folds = Vec::new();
+        for &peer_id in &self.participants {
+            let peer = &self.peers[peer_id];
+            let updates: Vec<ModelUpdate> = peer
+                .known
+                .values()
+                .map(|member| member.update.clone())
+                .filter(|update| validate_update_schema(current, update).is_ok())
+                .collect();
+            if updates.is_empty() {
+                continue;
+            }
+            folds.push((
+                peer_id,
+                aggregate_with_rule(current, round, &updates, rule)?,
+            ));
+        }
+        Ok(folds)
+    }
+
+    /// Sends a coordinator message (RoundEnd, Nack) to one peer's agent.
+    ///
+    /// # Errors
+    /// Returns an error if the transport fails.
+    pub(crate) fn send_to(&mut self, peer_id: usize, message: &Message) -> Result<()> {
+        self.peers[peer_id].coordinator.send(message)
+    }
+
+    /// Messages and logical bytes sent by the mesh's runtime-side link ends
+    /// (coordinator ends + every peer-to-peer end).
+    pub(crate) fn traffic(&self) -> (usize, usize) {
+        let mut messages = 0;
+        let mut bytes = 0;
+        for peer in &self.peers {
+            messages += peer.coordinator.messages_sent();
+            bytes += peer.coordinator.bytes_sent();
+            for link in &peer.out_links {
+                messages += link.link.messages_sent();
+                bytes += link.link.bytes_sent();
+            }
+            for (_, link) in &peer.in_links {
+                messages += link.messages_sent();
+                bytes += link.bytes_sent();
+            }
+        }
+        (messages, bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InMemoryTransport, NackReason};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn named(values: &[f32]) -> Vec<(String, Tensor)> {
+        vec![(
+            "w".to_string(),
+            Tensor::from_vec(values.to_vec(), &[values.len()]).unwrap(),
+        )]
+    }
+
+    fn update(client: usize, round: usize, samples: usize, value: f32) -> ModelUpdate {
+        ModelUpdate {
+            client_id: client,
+            round,
+            num_samples: samples,
+            parameters: named(&[value, value]),
+        }
+    }
+
+    fn bits(parameters: &[(String, Tensor)]) -> Vec<u32> {
+        parameters
+            .iter()
+            .flat_map(|(_, t)| t.data().iter().map(|v| v.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn topology_validation_rejects_degenerate_shapes() {
+        assert!(Topology::Star.validate(3).is_ok());
+        assert!(Topology::hierarchical(vec![vec![0, 1], vec![2]])
+            .validate(3)
+            .is_ok());
+        // Not a partition: missing client, duplicate, out of range, empty
+        // group, no groups.
+        assert!(Topology::hierarchical(vec![vec![0, 1]])
+            .validate(3)
+            .is_err());
+        assert!(Topology::hierarchical(vec![vec![0, 1], vec![1, 2]])
+            .validate(3)
+            .is_err());
+        assert!(Topology::hierarchical(vec![vec![0, 5], vec![1, 2]])
+            .validate(3)
+            .is_err());
+        assert!(Topology::hierarchical(vec![vec![0, 1, 2], vec![]])
+            .validate(3)
+            .is_err());
+        assert!(Topology::hierarchical(Vec::new()).validate(3).is_err());
+        // Edge policies: unreachable quorum, per-edge sampling, zero quorum.
+        let policy = |quorum, sample| ParticipationPolicy {
+            quorum,
+            sample,
+            straggler_deadline: 0,
+        };
+        assert!(Topology::Hierarchical {
+            groups: vec![vec![0], vec![1, 2]],
+            edge_policy: policy(2, 0),
+        }
+        .validate(3)
+        .is_err());
+        assert!(Topology::Hierarchical {
+            groups: vec![vec![0, 1, 2]],
+            edge_policy: policy(1, 2),
+        }
+        .validate(3)
+        .is_err());
+        assert!(Topology::Hierarchical {
+            groups: vec![vec![0, 1, 2]],
+            edge_policy: policy(0, 0),
+        }
+        .validate(3)
+        .is_err());
+        // Gossip.
+        assert!(Topology::Gossip { fanout: 1 }.validate(3).is_ok());
+        assert!(Topology::Gossip { fanout: 0 }.validate(3).is_err());
+        // Helpers.
+        let hier = Topology::hierarchical(vec![vec![0, 2], vec![1]]);
+        assert_eq!(hier.num_edges(), 2);
+        assert_eq!(hier.edge_of(2), Some(0));
+        assert_eq!(hier.edge_of(1), Some(1));
+        assert_eq!(Topology::Star.edge_of(0), None);
+        assert_eq!(Topology::default().name(), "star");
+        assert_eq!(hier.name(), "hierarchical");
+        assert_eq!(Topology::Gossip { fanout: 1 }.name(), "gossip");
+    }
+
+    /// An edge collects its subtree over member links, mirrors the updates
+    /// into its per-level state machine, and forwards the originals upstream
+    /// as one combined frame in ascending client-id order — which the root
+    /// folds into exactly the bits a flat aggregation produces.
+    #[test]
+    fn edge_aggregator_forwards_member_granularity() {
+        let (edge_end, root_end) = InMemoryTransport::pair();
+        let mut edge =
+            EdgeAggregator::new(0, ParticipationPolicy::default(), Box::new(edge_end)).unwrap();
+        let mut agent_ends = Vec::new();
+        for client_id in [3usize, 1] {
+            let (agent_end, server_end) = InMemoryTransport::pair();
+            edge.attach_member(client_id, Box::new(server_end), 0);
+            agent_ends.push((client_id, agent_end));
+        }
+        assert_eq!(edge.member_ids(), vec![1, 3]);
+        assert!(edge.contains(3) && !edge.contains(0));
+
+        // Members join through the edge; the Joins are relayed upstream.
+        for (client_id, agent_end) in &agent_ends {
+            agent_end
+                .send(&Message::Join {
+                    client_id: *client_id,
+                })
+                .unwrap();
+        }
+        assert!(edge.pump_idle().unwrap());
+        let mut root = FedAvgServer::new(named(&[0.0, 0.0]));
+        while let Some(message) = root_end.recv().unwrap() {
+            root.deliver(&message);
+        }
+        assert_eq!(root.connected_clients(), vec![1, 3]);
+
+        // Open round 0 and let both members report.
+        let broadcast = root.broadcast();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        root.begin_round(&mut rng).unwrap();
+        edge.open_round(&broadcast, &[1, 3]).unwrap();
+        for (client_id, agent_end) in &agent_ends {
+            let Some(Message::RoundStart { round, .. }) = agent_end.recv().unwrap() else {
+                panic!("member expected the relayed broadcast");
+            };
+            assert_eq!(round, 0);
+            agent_end
+                .send(&Message::Update {
+                    update: update(*client_id, 0, 10 * client_id, *client_id as f32),
+                    shielded: Vec::new(),
+                })
+                .unwrap();
+        }
+        assert!(edge.round_open());
+        while edge.pump(0).unwrap().delivered {}
+        let summary = edge.close_and_forward().unwrap();
+        assert!(!edge.round_open());
+        assert!(edge.served_round(0));
+        assert_eq!(summary.reporters, vec![1, 3]);
+        assert_eq!(summary.total_weight, 40);
+        // The edge-local model tracks the subtree view.
+        assert!(bits(edge.parameters()) != bits(&named(&[0.0, 0.0])));
+
+        // The combined frame carries both members, ascending.
+        let Some(Message::AggregateUpdate {
+            origin,
+            round,
+            members,
+        }) = root_end.recv().unwrap()
+        else {
+            panic!("edge must forward one combined frame");
+        };
+        assert_eq!((origin, round), (0, 0));
+        let ids: Vec<usize> = members.iter().map(|m| m.update.client_id).collect();
+        assert_eq!(ids, vec![1, 3]);
+
+        // Root folds the members — bit-identical to the flat aggregate.
+        for member in &members {
+            let refused = root.deliver(&Message::Update {
+                update: member.update.clone(),
+                shielded: Vec::new(),
+            });
+            assert!(refused.is_empty());
+        }
+        root.close_round().unwrap();
+        let flat = aggregate_with_rule(
+            &named(&[0.0, 0.0]),
+            0,
+            &[update(1, 0, 10, 1.0), update(3, 0, 30, 3.0)],
+            AggregationRule::FedAvg,
+        )
+        .unwrap();
+        assert_eq!(bits(root.parameters()), bits(&flat));
+        let (messages, wire_bytes) = edge.traffic();
+        assert!(messages > 0 && wire_bytes > 0);
+    }
+
+    /// Per-level policy: a subtree that misses its own quorum is withheld as
+    /// a unit — an empty combined frame goes upstream.
+    #[test]
+    fn edge_quorum_failure_withholds_the_subtree() {
+        let (edge_end, root_end) = InMemoryTransport::pair();
+        let mut edge = EdgeAggregator::new(
+            1,
+            ParticipationPolicy {
+                quorum: 2,
+                sample: 0,
+                straggler_deadline: 0,
+            },
+            Box::new(edge_end),
+        )
+        .unwrap();
+        let mut agent_ends = Vec::new();
+        for client_id in 0..2usize {
+            let (agent_end, server_end) = InMemoryTransport::pair();
+            edge.attach_member(client_id, Box::new(server_end), 0);
+            agent_end.send(&Message::Join { client_id }).unwrap();
+            agent_ends.push(agent_end);
+        }
+        edge.pump_idle().unwrap();
+        while root_end.recv().unwrap().is_some() {}
+
+        let broadcast = GlobalModel {
+            round: 0,
+            parameters: named(&[0.0, 0.0]),
+        };
+        edge.open_round(&broadcast, &[0, 1]).unwrap();
+        for agent_end in &agent_ends {
+            agent_end.recv().unwrap();
+        }
+        // Only client 0 reports; client 1 leaves mid-round.
+        agent_ends[0]
+            .send(&Message::Update {
+                update: update(0, 0, 10, 1.0),
+                shielded: Vec::new(),
+            })
+            .unwrap();
+        agent_ends[1]
+            .send(&Message::Leave { client_id: 1 })
+            .unwrap();
+        while edge.pump(0).unwrap().delivered {}
+        let summary = edge.close_and_forward().unwrap();
+        assert!(summary.reporters.is_empty());
+        assert_eq!(summary.total_weight, 0);
+        assert_eq!(summary.participants, vec![0, 1]);
+        // The Leave was relayed upstream, then the empty combined frame.
+        let Some(Message::Leave { client_id: 1 }) = root_end.recv().unwrap() else {
+            panic!("Leave must be relayed upstream");
+        };
+        let Some(Message::AggregateUpdate { members, .. }) = root_end.recv().unwrap() else {
+            panic!("a withheld subtree still sends its (empty) frame");
+        };
+        assert!(members.is_empty());
+        // The edge-local model never moved.
+        assert_eq!(bits(edge.parameters()), bits(&named(&[0.0, 0.0])));
+    }
+
+    /// The straggler deadline applies per level: junk frames delivered to
+    /// the edge burn the edge's own budget.
+    #[test]
+    fn edge_straggler_deadline_counts_edge_deliveries() {
+        let (edge_end, _root_end) = InMemoryTransport::pair();
+        let mut edge = EdgeAggregator::new(
+            0,
+            ParticipationPolicy {
+                quorum: 1,
+                sample: 0,
+                straggler_deadline: 2,
+            },
+            Box::new(edge_end),
+        )
+        .unwrap();
+        let mut agent_ends = Vec::new();
+        for client_id in 0..2usize {
+            let (agent_end, server_end) = InMemoryTransport::pair();
+            edge.attach_member(client_id, Box::new(server_end), 0);
+            agent_end.send(&Message::Join { client_id }).unwrap();
+            agent_ends.push(agent_end);
+        }
+        edge.pump_idle().unwrap();
+        let broadcast = GlobalModel {
+            round: 0,
+            parameters: named(&[0.0, 0.0]),
+        };
+        edge.open_round(&broadcast, &[0, 1]).unwrap();
+        for agent_end in &agent_ends {
+            agent_end.recv().unwrap();
+        }
+        // Client 0: a junk frame then its update; client 1 reports last.
+        agent_ends[0].send(&Message::RoundEnd { round: 0 }).unwrap();
+        agent_ends[0]
+            .send(&Message::Update {
+                update: update(0, 0, 10, 1.0),
+                shielded: Vec::new(),
+            })
+            .unwrap();
+        agent_ends[1]
+            .send(&Message::Update {
+                update: update(1, 0, 10, 2.0),
+                shielded: Vec::new(),
+            })
+            .unwrap();
+        let mut sweep = 0;
+        while edge.pump(sweep).unwrap().delivered {
+            sweep += 1;
+        }
+        let summary = edge.close_and_forward().unwrap();
+        // One message per link per sweep: sweep 0 delivers client 0's junk
+        // frame and client 1's update (filling the deadline of 2); client
+        // 0's own update slips to sweep 1 and is the edge's straggler — the
+        // spammer burned its own budget.
+        assert_eq!(summary.reporters, vec![1]);
+        assert_eq!(summary.stragglers, vec![0]);
+        // The junk Nack and the straggler Nack both reached the member.
+        let Some(Message::Nack { .. }) = agent_ends[0].recv().unwrap() else {
+            panic!("junk frame must be Nack'd by the edge");
+        };
+        let Some(Message::Nack { reason, .. }) = agent_ends[0].recv().unwrap() else {
+            panic!("straggler must be Nack'd by the edge");
+        };
+        assert_eq!(reason, NackReason::StragglerDeadline);
+    }
+
+    /// Downstream relays: root Nacks reach the addressed member, RoundEnd
+    /// reaches every participant that did not leave.
+    #[test]
+    fn downstream_traffic_is_routed_to_members() {
+        let (edge_end, root_end) = InMemoryTransport::pair();
+        let mut edge =
+            EdgeAggregator::new(0, ParticipationPolicy::default(), Box::new(edge_end)).unwrap();
+        let mut agent_ends = Vec::new();
+        for client_id in 0..2usize {
+            let (agent_end, server_end) = InMemoryTransport::pair();
+            edge.attach_member(client_id, Box::new(server_end), 0);
+            agent_end.send(&Message::Join { client_id }).unwrap();
+            agent_ends.push(agent_end);
+        }
+        edge.pump_idle().unwrap();
+        let broadcast = GlobalModel {
+            round: 0,
+            parameters: named(&[0.0, 0.0]),
+        };
+        edge.open_round(&broadcast, &[0, 1]).unwrap();
+        for agent_end in &agent_ends {
+            agent_end.recv().unwrap();
+        }
+        agent_ends[1]
+            .send(&Message::Leave { client_id: 1 })
+            .unwrap();
+        while edge.pump(0).unwrap().delivered {}
+
+        root_end
+            .send(&Message::Nack {
+                client_id: 0,
+                round: 0,
+                reason: NackReason::StaleRound,
+            })
+            .unwrap();
+        root_end.send(&Message::RoundEnd { round: 0 }).unwrap();
+        let relayed = edge.pump_downstream().unwrap();
+        // The Nack to client 0 plus RoundEnd to client 0 only (1 left).
+        assert_eq!(relayed, 2);
+        assert!(matches!(
+            agent_ends[0].recv().unwrap(),
+            Some(Message::Nack { client_id: 0, .. })
+        ));
+        assert!(matches!(
+            agent_ends[0].recv().unwrap(),
+            Some(Message::RoundEnd { round: 0 })
+        ));
+        assert!(agent_ends[1].recv().unwrap().is_none());
+    }
+
+    /// Adversarial coordinator frames are refused at the daemon itself — a
+    /// spoofed client id never impersonates another participant, a stale
+    /// round never aborts the run, and a duplicate is dropped first-wins —
+    /// so the mesh's knowledge stays exactly the set the coordinator will
+    /// accept.
+    #[test]
+    fn gossip_daemon_refuses_spoofed_stale_and_duplicate_updates() {
+        let mut coordinators = Vec::new();
+        let mut agent_ends = Vec::new();
+        for _ in 0..2usize {
+            let (agent_end, runtime_end) = InMemoryTransport::pair();
+            coordinators.push(Box::new(runtime_end) as Box<dyn Transport>);
+            agent_ends.push(agent_end);
+        }
+        let mut mesh = GossipMesh::new(TransportKind::InMemory, coordinators, vec![0; 2], 1);
+        let broadcast = GlobalModel {
+            round: 0,
+            parameters: named(&[0.0, 0.0]),
+        };
+        mesh.open_round(&broadcast, &[0, 1]).unwrap();
+        for agent_end in &agent_ends {
+            agent_end.recv().unwrap(); // consume the broadcast
+        }
+        // Peer 0's link carries: an update spoofing peer 1's id, a stale
+        // update, its genuine update, and a conflicting duplicate.
+        agent_ends[0]
+            .send(&Message::Update {
+                update: update(1, 0, 10, 99.0),
+                shielded: Vec::new(),
+            })
+            .unwrap();
+        agent_ends[0]
+            .send(&Message::Update {
+                update: update(0, 7, 10, 99.0),
+                shielded: Vec::new(),
+            })
+            .unwrap();
+        agent_ends[0]
+            .send(&Message::Update {
+                update: update(0, 0, 10, 1.0),
+                shielded: Vec::new(),
+            })
+            .unwrap();
+        agent_ends[0]
+            .send(&Message::Update {
+                update: update(0, 0, 10, -5.0),
+                shielded: Vec::new(),
+            })
+            .unwrap();
+        agent_ends[1]
+            .send(&Message::Update {
+                update: update(1, 0, 20, 2.0),
+                shielded: Vec::new(),
+            })
+            .unwrap();
+        let mut control = Vec::new();
+        let mut sweep = 0;
+        loop {
+            let pump = mesh.pump_collect(sweep).unwrap();
+            control.extend(pump.control);
+            if !pump.delivered && !pump.pending_future {
+                break;
+            }
+            sweep += 1;
+        }
+        // Nothing leaked to the coordinator's control path; the refusals
+        // rode peer 0's own link.
+        assert!(control.is_empty(), "refused updates must not reach control");
+        let Some(Message::Nack {
+            client_id: 0,
+            reason: NackReason::Rejected(_),
+            ..
+        }) = agent_ends[0].recv().unwrap()
+        else {
+            panic!("spoofed id must be refused at the daemon");
+        };
+        let Some(Message::Nack {
+            reason: NackReason::StaleRound,
+            ..
+        }) = agent_ends[0].recv().unwrap()
+        else {
+            panic!("stale round must be refused at the daemon");
+        };
+        assert!(
+            agent_ends[0].recv().unwrap().is_none(),
+            "the duplicate is dropped first-wins, without a Nack"
+        );
+        // The converged union holds exactly the two genuine updates, with
+        // the first-sent bits for peer 0.
+        mesh.exchange().unwrap();
+        let union = mesh.union();
+        assert_eq!(union.len(), 2);
+        assert_eq!(union[&0].update.parameters[0].1.data()[0], 1.0);
+        assert_eq!(union[&1].update.num_samples, 20);
+        let folds = mesh
+            .consensus_folds(&named(&[0.0, 0.0]), 0, AggregationRule::FedAvg)
+            .unwrap();
+        assert_eq!(folds.len(), 2);
+        assert_eq!(bits(&folds[0].1), bits(&folds[1].1));
+    }
+
+    /// Gossip flooding converges on a directed ring and every participant's
+    /// consensus fold is bit-identical to the flat aggregate.
+    #[test]
+    fn gossip_mesh_floods_and_folds_to_consensus() {
+        let clients = 4usize;
+        let mut coordinators = Vec::new();
+        let mut agent_ends = Vec::new();
+        for _ in 0..clients {
+            let (agent_end, runtime_end) = InMemoryTransport::pair();
+            coordinators.push(Box::new(runtime_end) as Box<dyn Transport>);
+            agent_ends.push(agent_end);
+        }
+        let mut mesh = GossipMesh::new(TransportKind::InMemory, coordinators, vec![0; clients], 1);
+        let initial = named(&[0.0, 0.0]);
+        let broadcast = GlobalModel {
+            round: 0,
+            parameters: initial.clone(),
+        };
+        let participants: Vec<usize> = (0..clients).collect();
+        mesh.open_round(&broadcast, &participants).unwrap();
+
+        let updates: Vec<ModelUpdate> = (0..clients)
+            .map(|id| update(id, 0, 10 + id, id as f32 - 1.5))
+            .collect();
+        for (agent_end, u) in agent_ends.iter().zip(&updates) {
+            agent_end.recv().unwrap(); // consume the broadcast
+            agent_end
+                .send(&Message::Update {
+                    update: u.clone(),
+                    shielded: Vec::new(),
+                })
+                .unwrap();
+            // Control traffic rides the same link.
+            agent_end
+                .send(&Message::Leave {
+                    client_id: usize::MAX,
+                })
+                .unwrap();
+        }
+        let mut control = Vec::new();
+        let mut sweep = 0;
+        loop {
+            let pump = mesh.pump_collect(sweep).unwrap();
+            control.extend(pump.control);
+            if !pump.delivered && !pump.pending_future {
+                break;
+            }
+            sweep += 1;
+        }
+        assert_eq!(control.len(), clients, "one control frame per peer");
+
+        let exchanged = mesh.exchange().unwrap();
+        assert!(exchanged > 0);
+        let union = mesh.union();
+        assert_eq!(union.len(), clients, "flooding must converge to the union");
+
+        for rule in [
+            AggregationRule::FedAvg,
+            AggregationRule::TrimmedMean { trim: 1 },
+        ] {
+            let flat = aggregate_with_rule(&initial, 0, &updates, rule).unwrap();
+            let folds = mesh.consensus_folds(&initial, 0, rule).unwrap();
+            assert_eq!(folds.len(), clients);
+            for (peer, fold) in folds {
+                assert_eq!(bits(&fold), bits(&flat), "peer {peer} diverged");
+            }
+        }
+        let (messages, wire_bytes) = mesh.traffic();
+        assert!(messages > 0 && wire_bytes > 0);
+        // A second exchange is a no-op: the mesh is quiescent.
+        assert_eq!(mesh.exchange().unwrap(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Hierarchical federation with adversary placement: two edge aggregators
+//! collect their subtrees and forward combined subtree frames to the root,
+//! while a backdoor agent hides inside the smaller subtree.
+//!
+//! The example runs the same 2-edge scenario twice — under plain FedAvg and
+//! under the coordinate-wise trimmed mean — and prints the per-subtree
+//! round summaries next to the backdoor outcome. The defense folds the
+//! **full** client population at the root (edges forward member updates,
+//! not subtree averages), so even an attacker that dominates its own
+//! 2-member subtree is trimmed away.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example hierarchical_federation
+//! ```
+
+use std::error::Error;
+
+use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
+use pelta_fl::{
+    backdoor_success_rate, AgentRole, AggregationRule, Federation, FederationConfig,
+    ParticipationPolicy, ScenarioSpec, Topology, TransportKind, TrojanTrigger,
+};
+use pelta_models::{accuracy, TrainingConfig};
+use pelta_tensor::SeedStream;
+
+fn trigger() -> TrojanTrigger {
+    TrojanTrigger::new(6, 1.0, 0).expect("valid trigger")
+}
+
+/// The shared scenario: 4 honest agents + 1 backdoor agent, partitioned
+/// into a 3-member and a 2-member subtree with the attacker under the small
+/// edge, over the serialised transport.
+fn scenario(rule: AggregationRule) -> ScenarioSpec {
+    ScenarioSpec::honest(FederationConfig {
+        clients: 5,
+        rounds: 1,
+        local_training: TrainingConfig {
+            epochs: 1,
+            batch_size: 8,
+            learning_rate: 0.02,
+            momentum: 0.9,
+        },
+        eval_samples: 30,
+        transport: TransportKind::Serialized,
+        policy: ParticipationPolicy {
+            quorum: 5,
+            sample: 0,
+            straggler_deadline: 0,
+        },
+        rule,
+        ..FederationConfig::default()
+    })
+    .with_topology(Topology::hierarchical(vec![vec![0, 1, 2], vec![3, 4]]))
+    .with_role(
+        4,
+        AgentRole::Backdoor {
+            trigger: trigger(),
+            poison_fraction: 1.0,
+            boost: 30,
+            training: Some(TrainingConfig {
+                epochs: 4,
+                batch_size: 5,
+                learning_rate: 0.05,
+                momentum: 0.9,
+            }),
+        },
+    )
+}
+
+/// Example body, also driven by `tests/examples_smoke.rs`.
+pub fn run() -> Result<(), Box<dyn Error>> {
+    let dataset = Dataset::generate(
+        DatasetSpec::Cifar10Like,
+        &GeneratorConfig {
+            train_samples: 50,
+            test_samples: 30,
+            ..GeneratorConfig::default()
+        },
+        820,
+    );
+
+    let mut rates = Vec::new();
+    for (label, rule) in [
+        ("FedAvg (no defense)", AggregationRule::FedAvg),
+        (
+            "TrimmedMean(trim=1)",
+            AggregationRule::TrimmedMean { trim: 1 },
+        ),
+    ] {
+        let mut seeds = SeedStream::new(820);
+        let spec = scenario(rule);
+        println!(
+            "{label:>20}: adversary placement {:?} (client, edge)",
+            spec.adversary_edges()
+        );
+        let mut federation = Federation::vit_scenario(&dataset, &spec, Partition::Iid, &mut seeds)?;
+        let history = federation.run(&mut seeds)?;
+        let record = &history.rounds[0];
+        assert_eq!(
+            record.edge_summaries.len(),
+            2,
+            "both subtrees must aggregate and forward"
+        );
+        for summary in &record.edge_summaries {
+            println!(
+                "{:>20}  edge round {}: reporters {:?}, weight {}, {} update bytes",
+                "", summary.round, summary.reporters, summary.total_weight, summary.update_bytes
+            );
+        }
+        let eval = dataset.test_subset(30);
+        let global = federation.global_model()?;
+        let backdoor = backdoor_success_rate(global, &eval.images, &eval.labels, &trigger())?;
+        let clean = accuracy(global, &eval.images, &eval.labels)?;
+        println!(
+            "{:>20}  root: backdoor rate {:.0}%, clean accuracy {:.0}%, reporters {:?}",
+            "",
+            backdoor * 100.0,
+            clean * 100.0,
+            record.summary.reporters,
+        );
+        assert_eq!(
+            record.adversarial_actions, 1,
+            "the backdoor agent must act through the scheduler"
+        );
+        rates.push(backdoor);
+    }
+
+    let (fedavg_rate, trimmed_rate) = (rates[0], rates[1]);
+    assert!(
+        trimmed_rate <= fedavg_rate,
+        "trimmed mean must not amplify the edge-placed backdoor \
+         (fedavg {fedavg_rate}, trimmed {trimmed_rate})"
+    );
+    println!(
+        "backdoor suppression through the aggregator hop: \
+         {:.0}% under FedAvg -> {:.0}% under the trimmed mean",
+        fedavg_rate * 100.0,
+        trimmed_rate * 100.0
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    run()
+}

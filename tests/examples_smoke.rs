@@ -23,6 +23,10 @@ mod federated_dropout;
 #[allow(dead_code)]
 mod robust_federation;
 
+#[path = "../examples/hierarchical_federation.rs"]
+#[allow(dead_code)]
+mod hierarchical_federation;
+
 #[test]
 fn quickstart_example_runs() {
     quickstart::run().expect("quickstart example should run to completion");
@@ -41,4 +45,10 @@ fn federated_dropout_example_runs() {
 #[test]
 fn robust_federation_example_runs() {
     robust_federation::run().expect("robust_federation example should run to completion");
+}
+
+#[test]
+fn hierarchical_federation_example_runs() {
+    hierarchical_federation::run()
+        .expect("hierarchical_federation example should run to completion");
 }

@@ -10,14 +10,26 @@
 //!   accumulator), and
 //! * between the message-driven `FedAvgServer` state machine and the
 //!   call-level `RobustAggregator` — the two façades of the single
-//!   aggregation code path.
+//!   aggregation code path, and
+//! * under **hierarchical routing**: any partition of the client population
+//!   into edge-aggregator subtrees — and any permutation of that partition
+//!   — forwards the same member granularity, so NormClipping/TrimmedMean
+//!   fold the same full-population statistics and produce the same bits as
+//!   the flat aggregation.
+//!
+//! The file closes with the adversarial half of the topology acceptance:
+//! the 1-backdoor-vs-4-honest matrix holds when the backdoor sits under an
+//! edge aggregator.
 
 use proptest::prelude::*;
 
+use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
 use pelta_fl::{
-    AggregationRule, FedAvgServer, Message, ModelUpdate, ParticipationPolicy, RobustAggregator,
-    TransportKind,
+    backdoor_success_rate, AgentRole, AggregationRule, EdgeAggregator, FedAvgServer, Federation,
+    FederationConfig, Message, ModelUpdate, ParticipationPolicy, RobustAggregator, ScenarioSpec,
+    Topology, Transport, TransportKind, TrojanTrigger,
 };
+use pelta_models::{accuracy, TrainingConfig};
 use pelta_tensor::{pool, SeedStream, Tensor};
 
 /// The three rules under test, parameterised off two proptest draws.
@@ -124,6 +136,103 @@ fn aggregate_in_protocol(
     bits(server.parameters())
 }
 
+/// The same round routed through a 2-level hierarchy: edge aggregators
+/// collect their subtrees over real member links and forward combined
+/// frames, which a root state machine unwraps and folds under `rule`.
+fn aggregate_hierarchical(
+    updates: &[ModelUpdate],
+    rule: AggregationRule,
+    groups: &[Vec<usize>],
+) -> Vec<(String, Vec<u32>)> {
+    let initial = initial_for(updates);
+    let mut root = FedAvgServer::with_rule(
+        initial,
+        ParticipationPolicy {
+            quorum: rule.min_updates(),
+            sample: 0,
+            straggler_deadline: 0,
+        },
+        rule,
+    )
+    .unwrap();
+    let mut edges = Vec::new();
+    let mut uplink_root_ends = Vec::new();
+    let mut agent_ends: Vec<(usize, Box<dyn Transport>)> = Vec::new();
+    for (edge_id, group) in groups.iter().enumerate() {
+        let (edge_end, root_end) = TransportKind::InMemory.duplex();
+        let mut edge =
+            EdgeAggregator::new(edge_id, ParticipationPolicy::default(), edge_end).unwrap();
+        for &member in group {
+            let (agent_end, server_end) = TransportKind::InMemory.duplex();
+            edge.attach_member(member, server_end, 0);
+            agent_end
+                .send(&Message::Join { client_id: member })
+                .unwrap();
+            agent_ends.push((member, agent_end));
+        }
+        edge.pump_idle().unwrap();
+        edges.push(edge);
+        uplink_root_ends.push(root_end);
+    }
+    for root_end in &uplink_root_ends {
+        while let Some(message) = root_end.recv().unwrap() {
+            root.deliver(&message);
+        }
+    }
+    let broadcast = root.broadcast();
+    let mut rng = SeedStream::new(23).derive("round");
+    root.begin_round(&mut rng).unwrap();
+    for (edge, group) in edges.iter_mut().zip(groups) {
+        let mut subset = group.clone();
+        subset.sort_unstable();
+        edge.open_round(&broadcast, &subset).unwrap();
+    }
+    for (member, agent_end) in &agent_ends {
+        agent_end.recv().unwrap(); // consume the relayed broadcast
+        let update = updates.iter().find(|u| u.client_id == *member).unwrap();
+        agent_end
+            .send(&Message::Update {
+                update: update.clone(),
+                shielded: Vec::new(),
+            })
+            .unwrap();
+    }
+    for edge in &mut edges {
+        let mut sweep = 0;
+        while edge.pump(sweep).unwrap().delivered {
+            sweep += 1;
+        }
+        edge.close_and_forward().unwrap();
+    }
+    for root_end in &uplink_root_ends {
+        while let Some(message) = root_end.recv().unwrap() {
+            let Message::AggregateUpdate { members, .. } = message else {
+                panic!("uplink must carry combined frames after the round");
+            };
+            for member in members {
+                let refused = root.deliver(&Message::Update {
+                    update: member.update,
+                    shielded: member.shielded,
+                });
+                assert!(refused.is_empty(), "member update unexpectedly refused");
+            }
+        }
+    }
+    root.close_round().unwrap();
+    bits(root.parameters())
+}
+
+/// Maps a drawn per-client group label into a partition of `0..clients`
+/// (labels with no clients vanish; an empty draw collapses to one group).
+fn partition_from_labels(labels: &[usize], groups: usize) -> Vec<Vec<usize>> {
+    let mut partition: Vec<Vec<usize>> = (0..groups.max(1)).map(|_| Vec::new()).collect();
+    for (client, &label) in labels.iter().enumerate() {
+        partition[label % groups.max(1)].push(client);
+    }
+    partition.retain(|group| !group.is_empty());
+    partition
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12).with_seed(0x5eed_0b05))]
 
@@ -171,4 +280,160 @@ proptest! {
             }
         }
     }
+
+    /// Hierarchical aggregation is **partition-invariant** to the bit: any
+    /// random subtree partition of the same client population — and any
+    /// permutation of that partition — produces exactly the flat
+    /// aggregate under NormClipping/TrimmedMean (and FedAvg), because the
+    /// edges forward member granularity rather than subtree averages.
+    #[test]
+    fn hierarchical_aggregation_is_bit_stable_across_partitions(
+        values in proptest::collection::vec(
+            proptest::collection::vec(-8.0f32..8.0, 8..13),
+            3..6,
+        ),
+        labels_a in proptest::collection::vec(0usize..3, 6),
+        labels_b in proptest::collection::vec(0usize..3, 6),
+        max_norm in 0.1f32..4.0,
+        rotation in 0usize..5,
+    ) {
+        let width = values[0].len();
+        let values: Vec<Vec<f32>> = values
+            .into_iter()
+            .map(|mut row| { row.resize(width, 0.5); row })
+            .collect();
+        let updates = updates_from(&values);
+        let clients = updates.len();
+        let partition_a = partition_from_labels(&labels_a[..clients], 3);
+        let partition_b = partition_from_labels(&labels_b[..clients], 2);
+
+        for rule in rules(max_norm, 1) {
+            let reference = aggregate_call_level(&updates, rule);
+            // Two unrelated random partitions yield the flat bits.
+            prop_assert_eq!(
+                &aggregate_hierarchical(&updates, rule, &partition_a),
+                &reference
+            );
+            prop_assert_eq!(
+                &aggregate_hierarchical(&updates, rule, &partition_b),
+                &reference
+            );
+            // Permuting the edge order of a partition changes nothing.
+            let mut permuted = partition_a.clone();
+            let shift = rotation % permuted.len();
+            permuted.rotate_left(shift);
+            permuted.reverse();
+            prop_assert_eq!(
+                &aggregate_hierarchical(&updates, rule, &permuted),
+                &reference
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: the backdoor-vs-rule matrix with the backdoor placed under an
+// edge aggregator
+// ---------------------------------------------------------------------------
+
+fn backdoor_trigger() -> TrojanTrigger {
+    TrojanTrigger::new(6, 1.0, 0).unwrap()
+}
+
+/// 1 `BackdoorAgent` vs 4 honest agents, with the backdoor seat placed
+/// under the smaller of two edge aggregators — the placement axis the
+/// topology layer opens.
+fn edge_backdoor_spec(rule: AggregationRule) -> ScenarioSpec {
+    ScenarioSpec::honest(FederationConfig {
+        clients: 5,
+        rounds: 1,
+        local_training: TrainingConfig {
+            epochs: 1,
+            batch_size: 8,
+            learning_rate: 0.02,
+            momentum: 0.9,
+        },
+        eval_samples: 30,
+        policy: ParticipationPolicy {
+            quorum: 5,
+            sample: 0,
+            straggler_deadline: 0,
+        },
+        rule,
+        ..FederationConfig::default()
+    })
+    .with_topology(Topology::hierarchical(vec![vec![0, 1, 2], vec![3, 4]]))
+    .with_role(
+        4,
+        AgentRole::Backdoor {
+            trigger: backdoor_trigger(),
+            poison_fraction: 1.0,
+            boost: 30,
+            training: Some(TrainingConfig {
+                epochs: 4,
+                batch_size: 5,
+                learning_rate: 0.05,
+                momentum: 0.9,
+            }),
+        },
+    )
+}
+
+/// The acceptance matrix survives the topology change: under FedAvg the
+/// boosted backdoor forwarded through its edge still captures the global
+/// model, while NormClipping and TrimmedMean — folding the **full** client
+/// population at the root, not per-subtree statistics — hold the backdoor
+/// rate at 0.0 even though the attacker dominates its own 2-member subtree.
+#[test]
+fn backdoor_under_an_edge_aggregator_is_suppressed_by_robust_rules() {
+    let run = |rule: AggregationRule| {
+        let data = Dataset::generate(
+            DatasetSpec::Cifar10Like,
+            &GeneratorConfig {
+                train_samples: 50,
+                test_samples: 30,
+                ..GeneratorConfig::default()
+            },
+            820,
+        );
+        let mut seeds = SeedStream::new(820);
+        let spec = edge_backdoor_spec(rule);
+        assert_eq!(spec.adversary_edges(), vec![(4, 1)]);
+        let mut federation =
+            Federation::vit_scenario(&data, &spec, Partition::Iid, &mut seeds).unwrap();
+        let history = federation.run(&mut seeds).unwrap();
+        let record = &history.rounds[0];
+        assert_eq!(record.adversarial_actions, 1);
+        assert_eq!(record.summary.reporters.len(), 5);
+        // Both subtrees aggregated and forwarded.
+        assert_eq!(record.edge_summaries.len(), 2);
+        assert_eq!(record.edge_summaries[0].reporters, vec![0, 1, 2]);
+        assert_eq!(record.edge_summaries[1].reporters, vec![3, 4]);
+        let eval = data.test_subset(30);
+        let global = federation.global_model().unwrap();
+        let backdoor =
+            backdoor_success_rate(global, &eval.images, &eval.labels, &backdoor_trigger()).unwrap();
+        let clean = accuracy(global, &eval.images, &eval.labels).unwrap();
+        (backdoor, clean)
+    };
+    let (fedavg_rate, fedavg_clean) = run(AggregationRule::FedAvg);
+    let (clipped_rate, clipped_clean) = run(AggregationRule::NormClipping { max_norm: 1.0 });
+    let (trimmed_rate, trimmed_clean) = run(AggregationRule::TrimmedMean { trim: 1 });
+    eprintln!(
+        "edge-placed backdoor: fedavg rate {fedavg_rate} clean {fedavg_clean}; \
+         clipped rate {clipped_rate} clean {clipped_clean}; \
+         trimmed rate {trimmed_rate} clean {trimmed_clean}"
+    );
+    assert!(
+        fedavg_rate >= 0.5,
+        "boosted backdoor under an edge should capture the undefended model, rate {fedavg_rate}"
+    );
+    assert_eq!(
+        clipped_rate, 0.0,
+        "norm clipping must zero the edge-placed backdoor"
+    );
+    assert_eq!(
+        trimmed_rate, 0.0,
+        "trimmed mean must zero the edge-placed backdoor"
+    );
 }

@@ -1,0 +1,220 @@
+//! Cross-topology equivalence harness — the acceptance suite of the
+//! topology layer.
+//!
+//! The contract under test: with FedAvg, full participation and no
+//! adversaries, the **route updates travel must not change a single bit of
+//! the global model**. A star hub, a 2-level hierarchy of edge aggregators
+//! and a gossip mesh run to convergence all fold the same accepted update
+//! set in the same canonical order, so their global models are
+//! bit-identical — across repeats, across both transports, and at
+//! `PELTA_THREADS` 1 and 4 (the cross-topology analogue of the PR 3
+//! star-transport acceptance test).
+//!
+//! A second test pins the shielded path through the aggregator hop: sealed
+//! segments forwarded (unopened) by an edge and unsealed at the root yield
+//! the same bits as the clear hierarchical run.
+
+use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
+use pelta_fl::{Federation, FederationConfig, ParticipationPolicy, Topology, TransportKind};
+use pelta_models::TrainingConfig;
+use pelta_tensor::{pool, SeedStream, Tensor};
+
+const SEED: u64 = 830;
+
+fn dataset() -> Dataset {
+    Dataset::generate(
+        DatasetSpec::Cifar10Like,
+        &GeneratorConfig {
+            train_samples: 40,
+            test_samples: 20,
+            ..GeneratorConfig::default()
+        },
+        SEED,
+    )
+}
+
+/// The three topologies of the equivalence matrix over 4 clients. The
+/// hierarchical grouping is deliberately non-contiguous so member-link
+/// ordering inside the edges differs from the flat client order.
+fn topologies() -> [Topology; 3] {
+    [
+        Topology::Star,
+        Topology::hierarchical(vec![vec![0, 2], vec![1, 3]]),
+        Topology::Gossip { fanout: 1 },
+    ]
+}
+
+fn config(transport: TransportKind, topology: Topology) -> FederationConfig {
+    FederationConfig {
+        clients: 4,
+        rounds: 2,
+        local_training: TrainingConfig {
+            epochs: 1,
+            batch_size: 10,
+            learning_rate: 0.02,
+            momentum: 0.9,
+        },
+        eval_samples: 10,
+        transport,
+        topology,
+        policy: ParticipationPolicy {
+            quorum: 4,
+            sample: 0,
+            straggler_deadline: 0,
+        },
+        ..FederationConfig::default()
+    }
+}
+
+/// The final global model as exact bit patterns, keyed by parameter name.
+type GlobalBits = Vec<(String, Vec<u32>)>;
+
+fn global_bits(parameters: &[(String, Tensor)]) -> GlobalBits {
+    parameters
+        .iter()
+        .map(|(name, tensor)| {
+            (
+                name.clone(),
+                tensor.data().iter().map(|v| v.to_bits()).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Runs one all-honest federation and returns the final global model's
+/// exact bits plus per-round accounting for the topology-specific checks.
+fn run(transport: TransportKind, topology: Topology) -> (GlobalBits, Vec<(usize, usize)>) {
+    let data = dataset();
+    let mut seeds = SeedStream::new(SEED);
+    let cfg = config(transport, topology);
+    let mut federation =
+        Federation::vit_federation(&data, &cfg, Partition::Iid, &mut seeds).unwrap();
+    let history = federation.run(&mut seeds).unwrap();
+    let accounting = history
+        .rounds
+        .iter()
+        .map(|r| (r.edge_summaries.len(), r.gossip_messages))
+        .collect();
+    // Every round must have aggregated all four clients, whatever the route.
+    for record in &history.rounds {
+        assert_eq!(record.summary.reporters.len(), 4);
+        assert!(record.summary.stragglers.is_empty());
+        assert!(record.summary.dropouts.is_empty());
+    }
+    (global_bits(federation.server().parameters()), accounting)
+}
+
+/// The headline acceptance matrix: Star ≡ Hierarchical ≡ Gossip global
+/// model bits, across repeats, both transports, and `PELTA_THREADS` 1/4.
+#[test]
+fn topologies_produce_bit_identical_global_models() {
+    pool::set_global_threads(1);
+    let (reference, _) = run(TransportKind::InMemory, Topology::Star);
+    let (repeat, _) = run(TransportKind::InMemory, Topology::Star);
+    assert_eq!(reference, repeat, "star repeat diverged");
+
+    for threads in [1usize, 4] {
+        pool::set_global_threads(threads);
+        for transport in [TransportKind::InMemory, TransportKind::Serialized] {
+            for topology in topologies() {
+                let label = format!(
+                    "{} over {transport:?} at {threads} thread(s)",
+                    topology.name()
+                );
+                let (bits, accounting) = run(transport, topology.clone());
+                assert_eq!(bits, reference, "{label} changed the global model bits");
+                for (edge_summaries, gossip_messages) in accounting {
+                    match &topology {
+                        Topology::Star => {
+                            assert_eq!(edge_summaries, 0, "{label}");
+                            assert_eq!(gossip_messages, 0, "{label}");
+                        }
+                        Topology::Hierarchical { groups, .. } => {
+                            assert_eq!(edge_summaries, groups.len(), "{label}");
+                            assert_eq!(gossip_messages, 0, "{label}");
+                        }
+                        Topology::Gossip { .. } => {
+                            assert_eq!(edge_summaries, 0, "{label}");
+                            assert!(gossip_messages > 0, "{label}: mesh never exchanged");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    pool::set_global_threads(pool::env_threads());
+}
+
+/// Shielded updates thread through the aggregator hop bit-exactly: the edge
+/// forwards sealed segments it cannot open, the root's attested enclave
+/// unseals them, and the global model matches the clear hierarchical run.
+#[test]
+fn shielded_segments_survive_the_aggregator_hop() {
+    let topology = Topology::hierarchical(vec![vec![0], vec![1]]);
+    let run_shielded = |shield_updates: bool| {
+        let data = dataset();
+        let mut seeds = SeedStream::new(SEED);
+        let cfg = FederationConfig {
+            clients: 2,
+            rounds: 1,
+            local_training: TrainingConfig {
+                epochs: 1,
+                batch_size: 10,
+                learning_rate: 0.02,
+                momentum: 0.9,
+            },
+            eval_samples: 10,
+            topology: topology.clone(),
+            shield_updates,
+            ..FederationConfig::default()
+        };
+        let mut federation =
+            Federation::vit_federation(&data, &cfg, Partition::Iid, &mut seeds).unwrap();
+        let history = federation.run(&mut seeds).unwrap();
+        (
+            global_bits(federation.server().parameters()),
+            history.rounds[0].shielded_bytes,
+            federation.server_shield_ledger(),
+        )
+    };
+    let (clear_bits, clear_sealed, clear_ledger) = run_shielded(false);
+    assert_eq!(clear_sealed, 0);
+    assert!(clear_ledger.is_none());
+    let (shielded_bits, shielded_sealed, shielded_ledger) = run_shielded(true);
+    // Sealed bytes crossed the two-hop path and were opened at the root.
+    assert!(shielded_sealed > 0);
+    assert!(shielded_ledger.unwrap().sealed_bytes > 0);
+    // The sealed path through the edge is bitwise lossless.
+    assert_eq!(clear_bits, shielded_bits);
+}
+
+/// Gossip + shielding is a configuration error (no peer can open another
+/// peer's sealed segments), as is a central straggler deadline in a
+/// topology with no central collection point.
+#[test]
+fn gossip_rejects_configurations_it_cannot_honor() {
+    let data = dataset();
+    let mut seeds = SeedStream::new(SEED);
+    let shielded_gossip = FederationConfig {
+        clients: 2,
+        topology: Topology::Gossip { fanout: 1 },
+        shield_updates: true,
+        ..FederationConfig::default()
+    };
+    assert!(
+        Federation::vit_federation(&data, &shielded_gossip, Partition::Iid, &mut seeds).is_err()
+    );
+    let deadline_gossip = FederationConfig {
+        clients: 2,
+        topology: Topology::Gossip { fanout: 1 },
+        policy: ParticipationPolicy {
+            quorum: 1,
+            sample: 0,
+            straggler_deadline: 3,
+        },
+        ..FederationConfig::default()
+    };
+    assert!(
+        Federation::vit_federation(&data, &deadline_gossip, Partition::Iid, &mut seeds).is_err()
+    );
+}
