@@ -19,7 +19,12 @@
 //! bit-deterministic. A **hierarchical-round probe** drives the two-hop
 //! path of the topology layer (member → edge aggregator → combined subtree
 //! frame → root) over the serialised transport, again replayed twice for a
-//! determinism field.
+//! determinism field. A **population-scale probe** drives one full
+//! streaming-FedAvg round at 1k / 10k / 100k seats (shared broadcast
+//! frame, fold-on-delivery) and reports rounds/s, peak RSS (`VmHWM`, reset
+//! per population) and MB folded — the `population_scale` block of
+//! `BENCH_federation.json`, whose 100k-seat peak RSS doubles as the
+//! O(population) memory regression guard in `--check` mode.
 //!
 //! Usage: `perf [--quick] [--out <path>] [--check [--tolerance <frac>]]`.
 //! `--quick` runs fewer iterations (the CI snapshot). `--check` (implies
@@ -32,8 +37,8 @@
 use std::time::Instant;
 
 use pelta_fl::{
-    export_parameters, AggregationRule, EdgeAggregator, FedAvgServer, Message, ModelUpdate,
-    ParticipationPolicy, TransportKind,
+    export_parameters, AggregationRule, BroadcastFrame, EdgeAggregator, FedAvgServer, Message,
+    ModelUpdate, ParticipationPolicy, TransportKind,
 };
 use pelta_models::{predict_logits, train_step, ViTConfig, VisionTransformer};
 use pelta_nn::Sgd;
@@ -196,14 +201,12 @@ fn federation_round_trip(
     for _ in 0..rounds {
         let participants = server.begin_round(&mut rng).expect("begin round");
         let broadcast = server.broadcast();
+        let frame = BroadcastFrame::new(Message::RoundStart {
+            round: broadcast.round,
+            global: broadcast,
+        });
         for &id in &participants {
-            links[id]
-                .1
-                .send(&Message::RoundStart {
-                    round: broadcast.round,
-                    global: broadcast.clone(),
-                })
-                .expect("broadcast");
+            links[id].1.send_broadcast(&frame).expect("broadcast");
             // The client consumes the broadcast and answers with its update.
             let Some(Message::RoundStart { global, .. }) = links[id].0.recv().expect("client recv")
             else {
@@ -284,14 +287,13 @@ fn adversarial_round_trip(
     for _ in 0..rounds {
         let participants = server.begin_round(&mut rng).expect("begin round");
         let broadcast = server.broadcast();
+        let round = broadcast.round;
+        let frame = BroadcastFrame::new(Message::RoundStart {
+            round,
+            global: broadcast,
+        });
         for &id in &participants {
-            links[id]
-                .1
-                .send(&Message::RoundStart {
-                    round: broadcast.round,
-                    global: broadcast.clone(),
-                })
-                .expect("broadcast");
+            links[id].1.send_broadcast(&frame).expect("broadcast");
             // Drain stale Nacks (the replies to earlier junk frames) until
             // the broadcast arrives.
             let global = loop {
@@ -329,7 +331,7 @@ fn adversarial_round_trip(
                 .send(&Message::Update {
                     update: ModelUpdate {
                         client_id: id,
-                        round: broadcast.round,
+                        round,
                         num_samples: if malicious { 512 } else { 16 },
                         parameters,
                     },
@@ -435,14 +437,17 @@ fn hierarchical_round_trip(
     for _ in 0..rounds {
         let participants = root.begin_round(&mut rng).expect("begin round");
         let broadcast = root.broadcast();
+        let frame = BroadcastFrame::new(Message::RoundStart {
+            round: broadcast.round,
+            global: broadcast,
+        });
         for (edge, group) in edges.iter_mut().zip(groups) {
             let subset: Vec<usize> = group
                 .iter()
                 .copied()
                 .filter(|id| participants.contains(id))
                 .collect();
-            edge.open_round(&broadcast, &subset)
-                .expect("open edge round");
+            edge.open_round(&frame, &subset).expect("open edge round");
         }
         for (member, agent_end) in &agent_ends {
             let Some(Message::RoundStart { global, .. }) = agent_end.recv().expect("client recv")
@@ -524,6 +529,114 @@ fn bench_hierarchical(iters: usize) -> HierarchicalRow {
         msgs_per_s: messages as f64 / elapsed,
         determinism_param_diffs,
     }
+}
+
+struct PopulationRow {
+    population: usize,
+    rounds_per_s: f64,
+    peak_rss_mb: f64,
+    folded_mb: f64,
+}
+
+/// Resets the kernel's peak-RSS high-water mark to the current RSS (Linux
+/// `clear_refs`; silently a no-op elsewhere, leaving `peak_rss_mb` at the
+/// process-lifetime peak).
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Peak RSS (`VmHWM`) in MB since the last reset; 0 when unavailable.
+fn peak_rss_mb() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|line| {
+                let rest = line.strip_prefix("VmHWM:")?;
+                rest.split_whitespace().next()?.parse::<f64>().ok()
+            })
+        })
+        .map_or(0.0, |kb| kb / 1e3)
+}
+
+/// One full federated round at population scale: `population` seats join a
+/// streaming-FedAvg server over in-memory links, the round opens with one
+/// shared broadcast frame, and each update is delivered — folded and
+/// dropped — as soon as its seat reports, so in-flight payloads stay O(1)
+/// and server memory stays O(model) rather than O(population). Returns
+/// (seconds per round, accepted-update MB folded).
+fn population_round(parameters: &[(String, Tensor)], population: usize) -> (f64, f64) {
+    let mut server = FedAvgServer::new(parameters.to_vec());
+    let links: Vec<_> = (0..population)
+        .map(|_| TransportKind::InMemory.duplex())
+        .collect();
+    for (id, (client_end, server_end)) in links.iter().enumerate() {
+        client_end
+            .send(&Message::Join { client_id: id })
+            .expect("join");
+        let join = server_end.recv().expect("recv").expect("queued join");
+        server.deliver(&join);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let start = Instant::now();
+    let participants = server.begin_round(&mut rng).expect("begin round");
+    let broadcast = server.broadcast();
+    let frame = BroadcastFrame::new(Message::RoundStart {
+        round: broadcast.round,
+        global: broadcast,
+    });
+    for &id in &participants {
+        links[id].1.send_broadcast(&frame).expect("broadcast");
+        let Some(Message::RoundStart { global, .. }) = links[id].0.recv().expect("client recv")
+        else {
+            panic!("client expected RoundStart");
+        };
+        links[id]
+            .0
+            .send(&Message::Update {
+                update: ModelUpdate {
+                    client_id: id,
+                    round: global.round,
+                    num_samples: 16,
+                    parameters: global.parameters,
+                },
+                shielded: Vec::new(),
+            })
+            .expect("update");
+        let update = links[id].1.recv().expect("server recv").expect("queued");
+        let responses = server.deliver(&update);
+        assert!(responses.is_empty(), "update unexpectedly refused");
+    }
+    let summary = server.close_round().expect("close round");
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(summary.reporters.len(), population, "every seat must fold");
+    (elapsed, summary.update_bytes as f64 / 1e6)
+}
+
+/// The population-scale probe: 1k / 10k / 100k sampled seats, one timed
+/// round each (best of two), with the kernel's peak-RSS high-water mark
+/// reset per population so the figures isolate each round's footprint.
+fn bench_population() -> Vec<PopulationRow> {
+    let mut rng = ChaCha8Rng::seed_from_u64(37);
+    // A ~1k-float synthetic model: the probe isolates the per-seat protocol
+    // + fold cost, not model size.
+    let parameters = vec![(
+        "population.weights".to_string(),
+        Tensor::rand_uniform(&[1024], -1.0, 1.0, &mut rng),
+    )];
+    [1_000usize, 10_000, 100_000]
+        .into_iter()
+        .map(|population| {
+            reset_peak_rss();
+            let (first, folded_mb) = population_round(&parameters, population);
+            let (second, _) = population_round(&parameters, population);
+            PopulationRow {
+                population,
+                rounds_per_s: 1.0 / first.min(second),
+                peak_rss_mb: peak_rss_mb(),
+                folded_mb,
+            }
+        })
+        .collect()
 }
 
 fn bench_federation(iters: usize) -> FederationRow {
@@ -695,6 +808,24 @@ fn main() {
     let federation = bench_federation(iters);
     let adversarial = bench_adversarial(iters);
     let hierarchical = bench_hierarchical(iters);
+    let population = bench_population();
+    let population_block = population
+        .iter()
+        .map(|row| {
+            let tag = match row.population {
+                1_000 => "1k",
+                10_000 => "10k",
+                _ => "100k",
+            };
+            format!(
+                "    \"pop_{tag}_rounds_per_s\": {:.2},\n    \
+                 \"pop_{tag}_peak_rss_mb\": {:.1},\n    \
+                 \"pop_{tag}_folded_mb\": {:.2}",
+                row.rounds_per_s, row.peak_rss_mb, row.folded_mb
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let federation_json = format!(
         "{{\n  \"clients\": {},\n  \"rounds\": {},\n  \"protocol_messages\": {},\n  \
          \"wire_bytes\": {},\n  \"in_memory_msgs_per_s\": {:.1},\n  \
@@ -706,7 +837,8 @@ fn main() {
          \"hierarchical_round\": {{\n    \"clients\": {},\n    \"edges\": {},\n    \
          \"rounds\": {},\n    \"protocol_messages\": {},\n    \
          \"hierarchical_msgs_per_s\": {:.1},\n    \
-         \"hierarchical_determinism_param_diffs\": {}\n  }}\n}}\n",
+         \"hierarchical_determinism_param_diffs\": {}\n  }},\n  \
+         \"population_scale\": {{\n{population_block}\n  }}\n}}\n",
         federation.clients,
         federation.rounds,
         federation.messages,
@@ -770,8 +902,14 @@ fn main() {
                     "serialized_wire_mb_per_s",
                     "adversarial_msgs_per_s",
                     "hierarchical_msgs_per_s",
+                    "pop_1k_rounds_per_s",
+                    "pop_10k_rounds_per_s",
+                    "pop_100k_rounds_per_s",
                 ],
-                &[],
+                // Peak RSS of the 100k-seat round is the O(population)
+                // memory regression guard: a reintroduced full-population
+                // update buffer blows far past the tolerance.
+                &["pop_100k_peak_rss_mb"],
                 tolerance,
             )),
             None => eprintln!(

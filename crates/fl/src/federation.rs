@@ -56,7 +56,7 @@ use crate::scenario::{AgentRole, ScenarioSpec};
 use crate::server::RoundSummary;
 use crate::topology::{EdgeAggregator, GossipMesh, Topology};
 use crate::{
-    AggregationRule, FedAvgServer, FlError, MemberUpdate, Message, ModelUpdate,
+    AggregationRule, BroadcastFrame, FedAvgServer, FlError, MemberUpdate, Message, ModelUpdate,
     ParticipationPolicy, Result, ShieldedUpdateChannel, Transport, TransportKind,
 };
 
@@ -365,11 +365,20 @@ impl Federation {
             None
         };
 
+        // One lookup table each for roles and schedules: per-seat linear
+        // scans would make building the population itself O(population²).
+        let roles = spec.roles_by_seat();
+        let mut schedule_of: std::collections::BTreeMap<usize, &ClientSchedule> =
+            std::collections::BTreeMap::new();
+        for schedule in &config.schedules {
+            schedule_of.entry(schedule.client_id).or_insert(schedule);
+        }
         let mut slots = Vec::with_capacity(config.clients);
         let mut runtime_ends: Vec<Option<Box<dyn Transport>>> = Vec::with_capacity(config.clients);
         for (id, shard) in shards.into_iter().enumerate() {
             let (client_end, server_end) = config.transport.duplex();
-            let agent: Box<dyn FederationAgent> = match spec.role_of(id) {
+            let role = roles.get(&id).map_or(AgentRole::Honest, |r| (*r).clone());
+            let agent: Box<dyn FederationAgent> = match role {
                 AgentRole::Honest => {
                     let model = factory(&mut seeds.derive_indexed("model", id as u64));
                     let client = FlClient::new(id, shard, model, config.local_training.clone());
@@ -452,11 +461,9 @@ impl Federation {
                 }
             };
             agent.join()?;
-            let schedule = config
-                .schedules
-                .iter()
-                .find(|s| s.client_id == id)
-                .cloned()
+            let schedule = schedule_of
+                .get(&id)
+                .map(|s| (*s).clone())
                 .unwrap_or_else(|| ClientSchedule::punctual(id));
             runtime_ends.push(Some(server_end));
             slots.push(Slot {
@@ -620,13 +627,17 @@ impl Federation {
             let mut sample_rng = seeds.derive_indexed("participants", round_index as u64);
             let participants = self.server.begin_round(&mut sample_rng)?;
             let broadcast = self.server.broadcast();
+            // One frame holds the round's global model: every link shares
+            // the same payload (and, on serialized transports, the same
+            // encoding) instead of cloning the model per link.
+            let frame = BroadcastFrame::new(Message::RoundStart {
+                round: broadcast.round,
+                global: broadcast.clone(),
+            });
             match &mut self.fabric {
                 Fabric::Star { links } => {
                     for &id in &participants {
-                        links[id].send(&Message::RoundStart {
-                            round: broadcast.round,
-                            global: broadcast.clone(),
-                        })?;
+                        links[id].send_broadcast(&frame)?;
                     }
                 }
                 Fabric::Hierarchical { edges, .. } => {
@@ -637,11 +648,11 @@ impl Federation {
                             .filter(|id| edge.contains(*id))
                             .collect();
                         if !subset.is_empty() {
-                            edge.open_round(&broadcast, &subset)?;
+                            edge.open_round(&frame, &subset)?;
                         }
                     }
                 }
-                Fabric::Gossip { mesh } => mesh.open_round(&broadcast, &participants)?,
+                Fabric::Gossip { mesh } => mesh.open_round(&frame, &participants)?,
             }
 
             // Parallel local training: each agent drains its own inbox and
@@ -752,13 +763,25 @@ impl Federation {
             let mut delivered = false;
             match fabric {
                 Fabric::Star { links } => {
-                    for link in links.iter_mut() {
-                        if let Some(message) = link.recv()? {
-                            delivered = true;
-                            for response in server.deliver(&message) {
-                                link.send(&response)?;
+                    // Only seats with queued traffic are visited; responses
+                    // flow server→client and never re-activate a drained
+                    // seat, so the active list shrinks to quiescence.
+                    let mut active: Vec<usize> = (0..links.len())
+                        .filter(|&index| links[index].has_pending())
+                        .collect();
+                    while !active.is_empty() {
+                        let mut next = Vec::with_capacity(active.len());
+                        for &index in &active {
+                            if let Some(message) = links[index].recv()? {
+                                for response in server.deliver(&message) {
+                                    links[index].send(&response)?;
+                                }
+                                if links[index].has_pending() {
+                                    next.push(index);
+                                }
                             }
                         }
+                        active = next;
                     }
                 }
                 Fabric::Hierarchical { edges, uplinks } => {
@@ -822,18 +845,28 @@ impl Federation {
         match fabric {
             Fabric::Star { links } => {
                 let mut shielded_bytes = 0usize;
+                // All of the round's client→server traffic is queued before
+                // delivery starts (agents already stepped; responses flow
+                // server→client), so the seats with pending uplink traffic
+                // are fixed at sweep 0 and the active set only shrinks —
+                // each sweep visits active seats instead of the whole
+                // population, in the same ascending-client-id order.
+                let mut active: std::collections::BTreeSet<usize> = (0..links.len())
+                    .filter(|&index| links[index].has_pending())
+                    .collect();
                 let mut sweep = 0usize;
                 loop {
                     let mut delivered = false;
                     let mut pending_future = false;
-                    for index in 0..links.len() {
+                    let mut drained = Vec::new();
+                    for &index in &active {
                         if slots[index].schedule.latency > sweep {
-                            if links[index].has_pending() {
-                                pending_future = true;
-                            }
+                            // Active ⇒ the link still holds traffic.
+                            pending_future = true;
                             continue;
                         }
                         let Some(message) = links[index].recv()? else {
+                            drained.push(index);
                             continue;
                         };
                         delivered = true;
@@ -843,6 +876,12 @@ impl Federation {
                         for response in server.deliver(&message) {
                             links[index].send(&response)?;
                         }
+                        if !links[index].has_pending() {
+                            drained.push(index);
+                        }
+                    }
+                    for index in drained {
+                        active.remove(&index);
                     }
                     if !delivered && !pending_future && sweep >= max_latency {
                         return Ok((shielded_bytes, Vec::new(), 0));

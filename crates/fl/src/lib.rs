@@ -21,11 +21,17 @@
 //!   [`ParticipationPolicy`]: minimum quorum, per-round client sampling, a
 //!   straggler deadline measured in **delivered messages** (never wall
 //!   clock, so runs are deterministic), and dropout/rejoin handling. The
-//!   *Aggregating* phase applies the server's [`AggregationRule`] — plain
-//!   sample-weighted FedAvg, norm clipping, or coordinate-wise trimmed mean
-//!   — through the crate's single aggregation code path in [`mod@robust`]
-//!   (weights renormalise over the clients that actually reported;
-//!   [`RobustAggregator`] wraps the same path for call-level use).
+//!   server applies its [`AggregationRule`] — plain sample-weighted FedAvg,
+//!   norm clipping, or coordinate-wise trimmed mean — through the crate's
+//!   single aggregation code path, the [`AggregationFold`] of
+//!   [`mod@robust`] (weights renormalise over the clients that actually
+//!   reported; [`RobustAggregator`] wraps the same path for call-level
+//!   use). Under the **streaming fold contract** (see [`mod@robust`]),
+//!   FedAvg and norm clipping fold each accepted update as it is delivered
+//!   and drop the payload immediately — peak memory stays O(model), not
+//!   O(population) — while the trimmed mean buffers by mathematical
+//!   necessity; either way the bits are identical to a buffered fold
+//!   because buffered aggregation *is* the same fold, driven from a loop.
 //! * **Agent layer** — every seat implements [`FederationAgent`]: the
 //!   honest [`ClientAgent`] ([`FlClient`] is its local-training core), the
 //!   [`BackdoorAgent`] shipping boosted trigger-poisoned updates, the
@@ -118,12 +124,14 @@ pub use message::{GlobalModel, MemberUpdate, Message, ModelUpdate, NackReason, P
 pub use poisoning::{
     backdoor_success_rate, BackdoorAgent, BackdoorClient, PoisonReport, TrojanTrigger,
 };
-pub use robust::{aggregate_with_rule, AggregationRule, RobustAggregator};
+pub use robust::{aggregate_with_rule, AggregationFold, AggregationRule, RobustAggregator};
 pub use scenario::{AgentRole, RoleAssignment, ScenarioSpec};
 pub use server::{FedAvgServer, ParticipationPolicy, RoundPhase, RoundSummary};
 pub use shielded::{ShieldedTransferReport, ShieldedUpdateChannel};
 pub use topology::{EdgeAggregator, EdgePump, Topology};
-pub use transport::{InMemoryTransport, SerializedTransport, Transport, TransportKind};
+pub use transport::{
+    BroadcastFrame, InMemoryTransport, SerializedTransport, Transport, TransportKind,
+};
 
 /// Convenience alias for results returned throughout this crate.
 pub type Result<T> = std::result::Result<T, FlError>;

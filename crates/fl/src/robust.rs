@@ -32,6 +32,39 @@
 //! `tests/topology_equivalence.rs` and `tests/robust_properties.rs` suites
 //! pin this down to the bit.
 //!
+//! # Streaming fold contract
+//!
+//! Aggregation is an [`AggregationFold`]: updates are folded **one at a
+//! time, in canonical ascending-client-id order**, and [`aggregate_with_rule`]
+//! is now merely the buffered façade that feeds a sorted slice through the
+//! same fold. Which rules stream:
+//!
+//! * [`AggregationRule::FedAvg`] — **streams**. Each update's weighted delta
+//!   `num_samplesᵤ · (paramsᵤ − ref)` is added to a running per-parameter
+//!   sum and the payload is dropped immediately; one final normalisation by
+//!   the accumulated total weight produces the aggregate. Peak memory is
+//!   O(model), independent of the population.
+//! * [`AggregationRule::NormClipping`] — **streams**. The clip scale
+//!   `min(1, max_norm / ‖δᵤ‖)` depends only on the update itself and the
+//!   fixed round reference, so the scaled delta folds incrementally exactly
+//!   like FedAvg; the final normalisation divides by the update **count**
+//!   (equal weights).
+//! * [`AggregationRule::TrimmedMean`] — **buffers** (documented two-pass
+//!   design). A per-coordinate order statistic needs every client's value
+//!   for that coordinate: pass one collects the round's updates, pass two
+//!   sorts each coordinate column and averages the untrimmed interior. Peak
+//!   memory is inherently O(population × model); deployments that need
+//!   population scale use a streaming rule.
+//!
+//! Why the bits are unchanged between the streamed and the buffered path:
+//! both are the *same* fold code over the same canonical order — the
+//! buffered façade sorts, then folds the slice through an
+//! [`AggregationFold`] one update at a time. Streaming therefore preserves
+//! the permutation-invariant-bits contract by construction, and the 1k-seat
+//! suites in `tests/robust_properties.rs` and
+//! `tests/topology_equivalence.rs` assert streamed ≡ buffered to the bit
+//! across transports and `PELTA_THREADS` values.
+//!
 //! The rules:
 //!
 //! * [`AggregationRule::FedAvg`] — sample-weighted averaging (McMahan et
@@ -98,6 +131,13 @@ impl AggregationRule {
             _ => 1,
         }
     }
+
+    /// Whether this rule folds updates incrementally (O(model) peak memory)
+    /// or must buffer the round's update set (O(population × model)) — see
+    /// the module-level *streaming fold contract*.
+    pub fn streams(&self) -> bool {
+        !matches!(self, AggregationRule::TrimmedMean { .. })
+    }
 }
 
 /// The single aggregation code path of the federation: validates one round's
@@ -121,10 +161,194 @@ pub fn aggregate_with_rule(
     // the update set, not of arrival order.
     let mut ordered: Vec<&ModelUpdate> = updates.iter().collect();
     ordered.sort_by_key(|u| u.client_id);
-    match rule {
-        AggregationRule::FedAvg => fedavg(current, &ordered, None),
-        AggregationRule::NormClipping { max_norm } => fedavg(current, &ordered, Some(max_norm)),
-        AggregationRule::TrimmedMean { trim } => trimmed_mean(current, &ordered, trim),
+    // The buffered façade over the streaming fold: one code path, so the
+    // streamed and the buffered aggregate are bit-identical by construction.
+    let mut fold = AggregationFold::new(current, round, rule)?;
+    for update in ordered {
+        fold.fold_ref(update)?;
+    }
+    fold.finish()
+}
+
+/// One round's aggregation as an incremental fold (see the module-level
+/// *streaming fold contract*). Updates must arrive in strictly ascending
+/// client-id order — the canonical fold order — and under a streaming rule
+/// each payload is consumed immediately, keeping peak memory at O(model)
+/// regardless of the population. [`AggregationRule::TrimmedMean`] buffers
+/// internally (its per-coordinate order statistic needs every client's
+/// value) and applies its documented two-pass design at [`AggregationFold::finish`].
+pub struct AggregationFold {
+    rule: AggregationRule,
+    round: usize,
+    /// The fixed round reference: deltas, clip norms and the final
+    /// normalisation are all anchored to the global parameters the round
+    /// opened with.
+    reference: Vec<(String, Tensor)>,
+    /// Running per-parameter sums `Σᵤ wᵤ · (paramsᵤ − ref)` (streaming
+    /// rules only; empty for buffering rules).
+    sums: Vec<Tensor>,
+    /// Total FedAvg weight (sample count) folded so far.
+    total_samples: usize,
+    folded: usize,
+    last_client: Option<usize>,
+    /// The collected round for buffering rules (empty for streaming rules).
+    buffered: Vec<ModelUpdate>,
+}
+
+impl AggregationFold {
+    /// Opens a fold over the current global parameters for `round`.
+    ///
+    /// # Errors
+    /// Returns an error if the rule's own parameters are degenerate.
+    pub fn new(current: &[(String, Tensor)], round: usize, rule: AggregationRule) -> Result<Self> {
+        rule.validate()?;
+        let sums = if rule.streams() {
+            current
+                .iter()
+                .map(|(_, tensor)| Tensor::zeros(tensor.dims()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Ok(AggregationFold {
+            rule,
+            round,
+            reference: current.to_vec(),
+            sums,
+            total_samples: 0,
+            folded: 0,
+            last_client: None,
+            buffered: Vec::new(),
+        })
+    }
+
+    /// The number of updates folded so far.
+    pub fn folded(&self) -> usize {
+        self.folded
+    }
+
+    /// Total FedAvg weight (sample count) folded so far.
+    pub fn total_samples(&self) -> usize {
+        self.total_samples
+    }
+
+    /// Folds one update, consuming it. Under a streaming rule the payload is
+    /// dropped before this returns; under a buffering rule it is retained
+    /// until [`AggregationFold::finish`].
+    ///
+    /// # Errors
+    /// Returns an error if the update breaks the ascending client-id fold
+    /// order, targets a different round, or fails schema validation.
+    pub fn fold(&mut self, update: ModelUpdate) -> Result<()> {
+        if self.rule.streams() {
+            self.fold_ref(&update)
+        } else {
+            self.admit(&update)?;
+            self.buffered.push(update);
+            Ok(())
+        }
+    }
+
+    /// Folds one update by reference (the buffered façade's entry point —
+    /// buffering rules clone the payload, streaming rules never do).
+    ///
+    /// # Errors
+    /// As for [`AggregationFold::fold`].
+    pub fn fold_ref(&mut self, update: &ModelUpdate) -> Result<()> {
+        self.admit(update)?;
+        match self.rule {
+            AggregationRule::FedAvg => {
+                let weight = update.num_samples as f32;
+                self.accumulate(update, weight)?;
+            }
+            AggregationRule::NormClipping { max_norm } => {
+                // The clip scale depends only on this update and the fixed
+                // round reference, so it is computable without the rest of
+                // the round; the equal weights of clip-and-average become
+                // the single 1/count normalisation at finish.
+                let norm = delta_norm(&self.reference, update)?;
+                let scale = if norm > max_norm {
+                    max_norm / norm
+                } else {
+                    1.0
+                };
+                self.accumulate(update, scale)?;
+            }
+            AggregationRule::TrimmedMean { .. } => {
+                self.buffered.push(update.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Shared admission checks: strictly ascending client ids (which also
+    /// subsumes duplicate detection), the round match, and the schema /
+    /// finiteness validation every accepted update must pass.
+    fn admit(&mut self, update: &ModelUpdate) -> Result<()> {
+        if let Some(last) = self.last_client {
+            if update.client_id <= last {
+                return Err(FlError::InvalidConfig {
+                    reason: format!(
+                        "update from client {} folds after client {last}: the canonical \
+                         fold order is strictly ascending client id",
+                        update.client_id
+                    ),
+                });
+            }
+        }
+        if update.round != self.round {
+            return Err(FlError::SchemaMismatch {
+                reason: format!(
+                    "update from client {} targets round {}, the fold is at round {}",
+                    update.client_id, update.round, self.round
+                ),
+            });
+        }
+        validate_update_schema(&self.reference, update)?;
+        self.last_client = Some(update.client_id);
+        self.total_samples += update.num_samples;
+        self.folded += 1;
+        Ok(())
+    }
+
+    /// Adds `weight · (paramsᵤ − ref)` to the running per-parameter sums.
+    fn accumulate(&mut self, update: &ModelUpdate, weight: f32) -> Result<()> {
+        for (index, (_, reference)) in self.reference.iter().enumerate() {
+            let delta = update.parameters[index].1.sub(reference)?;
+            self.sums[index] = self.sums[index].axpy(weight, &delta)?;
+        }
+        Ok(())
+    }
+
+    /// Closes the fold and returns the next global parameters.
+    ///
+    /// # Errors
+    /// Returns an error if no update was folded or the trimmed mean would
+    /// discard every client.
+    pub fn finish(self) -> Result<Vec<(String, Tensor)>> {
+        if self.folded == 0 {
+            return Err(FlError::InvalidConfig {
+                reason: "no client updates to aggregate".to_string(),
+            });
+        }
+        match self.rule {
+            AggregationRule::FedAvg => self.normalized(1.0 / self.total_samples as f32),
+            AggregationRule::NormClipping { .. } => self.normalized(1.0 / self.folded as f32),
+            AggregationRule::TrimmedMean { trim } => {
+                let ordered: Vec<&ModelUpdate> = self.buffered.iter().collect();
+                trimmed_mean(&self.reference, &ordered, trim)
+            }
+        }
+    }
+
+    /// The single final normalisation of a streaming rule:
+    /// `next = ref + norm · Σᵤ wᵤ · δᵤ`.
+    fn normalized(&self, norm: f32) -> Result<Vec<(String, Tensor)>> {
+        let mut aggregated = Vec::with_capacity(self.reference.len());
+        for ((name, reference), sum) in self.reference.iter().zip(self.sums.iter()) {
+            aggregated.push((name.clone(), reference.axpy(norm, sum)?));
+        }
+        Ok(aggregated)
     }
 }
 
@@ -231,46 +455,10 @@ fn delta_norm(current: &[(String, Tensor)], update: &ModelUpdate) -> Result<f32>
     Ok(sum.sqrt() as f32)
 }
 
-/// Delta-form averaging: `next = current + Σᵤ wᵤ · scaleᵤ · (paramsᵤ −
-/// current)`. Without clipping, `wᵤ` is the renormalised sample weight
-/// (plain FedAvg). With clipping, each delta is scaled down to `max_norm`
-/// and the weights are **equal** — the clip-and-average defense refuses to
-/// honor sample counts the adversary controls.
-fn fedavg(
-    current: &[(String, Tensor)],
-    updates: &[&ModelUpdate],
-    max_norm: Option<f32>,
-) -> Result<Vec<(String, Tensor)>> {
-    // Per-client (weight, scale) applied to its delta.
-    let mut factors = vec![(0.0f32, 1.0f32); updates.len()];
-    if let Some(max_norm) = max_norm {
-        for (factor, update) in factors.iter_mut().zip(updates.iter()) {
-            factor.0 = 1.0 / updates.len() as f32;
-            let norm = delta_norm(current, update)?;
-            if norm > max_norm {
-                factor.1 = max_norm / norm;
-            }
-        }
-    } else {
-        // Validation guarantees every update carries at least one sample.
-        let total_samples: usize = updates.iter().map(|u| u.num_samples).sum();
-        for (factor, update) in factors.iter_mut().zip(updates.iter()) {
-            factor.0 = update.num_samples as f32 / total_samples as f32;
-        }
-    }
-    let mut aggregated = Vec::with_capacity(current.len());
-    for (index, (name, reference)) in current.iter().enumerate() {
-        let mut accumulator = reference.clone();
-        for (update, (weight, scale)) in updates.iter().zip(factors.iter()) {
-            let delta = update.parameters[index].1.sub(reference)?;
-            accumulator = accumulator.axpy(weight * scale, &delta)?;
-        }
-        aggregated.push((name.clone(), accumulator));
-    }
-    Ok(aggregated)
-}
-
-/// Coordinate-wise trimmed mean of the client parameters (unweighted).
+/// Coordinate-wise trimmed mean of the client parameters (unweighted) — the
+/// second pass of the buffering rule's documented two-pass design: the
+/// round's updates were collected by the [`AggregationFold`], and this pass
+/// sorts each coordinate column and averages the untrimmed interior.
 fn trimmed_mean(
     current: &[(String, Tensor)],
     updates: &[&ModelUpdate],

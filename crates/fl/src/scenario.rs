@@ -17,6 +17,8 @@
 //! [`ScenarioSpec::adversary_edges`] reports where the malicious seats
 //! landed in the tree.
 
+use std::collections::BTreeMap;
+
 use pelta_models::TrainingConfig;
 use serde::{Deserialize, Serialize};
 
@@ -135,6 +137,19 @@ impl ScenarioSpec {
             .find(|assignment| assignment.client_id == client_id)
             .map(|assignment| assignment.role.clone())
             .unwrap_or(AgentRole::Honest)
+    }
+
+    /// Role lookup table by seat — one map build instead of an O(roles)
+    /// scan per seat when constructing large populations. The first
+    /// assignment wins, matching [`ScenarioSpec::role_of`].
+    pub fn roles_by_seat(&self) -> BTreeMap<usize, &AgentRole> {
+        let mut roles = BTreeMap::new();
+        for assignment in &self.roles {
+            roles
+                .entry(assignment.client_id)
+                .or_insert(&assignment.role);
+        }
+        roles
     }
 
     /// Number of seats with a non-honest role.

@@ -22,20 +22,34 @@
 //!    *Broadcasting*.
 //!
 //! Aggregation itself — validation, canonical client-id fold order, the rule
-//! dispatch — lives in [`crate::robust::aggregate_with_rule`], the single
+//! dispatch — lives in [`crate::robust`]'s [`AggregationFold`], the single
 //! aggregation code path of the crate; the legacy call-level
 //! `FedAvgServer::aggregate` API was removed when the rules moved into the
 //! state machine (benches use [`crate::RobustAggregator`], which wraps the
-//! same function).
+//! same fold behind the buffered [`crate::robust::aggregate_with_rule`]
+//! façade).
+//!
+//! **Streaming collection.** The Collecting phase does not buffer the
+//! round's update payloads: accepted updates feed the round's
+//! [`AggregationFold`], which under a streaming rule (FedAvg, norm
+//! clipping — see the *streaming fold contract* in [`crate::robust`])
+//! consumes each payload immediately, keeping the server's peak memory
+//! O(model) instead of O(population × model). Because the canonical fold
+//! order is ascending client id but updates arrive in delivery order, a
+//! small **reorder window** buffers an accepted update only until every
+//! participant with a smaller id is accounted for (reported, dropped out,
+//! or Nack'd as a straggler) — with in-order delivery sweeps the window
+//! never holds more than one payload, and in the worst (fully reversed)
+//! case it degrades to the old buffered behaviour, never worse.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use pelta_tensor::Tensor;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::robust::aggregate_with_rule;
+use crate::robust::AggregationFold;
 use crate::{AggregationRule, FlError, GlobalModel, Message, ModelUpdate, NackReason, Result};
 
 /// Who participates in a round and when the server stops waiting.
@@ -82,8 +96,8 @@ pub struct RoundSummary {
     pub round: usize,
     /// Clients sampled into the round (sorted).
     pub participants: Vec<usize>,
-    /// Clients whose updates were aggregated (sorted by delivery order,
-    /// which the runtime keeps ascending in client id).
+    /// Clients whose updates were aggregated, in canonical ascending
+    /// client-id order (the fold order).
     pub reporters: Vec<usize>,
     /// Participants whose updates arrived after the straggler deadline.
     pub stragglers: Vec<usize>,
@@ -109,10 +123,23 @@ pub struct FedAvgServer {
     phase: RoundPhase,
     connected: BTreeSet<usize>,
     participants: BTreeSet<usize>,
-    received: Vec<ModelUpdate>,
+    /// The open round's incremental aggregation (present iff Collecting).
+    fold: Option<AggregationFold>,
+    /// A fold failure deferred from delivery (the message flow cannot
+    /// surface errors) to `close_round`. Unreachable in practice: accepted
+    /// updates already passed the same validation the fold re-asserts.
+    fold_error: Option<FlError>,
+    /// The reorder window: accepted updates waiting for every
+    /// smaller-id participant to be accounted for before folding.
+    pending: BTreeMap<usize, ModelUpdate>,
+    /// Participants not yet accounted for (not reported, dropped out, or
+    /// straggler-refused). The fold may safely consume the smallest pending
+    /// update exactly when no unresolved participant has a smaller id.
+    unresolved: BTreeSet<usize>,
     reporters: BTreeSet<usize>,
     stragglers: Vec<usize>,
     dropouts: Vec<usize>,
+    total_weight: usize,
     delivered: usize,
     update_bytes: usize,
 }
@@ -182,10 +209,14 @@ impl FedAvgServer {
             phase: RoundPhase::Broadcasting,
             connected: BTreeSet::new(),
             participants: BTreeSet::new(),
-            received: Vec::new(),
+            fold: None,
+            fold_error: None,
+            pending: BTreeMap::new(),
+            unresolved: BTreeSet::new(),
             reporters: BTreeSet::new(),
             stragglers: Vec::new(),
             dropouts: Vec::new(),
+            total_weight: 0,
             delivered: 0,
             update_bytes: 0,
         })
@@ -289,13 +320,7 @@ impl FedAvgServer {
                 drawn
             };
         self.participants = sampled;
-        self.received.clear();
-        self.reporters.clear();
-        self.stragglers.clear();
-        self.dropouts.clear();
-        self.delivered = 0;
-        self.update_bytes = 0;
-        self.phase = RoundPhase::Collecting;
+        self.open_collecting()?;
         Ok(self.participants.iter().copied().collect())
     }
 
@@ -338,10 +363,24 @@ impl FedAvgServer {
         }
         self.round = round;
         self.participants = participants.iter().copied().collect();
-        self.received.clear();
+        self.open_collecting()
+    }
+
+    /// Resets the per-round state and opens the *Collecting* phase with a
+    /// fresh [`AggregationFold`] anchored to the current parameters.
+    fn open_collecting(&mut self) -> Result<()> {
+        self.fold = Some(AggregationFold::new(
+            &self.parameters,
+            self.round,
+            self.rule,
+        )?);
+        self.fold_error = None;
+        self.pending.clear();
+        self.unresolved = self.participants.clone();
         self.reporters.clear();
         self.stragglers.clear();
         self.dropouts.clear();
+        self.total_weight = 0;
         self.delivered = 0;
         self.update_bytes = 0;
         self.phase = RoundPhase::Collecting;
@@ -372,6 +411,10 @@ impl FedAvgServer {
                     && !self.dropouts.contains(client_id)
                 {
                     self.dropouts.push(*client_id);
+                    // The dropout is accounted for: updates waiting on it in
+                    // the reorder window may now fold.
+                    self.unresolved.remove(client_id);
+                    self.advance_fold();
                 }
                 Vec::new()
             }
@@ -419,8 +462,12 @@ impl FedAvgServer {
             return nack(NackReason::DuplicateUpdate);
         }
         let deadline = self.policy.straggler_deadline;
-        if deadline != 0 && self.delivered > deadline && self.received.len() >= self.policy.quorum {
+        if deadline != 0 && self.delivered > deadline && self.reporters.len() >= self.policy.quorum
+        {
             self.stragglers.push(update.client_id);
+            // A straggler will never fold: it no longer blocks the window.
+            self.unresolved.remove(&update.client_id);
+            self.advance_fold();
             return nack(NackReason::StragglerDeadline);
         }
         if let Err(e) = self.validate_update(update) {
@@ -428,8 +475,37 @@ impl FedAvgServer {
         }
         self.reporters.insert(update.client_id);
         self.update_bytes += wire_size;
-        self.received.push(update.clone());
+        self.total_weight += update.num_samples;
+        self.unresolved.remove(&update.client_id);
+        self.pending.insert(update.client_id, update.clone());
+        self.advance_fold();
         Vec::new()
+    }
+
+    /// Drains the reorder window into the fold: the smallest pending update
+    /// folds exactly when no unresolved participant has a smaller id (no
+    /// future acceptance can then precede it in the canonical order).
+    /// Invariant: every id left in the window exceeds every folded id, so
+    /// the global fold order stays strictly ascending.
+    fn advance_fold(&mut self) {
+        let Some(fold) = self.fold.as_mut() else {
+            return;
+        };
+        loop {
+            let Some(&next) = self.pending.keys().next() else {
+                return;
+            };
+            if let Some(&blocker) = self.unresolved.iter().next() {
+                if blocker < next {
+                    return;
+                }
+            }
+            let (_, update) = self.pending.pop_first().expect("window is non-empty");
+            if let Err(error) = fold.fold(update) {
+                // Unreachable after delivery validation; surfaced at close.
+                self.fold_error.get_or_insert(error);
+            }
+        }
     }
 
     /// Whether the collecting phase can close: every participant is
@@ -439,16 +515,14 @@ impl FedAvgServer {
         if self.phase != RoundPhase::Collecting {
             return false;
         }
-        let accounted = self.participants.iter().all(|id| {
-            self.reporters.contains(id)
-                || self.dropouts.contains(id)
-                || self.stragglers.contains(id)
-        });
-        if accounted {
+        // `unresolved` shrinks as participants report, drop out, or get
+        // Nack'd as stragglers — emptiness is the "all accounted" check
+        // without an O(population) rescan.
+        if self.unresolved.is_empty() {
             return true;
         }
         let deadline = self.policy.straggler_deadline;
-        deadline != 0 && self.delivered >= deadline && self.received.len() >= self.policy.quorum
+        deadline != 0 && self.delivered >= deadline && self.reporters.len() >= self.policy.quorum
     }
 
     /// Closes the round: checks the quorum, applies the server's
@@ -466,27 +540,36 @@ impl FedAvgServer {
                 reason: format!("close_round in phase {:?}", self.phase),
             });
         }
-        if self.received.len() < self.policy.quorum {
+        if self.reporters.len() < self.policy.quorum {
             return Err(FlError::QuorumNotMet {
                 round: self.round,
-                received: self.received.len(),
+                received: self.reporters.len(),
                 quorum: self.policy.quorum,
             });
         }
         self.phase = RoundPhase::Aggregating;
         let round = self.round;
-        let updates = std::mem::take(&mut self.received);
-        let total_weight: usize = updates.iter().map(|u| u.num_samples).sum();
-        self.parameters = aggregate_with_rule(&self.parameters, round, &updates, self.rule)?;
+        if let Some(error) = self.fold_error.take() {
+            return Err(error);
+        }
+        let mut fold = self.fold.take().expect("a Collecting round holds a fold");
+        // Any updates still in the reorder window (a participant with a
+        // smaller id never resolved, e.g. under a straggler deadline) drain
+        // now — `pending` is a BTreeMap, so the order stays ascending.
+        while let Some((_, update)) = self.pending.pop_first() {
+            fold.fold(update)?;
+        }
+        self.unresolved.clear();
+        self.parameters = fold.finish()?;
         self.round += 1;
         self.phase = RoundPhase::Broadcasting;
         Ok(RoundSummary {
             round,
             participants: self.participants.iter().copied().collect(),
-            reporters: updates.iter().map(|u| u.client_id).collect(),
+            reporters: std::mem::take(&mut self.reporters).into_iter().collect(),
             stragglers: std::mem::take(&mut self.stragglers),
             dropouts: std::mem::take(&mut self.dropouts),
-            total_weight,
+            total_weight: std::mem::take(&mut self.total_weight),
             delivered_messages: self.delivered,
             update_bytes: self.update_bytes,
         })
@@ -508,10 +591,14 @@ impl FedAvgServer {
             });
         }
         self.participants.clear();
-        self.received.clear();
+        self.fold = None;
+        self.fold_error = None;
+        self.pending.clear();
+        self.unresolved.clear();
         self.reporters.clear();
         self.stragglers.clear();
         self.dropouts.clear();
+        self.total_weight = 0;
         self.delivered = 0;
         self.update_bytes = 0;
         self.phase = RoundPhase::Broadcasting;

@@ -51,7 +51,7 @@ use serde::{Deserialize, Serialize};
 use crate::robust::{aggregate_with_rule, validate_update_schema};
 use crate::server::RoundSummary;
 use crate::{
-    AggregationRule, FedAvgServer, FlError, GlobalModel, MemberUpdate, Message, ModelUpdate,
+    AggregationRule, BroadcastFrame, FedAvgServer, FlError, MemberUpdate, Message, ModelUpdate,
     NackReason, ParticipationPolicy, Result, Transport, TransportKind,
 };
 
@@ -239,11 +239,19 @@ pub struct EdgeAggregator {
     server: FedAvgServer,
     uplink: Box<dyn Transport>,
     members: Vec<EdgeMember>,
+    /// Member client ids, for O(log n) membership checks.
+    member_set: BTreeSet<usize>,
     participants: Vec<usize>,
+    /// Sampled participants of the open round (the set view of
+    /// `participants`, for O(log n) relay checks).
+    sampled: BTreeSet<usize>,
     left: BTreeSet<usize>,
     stash: BTreeMap<usize, MemberUpdate>,
     round: Option<usize>,
     open: bool,
+    /// Member indices with queued uplink traffic during a sweep phase
+    /// (rebuilt at sweep 0; only ever shrinks within a phase).
+    active: Option<BTreeSet<usize>>,
 }
 
 impl EdgeAggregator {
@@ -264,11 +272,14 @@ impl EdgeAggregator {
             server: FedAvgServer::with_policy(Vec::new(), edge_policy)?,
             uplink,
             members: Vec::new(),
+            member_set: BTreeSet::new(),
             participants: Vec::new(),
+            sampled: BTreeSet::new(),
             left: BTreeSet::new(),
             stash: BTreeMap::new(),
             round: None,
             open: false,
+            active: None,
         })
     }
 
@@ -288,6 +299,7 @@ impl EdgeAggregator {
                 latency,
             },
         );
+        self.member_set.insert(client_id);
     }
 
     /// The edge aggregator's index.
@@ -302,7 +314,7 @@ impl EdgeAggregator {
 
     /// Whether `client_id` sits under this edge.
     pub fn contains(&self, client_id: usize) -> bool {
-        self.members.iter().any(|m| m.client_id == client_id)
+        self.member_set.contains(&client_id)
     }
 
     /// The edge-local model: the subtree's plain-FedAvg view over the clear
@@ -324,13 +336,24 @@ impl EdgeAggregator {
 
     /// Opens a subtree round: re-anchors the edge-local model to the root's
     /// broadcast, opens the state machine at the root's round number with
-    /// the members the root sampled, and relays [`Message::RoundStart`] to
-    /// them.
+    /// the members the root sampled, and relays the shared
+    /// [`Message::RoundStart`] frame to them — every member link shares the
+    /// one broadcast payload instead of receiving its own clone.
     ///
     /// # Errors
-    /// Returns an error if a participant is not a member of this edge or
-    /// the state machine refuses the round.
-    pub fn open_round(&mut self, broadcast: &GlobalModel, participants: &[usize]) -> Result<()> {
+    /// Returns an error if the frame is not a `RoundStart`, a participant
+    /// is not a member of this edge, or the state machine refuses the
+    /// round.
+    pub fn open_round(&mut self, frame: &BroadcastFrame, participants: &[usize]) -> Result<()> {
+        let Message::RoundStart { round, global } = frame.message() else {
+            return Err(FlError::InvalidConfig {
+                reason: format!(
+                    "edge {} can only open a round from a RoundStart frame",
+                    self.edge_id
+                ),
+            });
+        };
+        let round = *round;
         for &id in participants {
             if !self.contains(id) {
                 return Err(FlError::InvalidConfig {
@@ -338,20 +361,18 @@ impl EdgeAggregator {
                 });
             }
         }
-        self.server.sync_parameters(broadcast.parameters.clone())?;
-        self.server
-            .begin_round_with(broadcast.round, participants)?;
+        self.server.sync_parameters(global.parameters.clone())?;
+        self.server.begin_round_with(round, participants)?;
         self.participants = participants.to_vec();
+        self.sampled = participants.iter().copied().collect();
         self.left.clear();
         self.stash.clear();
-        self.round = Some(broadcast.round);
+        self.round = Some(round);
         self.open = true;
+        self.active = None;
         for member in &self.members {
-            if participants.contains(&member.client_id) {
-                member.link.send(&Message::RoundStart {
-                    round: broadcast.round,
-                    global: broadcast.clone(),
-                })?;
+            if self.sampled.contains(&member.client_id) {
+                member.link.send_broadcast(frame)?;
             }
         }
         Ok(())
@@ -361,23 +382,42 @@ impl EdgeAggregator {
     /// client id, one message per link — the per-subtree replica of the
     /// star runtime's sweep discipline.
     ///
+    /// Only *active* members (queued traffic) are visited: all member
+    /// traffic of a sweep phase is queued before sweep 0, so the active set
+    /// is rebuilt there and only shrinks afterwards — drained and
+    /// never-pending seats are skipped without changing delivery order.
+    ///
     /// # Errors
     /// Returns an error if a transport fails.
     pub fn pump(&mut self, sweep: usize) -> Result<EdgePump> {
         let mut outcome = EdgePump::default();
-        for index in 0..self.members.len() {
+        let mut active = match self.active.take() {
+            Some(set) if sweep != 0 => set,
+            _ => (0..self.members.len())
+                .filter(|&index| self.members[index].link.has_pending())
+                .collect(),
+        };
+        let mut drained = Vec::new();
+        for &index in &active {
             if self.members[index].latency > sweep {
-                if self.members[index].link.has_pending() {
-                    outcome.pending_future = true;
-                }
+                // Active ⇒ the link still holds traffic for a later sweep.
+                outcome.pending_future = true;
                 continue;
             }
             let Some(message) = self.members[index].link.recv()? else {
+                drained.push(index);
                 continue;
             };
             outcome.delivered = true;
             self.route_upward(index, message)?;
+            if !self.members[index].link.has_pending() {
+                drained.push(index);
+            }
         }
+        for index in drained {
+            active.remove(&index);
+        }
+        self.active = Some(active);
         Ok(outcome)
     }
 
@@ -518,7 +558,7 @@ impl EdgeAggregator {
                 }
                 Message::RoundEnd { .. } => {
                     for member in &self.members {
-                        if self.participants.contains(&member.client_id)
+                        if self.sampled.contains(&member.client_id)
                             && !self.left.contains(&member.client_id)
                         {
                             member.link.send(&message)?;
@@ -601,7 +641,10 @@ pub(crate) struct GossipPump {
 pub(crate) struct GossipMesh {
     peers: Vec<GossipPeer>,
     round: Option<usize>,
-    participants: Vec<usize>,
+    participants: BTreeSet<usize>,
+    /// Peer indices with queued coordinator traffic during a collect phase
+    /// (rebuilt at sweep 0; only ever shrinks within a phase).
+    active: Option<BTreeSet<usize>>,
 }
 
 impl GossipMesh {
@@ -645,30 +688,39 @@ impl GossipMesh {
         GossipMesh {
             peers,
             round: None,
-            participants: Vec::new(),
+            participants: BTreeSet::new(),
+            active: None,
         }
     }
 
     /// Opens a gossip round: clears every peer's knowledge and push
-    /// bookkeeping and relays [`Message::RoundStart`] to the sampled
-    /// participants.
+    /// bookkeeping and relays the shared [`Message::RoundStart`] frame to
+    /// the sampled participants — every coordinator link shares the one
+    /// broadcast payload instead of receiving its own clone.
+    ///
+    /// # Errors
+    /// Returns an error if the frame is not a `RoundStart` or a transport
+    /// fails.
     pub(crate) fn open_round(
         &mut self,
-        broadcast: &GlobalModel,
+        frame: &BroadcastFrame,
         participants: &[usize],
     ) -> Result<()> {
-        self.round = Some(broadcast.round);
-        self.participants = participants.to_vec();
+        let Message::RoundStart { round, .. } = frame.message() else {
+            return Err(FlError::InvalidConfig {
+                reason: "a gossip mesh can only open a round from a RoundStart frame".to_string(),
+            });
+        };
+        self.round = Some(*round);
+        self.participants = participants.iter().copied().collect();
+        self.active = None;
         for peer in &mut self.peers {
             peer.known.clear();
             for link in &mut peer.out_links {
                 link.sent.clear();
             }
-            if participants.contains(&peer.id) {
-                peer.coordinator.send(&Message::RoundStart {
-                    round: broadcast.round,
-                    global: broadcast.clone(),
-                })?;
+            if self.participants.contains(&peer.id) {
+                peer.coordinator.send_broadcast(frame)?;
             }
         }
         Ok(())
@@ -697,17 +749,31 @@ impl GossipMesh {
     pub(crate) fn pump_collect(&mut self, sweep: usize) -> Result<GossipPump> {
         let round = self.round;
         let mut outcome = GossipPump::default();
-        for peer in &mut self.peers {
+        // Only *active* peers (queued coordinator traffic) are visited: all
+        // of a collect phase's traffic is queued before sweep 0, so the
+        // active set is rebuilt there and only shrinks afterwards.
+        let mut active = match self.active.take() {
+            Some(set) if sweep != 0 => set,
+            _ => (0..self.peers.len())
+                .filter(|&index| self.peers[index].coordinator.has_pending())
+                .collect(),
+        };
+        let mut drained = Vec::new();
+        for &index in &active {
+            let peer = &mut self.peers[index];
             if peer.latency > sweep {
-                if peer.coordinator.has_pending() {
-                    outcome.pending_future = true;
-                }
+                // Active ⇒ the link still holds traffic for a later sweep.
+                outcome.pending_future = true;
                 continue;
             }
             let Some(message) = peer.coordinator.recv()? else {
+                drained.push(index);
                 continue;
             };
             outcome.delivered = true;
+            if !peer.coordinator.has_pending() {
+                drained.push(index);
+            }
             match message {
                 Message::Update { update, shielded } => {
                     if !shielded.is_empty() {
@@ -746,6 +812,10 @@ impl GossipMesh {
                 other => outcome.control.push((peer.id, other)),
             }
         }
+        for index in drained {
+            active.remove(&index);
+        }
+        self.active = Some(active);
         Ok(outcome)
     }
 
@@ -902,9 +972,16 @@ impl GossipMesh {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{InMemoryTransport, NackReason};
+    use crate::{GlobalModel, InMemoryTransport, NackReason};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
+
+    fn round_start(broadcast: GlobalModel) -> BroadcastFrame {
+        BroadcastFrame::new(Message::RoundStart {
+            round: broadcast.round,
+            global: broadcast,
+        })
+    }
 
     fn named(values: &[f32]) -> Vec<(String, Tensor)> {
         vec![(
@@ -1025,7 +1102,7 @@ mod tests {
         let broadcast = root.broadcast();
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         root.begin_round(&mut rng).unwrap();
-        edge.open_round(&broadcast, &[1, 3]).unwrap();
+        edge.open_round(&round_start(broadcast), &[1, 3]).unwrap();
         for (client_id, agent_end) in &agent_ends {
             let Some(Message::RoundStart { round, .. }) = agent_end.recv().unwrap() else {
                 panic!("member expected the relayed broadcast");
@@ -1111,7 +1188,7 @@ mod tests {
             round: 0,
             parameters: named(&[0.0, 0.0]),
         };
-        edge.open_round(&broadcast, &[0, 1]).unwrap();
+        edge.open_round(&round_start(broadcast), &[0, 1]).unwrap();
         for agent_end in &agent_ends {
             agent_end.recv().unwrap();
         }
@@ -1169,7 +1246,7 @@ mod tests {
             round: 0,
             parameters: named(&[0.0, 0.0]),
         };
-        edge.open_round(&broadcast, &[0, 1]).unwrap();
+        edge.open_round(&round_start(broadcast), &[0, 1]).unwrap();
         for agent_end in &agent_ends {
             agent_end.recv().unwrap();
         }
@@ -1227,7 +1304,7 @@ mod tests {
             round: 0,
             parameters: named(&[0.0, 0.0]),
         };
-        edge.open_round(&broadcast, &[0, 1]).unwrap();
+        edge.open_round(&round_start(broadcast), &[0, 1]).unwrap();
         for agent_end in &agent_ends {
             agent_end.recv().unwrap();
         }
@@ -1277,7 +1354,7 @@ mod tests {
             round: 0,
             parameters: named(&[0.0, 0.0]),
         };
-        mesh.open_round(&broadcast, &[0, 1]).unwrap();
+        mesh.open_round(&round_start(broadcast), &[0, 1]).unwrap();
         for agent_end in &agent_ends {
             agent_end.recv().unwrap(); // consume the broadcast
         }
@@ -1378,7 +1455,8 @@ mod tests {
             parameters: initial.clone(),
         };
         let participants: Vec<usize> = (0..clients).collect();
-        mesh.open_round(&broadcast, &participants).unwrap();
+        mesh.open_round(&round_start(broadcast), &participants)
+            .unwrap();
 
         let updates: Vec<ModelUpdate> = (0..clients)
             .map(|id| update(id, 0, 10 + id, id as f32 - 1.5))

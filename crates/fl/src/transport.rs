@@ -17,9 +17,17 @@
 //! ([`Message::wire_size`]); [`Transport::bytes_serialized`] additionally
 //! reports the bytes that were physically encoded (zero for the in-memory
 //! path), which is what the serialisation-equivalence tests compare.
+//!
+//! **Broadcast sharing.** A coordinator sending one [`Message`] to a large
+//! population must not pay O(population × model) to do it: a
+//! [`BroadcastFrame`] wraps the message in an `Arc` (and, for the byte
+//! path, encodes it exactly once), and [`Transport::send_broadcast`] enqueues
+//! the shared payload per link. Counters are still charged per link — a
+//! broadcast to N seats is N logical sends — so traffic accounting is
+//! unchanged from N individual `send` calls.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -58,6 +66,36 @@ impl TransportKind {
     }
 }
 
+/// A broadcast payload shared across every link it is sent over: the
+/// message travels behind an `Arc`, and the serialized transports encode it
+/// exactly once (lazily, on the first byte-path send). This is what keeps a
+/// `RoundStart` broadcast O(model + population) instead of
+/// O(model × population).
+pub struct BroadcastFrame {
+    message: Arc<Message>,
+    encoded: OnceLock<Arc<Vec<u8>>>,
+}
+
+impl BroadcastFrame {
+    /// Wraps a message for shared broadcast.
+    pub fn new(message: Message) -> Self {
+        BroadcastFrame {
+            message: Arc::new(message),
+            encoded: OnceLock::new(),
+        }
+    }
+
+    /// The wrapped message.
+    pub fn message(&self) -> &Message {
+        &self.message
+    }
+
+    /// The shared wire encoding, produced at most once per frame.
+    pub fn encoded(&self) -> Arc<Vec<u8>> {
+        Arc::clone(self.encoded.get_or_init(|| Arc::new(self.message.encode())))
+    }
+}
+
 /// One endpoint of a duplex message link (see the module docs).
 pub trait Transport: Send {
     /// Queues a message for the peer endpoint (ordered, reliable).
@@ -65,6 +103,18 @@ pub trait Transport: Send {
     /// # Errors
     /// Returns [`crate::FlError::Wire`] if the message cannot be encoded.
     fn send(&self, message: &Message) -> Result<()>;
+
+    /// Queues a shared broadcast payload for the peer endpoint. Counters are
+    /// charged exactly as for [`Transport::send`]; the only difference is
+    /// that the payload (and, on the byte path, its encoding) is shared
+    /// across every link the same frame is sent over instead of being cloned
+    /// per link.
+    ///
+    /// # Errors
+    /// Returns [`crate::FlError::Wire`] if the message cannot be encoded.
+    fn send_broadcast(&self, frame: &BroadcastFrame) -> Result<()> {
+        self.send(frame.message())
+    }
 
     /// Pops the next message queued by the peer, if any.
     ///
@@ -99,10 +149,13 @@ struct Counters {
     serialized_bytes: usize,
 }
 
-/// Zero-copy in-memory endpoint: messages cross as owned values.
+/// Zero-copy in-memory endpoint: messages cross as (possibly shared) owned
+/// values. Queued messages sit behind `Arc`s so a broadcast frame occupies
+/// one allocation however many inboxes it is queued in; `recv` unwraps the
+/// `Arc` without copying when this endpoint holds the last reference.
 pub struct InMemoryTransport {
-    incoming: Arc<Mutex<VecDeque<Message>>>,
-    outgoing: Arc<Mutex<VecDeque<Message>>>,
+    incoming: Arc<Mutex<VecDeque<Arc<Message>>>>,
+    outgoing: Arc<Mutex<VecDeque<Arc<Message>>>>,
     counters: Mutex<Counters>,
 }
 
@@ -132,12 +185,22 @@ impl Transport for InMemoryTransport {
         counters.messages += 1;
         counters.logical_bytes += message.wire_size();
         drop(counters);
-        self.outgoing.lock().push_back(message.clone());
+        self.outgoing.lock().push_back(Arc::new(message.clone()));
+        Ok(())
+    }
+
+    fn send_broadcast(&self, frame: &BroadcastFrame) -> Result<()> {
+        let mut counters = self.counters.lock();
+        counters.messages += 1;
+        counters.logical_bytes += frame.message().wire_size();
+        drop(counters);
+        self.outgoing.lock().push_back(Arc::clone(&frame.message));
         Ok(())
     }
 
     fn recv(&self) -> Result<Option<Message>> {
-        Ok(self.incoming.lock().pop_front())
+        let popped = self.incoming.lock().pop_front();
+        Ok(popped.map(|shared| Arc::try_unwrap(shared).unwrap_or_else(|arc| (*arc).clone())))
     }
 
     fn has_pending(&self) -> bool {
@@ -162,10 +225,11 @@ impl Transport for InMemoryTransport {
 }
 
 /// Serialise/deserialise loopback endpoint: every message crosses as its
-/// checksummed binary wire encoding.
+/// checksummed binary wire encoding. Queued frames sit behind `Arc`s so a
+/// broadcast is encoded once and shared across every inbox it is queued in.
 pub struct SerializedTransport {
-    incoming: Arc<Mutex<VecDeque<Vec<u8>>>>,
-    outgoing: Arc<Mutex<VecDeque<Vec<u8>>>>,
+    incoming: Arc<Mutex<VecDeque<Arc<Vec<u8>>>>>,
+    outgoing: Arc<Mutex<VecDeque<Arc<Vec<u8>>>>>,
     counters: Mutex<Counters>,
 }
 
@@ -197,7 +261,19 @@ impl Transport for SerializedTransport {
         counters.logical_bytes += message.wire_size();
         counters.serialized_bytes += frame.len();
         drop(counters);
-        self.outgoing.lock().push_back(frame);
+        self.outgoing.lock().push_back(Arc::new(frame));
+        Ok(())
+    }
+
+    fn send_broadcast(&self, frame: &BroadcastFrame) -> Result<()> {
+        // Encoded at most once per frame, shared across every link.
+        let encoded = frame.encoded();
+        let mut counters = self.counters.lock();
+        counters.messages += 1;
+        counters.logical_bytes += frame.message().wire_size();
+        counters.serialized_bytes += encoded.len();
+        drop(counters);
+        self.outgoing.lock().push_back(encoded);
         Ok(())
     }
 
@@ -297,6 +373,30 @@ mod tests {
         assert_eq!(mem.bytes_sent(), ser.bytes_sent());
         assert_eq!(mem.kind(), TransportKind::InMemory);
         assert_eq!(ser.kind(), TransportKind::Serialized);
+    }
+
+    #[test]
+    fn broadcast_frames_share_one_payload_and_charge_per_link() {
+        let frame = BroadcastFrame::new(sample_messages().remove(1));
+        for kind in [TransportKind::InMemory, TransportKind::Serialized] {
+            let pairs: Vec<_> = (0..3).map(|_| kind.duplex()).collect();
+            for (sender, _) in &pairs {
+                sender.send_broadcast(&frame).unwrap();
+            }
+            // Counters are identical to three individual sends.
+            let (reference, _) = kind.duplex();
+            reference.send(frame.message()).unwrap();
+            for (sender, receiver) in &pairs {
+                assert_eq!(sender.messages_sent(), 1);
+                assert_eq!(sender.bytes_sent(), reference.bytes_sent());
+                assert_eq!(sender.bytes_serialized(), reference.bytes_serialized());
+                // The shared payload decodes/unwraps to the original message.
+                assert_eq!(receiver.recv().unwrap().unwrap(), *frame.message());
+            }
+        }
+        // The byte path encoded the frame exactly once: the lazily built
+        // encoding is the same allocation on every call.
+        assert!(Arc::ptr_eq(&frame.encoded(), &frame.encoded()));
     }
 
     #[test]

@@ -574,16 +574,16 @@ fn free_rider_spam_starves_the_straggler_deadline() {
     };
 
     // Without spam every participant reports (the laggard's update is the
-    // last delivered, but it lands inside the deadline).
+    // last delivered, but it lands inside the deadline; reporters are
+    // summarised in canonical ascending id order).
     let calm = run(0);
-    assert_eq!(calm.rounds[0].summary.reporters, vec![0, 2, 3, 1]);
+    assert_eq!(calm.rounds[0].summary.reporters, vec![0, 1, 2, 3]);
     assert!(calm.rounds[0].summary.stragglers.is_empty());
 
-    // One junk frame shifts the delivery counts: the free rider's own
-    // update slips to the next sweep (hence after client 3's) and the
-    // honest laggard now lands past the deadline, Nack'd as a straggler.
+    // One junk frame shifts the delivery counts: the honest laggard now
+    // lands past the deadline, Nack'd as a straggler instead of reporting.
     let attacked = run(1);
     assert_eq!(attacked.rounds[0].adversarial_actions, 1);
-    assert_eq!(attacked.rounds[0].summary.reporters, vec![0, 3, 2]);
+    assert_eq!(attacked.rounds[0].summary.reporters, vec![0, 2, 3]);
     assert_eq!(attacked.rounds[0].summary.stragglers, vec![1]);
 }

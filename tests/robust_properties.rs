@@ -25,9 +25,9 @@ use proptest::prelude::*;
 
 use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
 use pelta_fl::{
-    backdoor_success_rate, AgentRole, AggregationRule, EdgeAggregator, FedAvgServer, Federation,
-    FederationConfig, Message, ModelUpdate, ParticipationPolicy, RobustAggregator, ScenarioSpec,
-    Topology, Transport, TransportKind, TrojanTrigger,
+    backdoor_success_rate, AgentRole, AggregationRule, BroadcastFrame, EdgeAggregator,
+    FedAvgServer, Federation, FederationConfig, Message, ModelUpdate, ParticipationPolicy,
+    RobustAggregator, ScenarioSpec, Topology, Transport, TransportKind, TrojanTrigger,
 };
 use pelta_models::{accuracy, TrainingConfig};
 use pelta_tensor::{pool, SeedStream, Tensor};
@@ -180,12 +180,16 @@ fn aggregate_hierarchical(
         }
     }
     let broadcast = root.broadcast();
+    let frame = BroadcastFrame::new(Message::RoundStart {
+        round: broadcast.round,
+        global: broadcast,
+    });
     let mut rng = SeedStream::new(23).derive("round");
     root.begin_round(&mut rng).unwrap();
     for (edge, group) in edges.iter_mut().zip(groups) {
         let mut subset = group.clone();
         subset.sort_unstable();
-        edge.open_round(&broadcast, &subset).unwrap();
+        edge.open_round(&frame, &subset).unwrap();
     }
     for (member, agent_end) in &agent_ends {
         agent_end.recv().unwrap(); // consume the relayed broadcast
@@ -328,6 +332,98 @@ proptest! {
                 &reference
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Population scale: streamed folds at 1 000 seats
+// ---------------------------------------------------------------------------
+
+/// A 1 000-seat synthetic update population with heterogeneous weights and
+/// parameters (two named tensors per client, 11 scalars each).
+fn thousand_updates() -> Vec<ModelUpdate> {
+    let mut rng = SeedStream::new(4301).derive("population");
+    (0..1_000)
+        .map(|id| ModelUpdate {
+            client_id: id,
+            round: 0,
+            num_samples: 1 + (id % 17),
+            parameters: vec![
+                (
+                    "prefix.w".to_string(),
+                    Tensor::rand_uniform(&[6], -4.0, 4.0, &mut rng),
+                ),
+                (
+                    "suffix.w".to_string(),
+                    Tensor::rand_uniform(&[5], -4.0, 4.0, &mut rng),
+                ),
+            ],
+        })
+        .collect()
+}
+
+/// At 1 000 seats the streaming server path — fold on delivery, drop the
+/// payload immediately — produces exactly the bits of the buffered
+/// call-level aggregation, across both transports, `PELTA_THREADS` 1/4,
+/// and a fully reversed delivery order that forces the reorder window to
+/// degrade to the old buffered behaviour before draining in one canonical
+/// ascending pass.
+#[test]
+fn thousand_seat_streamed_folds_match_buffered_aggregation() {
+    let updates = thousand_updates();
+    for rule in [
+        AggregationRule::FedAvg,
+        AggregationRule::NormClipping { max_norm: 1.5 },
+    ] {
+        assert!(rule.streams(), "this test pins the streaming rules");
+        pool::set_global_threads(1);
+        let reference = aggregate_call_level(&updates, rule);
+        for threads in [1usize, 4] {
+            pool::set_global_threads(threads);
+            for kind in [TransportKind::InMemory, TransportKind::Serialized] {
+                assert_eq!(
+                    aggregate_in_protocol(&updates, rule, kind),
+                    reference,
+                    "streamed {rule:?} over {kind:?} at {threads} thread(s) \
+                     diverged from the buffered fold"
+                );
+            }
+        }
+        pool::set_global_threads(pool::env_threads());
+
+        // Reversed delivery: every update waits on an unresolved smaller id
+        // until client 0 reports, so the reorder window holds the entire
+        // population before the fold drains it in ascending order.
+        let mut server = FedAvgServer::with_rule(
+            initial_for(&updates),
+            ParticipationPolicy {
+                quorum: updates.len(),
+                sample: 0,
+                straggler_deadline: 0,
+            },
+            rule,
+        )
+        .unwrap();
+        for update in &updates {
+            server.deliver(&Message::Join {
+                client_id: update.client_id,
+            });
+        }
+        let mut rng = SeedStream::new(17).derive("round");
+        server.begin_round(&mut rng).unwrap();
+        for update in updates.iter().rev() {
+            let refused = server.deliver(&Message::Update {
+                update: update.clone(),
+                shielded: Vec::new(),
+            });
+            assert!(refused.is_empty(), "reversed delivery unexpectedly refused");
+        }
+        server.close_round().unwrap();
+        assert_eq!(
+            bits(server.parameters()),
+            reference,
+            "reversed delivery changed the {rule:?} bits"
+        );
     }
 }
 

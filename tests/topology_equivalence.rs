@@ -14,10 +14,16 @@
 //! segments forwarded (unopened) by an edge and unsealed at the root yield
 //! the same bits as the clear hierarchical run.
 
+use pelta_autodiff::{Graph, NodeId};
 use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
-use pelta_fl::{Federation, FederationConfig, ParticipationPolicy, Topology, TransportKind};
-use pelta_models::TrainingConfig;
+use pelta_fl::{
+    AggregationRule, Federation, FederationConfig, ParticipationPolicy, ScenarioSpec, Topology,
+    TransportKind,
+};
+use pelta_models::{Architecture, ImageModel, TrainingConfig};
+use pelta_nn::{Linear, Module, Param};
 use pelta_tensor::{pool, SeedStream, Tensor};
+use rand_chacha::ChaCha8Rng;
 
 const SEED: u64 = 830;
 
@@ -139,6 +145,167 @@ fn topologies_produce_bit_identical_global_models() {
                         }
                     }
                 }
+            }
+        }
+    }
+    pool::set_global_threads(pool::env_threads());
+}
+
+// ---------------------------------------------------------------------------
+// Population scale: the equivalence matrix at 1 000 seats
+// ---------------------------------------------------------------------------
+
+const POPULATION: usize = 1_000;
+
+/// A minimal defender model for the population-scale harness: global
+/// average pooling to per-channel means, then a single linear head — 40
+/// scalars for CIFAR-shaped inputs — so a thousand-seat round's update
+/// messages stay tiny while every seat still trains a genuinely distinct
+/// update on its own shard.
+struct ChannelHead {
+    head: Linear,
+}
+
+impl ChannelHead {
+    fn new(rng: &mut ChaCha8Rng) -> Self {
+        ChannelHead {
+            head: Linear::new("channel_head", 3, 10, rng),
+        }
+    }
+}
+
+impl Module for ChannelHead {
+    fn name(&self) -> &str {
+        "channel_head"
+    }
+
+    fn forward(&self, graph: &mut Graph, input: NodeId) -> pelta_nn::Result<NodeId> {
+        let pooled = graph.global_avg_pool2d(input)?;
+        graph.set_tag(pooled, &self.frontier_tag())?;
+        self.head.forward(graph, pooled)
+    }
+
+    fn parameters(&self) -> Vec<&Param> {
+        self.head.parameters()
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Param> {
+        self.head.parameters_mut()
+    }
+}
+
+impl ImageModel for ChannelHead {
+    fn architecture(&self) -> Architecture {
+        Architecture::ResNet
+    }
+
+    fn num_classes(&self) -> usize {
+        10
+    }
+
+    fn input_shape(&self) -> [usize; 3] {
+        [3, 32, 32]
+    }
+
+    fn frontier_tag(&self) -> String {
+        "channel_head.pelta_frontier".to_string()
+    }
+}
+
+/// The population-scale topologies: the flat star, a 2-level tree of 8
+/// non-contiguous 125-member edges (member `m` sits under edge `m % 8`),
+/// and the gossip ring.
+fn population_topologies() -> [Topology; 3] {
+    let groups = (0..8)
+        .map(|edge| (0..POPULATION).filter(|m| m % 8 == edge).collect())
+        .collect();
+    [
+        Topology::Star,
+        Topology::hierarchical(groups),
+        Topology::Gossip { fanout: 1 },
+    ]
+}
+
+/// One all-honest 1 000-seat federation round over the tiny model; returns
+/// the final global model bits.
+fn run_population(data: &Dataset, transport: TransportKind, topology: Topology) -> GlobalBits {
+    let mut seeds = SeedStream::new(SEED);
+    let cfg = FederationConfig {
+        clients: POPULATION,
+        rounds: 1,
+        local_training: TrainingConfig {
+            epochs: 1,
+            batch_size: 2,
+            learning_rate: 0.05,
+            momentum: 0.9,
+        },
+        eval_samples: 10,
+        transport,
+        topology,
+        policy: ParticipationPolicy {
+            quorum: POPULATION,
+            sample: 0,
+            straggler_deadline: 0,
+        },
+        ..FederationConfig::default()
+    };
+    let mut federation = Federation::from_scenario(
+        data,
+        &ScenarioSpec::honest(cfg),
+        Partition::Iid,
+        &mut seeds,
+        |rng| Box::new(ChannelHead::new(rng)),
+    )
+    .unwrap();
+    let history = federation.run(&mut seeds).unwrap();
+    for record in &history.rounds {
+        assert_eq!(record.summary.reporters.len(), POPULATION);
+        assert!(record.summary.stragglers.is_empty());
+        assert!(record.summary.dropouts.is_empty());
+    }
+    global_bits(federation.server().parameters())
+}
+
+/// The equivalence matrix at population scale: a 1 000-seat round — served
+/// by the streaming FedAvg fold and the active-seat sweeps — produces
+/// bit-identical global models across Star/Hierarchical/Gossip, repeats,
+/// both transports, and `PELTA_THREADS` 1/4. The gossip leg folds the same
+/// update set through the buffered consensus path, so the matrix also pins
+/// streamed ≡ buffered at this scale.
+#[test]
+fn thousand_seat_topologies_produce_bit_identical_global_models() {
+    assert!(AggregationRule::FedAvg.streams());
+    let data = Dataset::generate(
+        DatasetSpec::Cifar10Like,
+        &GeneratorConfig {
+            train_samples: 2 * POPULATION,
+            test_samples: 10,
+            ..GeneratorConfig::default()
+        },
+        SEED,
+    );
+
+    pool::set_global_threads(1);
+    let reference = run_population(&data, TransportKind::InMemory, Topology::Star);
+    assert_eq!(
+        reference,
+        run_population(&data, TransportKind::InMemory, Topology::Star),
+        "1k-seat star repeat diverged"
+    );
+
+    for threads in [1usize, 4] {
+        pool::set_global_threads(threads);
+        for transport in [TransportKind::InMemory, TransportKind::Serialized] {
+            for topology in population_topologies() {
+                let label = format!(
+                    "1k-seat {} over {transport:?} at {threads} thread(s)",
+                    topology.name()
+                );
+                assert_eq!(
+                    run_population(&data, transport, topology),
+                    reference,
+                    "{label} changed the global model bits"
+                );
             }
         }
     }
