@@ -19,7 +19,13 @@
 //! bit-deterministic. A **hierarchical-round probe** drives the two-hop
 //! path of the topology layer (member → edge aggregator → combined subtree
 //! frame → root) over the serialised transport, again replayed twice for a
-//! determinism field. A **population-scale probe** drives one full
+//! determinism field. A **fault-injection probe** times a hierarchical
+//! soak federation under the scripted chaos plan (drops, duplicates,
+//! corruption, partitions, a seat crash and an edge crash-and-resync) and
+//! replays it over the serialised transport — the `fault_injection` block
+//! reports rounds/s at the fixed fault rate, the retransmission/recovery
+//! counters, and a replay-determinism field asserted to be zero. A
+//! **population-scale probe** drives one full
 //! streaming-FedAvg round at 1k / 10k / 100k seats (shared broadcast
 //! frame, fold-on-delivery) and reports rounds/s, peak RSS (`VmHWM`, reset
 //! per population) and MB folded — the `population_scale` block of
@@ -36,6 +42,7 @@
 
 use std::time::Instant;
 
+use pelta_bench::{run_chaos, CHAOS_CLIENTS};
 use pelta_fl::{
     export_parameters, AggregationRule, BroadcastFrame, EdgeAggregator, FedAvgServer, Message,
     ModelUpdate, ParticipationPolicy, TransportKind,
@@ -639,6 +646,53 @@ fn bench_population() -> Vec<PopulationRow> {
         .collect()
 }
 
+struct FaultInjectionRow {
+    clients: usize,
+    rounds: usize,
+    rounds_per_s: f64,
+    dropped: usize,
+    duplicated: usize,
+    corrupted: usize,
+    retransmissions: usize,
+    recoveries: usize,
+    determinism_param_diffs: usize,
+}
+
+/// The churn/fault probe: a hierarchical soak federation under the scripted
+/// chaos plan (drops, duplicates, corruption, reordering, partitions, a
+/// seat crash and an edge crash-and-resync), timed end to end, then
+/// replayed over the serialised transport — the replay must match the
+/// reference bit for bit, counter for counter.
+fn bench_fault_injection(iters: usize) -> FaultInjectionRow {
+    const ROUNDS: usize = 12;
+    const FAULT_SEED: u64 = 0x5EED_FA17;
+    let topology = pelta_fl::Topology::hierarchical(vec![vec![0, 2, 4], vec![1, 3, 5]]);
+    let reference = run_chaos(&topology, TransportKind::InMemory, ROUNDS, FAULT_SEED);
+    let elapsed = time_best(iters, || {
+        std::hint::black_box(run_chaos(
+            &topology,
+            TransportKind::InMemory,
+            ROUNDS,
+            FAULT_SEED,
+        ));
+    });
+    let replay = run_chaos(&topology, TransportKind::Serialized, ROUNDS, FAULT_SEED);
+    let determinism_param_diffs = reference.param_diffs(&replay)
+        + usize::from(replay.reporters != reference.reporters)
+        + usize::from(replay.stats != reference.stats);
+    FaultInjectionRow {
+        clients: CHAOS_CLIENTS,
+        rounds: ROUNDS,
+        rounds_per_s: ROUNDS as f64 / elapsed,
+        dropped: reference.stats.dropped,
+        duplicated: reference.stats.duplicated,
+        corrupted: reference.stats.corrupted,
+        retransmissions: reference.stats.retransmissions,
+        recoveries: reference.stats.recoveries,
+        determinism_param_diffs,
+    }
+}
+
 fn bench_federation(iters: usize) -> FederationRow {
     const CLIENTS: usize = 4;
     const ROUNDS: usize = 3;
@@ -808,6 +862,7 @@ fn main() {
     let federation = bench_federation(iters);
     let adversarial = bench_adversarial(iters);
     let hierarchical = bench_hierarchical(iters);
+    let fault_injection = bench_fault_injection(iters);
     let population = bench_population();
     let population_block = population
         .iter()
@@ -838,6 +893,11 @@ fn main() {
          \"rounds\": {},\n    \"protocol_messages\": {},\n    \
          \"hierarchical_msgs_per_s\": {:.1},\n    \
          \"hierarchical_determinism_param_diffs\": {}\n  }},\n  \
+         \"fault_injection\": {{\n    \"clients\": {},\n    \"rounds\": {},\n    \
+         \"fault_rounds_per_s\": {:.1},\n    \"dropped\": {},\n    \
+         \"duplicated\": {},\n    \"corrupted\": {},\n    \
+         \"retransmissions\": {},\n    \"recoveries\": {},\n    \
+         \"fault_determinism_param_diffs\": {}\n  }},\n  \
          \"population_scale\": {{\n{population_block}\n  }}\n}}\n",
         federation.clients,
         federation.rounds,
@@ -858,6 +918,15 @@ fn main() {
         hierarchical.messages,
         hierarchical.msgs_per_s,
         hierarchical.determinism_param_diffs,
+        fault_injection.clients,
+        fault_injection.rounds,
+        fault_injection.rounds_per_s,
+        fault_injection.dropped,
+        fault_injection.duplicated,
+        fault_injection.corrupted,
+        fault_injection.retransmissions,
+        fault_injection.recoveries,
+        fault_injection.determinism_param_diffs,
     );
     print!("{federation_json}");
     std::fs::write(&federation_path, &federation_json).expect("write BENCH_federation.json");
@@ -874,6 +943,10 @@ fn main() {
     assert_eq!(
         hierarchical.determinism_param_diffs, 0,
         "determinism contract violated: hierarchical two-hop replay diverged"
+    );
+    assert_eq!(
+        fault_injection.determinism_param_diffs, 0,
+        "determinism contract violated: faulted soak replay diverged"
     );
 
     // The CI perf-regression gate: diff the fresh snapshots against the
@@ -902,6 +975,7 @@ fn main() {
                     "serialized_wire_mb_per_s",
                     "adversarial_msgs_per_s",
                     "hierarchical_msgs_per_s",
+                    "fault_rounds_per_s",
                     "pop_1k_rounds_per_s",
                     "pop_10k_rounds_per_s",
                     "pop_100k_rounds_per_s",

@@ -26,7 +26,10 @@
 //! * [`ablation_software_stack`] — Pelta combined with software defenses;
 //! * [`ablation_enclave_budget`] — secure-memory feasibility sweep;
 //! * [`backdoor_defense`] — the §I poisoning scenario against robust
-//!   aggregation rules.
+//!   aggregation rules;
+//! * [`run_chaos`] — the fault-injection churn soak: hundreds of rounds of
+//!   scripted crashes, drops, duplicates, corruption and partitions per
+//!   topology, replayed bit-identically (long tier behind `slow-tests`).
 //!
 //! The `repro` binary prints any of these as text tables; the Criterion
 //! benches in `benches/` time the code paths behind each experiment.
@@ -34,6 +37,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod ablations;
+mod chaos;
 mod defenders;
 mod report;
 mod tables;
@@ -43,6 +47,7 @@ pub use ablations::{
     ablation_substitute_budget, backdoor_defense, BackdoorReport, EnclaveBudgetReport,
     PriorFidelityReport, SoftwareStackReport, SubstituteBudgetReport,
 };
+pub use chaos::{chaos_fault_config, chaos_topologies, run_chaos, ChaosRun, CHAOS_CLIENTS};
 pub use defenders::{build_defenders, train_ensemble_members, ExperimentConfig, TrainedDefender};
 pub use report::{format_percent, TextTable};
 pub use tables::{

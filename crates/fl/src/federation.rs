@@ -50,14 +50,16 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::client::{export_parameters, import_parameters, ClientAgent, FederationAgent, FlClient};
+use crate::fault::{FaultConfig, FaultPlan, FaultStats};
 use crate::malicious::{FreeRiderAgent, ProbingAgent};
 use crate::poisoning::{BackdoorAgent, BackdoorClient};
 use crate::scenario::{AgentRole, ScenarioSpec};
 use crate::server::RoundSummary;
 use crate::topology::{EdgeAggregator, GossipMesh, Topology};
 use crate::{
-    AggregationRule, BroadcastFrame, FedAvgServer, FlError, MemberUpdate, Message, ModelUpdate,
-    ParticipationPolicy, Result, ShieldedUpdateChannel, Transport, TransportKind,
+    AggregationRule, BroadcastFrame, Delivery, FedAvgServer, FlError, MemberUpdate, Message,
+    ModelUpdate, NackReason, ParticipationPolicy, Result, ShieldedUpdateChannel, Transport,
+    TransportKind,
 };
 
 /// Scenario schedule for one client: when it drops out, when it rejoins,
@@ -116,6 +118,10 @@ pub struct FederationConfig {
     /// Per-client dropout/rejoin/latency schedules (clients without an
     /// entry behave punctually).
     pub schedules: Vec<ClientSchedule>,
+    /// Deterministic fault plan injected into every runtime-side link
+    /// (drops, duplicates, reordering, corruption, partitions, scripted
+    /// crashes — see [`crate::fault`]); `None` runs a fault-free fabric.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for FederationConfig {
@@ -136,6 +142,7 @@ impl Default for FederationConfig {
             rule: AggregationRule::FedAvg,
             shield_updates: false,
             schedules: Vec::new(),
+            faults: None,
         }
     }
 }
@@ -248,6 +255,20 @@ pub struct Federation {
     eval_model: Box<dyn ImageModel>,
     dataset: Dataset,
     config: FederationConfig,
+    /// The live fault plan when the config injects faults: the shared
+    /// logical clock the runtime ticks and the wrappers read.
+    faults: Option<FaultPlan>,
+}
+
+/// Whether an edge aggregator is inside its scripted dark window at
+/// `round` — crashed in an earlier round, not yet rejoined. At the crash
+/// round itself the edge still collects (it dies mid-round, at close time);
+/// at the rejoin round it has already re-synced.
+fn edge_dark(faults: &Option<FaultPlan>, edge: usize, round: usize) -> bool {
+    faults.as_ref().is_some_and(|plan| {
+        plan.edge_crash(edge)
+            .is_some_and(|(crash, rejoin)| round > crash && round < rejoin)
+    })
 }
 
 impl Federation {
@@ -346,6 +367,14 @@ impl Federation {
             }
         }
         spec.validate()?;
+        if let Some(fault_config) = &config.faults {
+            fault_config.validate(config.clients, &config.topology)?;
+        }
+        let fault_plan = config
+            .faults
+            .as_ref()
+            .map(|fault_config| FaultPlan::new(fault_config.clone()))
+            .transpose()?;
         let shards = federated_split(
             dataset,
             config.clients,
@@ -465,6 +494,13 @@ impl Federation {
                 .get(&id)
                 .map(|s| (*s).clone())
                 .unwrap_or_else(|| ClientSchedule::punctual(id));
+            // The fault shim wraps the runtime-side end only: the agent's
+            // own end stays clean, so every fault is a *link* fault and the
+            // agent-side protocol logic needs no fault awareness.
+            let server_end = match &fault_plan {
+                Some(plan) => plan.wrap_seat(id, server_end),
+                None => server_end,
+            };
             runtime_ends.push(Some(server_end));
             slots.push(Slot {
                 agent,
@@ -488,6 +524,10 @@ impl Federation {
                 let mut uplinks = Vec::with_capacity(groups.len());
                 for (edge_id, group) in groups.iter().enumerate() {
                     let (edge_end, root_end) = config.transport.duplex();
+                    let root_end = match &fault_plan {
+                        Some(plan) => plan.wrap_uplink(edge_id, root_end),
+                        None => root_end,
+                    };
                     let mut edge = EdgeAggregator::new(edge_id, *edge_policy, edge_end)?;
                     for &member in group {
                         let link = runtime_ends[member]
@@ -519,6 +559,7 @@ impl Federation {
             eval_model,
             dataset: dataset.clone(),
             config: config.clone(),
+            faults: fault_plan,
         };
         // Deliver the Join handshakes before the first round opens.
         federation.pump_links()?;
@@ -590,6 +631,13 @@ impl Federation {
         self.server_shield.as_ref().map(|s| s.ledger())
     }
 
+    /// What the fault plan actually did so far (`None` when the federation
+    /// runs fault-free). Purely observational counters — see
+    /// [`FaultStats`].
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(FaultPlan::stats)
+    }
+
     /// The current global parameters loaded into an evaluation replica.
     ///
     /// # Errors
@@ -612,6 +660,45 @@ impl Federation {
     pub fn run(&mut self, seeds: &mut SeedStream) -> Result<RunHistory> {
         let mut rounds = Vec::with_capacity(self.config.rounds);
         for round_index in 0..self.config.rounds {
+            // The fault plan's logical clock follows the scheduler: faults
+            // are drawn against (round, sweep), never wall time.
+            if let Some(plan) = &self.faults {
+                plan.begin_round(round_index);
+            }
+            // Crash recovery: a seat whose dark window ends here restarts
+            // with a fresh Join handshake; an edge re-syncs its subtree
+            // state machine from the coordinator's checkpoint before any
+            // round can open over it.
+            if let Some(plan) = self.faults.clone() {
+                for (seat, slot) in self.slots.iter_mut().enumerate() {
+                    if plan
+                        .seat_crash(seat)
+                        .is_some_and(|(_, rejoin)| rejoin == round_index)
+                    {
+                        slot.agent.join()?;
+                    }
+                }
+                if let Fabric::Hierarchical { edges, .. } = &self.fabric {
+                    let rejoining: Vec<usize> = edges
+                        .iter()
+                        .map(EdgeAggregator::edge_id)
+                        .filter(|&edge| {
+                            plan.edge_crash(edge)
+                                .is_some_and(|(_, rejoin)| rejoin == round_index)
+                        })
+                        .collect();
+                    if !rejoining.is_empty() {
+                        let checkpoint = self.server.checkpoint();
+                        if let Fabric::Hierarchical { edges, .. } = &mut self.fabric {
+                            for edge in edges.iter_mut() {
+                                if rejoining.contains(&edge.edge_id()) {
+                                    edge.resync(&checkpoint)?;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
             // Scheduled rejoins announce themselves before the round opens.
             for slot in &mut self.slots {
                 if !slot.online && slot.schedule.rejoin_at_round == Some(round_index) {
@@ -642,6 +729,12 @@ impl Federation {
                 }
                 Fabric::Hierarchical { edges, .. } => {
                     for edge in edges.iter_mut() {
+                        // A crashed edge cannot open a round: its sampled
+                        // members see silence and the root degrades through
+                        // the quorum/withholding path.
+                        if edge_dark(&self.faults, edge.edge_id(), round_index) {
+                            continue;
+                        }
                         let subset: Vec<usize> = participants
                             .iter()
                             .copied()
@@ -758,7 +851,12 @@ impl Federation {
     /// and relay, the gossip coordinator surfaces everything as control
     /// traffic.
     fn pump_links(&mut self) -> Result<()> {
-        let Federation { server, fabric, .. } = self;
+        let Federation {
+            server,
+            fabric,
+            faults,
+            ..
+        } = self;
         loop {
             let mut delivered = false;
             match fabric {
@@ -786,6 +884,11 @@ impl Federation {
                 }
                 Fabric::Hierarchical { edges, uplinks } => {
                     for edge in edges.iter_mut() {
+                        // A dead edge relays nothing; its members' traffic
+                        // queues until the rejoin-round resync discards it.
+                        if edge_dark(faults, edge.edge_id(), server.round()) {
+                            continue;
+                        }
                         delivered |= edge.pump_idle()?;
                     }
                     for uplink in uplinks.iter_mut() {
@@ -797,6 +900,9 @@ impl Federation {
                         }
                     }
                     for edge in edges.iter_mut() {
+                        if edge_dark(faults, edge.edge_id(), server.round()) {
+                            continue;
+                        }
                         delivered |= edge.pump_downstream()? > 0;
                     }
                 }
@@ -839,6 +945,7 @@ impl Federation {
             server_shield,
             slots,
             fabric,
+            faults,
             ..
         } = self;
         let max_latency = slots.iter().map(|s| s.schedule.latency).max().unwrap_or(0);
@@ -856,6 +963,9 @@ impl Federation {
                     .collect();
                 let mut sweep = 0usize;
                 loop {
+                    if let Some(plan) = faults {
+                        plan.set_sweep(sweep);
+                    }
                     let mut delivered = false;
                     let mut pending_future = false;
                     let mut drained = Vec::new();
@@ -865,16 +975,54 @@ impl Federation {
                             pending_future = true;
                             continue;
                         }
-                        let Some(message) = links[index].recv()? else {
-                            drained.push(index);
-                            continue;
-                        };
-                        delivered = true;
-                        let (message, sealed) =
-                            reassemble(server.parameters(), server_shield.as_ref(), message)?;
-                        shielded_bytes += sealed;
-                        for response in server.deliver(&message) {
-                            links[index].send(&response)?;
+                        match links[index].recv_checked()? {
+                            Delivery::Empty => {
+                                if links[index].has_pending() {
+                                    // A fault wrapper is holding traffic
+                                    // (reorder, partition, retransmission)
+                                    // for a later sweep.
+                                    pending_future = true;
+                                } else {
+                                    drained.push(index);
+                                }
+                                continue;
+                            }
+                            Delivery::Frame(message) => {
+                                delivered = true;
+                                let (message, sealed) = reassemble(
+                                    server.parameters(),
+                                    server_shield.as_ref(),
+                                    message,
+                                )?;
+                                shielded_bytes += sealed;
+                                for response in server.deliver(&message) {
+                                    links[index].send(&response)?;
+                                }
+                            }
+                            Delivery::Faulted {
+                                sender,
+                                round,
+                                lost,
+                            } => {
+                                delivered = true;
+                                // A damaged delivery burns the straggler
+                                // budget like any delivered frame; a frame
+                                // lost outright does not — nothing arrived.
+                                // Either way the sender gets the refusal
+                                // that triggers retransmission.
+                                let responses = if lost {
+                                    vec![Message::Nack {
+                                        client_id: sender,
+                                        round,
+                                        reason: NackReason::CorruptFrame,
+                                    }]
+                                } else {
+                                    server.deliver_corrupt(sender, round)
+                                };
+                                for response in responses {
+                                    links[index].send(&response)?;
+                                }
+                            }
                         }
                         if !links[index].has_pending() {
                             drained.push(index);
@@ -891,11 +1039,19 @@ impl Federation {
             }
             Fabric::Hierarchical { edges, uplinks } => {
                 // Phase 1: member → edge sweeps, all subtrees in lockstep.
+                // Dark edges are dead processes: they pump nothing.
+                let round = server.round();
                 let mut sweep = 0usize;
                 loop {
+                    if let Some(plan) = faults {
+                        plan.set_sweep(sweep);
+                    }
                     let mut delivered = false;
                     let mut pending_future = false;
                     for edge in edges.iter_mut() {
+                        if edge_dark(faults, edge.edge_id(), round) {
+                            continue;
+                        }
                         let pump = edge.pump(sweep)?;
                         delivered |= pump.delivered;
                         pending_future |= pump.pending_future;
@@ -905,16 +1061,25 @@ impl Federation {
                     }
                     sweep += 1;
                 }
-                // Phase 2: edges close their subtree rounds and forward.
-                // Every edge gets a summary slot so edge_summaries[i]
-                // always belongs to edge i, sampled or not.
+                // Phase 2: edges close their subtree rounds and forward —
+                // unless this is the round a scripted crash kills the edge:
+                // it dies here, mid-round, with its stash, and the root
+                // hears silence from the subtree. Every edge gets a summary
+                // slot so edge_summaries[i] always belongs to edge i.
                 let mut edge_summaries = Vec::new();
                 for edge in edges.iter_mut() {
-                    if edge.round_open() {
+                    let crashes_now = faults.as_ref().is_some_and(|plan| {
+                        plan.edge_crash(edge.edge_id())
+                            .is_some_and(|(crash, _)| crash == round)
+                    });
+                    if crashes_now {
+                        edge.crash()?;
+                    }
+                    if !crashes_now && edge.round_open() {
                         edge_summaries.push(edge.close_and_forward()?);
                     } else {
                         edge_summaries.push(RoundSummary {
-                            round: server.round(),
+                            round,
                             participants: Vec::new(),
                             reporters: Vec::new(),
                             stragglers: Vec::new(),
@@ -925,46 +1090,97 @@ impl Federation {
                         });
                     }
                 }
-                // Phase 3: the root unwraps the combined frames.
+                // Phase 3: the root unwraps the combined frames. The sweep
+                // clock keeps ticking from phase 1 so fault wrappers on the
+                // uplinks release their held/retransmitted frames; a second
+                // combined frame from an origin already folded (a duplicated
+                // uplink frame) is refused wholesale, first-wins.
                 let mut shielded_bytes = 0usize;
+                let mut folded_origins: std::collections::BTreeSet<usize> =
+                    std::collections::BTreeSet::new();
                 loop {
+                    if let Some(plan) = faults {
+                        plan.set_sweep(sweep);
+                    }
                     let mut delivered = false;
+                    let mut pending_future = false;
                     for uplink in uplinks.iter_mut() {
-                        let Some(message) = uplink.recv()? else {
-                            continue;
-                        };
-                        delivered = true;
-                        match message {
-                            Message::AggregateUpdate { members, .. } => {
-                                for member in members {
-                                    let wrapped = Message::Update {
-                                        update: member.update,
-                                        shielded: member.shielded,
-                                    };
-                                    let (wrapped, sealed) = reassemble(
-                                        server.parameters(),
-                                        server_shield.as_ref(),
-                                        wrapped,
-                                    )?;
-                                    shielded_bytes += sealed;
-                                    for response in server.deliver(&wrapped) {
-                                        uplink.send(&response)?;
+                        match uplink.recv_checked()? {
+                            Delivery::Empty => {
+                                pending_future |= uplink.has_pending();
+                                continue;
+                            }
+                            Delivery::Frame(message) => {
+                                delivered = true;
+                                match message {
+                                    Message::AggregateUpdate {
+                                        origin,
+                                        round: frame_round,
+                                        members,
+                                    } => {
+                                        if !folded_origins.insert(origin) {
+                                            uplink.send(&Message::Nack {
+                                                client_id: origin,
+                                                round: frame_round,
+                                                reason: NackReason::Duplicate,
+                                            })?;
+                                            continue;
+                                        }
+                                        for member in members {
+                                            let wrapped = Message::Update {
+                                                update: member.update,
+                                                shielded: member.shielded,
+                                            };
+                                            let (wrapped, sealed) = reassemble(
+                                                server.parameters(),
+                                                server_shield.as_ref(),
+                                                wrapped,
+                                            )?;
+                                            shielded_bytes += sealed;
+                                            for response in server.deliver(&wrapped) {
+                                                uplink.send(&response)?;
+                                            }
+                                        }
+                                    }
+                                    other => {
+                                        for response in server.deliver(&other) {
+                                            uplink.send(&response)?;
+                                        }
                                     }
                                 }
                             }
-                            other => {
-                                for response in server.deliver(&other) {
+                            Delivery::Faulted {
+                                sender,
+                                round: frame_round,
+                                lost,
+                            } => {
+                                delivered = true;
+                                let responses = if lost {
+                                    vec![Message::Nack {
+                                        client_id: sender,
+                                        round: frame_round,
+                                        reason: NackReason::CorruptFrame,
+                                    }]
+                                } else {
+                                    server.deliver_corrupt(sender, frame_round)
+                                };
+                                for response in responses {
                                     uplink.send(&response)?;
                                 }
                             }
                         }
+                        pending_future |= uplink.has_pending();
                     }
-                    if !delivered {
+                    if !delivered && !pending_future {
                         break;
                     }
+                    sweep += 1;
                 }
                 // Phase 4: edges relay the root's refusals to their members.
                 for edge in edges.iter_mut() {
+                    if edge_dark(faults, edge.edge_id(), round) {
+                        continue;
+                    }
                     edge.pump_downstream()?;
                 }
                 Ok((shielded_bytes, edge_summaries, 0))
@@ -974,6 +1190,9 @@ impl Federation {
                 // control traffic over the coordinator links.
                 let mut sweep = 0usize;
                 loop {
+                    if let Some(plan) = faults {
+                        plan.set_sweep(sweep);
+                    }
                     let pump = mesh.pump_collect(sweep)?;
                     for (peer, message) in pump.control {
                         for response in server.deliver(&message) {

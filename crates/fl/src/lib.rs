@@ -59,12 +59,31 @@
 //!   aggregator hop, which forwards blobs it cannot open; byte accounting
 //!   is surfaced per round next to the core `ShieldReport`.
 //!
+//! * **Fault model** — a [`FaultConfig`] attached to the scenario (see
+//!   [`mod@fault`]) wraps every runtime-side link in a deterministic chaos
+//!   shim: data frames can be dropped, duplicated, reordered within a
+//!   window, corrupted (caught by the wire checksum and surfaced as
+//!   [`Delivery::Faulted`]) or stalled behind a link partition, and
+//!   scripted [`CrashPoint`]s take a client seat or an [`EdgeAggregator`]
+//!   dark mid-round. Recovery is in-protocol: a faulted `Update` or
+//!   `AggregateUpdate` draws a [`NackReason::CorruptFrame`] refusal (a
+//!   *delivered* corrupt frame burns the straggler deadline like any other
+//!   delivery; a lost one does not), which triggers bounded retransmission
+//!   at the wrapper; a duplicated frame is refused first-wins with
+//!   [`NackReason::Duplicate`] and never folds twice; a crashed edge
+//!   aborts its subtree round (degrading through the quorum/withholding
+//!   path) and re-syncs from a root [`RoundCheckpoint`] on rejoin. All
+//!   faults are scheduled in rounds and delivery sweeps and drawn from the
+//!   plan's seed — never wall clock — so a faulted run replays
+//!   bit-identically.
+//!
 //! The [`Federation`] runtime wires all of this together: parallel local
 //! work on the shared compute pool, deterministic delivery sweeps, and
 //! central evaluation. Determinism contract: for a fixed scenario —
 //! including any mix of adversaries, dropouts, latency schedules, robust
-//! rules and topologies — the global model is bit-identical across repeats,
-//! across transports and at any `PELTA_THREADS`.
+//! rules, topologies and injected fault plans — the global model is
+//! bit-identical across repeats, across transports and at any
+//! `PELTA_THREADS`.
 //!
 //! # Example
 //!
@@ -102,6 +121,7 @@
 
 mod client;
 mod error;
+pub mod fault;
 mod federation;
 mod malicious;
 mod message;
@@ -118,6 +138,7 @@ pub use client::{
     ClientAgent, FederationAgent, FlClient, LocalTrainingReport, StepOutcome,
 };
 pub use error::FlError;
+pub use fault::{CrashPoint, CrashTarget, FaultConfig, FaultPlan, FaultStats};
 pub use federation::{ClientSchedule, Federation, FederationConfig, RoundRecord, RunHistory};
 pub use malicious::{AttackKind, CompromisedClient, EvasionReport, FreeRiderAgent, ProbingAgent};
 pub use message::{GlobalModel, MemberUpdate, Message, ModelUpdate, NackReason, PROTOCOL_VERSION};
@@ -126,11 +147,11 @@ pub use poisoning::{
 };
 pub use robust::{aggregate_with_rule, AggregationFold, AggregationRule, RobustAggregator};
 pub use scenario::{AgentRole, RoleAssignment, ScenarioSpec};
-pub use server::{FedAvgServer, ParticipationPolicy, RoundPhase, RoundSummary};
+pub use server::{FedAvgServer, ParticipationPolicy, RoundCheckpoint, RoundPhase, RoundSummary};
 pub use shielded::{ShieldedTransferReport, ShieldedUpdateChannel};
 pub use topology::{EdgeAggregator, EdgePump, Topology};
 pub use transport::{
-    BroadcastFrame, InMemoryTransport, SerializedTransport, Transport, TransportKind,
+    BroadcastFrame, Delivery, InMemoryTransport, SerializedTransport, Transport, TransportKind,
 };
 
 /// Convenience alias for results returned throughout this crate.

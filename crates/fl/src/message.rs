@@ -138,10 +138,15 @@ pub enum NackReason {
     StragglerDeadline,
     /// The client was not sampled into (or registered for) this round.
     NotParticipating,
-    /// The client already reported this round.
-    DuplicateUpdate,
+    /// A frame for this round was already accepted from the sender
+    /// (first-wins: a duplicated or replayed frame is refused, never folded
+    /// twice).
+    Duplicate,
     /// The update failed schema or attestation validation.
     Rejected(String),
+    /// The frame did not survive the link: it was lost or failed the wire
+    /// checksum. Receiving this Nack is the retransmission trigger.
+    CorruptFrame,
 }
 
 impl std::fmt::Display for NackReason {
@@ -150,8 +155,9 @@ impl std::fmt::Display for NackReason {
             NackReason::StaleRound => write!(f, "stale round"),
             NackReason::StragglerDeadline => write!(f, "straggler deadline passed"),
             NackReason::NotParticipating => write!(f, "client not participating this round"),
-            NackReason::DuplicateUpdate => write!(f, "duplicate update"),
+            NackReason::Duplicate => write!(f, "duplicate frame"),
             NackReason::Rejected(reason) => write!(f, "rejected: {reason}"),
+            NackReason::CorruptFrame => write!(f, "frame lost or corrupted on the link"),
         }
     }
 }
@@ -293,8 +299,9 @@ impl Message {
                     NackReason::StaleRound => (0, ""),
                     NackReason::StragglerDeadline => (1, ""),
                     NackReason::NotParticipating => (2, ""),
-                    NackReason::DuplicateUpdate => (3, ""),
+                    NackReason::Duplicate => (3, ""),
                     NackReason::Rejected(detail) => (4, detail.as_str()),
+                    NackReason::CorruptFrame => (5, ""),
                 };
                 out.push(tag);
                 put_str(&mut out, detail);
@@ -383,8 +390,9 @@ impl Message {
                     0 => NackReason::StaleRound,
                     1 => NackReason::StragglerDeadline,
                     2 => NackReason::NotParticipating,
-                    3 => NackReason::DuplicateUpdate,
+                    3 => NackReason::Duplicate,
                     4 => NackReason::Rejected(detail),
+                    5 => NackReason::CorruptFrame,
                     other => {
                         return Err(FlError::Wire {
                             reason: format!("unknown nack reason tag {other}"),
@@ -720,6 +728,16 @@ mod tests {
                 client_id: 4,
                 round: 2,
                 reason: NackReason::Rejected("schema".to_string()),
+            },
+            Message::Nack {
+                client_id: 5,
+                round: 2,
+                reason: NackReason::Duplicate,
+            },
+            Message::Nack {
+                client_id: 6,
+                round: 2,
+                reason: NackReason::CorruptFrame,
             },
         ]
     }

@@ -113,6 +113,14 @@ impl ScenarioSpec {
         self
     }
 
+    /// Injects a deterministic fault plan into every runtime-side link
+    /// (builder style) — see [`crate::fault`].
+    #[must_use]
+    pub fn with_faults(mut self, faults: crate::FaultConfig) -> Self {
+        self.federation.faults = Some(faults);
+        self
+    }
+
     /// Where the adversarial seats sit in a hierarchical topology: the
     /// `(client_id, edge_id)` placement of every non-honest role. Empty for
     /// star and gossip topologies (and for all-honest populations) — there

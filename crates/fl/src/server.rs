@@ -111,6 +111,19 @@ pub struct RoundSummary {
     pub update_bytes: usize,
 }
 
+/// The durable state a recovering aggregator re-syncs from: the round it
+/// must rejoin at and the global parameters to re-anchor to. Produced by
+/// [`FedAvgServer::checkpoint`] at the consensus point; consumed by
+/// [`FedAvgServer::restore`] (directly, or through
+/// [`crate::EdgeAggregator::resync`] for a crashed edge).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundCheckpoint {
+    /// The round the checkpoint was taken at.
+    pub round: usize,
+    /// The global parameters at that round.
+    pub parameters: Vec<(String, Tensor)>,
+}
+
 /// The trusted federated-learning server of Fig. 1: it never sees raw client
 /// data, only model updates, which it combines with federated averaging
 /// (McMahan et al.) weighted by each client's sample count and renormalised
@@ -232,6 +245,12 @@ impl FedAvgServer {
         self.phase
     }
 
+    /// Messages delivered so far in the open round (the straggler-deadline
+    /// counter); resets when a round opens.
+    pub fn delivered_messages(&self) -> usize {
+        self.delivered
+    }
+
     /// The participation policy in force.
     pub fn policy(&self) -> ParticipationPolicy {
         self.policy
@@ -277,6 +296,44 @@ impl FedAvgServer {
             round: self.round,
             parameters: self.parameters.clone(),
         }
+    }
+
+    /// Snapshots the server's durable state — the round counter and the
+    /// global parameters. Everything else (the open round's fold, reorder
+    /// window, accounting) is per-round and deliberately *not* part of the
+    /// checkpoint: a crash loses the round in flight, never the model.
+    pub fn checkpoint(&self) -> RoundCheckpoint {
+        RoundCheckpoint {
+            round: self.round,
+            parameters: self.parameters.clone(),
+        }
+    }
+
+    /// Restores a checkpoint into a server that crashed and rejoined:
+    /// re-anchors the parameters and fast-forwards the round counter to the
+    /// coordinator's. Forward-only — a checkpoint can never rewind a server
+    /// past rounds it already folded, which would fork the replay.
+    ///
+    /// # Errors
+    /// Returns an error if a round is open or the checkpoint is older than
+    /// the server's round.
+    pub fn restore(&mut self, checkpoint: &RoundCheckpoint) -> Result<()> {
+        if self.phase != RoundPhase::Broadcasting {
+            return Err(FlError::InvalidConfig {
+                reason: format!("restore in phase {:?}", self.phase),
+            });
+        }
+        if checkpoint.round < self.round {
+            return Err(FlError::InvalidConfig {
+                reason: format!(
+                    "checkpoint round {} is behind the server round {}",
+                    checkpoint.round, self.round
+                ),
+            });
+        }
+        self.parameters = checkpoint.parameters.clone();
+        self.round = checkpoint.round;
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -459,7 +516,7 @@ impl FedAvgServer {
             return nack(NackReason::NotParticipating);
         }
         if self.reporters.contains(&update.client_id) {
-            return nack(NackReason::DuplicateUpdate);
+            return nack(NackReason::Duplicate);
         }
         let deadline = self.policy.straggler_deadline;
         if deadline != 0 && self.delivered > deadline && self.reporters.len() >= self.policy.quorum
@@ -480,6 +537,25 @@ impl FedAvgServer {
         self.pending.insert(update.client_id, update.clone());
         self.advance_fold();
         Vec::new()
+    }
+
+    /// Accounts a frame that arrived *damaged* mid-round — the link
+    /// delivered bytes, the wire checksum refused them (see
+    /// [`crate::Delivery::Faulted`]). The delivery burns a
+    /// straggler-deadline slot exactly like any intact delivery (damaged
+    /// bytes consumed server time), and the sender is answered with a
+    /// [`NackReason::CorruptFrame`] refusal — the retransmission trigger.
+    /// The round is never aborted: if the frame's sender stays silent, the
+    /// quorum / straggler path accounts for it.
+    pub fn deliver_corrupt(&mut self, client_id: usize, round: usize) -> Vec<Message> {
+        if self.phase == RoundPhase::Collecting {
+            self.delivered += 1;
+        }
+        vec![Message::Nack {
+            client_id,
+            round,
+            reason: NackReason::CorruptFrame,
+        }]
     }
 
     /// Drains the reorder window into the fold: the smallest pending update
@@ -805,19 +881,65 @@ mod tests {
                 ..
             }
         ));
-        // Duplicate after a good update.
+        // Duplicate after a good update: first-wins, the replay is refused
+        // and the accepted bits are never folded twice.
         assert!(server.deliver(&update_message(0, 0, 5, 1.0)).is_empty());
         let refused = server.deliver(&update_message(0, 0, 5, 1.0));
         assert!(matches!(
             refused[0],
             Message::Nack {
-                reason: NackReason::DuplicateUpdate,
+                reason: NackReason::Duplicate,
                 ..
             }
         ));
+        // A damaged delivery is refused with CorruptFrame, burns a delivered
+        // slot, and never aborts the round.
+        let delivered_before = server.delivered_messages();
+        let refused = server.deliver_corrupt(1, 0);
+        assert!(matches!(
+            refused[0],
+            Message::Nack {
+                client_id: 1,
+                round: 0,
+                reason: NackReason::CorruptFrame,
+            }
+        ));
+        assert_eq!(server.delivered_messages(), delivered_before + 1);
+        assert_eq!(server.phase(), RoundPhase::Collecting);
         // A RoundStart delivered *to* the server is a protocol violation.
         let refused = server.deliver(&Message::RoundEnd { round: 0 });
         assert!(matches!(refused[0], Message::Nack { .. }));
+    }
+
+    #[test]
+    fn checkpoint_restore_fast_forwards_a_rejoining_server() {
+        let mut server = FedAvgServer::new(named(0.0));
+        server.deliver(&Message::Join { client_id: 0 });
+        server.begin_round(&mut rng()).unwrap();
+        server.deliver(&update_message(0, 0, 5, 2.0));
+        server.close_round().unwrap();
+        let checkpoint = server.checkpoint();
+        assert_eq!(checkpoint.round, 1);
+
+        // A replacement replica restores and lands exactly on the
+        // coordinator's round and parameter bits.
+        let mut replica = FedAvgServer::new(named(9.9));
+        replica.restore(&checkpoint).unwrap();
+        assert_eq!(replica.round(), 1);
+        assert_eq!(
+            replica.parameters()[0].1.data()[0].to_bits(),
+            server.parameters()[0].1.data()[0].to_bits()
+        );
+        // Forward-only: an older checkpoint is refused.
+        let stale = RoundCheckpoint {
+            round: 0,
+            parameters: checkpoint.parameters.clone(),
+        };
+        assert!(replica.restore(&stale).is_err());
+        // And never mid-round.
+        replica.deliver(&Message::Join { client_id: 0 });
+        replica.begin_round(&mut rng()).unwrap();
+        assert!(replica.restore(&checkpoint).is_err());
     }
 
     #[test]

@@ -49,10 +49,10 @@ use pelta_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
 use crate::robust::{aggregate_with_rule, validate_update_schema};
-use crate::server::RoundSummary;
+use crate::server::{RoundCheckpoint, RoundSummary};
 use crate::{
-    AggregationRule, BroadcastFrame, FedAvgServer, FlError, MemberUpdate, Message, ModelUpdate,
-    NackReason, ParticipationPolicy, Result, Transport, TransportKind,
+    AggregationRule, BroadcastFrame, Delivery, FedAvgServer, FlError, MemberUpdate, Message,
+    ModelUpdate, NackReason, ParticipationPolicy, Result, Transport, TransportKind,
 };
 
 /// How a federation routes updates to the consensus point.
@@ -404,12 +404,46 @@ impl EdgeAggregator {
                 outcome.pending_future = true;
                 continue;
             }
-            let Some(message) = self.members[index].link.recv()? else {
-                drained.push(index);
-                continue;
-            };
-            outcome.delivered = true;
-            self.route_upward(index, message)?;
+            match self.members[index].link.recv_checked()? {
+                Delivery::Empty => {
+                    if self.members[index].link.has_pending() {
+                        // A fault wrapper is holding traffic (reorder,
+                        // partition, scheduled retransmission) for a later
+                        // sweep — the seat stays active.
+                        outcome.pending_future = true;
+                    } else {
+                        drained.push(index);
+                    }
+                    continue;
+                }
+                Delivery::Frame(message) => {
+                    outcome.delivered = true;
+                    self.route_upward(index, message)?;
+                }
+                Delivery::Faulted {
+                    sender,
+                    round,
+                    lost,
+                } => {
+                    outcome.delivered = true;
+                    // A damaged delivery burns the edge's straggler budget
+                    // like any delivered frame; a frame lost outright does
+                    // not — nothing arrived. Either way the sender gets the
+                    // CorruptFrame refusal that triggers retransmission.
+                    let responses = if lost {
+                        vec![Message::Nack {
+                            client_id: sender,
+                            round,
+                            reason: NackReason::CorruptFrame,
+                        }]
+                    } else {
+                        self.server.deliver_corrupt(sender, round)
+                    };
+                    for response in responses {
+                        self.members[index].link.send(&response)?;
+                    }
+                }
+            }
             if !self.members[index].link.has_pending() {
                 drained.push(index);
             }
@@ -535,6 +569,58 @@ impl EdgeAggregator {
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// Kills the edge mid-round: the subtree round in flight is lost. The
+    /// state machine aborts (its parameters and round counter survive, as
+    /// a real edge's durable store would), the stash and every queued
+    /// member/uplink frame die with the process, and nothing is forwarded
+    /// upstream — the root sees silence from this subtree and degrades
+    /// through its quorum/withholding path.
+    ///
+    /// # Errors
+    /// Returns an error if a transport fails or the abort is refused.
+    pub fn crash(&mut self) -> Result<()> {
+        if self.open {
+            self.open = false;
+            self.server.abort_round()?;
+        }
+        // The crashed edge never served the round in flight: no RoundEnd
+        // relay may reach its members for it.
+        self.round = None;
+        self.stash.clear();
+        self.active = None;
+        for member in &self.members {
+            while member.link.recv()?.is_some() {}
+        }
+        while self.uplink.recv()?.is_some() {}
+        Ok(())
+    }
+
+    /// Re-handshakes a crashed edge back into the federation from the
+    /// coordinator's [`RoundCheckpoint`]: traffic queued while the edge was
+    /// dark is discarded (it belongs to rounds the edge missed), and the
+    /// subtree state machine re-anchors to the checkpointed round and
+    /// parameters — forward-only — so the next [`EdgeAggregator::open_round`]
+    /// lands exactly where the federation is, with the streaming-fold
+    /// reorder window starting from a clean (empty) state.
+    ///
+    /// # Errors
+    /// Returns an error if a round is open, the checkpoint would rewind the
+    /// subtree, or a transport fails.
+    pub fn resync(&mut self, checkpoint: &RoundCheckpoint) -> Result<()> {
+        if self.open {
+            return Err(FlError::InvalidConfig {
+                reason: format!("edge {} cannot resync with an open round", self.edge_id),
+            });
+        }
+        for member in &self.members {
+            while member.link.recv()?.is_some() {}
+        }
+        while self.uplink.recv()?.is_some() {}
+        self.stash.clear();
+        self.active = None;
+        self.server.restore(checkpoint)
     }
 
     /// Relays downstream traffic from the root: a [`Message::Nack`] goes to
@@ -766,9 +852,37 @@ impl GossipMesh {
                 outcome.pending_future = true;
                 continue;
             }
-            let Some(message) = peer.coordinator.recv()? else {
-                drained.push(index);
-                continue;
+            let message = match peer.coordinator.recv_checked()? {
+                Delivery::Empty => {
+                    if peer.coordinator.has_pending() {
+                        // A fault wrapper is holding traffic for a later
+                        // sweep — the peer stays active.
+                        outcome.pending_future = true;
+                    } else {
+                        drained.push(index);
+                    }
+                    continue;
+                }
+                Delivery::Faulted {
+                    round: faulted_round,
+                    ..
+                } => {
+                    outcome.delivered = true;
+                    // The daemon knows whose link it is: the refusal is
+                    // addressed to the peer itself (never the id inside a
+                    // damaged frame) and doubles as the retransmission
+                    // trigger at the fault wrapper.
+                    peer.coordinator.send(&Message::Nack {
+                        client_id: peer.id,
+                        round: faulted_round,
+                        reason: NackReason::CorruptFrame,
+                    })?;
+                    if !peer.coordinator.has_pending() {
+                        drained.push(index);
+                    }
+                    continue;
+                }
+                Delivery::Frame(message) => message,
             };
             outcome.delivered = true;
             if !peer.coordinator.has_pending() {

@@ -96,6 +96,34 @@ impl BroadcastFrame {
     }
 }
 
+/// What one [`Transport::recv_checked`] call observed on the link.
+///
+/// The healthy transports only ever produce [`Delivery::Empty`] and
+/// [`Delivery::Frame`]; [`Delivery::Faulted`] is how a fault-injecting
+/// wrapper (see [`crate::fault`]) surfaces a frame that was lost or failed
+/// its wire checksum *without* aborting the receiver's pump loop — the
+/// runtime turns it into a [`crate::NackReason::CorruptFrame`] refusal,
+/// which in turn triggers the wrapper's bounded retransmission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Delivery {
+    /// Nothing was waiting on the link.
+    Empty,
+    /// A frame arrived intact.
+    Frame(Message),
+    /// A frame arrived damaged (checksum-caught) or was lost on the link.
+    Faulted {
+        /// The sender the damaged frame claimed (client seat or edge
+        /// origin) — the addressee of the resulting `CorruptFrame` Nack.
+        sender: usize,
+        /// The round the damaged frame belonged to.
+        round: usize,
+        /// `true` if the frame vanished entirely (nothing was delivered, so
+        /// it must not burn a straggler-deadline slot); `false` if damaged
+        /// bytes were delivered and caught by the checksum.
+        lost: bool,
+    },
+}
+
 /// One endpoint of a duplex message link (see the module docs).
 pub trait Transport: Send {
     /// Queues a message for the peer endpoint (ordered, reliable).
@@ -122,6 +150,28 @@ pub trait Transport: Send {
     /// Returns [`crate::FlError::Wire`] if an incoming frame fails to decode
     /// or verify.
     fn recv(&self) -> Result<Option<Message>>;
+
+    /// Pops the next delivery, distinguishing faulted frames from intact
+    /// ones. The healthy transports never fault, so the default simply
+    /// lifts [`Transport::recv`] into [`Delivery`]; fault-injecting
+    /// wrappers override it.
+    ///
+    /// # Errors
+    /// Returns [`crate::FlError::Wire`] if an incoming frame fails to decode
+    /// outside the injected-fault path.
+    fn recv_checked(&self) -> Result<Delivery> {
+        Ok(match self.recv()? {
+            Some(message) => Delivery::Frame(message),
+            None => Delivery::Empty,
+        })
+    }
+
+    /// Whether the link is holding traffic it will only release in a later
+    /// sweep (reorder holds, partition windows, scheduled retransmissions).
+    /// Healthy transports deliver eagerly and are never stalled.
+    fn stalled(&self) -> bool {
+        false
+    }
 
     /// Whether a message from the peer is waiting.
     fn has_pending(&self) -> bool;

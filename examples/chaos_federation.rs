@@ -1,0 +1,175 @@
+//! A guided chaos tour: one hierarchical federation survives a scripted
+//! fault plan — lossy, duplicating, corrupting, partitioning links, a
+//! client seat that crashes mid-round, and an edge aggregator that dies and
+//! re-syncs from the root's round checkpoint.
+//!
+//! Every fault is drawn from the seeded [`FaultConfig`], never from wall
+//! clock, so this exact tour — including which frames are lost and which
+//! retransmissions recover them — replays bit-identically on every run.
+//! The example prints the per-round accounting (who reported, which
+//! subtree went dark) followed by the fault counters, and finishes by
+//! re-running the whole federation to demonstrate the replay contract.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example chaos_federation
+//! ```
+
+use std::error::Error;
+
+use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
+use pelta_fl::{
+    CrashPoint, CrashTarget, FaultConfig, FaultStats, Federation, FederationConfig,
+    ParticipationPolicy, ScenarioSpec, Topology, TransportKind,
+};
+use pelta_models::TrainingConfig;
+use pelta_tensor::SeedStream;
+
+const SEED: u64 = 0xC4A0;
+const ROUNDS: usize = 5;
+
+/// The scripted chaos: every link fault class live at once, client seat 1
+/// dark in rounds 1–2, and edge aggregator 1 crashing mid-round 2 before
+/// re-syncing from the root checkpoint in round 4.
+fn chaos() -> FaultConfig {
+    FaultConfig {
+        seed: 0xBAD_CAFE,
+        drop: 0.05,
+        duplicate: 0.08,
+        corrupt: 0.10,
+        reorder: 0.10,
+        reorder_window: 2,
+        partition: 0.15,
+        partition_sweeps: 2,
+        max_retransmits: 2,
+        crashes: vec![
+            CrashPoint {
+                target: CrashTarget::Seat { seat: 1 },
+                crash_round: 1,
+                rejoin_round: 3,
+            },
+            CrashPoint {
+                target: CrashTarget::Edge { edge: 1 },
+                crash_round: 2,
+                rejoin_round: 4,
+            },
+        ],
+    }
+}
+
+fn scenario() -> ScenarioSpec {
+    ScenarioSpec::honest(FederationConfig {
+        clients: 4,
+        rounds: ROUNDS,
+        local_training: TrainingConfig {
+            epochs: 1,
+            batch_size: 8,
+            learning_rate: 0.02,
+            momentum: 0.9,
+        },
+        eval_samples: 10,
+        transport: TransportKind::Serialized,
+        policy: ParticipationPolicy {
+            quorum: 1,
+            sample: 0,
+            straggler_deadline: 0,
+        },
+        ..FederationConfig::default()
+    })
+    .with_topology(Topology::hierarchical(vec![vec![0, 2], vec![1, 3]]))
+    .with_faults(chaos())
+}
+
+/// Per-round reporters, final global bits and fault counters of one run.
+type TourTrace = (Vec<Vec<usize>>, Vec<u32>, FaultStats);
+
+/// One full faulted run; returns the per-round reporters, the final global
+/// bits and the fault counters so the caller can check the replay.
+fn tour(dataset: &Dataset) -> Result<TourTrace, Box<dyn Error>> {
+    let mut seeds = SeedStream::new(SEED);
+    let mut federation =
+        Federation::vit_scenario(dataset, &scenario(), Partition::Iid, &mut seeds)?;
+    let history = federation.run(&mut seeds)?;
+
+    let mut reporters = Vec::new();
+    for record in &history.rounds {
+        let summary = &record.summary;
+        let edge1 = &record.edge_summaries[1];
+        let note = match summary.round {
+            1 => "  <- seat 1 crashes: its reply is lost on the wire",
+            2 => "  <- edge 1 crashes mid-round: subtree withheld",
+            3 => "  <- seat 1 back; edge 1 still dark",
+            4 => "  <- edge 1 re-synced from the root checkpoint",
+            _ => "",
+        };
+        println!(
+            "round {}: reporters {:?}, stragglers {:?}, edge-1 subtree {:?}{}",
+            summary.round, summary.reporters, summary.stragglers, edge1.reporters, note
+        );
+        reporters.push(summary.reporters.clone());
+    }
+
+    let stats = federation
+        .fault_stats()
+        .expect("the scenario configured a fault plan");
+    let bits = federation
+        .server()
+        .parameters()
+        .iter()
+        .flat_map(|(_, tensor)| tensor.data().iter().map(|v| v.to_bits()))
+        .collect();
+    Ok((reporters, bits, stats))
+}
+
+/// Example body, also driven by `tests/examples_smoke.rs`.
+pub fn run() -> Result<(), Box<dyn Error>> {
+    let dataset = Dataset::generate(
+        DatasetSpec::Cifar10Like,
+        &GeneratorConfig {
+            train_samples: 32,
+            test_samples: 10,
+            ..GeneratorConfig::default()
+        },
+        SEED,
+    );
+
+    println!("== chaos tour: 4 seats, 2 edges, every fault class live ==");
+    let (reporters, bits, stats) = tour(&dataset)?;
+
+    // The scripted outages actually bit.
+    assert!(
+        !reporters[1].contains(&1) && !reporters[2].contains(&1),
+        "crashed seat 1 must stay dark in rounds 1-2"
+    );
+    println!(
+        "\nfault counters: {} dropped, {} duplicated, {} corrupted, {} reordered, \
+         {} partitions, {} retransmissions ({} recovered), {} crash-suppressed",
+        stats.dropped,
+        stats.duplicated,
+        stats.corrupted,
+        stats.reordered,
+        stats.partitions,
+        stats.retransmissions,
+        stats.recoveries,
+        stats.suppressed
+    );
+
+    // The replay contract: the same seeds reproduce the same chaos and the
+    // same global model, bit for bit.
+    println!("\n== replaying the identical fault schedule ==");
+    let (replay_reporters, replay_bits, replay_stats) = tour(&dataset)?;
+    assert_eq!(replay_reporters, reporters, "reporter schedule diverged");
+    assert_eq!(replay_stats, stats, "fault counters diverged");
+    let diffs = bits
+        .iter()
+        .zip(&replay_bits)
+        .filter(|(a, b)| a != b)
+        .count();
+    assert_eq!(diffs, 0, "global model bits diverged on replay");
+    println!("replay is bit-identical: 0 differing parameter bits");
+    Ok(())
+}
+
+fn main() {
+    run().expect("chaos_federation example should run to completion");
+}

@@ -27,6 +27,10 @@ mod robust_federation;
 #[allow(dead_code)]
 mod hierarchical_federation;
 
+#[path = "../examples/chaos_federation.rs"]
+#[allow(dead_code)]
+mod chaos_federation;
+
 #[test]
 fn quickstart_example_runs() {
     quickstart::run().expect("quickstart example should run to completion");
@@ -51,4 +55,9 @@ fn robust_federation_example_runs() {
 fn hierarchical_federation_example_runs() {
     hierarchical_federation::run()
         .expect("hierarchical_federation example should run to completion");
+}
+
+#[test]
+fn chaos_federation_example_runs() {
+    chaos_federation::run().expect("chaos_federation example should run to completion");
 }

@@ -25,9 +25,10 @@ use proptest::prelude::*;
 
 use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
 use pelta_fl::{
-    backdoor_success_rate, AgentRole, AggregationRule, BroadcastFrame, EdgeAggregator,
-    FedAvgServer, Federation, FederationConfig, Message, ModelUpdate, ParticipationPolicy,
-    RobustAggregator, ScenarioSpec, Topology, Transport, TransportKind, TrojanTrigger,
+    backdoor_success_rate, AgentRole, AggregationRule, BroadcastFrame, Delivery, EdgeAggregator,
+    FaultConfig, FaultPlan, FedAvgServer, Federation, FederationConfig, FlError, Message,
+    ModelUpdate, NackReason, ParticipationPolicy, RobustAggregator, ScenarioSpec, Topology,
+    Transport, TransportKind, TrojanTrigger,
 };
 use pelta_models::{accuracy, TrainingConfig};
 use pelta_tensor::{pool, SeedStream, Tensor};
@@ -226,6 +227,123 @@ fn aggregate_hierarchical(
     bits(root.parameters())
 }
 
+/// One faulted in-protocol round: every runtime-side link end is wrapped by
+/// the fault plan, and delivery runs the runtime's sweep discipline —
+/// `recv_checked`, `Faulted` answered with the `CorruptFrame` refusal that
+/// triggers retransmission, sweeps continuing while any wrapper holds
+/// traffic. Returns the aggregate bits, the reporters that survived the
+/// faults, and every Nack the agents were sent (rendered `id:reason`).
+type FaultedAggregate = (Vec<(String, Vec<u32>)>, Vec<usize>, Vec<String>);
+
+fn aggregate_with_faults(
+    updates: &[ModelUpdate],
+    rule: AggregationRule,
+    kind: TransportKind,
+    faults: &FaultConfig,
+) -> FaultedAggregate {
+    let plan = FaultPlan::new(faults.clone()).unwrap();
+    let mut server = FedAvgServer::with_rule(
+        initial_for(updates),
+        ParticipationPolicy {
+            quorum: rule.min_updates(),
+            sample: 0,
+            straggler_deadline: 0,
+        },
+        rule,
+    )
+    .unwrap();
+    let links: Vec<_> = (0..updates.len())
+        .map(|id| {
+            let (client_end, server_end) = kind.duplex();
+            (client_end, plan.wrap_seat(id, server_end))
+        })
+        .collect();
+    // Joins are delivered out-of-band: a partition window opening at sweep
+    // 0 may legitimately delay even control traffic, and this harness pins
+    // the *round's* fault schedule, not the handshake's.
+    for id in 0..updates.len() {
+        server.deliver(&Message::Join { client_id: id });
+    }
+    let mut rng = SeedStream::new(17).derive("round");
+    server.begin_round(&mut rng).unwrap();
+    plan.begin_round(0);
+    for (update, (client_end, _)) in updates.iter().zip(links.iter()) {
+        client_end
+            .send(&Message::Update {
+                update: update.clone(),
+                shielded: Vec::new(),
+            })
+            .unwrap();
+    }
+    let mut nacks = Vec::new();
+    let mut sweep = 0usize;
+    loop {
+        plan.set_sweep(sweep);
+        let mut delivered = false;
+        for (_, server_end) in &links {
+            loop {
+                match server_end.recv_checked().unwrap() {
+                    Delivery::Empty => break,
+                    Delivery::Frame(message) => {
+                        delivered = true;
+                        for response in server.deliver(&message) {
+                            if let Message::Nack {
+                                client_id, reason, ..
+                            } = &response
+                            {
+                                nacks.push(format!("{client_id}:{reason}"));
+                            }
+                            server_end.send(&response).unwrap();
+                        }
+                    }
+                    Delivery::Faulted {
+                        sender,
+                        round,
+                        lost,
+                    } => {
+                        delivered = true;
+                        let responses = if lost {
+                            vec![Message::Nack {
+                                client_id: sender,
+                                round,
+                                reason: NackReason::CorruptFrame,
+                            }]
+                        } else {
+                            server.deliver_corrupt(sender, round)
+                        };
+                        for response in responses {
+                            if let Message::Nack {
+                                client_id, reason, ..
+                            } = &response
+                            {
+                                nacks.push(format!("{client_id}:{reason}"));
+                            }
+                            server_end.send(&response).unwrap();
+                        }
+                    }
+                }
+            }
+        }
+        let pending = links.iter().any(|(_, server_end)| server_end.has_pending());
+        if !delivered && !pending {
+            break;
+        }
+        sweep += 1;
+        assert!(sweep < 10_000, "faulted delivery failed to quiesce");
+    }
+    let reporters = match server.close_round() {
+        Ok(summary) => summary.reporters,
+        Err(FlError::QuorumNotMet { .. }) => {
+            // Every frame died: the round starves through the quorum path,
+            // never through a panic.
+            server.abort_round().unwrap();
+            Vec::new()
+        }
+        Err(error) => panic!("faulted round failed outside the quorum path: {error}"),
+    };
+    (bits(server.parameters()), reporters, nacks)
+}
+
 /// Maps a drawn per-client group label into a partition of `0..clients`
 /// (labels with no clients vanish; an empty draw collapses to one group).
 fn partition_from_labels(labels: &[usize], groups: usize) -> Vec<Vec<usize>> {
@@ -332,6 +450,116 @@ proptest! {
                 &reference
             );
         }
+    }
+
+    /// Random fault plans over random small rounds replay bit-identically —
+    /// same aggregate, same surviving reporters, same Nack traffic — across
+    /// repeats, both transports and `PELTA_THREADS` 1/4; and whatever
+    /// subset survives, the streamed fold equals a clean buffered aggregate
+    /// of exactly that subset (the reorder-window invariant holds under
+    /// faults).
+    #[test]
+    fn fault_plans_replay_bit_identically(
+        values in proptest::collection::vec(
+            proptest::collection::vec(-8.0f32..8.0, 8..13),
+            3..6,
+        ),
+        rates in proptest::collection::vec(0.0f32..0.24, 4),
+        reorder_window in 1usize..4,
+        partition in 0.0f32..0.3,
+        partition_sweeps in 1usize..3,
+        seed in 0u64..u64::MAX,
+        max_retransmits in 0usize..3,
+        max_norm in 0.1f32..4.0,
+    ) {
+        let width = values[0].len();
+        let values: Vec<Vec<f32>> = values
+            .into_iter()
+            .map(|mut row| { row.resize(width, 0.5); row })
+            .collect();
+        let updates = updates_from(&values);
+        let faults = FaultConfig {
+            seed,
+            drop: rates[0],
+            duplicate: rates[1],
+            corrupt: rates[2],
+            reorder: rates[3],
+            reorder_window,
+            partition,
+            partition_sweeps,
+            max_retransmits,
+            ..FaultConfig::default()
+        };
+        // The streaming rules: the fold-on-delivery path is where faulted
+        // delivery order could corrupt state if the reorder window broke.
+        for rule in [AggregationRule::FedAvg, AggregationRule::NormClipping { max_norm }] {
+            pool::set_global_threads(1);
+            let reference =
+                aggregate_with_faults(&updates, rule, TransportKind::InMemory, &faults);
+            // Replay and transport invariance.
+            prop_assert_eq!(
+                &aggregate_with_faults(&updates, rule, TransportKind::InMemory, &faults),
+                &reference
+            );
+            prop_assert_eq!(
+                &aggregate_with_faults(&updates, rule, TransportKind::Serialized, &faults),
+                &reference
+            );
+            // Thread-count invariance.
+            pool::set_global_threads(4);
+            prop_assert_eq!(
+                &aggregate_with_faults(&updates, rule, TransportKind::Serialized, &faults),
+                &reference
+            );
+            pool::set_global_threads(pool::env_threads());
+            // Whatever survived, the faulted streamed fold equals a clean
+            // buffered aggregate of exactly the surviving reporters.
+            let (faulted_bits, reporters, _) = &reference;
+            if !reporters.is_empty() {
+                let surviving: Vec<ModelUpdate> = updates
+                    .iter()
+                    .filter(|u| reporters.contains(&u.client_id))
+                    .cloned()
+                    .collect();
+                prop_assert_eq!(faulted_bits, &aggregate_call_level(&surviving, rule));
+            }
+        }
+    }
+}
+
+/// A duplicate-only fault plan cannot change the aggregate: every copy is
+/// refused first-wins with [`NackReason::Duplicate`], nothing folds twice,
+/// and the bits equal the fault-free aggregate — for the streaming rules
+/// *and* the buffering trimmed mean.
+#[test]
+fn duplicated_frames_never_double_fold() {
+    let values: Vec<Vec<f32>> = (0..4)
+        .map(|i| (0..10).map(|j| (i * 10 + j) as f32 * 0.25 - 4.0).collect())
+        .collect();
+    let updates = updates_from(&values);
+    let faults = FaultConfig {
+        seed: 0xD0_0D,
+        duplicate: 1.0,
+        ..FaultConfig::default()
+    };
+    for rule in rules(1.5, 1) {
+        let clean = aggregate_call_level(&updates, rule);
+        let (faulted, reporters, nacks) =
+            aggregate_with_faults(&updates, rule, TransportKind::InMemory, &faults);
+        assert_eq!(
+            faulted, clean,
+            "duplicated frames changed the {rule:?} aggregate"
+        );
+        assert_eq!(reporters, vec![0, 1, 2, 3]);
+        let duplicate_refusals = nacks
+            .iter()
+            .filter(|n| n.ends_with(&format!("{}", NackReason::Duplicate)))
+            .count();
+        assert_eq!(
+            duplicate_refusals,
+            updates.len(),
+            "every copy must draw exactly one Duplicate refusal: {nacks:?}"
+        );
     }
 }
 

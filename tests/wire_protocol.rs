@@ -5,8 +5,11 @@
 
 use proptest::prelude::*;
 
-use pelta_fl::{GlobalModel, Message, ModelUpdate, NackReason};
-use pelta_tensor::Tensor;
+use pelta_fl::{
+    Delivery, FaultConfig, FaultPlan, FedAvgServer, GlobalModel, Message, ModelUpdate, NackReason,
+    ParticipationPolicy, RoundPhase, TransportKind,
+};
+use pelta_tensor::{SeedStream, Tensor};
 
 /// Builds a tensor from raw IEEE-754 bit patterns — ±0.0, subnormals, ±∞,
 /// NaN payloads and every finite exponent pass through untouched.
@@ -127,6 +130,102 @@ proptest! {
             "flip of byte {} went undetected",
             position
         );
+    }
+
+    /// Mid-round, **in-protocol** corruption: a tampered `Update` riding a
+    /// fault-injected link is caught by the wire checksum and surfaces as
+    /// [`Delivery::Faulted`]; the server answers with a `CorruptFrame` Nack
+    /// and burns the straggler deadline like any delivered frame — the
+    /// round is never aborted, and the honest quorum closes it normally.
+    #[test]
+    fn in_protocol_tamper_is_nacked_and_burns_the_deadline(
+        random_bits in proptest::collection::vec(0u32..=u32::MAX, 1..16),
+        seed in 0u64..1_000_000,
+    ) {
+        let tensor = tensor_from_bits(&random_bits);
+        let payload = |client_id: usize| ModelUpdate {
+            client_id,
+            round: 0,
+            num_samples: 4,
+            parameters: vec![("w".to_string(), tensor.clone())],
+        };
+        let mut server = FedAvgServer::with_policy(
+            vec![("w".to_string(), Tensor::zeros(tensor.dims()))],
+            ParticipationPolicy {
+                quorum: 2,
+                sample: 0,
+                straggler_deadline: 16,
+            },
+        )
+        .unwrap();
+        for id in 0..3 {
+            server.deliver(&Message::Join { client_id: id });
+        }
+        let mut rng = SeedStream::new(7).derive("round");
+        server.begin_round(&mut rng).unwrap();
+
+        // The honest quorum: seats 0 and 1 deliver clean.
+        for id in 0..2 {
+            let refused = server.deliver(&Message::Update {
+                update: payload(id),
+                shielded: Vec::new(),
+            });
+            prop_assert!(refused.is_empty(), "honest update refused");
+        }
+
+        // Seat 2's frame crosses a link that always tampers; the zero
+        // retransmission budget makes the corruption terminal.
+        let plan = FaultPlan::new(FaultConfig {
+            seed,
+            corrupt: 1.0,
+            max_retransmits: 0,
+            ..FaultConfig::default()
+        })
+        .unwrap();
+        let (agent_end, runtime_end) = TransportKind::Serialized.duplex();
+        let link = plan.wrap_seat(2, runtime_end);
+        plan.begin_round(0);
+        agent_end
+            .send(&Message::Update {
+                update: payload(2),
+                shielded: Vec::new(),
+            })
+            .unwrap();
+        let delivered_before = server.delivered_messages();
+        let Delivery::Faulted { sender, round, lost } = link.recv_checked().unwrap() else {
+            panic!("a corrupt-rate-1 link must surface the tamper as Faulted");
+        };
+        prop_assert_eq!((sender, round, lost), (2, 0, false));
+        let responses = server.deliver_corrupt(sender, round);
+        prop_assert_eq!(responses.len(), 1);
+        prop_assert!(matches!(
+            &responses[0],
+            Message::Nack {
+                client_id: 2,
+                round: 0,
+                reason: NackReason::CorruptFrame,
+            }
+        ));
+        for response in &responses {
+            link.send(response).unwrap();
+        }
+        // The damaged delivery burned the straggler deadline like any
+        // delivered frame …
+        prop_assert_eq!(server.delivered_messages(), delivered_before + 1);
+        // … and the round survived: the honest quorum closes it normally.
+        prop_assert_eq!(server.phase(), RoundPhase::Collecting);
+        let summary = server.close_round().unwrap();
+        prop_assert_eq!(summary.reporters, vec![0, 1]);
+        // The tampered seat saw its diagnostic refusal.
+        let nack = agent_end.recv().unwrap().unwrap();
+        prop_assert!(matches!(
+            nack,
+            Message::Nack {
+                client_id: 2,
+                reason: NackReason::CorruptFrame,
+                ..
+            }
+        ));
     }
 
     /// Truncated frames never decode.
