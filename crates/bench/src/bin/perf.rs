@@ -13,7 +13,11 @@
 //! A second probe measures the **federation message path** (protocol
 //! round-trips through the round state machine, serialised vs in-memory
 //! transport, no local training) and lands in `BENCH_federation.json`,
-//! together with an **adversarial-round probe**: a mixed honest/malicious
+//! together with a **wire-codec probe** that re-runs the round trip once
+//! per [`UpdateCodec`] (raw / bf16 / int8 / top-k) and reports the
+//! update bytes per round, serialised throughput, and a per-codec
+//! replay-determinism field covering transports, the star vs hierarchical
+//! route and `PELTA_THREADS` 1 vs 4 — plus an **adversarial-round probe**: a mixed honest/malicious
 //! population (boosted outlier updates + junk-frame spam) aggregated under
 //! the trimmed mean, replayed twice to assert the adversarial path is
 //! bit-deterministic. A **hierarchical-round probe** drives the two-hop
@@ -45,7 +49,7 @@ use std::time::Instant;
 use pelta_bench::{run_chaos, CHAOS_CLIENTS};
 use pelta_fl::{
     export_parameters, AggregationRule, BroadcastFrame, EdgeAggregator, FedAvgServer, Message,
-    ModelUpdate, ParticipationPolicy, TransportKind,
+    ModelUpdate, ParticipationPolicy, TransportKind, UpdateCodec,
 };
 use pelta_models::{predict_logits, train_step, ViTConfig, VisionTransformer};
 use pelta_nn::Sgd;
@@ -184,19 +188,43 @@ struct FederationRow {
     serialized_mb_per_s: f64,
 }
 
+/// What one protocol round-trip run produced: traffic counters plus the
+/// final global parameter bits (for replay-determinism diffs).
+struct RoundTripOutcome {
+    messages: usize,
+    /// All logical wire bytes, both directions (broadcasts included).
+    wire_bytes: usize,
+    /// Client→server `Update`-frame bytes only — the traffic an
+    /// [`UpdateCodec`] compresses (joins and broadcasts excluded).
+    upload_bytes: usize,
+    param_bits: Vec<u32>,
+}
+
+/// Count of differing parameter bit positions between two runs (plus any
+/// length mismatch) — the replay-determinism measure, required to be 0.
+fn param_bit_diffs(reference: &[u32], replay: &[u32]) -> usize {
+    reference
+        .iter()
+        .zip(replay.iter())
+        .filter(|(a, b)| a != b)
+        .count()
+        + reference.len().abs_diff(replay.len())
+}
+
 /// Pumps `clients × rounds` protocol round-trips (RoundStart broadcast →
 /// Update delivery → renormalised aggregation) through the server state
 /// machine over the given transport, using scaled-ViT-sized parameter
 /// payloads but no local training — this isolates the wire + state-machine
-/// path the runtime added.
+/// path the runtime added. Update frames travel through `codec`.
 fn federation_round_trip(
     kind: TransportKind,
+    codec: UpdateCodec,
     parameters: &[(String, Tensor)],
     clients: usize,
     rounds: usize,
-) -> (usize, usize) {
+) -> RoundTripOutcome {
     let mut server = FedAvgServer::new(parameters.to_vec());
-    let links: Vec<_> = (0..clients).map(|_| kind.duplex()).collect();
+    let links: Vec<_> = (0..clients).map(|_| kind.duplex_with(codec)).collect();
     let mut rng = ChaCha8Rng::seed_from_u64(11);
     for (id, (client_end, server_end)) in links.iter().enumerate() {
         client_end
@@ -205,6 +233,7 @@ fn federation_round_trip(
         let join = server_end.recv().expect("recv").expect("queued join");
         server.deliver(&join);
     }
+    let join_bytes: usize = links.iter().map(|(c, _)| c.bytes_sent()).sum();
     for _ in 0..rounds {
         let participants = server.begin_round(&mut rng).expect("begin round");
         let broadcast = server.broadcast();
@@ -247,7 +276,18 @@ fn federation_round_trip(
         .iter()
         .map(|(c, s)| c.bytes_sent() + s.bytes_sent())
         .sum();
-    (messages, bytes)
+    let client_bytes: usize = links.iter().map(|(c, _)| c.bytes_sent()).sum();
+    let param_bits = server
+        .parameters()
+        .iter()
+        .flat_map(|(_, t)| t.data().iter().map(|v| v.to_bits()))
+        .collect();
+    RoundTripOutcome {
+        messages,
+        wire_bytes: bytes,
+        upload_bytes: client_bytes - join_bytes,
+        param_bits,
+    }
 }
 
 struct AdversarialRow {
@@ -375,12 +415,7 @@ fn bench_adversarial(iters: usize) -> AdversarialRow {
 
     let (messages, reference_bits) = adversarial_round_trip(&parameters, CLIENTS, ROUNDS, SPAM);
     let (_, replay_bits) = adversarial_round_trip(&parameters, CLIENTS, ROUNDS, SPAM);
-    let determinism_param_diffs = reference_bits
-        .iter()
-        .zip(replay_bits.iter())
-        .filter(|(a, b)| a != b)
-        .count()
-        + reference_bits.len().abs_diff(replay_bits.len());
+    let determinism_param_diffs = param_bit_diffs(&reference_bits, &replay_bits);
     let elapsed = time_best(iters, || {
         std::hint::black_box(adversarial_round_trip(&parameters, CLIENTS, ROUNDS, SPAM));
     });
@@ -409,22 +444,25 @@ struct HierarchicalRow {
 /// per-subtree state machines, one combined subtree frame forwarded per
 /// edge, and the root unwrapping the members into its own state machine. No
 /// local training — this isolates the wire + edge + root cost the topology
-/// layer added. Returns the message count and the final parameter bits.
+/// layer added. Member links and edge uplinks carry `codec`, so the
+/// forwarded subtree frame exercises the idempotent coded re-encode.
+/// Returns the message count and the final parameter bits.
 fn hierarchical_round_trip(
     parameters: &[(String, Tensor)],
     groups: &[Vec<usize>],
     rounds: usize,
+    codec: UpdateCodec,
 ) -> (usize, Vec<u32>) {
     let mut root = FedAvgServer::new(parameters.to_vec());
     let mut edges = Vec::new();
     let mut uplink_root_ends = Vec::new();
     let mut agent_ends = Vec::new();
     for (edge_id, group) in groups.iter().enumerate() {
-        let (edge_end, root_end) = TransportKind::Serialized.duplex();
+        let (edge_end, root_end) = TransportKind::Serialized.duplex_with(codec);
         let mut edge = EdgeAggregator::new(edge_id, ParticipationPolicy::default(), edge_end)
             .expect("valid edge policy");
         for &member in group {
-            let (agent_end, server_end) = TransportKind::Serialized.duplex();
+            let (agent_end, server_end) = TransportKind::Serialized.duplex_with(codec);
             edge.attach_member(member, server_end, 0);
             agent_end
                 .send(&Message::Join { client_id: member })
@@ -517,16 +555,17 @@ fn bench_hierarchical(iters: usize) -> HierarchicalRow {
     let groups = vec![vec![0usize, 1], vec![2, 3]];
     let parameters = export_parameters(&scaled_vit(13));
 
-    let (messages, reference_bits) = hierarchical_round_trip(&parameters, &groups, ROUNDS);
-    let (_, replay_bits) = hierarchical_round_trip(&parameters, &groups, ROUNDS);
-    let determinism_param_diffs = reference_bits
-        .iter()
-        .zip(replay_bits.iter())
-        .filter(|(a, b)| a != b)
-        .count()
-        + reference_bits.len().abs_diff(replay_bits.len());
+    let (messages, reference_bits) =
+        hierarchical_round_trip(&parameters, &groups, ROUNDS, UpdateCodec::Raw);
+    let (_, replay_bits) = hierarchical_round_trip(&parameters, &groups, ROUNDS, UpdateCodec::Raw);
+    let determinism_param_diffs = param_bit_diffs(&reference_bits, &replay_bits);
     let elapsed = time_best(iters, || {
-        std::hint::black_box(hierarchical_round_trip(&parameters, &groups, ROUNDS));
+        std::hint::black_box(hierarchical_round_trip(
+            &parameters,
+            &groups,
+            ROUNDS,
+            UpdateCodec::Raw,
+        ));
     });
     HierarchicalRow {
         clients: groups.iter().map(Vec::len).sum(),
@@ -569,12 +608,18 @@ fn peak_rss_mb() -> f64 {
 /// streaming-FedAvg server over in-memory links, the round opens with one
 /// shared broadcast frame, and each update is delivered — folded and
 /// dropped — as soon as its seat reports, so in-flight payloads stay O(1)
-/// and server memory stays O(model) rather than O(population). Returns
-/// (seconds per round, accepted-update MB folded).
-fn population_round(parameters: &[(String, Tensor)], population: usize) -> (f64, f64) {
+/// and server memory stays O(model) rather than O(population). Update
+/// frames travel through `codec`. Returns (seconds per round,
+/// accepted-update MB folded at raw payload size, update-frame wire MB as
+/// shipped under the codec).
+fn population_round(
+    parameters: &[(String, Tensor)],
+    population: usize,
+    codec: UpdateCodec,
+) -> (f64, f64, f64) {
     let mut server = FedAvgServer::new(parameters.to_vec());
     let links: Vec<_> = (0..population)
-        .map(|_| TransportKind::InMemory.duplex())
+        .map(|_| TransportKind::InMemory.duplex_with(codec))
         .collect();
     for (id, (client_end, server_end)) in links.iter().enumerate() {
         client_end
@@ -583,6 +628,7 @@ fn population_round(parameters: &[(String, Tensor)], population: usize) -> (f64,
         let join = server_end.recv().expect("recv").expect("queued join");
         server.deliver(&join);
     }
+    let join_bytes: usize = links.iter().map(|(c, _)| c.bytes_sent()).sum();
     let mut rng = ChaCha8Rng::seed_from_u64(31);
     let start = Instant::now();
     let participants = server.begin_round(&mut rng).expect("begin round");
@@ -616,13 +662,22 @@ fn population_round(parameters: &[(String, Tensor)], population: usize) -> (f64,
     let summary = server.close_round().expect("close round");
     let elapsed = start.elapsed().as_secs_f64();
     assert_eq!(summary.reporters.len(), population, "every seat must fold");
-    (elapsed, summary.update_bytes as f64 / 1e6)
+    let upload_wire_bytes: usize =
+        links.iter().map(|(c, _)| c.bytes_sent()).sum::<usize>() - join_bytes;
+    (
+        elapsed,
+        summary.update_bytes as f64 / 1e6,
+        upload_wire_bytes as f64 / 1e6,
+    )
 }
 
 /// The population-scale probe: 1k / 10k / 100k sampled seats, one timed
 /// round each (best of two), with the kernel's peak-RSS high-water mark
 /// reset per population so the figures isolate each round's footprint.
-fn bench_population() -> Vec<PopulationRow> {
+/// A fourth row repeats the 100k round under [`UpdateCodec::Int8`] and
+/// reports the update-frame wire MB that actually folds through per round
+/// — the codec's answer to the ~418 MB raw payload wall.
+fn bench_population() -> (Vec<PopulationRow>, f64) {
     let mut rng = ChaCha8Rng::seed_from_u64(37);
     // A ~1k-float synthetic model: the probe isolates the per-seat protocol
     // + fold cost, not model size.
@@ -630,12 +685,12 @@ fn bench_population() -> Vec<PopulationRow> {
         "population.weights".to_string(),
         Tensor::rand_uniform(&[1024], -1.0, 1.0, &mut rng),
     )];
-    [1_000usize, 10_000, 100_000]
+    let rows = [1_000usize, 10_000, 100_000]
         .into_iter()
         .map(|population| {
             reset_peak_rss();
-            let (first, folded_mb) = population_round(&parameters, population);
-            let (second, _) = population_round(&parameters, population);
+            let (first, folded_mb, _) = population_round(&parameters, population, UpdateCodec::Raw);
+            let (second, _, _) = population_round(&parameters, population, UpdateCodec::Raw);
             PopulationRow {
                 population,
                 rounds_per_s: 1.0 / first.min(second),
@@ -643,7 +698,9 @@ fn bench_population() -> Vec<PopulationRow> {
                 folded_mb,
             }
         })
-        .collect()
+        .collect();
+    let (_, _, int8_wire_mb) = population_round(&parameters, 100_000, UpdateCodec::Int8);
+    (rows, int8_wire_mb)
 }
 
 struct FaultInjectionRow {
@@ -700,11 +757,17 @@ fn bench_federation(iters: usize) -> FederationRow {
     // federation broadcasts and aggregates.
     let parameters = export_parameters(&scaled_vit(13));
 
-    let (messages, wire_bytes) =
-        federation_round_trip(TransportKind::InMemory, &parameters, CLIENTS, ROUNDS);
+    let outcome = federation_round_trip(
+        TransportKind::InMemory,
+        UpdateCodec::Raw,
+        &parameters,
+        CLIENTS,
+        ROUNDS,
+    );
     let in_memory = time_best(iters, || {
         std::hint::black_box(federation_round_trip(
             TransportKind::InMemory,
+            UpdateCodec::Raw,
             &parameters,
             CLIENTS,
             ROUNDS,
@@ -713,6 +776,7 @@ fn bench_federation(iters: usize) -> FederationRow {
     let serialized = time_best(iters, || {
         std::hint::black_box(federation_round_trip(
             TransportKind::Serialized,
+            UpdateCodec::Raw,
             &parameters,
             CLIENTS,
             ROUNDS,
@@ -721,12 +785,83 @@ fn bench_federation(iters: usize) -> FederationRow {
     FederationRow {
         clients: CLIENTS,
         rounds: ROUNDS,
-        messages,
-        wire_bytes,
-        in_memory_msgs_per_s: messages as f64 / in_memory,
-        serialized_msgs_per_s: messages as f64 / serialized,
-        serialized_mb_per_s: wire_bytes as f64 / serialized / 1e6,
+        messages: outcome.messages,
+        wire_bytes: outcome.wire_bytes,
+        in_memory_msgs_per_s: outcome.messages as f64 / in_memory,
+        serialized_msgs_per_s: outcome.messages as f64 / serialized,
+        serialized_mb_per_s: outcome.wire_bytes as f64 / serialized / 1e6,
     }
+}
+
+struct WireCodecRow {
+    name: &'static str,
+    upload_bytes_per_round: f64,
+    serialized_msgs_per_s: f64,
+    serialized_mb_per_s: f64,
+    determinism_param_diffs: usize,
+}
+
+/// The wire-codec probe: the 4-client federation round-trip once per
+/// [`UpdateCodec`], over the serialised transport, reporting the
+/// `Update`-frame bytes per round (the traffic the codec compresses —
+/// broadcasts are shared control frames and stay raw), serialised
+/// throughput, and a replay-determinism field that folds together four
+/// invariance checks per codec: serialised vs in-memory transport, star vs
+/// hierarchical topology, and `PELTA_THREADS` 1 vs 4.
+fn bench_wire_codecs(iters: usize, threads: usize) -> Vec<WireCodecRow> {
+    const CLIENTS: usize = 4;
+    const ROUNDS: usize = 3;
+    let parameters = export_parameters(&scaled_vit(13));
+    let groups = vec![vec![0usize, 1], vec![2, 3]];
+    let codecs: [(&'static str, UpdateCodec); 4] = [
+        ("raw", UpdateCodec::Raw),
+        ("bf16", UpdateCodec::Bf16),
+        ("int8", UpdateCodec::Int8),
+        ("topk", UpdateCodec::TopK { k: 64 }),
+    ];
+    codecs
+        .into_iter()
+        .map(|(name, codec)| {
+            let reference = federation_round_trip(
+                TransportKind::Serialized,
+                codec,
+                &parameters,
+                CLIENTS,
+                ROUNDS,
+            );
+            let in_memory =
+                federation_round_trip(TransportKind::InMemory, codec, &parameters, CLIENTS, ROUNDS);
+            let (_, tree_bits) = hierarchical_round_trip(&parameters, &groups, ROUNDS, codec);
+            pool::set_global_threads(1);
+            let one_thread =
+                federation_round_trip(TransportKind::InMemory, codec, &parameters, CLIENTS, ROUNDS);
+            pool::set_global_threads(4);
+            let four_threads =
+                federation_round_trip(TransportKind::InMemory, codec, &parameters, CLIENTS, ROUNDS);
+            pool::set_global_threads(threads);
+            let determinism_param_diffs =
+                param_bit_diffs(&reference.param_bits, &in_memory.param_bits)
+                    + param_bit_diffs(&reference.param_bits, &tree_bits)
+                    + param_bit_diffs(&reference.param_bits, &one_thread.param_bits)
+                    + param_bit_diffs(&reference.param_bits, &four_threads.param_bits);
+            let elapsed = time_best(iters, || {
+                std::hint::black_box(federation_round_trip(
+                    TransportKind::Serialized,
+                    codec,
+                    &parameters,
+                    CLIENTS,
+                    ROUNDS,
+                ));
+            });
+            WireCodecRow {
+                name,
+                upload_bytes_per_round: reference.upload_bytes as f64 / ROUNDS as f64,
+                serialized_msgs_per_s: reference.messages as f64 / elapsed,
+                serialized_mb_per_s: reference.wire_bytes as f64 / elapsed / 1e6,
+                determinism_param_diffs,
+            }
+        })
+        .collect::<Vec<_>>()
 }
 
 /// Extracts the first `"key": <number>` value from a JSON document — enough
@@ -860,10 +995,11 @@ fn main() {
     // BENCH_federation.json (a sibling of the kernel snapshot, printed per
     // PR by CI).
     let federation = bench_federation(iters);
+    let wire_codecs = bench_wire_codecs(iters, threads);
     let adversarial = bench_adversarial(iters);
     let hierarchical = bench_hierarchical(iters);
     let fault_injection = bench_fault_injection(iters);
-    let population = bench_population();
+    let (population, pop_100k_int8_mb) = bench_population();
     let population_block = population
         .iter()
         .map(|row| {
@@ -880,11 +1016,30 @@ fn main() {
             )
         })
         .collect::<Vec<_>>()
+        .join(",\n")
+        + &format!(",\n    \"pop_100k_int8_folded_mb\": {pop_100k_int8_mb:.2}");
+    let wire_codecs_block = wire_codecs
+        .iter()
+        .map(|row| {
+            format!(
+                "    \"{name}_upload_bytes_per_round\": {:.0},\n    \
+                 \"{name}_serialized_msgs_per_s\": {:.1},\n    \
+                 \"{name}_serialized_mb_per_s\": {:.2},\n    \
+                 \"{name}_determinism_param_diffs\": {}",
+                row.upload_bytes_per_round,
+                row.serialized_msgs_per_s,
+                row.serialized_mb_per_s,
+                row.determinism_param_diffs,
+                name = row.name,
+            )
+        })
+        .collect::<Vec<_>>()
         .join(",\n");
     let federation_json = format!(
         "{{\n  \"clients\": {},\n  \"rounds\": {},\n  \"protocol_messages\": {},\n  \
          \"wire_bytes\": {},\n  \"in_memory_msgs_per_s\": {:.1},\n  \
          \"serialized_msgs_per_s\": {:.1},\n  \"serialized_wire_mb_per_s\": {:.2},\n  \
+         \"wire_codecs\": {{\n{wire_codecs_block}\n  }},\n  \
          \"adversarial_round\": {{\n    \"clients\": {},\n    \"adversaries\": {},\n    \
          \"rule\": \"trimmed_mean\",\n    \"spam_frames\": {},\n    \
          \"protocol_messages\": {},\n    \"adversarial_msgs_per_s\": {:.1},\n    \
@@ -948,6 +1103,28 @@ fn main() {
         fault_injection.determinism_param_diffs, 0,
         "determinism contract violated: faulted soak replay diverged"
     );
+    let raw_upload = wire_codecs
+        .iter()
+        .find(|row| row.name == "raw")
+        .expect("the codec probe always includes raw")
+        .upload_bytes_per_round;
+    for row in &wire_codecs {
+        assert_eq!(
+            row.determinism_param_diffs, 0,
+            "determinism contract violated: codec {} diverged across \
+             transports, topologies or thread counts",
+            row.name
+        );
+        if matches!(row.name, "int8" | "topk") {
+            assert!(
+                row.upload_bytes_per_round * 3.0 <= raw_upload,
+                "codec {} must cut update bytes/round at least 3x vs raw \
+                 ({:.0} vs {raw_upload:.0})",
+                row.name,
+                row.upload_bytes_per_round
+            );
+        }
+    }
 
     // The CI perf-regression gate: diff the fresh snapshots against the
     // committed baselines read before this run.
@@ -982,8 +1159,19 @@ fn main() {
                 ],
                 // Peak RSS of the 100k-seat round is the O(population)
                 // memory regression guard: a reintroduced full-population
-                // update buffer blows far past the tolerance.
-                &["pop_100k_peak_rss_mb"],
+                // update buffer blows far past the tolerance. Wire bytes
+                // and the per-codec update bytes/round guard the frame
+                // sizes: a codec regression that silently fattens frames
+                // fails here even though throughput barely moves.
+                &[
+                    "pop_100k_peak_rss_mb",
+                    "wire_bytes",
+                    "raw_upload_bytes_per_round",
+                    "bf16_upload_bytes_per_round",
+                    "int8_upload_bytes_per_round",
+                    "topk_upload_bytes_per_round",
+                    "pop_100k_int8_folded_mb",
+                ],
                 tolerance,
             )),
             None => eprintln!(

@@ -1,0 +1,441 @@
+//! Deterministic update-compression codecs for the wire protocol (v3).
+//!
+//! A federation configures one [`UpdateCodec`] per scenario
+//! ([`crate::FederationConfig::codec`] / `ScenarioSpec::with_codec`); the
+//! transport layer applies it to every **upload** frame — [`crate::Message::Update`]
+//! and the subtree-addressed [`crate::Message::AggregateUpdate`] — while
+//! control traffic (Join/RoundStart/RoundEnd/Leave/Nack) and sealed shielded
+//! segments always travel in the raw v2 encoding. Compression is *lossy but
+//! bit-reproducible*: every rounding decision below is a fixed, scalar,
+//! thread-free computation, so a given codec produces the same bytes and the
+//! same dequantized values on every run, every transport, every topology and
+//! every `PELTA_THREADS` setting.
+//!
+//! The determinism contract of the runtime extends into the codec domain
+//! through two invariants, both proven by the property tests in
+//! `tests/wire_protocol.rs`:
+//!
+//! 1. **Transport equivalence.** `decode(encode_with(m, c))` carries exactly
+//!    `c.round_trip(..)` of every tensor in `m`, and the in-memory transport
+//!    applies [`UpdateCodec::round_trip_message`] on `send`. Both transports
+//!    therefore deliver bit-identical dequantized values, and the server
+//!    folds them in the unchanged canonical ascending-client-id order.
+//! 2. **Idempotence.** `round_trip(round_trip(x)) == round_trip(x)` bit for
+//!    bit, and `encode_with(round_trip(x)) == encode_with(x)` byte for byte.
+//!    An edge aggregator that decodes member updates and re-encodes them
+//!    into an `AggregateUpdate` — or a faulty link that re-offers a cached
+//!    frame — reproduces the member's compressed bytes exactly, so
+//!    hierarchical forwarding is wire-equivalent to passing the compressed
+//!    members through unopened.
+//!
+//! `Raw` is the identity codec: its frames are byte-for-byte the v2 wire
+//! format, so a codec-free deployment is untouched.
+
+use serde::{Deserialize, Serialize};
+
+use pelta_tensor::Tensor;
+
+use crate::{FlError, MemberUpdate, Message, ModelUpdate, Result};
+
+/// How update tensors are compressed on the wire.
+///
+/// Every variant is deterministic and idempotent (see the module docs); the
+/// lossy variants trade accuracy for wire bytes:
+///
+/// | codec  | bytes per element      | loss                                  |
+/// |--------|------------------------|---------------------------------------|
+/// | `Raw`  | 4                      | none (exact IEEE-754 bit patterns)    |
+/// | `Bf16` | 2                      | mantissa truncated to 7 bits (RNE)    |
+/// | `Int8` | 1 (+4/tensor scale)    | 8-bit symmetric power-of-two grid     |
+/// | `TopK` | 8 per *kept* element   | all but the `k` largest magnitudes → 0 |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateCodec {
+    /// Identity: exact `f32` bit patterns, byte-for-byte the v2 wire format.
+    Raw,
+    /// Truncate every element to bfloat16 (the high 16 bits of the `f32`
+    /// pattern) with round-to-nearest-even; NaNs are quieted into the kept
+    /// half so they survive the trip as NaNs.
+    Bf16,
+    /// Per-tensor symmetric 8-bit quantization. The scale is the smallest
+    /// power of two `2^e` with `amax <= 127 * 2^e` (amax over the finite
+    /// magnitudes), carried on the wire as its exact `f32` bit pattern;
+    /// `q = round(v / 2^e)` clamped to ±127 and dequantized as `q * 2^e`,
+    /// which is exact — both factors fit the mantissa — so re-quantizing a
+    /// dequantized tensor reproduces the same scale and codes.
+    Int8,
+    /// Magnitude sparsification: keep the `min(k, numel)` elements of
+    /// largest `|v|` (ties broken deterministically by ascending index,
+    /// residual-free), zero the rest. Kept values travel as exact bit
+    /// patterns next to their `u32` indices.
+    TopK {
+        /// Number of elements kept per tensor.
+        k: usize,
+    },
+}
+
+#[allow(clippy::derivable_impls)] // the vendored serde derive cannot parse a `#[default]` variant attribute
+impl Default for UpdateCodec {
+    fn default() -> Self {
+        UpdateCodec::Raw
+    }
+}
+
+impl UpdateCodec {
+    /// Short lowercase name used in benchmark reports and examples.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UpdateCodec::Raw => "raw",
+            UpdateCodec::Bf16 => "bf16",
+            UpdateCodec::Int8 => "int8",
+            UpdateCodec::TopK { .. } => "topk",
+        }
+    }
+
+    /// Whether this codec leaves frames in the raw v2 encoding.
+    pub fn is_raw(&self) -> bool {
+        matches!(self, UpdateCodec::Raw)
+    }
+
+    /// Checks the codec parameters.
+    ///
+    /// # Errors
+    /// Returns [`FlError::InvalidConfig`] when `TopK` keeps zero elements.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            UpdateCodec::TopK { k: 0 } => Err(FlError::InvalidConfig {
+                reason: "TopK codec must keep at least one element (k >= 1)".to_string(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// The codec tag byte that follows the message kind in a v3 frame.
+    /// `Raw` has no tag — its frames stay on protocol version 2.
+    pub(crate) fn wire_tag(&self) -> Option<u8> {
+        match self {
+            UpdateCodec::Raw => None,
+            UpdateCodec::Bf16 => Some(1),
+            UpdateCodec::Int8 => Some(2),
+            UpdateCodec::TopK { .. } => Some(3),
+        }
+    }
+
+    /// What the receiver sees after decode: the dequantized tensor the wire
+    /// encoding reconstructs. `Raw` is the identity (exact clone).
+    pub fn round_trip(&self, tensor: &Tensor) -> Tensor {
+        match self {
+            UpdateCodec::Raw => tensor.clone(),
+            UpdateCodec::Bf16 => {
+                let data: Vec<f32> = tensor
+                    .data()
+                    .iter()
+                    .map(|&v| bf16_from_hi(bf16_hi_bits(v)))
+                    .collect();
+                Tensor::from_vec(data, tensor.dims()).expect("shape preserved")
+            }
+            UpdateCodec::Int8 => {
+                let scale = int8_scale(tensor.data());
+                let inv = scale.recip();
+                let data: Vec<f32> = tensor
+                    .data()
+                    .iter()
+                    .map(|&v| f32::from(int8_quantize(v, inv)) * scale)
+                    .collect();
+                Tensor::from_vec(data, tensor.dims()).expect("shape preserved")
+            }
+            UpdateCodec::TopK { k } => {
+                let mut data = vec![0.0f32; tensor.numel()];
+                for index in topk_indices(tensor.data(), *k) {
+                    data[index] = tensor.data()[index];
+                }
+                Tensor::from_vec(data, tensor.dims()).expect("shape preserved")
+            }
+        }
+    }
+
+    /// [`UpdateCodec::round_trip`] over every parameter of an update.
+    pub fn round_trip_update(&self, update: &ModelUpdate) -> ModelUpdate {
+        ModelUpdate {
+            client_id: update.client_id,
+            round: update.round,
+            num_samples: update.num_samples,
+            parameters: update
+                .parameters
+                .iter()
+                .map(|(name, tensor)| (name.clone(), self.round_trip(tensor)))
+                .collect(),
+        }
+    }
+
+    /// Applies the codec's value loss to an upload frame, exactly as the
+    /// serialized wire would: returns `Some(rewritten)` for an `Update` or
+    /// `AggregateUpdate` under a lossy codec, `None` when the message passes
+    /// through unchanged (control traffic, or the `Raw` codec). Sealed
+    /// shielded segments are opaque ciphertext and are never compressed.
+    pub fn round_trip_message(&self, message: &Message) -> Option<Message> {
+        if self.is_raw() {
+            return None;
+        }
+        match message {
+            Message::Update { update, shielded } => Some(Message::Update {
+                update: self.round_trip_update(update),
+                shielded: shielded.clone(),
+            }),
+            Message::AggregateUpdate {
+                origin,
+                round,
+                members,
+            } => Some(Message::AggregateUpdate {
+                origin: *origin,
+                round: *round,
+                members: members
+                    .iter()
+                    .map(|member| MemberUpdate {
+                        update: self.round_trip_update(&member.update),
+                        shielded: member.shielded.clone(),
+                    })
+                    .collect(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Wire length of one tensor under this codec (the coded counterpart of
+    /// the raw `4 + 8·rank + 4·numel` framing).
+    pub(crate) fn tensor_wire_len(&self, tensor: &Tensor) -> usize {
+        let dims = 4 + 8 * tensor.rank();
+        match self {
+            UpdateCodec::Raw => dims + 4 * tensor.numel(),
+            UpdateCodec::Bf16 => dims + 2 * tensor.numel(),
+            UpdateCodec::Int8 => dims + 4 + tensor.numel(),
+            UpdateCodec::TopK { k } => dims + 4 + 8 * (*k).min(tensor.numel()),
+        }
+    }
+}
+
+impl std::fmt::Display for UpdateCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateCodec::TopK { k } => write!(f, "topk(k={k})"),
+            other => write!(f, "{}", other.name()),
+        }
+    }
+}
+
+/// bfloat16 rounding of one `f32`: the high 16 bits after round-to-nearest-
+/// even. NaNs keep their sign and high mantissa bits but are quieted (bit 22
+/// forced) so the kept half is still a NaN; because the forced bit lives in
+/// the kept half, re-rounding a rounded value is the identity.
+pub(crate) fn bf16_hi_bits(v: f32) -> u16 {
+    let bits = v.to_bits();
+    if v.is_nan() {
+        return (((bits & 0xFFFF_0000) | 0x0040_0000) >> 16) as u16;
+    }
+    // Round-to-nearest-even on the dropped 16 bits: adding 0x7FFF plus the
+    // LSB of the kept half carries exactly when the tail is > half, or ==
+    // half with an odd kept half. A zero tail never carries, which is what
+    // makes the rounding idempotent. Finite values whose exponent carries
+    // over saturate to ±infinity, the standard bf16 behaviour.
+    let rounded = bits.wrapping_add(0x7FFF + ((bits >> 16) & 1));
+    (rounded >> 16) as u16
+}
+
+/// Inverse of [`bf16_hi_bits`]: the 16-bit pattern widened back to `f32`.
+pub(crate) fn bf16_from_hi(hi: u16) -> f32 {
+    f32::from_bits(u32::from(hi) << 16)
+}
+
+/// Exact power of two `2^e` for `e` in `[-126, 127]` (normal range), built
+/// from the bit pattern so no libm call can wobble across platforms.
+pub(crate) fn exp2i(e: i32) -> f32 {
+    debug_assert!(
+        (-126..=127).contains(&e),
+        "exponent {e} outside normal range"
+    );
+    f32::from_bits(((e + 127) as u32) << 23)
+}
+
+/// Per-tensor symmetric Int8 scale: the smallest power of two `2^e` (with
+/// `e` clamped to `[-126, 121]`) such that `amax <= 127 * 2^e`, where `amax`
+/// is the largest **finite** magnitude. An all-zero (or all-non-finite)
+/// tensor uses scale 1.0 and quantizes to all zeros. Minimality pins the
+/// largest code at `>= 64`, which is what makes re-quantizing a dequantized
+/// tensor reproduce the same `e` — the idempotence the edge re-encode path
+/// leans on. The upper clamp keeps `127 * 2^e` (the largest dequantized
+/// magnitude) finite — `127 * 2^122` would already overflow `f32` — so a
+/// dequantized code can never round-trip through infinity; magnitudes in
+/// the tiny window above `127 * 2^121` saturate to the top code instead.
+pub(crate) fn int8_scale(data: &[f32]) -> f32 {
+    const E_MAX: i32 = 121;
+    let mut amax = 0.0f32;
+    for &v in data {
+        if v.is_finite() {
+            amax = amax.max(v.abs());
+        }
+    }
+    if amax == 0.0 {
+        return 1.0;
+    }
+    // Seed e from amax's exponent (amax >= 2^ex, 127 < 2^7), then settle
+    // minimality in at most a couple of steps. Subnormal amax seeds at the
+    // bottom of the range, which the clamp already covers.
+    let ex = ((amax.to_bits() >> 23) & 0xFF) as i32 - 127;
+    let mut e = (ex - 7).clamp(-126, E_MAX);
+    while e < E_MAX && 127.0 * exp2i(e) < amax {
+        e += 1;
+    }
+    while e > -126 && 127.0 * exp2i(e - 1) >= amax {
+        e -= 1;
+    }
+    exp2i(e)
+}
+
+/// Quantizes one element against the reciprocal of the tensor scale:
+/// `round(v / scale)` clamped to ±127. The multiply is exact (the scale is
+/// a power of two), NaN maps to code 0 and ±∞ saturate symmetrically.
+pub(crate) fn int8_quantize(v: f32, inv_scale: f32) -> i8 {
+    (v * inv_scale).round().clamp(-127.0, 127.0) as i8
+}
+
+/// The kept index set of the TopK codec, in ascending order: the
+/// `min(k, len)` indices of largest `|v|` under `total_cmp`, ties broken by
+/// ascending index. One shared selection for `round_trip`, encode and
+/// `wire_size`, so every path keeps exactly the same elements.
+pub(crate) fn topk_indices(data: &[f32], k: usize) -> Vec<usize> {
+    let kept = k.min(data.len());
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    order.sort_by(|&a, &b| data[b].abs().total_cmp(&data[a].abs()).then(a.cmp(&b)));
+    order.truncate(kept);
+    order.sort_unstable();
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codecs() -> Vec<UpdateCodec> {
+        vec![
+            UpdateCodec::Raw,
+            UpdateCodec::Bf16,
+            UpdateCodec::Int8,
+            UpdateCodec::TopK { k: 3 },
+        ]
+    }
+
+    fn special_tensor() -> Tensor {
+        Tensor::from_vec(
+            vec![
+                0.0,
+                -0.0,
+                f32::MIN_POSITIVE / 4.0, // subnormal
+                -f32::MIN_POSITIVE,
+                1.5,
+                -2.75,
+                3.4e38,
+                -1e-38,
+                f32::from_bits(0x7FC0_1234), // NaN with payload
+                f32::INFINITY,
+                f32::NEG_INFINITY,
+                127.0,
+            ],
+            &[12],
+        )
+        .unwrap()
+    }
+
+    fn assert_bits_eq(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn every_codec_round_trip_is_idempotent_on_special_values() {
+        let tensor = special_tensor();
+        for codec in codecs() {
+            let once = codec.round_trip(&tensor);
+            let twice = codec.round_trip(&once);
+            assert_bits_eq(&once, &twice);
+        }
+    }
+
+    #[test]
+    fn raw_round_trip_is_the_identity() {
+        let tensor = special_tensor();
+        assert_bits_eq(&UpdateCodec::Raw.round_trip(&tensor), &tensor);
+    }
+
+    #[test]
+    fn bf16_rounds_to_nearest_even_and_quiets_nan() {
+        // 1.0 + 2^-8 sits exactly halfway between two bf16 grid points with
+        // an even lower neighbour: RNE rounds down.
+        let halfway = f32::from_bits(0x3F80_8000);
+        assert_eq!(bf16_hi_bits(halfway), 0x3F80);
+        // The odd neighbour above rounds up.
+        let halfway_odd = f32::from_bits(0x3F81_8000);
+        assert_eq!(bf16_hi_bits(halfway_odd), 0x3F82);
+        let quieted = bf16_from_hi(bf16_hi_bits(f32::from_bits(0x7F80_0001)));
+        assert!(quieted.is_nan());
+        // Saturation: the largest f32 overflows the bf16 grid to infinity.
+        assert_eq!(bf16_from_hi(bf16_hi_bits(f32::MAX)), f32::INFINITY);
+    }
+
+    #[test]
+    fn int8_scale_is_a_minimal_power_of_two() {
+        for amax in [1.0f32, 126.9, 127.0, 127.1, 1e-20, 3.0e38, 0.5] {
+            let scale = int8_scale(&[amax, -amax / 2.0]);
+            // Power of two: the mantissa field is empty.
+            assert_eq!(scale.to_bits() & 0x007F_FFFF, 0, "scale {scale}");
+            assert!(127.0 * scale >= amax, "scale {scale} too small for {amax}");
+            let exp = ((scale.to_bits() >> 23) & 0xFF) as i32 - 127;
+            if exp > -126 {
+                assert!(
+                    127.0 * exp2i(exp - 1) < amax,
+                    "scale {scale} not minimal for {amax}"
+                );
+            }
+        }
+        assert_eq!(int8_scale(&[0.0, -0.0]), 1.0);
+        assert_eq!(int8_scale(&[f32::NAN, f32::INFINITY]), 1.0);
+    }
+
+    #[test]
+    fn int8_quantization_saturates_and_zeroes_nan() {
+        let inv = 1.0;
+        assert_eq!(int8_quantize(f32::NAN, inv), 0);
+        assert_eq!(int8_quantize(f32::INFINITY, inv), 127);
+        assert_eq!(int8_quantize(f32::NEG_INFINITY, inv), -127);
+        assert_eq!(int8_quantize(1000.0, inv), 127);
+        assert_eq!(int8_quantize(-1000.0, inv), -127);
+    }
+
+    #[test]
+    fn topk_selection_breaks_ties_by_ascending_index() {
+        let data = [1.0f32, -1.0, 1.0, 0.5, -2.0];
+        assert_eq!(topk_indices(&data, 3), vec![0, 1, 4]);
+        // k larger than the tensor keeps everything.
+        assert_eq!(topk_indices(&data, 99), vec![0, 1, 2, 3, 4]);
+        // All-tied zeros keep the lowest indices.
+        assert_eq!(topk_indices(&[0.0f32; 4], 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn topk_round_trip_zeroes_everything_else() {
+        let tensor = Tensor::from_vec(vec![0.25, -8.0, 0.5, 7.0, -0.125], &[5]).unwrap();
+        let kept = UpdateCodec::TopK { k: 2 }.round_trip(&tensor);
+        let expected = [0.0f32, -8.0, 0.0, 7.0, 0.0];
+        for (a, &b) in kept.data().iter().zip(expected.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn validate_rejects_empty_topk() {
+        assert!(UpdateCodec::TopK { k: 0 }.validate().is_err());
+        for codec in codecs() {
+            assert!(codec.validate().is_ok());
+        }
+    }
+}

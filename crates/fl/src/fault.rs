@@ -569,8 +569,9 @@ impl Transport for FaultyTransport {
             let config = &self.config;
             if fate < config.corrupt {
                 // Genuinely exercise the checksum: a single-byte flip of
-                // the real encoding must fail to decode.
-                let mut tampered = message.encode();
+                // the real encoding — the compressed frame when the link
+                // carries a codec — must fail to decode.
+                let mut tampered = message.encode_with(self.inner.codec());
                 let position = (rng.next_u64() as usize) % tampered.len();
                 tampered[position] ^= 0x40;
                 debug_assert!(
@@ -677,6 +678,10 @@ impl Transport for FaultyTransport {
 
     fn kind(&self) -> TransportKind {
         self.inner.kind()
+    }
+
+    fn codec(&self) -> crate::UpdateCodec {
+        self.inner.codec()
     }
 }
 

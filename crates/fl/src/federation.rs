@@ -59,7 +59,7 @@ use crate::topology::{EdgeAggregator, GossipMesh, Topology};
 use crate::{
     AggregationRule, BroadcastFrame, Delivery, FedAvgServer, FlError, MemberUpdate, Message,
     ModelUpdate, NackReason, ParticipationPolicy, Result, ShieldedUpdateChannel, Transport,
-    TransportKind,
+    TransportKind, UpdateCodec,
 };
 
 /// Scenario schedule for one client: when it drops out, when it rejoins,
@@ -122,6 +122,11 @@ pub struct FederationConfig {
     /// (drops, duplicates, reordering, corruption, partitions, scripted
     /// crashes — see [`crate::fault`]); `None` runs a fault-free fabric.
     pub faults: Option<FaultConfig>,
+    /// Update-compression codec carried by every link of the federation
+    /// fabric (client seats, edge uplinks, gossip mesh edges — see
+    /// [`crate::codec`]); [`UpdateCodec::Raw`] ships the uncompressed v2
+    /// wire format.
+    pub codec: UpdateCodec,
 }
 
 impl Default for FederationConfig {
@@ -143,6 +148,7 @@ impl Default for FederationConfig {
             shield_updates: false,
             schedules: Vec::new(),
             faults: None,
+            codec: UpdateCodec::Raw,
         }
     }
 }
@@ -367,6 +373,7 @@ impl Federation {
             }
         }
         spec.validate()?;
+        config.codec.validate()?;
         if let Some(fault_config) = &config.faults {
             fault_config.validate(config.clients, &config.topology)?;
         }
@@ -405,7 +412,7 @@ impl Federation {
         let mut slots = Vec::with_capacity(config.clients);
         let mut runtime_ends: Vec<Option<Box<dyn Transport>>> = Vec::with_capacity(config.clients);
         for (id, shard) in shards.into_iter().enumerate() {
-            let (client_end, server_end) = config.transport.duplex();
+            let (client_end, server_end) = config.transport.duplex_with(config.codec);
             let role = roles.get(&id).map_or(AgentRole::Honest, |r| (*r).clone());
             let agent: Box<dyn FederationAgent> = match role {
                 AgentRole::Honest => {
@@ -523,7 +530,7 @@ impl Federation {
                 let mut edges = Vec::with_capacity(groups.len());
                 let mut uplinks = Vec::with_capacity(groups.len());
                 for (edge_id, group) in groups.iter().enumerate() {
-                    let (edge_end, root_end) = config.transport.duplex();
+                    let (edge_end, root_end) = config.transport.duplex_with(config.codec);
                     let root_end = match &fault_plan {
                         Some(plan) => plan.wrap_uplink(edge_id, root_end),
                         None => root_end,
@@ -547,7 +554,13 @@ impl Federation {
                     .map(|end| end.expect("one runtime end per client"))
                     .collect();
                 Fabric::Gossip {
-                    mesh: GossipMesh::new(config.transport, coordinators, latencies, *fanout),
+                    mesh: GossipMesh::new(
+                        config.transport,
+                        config.codec,
+                        coordinators,
+                        latencies,
+                        *fanout,
+                    ),
                 }
             }
         };

@@ -15,7 +15,11 @@
 //!   either the zero-copy [`InMemoryTransport`] or the
 //!   [`SerializedTransport`] loopback that forces every exchange through
 //!   bytes — both produce bit-identical federations, which the integration
-//!   tests assert.
+//!   tests assert. An [`UpdateCodec`] (see [`mod@codec`]) optionally
+//!   compresses the upload frames — bfloat16 truncation, symmetric Int8
+//!   quantization or deterministic TopK sparsification — with
+//!   bit-reproducible decode, so the determinism contract holds per codec
+//!   and `Raw` stays byte-for-byte the uncompressed v2 wire format.
 //! * **Server layer** — [`FedAvgServer`] is a per-round state machine
 //!   (*Broadcasting → Collecting → Aggregating*) under a
 //!   [`ParticipationPolicy`]: minimum quorum, per-round client sampling, a
@@ -120,6 +124,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod client;
+pub mod codec;
 mod error;
 pub mod fault;
 mod federation;
@@ -137,11 +142,15 @@ pub use client::{
     export_parameters, export_segments, import_parameters, split_segments, AdversarialAction,
     ClientAgent, FederationAgent, FlClient, LocalTrainingReport, StepOutcome,
 };
+pub use codec::UpdateCodec;
 pub use error::FlError;
 pub use fault::{CrashPoint, CrashTarget, FaultConfig, FaultPlan, FaultStats};
 pub use federation::{ClientSchedule, Federation, FederationConfig, RoundRecord, RunHistory};
 pub use malicious::{AttackKind, CompromisedClient, EvasionReport, FreeRiderAgent, ProbingAgent};
-pub use message::{GlobalModel, MemberUpdate, Message, ModelUpdate, NackReason, PROTOCOL_VERSION};
+pub use message::{
+    GlobalModel, MemberUpdate, Message, ModelUpdate, NackReason, CODED_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
+};
 pub use poisoning::{
     backdoor_success_rate, BackdoorAgent, BackdoorClient, PoisonReport, TrojanTrigger,
 };

@@ -26,6 +26,16 @@
 //! stamped with the forwarding seat's `origin` id so refusals stay routable
 //! in a multi-hop topology (protocol version 2).
 //!
+//! Since the codec layer the **upload** path can travel compressed: under a
+//! non-`Raw` [`UpdateCodec`] the `Update` / `AggregateUpdate` frames are
+//! re-framed as protocol version 3 — one codec tag byte after the kind,
+//! tensors in the codec's compact layout ([`crate::codec`]), scales carried
+//! as exact bit patterns — still behind the same trailing FNV-1a checksum,
+//! so a tampered compressed frame is refused exactly like a raw one.
+//! Decode reconstructs the dequantized values bit-reproducibly, and `Raw`
+//! frames remain byte-for-byte the v2 encoding. Control traffic and sealed
+//! blobs are never compressed.
+//!
 //! **Adversarial note.** Malicious participants speak this protocol too —
 //! by design nothing in a frame reveals intent, so a poisoned update is
 //! wire-indistinguishable from an honest one. The server answers every
@@ -39,12 +49,24 @@ use pelta_tee::SealedBlob;
 use pelta_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
+use crate::codec::{
+    bf16_from_hi, bf16_hi_bits, int8_quantize, int8_scale, topk_indices, UpdateCodec,
+};
 use crate::{FlError, Result};
 
 /// Version stamped into every encoded message; receivers reject other
 /// versions instead of guessing at the payload layout. Version 2 added the
 /// subtree-addressed [`Message::AggregateUpdate`] of the topology layer.
+/// Upload frames compressed by a non-`Raw` [`UpdateCodec`] travel as
+/// [`CODED_PROTOCOL_VERSION`] instead; everything else — including every
+/// frame of a `Raw` deployment — stays byte-for-byte on version 2.
 pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Version of codec-compressed upload frames (protocol v3): the header
+/// grows one codec tag byte after the kind, and `Update` /
+/// `AggregateUpdate` tensors are encoded per the tagged [`UpdateCodec`]
+/// instead of as raw `f32` bit patterns. Receivers accept both versions.
+pub const CODED_PROTOCOL_VERSION: u16 = 3;
 
 /// Leading magic of every encoded message (`"PFL"` + format byte).
 const WIRE_MAGIC: [u8; 4] = *b"PFL\x01";
@@ -125,7 +147,7 @@ impl MemberUpdate {
 
     /// Size of this member's payload in the binary wire encoding, in bytes.
     pub fn wire_size(&self) -> usize {
-        update_payload_wire_len(&self.update, &self.shielded)
+        update_payload_wire_len(&self.update, &self.shielded, UpdateCodec::Raw)
     }
 }
 
@@ -258,43 +280,88 @@ impl Message {
     /// `magic ‖ version ‖ kind ‖ payload ‖ fnv1a64(everything before)`.
     ///
     /// Tensors are encoded element-wise as IEEE-754 bit patterns, so the
-    /// encoding is bitwise lossless.
+    /// encoding is bitwise lossless. Equivalent to
+    /// [`Message::encode_with`] under [`UpdateCodec::Raw`].
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.wire_size());
+        self.encode_with(UpdateCodec::Raw)
+    }
+
+    /// Encodes the message under an update codec. `Update` and
+    /// `AggregateUpdate` frames under a lossy codec travel as protocol v3 —
+    /// one codec tag byte after the kind, tensors in the codec's compact
+    /// encoding — while every other combination is byte-for-byte the v2
+    /// [`Message::encode`] output.
+    pub fn encode_with(&self, codec: UpdateCodec) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_size_with(codec));
+        self.encode_body(codec, &mut out);
+        out
+    }
+
+    /// [`Message::encode_with`] into a caller-owned buffer, clearing it
+    /// first. The serialized transport feeds a thread-local scratch buffer
+    /// through here so the hot send loop reuses grown capacity instead of
+    /// sizing and allocating a fresh vector per message.
+    pub fn encode_into(&self, codec: UpdateCodec, out: &mut Vec<u8>) {
+        out.clear();
+        self.encode_body(codec, out);
+    }
+
+    fn encode_body(&self, codec: UpdateCodec, out: &mut Vec<u8>) {
+        // Only upload frames are ever coded; control traffic (and any frame
+        // under `Raw`) keeps the v2 header so `Raw` deployments stay
+        // byte-identical to protocol version 2.
+        let tag = match self {
+            Message::Update { .. } | Message::AggregateUpdate { .. } => codec.wire_tag(),
+            _ => None,
+        };
+        let codec = if tag.is_some() {
+            codec
+        } else {
+            UpdateCodec::Raw
+        };
         out.extend_from_slice(&WIRE_MAGIC);
-        out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
-        out.push(self.kind_byte());
+        match tag {
+            Some(tag) => {
+                out.extend_from_slice(&CODED_PROTOCOL_VERSION.to_le_bytes());
+                out.push(self.kind_byte());
+                out.push(tag);
+            }
+            None => {
+                out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+                out.push(self.kind_byte());
+            }
+        }
         match self {
-            Message::Join { client_id } => put_u64(&mut out, *client_id as u64),
+            Message::Join { client_id } => put_u64(out, *client_id as u64),
             Message::RoundStart { round, global } => {
-                put_u64(&mut out, *round as u64);
-                put_u64(&mut out, global.round as u64);
-                put_params(&mut out, &global.parameters);
+                put_u64(out, *round as u64);
+                put_u64(out, global.round as u64);
+                put_params(out, &global.parameters);
             }
             Message::Update { update, shielded } => {
-                put_update_payload(&mut out, update, shielded);
+                put_update_payload(out, update, shielded, codec);
             }
             Message::AggregateUpdate {
                 origin,
                 round,
                 members,
             } => {
-                put_u64(&mut out, *origin as u64);
-                put_u64(&mut out, *round as u64);
-                put_u32(&mut out, members.len() as u32);
+                put_u64(out, *origin as u64);
+                put_u64(out, *round as u64);
+                put_u32(out, members.len() as u32);
                 for member in members {
-                    put_update_payload(&mut out, &member.update, &member.shielded);
+                    put_update_payload(out, &member.update, &member.shielded, codec);
                 }
             }
-            Message::RoundEnd { round } => put_u64(&mut out, *round as u64),
-            Message::Leave { client_id } => put_u64(&mut out, *client_id as u64),
+            Message::RoundEnd { round } => put_u64(out, *round as u64),
+            Message::Leave { client_id } => put_u64(out, *client_id as u64),
             Message::Nack {
                 client_id,
                 round,
                 reason,
             } => {
-                put_u64(&mut out, *client_id as u64);
-                put_u64(&mut out, *round as u64);
+                put_u64(out, *client_id as u64);
+                put_u64(out, *round as u64);
                 let (tag, detail): (u8, &str) = match reason {
                     NackReason::StaleRound => (0, ""),
                     NackReason::StragglerDeadline => (1, ""),
@@ -304,12 +371,11 @@ impl Message {
                     NackReason::CorruptFrame => (5, ""),
                 };
                 out.push(tag);
-                put_str(&mut out, detail);
+                put_str(out, detail);
             }
         }
-        let checksum = fnv1a64(&out);
+        let checksum = fnv1a64(out);
         out.extend_from_slice(&checksum.to_le_bytes());
-        out
     }
 
     /// Decodes a message from its binary wire format, verifying magic,
@@ -331,15 +397,40 @@ impl Message {
             return wire_err("bad wire magic");
         }
         let version = u16::from_le_bytes([body[4], body[5]]);
-        if version != PROTOCOL_VERSION {
-            return Err(FlError::Wire {
-                reason: format!(
-                    "unsupported protocol version {version} (expected {PROTOCOL_VERSION})"
-                ),
-            });
-        }
         let kind = body[6];
-        let mut cursor = Cursor::new(&body[HEADER_LEN..]);
+        // Protocol v2 frames are raw; v3 frames carry one codec tag byte
+        // after the kind, and only upload kinds may be coded.
+        let (payload_start, wire_codec) = match version {
+            PROTOCOL_VERSION => (HEADER_LEN, WireCodec::Raw),
+            CODED_PROTOCOL_VERSION => {
+                if body.len() < HEADER_LEN + 1 {
+                    return wire_err("coded frame shorter than its header");
+                }
+                if kind != 2 && kind != 6 {
+                    return wire_err("codec framing on a non-update message kind");
+                }
+                let codec = match body[7] {
+                    1 => WireCodec::Bf16,
+                    2 => WireCodec::Int8,
+                    3 => WireCodec::TopK,
+                    other => {
+                        return Err(FlError::Wire {
+                            reason: format!("unknown update codec tag {other}"),
+                        })
+                    }
+                };
+                (HEADER_LEN + 1, codec)
+            }
+            other => {
+                return Err(FlError::Wire {
+                    reason: format!(
+                        "unsupported protocol version {other} \
+                         (expected {PROTOCOL_VERSION} or {CODED_PROTOCOL_VERSION})"
+                    ),
+                });
+            }
+        };
+        let mut cursor = Cursor::new(&body[payload_start..]);
         let message = match kind {
             0 => Message::Join {
                 client_id: cursor.take_u64()? as usize,
@@ -357,7 +448,7 @@ impl Message {
                 }
             }
             2 => {
-                let (update, shielded) = cursor.take_update_payload()?;
+                let (update, shielded) = cursor.take_update_payload(wire_codec)?;
                 Message::Update { update, shielded }
             }
             6 => {
@@ -366,7 +457,7 @@ impl Message {
                 let count = cursor.take_u32()? as usize;
                 let mut members = Vec::with_capacity(count.min(4096));
                 for _ in 0..count {
-                    let (update, shielded) = cursor.take_update_payload()?;
+                    let (update, shielded) = cursor.take_update_payload(wire_codec)?;
                     members.push(MemberUpdate { update, shielded });
                 }
                 Message::AggregateUpdate {
@@ -420,12 +511,33 @@ impl Message {
     /// in-memory (zero-copy) path reports the same logical volume the
     /// serialised path actually moves.
     pub fn wire_size(&self) -> usize {
+        self.wire_size_with(UpdateCodec::Raw)
+    }
+
+    /// Exact length in bytes of [`Message::encode_with`]'s output under a
+    /// codec, computed without encoding. The in-memory transport accounts
+    /// logical traffic with it so both transports report the compressed
+    /// volume the serialised path actually moves.
+    pub fn wire_size_with(&self, codec: UpdateCodec) -> usize {
+        let coded = !codec.is_raw()
+            && matches!(
+                self,
+                Message::Update { .. } | Message::AggregateUpdate { .. }
+            );
+        let codec = if coded { codec } else { UpdateCodec::Raw };
         let payload = match self {
             Message::Join { .. } | Message::RoundEnd { .. } | Message::Leave { .. } => 8,
             Message::RoundStart { global, .. } => 8 + global.wire_size(),
-            Message::Update { update, shielded } => update_payload_wire_len(update, shielded),
+            Message::Update { update, shielded } => {
+                update_payload_wire_len(update, shielded, codec)
+            }
             Message::AggregateUpdate { members, .. } => {
-                8 + 8 + 4 + members.iter().map(MemberUpdate::wire_size).sum::<usize>()
+                8 + 8
+                    + 4
+                    + members
+                        .iter()
+                        .map(|m| update_payload_wire_len(&m.update, &m.shielded, codec))
+                        .sum::<usize>()
             }
             Message::Nack { reason, .. } => {
                 let detail = match reason {
@@ -435,25 +547,57 @@ impl Message {
                 8 + 8 + 1 + 4 + detail
             }
         };
-        HEADER_LEN + payload + CHECKSUM_LEN
+        HEADER_LEN + usize::from(coded) + payload + CHECKSUM_LEN
     }
 }
 
-/// Wire length of one update payload (shared by [`Message::Update`] and the
-/// members of a [`Message::AggregateUpdate`]).
-fn update_payload_wire_len(update: &ModelUpdate, shielded: &[SealedBlob]) -> usize {
-    let blobs: usize = shielded.iter().map(|b| 4 + b.ciphertext().len() + 8).sum();
-    update.wire_size() + 4 + blobs
+/// Decode-side codec dispatch: which compact tensor layout a v3 frame's tag
+/// byte announced. Decode never needs codec *parameters* (a TopK frame
+/// carries its kept count explicitly), so this is deliberately smaller than
+/// [`UpdateCodec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WireCodec {
+    Raw,
+    Bf16,
+    Int8,
+    TopK,
 }
 
-/// Encodes one update payload: round, client, weight, clear parameters,
-/// sealed blobs. Shared by [`Message::Update`] and the members of a
-/// [`Message::AggregateUpdate`], so both frame updates identically.
-fn put_update_payload(out: &mut Vec<u8>, update: &ModelUpdate, shielded: &[SealedBlob]) {
+/// Wire length of one update payload under a codec (shared by
+/// [`Message::Update`] and the members of a [`Message::AggregateUpdate`]).
+/// Sealed blobs are opaque ciphertext and are never compressed.
+fn update_payload_wire_len(
+    update: &ModelUpdate,
+    shielded: &[SealedBlob],
+    codec: UpdateCodec,
+) -> usize {
+    let blobs: usize = shielded.iter().map(|b| 4 + b.ciphertext().len() + 8).sum();
+    let params = 4 + update
+        .parameters
+        .iter()
+        .map(|(name, tensor)| 4 + name.len() + codec.tensor_wire_len(tensor))
+        .sum::<usize>();
+    3 * 8 + params + 4 + blobs
+}
+
+/// Encodes one update payload: round, client, weight, clear parameters
+/// (tensors in the codec's compact layout), sealed blobs. Shared by
+/// [`Message::Update`] and the members of a [`Message::AggregateUpdate`],
+/// so both frame updates identically.
+fn put_update_payload(
+    out: &mut Vec<u8>,
+    update: &ModelUpdate,
+    shielded: &[SealedBlob],
+    codec: UpdateCodec,
+) {
     put_u64(out, update.round as u64);
     put_u64(out, update.client_id as u64);
     put_u64(out, update.num_samples as u64);
-    put_params(out, &update.parameters);
+    put_u32(out, update.parameters.len() as u32);
+    for (name, tensor) in &update.parameters {
+        put_str(out, name);
+        put_tensor_coded(out, tensor, codec);
+    }
     put_u32(out, shielded.len() as u32);
     for blob in shielded {
         put_bytes(out, blob.ciphertext());
@@ -513,6 +657,58 @@ pub(crate) fn put_tensor(out: &mut Vec<u8>, tensor: &Tensor) {
     }
     for &v in tensor.data() {
         out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Encodes a tensor in the codec's compact wire layout. All four layouts
+/// open with the raw `rank ‖ dims` framing; the element section differs:
+///
+/// * `Raw`  — `4·numel` bytes of exact `f32` bit patterns,
+/// * `Bf16` — `2·numel` bytes of rounded high halves,
+/// * `Int8` — the 4-byte scale bit pattern then `numel` signed codes,
+/// * `TopK` — a 4-byte kept count then `(u32 index, u32 value bits)` pairs
+///   in ascending index order.
+///
+/// Deterministic by construction: scale derivation, rounding and selection
+/// are the fixed scalar computations of [`crate::codec`], so encoding the
+/// same tensor always yields the same bytes — and encoding a dequantized
+/// tensor yields the *same* bytes again (idempotence).
+fn put_tensor_coded(out: &mut Vec<u8>, tensor: &Tensor, codec: UpdateCodec) {
+    match codec {
+        UpdateCodec::Raw => put_tensor(out, tensor),
+        UpdateCodec::Bf16 => {
+            put_u32(out, tensor.rank() as u32);
+            for &dim in tensor.dims() {
+                put_u64(out, dim as u64);
+            }
+            for &v in tensor.data() {
+                out.extend_from_slice(&bf16_hi_bits(v).to_le_bytes());
+            }
+        }
+        UpdateCodec::Int8 => {
+            put_u32(out, tensor.rank() as u32);
+            for &dim in tensor.dims() {
+                put_u64(out, dim as u64);
+            }
+            let scale = int8_scale(tensor.data());
+            let inv = scale.recip();
+            put_u32(out, scale.to_bits());
+            for &v in tensor.data() {
+                out.push(int8_quantize(v, inv) as u8);
+            }
+        }
+        UpdateCodec::TopK { k } => {
+            put_u32(out, tensor.rank() as u32);
+            for &dim in tensor.dims() {
+                put_u64(out, dim as u64);
+            }
+            let kept = topk_indices(tensor.data(), k);
+            put_u32(out, kept.len() as u32);
+            for index in kept {
+                put_u32(out, index as u32);
+                put_u32(out, tensor.data()[index].to_bits());
+            }
+        }
     }
 }
 
@@ -590,7 +786,8 @@ impl<'a> Cursor<'a> {
         Ok(self.take(len)?.to_vec())
     }
 
-    fn take_tensor(&mut self) -> Result<Tensor> {
+    /// Reads the `rank ‖ dims` framing every tensor layout opens with.
+    fn take_dims(&mut self) -> Result<Vec<usize>> {
         let rank = self.take_u32()? as usize;
         if rank > 8 {
             return wire_err("implausible tensor rank");
@@ -599,22 +796,38 @@ impl<'a> Cursor<'a> {
         for _ in 0..rank {
             dims.push(self.take_u64()? as usize);
         }
-        // The remaining payload bounds every plausible element count; a
-        // frame is untrusted input, so the dim product must be overflow-
-        // checked — a wrapping product could smuggle a bogus shape past the
-        // length check (or panic in debug builds). A zero dim makes the
-        // count legitimately zero whatever the sibling dims claim.
-        let budget = self.data.len().saturating_sub(self.pos) / 4 + 1;
+        Ok(dims)
+    }
+
+    /// Overflow-checked element count of an untrusted shape, bounded by
+    /// `budget`. A frame is untrusted input, so the dim product must be
+    /// overflow-checked — a wrapping product could smuggle a bogus shape
+    /// past the length check (or panic in debug builds). A zero dim makes
+    /// the count legitimately zero whatever the sibling dims claim.
+    fn checked_numel(dims: &[usize], budget: usize) -> Result<usize> {
         let mut numel = 0usize;
         if !dims.contains(&0) {
             numel = 1;
-            for &dim in &dims {
+            for &dim in dims {
                 numel = match numel.checked_mul(dim) {
                     Some(n) if n <= budget => n,
                     _ => return wire_err("tensor larger than remaining payload"),
                 };
             }
         }
+        Ok(numel)
+    }
+
+    /// Bytes left in the payload, the base of every element-count budget.
+    fn remaining(&self) -> usize {
+        self.data.len().saturating_sub(self.pos)
+    }
+
+    fn take_tensor(&mut self) -> Result<Tensor> {
+        let dims = self.take_dims()?;
+        // The remaining payload bounds every plausible element count at 4
+        // bytes per element.
+        let numel = Self::checked_numel(&dims, self.remaining() / 4 + 1)?;
         let mut data = Vec::with_capacity(numel);
         for _ in 0..numel {
             let bits = self.take_u32()?;
@@ -623,12 +836,76 @@ impl<'a> Cursor<'a> {
         Tensor::from_vec(data, &dims).or_else(|_| wire_err("inconsistent tensor framing"))
     }
 
+    /// Inverse of [`put_tensor_coded`]: reconstructs the **dequantized**
+    /// tensor a coded layout carries. Decoding is total and deterministic —
+    /// any framing violation (indices out of range or out of order, claimed
+    /// shapes larger than the payload can hold) errors instead of
+    /// panicking, and well-formed input reconstructs exact bit patterns.
+    fn take_tensor_coded(&mut self, codec: WireCodec) -> Result<Tensor> {
+        match codec {
+            WireCodec::Raw => self.take_tensor(),
+            WireCodec::Bf16 => {
+                let dims = self.take_dims()?;
+                let numel = Self::checked_numel(&dims, self.remaining() / 2 + 1)?;
+                let mut data = Vec::with_capacity(numel);
+                for _ in 0..numel {
+                    let hi = u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes"));
+                    data.push(bf16_from_hi(hi));
+                }
+                Tensor::from_vec(data, &dims).or_else(|_| wire_err("inconsistent tensor framing"))
+            }
+            WireCodec::Int8 => {
+                let dims = self.take_dims()?;
+                let scale = f32::from_bits(self.take_u32()?);
+                let numel = Self::checked_numel(&dims, self.remaining() + 1)?;
+                let mut data = Vec::with_capacity(numel);
+                for _ in 0..numel {
+                    let code = self.take_u8()? as i8;
+                    data.push(f32::from(code) * scale);
+                }
+                Tensor::from_vec(data, &dims).or_else(|_| wire_err("inconsistent tensor framing"))
+            }
+            WireCodec::TopK => {
+                let dims = self.take_dims()?;
+                // A sparse layout's element count is not bounded by its
+                // payload length, so an absolute cap stops a hostile frame
+                // from claiming a huge dense shape and forcing the
+                // allocation here.
+                const MAX_SPARSE_NUMEL: usize = 1 << 26;
+                let numel = Self::checked_numel(&dims, MAX_SPARSE_NUMEL)
+                    .or_else(|_| wire_err("implausible sparse tensor shape"))?;
+                let count = self.take_u32()? as usize;
+                if count > numel || count > self.remaining() / 8 + 1 {
+                    return wire_err("sparse entry count larger than remaining payload");
+                }
+                let mut data = vec![0.0f32; numel];
+                let mut previous: Option<usize> = None;
+                for _ in 0..count {
+                    let index = self.take_u32()? as usize;
+                    let bits = self.take_u32()?;
+                    if index >= numel || previous.is_some_and(|p| index <= p) {
+                        return wire_err("sparse indices out of range or out of order");
+                    }
+                    data[index] = f32::from_bits(bits);
+                    previous = Some(index);
+                }
+                Tensor::from_vec(data, &dims).or_else(|_| wire_err("inconsistent tensor framing"))
+            }
+        }
+    }
+
     /// Inverse of [`put_update_payload`].
-    fn take_update_payload(&mut self) -> Result<(ModelUpdate, Vec<SealedBlob>)> {
+    fn take_update_payload(&mut self, codec: WireCodec) -> Result<(ModelUpdate, Vec<SealedBlob>)> {
         let round = self.take_u64()? as usize;
         let client_id = self.take_u64()? as usize;
         let num_samples = self.take_u64()? as usize;
-        let parameters = self.take_params()?;
+        let count = self.take_u32()? as usize;
+        let mut parameters = Vec::with_capacity(count.min(4096));
+        for _ in 0..count {
+            let name = self.take_str()?;
+            let tensor = self.take_tensor_coded(codec)?;
+            parameters.push((name, tensor));
+        }
         let blobs = self.take_u32()? as usize;
         let mut shielded = Vec::with_capacity(blobs.min(1024));
         for _ in 0..blobs {
@@ -875,6 +1152,189 @@ mod tests {
             parameters: global.parameters.clone(),
         };
         assert!(update.wire_size() >= global.wire_size());
+    }
+
+    fn all_codecs() -> Vec<UpdateCodec> {
+        vec![
+            UpdateCodec::Raw,
+            UpdateCodec::Bf16,
+            UpdateCodec::Int8,
+            UpdateCodec::TopK { k: 4 },
+        ]
+    }
+
+    fn update_message() -> Message {
+        Message::Update {
+            update: ModelUpdate {
+                client_id: 1,
+                round: 2,
+                num_samples: 10,
+                parameters: params(),
+            },
+            shielded: vec![SealedBlob::from_parts(vec![1, 2, 3, 255], 0xDEAD)],
+        }
+    }
+
+    #[test]
+    fn raw_codec_frames_are_byte_identical_to_v2() {
+        for message in all_variants() {
+            assert_eq!(
+                message.encode_with(UpdateCodec::Raw),
+                message.encode(),
+                "{}",
+                message.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn control_frames_ignore_the_codec() {
+        for codec in all_codecs() {
+            for message in all_variants() {
+                if matches!(
+                    message,
+                    Message::Update { .. } | Message::AggregateUpdate { .. }
+                ) {
+                    continue;
+                }
+                assert_eq!(message.encode_with(codec), message.encode());
+            }
+        }
+    }
+
+    #[test]
+    fn coded_frames_decode_to_the_round_tripped_values() {
+        for codec in all_codecs() {
+            for message in all_variants() {
+                let bytes = message.encode_with(codec);
+                assert_eq!(
+                    bytes.len(),
+                    message.wire_size_with(codec),
+                    "wire_size_with must predict the {} frame length under {codec}",
+                    message.kind()
+                );
+                let decoded = Message::decode(&bytes).unwrap();
+                let expected = codec.round_trip_message(&message).unwrap_or(message);
+                // Bit-level equality via re-encode: PartialEq would wrongly
+                // fail on NaN payloads the wire preserves.
+                assert_eq!(decoded.encode(), expected.encode(), "under {codec}");
+            }
+        }
+    }
+
+    #[test]
+    fn coded_encode_is_idempotent_under_re_encode() {
+        // The edge re-encode path: decoding a compressed member and
+        // re-encoding it under the same codec must reproduce the original
+        // compressed bytes exactly.
+        for codec in all_codecs() {
+            for message in all_variants() {
+                let bytes = message.encode_with(codec);
+                let decoded = Message::decode(&bytes).unwrap();
+                assert_eq!(decoded.encode_with(codec), bytes, "under {codec}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_into_reuses_the_buffer_and_matches_encode_with() {
+        let mut scratch = Vec::new();
+        for codec in all_codecs() {
+            for message in all_variants() {
+                message.encode_into(codec, &mut scratch);
+                assert_eq!(scratch, message.encode_with(codec));
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_coded_frames_are_detected() {
+        for codec in all_codecs() {
+            let bytes = update_message().encode_with(codec);
+            for position in 0..bytes.len() {
+                let mut tampered = bytes.clone();
+                tampered[position] ^= 0x40;
+                assert!(
+                    Message::decode(&tampered).is_err(),
+                    "flip at byte {position} of a {codec} frame went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_and_topk_frames_are_meaningfully_smaller() {
+        let wide = Message::Update {
+            update: ModelUpdate {
+                client_id: 0,
+                round: 0,
+                num_samples: 1,
+                parameters: vec![("w".to_string(), Tensor::arange(4096))],
+            },
+            shielded: Vec::new(),
+        };
+        let raw = wide.wire_size_with(UpdateCodec::Raw);
+        assert!(wide.wire_size_with(UpdateCodec::Bf16) * 3 < raw * 2);
+        assert!(wide.wire_size_with(UpdateCodec::Int8) * 3 < raw);
+        assert!(wide.wire_size_with(UpdateCodec::TopK { k: 64 }) * 3 < raw);
+    }
+
+    #[test]
+    fn hostile_coded_framing_is_rejected_not_panicked() {
+        // A v3 header on a control kind is refused.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&WIRE_MAGIC);
+        frame.extend_from_slice(&CODED_PROTOCOL_VERSION.to_le_bytes());
+        frame.push(3); // RoundEnd — never coded
+        frame.push(2); // Int8 tag
+        put_u64(&mut frame, 1);
+        let checksum = fnv1a64(&frame);
+        frame.extend_from_slice(&checksum.to_le_bytes());
+        assert!(Message::decode(&frame).is_err());
+
+        // An unknown codec tag is refused.
+        let mut bytes = update_message().encode_with(UpdateCodec::Int8);
+        bytes[7] = 9;
+        let body_len = bytes.len() - CHECKSUM_LEN;
+        let checksum = fnv1a64(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        let err = Message::decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("codec tag"));
+
+        // A sparse frame claiming a huge dense shape is refused before any
+        // allocation, and out-of-order sparse indices are refused too.
+        let hostile_topk = |dims: &[u64], entries: &[(u32, u32)]| {
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&WIRE_MAGIC);
+            frame.extend_from_slice(&CODED_PROTOCOL_VERSION.to_le_bytes());
+            frame.push(2); // Update
+            frame.push(3); // TopK tag
+            put_u64(&mut frame, 0); // round
+            put_u64(&mut frame, 0); // client
+            put_u64(&mut frame, 1); // samples
+            put_u32(&mut frame, 1); // one parameter
+            put_str(&mut frame, "w");
+            put_u32(&mut frame, dims.len() as u32);
+            for &dim in dims {
+                put_u64(&mut frame, dim);
+            }
+            put_u32(&mut frame, entries.len() as u32);
+            for &(index, bits) in entries {
+                put_u32(&mut frame, index);
+                put_u32(&mut frame, bits);
+            }
+            put_u32(&mut frame, 0); // no blobs
+            let checksum = fnv1a64(&frame);
+            frame.extend_from_slice(&checksum.to_le_bytes());
+            Message::decode(&frame)
+        };
+        assert!(hostile_topk(&[u64::MAX, 2], &[]).is_err());
+        assert!(hostile_topk(&[1 << 40], &[]).is_err());
+        assert!(hostile_topk(&[4], &[(2, 0), (1, 0)]).is_err());
+        assert!(hostile_topk(&[4], &[(1, 0), (1, 0)]).is_err());
+        assert!(hostile_topk(&[4], &[(4, 0)]).is_err());
+        // A well-formed sparse frame still decodes.
+        assert!(hostile_topk(&[4], &[(1, 1.5f32.to_bits()), (3, 2.0f32.to_bits())]).is_ok());
     }
 
     #[test]

@@ -22,6 +22,16 @@
 //! tests assert bit-identical aggregates under client permutations, across
 //! transports and across `PELTA_THREADS` values.
 //!
+//! **Codec transparency.** The rules never see wire bytes: when a scenario
+//! ships updates through an [`crate::UpdateCodec`], the transport layer has
+//! already decoded (dequantized / densified) every payload by the time it
+//! reaches the fold, so the rules fold exact `f32` values in the same
+//! canonical order whatever the codec. A codec changes *which* values
+//! arrive (its quantization error), never *how* they are folded — each
+//! codec's aggregate is therefore just as permutation-invariant,
+//! transport-invariant and streaming/buffered-identical as `Raw`'s, which
+//! `tests/robust_properties.rs` asserts per codec.
+//!
 //! **Topology invariance.** Since the topology layer, the rules also see
 //! the same update set whatever route it travelled: edge aggregators and
 //! gossip peers forward member updates with per-client granularity, so the

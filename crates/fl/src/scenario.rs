@@ -121,6 +121,14 @@ impl ScenarioSpec {
         self
     }
 
+    /// Ships the scenario's update frames through `codec` on every link of
+    /// the federation fabric (builder style) — see [`crate::codec`].
+    #[must_use]
+    pub fn with_codec(mut self, codec: crate::UpdateCodec) -> Self {
+        self.federation.codec = codec;
+        self
+    }
+
     /// Where the adversarial seats sit in a hierarchical topology: the
     /// `(client_id, edge_id)` placement of every non-honest role. Empty for
     /// star and gossip topologies (and for all-honest populations) — there

@@ -29,6 +29,11 @@
 //! same fold behind the buffered [`crate::robust::aggregate_with_rule`]
 //! façade).
 //!
+//! The server is codec-agnostic: update frames compressed by an
+//! [`crate::UpdateCodec`] are decoded at the transport boundary, so
+//! [`FedAvgServer::deliver`] always receives plain dequantized `f32`
+//! payloads and the fold below never touches wire bytes.
+//!
 //! **Streaming collection.** The Collecting phase does not buffer the
 //! round's update payloads: accepted updates feed the round's
 //! [`AggregationFold`], which under a streaming rule (FedAvg, norm

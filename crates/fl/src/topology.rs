@@ -52,7 +52,7 @@ use crate::robust::{aggregate_with_rule, validate_update_schema};
 use crate::server::{RoundCheckpoint, RoundSummary};
 use crate::{
     AggregationRule, BroadcastFrame, Delivery, FedAvgServer, FlError, MemberUpdate, Message,
-    ModelUpdate, NackReason, ParticipationPolicy, Result, Transport, TransportKind,
+    ModelUpdate, NackReason, ParticipationPolicy, Result, Transport, TransportKind, UpdateCodec,
 };
 
 /// How a federation routes updates to the consensus point.
@@ -735,10 +735,15 @@ pub(crate) struct GossipMesh {
 
 impl GossipMesh {
     /// Builds the mesh: peer `i` pushes to `i+1 ..= i+fanout` (mod `n`) over
-    /// fresh duplex links of the given transport kind. `coordinators[i]` is
-    /// the runtime-side end of client `i`'s agent link.
+    /// fresh duplex links of the given transport kind, carrying the
+    /// scenario's update codec. `coordinators[i]` is the runtime-side end of
+    /// client `i`'s agent link. Because every codec is idempotent, a member
+    /// update re-flooded across any number of coded hops keeps the exact
+    /// bits of its first coded hop, so the consensus fold sees one value
+    /// per member whatever the flooding order.
     pub(crate) fn new(
         kind: TransportKind,
+        codec: UpdateCodec,
         coordinators: Vec<Box<dyn Transport>>,
         latencies: Vec<usize>,
         fanout: usize,
@@ -750,7 +755,7 @@ impl GossipMesh {
         for (i, out) in outs.iter_mut().enumerate() {
             for j in 1..=fanout {
                 let target = (i + j) % n;
-                let (a, b) = kind.duplex();
+                let (a, b) = kind.duplex_with(codec);
                 out.push(GossipLink {
                     link: a,
                     sent: BTreeSet::new(),
@@ -1463,7 +1468,13 @@ mod tests {
             coordinators.push(Box::new(runtime_end) as Box<dyn Transport>);
             agent_ends.push(agent_end);
         }
-        let mut mesh = GossipMesh::new(TransportKind::InMemory, coordinators, vec![0; 2], 1);
+        let mut mesh = GossipMesh::new(
+            TransportKind::InMemory,
+            UpdateCodec::Raw,
+            coordinators,
+            vec![0; 2],
+            1,
+        );
         let broadcast = GlobalModel {
             round: 0,
             parameters: named(&[0.0, 0.0]),
@@ -1562,7 +1573,13 @@ mod tests {
             coordinators.push(Box::new(runtime_end) as Box<dyn Transport>);
             agent_ends.push(agent_end);
         }
-        let mut mesh = GossipMesh::new(TransportKind::InMemory, coordinators, vec![0; clients], 1);
+        let mut mesh = GossipMesh::new(
+            TransportKind::InMemory,
+            UpdateCodec::Raw,
+            coordinators,
+            vec![0; clients],
+            1,
+        );
         let initial = named(&[0.0, 0.0]);
         let broadcast = GlobalModel {
             round: 0,

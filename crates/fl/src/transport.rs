@@ -14,9 +14,20 @@
 //!   in-memory run.
 //!
 //! Both transports report the same *logical* traffic volume
-//! ([`Message::wire_size`]); [`Transport::bytes_serialized`] additionally
-//! reports the bytes that were physically encoded (zero for the in-memory
-//! path), which is what the serialisation-equivalence tests compare.
+//! ([`Message::wire_size_with`] under the link's codec);
+//! [`Transport::bytes_serialized`] additionally reports the bytes that were
+//! physically encoded (zero for the in-memory path), which is what the
+//! serialisation-equivalence tests compare.
+//!
+//! **Update codecs.** A link built by [`TransportKind::duplex_with`] carries
+//! an [`UpdateCodec`] and is the single choke point where compression
+//! touches values: the serialized path encodes upload frames in the codec's
+//! compact v3 layout, and the in-memory path applies the *same* value loss
+//! ([`UpdateCodec::round_trip_message`]) to the queued message. Both
+//! endpoints of a link therefore deliver bit-identical dequantized tensors,
+//! whatever the transport kind — the codec extension of the transport-
+//! equivalence contract. [`TransportKind::duplex`] builds `Raw` links, which
+//! behave exactly as before the codec layer existed.
 //!
 //! **Broadcast sharing.** A coordinator sending one [`Message`] to a large
 //! population must not pay O(population × model) to do it: a
@@ -25,14 +36,20 @@
 //! the shared payload per link. Counters are still charged per link — a
 //! broadcast to N seats is N logical sends — so traffic accounting is
 //! unchanged from N individual `send` calls.
+//!
+//! **Encode buffer reuse.** Every byte-path encode on a thread runs through
+//! one thread-local scratch buffer: the hot serialized send loop writes into
+//! retained capacity and queues a single exact-size copy, instead of sizing
+//! (a full message walk) and growing a fresh vector per message.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use crate::{Message, Result};
+use crate::{Message, Result, UpdateCodec};
 
 /// Which transport a federation runs its links over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -51,19 +68,44 @@ impl Default for TransportKind {
 }
 
 impl TransportKind {
-    /// Creates a connected endpoint pair of this kind.
+    /// Creates a connected endpoint pair of this kind carrying raw
+    /// (uncompressed) frames.
     pub fn duplex(self) -> (Box<dyn Transport>, Box<dyn Transport>) {
+        self.duplex_with(UpdateCodec::Raw)
+    }
+
+    /// Creates a connected endpoint pair of this kind whose upload frames
+    /// are compressed by `codec` (see the module docs: both kinds deliver
+    /// the codec's dequantized values, so the transports stay equivalent).
+    pub fn duplex_with(self, codec: UpdateCodec) -> (Box<dyn Transport>, Box<dyn Transport>) {
         match self {
             TransportKind::InMemory => {
-                let (a, b) = InMemoryTransport::pair();
+                let (a, b) = InMemoryTransport::pair_with(codec);
                 (Box::new(a), Box::new(b))
             }
             TransportKind::Serialized => {
-                let (a, b) = SerializedTransport::pair();
+                let (a, b) = SerializedTransport::pair_with(codec);
                 (Box::new(a), Box::new(b))
             }
         }
     }
+}
+
+thread_local! {
+    /// Scratch buffer shared by every byte-path encode on this thread (see
+    /// the module docs on encode buffer reuse).
+    static ENCODE_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Encodes a message under `codec` through the thread-local scratch buffer,
+/// returning an exact-size frame. Steady state performs one allocation (the
+/// returned frame) and no sizing walk.
+fn encode_frame_bytes(message: &Message, codec: UpdateCodec) -> Vec<u8> {
+    ENCODE_SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        message.encode_into(codec, &mut scratch);
+        scratch.as_slice().to_vec()
+    })
 }
 
 /// A broadcast payload shared across every link it is sent over: the
@@ -90,9 +132,16 @@ impl BroadcastFrame {
         &self.message
     }
 
-    /// The shared wire encoding, produced at most once per frame.
+    /// The shared raw wire encoding, produced at most once per frame
+    /// (through the thread-local encode scratch). Broadcast traffic is
+    /// control traffic — `RoundStart` / `RoundEnd` — which every codec
+    /// leaves in the raw v2 encoding, so one shared raw frame serves every
+    /// link whatever codec it carries.
     pub fn encoded(&self) -> Arc<Vec<u8>> {
-        Arc::clone(self.encoded.get_or_init(|| Arc::new(self.message.encode())))
+        Arc::clone(
+            self.encoded
+                .get_or_init(|| Arc::new(encode_frame_bytes(&self.message, UpdateCodec::Raw))),
+        )
     }
 }
 
@@ -189,6 +238,13 @@ pub trait Transport: Send {
 
     /// The transport kind of this endpoint.
     fn kind(&self) -> TransportKind;
+
+    /// The update codec this link compresses upload frames with. Fault-
+    /// injecting wrappers delegate to the wrapped link so tampering and
+    /// retransmission operate on the *compressed* frame bytes.
+    fn codec(&self) -> UpdateCodec {
+        UpdateCodec::Raw
+    }
 }
 
 /// Per-endpoint traffic counters.
@@ -203,15 +259,27 @@ struct Counters {
 /// values. Queued messages sit behind `Arc`s so a broadcast frame occupies
 /// one allocation however many inboxes it is queued in; `recv` unwraps the
 /// `Arc` without copying when this endpoint holds the last reference.
+///
+/// Under a lossy codec, `send` applies the codec's value loss to upload
+/// frames before queueing — the receiver sees exactly the dequantized
+/// values a serialized link would decode, keeping the two kinds
+/// bit-equivalent.
 pub struct InMemoryTransport {
     incoming: Arc<Mutex<VecDeque<Arc<Message>>>>,
     outgoing: Arc<Mutex<VecDeque<Arc<Message>>>>,
     counters: Mutex<Counters>,
+    codec: UpdateCodec,
 }
 
 impl InMemoryTransport {
-    /// Creates a connected endpoint pair.
+    /// Creates a connected endpoint pair carrying raw frames.
     pub fn pair() -> (InMemoryTransport, InMemoryTransport) {
+        Self::pair_with(UpdateCodec::Raw)
+    }
+
+    /// Creates a connected endpoint pair whose upload messages carry the
+    /// codec's dequantized values.
+    pub fn pair_with(codec: UpdateCodec) -> (InMemoryTransport, InMemoryTransport) {
         let a_to_b = Arc::new(Mutex::new(VecDeque::new()));
         let b_to_a = Arc::new(Mutex::new(VecDeque::new()));
         (
@@ -219,11 +287,13 @@ impl InMemoryTransport {
                 incoming: Arc::clone(&b_to_a),
                 outgoing: Arc::clone(&a_to_b),
                 counters: Mutex::new(Counters::default()),
+                codec,
             },
             InMemoryTransport {
                 incoming: a_to_b,
                 outgoing: b_to_a,
                 counters: Mutex::new(Counters::default()),
+                codec,
             },
         )
     }
@@ -233,18 +303,29 @@ impl Transport for InMemoryTransport {
     fn send(&self, message: &Message) -> Result<()> {
         let mut counters = self.counters.lock();
         counters.messages += 1;
-        counters.logical_bytes += message.wire_size();
+        counters.logical_bytes += message.wire_size_with(self.codec);
         drop(counters);
-        self.outgoing.lock().push_back(Arc::new(message.clone()));
+        let queued = match self.codec.round_trip_message(message) {
+            Some(rewritten) => Arc::new(rewritten),
+            None => Arc::new(message.clone()),
+        };
+        self.outgoing.lock().push_back(queued);
         Ok(())
     }
 
     fn send_broadcast(&self, frame: &BroadcastFrame) -> Result<()> {
         let mut counters = self.counters.lock();
         counters.messages += 1;
-        counters.logical_bytes += frame.message().wire_size();
+        counters.logical_bytes += frame.message().wire_size_with(self.codec);
         drop(counters);
-        self.outgoing.lock().push_back(Arc::clone(&frame.message));
+        // Broadcasts are control traffic, untouched by every codec; an
+        // upload frame broadcast under a lossy codec would still need its
+        // values rewritten, so handle it for completeness.
+        let queued = match self.codec.round_trip_message(frame.message()) {
+            Some(rewritten) => Arc::new(rewritten),
+            None => Arc::clone(&frame.message),
+        };
+        self.outgoing.lock().push_back(queued);
         Ok(())
     }
 
@@ -272,20 +353,32 @@ impl Transport for InMemoryTransport {
     fn kind(&self) -> TransportKind {
         TransportKind::InMemory
     }
+
+    fn codec(&self) -> UpdateCodec {
+        self.codec
+    }
 }
 
 /// Serialise/deserialise loopback endpoint: every message crosses as its
-/// checksummed binary wire encoding. Queued frames sit behind `Arc`s so a
-/// broadcast is encoded once and shared across every inbox it is queued in.
+/// checksummed binary wire encoding — compressed by the link's codec on the
+/// upload kinds. Queued frames sit behind `Arc`s so a broadcast is encoded
+/// once and shared across every inbox it is queued in.
 pub struct SerializedTransport {
     incoming: Arc<Mutex<VecDeque<Arc<Vec<u8>>>>>,
     outgoing: Arc<Mutex<VecDeque<Arc<Vec<u8>>>>>,
     counters: Mutex<Counters>,
+    codec: UpdateCodec,
 }
 
 impl SerializedTransport {
-    /// Creates a connected endpoint pair.
+    /// Creates a connected endpoint pair carrying raw frames.
     pub fn pair() -> (SerializedTransport, SerializedTransport) {
+        Self::pair_with(UpdateCodec::Raw)
+    }
+
+    /// Creates a connected endpoint pair whose upload frames cross the wire
+    /// in the codec's compact v3 encoding.
+    pub fn pair_with(codec: UpdateCodec) -> (SerializedTransport, SerializedTransport) {
         let a_to_b = Arc::new(Mutex::new(VecDeque::new()));
         let b_to_a = Arc::new(Mutex::new(VecDeque::new()));
         (
@@ -293,11 +386,13 @@ impl SerializedTransport {
                 incoming: Arc::clone(&b_to_a),
                 outgoing: Arc::clone(&a_to_b),
                 counters: Mutex::new(Counters::default()),
+                codec,
             },
             SerializedTransport {
                 incoming: a_to_b,
                 outgoing: b_to_a,
                 counters: Mutex::new(Counters::default()),
+                codec,
             },
         )
     }
@@ -305,10 +400,12 @@ impl SerializedTransport {
 
 impl Transport for SerializedTransport {
     fn send(&self, message: &Message) -> Result<()> {
-        let frame = message.encode();
+        // The frame length *is* the logical wire size under this link's
+        // codec, so counting it directly skips the separate sizing walk.
+        let frame = encode_frame_bytes(message, self.codec);
         let mut counters = self.counters.lock();
         counters.messages += 1;
-        counters.logical_bytes += message.wire_size();
+        counters.logical_bytes += frame.len();
         counters.serialized_bytes += frame.len();
         drop(counters);
         self.outgoing.lock().push_back(Arc::new(frame));
@@ -316,11 +413,17 @@ impl Transport for SerializedTransport {
     }
 
     fn send_broadcast(&self, frame: &BroadcastFrame) -> Result<()> {
-        // Encoded at most once per frame, shared across every link.
+        // Broadcasts are control traffic, identical under every codec, so
+        // the raw shared encoding (produced at most once per frame) serves
+        // all links. An upload frame broadcast under a lossy codec cannot
+        // share bytes and falls back to a per-link coded send.
+        if !self.codec.is_raw() && self.codec.round_trip_message(frame.message()).is_some() {
+            return self.send(frame.message());
+        }
         let encoded = frame.encoded();
         let mut counters = self.counters.lock();
         counters.messages += 1;
-        counters.logical_bytes += frame.message().wire_size();
+        counters.logical_bytes += encoded.len();
         counters.serialized_bytes += encoded.len();
         drop(counters);
         self.outgoing.lock().push_back(encoded);
@@ -353,6 +456,10 @@ impl Transport for SerializedTransport {
 
     fn kind(&self) -> TransportKind {
         TransportKind::Serialized
+    }
+
+    fn codec(&self) -> UpdateCodec {
+        self.codec
     }
 }
 
@@ -454,9 +561,105 @@ mod tests {
         for kind in [TransportKind::InMemory, TransportKind::Serialized] {
             let (a, b) = kind.duplex();
             assert_eq!(a.kind(), kind);
+            assert_eq!(a.codec(), UpdateCodec::Raw);
             a.send(&Message::Join { client_id: 9 }).unwrap();
             assert_eq!(b.recv().unwrap().unwrap(), Message::Join { client_id: 9 });
         }
         assert_eq!(TransportKind::default(), TransportKind::InMemory);
+    }
+
+    fn update_message() -> Message {
+        let mut values = vec![0.125, -3.5, 0.0, 7.25, -0.0, 1.0e-3];
+        values.extend((0..58).map(|i| (i as f32 - 29.0) * 0.0625));
+        Message::Update {
+            update: crate::ModelUpdate {
+                client_id: 2,
+                round: 1,
+                num_samples: 8,
+                parameters: vec![("w".to_string(), Tensor::from_vec(values, &[64]).unwrap())],
+            },
+            shielded: Vec::new(),
+        }
+    }
+
+    fn codecs() -> Vec<UpdateCodec> {
+        vec![
+            UpdateCodec::Raw,
+            UpdateCodec::Bf16,
+            UpdateCodec::Int8,
+            UpdateCodec::TopK { k: 3 },
+        ]
+    }
+
+    /// The codec extension of transport equivalence: under every codec both
+    /// kinds deliver the same dequantized values, report the same logical
+    /// traffic, and the coded serialized frames are smaller than raw.
+    #[test]
+    fn coded_links_stay_equivalent_across_kinds() {
+        let message = update_message();
+        for codec in codecs() {
+            let (mem, mem_peer) = TransportKind::InMemory.duplex_with(codec);
+            let (ser, ser_peer) = TransportKind::Serialized.duplex_with(codec);
+            assert_eq!(mem.codec(), codec);
+            assert_eq!(ser.codec(), codec);
+            mem.send(&message).unwrap();
+            ser.send(&message).unwrap();
+            assert_eq!(mem.bytes_sent(), ser.bytes_sent(), "under {codec}");
+            let via_memory = mem_peer.recv().unwrap().unwrap();
+            let via_bytes = ser_peer.recv().unwrap().unwrap();
+            // Bit-level equality via re-encode (NaN-proof).
+            assert_eq!(via_memory.encode(), via_bytes.encode(), "under {codec}");
+            // And both equal the codec's declared round trip.
+            let expected = codec
+                .round_trip_message(&message)
+                .unwrap_or_else(|| message.clone());
+            assert_eq!(via_memory.encode(), expected.encode(), "under {codec}");
+            if !codec.is_raw() {
+                assert!(
+                    ser.bytes_serialized() < message.wire_size(),
+                    "{codec} frames must shrink below the raw wire size"
+                );
+            }
+        }
+    }
+
+    /// Control traffic is byte-identical whatever codec the link carries.
+    #[test]
+    fn coded_links_leave_control_traffic_raw() {
+        for codec in codecs() {
+            let (ser, peer) = TransportKind::Serialized.duplex_with(codec);
+            let (raw, _raw_peer) = TransportKind::Serialized.duplex();
+            for message in sample_messages() {
+                ser.send(&message).unwrap();
+                raw.send(&message).unwrap();
+                assert_eq!(peer.recv().unwrap().unwrap(), message);
+            }
+            assert_eq!(ser.bytes_serialized(), raw.bytes_serialized());
+        }
+    }
+
+    /// Broadcasting over coded links shares the raw control encoding and
+    /// still rewrites upload payloads per link.
+    #[test]
+    fn coded_broadcast_shares_control_frames_and_rewrites_uploads() {
+        let control = BroadcastFrame::new(sample_messages().remove(1));
+        let upload = BroadcastFrame::new(update_message());
+        for codec in codecs() {
+            for kind in [TransportKind::InMemory, TransportKind::Serialized] {
+                let (sender, receiver) = kind.duplex_with(codec);
+                sender.send_broadcast(&control).unwrap();
+                assert_eq!(receiver.recv().unwrap().unwrap(), *control.message());
+                sender.send_broadcast(&upload).unwrap();
+                let delivered = receiver.recv().unwrap().unwrap();
+                let expected = codec
+                    .round_trip_message(upload.message())
+                    .unwrap_or_else(|| upload.message().clone());
+                assert_eq!(
+                    delivered.encode(),
+                    expected.encode(),
+                    "under {codec} / {kind:?}"
+                );
+            }
+        }
     }
 }

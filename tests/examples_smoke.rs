@@ -31,6 +31,10 @@ mod hierarchical_federation;
 #[allow(dead_code)]
 mod chaos_federation;
 
+#[path = "../examples/compressed_federation.rs"]
+#[allow(dead_code)]
+mod compressed_federation;
+
 #[test]
 fn quickstart_example_runs() {
     quickstart::run().expect("quickstart example should run to completion");
@@ -60,4 +64,9 @@ fn hierarchical_federation_example_runs() {
 #[test]
 fn chaos_federation_example_runs() {
     chaos_federation::run().expect("chaos_federation example should run to completion");
+}
+
+#[test]
+fn compressed_federation_example_runs() {
+    compressed_federation::run().expect("compressed_federation example should run to completion");
 }

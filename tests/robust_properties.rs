@@ -28,7 +28,7 @@ use pelta_fl::{
     backdoor_success_rate, AgentRole, AggregationRule, BroadcastFrame, Delivery, EdgeAggregator,
     FaultConfig, FaultPlan, FedAvgServer, Federation, FederationConfig, FlError, Message,
     ModelUpdate, NackReason, ParticipationPolicy, RobustAggregator, ScenarioSpec, Topology,
-    Transport, TransportKind, TrojanTrigger,
+    Transport, TransportKind, TrojanTrigger, UpdateCodec,
 };
 use pelta_models::{accuracy, TrainingConfig};
 use pelta_tensor::{pool, SeedStream, Tensor};
@@ -96,11 +96,13 @@ fn aggregate_call_level(updates: &[ModelUpdate], rule: AggregationRule) -> Vec<(
 }
 
 /// The same round pushed through the `FedAvgServer` state machine with every
-/// message crossing a transport of the given kind.
-fn aggregate_in_protocol(
+/// message crossing a transport of the given kind, update frames travelling
+/// through `codec`.
+fn aggregate_in_protocol_coded(
     updates: &[ModelUpdate],
     rule: AggregationRule,
     kind: TransportKind,
+    codec: UpdateCodec,
 ) -> Vec<(String, Vec<u32>)> {
     let mut server = FedAvgServer::with_rule(
         initial_for(updates),
@@ -112,7 +114,9 @@ fn aggregate_in_protocol(
         rule,
     )
     .unwrap();
-    let links: Vec<_> = (0..updates.len()).map(|_| kind.duplex()).collect();
+    let links: Vec<_> = (0..updates.len())
+        .map(|_| kind.duplex_with(codec))
+        .collect();
     for (id, (client_end, server_end)) in links.iter().enumerate() {
         client_end.send(&Message::Join { client_id: id }).unwrap();
         let join = server_end.recv().unwrap().unwrap();
@@ -135,6 +139,15 @@ fn aggregate_in_protocol(
     }
     server.close_round().unwrap();
     bits(server.parameters())
+}
+
+/// [`aggregate_in_protocol_coded`] with the identity codec.
+fn aggregate_in_protocol(
+    updates: &[ModelUpdate],
+    rule: AggregationRule,
+    kind: TransportKind,
+) -> Vec<(String, Vec<u32>)> {
+    aggregate_in_protocol_coded(updates, rule, kind, UpdateCodec::Raw)
 }
 
 /// The same round routed through a 2-level hierarchy: edge aggregators
@@ -399,6 +412,67 @@ proptest! {
             // set through the server over both transports.
             for kind in [TransportKind::InMemory, TransportKind::Serialized] {
                 prop_assert_eq!(&aggregate_in_protocol(&updates, rule, kind), &reference);
+            }
+        }
+    }
+
+    /// Every wire codec's fold keeps the aggregation invariants: for each
+    /// rule, the in-protocol (streamed) aggregate of coded updates equals
+    /// the call-level (buffered) aggregate of the codec's deterministically
+    /// round-tripped updates — bit for bit, across both transports and
+    /// under permutations of the arrival order. The codec decides *which*
+    /// values fold (its quantization error), never *how* they fold.
+    #[test]
+    fn coded_folds_are_permutation_invariant_and_stream_buffer_identical(
+        values in proptest::collection::vec(
+            proptest::collection::vec(-8.0f32..8.0, 8..13),
+            3..6,
+        ),
+        max_norm in 0.1f32..4.0,
+        rotation in 0usize..5,
+    ) {
+        let width = values[0].len();
+        let values: Vec<Vec<f32>> = values
+            .into_iter()
+            .map(|mut row| { row.resize(width, 0.5); row })
+            .collect();
+        let updates = updates_from(&values);
+        let codecs = [
+            UpdateCodec::Raw,
+            UpdateCodec::Bf16,
+            UpdateCodec::Int8,
+            UpdateCodec::TopK { k: 3 },
+        ];
+        for codec in codecs {
+            // What the server folds under this codec: the deterministic
+            // round trip of every update.
+            let decoded: Vec<ModelUpdate> = updates
+                .iter()
+                .map(|update| codec.round_trip_update(update))
+                .collect();
+            for rule in rules(max_norm, 1) {
+                let reference = aggregate_call_level(&decoded, rule);
+                // Streamed-vs-buffered identity over both transports.
+                for kind in [TransportKind::InMemory, TransportKind::Serialized] {
+                    prop_assert_eq!(
+                        &aggregate_in_protocol_coded(&updates, rule, kind, codec),
+                        &reference
+                    );
+                }
+                // Permutation invariance of the coded arrival order.
+                let mut permuted = updates.clone();
+                let shift = rotation % permuted.len();
+                permuted.rotate_left(shift);
+                permuted.reverse();
+                prop_assert_eq!(
+                    &aggregate_in_protocol_coded(
+                        &permuted,
+                        rule,
+                        TransportKind::Serialized,
+                        codec
+                    ),
+                    &reference
+                );
             }
         }
     }
