@@ -30,6 +30,10 @@
 //! dataset) and the [`eval`] module implements the paper's evaluation
 //! protocol: select correctly classified samples, attack them, and report
 //! robust accuracy.
+//!
+//! Attacks draw from explicit ChaCha8 RNGs and ride the deterministic
+//! kernel backend, so attack trajectories replay bit-identically — see
+//! `docs/determinism.md`.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 

@@ -41,6 +41,10 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Gradient evaluation is deterministic by construction (explicit graph,
+//! index-ordered accumulation on the shared pool) and feeds the
+//! repository-wide bit-replay contract — see `docs/determinism.md`.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 

@@ -29,7 +29,13 @@
 //! replays it over the serialised transport — the `fault_injection` block
 //! reports rounds/s at the fixed fault rate, the retransmission/recovery
 //! counters, and a replay-determinism field asserted to be zero. A
-//! **population-scale probe** drives one full
+//! **secure-aggregation probe** runs one shielded federation with a
+//! scripted mid-round dropout twice — pairwise masking off, then on — and
+//! reports masked vs clear shielded-round msgs/s, the `MaskShare`
+//! reconstruction bytes per round, the root's individual-blob unseal count
+//! under masking (asserted zero), and a determinism field folding
+//! masked-vs-clear, repeat, transport and topology invariance (asserted
+//! zero) into the `secure_agg` block. A **population-scale probe** drives one full
 //! streaming-FedAvg round at 1k / 10k / 100k seats (shared broadcast
 //! frame, fold-on-delivery) and reports rounds/s, peak RSS (`VmHWM`, reset
 //! per population) and MB folded — the `population_scale` block of
@@ -46,7 +52,7 @@
 
 use std::time::Instant;
 
-use pelta_bench::{run_chaos, CHAOS_CLIENTS};
+use pelta_bench::{run_chaos, run_secure_agg, CHAOS_CLIENTS, SECURE_AGG_CLIENTS};
 use pelta_fl::{
     export_parameters, AggregationRule, BroadcastFrame, EdgeAggregator, FedAvgServer, Message,
     ModelUpdate, ParticipationPolicy, TransportKind, UpdateCodec,
@@ -750,6 +756,68 @@ fn bench_fault_injection(iters: usize) -> FaultInjectionRow {
     }
 }
 
+struct SecureAggRow {
+    clients: usize,
+    rounds: usize,
+    clear_msgs_per_s: f64,
+    masked_msgs_per_s: f64,
+    mask_share_bytes_per_round: f64,
+    masked_raw_unseals: u64,
+    determinism_param_diffs: usize,
+}
+
+/// The secure-aggregation probe: one small shielded federation with a
+/// scripted mid-round dropout (so the `MaskShare` reconstruction sweep
+/// always runs), first with pairwise masking off — the clear shielded
+/// baseline whose blobs the root opens one by one — then with masking on,
+/// where only the folded sum ever leaves the enclave. Reports masked vs
+/// clear round throughput, the extra `MaskShare` wire bytes per round, the
+/// root's individual-blob unseal count under masking (must be zero) and a
+/// replay-determinism field folding four invariance checks: masked vs
+/// clear bits, a repeat, the serialised transport, and the hierarchical
+/// route — all required to match bit for bit.
+fn bench_secure_agg(iters: usize) -> SecureAggRow {
+    const ROUNDS: usize = 3;
+    let star = pelta_fl::Topology::Star;
+    let tree = pelta_fl::Topology::hierarchical(vec![vec![0, 2], vec![1, 3]]);
+
+    let clear = run_secure_agg(&star, TransportKind::InMemory, ROUNDS, false);
+    assert!(
+        clear.raw_unseals > 0,
+        "the clear shielded baseline must open member blobs individually"
+    );
+    let masked = run_secure_agg(&star, TransportKind::InMemory, ROUNDS, true);
+    let repeat = run_secure_agg(&star, TransportKind::InMemory, ROUNDS, true);
+    let serialized = run_secure_agg(&star, TransportKind::Serialized, ROUNDS, true);
+    let hierarchical = run_secure_agg(&tree, TransportKind::InMemory, ROUNDS, true);
+    let determinism_param_diffs = masked.param_diffs(&clear)
+        + masked.param_diffs(&repeat)
+        + masked.param_diffs(&serialized)
+        + masked.param_diffs(&hierarchical);
+
+    let clear_elapsed = time_best(iters, || {
+        std::hint::black_box(run_secure_agg(
+            &star,
+            TransportKind::InMemory,
+            ROUNDS,
+            false,
+        ));
+    });
+    let masked_elapsed = time_best(iters, || {
+        std::hint::black_box(run_secure_agg(&star, TransportKind::InMemory, ROUNDS, true));
+    });
+    SecureAggRow {
+        clients: SECURE_AGG_CLIENTS,
+        rounds: ROUNDS,
+        clear_msgs_per_s: clear.messages as f64 / clear_elapsed,
+        masked_msgs_per_s: masked.messages as f64 / masked_elapsed,
+        mask_share_bytes_per_round: masked.wire_bytes.saturating_sub(clear.wire_bytes) as f64
+            / ROUNDS as f64,
+        masked_raw_unseals: masked.raw_unseals,
+        determinism_param_diffs,
+    }
+}
+
 fn bench_federation(iters: usize) -> FederationRow {
     const CLIENTS: usize = 4;
     const ROUNDS: usize = 3;
@@ -999,6 +1067,7 @@ fn main() {
     let adversarial = bench_adversarial(iters);
     let hierarchical = bench_hierarchical(iters);
     let fault_injection = bench_fault_injection(iters);
+    let secure_agg = bench_secure_agg(iters);
     let (population, pop_100k_int8_mb) = bench_population();
     let population_block = population
         .iter()
@@ -1053,6 +1122,12 @@ fn main() {
          \"duplicated\": {},\n    \"corrupted\": {},\n    \
          \"retransmissions\": {},\n    \"recoveries\": {},\n    \
          \"fault_determinism_param_diffs\": {}\n  }},\n  \
+         \"secure_agg\": {{\n    \"clients\": {},\n    \"rounds\": {},\n    \
+         \"clear_shielded_msgs_per_s\": {:.1},\n    \
+         \"masked_shielded_msgs_per_s\": {:.1},\n    \
+         \"mask_share_bytes_per_round\": {:.0},\n    \
+         \"masked_raw_unseals\": {},\n    \
+         \"secure_agg_determinism_param_diffs\": {}\n  }},\n  \
          \"population_scale\": {{\n{population_block}\n  }}\n}}\n",
         federation.clients,
         federation.rounds,
@@ -1082,6 +1157,13 @@ fn main() {
         fault_injection.retransmissions,
         fault_injection.recoveries,
         fault_injection.determinism_param_diffs,
+        secure_agg.clients,
+        secure_agg.rounds,
+        secure_agg.clear_msgs_per_s,
+        secure_agg.masked_msgs_per_s,
+        secure_agg.mask_share_bytes_per_round,
+        secure_agg.masked_raw_unseals,
+        secure_agg.determinism_param_diffs,
     );
     print!("{federation_json}");
     std::fs::write(&federation_path, &federation_json).expect("write BENCH_federation.json");
@@ -1102,6 +1184,17 @@ fn main() {
     assert_eq!(
         fault_injection.determinism_param_diffs, 0,
         "determinism contract violated: faulted soak replay diverged"
+    );
+    assert_eq!(
+        secure_agg.determinism_param_diffs, 0,
+        "determinism contract violated: the masked shielded federation \
+         diverged from the clear shielded bits, a repeat, the serialised \
+         transport or the hierarchical route"
+    );
+    assert_eq!(
+        secure_agg.masked_raw_unseals, 0,
+        "secrecy contract violated: the root unsealed an individual member \
+         blob under secure aggregation"
     );
     let raw_upload = wire_codecs
         .iter()
@@ -1153,6 +1246,8 @@ fn main() {
                     "adversarial_msgs_per_s",
                     "hierarchical_msgs_per_s",
                     "fault_rounds_per_s",
+                    "clear_shielded_msgs_per_s",
+                    "masked_shielded_msgs_per_s",
                     "pop_1k_rounds_per_s",
                     "pop_10k_rounds_per_s",
                     "pop_100k_rounds_per_s",
@@ -1165,6 +1260,7 @@ fn main() {
                 // fails here even though throughput barely moves.
                 &[
                     "pop_100k_peak_rss_mb",
+                    "mask_share_bytes_per_round",
                     "wire_bytes",
                     "raw_upload_bytes_per_round",
                     "bf16_upload_bytes_per_round",

@@ -29,10 +29,16 @@
 //!   aggregation rules;
 //! * [`run_chaos`] — the fault-injection churn soak: hundreds of rounds of
 //!   scripted crashes, drops, duplicates, corruption and partitions per
-//!   topology, replayed bit-identically (long tier behind `slow-tests`).
+//!   topology, replayed bit-identically (long tier behind `slow-tests`);
+//! * [`run_secure_agg`] — the secure-aggregation probe: one shielded
+//!   federation with a scripted mid-round dropout, pairwise masking on or
+//!   off, backing the `secure_agg` block of `BENCH_federation.json`.
 //!
 //! The `repro` binary prints any of these as text tables; the Criterion
 //! benches in `benches/` time the code paths behind each experiment.
+//!
+//! Every probe asserts the bit-replay contract it measures (determinism
+//! fields must be exactly 0) — see `docs/determinism.md`.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
@@ -40,6 +46,7 @@ mod ablations;
 mod chaos;
 mod defenders;
 mod report;
+mod secure;
 mod tables;
 
 pub use ablations::{
@@ -50,6 +57,7 @@ pub use ablations::{
 pub use chaos::{chaos_fault_config, chaos_topologies, run_chaos, ChaosRun, CHAOS_CLIENTS};
 pub use defenders::{build_defenders, train_ensemble_members, ExperimentConfig, TrainedDefender};
 pub use report::{format_percent, TextTable};
+pub use secure::{run_secure_agg, SecureAggRun, SECURE_AGG_CLIENTS};
 pub use tables::{
     figure3, figure4, system_overhead, table1, table2, table3, table4, Figure3Report,
     Figure4Report, OverheadReport, Table1Report, Table3Cell, Table3Report, Table4Report, Table4Row,

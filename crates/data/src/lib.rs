@@ -34,6 +34,10 @@
 //! assert_eq!(dataset.train_images().dims(), &[64, 3, 32, 32]);
 //! assert_eq!(dataset.num_classes(), 10);
 //! ```
+//!
+//! Generation and sharding are pure functions of their seeds, the data
+//! layer's half of the repository-wide bit-replay contract — see
+//! `docs/determinism.md`.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 

@@ -34,6 +34,10 @@
 //!
 //! The ablation bench `ablation_software_stack` and the
 //! `software_defense_integration` test exercise the four combinations.
+//!
+//! Defense transformations take explicit RNGs, so defended pipelines stay
+//! inside the repository-wide bit-replay contract (`docs/determinism.md`)
+//! — randomised defenses are random per *seed*, not per run.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::malicious::EvasionReport;
 use crate::poisoning::PoisonReport;
+use crate::secure_agg::ClientMaskContext;
 use crate::{FlError, GlobalModel, Message, ModelUpdate, Result, ShieldedUpdateChannel, Transport};
 
 /// Exports a model's parameters as `(name, tensor)` pairs in canonical
@@ -277,6 +278,7 @@ pub struct ClientAgent {
     client: FlClient,
     transport: Box<dyn Transport>,
     shield: Option<ShieldedUpdateChannel>,
+    mask: Option<ClientMaskContext>,
     nacks_received: usize,
 }
 
@@ -293,8 +295,23 @@ impl ClientAgent {
             client,
             transport,
             shield,
+            mask: None,
             nacks_received: 0,
         }
+    }
+
+    /// Attaches the pairwise-mask context of a secure-aggregation
+    /// deployment: shielded segments are masked on the bit lattice before
+    /// sealing, and [`Message::MaskShare`] requests are answered with this
+    /// context's reconstruction shares. Requires a shield channel — masking
+    /// clear parameters would just corrupt them.
+    pub fn with_mask_context(mut self, mask: ClientMaskContext) -> Self {
+        debug_assert!(
+            self.shield.is_some(),
+            "a mask context without a shield channel masks nothing"
+        );
+        self.mask = Some(mask);
+        self
     }
 
     /// The wrapped training client.
@@ -309,6 +326,9 @@ impl ClientAgent {
 
     /// Wraps a trained update into its wire message, sealing the shielded
     /// parameter segment through the enclave channel when one is attached.
+    /// Under secure aggregation the segment is pairwise-masked first, so
+    /// the blobs an aggregator could open individually only ever contain
+    /// masked bits.
     fn assemble_update(&self, update: ModelUpdate) -> Result<Message> {
         let Some(shield) = &self.shield else {
             return Ok(Message::Update {
@@ -322,7 +342,10 @@ impl ClientAgent {
             num_samples,
             parameters,
         } = update;
-        let (shielded_segment, clear) = split_segments(self.client.model(), parameters);
+        let (mut shielded_segment, clear) = split_segments(self.client.model(), parameters);
+        if let Some(mask) = &self.mask {
+            mask.mask_segment(round, &mut shielded_segment);
+        }
         let (blobs, _report) = shield.seal_segments(&shielded_segment)?;
         Ok(Message::Update {
             update: ModelUpdate {
@@ -370,6 +393,26 @@ impl FederationAgent for ClientAgent {
                     outcome.trained = Some(report);
                 }
                 Message::Nack { .. } => self.nacks_received += 1,
+                // A mask-reconstruction request (seeds empty) is answered
+                // with this client's shares for the named dead seats; a
+                // response (seeds present) is server-bound and ignored if
+                // misrouted, like any other server-bound kind.
+                Message::MaskShare {
+                    round,
+                    seats,
+                    seeds,
+                    ..
+                } if seeds.is_empty() => {
+                    if let Some(mask) = &self.mask {
+                        let shares = mask.shares_for(&seats);
+                        self.transport.send(&Message::MaskShare {
+                            client_id: self.client.id(),
+                            round,
+                            seats,
+                            seeds: shares,
+                        })?;
+                    }
+                }
                 // RoundEnd closes the round; Join/Leave/Update are
                 // client→server only and ignored if misrouted.
                 _ => {}

@@ -4,8 +4,9 @@
 //! ([`crate::FederationConfig::codec`] / `ScenarioSpec::with_codec`); the
 //! transport layer applies it to every **upload** frame — [`crate::Message::Update`]
 //! and the subtree-addressed [`crate::Message::AggregateUpdate`] — while
-//! control traffic (Join/RoundStart/RoundEnd/Leave/Nack) and sealed shielded
-//! segments always travel in the raw v2 encoding. Compression is *lossy but
+//! control traffic (Join/RoundStart/RoundEnd/Leave/Nack, and the v4
+//! MaskShare exchange) and sealed shielded segments are never
+//! codec-compressed. Compression is *lossy but
 //! bit-reproducible*: every rounding decision below is a fixed, scalar,
 //! thread-free computation, so a given codec produces the same bytes and the
 //! same dequantized values on every run, every transport, every topology and
@@ -30,6 +31,11 @@
 //!
 //! `Raw` is the identity codec: its frames are byte-for-byte the v2 wire
 //! format, so a codec-free deployment is untouched.
+//!
+//! The byte-level layout of every frame — v2, v3 (one codec tag byte after
+//! the kind, compact element sections per the table above) and the v4
+//! secure-aggregation frames — is specified with worked hex dumps in
+//! `docs/wire-format.md` at the repository root.
 
 use serde::{Deserialize, Serialize};
 

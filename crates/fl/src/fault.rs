@@ -21,9 +21,12 @@
 //! draw (links do not get healthier because a frame is a retry), so
 //! recovery is probabilistic but budgeted and exactly reproducible.
 //!
-//! Faults only ever strike data frames (`Update` / `AggregateUpdate`);
-//! control traffic (`Join`, `RoundStart`, `Nack`, …) passes clean, which
-//! keeps the protocol's round framing intact while its payloads suffer.
+//! Faults only ever strike the frames a client *produces* towards the
+//! consensus point — `Update`, `AggregateUpdate` and the secure-aggregation
+//! [`Message::MaskShare`] *response* (a request carries no seeds and rides
+//! the clean server→client direction); control traffic (`Join`,
+//! `RoundStart`, `Nack`, …) passes clean, which keeps the protocol's round
+//! framing intact while its payloads suffer.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -362,11 +365,19 @@ fn unit(bits: u64) -> f32 {
 }
 
 /// The sender and round of a faultable data frame; control frames are
-/// never faulted.
+/// never faulted. A [`Message::MaskShare`] *response* (seeds present) is a
+/// client-produced payload like an update — and its `(sender, round)` key
+/// lets a `CorruptFrame` Nack trigger the same bounded retransmission.
 fn faultable(message: &Message) -> Option<(usize, usize)> {
     match message {
         Message::Update { update, .. } => Some((update.client_id, update.round)),
         Message::AggregateUpdate { origin, round, .. } => Some((*origin, *round)),
+        Message::MaskShare {
+            client_id,
+            round,
+            seeds,
+            ..
+        } if !seeds.is_empty() => Some((*client_id, *round)),
         _ => None,
     }
 }

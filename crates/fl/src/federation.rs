@@ -33,6 +33,17 @@
 //! through the server's attested [`ShieldedUpdateChannel`] before delivery,
 //! with their byte accounting surfaced in the [`RoundRecord`].
 //!
+//! Under [`FederationConfig::secure_aggregation`] the runtime never opens an
+//! individual member's sealed segment at all (see [`crate::secure_agg`]):
+//! clients pairwise-mask the shielded segment before sealing, delivery
+//! stashes the sealed blobs and feeds the state machine finite zero
+//! placeholders, and after the round closes the runtime runs the
+//! [`Message::MaskShare`] reconstruction sweep for any dead seats, folds the
+//! blobs inside the root enclave ([`ShieldedUpdateChannel::fold_masked_segments`])
+//! and splices the aggregate over the placeholder entries
+//! ([`FedAvgServer::splice_parameters`]). The result is bit-identical to a
+//! clear shielded run — see `docs/determinism.md`.
+//!
 //! The flow above is the star topology's. Under a [`Topology::Hierarchical`]
 //! fabric steps 2 and 4 route through the edge aggregators (broadcast
 //! relayed down, one combined subtree frame forwarded up per edge, per-level
@@ -41,19 +52,24 @@
 //! [`crate::topology`] for the routing details and the cross-topology
 //! bit-determinism contract.
 
+use std::collections::BTreeMap;
+
 use pelta_data::{federated_split, Dataset, Partition};
 use pelta_models::{accuracy, ImageModel, TrainingConfig, ViTConfig, VisionTransformer};
-use pelta_tee::{verify_report, CostLedger};
+use pelta_tee::{verify_report, CostLedger, SealedBlob};
 use pelta_tensor::{pool, SeedStream, Tensor};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::client::{export_parameters, import_parameters, ClientAgent, FederationAgent, FlClient};
+use crate::client::{
+    export_parameters, import_parameters, split_segments, ClientAgent, FederationAgent, FlClient,
+};
 use crate::fault::{FaultConfig, FaultPlan, FaultStats};
 use crate::malicious::{FreeRiderAgent, ProbingAgent};
 use crate::poisoning::{BackdoorAgent, BackdoorClient};
 use crate::scenario::{AgentRole, ScenarioSpec};
+use crate::secure_agg::{pair_seeds_for_client, AggregatorMaskContext, ClientMaskContext};
 use crate::server::RoundSummary;
 use crate::topology::{EdgeAggregator, GossipMesh, Topology};
 use crate::{
@@ -115,6 +131,12 @@ pub struct FederationConfig {
     /// Whether shielded parameter segments travel sealed through the
     /// attested enclave channel (clear plaintext otherwise).
     pub shield_updates: bool,
+    /// Whether sealed segments are additionally pairwise-masked so the root
+    /// enclave only ever unseals the folded **sum**, never an individual
+    /// member's blob (see [`crate::secure_agg`]). Requires `shield_updates`,
+    /// plain FedAvg, a Star or Hierarchical topology, full participation
+    /// (`policy.sample == 0`) and an all-honest population.
+    pub secure_aggregation: bool,
     /// Per-client dropout/rejoin/latency schedules (clients without an
     /// entry behave punctually).
     pub schedules: Vec<ClientSchedule>,
@@ -146,6 +168,7 @@ impl Default for FederationConfig {
             policy: ParticipationPolicy::default(),
             rule: AggregationRule::FedAvg,
             shield_updates: false,
+            secure_aggregation: false,
             schedules: Vec::new(),
             faults: None,
             codec: UpdateCodec::Raw,
@@ -256,6 +279,10 @@ impl Fabric {
 pub struct Federation {
     server: FedAvgServer,
     server_shield: Option<ShieldedUpdateChannel>,
+    /// The root's secure-aggregation context — the attested roster nonces it
+    /// verifies reconstruction shares against (`None` unless
+    /// [`FederationConfig::secure_aggregation`] is set).
+    masks: Option<AggregatorMaskContext>,
     slots: Vec<Slot>,
     fabric: Fabric,
     eval_model: Box<dyn ImageModel>,
@@ -372,6 +399,46 @@ impl Federation {
                 });
             }
         }
+        if config.secure_aggregation {
+            // Pairwise masking only cancels when the whole roster exchanges
+            // masks under one linear rule at one consensus enclave.
+            if !config.shield_updates {
+                return Err(FlError::InvalidConfig {
+                    reason: "secure aggregation masks sealed segments; enable shield_updates"
+                        .to_string(),
+                });
+            }
+            if config.rule != AggregationRule::FedAvg {
+                return Err(FlError::InvalidConfig {
+                    reason: "secure aggregation needs a linear rule: the enclave folds the \
+                             masked sum, which only FedAvg can consume"
+                        .to_string(),
+                });
+            }
+            if matches!(config.topology, Topology::Gossip { .. }) {
+                return Err(FlError::InvalidConfig {
+                    reason: "secure aggregation needs a root enclave; gossip has none".to_string(),
+                });
+            }
+            if config.policy.sample != 0 {
+                return Err(FlError::InvalidConfig {
+                    reason: "secure aggregation requires full participation (policy.sample = 0): \
+                             masks are exchanged across the whole roster"
+                        .to_string(),
+                });
+            }
+            if !spec
+                .roles_by_seat()
+                .values()
+                .all(|role| matches!(**role, AgentRole::Honest))
+            {
+                return Err(FlError::InvalidConfig {
+                    reason: "secure aggregation requires an all-honest population: adversaries \
+                             do not cooperate with the masking handshake"
+                        .to_string(),
+                });
+            }
+        }
         spec.validate()?;
         config.codec.validate()?;
         if let Some(fault_config) = &config.faults {
@@ -400,6 +467,14 @@ impl Federation {
         } else {
             None
         };
+        // Secure aggregation: the attestation nonces double as the pairwise
+        // key material (`derive_indexed` is order-independent, so these are
+        // exactly the nonces each handshake below draws for itself).
+        let mask_nonces: Option<BTreeMap<usize, u64>> = config.secure_aggregation.then(|| {
+            (0..config.clients)
+                .map(|id| (id, seeds.derive_indexed("attest", id as u64).gen::<u64>()))
+                .collect()
+        });
 
         // One lookup table each for roles and schedules: per-seat linear
         // scans would make building the population itself O(population²).
@@ -431,7 +506,18 @@ impl Federation {
                     } else {
                         None
                     };
-                    Box::new(ClientAgent::new(client, client_end, shield))
+                    let mut agent = ClientAgent::new(client, client_end, shield);
+                    if let Some(nonces) = &mask_nonces {
+                        let measurement = server_shield
+                            .as_ref()
+                            .expect("secure aggregation implies shield_updates")
+                            .measurement();
+                        agent = agent.with_mask_context(ClientMaskContext::new(
+                            id,
+                            pair_seeds_for_client(measurement, nonces, id),
+                        ));
+                    }
+                    Box::new(agent)
                 }
                 AgentRole::Backdoor {
                     trigger,
@@ -564,9 +650,17 @@ impl Federation {
                 }
             }
         };
+        let masks = mask_nonces.map(|nonces| {
+            let measurement = server_shield
+                .as_ref()
+                .expect("secure aggregation implies shield_updates")
+                .measurement();
+            AggregatorMaskContext::new(measurement, nonces)
+        });
         let mut federation = Federation {
             server,
             server_shield,
+            masks,
             slots,
             fabric,
             eval_model,
@@ -642,6 +736,14 @@ impl Federation {
     /// `ShieldReport` of `pelta-core`.
     pub fn server_shield_ledger(&self) -> Option<CostLedger> {
         self.server_shield.as_ref().map(|s| s.ledger())
+    }
+
+    /// How many times the server-side enclave unsealed an *individual*
+    /// object into its keyed store (`None` when shielding is off). Under
+    /// secure aggregation this must stay 0 — the whole point of the masked
+    /// fold is that no single member's blob is ever opened alone.
+    pub fn server_raw_unseals(&self) -> Option<u64> {
+        self.server_shield.as_ref().map(|s| s.raw_unseal_count())
     }
 
     /// What the fault plan actually did so far (`None` when the federation
@@ -790,8 +892,15 @@ impl Federation {
 
             // Deterministic delivery through the fabric, then close the
             // round at the consensus point.
-            let (shielded_bytes, edge_summaries, gossip_messages) = self.deliver_round()?;
+            let (shielded_bytes, edge_summaries, gossip_messages, mask_stash) =
+                self.deliver_round()?;
             let summary = self.server.close_round()?;
+            // Secure aggregation: reconstruct dead seats' masks, fold the
+            // stashed blobs inside the root enclave and splice the aggregate
+            // over the placeholder entries the regular fold produced.
+            if let Some(stash) = mask_stash {
+                self.fold_masked_round(&broadcast.parameters, &summary, stash)?;
+            }
             if let Fabric::Gossip { mesh } = &self.fabric {
                 // The final deterministic consensus fold: every participant
                 // peer folds its converged knowledge with the same rule and
@@ -952,15 +1061,19 @@ impl Federation {
     /// * **Gossip** — latency-gated collect sweeps feed each peer's daemon,
     ///   the mesh floods to quiescence, and the coordinator folds the
     ///   converged union through the same state machine.
-    fn deliver_round(&mut self) -> Result<(usize, Vec<RoundSummary>, usize)> {
+    fn deliver_round(&mut self) -> Result<(usize, Vec<RoundSummary>, usize, Option<MaskStash>)> {
         let Federation {
             server,
             server_shield,
+            masks,
             slots,
             fabric,
             faults,
             ..
         } = self;
+        // Under secure aggregation sealed blobs are stashed instead of
+        // opened; the stash feeds the post-round enclave fold.
+        let mut mask_stash: Option<MaskStash> = masks.as_ref().map(|_| MaskStash::new());
         let max_latency = slots.iter().map(|s| s.schedule.latency).max().unwrap_or(0);
         match fabric {
             Fabric::Star { links } => {
@@ -1005,6 +1118,7 @@ impl Federation {
                                 let (message, sealed) = reassemble(
                                     server.parameters(),
                                     server_shield.as_ref(),
+                                    mask_stash.as_mut(),
                                     message,
                                 )?;
                                 shielded_bytes += sealed;
@@ -1045,7 +1159,7 @@ impl Federation {
                         active.remove(&index);
                     }
                     if !delivered && !pending_future && sweep >= max_latency {
-                        return Ok((shielded_bytes, Vec::new(), 0));
+                        return Ok((shielded_bytes, Vec::new(), 0, mask_stash));
                     }
                     sweep += 1;
                 }
@@ -1147,6 +1261,7 @@ impl Federation {
                                             let (wrapped, sealed) = reassemble(
                                                 server.parameters(),
                                                 server_shield.as_ref(),
+                                                mask_stash.as_mut(),
                                                 wrapped,
                                             )?;
                                             shielded_bytes += sealed;
@@ -1196,7 +1311,7 @@ impl Federation {
                     }
                     edge.pump_downstream()?;
                 }
-                Ok((shielded_bytes, edge_summaries, 0))
+                Ok((shielded_bytes, edge_summaries, 0, mask_stash))
             }
             Fabric::Gossip { mesh } => {
                 // Phase 1: collect each peer's own update and the round's
@@ -1232,7 +1347,7 @@ impl Federation {
                         mesh.send_to(client_id, &response)?;
                     }
                 }
-                Ok((0, Vec::new(), gossip_messages))
+                Ok((0, Vec::new(), gossip_messages, None))
             }
         }
     }
@@ -1277,15 +1392,271 @@ impl Federation {
         }
         Ok(())
     }
+
+    /// Completes a secure-aggregation round after the state machine closed
+    /// it: reconstructs the masks of dead seats from the reporters' shares,
+    /// folds the stashed sealed blobs inside the root enclave (no individual
+    /// blob is ever opened) against the round-open reference, and splices
+    /// the aggregate over the zero placeholders in the global model.
+    fn fold_masked_round(
+        &mut self,
+        round_open: &[(String, Tensor)],
+        summary: &RoundSummary,
+        mut stash: MaskStash,
+    ) -> Result<()> {
+        // Exactly the members the state machine folded, at the weights it
+        // folded them with.
+        let mut members: BTreeMap<usize, (usize, Vec<SealedBlob>)> = BTreeMap::new();
+        for &reporter in &summary.reporters {
+            let entry = stash.remove(&reporter).ok_or_else(|| FlError::Wire {
+                reason: format!(
+                    "reporter {reporter} was folded in round {} without a sealed segment",
+                    summary.round
+                ),
+            })?;
+            members.insert(reporter, entry);
+        }
+        let masks = self
+            .masks
+            .as_ref()
+            .expect("a mask stash implies a mask context");
+        // Every roster seat whose update was not folded left orphaned masks
+        // in the reporters' segments; their pair seeds must be reconstructed
+        // from the reporters' shares before the fold can cancel them.
+        let dead: Vec<usize> = masks
+            .roster()
+            .into_iter()
+            .filter(|id| !members.contains_key(id))
+            .collect();
+        let shares = if dead.is_empty() {
+            BTreeMap::new()
+        } else {
+            self.sweep_mask_shares(summary.round, &dead, &summary.reporters)?
+        };
+        // The enclave folds against the round-open snapshot of the shielded
+        // names — the reference every client's delta was trained from.
+        let (shielded_reference, _clear) =
+            split_segments(self.eval_model.as_ref(), round_open.to_vec());
+        let masks = self
+            .masks
+            .as_ref()
+            .expect("a mask stash implies a mask context");
+        let shield = self
+            .server_shield
+            .as_ref()
+            .expect("secure aggregation implies shield_updates");
+        let (folded, _report) = shield.fold_masked_segments(
+            &shielded_reference,
+            summary.round,
+            &members,
+            masks,
+            &dead,
+            &shares,
+        )?;
+        self.server.splice_parameters(&folded)
+    }
+
+    /// The in-protocol mask-reconstruction sweep: broadcasts a
+    /// [`Message::MaskShare`] request naming the dead seats to every
+    /// reporter (directly over the star links, or relayed through the
+    /// edges), steps the agents so they answer, and drains the responses
+    /// under the round's sweep discipline — latency gates, the fault plan's
+    /// logical clock and `CorruptFrame`-Nack retransmission included. A
+    /// reporter whose response is lost is re-asked (fresh fate draws) up to
+    /// a bounded number of attempts; a reporter that never answers is a
+    /// protocol failure, because its orphaned masks cannot be cancelled.
+    fn sweep_mask_shares(
+        &mut self,
+        round: usize,
+        dead: &[usize],
+        reporters: &[usize],
+    ) -> Result<BTreeMap<usize, BTreeMap<usize, u64>>> {
+        const MASK_SHARE_ATTEMPTS: usize = 3;
+        let Federation {
+            slots,
+            fabric,
+            faults,
+            ..
+        } = self;
+        if matches!(fabric, Fabric::Gossip { .. }) {
+            return Err(FlError::InvalidConfig {
+                reason: "secure aggregation never runs over gossip".to_string(),
+            });
+        }
+        let request = BroadcastFrame::new(Message::MaskShare {
+            client_id: usize::MAX,
+            round,
+            seats: dead.to_vec(),
+            seeds: Vec::new(),
+        });
+        let mut shares: BTreeMap<usize, BTreeMap<usize, u64>> = BTreeMap::new();
+        let max_latency = slots.iter().map(|s| s.schedule.latency).max().unwrap_or(0);
+        for _attempt in 0..MASK_SHARE_ATTEMPTS {
+            let pending: Vec<usize> = reporters
+                .iter()
+                .copied()
+                .filter(|id| !shares.contains_key(id))
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            // Deliver the request. It is control traffic: the fault shims
+            // pass it clean apart from crash suppression, and crashed seats
+            // are never reporters.
+            match fabric {
+                Fabric::Star { links } => {
+                    for &id in &pending {
+                        links[id].send_broadcast(&request)?;
+                    }
+                }
+                Fabric::Hierarchical { edges, uplinks } => {
+                    for (edge, uplink) in edges.iter_mut().zip(uplinks.iter_mut()) {
+                        if edge.served_round(round) && pending.iter().any(|&id| edge.contains(id)) {
+                            uplink.send_broadcast(&request)?;
+                            edge.pump_downstream()?;
+                        }
+                    }
+                }
+                Fabric::Gossip { .. } => unreachable!("refused above"),
+            }
+            // Agents answer from their mask contexts; no training happens
+            // outside a RoundStart, so sequential stepping is cheap and
+            // trivially deterministic.
+            for &id in &pending {
+                slots[id].agent.step(false)?;
+            }
+            // Drain the responses with the round's sweep discipline.
+            let mut sweep = 0usize;
+            loop {
+                if let Some(plan) = &*faults {
+                    plan.set_sweep(sweep);
+                }
+                let mut delivered = false;
+                let mut pending_future = false;
+                match fabric {
+                    Fabric::Star { links } => {
+                        for &id in &pending {
+                            if slots[id].schedule.latency > sweep {
+                                pending_future |= links[id].has_pending();
+                                continue;
+                            }
+                            match links[id].recv_checked()? {
+                                Delivery::Empty => {}
+                                Delivery::Frame(Message::MaskShare {
+                                    client_id,
+                                    round: share_round,
+                                    seats,
+                                    seeds,
+                                }) if !seeds.is_empty() && share_round == round => {
+                                    delivered = true;
+                                    shares
+                                        .entry(client_id)
+                                        .or_insert_with(|| seats.into_iter().zip(seeds).collect());
+                                }
+                                Delivery::Frame(_) => delivered = true,
+                                Delivery::Faulted {
+                                    sender,
+                                    round: frame_round,
+                                    ..
+                                } => {
+                                    // The refusal triggers the wrapper's
+                                    // bounded retransmission, exactly like a
+                                    // faulted update.
+                                    delivered = true;
+                                    links[id].send(&Message::Nack {
+                                        client_id: sender,
+                                        round: frame_round,
+                                        reason: NackReason::CorruptFrame,
+                                    })?;
+                                }
+                            }
+                            pending_future |= links[id].has_pending();
+                        }
+                    }
+                    Fabric::Hierarchical { edges, uplinks } => {
+                        for edge in edges.iter_mut() {
+                            if edge_dark(faults, edge.edge_id(), round) {
+                                continue;
+                            }
+                            let pump = edge.pump(sweep)?;
+                            delivered |= pump.delivered;
+                            pending_future |= pump.pending_future;
+                        }
+                        for uplink in uplinks.iter_mut() {
+                            match uplink.recv_checked()? {
+                                Delivery::Empty => {}
+                                Delivery::Frame(Message::MaskShare {
+                                    client_id,
+                                    round: share_round,
+                                    seats,
+                                    seeds,
+                                }) if !seeds.is_empty() && share_round == round => {
+                                    delivered = true;
+                                    shares
+                                        .entry(client_id)
+                                        .or_insert_with(|| seats.into_iter().zip(seeds).collect());
+                                }
+                                Delivery::Frame(_) => delivered = true,
+                                Delivery::Faulted {
+                                    sender,
+                                    round: frame_round,
+                                    ..
+                                } => {
+                                    delivered = true;
+                                    uplink.send(&Message::Nack {
+                                        client_id: sender,
+                                        round: frame_round,
+                                        reason: NackReason::CorruptFrame,
+                                    })?;
+                                }
+                            }
+                            pending_future |= uplink.has_pending();
+                        }
+                    }
+                    Fabric::Gossip { .. } => unreachable!("refused above"),
+                }
+                if !delivered && !pending_future && sweep >= max_latency {
+                    break;
+                }
+                sweep += 1;
+            }
+        }
+        let missing: Vec<usize> = reporters
+            .iter()
+            .copied()
+            .filter(|id| !shares.contains_key(id))
+            .collect();
+        if !missing.is_empty() {
+            return Err(FlError::Wire {
+                reason: format!(
+                    "mask reconstruction for round {round} is missing shares \
+                     from reporters {missing:?}"
+                ),
+            });
+        }
+        Ok(shares)
+    }
 }
+
+/// The sealed blobs a secure-aggregation round stashes per member while the
+/// state machine folds placeholders: `client id → (FedAvg weight, blobs)`.
+type MaskStash = BTreeMap<usize, (usize, Vec<SealedBlob>)>;
 
 /// Opens the sealed segments of an update through the server's enclave
 /// channel and splices them back into the canonical parameter order, so the
 /// state machine sees a complete update. Non-update messages pass through
 /// untouched.
+///
+/// Under secure aggregation (`stash` is `Some`) the blobs are **not**
+/// opened: they are stashed first-wins for the post-round enclave fold, and
+/// the state machine receives finite zero placeholders for the shielded
+/// names — FedAvg folds every parameter independently, so the clear
+/// parameters come out bit-identical and the placeholder entries are
+/// overwritten by [`FedAvgServer::splice_parameters`] after the fold.
 fn reassemble(
     current: &[(String, Tensor)],
     server_shield: Option<&ShieldedUpdateChannel>,
+    stash: Option<&mut MaskStash>,
     message: Message,
 ) -> Result<(Message, usize)> {
     let Message::Update { update, shielded } = message else {
@@ -1308,6 +1679,30 @@ fn reassemble(
             ),
         });
     };
+    if let Some(stash) = stash {
+        let sealed_bytes: usize = shielded.iter().map(SealedBlob::len).sum();
+        let mut parameters = Vec::with_capacity(current.len());
+        for (name, reference) in current {
+            if let Some((n, t)) = update.parameters.iter().find(|(n, _)| n == name) {
+                parameters.push((n.clone(), t.clone()));
+            } else {
+                parameters.push((name.clone(), Tensor::zeros(reference.dims())));
+            }
+        }
+        stash
+            .entry(update.client_id)
+            .or_insert((update.num_samples, shielded));
+        return Ok((
+            Message::Update {
+                update: ModelUpdate {
+                    parameters,
+                    ..update
+                },
+                shielded: Vec::new(),
+            },
+            sealed_bytes,
+        ));
+    }
     let (opened, report) = server_shield.open_segments(&shielded)?;
     let mut parameters = Vec::with_capacity(current.len());
     for (name, _) in current {
@@ -1570,5 +1965,146 @@ mod tests {
         // The sealed path is bitwise lossless: the global model is identical
         // to the clear run's.
         assert_eq!(clear_params, shielded_params);
+    }
+
+    /// The secure-aggregation tentpole, full participation: a masked run
+    /// produces exactly the bits of the clear shielded run, while the root
+    /// enclave never unseals an individual member's blob.
+    #[test]
+    fn secure_aggregation_matches_the_shielded_run_bit_for_bit() {
+        let dataset = small_dataset(7);
+        let shielded_config = FederationConfig {
+            clients: 3,
+            rounds: 2,
+            local_training: quick_training(),
+            eval_samples: 10,
+            shield_updates: true,
+            ..FederationConfig::default()
+        };
+        let run = |config: &FederationConfig| {
+            let mut seeds = SeedStream::new(7);
+            let mut federation =
+                Federation::vit_federation(&dataset, config, Partition::Iid, &mut seeds).unwrap();
+            let history = federation.run(&mut seeds).unwrap();
+            let params: Vec<(String, Vec<u32>)> = federation
+                .server()
+                .parameters()
+                .iter()
+                .map(|(n, t)| (n.clone(), t.data().iter().map(|v| v.to_bits()).collect()))
+                .collect();
+            (history, params, federation.server_raw_unseals())
+        };
+        let (shielded_history, shielded_params, shielded_unseals) = run(&shielded_config);
+        // The plain shielded path opens every member blob individually.
+        assert!(shielded_unseals.unwrap() > 0);
+
+        let masked_config = FederationConfig {
+            secure_aggregation: true,
+            ..shielded_config
+        };
+        let (masked_history, masked_params, masked_unseals) = run(&masked_config);
+        // Masking is invisible in the bits: the global model, the sealed
+        // byte accounting and the round records all match the clear
+        // shielded run...
+        assert_eq!(shielded_params, masked_params);
+        assert_eq!(
+            shielded_history.rounds[0].shielded_bytes,
+            masked_history.rounds[0].shielded_bytes
+        );
+        assert_eq!(shielded_history.rounds, masked_history.rounds);
+        // ...but no individual blob was ever unsealed by the root.
+        assert_eq!(masked_unseals.unwrap(), 0);
+
+        // And the masked run replays bit-identically.
+        let (replay_history, replay_params, _) = run(&masked_config);
+        assert_eq!(masked_params, replay_params);
+        assert_eq!(masked_history, replay_history);
+    }
+
+    /// Dropout composes with secure aggregation: the mid-round Leave makes
+    /// the seat a dead seat, the MaskShare sweep reconstructs its pair
+    /// seeds from the surviving reporters, and the fold still lands on the
+    /// clear shielded run's exact bits.
+    #[test]
+    fn secure_aggregation_reconstructs_dropped_seats() {
+        let dataset = small_dataset(8);
+        let shielded_config = FederationConfig {
+            clients: 3,
+            rounds: 2,
+            local_training: quick_training(),
+            eval_samples: 10,
+            shield_updates: true,
+            policy: ParticipationPolicy {
+                quorum: 2,
+                sample: 0,
+                straggler_deadline: 0,
+            },
+            schedules: vec![ClientSchedule {
+                client_id: 1,
+                drop_at_round: Some(0),
+                rejoin_at_round: Some(1),
+                latency: 0,
+            }],
+            ..FederationConfig::default()
+        };
+        let run = |config: &FederationConfig| {
+            let mut seeds = SeedStream::new(8);
+            let mut federation =
+                Federation::vit_federation(&dataset, config, Partition::Iid, &mut seeds).unwrap();
+            let history = federation.run(&mut seeds).unwrap();
+            let params: Vec<(String, Vec<u32>)> = federation
+                .server()
+                .parameters()
+                .iter()
+                .map(|(n, t)| (n.clone(), t.data().iter().map(|v| v.to_bits()).collect()))
+                .collect();
+            (history, params, federation.server_raw_unseals())
+        };
+        let (shielded_history, shielded_params, _) = run(&shielded_config);
+        assert_eq!(shielded_history.rounds[0].summary.dropouts, vec![1]);
+        let masked_config = FederationConfig {
+            secure_aggregation: true,
+            ..shielded_config
+        };
+        let (masked_history, masked_params, masked_unseals) = run(&masked_config);
+        // Round 0 really lost the seat, so the reconstruction path ran.
+        assert_eq!(masked_history.rounds[0].summary.dropouts, vec![1]);
+        assert_eq!(masked_history.rounds[0].summary.reporters, vec![0, 2]);
+        assert_eq!(shielded_params, masked_params);
+        assert_eq!(masked_unseals.unwrap(), 0);
+        // Replay determinism holds through the dropout and the share sweep.
+        let (replay_history, replay_params, _) = run(&masked_config);
+        assert_eq!(masked_params, replay_params);
+        assert_eq!(masked_history, replay_history);
+    }
+
+    #[test]
+    fn secure_aggregation_config_is_validated() {
+        let dataset = small_dataset(9);
+        let refused = |mutate: fn(&mut FederationConfig)| {
+            let mut config = FederationConfig {
+                clients: 2,
+                rounds: 1,
+                local_training: quick_training(),
+                eval_samples: 10,
+                shield_updates: true,
+                secure_aggregation: true,
+                ..FederationConfig::default()
+            };
+            mutate(&mut config);
+            let mut seeds = SeedStream::new(9);
+            Federation::vit_federation(&dataset, &config, Partition::Iid, &mut seeds).is_err()
+        };
+        // Masking without sealing, a non-linear rule, sampling, and gossip
+        // are all refused up front.
+        assert!(refused(|c| c.shield_updates = false));
+        assert!(refused(
+            |c| c.rule = AggregationRule::TrimmedMean { trim: 0 }
+        ));
+        assert!(refused(|c| c.policy.sample = 1));
+        assert!(refused(|c| {
+            c.shield_updates = false;
+            c.topology = Topology::Gossip { fanout: 1 };
+        }));
     }
 }

@@ -120,6 +120,10 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! The runtime's scheduling, folding, fault and secure-aggregation layers
+//! all uphold the repository-wide bit-replay contract; the consolidated
+//! normative statement is `docs/determinism.md`.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
@@ -133,6 +137,7 @@ mod message;
 mod poisoning;
 pub mod robust;
 mod scenario;
+pub mod secure_agg;
 mod server;
 mod shielded;
 pub mod topology;
@@ -149,13 +154,14 @@ pub use federation::{ClientSchedule, Federation, FederationConfig, RoundRecord, 
 pub use malicious::{AttackKind, CompromisedClient, EvasionReport, FreeRiderAgent, ProbingAgent};
 pub use message::{
     GlobalModel, MemberUpdate, Message, ModelUpdate, NackReason, CODED_PROTOCOL_VERSION,
-    PROTOCOL_VERSION,
+    MASK_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 pub use poisoning::{
     backdoor_success_rate, BackdoorAgent, BackdoorClient, PoisonReport, TrojanTrigger,
 };
 pub use robust::{aggregate_with_rule, AggregationFold, AggregationRule, RobustAggregator};
 pub use scenario::{AgentRole, RoleAssignment, ScenarioSpec};
+pub use secure_agg::{pair_seeds_for_client, AggregatorMaskContext, ClientMaskContext};
 pub use server::{FedAvgServer, ParticipationPolicy, RoundCheckpoint, RoundPhase, RoundSummary};
 pub use shielded::{ShieldedTransferReport, ShieldedUpdateChannel};
 pub use topology::{EdgeAggregator, EdgePump, Topology};

@@ -36,6 +36,17 @@
 //! frames remain byte-for-byte the v2 encoding. Control traffic and sealed
 //! blobs are never compressed.
 //!
+//! Since the secure-aggregation layer a third version exists: the
+//! [`Message::MaskShare`] exchange that reconstructs the orphaned pairwise
+//! masks of dropped-out clients travels as protocol version 4
+//! ([`MASK_PROTOCOL_VERSION`]) — a v2-shaped header with a distinct version
+//! stamp, never codec-compressed. Everything else, including every other
+//! frame of a masked deployment, keeps its v2/v3 encoding unchanged.
+//!
+//! The byte-level layout of all three versions — every frame kind with a
+//! worked hex dump — is specified in `docs/wire-format.md` at the
+//! repository root.
+//!
 //! **Adversarial note.** Malicious participants speak this protocol too —
 //! by design nothing in a frame reveals intent, so a poisoned update is
 //! wire-indistinguishable from an honest one. The server answers every
@@ -67,6 +78,16 @@ pub const PROTOCOL_VERSION: u16 = 2;
 /// `AggregateUpdate` tensors are encoded per the tagged [`UpdateCodec`]
 /// instead of as raw `f32` bit patterns. Receivers accept both versions.
 pub const CODED_PROTOCOL_VERSION: u16 = 3;
+
+/// Version of secure-aggregation mask frames (protocol v4): the
+/// [`Message::MaskShare`] exchange that reconstructs the orphaned pairwise
+/// masks of dropped-out clients. The header keeps the v2 shape (no codec
+/// tag — mask shares are control traffic and are never compressed), but the
+/// distinct version stamps the secure-aggregation extension so a v2/v3-only
+/// peer refuses the frame instead of misparsing it. Only kind 7 may travel
+/// as v4, and kind 7 may travel *only* as v4. The byte-level layout is
+/// specified in `docs/wire-format.md`.
+pub const MASK_PROTOCOL_VERSION: u16 = 4;
 
 /// Leading magic of every encoded message (`"PFL"` + format byte).
 const WIRE_MAGIC: [u8; 4] = *b"PFL\x01";
@@ -247,6 +268,27 @@ pub enum Message {
         /// Why the message was refused.
         reason: NackReason,
     },
+    /// The secure-aggregation mask-reconstruction exchange (protocol
+    /// [`MASK_PROTOCOL_VERSION`]). After a masked round closes, the server
+    /// broadcasts a **request** naming the round's dead seats (`seeds`
+    /// empty); every surviving reporter answers with a **response** carrying
+    /// its own pairwise seed for each dead seat (`seeds[k]` pairs with
+    /// `seats[k]`), letting the aggregator enclave cancel exactly the
+    /// orphaned mask halves. Seeds are pairwise secrets between the
+    /// responder and a *dead* client, so revealing them exposes nothing a
+    /// surviving pair still relies on.
+    MaskShare {
+        /// The responding client (or, on a request, the addressing server's
+        /// sentinel id).
+        client_id: usize,
+        /// The round whose orphaned masks are being reconstructed.
+        round: usize,
+        /// The dead seats, in ascending order.
+        seats: Vec<usize>,
+        /// On a response: the responder's pairwise mask seed for each seat
+        /// in `seats`, parallel by index. Empty on a request.
+        seeds: Vec<u64>,
+    },
 }
 
 impl Message {
@@ -260,6 +302,7 @@ impl Message {
             Message::Leave { .. } => 4,
             Message::Nack { .. } => 5,
             Message::AggregateUpdate { .. } => 6,
+            Message::MaskShare { .. } => 7,
         }
     }
 
@@ -273,6 +316,7 @@ impl Message {
             Message::Leave { .. } => "Leave",
             Message::Nack { .. } => "Nack",
             Message::AggregateUpdate { .. } => "AggregateUpdate",
+            Message::MaskShare { .. } => "MaskShare",
         }
     }
 
@@ -327,7 +371,13 @@ impl Message {
                 out.push(tag);
             }
             None => {
-                out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+                // Mask shares are the one kind stamped with the v4 version;
+                // the header shape is otherwise identical to v2.
+                let version = match self {
+                    Message::MaskShare { .. } => MASK_PROTOCOL_VERSION,
+                    _ => PROTOCOL_VERSION,
+                };
+                out.extend_from_slice(&version.to_le_bytes());
                 out.push(self.kind_byte());
             }
         }
@@ -373,6 +423,23 @@ impl Message {
                 out.push(tag);
                 put_str(out, detail);
             }
+            Message::MaskShare {
+                client_id,
+                round,
+                seats,
+                seeds,
+            } => {
+                put_u64(out, *client_id as u64);
+                put_u64(out, *round as u64);
+                put_u32(out, seats.len() as u32);
+                for &seat in seats {
+                    put_u64(out, seat as u64);
+                }
+                put_u32(out, seeds.len() as u32);
+                for &seed in seeds {
+                    put_u64(out, seed);
+                }
+            }
         }
         let checksum = fnv1a64(out);
         out.extend_from_slice(&checksum.to_le_bytes());
@@ -401,7 +468,18 @@ impl Message {
         // Protocol v2 frames are raw; v3 frames carry one codec tag byte
         // after the kind, and only upload kinds may be coded.
         let (payload_start, wire_codec) = match version {
-            PROTOCOL_VERSION => (HEADER_LEN, WireCodec::Raw),
+            PROTOCOL_VERSION => {
+                if kind == 7 {
+                    return wire_err("mask-share frames travel as protocol version 4");
+                }
+                (HEADER_LEN, WireCodec::Raw)
+            }
+            MASK_PROTOCOL_VERSION => {
+                if kind != 7 {
+                    return wire_err("mask-share framing on a non-mask message kind");
+                }
+                (HEADER_LEN, WireCodec::Raw)
+            }
             CODED_PROTOCOL_VERSION => {
                 if body.len() < HEADER_LEN + 1 {
                     return wire_err("coded frame shorter than its header");
@@ -425,7 +503,8 @@ impl Message {
                 return Err(FlError::Wire {
                     reason: format!(
                         "unsupported protocol version {other} \
-                         (expected {PROTOCOL_VERSION} or {CODED_PROTOCOL_VERSION})"
+                         (expected {PROTOCOL_VERSION}, {CODED_PROTOCOL_VERSION} \
+                         or {MASK_PROTOCOL_VERSION})"
                     ),
                 });
             }
@@ -496,6 +575,26 @@ impl Message {
                     reason,
                 }
             }
+            7 => {
+                let client_id = cursor.take_u64()? as usize;
+                let round = cursor.take_u64()? as usize;
+                let count = cursor.take_u32()? as usize;
+                let mut seats = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    seats.push(cursor.take_u64()? as usize);
+                }
+                let count = cursor.take_u32()? as usize;
+                let mut seeds = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    seeds.push(cursor.take_u64()?);
+                }
+                Message::MaskShare {
+                    client_id,
+                    round,
+                    seats,
+                    seeds,
+                }
+            }
             other => {
                 return Err(FlError::Wire {
                     reason: format!("unknown message kind {other}"),
@@ -545,6 +644,9 @@ impl Message {
                     _ => 0,
                 };
                 8 + 8 + 1 + 4 + detail
+            }
+            Message::MaskShare { seats, seeds, .. } => {
+                8 + 8 + 4 + 8 * seats.len() + 4 + 8 * seeds.len()
             }
         };
         HEADER_LEN + usize::from(coded) + payload + CHECKSUM_LEN
@@ -1016,6 +1118,20 @@ mod tests {
                 round: 2,
                 reason: NackReason::CorruptFrame,
             },
+            // A mask-reconstruction request (seeds empty)…
+            Message::MaskShare {
+                client_id: usize::MAX,
+                round: 2,
+                seats: vec![1, 4],
+                seeds: vec![],
+            },
+            // …and a reporter's response (seeds parallel to seats).
+            Message::MaskShare {
+                client_id: 3,
+                round: 2,
+                seats: vec![1, 4],
+                seeds: vec![0xDEAD_BEEF, 0xCAFE_F00D],
+            },
         ]
     }
 
@@ -1055,6 +1171,38 @@ mod tests {
         foreign[body_len..].copy_from_slice(&checksum.to_le_bytes());
         let err = Message::decode(&foreign).unwrap_err();
         assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn mask_share_frames_are_version_locked() {
+        let share = Message::MaskShare {
+            client_id: 3,
+            round: 2,
+            seats: vec![1],
+            seeds: vec![7],
+        };
+        let bytes = share.encode();
+        // MaskShare frames are stamped with the v4 version…
+        assert_eq!(
+            u16::from_le_bytes([bytes[4], bytes[5]]),
+            MASK_PROTOCOL_VERSION
+        );
+        assert_eq!(Message::decode(&bytes).unwrap(), share);
+
+        // …and the (version, kind) pairing is enforced both ways: a v2 kind
+        // 7 frame and a v4 non-mask frame are refused even with valid
+        // checksums.
+        let reframe = |bytes: &[u8], version: u16| {
+            let mut forged = bytes.to_vec();
+            forged[4..6].copy_from_slice(&version.to_le_bytes());
+            let body_len = forged.len() - CHECKSUM_LEN;
+            let checksum = fnv1a64(&forged[..body_len]);
+            forged[body_len..].copy_from_slice(&checksum.to_le_bytes());
+            forged
+        };
+        assert!(Message::decode(&reframe(&bytes, PROTOCOL_VERSION)).is_err());
+        let join = Message::Join { client_id: 1 }.encode();
+        assert!(Message::decode(&reframe(&join, MASK_PROTOCOL_VERSION)).is_err());
     }
 
     #[test]

@@ -46,6 +46,16 @@
 //! or Nack'd as a straggler) — with in-order delivery sweeps the window
 //! never holds more than one payload, and in the worst (fully reversed)
 //! case it degrades to the old buffered behaviour, never worse.
+//!
+//! **Secure aggregation.** The state machine itself never learns whether a
+//! deployment runs pairwise-masked shielded rounds (see
+//! [`crate::secure_agg`]): masked updates carry finite zero placeholders for
+//! the shielded names, fold like any other update, and after
+//! [`FedAvgServer::close_round`] the runtime overwrites exactly those
+//! entries with the root enclave's aggregate via
+//! [`FedAvgServer::splice_parameters`]. Because FedAvg folds every parameter
+//! independently, the clear parameters of a masked round are bit-identical
+//! to an unmasked run's — only the placeholder entries are replaced.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -292,6 +302,46 @@ impl FedAvgServer {
             });
         }
         self.parameters = parameters;
+        Ok(())
+    }
+
+    /// Overwrites a *subset* of the global parameters in place — the secure
+    /// aggregation splice: under masked shielded rounds the regular fold sees
+    /// finite zero placeholders for the shielded segment, and once the root
+    /// enclave has folded the sealed blobs (after the mask-reconstruction
+    /// sweep) the runtime splices the enclave's aggregate over exactly those
+    /// entries. Unlike [`FedAvgServer::sync_parameters`] this is targeted:
+    /// every supplied entry must match an existing parameter by name and
+    /// shape, and parameters not named are left untouched.
+    ///
+    /// # Errors
+    /// Returns an error if a round is open, a name is unknown, or a tensor's
+    /// dims disagree with the parameter it replaces.
+    pub fn splice_parameters(&mut self, spliced: &[(String, Tensor)]) -> Result<()> {
+        if self.phase != RoundPhase::Broadcasting {
+            return Err(FlError::InvalidConfig {
+                reason: format!("splice_parameters in phase {:?}", self.phase),
+            });
+        }
+        for (name, tensor) in spliced {
+            let slot = self
+                .parameters
+                .iter_mut()
+                .find(|(existing, _)| existing == name)
+                .ok_or_else(|| FlError::SchemaMismatch {
+                    reason: format!("splice names unknown parameter {name:?}"),
+                })?;
+            if slot.1.dims() != tensor.dims() {
+                return Err(FlError::SchemaMismatch {
+                    reason: format!(
+                        "splice for {name:?} has dims {:?}, parameter has {:?}",
+                        tensor.dims(),
+                        slot.1.dims()
+                    ),
+                });
+            }
+            slot.1 = tensor.clone();
+        }
         Ok(())
     }
 
@@ -1173,6 +1223,41 @@ mod tests {
         assert!(edge.begin_round_with(1, &[5]).is_err());
         edge.begin_round_with(7, &[5]).unwrap();
         assert!(edge.begin_round_with(7, &[5]).is_err());
+    }
+
+    /// The secure-aggregation splice: targeted overwrite of named entries,
+    /// refused mid-round and on any name or shape mismatch.
+    #[test]
+    fn splice_overwrites_named_parameters_only() {
+        let params = vec![
+            ("clear".to_string(), Tensor::full(&[2], 1.0)),
+            ("shielded".to_string(), Tensor::full(&[3], 0.0)),
+        ];
+        let mut server = FedAvgServer::new(params);
+
+        // Only the named entry changes; the other is untouched.
+        server
+            .splice_parameters(&[("shielded".to_string(), Tensor::full(&[3], 4.5))])
+            .unwrap();
+        assert_eq!(server.parameters()[0].1.data(), &[1.0, 1.0]);
+        assert_eq!(server.parameters()[1].1.data(), &[4.5, 4.5, 4.5]);
+
+        // Unknown name and wrong shape are schema errors.
+        assert!(matches!(
+            server.splice_parameters(&[("ghost".to_string(), Tensor::full(&[3], 0.0))]),
+            Err(FlError::SchemaMismatch { .. })
+        ));
+        assert!(matches!(
+            server.splice_parameters(&[("shielded".to_string(), Tensor::full(&[4], 0.0))]),
+            Err(FlError::SchemaMismatch { .. })
+        ));
+
+        // Mid-round splices are refused: the broadcast snapshot is fixed.
+        server.deliver(&Message::Join { client_id: 0 });
+        server.begin_round(&mut rng()).unwrap();
+        assert!(server
+            .splice_parameters(&[("shielded".to_string(), Tensor::full(&[3], 9.0))])
+            .is_err());
     }
 
     #[test]

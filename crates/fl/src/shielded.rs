@@ -18,21 +18,35 @@
 //! 3. the blobs ride inside [`crate::Message::Update`] over the untrusted
 //!    transport — possession of the bytes reveals nothing;
 //! 4. the server's enclave (same trusted application, same measurement)
-//!    unseals them and releases the tensors to the aggregation logic through
-//!    an authorised channel read, again byte-accounted.
+//!    opens them. In a **clear shielded** deployment it unseals each blob
+//!    individually ([`ShieldedUpdateChannel::open_segments`]) and releases
+//!    the tensors to the streaming aggregation fold through an authorised
+//!    channel read, again byte-accounted. Under **secure aggregation**
+//!    ([`crate::secure_agg`]) it never materialises an individual segment:
+//!    [`ShieldedUpdateChannel::fold_masked_segments`] unseals every
+//!    member's blobs *transiently* inside the enclave, cancels the pairwise
+//!    masks, folds the exact FedAvg arithmetic of
+//!    [`crate::AggregationFold`], and releases only the **aggregated**
+//!    shielded segment.
 //!
 //! The sealing path is **bitwise lossless**: tensors are framed with the
 //! binary wire encoding of [`crate::Message`] before sealing, so a shielded
-//! federation produces the same global model bits as a clear one. The
-//! per-round byte accounting ([`ShieldedTransferReport`]) is surfaced by the
-//! federation runtime alongside the `ShieldReport` of `pelta-core`.
+//! federation produces the same global model bits as a clear one — masked
+//! or not (the masked fold replays the fold arithmetic to the bit; see
+//! `docs/determinism.md`). The per-round byte accounting
+//! ([`ShieldedTransferReport`]) is surfaced by the federation runtime
+//! alongside the `ShieldReport` of `pelta-core`.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use pelta_tee::{AttestationReport, CostLedger, Enclave, EnclaveConfig, SealedBlob, SecureChannel};
+use pelta_tee::{
+    AttestationReport, CostLedger, Enclave, EnclaveConfig, SealedBlob, SecureChannel, TeeError,
+};
 use pelta_tensor::Tensor;
 
 use crate::message::{tensor_from_wire_bytes, tensor_to_wire_bytes};
+use crate::secure_agg::{accumulated_mask, unmask_tensor_bits, AggregatorMaskContext};
 use crate::{FlError, Result};
 
 /// Byte accounting of one shielded segment transfer (client sealing or
@@ -157,6 +171,152 @@ impl ShieldedUpdateChannel {
         }
         Ok((segments, report))
     }
+
+    /// How many individual raw blobs this endpoint's enclave has ever
+    /// exposed into its keyed store ([`pelta_tee::Enclave::raw_unseal_count`]).
+    /// Secure-aggregation runs assert this stays **zero** on the
+    /// aggregator: every member blob must go through
+    /// [`ShieldedUpdateChannel::fold_masked_segments`] instead.
+    pub fn raw_unseal_count(&self) -> u64 {
+        self.channel.enclave().raw_unseal_count()
+    }
+
+    /// Server side, secure aggregation: folds every member's
+    /// pairwise-masked sealed segments into the aggregated shielded
+    /// parameters **without ever opening an individual blob** into the
+    /// keyed store ([`pelta_tee::Enclave::unseal_fold`]).
+    ///
+    /// Inside the enclave, per member in ascending client-id order: decode
+    /// each blob transiently, cancel the member's accumulated pairwise mask
+    /// (live-pair seeds re-derived from the attested nonces, dead-pair
+    /// seeds taken from the member's verified [`crate::Message::MaskShare`]
+    /// response in `shares`), then fold the exact streaming-FedAvg
+    /// arithmetic of [`crate::AggregationFold`] — `Σᵤ wᵤ·(paramsᵤ − ref)`
+    /// followed by one normalisation by the total weight — so the released
+    /// aggregate is **bit-identical** to the clear shielded fold over the
+    /// same reporter set. Only the aggregate crosses back to the normal
+    /// world, and it is the one transfer the cost ledger records.
+    ///
+    /// `reference` is the shielded segment of the parameters the round
+    /// opened with (canonical order); `members` maps each reporting client
+    /// to its FedAvg weight and sealed blobs; `dead` lists the seats whose
+    /// masks must be reconstructed via `shares` (reporter → seat → seed).
+    ///
+    /// # Errors
+    /// Returns an error if a blob fails seal integrity, a member's
+    /// segments do not match the reference schema, or a dead seat's mask
+    /// share is missing or fails verification — the fold aborts rather
+    /// than release masked bits.
+    #[allow(clippy::type_complexity)]
+    pub fn fold_masked_segments(
+        &self,
+        reference: &[(String, Tensor)],
+        round: usize,
+        members: &BTreeMap<usize, (usize, Vec<SealedBlob>)>,
+        masks: &AggregatorMaskContext,
+        dead: &[usize],
+        shares: &BTreeMap<usize, BTreeMap<usize, u64>>,
+    ) -> Result<(Vec<(String, Tensor)>, ShieldedTransferReport)> {
+        if members.is_empty() {
+            return Err(FlError::InvalidConfig {
+                reason: "no masked updates to fold".to_string(),
+            });
+        }
+        self.channel.enclave().clear();
+        let reporters: BTreeSet<usize> = members.keys().copied().collect();
+        let total_len: usize = reference.iter().map(|(_, t)| t.numel()).sum();
+        let total_weight: usize = members.values().map(|(weight, _)| *weight).sum();
+        let mut report = ShieldedTransferReport::default();
+        let mut sums: Vec<Tensor> = reference
+            .iter()
+            .map(|(_, tensor)| Tensor::zeros(tensor.dims()))
+            .collect();
+        let empty_shares = BTreeMap::new();
+        for (&member, (weight, blobs)) in members {
+            let member_shares = shares.get(&member).unwrap_or(&empty_shares);
+            let seeds = masks.member_pair_seeds(member, &reporters, dead, member_shares)?;
+            let acc = accumulated_mask(member, &seeds, round, total_len);
+            let weight = *weight as f32;
+            let mut index = 0usize;
+            let mut offset = 0usize;
+            // The visitor runs "inside" the enclave: plaintext segments
+            // exist only for the duration of one callback and feed the
+            // running sums directly. FlErrors are captured and re-raised
+            // outside because the enclave API speaks TeeError.
+            let mut failure: Option<FlError> = None;
+            let fold = self
+                .channel
+                .enclave()
+                .unseal_fold(blobs, &mut |key, bytes| {
+                    let step = (|| -> Result<()> {
+                        let Some((name, reference)) = reference.get(index) else {
+                            return Err(FlError::SchemaMismatch {
+                                reason: format!(
+                                    "client {member} sent more shielded segments than the \
+                                     reference schema has"
+                                ),
+                            });
+                        };
+                        if key != name {
+                            return Err(FlError::SchemaMismatch {
+                                reason: format!(
+                                    "client {member} shielded segment '{key}' does not match \
+                                     reference '{name}'"
+                                ),
+                            });
+                        }
+                        let mut tensor = tensor_from_wire_bytes(bytes)?;
+                        if tensor.dims() != reference.dims() {
+                            return Err(FlError::SchemaMismatch {
+                                reason: format!(
+                                    "client {member} shielded segment '{key}' has shape {:?}, \
+                                     expected {:?}",
+                                    tensor.dims(),
+                                    reference.dims()
+                                ),
+                            });
+                        }
+                        let len = tensor.numel();
+                        unmask_tensor_bits(&mut tensor, &acc[offset..offset + len]);
+                        let delta = tensor.sub(reference)?;
+                        sums[index] = sums[index].axpy(weight, &delta)?;
+                        offset += len;
+                        index += 1;
+                        Ok(())
+                    })();
+                    step.map_err(|error| {
+                        let reason = error.to_string();
+                        failure = Some(error);
+                        TeeError::InvalidConfig { reason }
+                    })
+                });
+            if let Err(tee) = fold {
+                return Err(failure.unwrap_or(FlError::Tee(tee)));
+            }
+            if index != reference.len() {
+                return Err(FlError::SchemaMismatch {
+                    reason: format!(
+                        "client {member} sent {index} shielded segments, expected {}",
+                        reference.len()
+                    ),
+                });
+            }
+            report.segments += blobs.len();
+            report.sealed_bytes += blobs.iter().map(SealedBlob::len).sum::<usize>();
+        }
+        // The single released value: the aggregated shielded segment,
+        // normalised exactly like the streaming FedAvg fold's finish.
+        let norm = 1.0 / total_weight as f32;
+        let mut aggregated = Vec::with_capacity(reference.len());
+        for ((name, reference), sum) in reference.iter().zip(sums.iter()) {
+            let tensor = reference.axpy(norm, sum)?;
+            report.channel_bytes += tensor_to_wire_bytes(&tensor).len();
+            aggregated.push((name.clone(), tensor));
+        }
+        self.channel.enclave().record_world_switch();
+        self.channel.enclave().record_transfer(report.channel_bytes);
+        Ok((aggregated, report))
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +378,95 @@ mod tests {
         let (mut blobs, _) = client.seal_segments(&segments()).unwrap();
         blobs[0].tamper_for_tests();
         assert!(matches!(server.open_segments(&blobs), Err(FlError::Tee(_))));
+    }
+
+    #[test]
+    fn masked_fold_matches_the_clear_fold_bit_for_bit() {
+        use crate::secure_agg::{pair_seeds_for_client, ClientMaskContext};
+        use crate::{AggregationFold, AggregationRule, ModelUpdate};
+
+        let server = ShieldedUpdateChannel::connect(0).unwrap();
+        let measurement = server.measurement();
+        let nonces: BTreeMap<usize, u64> = (0..3).map(|id| (id, 0x40 + id as u64)).collect();
+        let reference = segments();
+        let round = 2;
+
+        // Three members train "something" (here: reference + client-specific
+        // noise), mask, and seal. Weights differ to exercise the weighted fold.
+        let weights = [7usize, 10, 5];
+        let mut members: BTreeMap<usize, (usize, Vec<SealedBlob>)> = BTreeMap::new();
+        let mut clear_updates = Vec::new();
+        for (id, &weight) in weights.iter().enumerate() {
+            let clear: Vec<(String, Tensor)> = reference
+                .iter()
+                .map(|(name, t)| {
+                    let bump = Tensor::from_vec(
+                        t.data()
+                            .iter()
+                            .map(|v| v + 0.25 * (id as f32 + 1.0))
+                            .collect(),
+                        t.dims(),
+                    )
+                    .unwrap();
+                    (name.clone(), bump)
+                })
+                .collect();
+            clear_updates.push(ModelUpdate {
+                client_id: id,
+                round,
+                num_samples: weight,
+                parameters: clear.clone(),
+            });
+            let mut masked = clear;
+            let context =
+                ClientMaskContext::new(id, pair_seeds_for_client(measurement, &nonces, id));
+            context.mask_segment(round, &mut masked);
+            let client = ShieldedUpdateChannel::connect(10 + id as u64).unwrap();
+            let (blobs, _) = client.seal_segments(&masked).unwrap();
+            members.insert(id, (weights[id], blobs));
+        }
+
+        // The clear fold over the same update set, same order, same weights.
+        let mut fold = AggregationFold::new(&reference, round, AggregationRule::FedAvg).unwrap();
+        for update in &clear_updates {
+            fold.fold_ref(update).unwrap();
+        }
+        let expected = fold.finish().unwrap();
+
+        let masks = AggregatorMaskContext::new(measurement, nonces);
+        let (folded, report) = server
+            .fold_masked_segments(&reference, round, &members, &masks, &[], &BTreeMap::new())
+            .unwrap();
+        assert_eq!(report.segments, 6);
+        assert!(report.sealed_bytes > 0);
+        assert!(report.channel_bytes > 0);
+        let bits = |params: &[(String, Tensor)]| -> Vec<(String, Vec<u32>)> {
+            params
+                .iter()
+                .map(|(n, t)| (n.clone(), t.data().iter().map(|v| v.to_bits()).collect()))
+                .collect()
+        };
+        assert_eq!(bits(&expected), bits(&folded));
+        // The acceptance hook: no individual blob was ever raw-unsealed.
+        assert_eq!(server.raw_unseal_count(), 0);
+
+        // A member with a tampered blob aborts the fold.
+        let (_, (_, blobs)) = members.iter_mut().next().unwrap();
+        blobs[0].tamper_for_tests();
+        assert!(server
+            .fold_masked_segments(&reference, round, &members, &masks, &[], &BTreeMap::new())
+            .is_err());
+        // An empty member set is refused.
+        assert!(server
+            .fold_masked_segments(
+                &reference,
+                round,
+                &BTreeMap::new(),
+                &masks,
+                &[],
+                &BTreeMap::new()
+            )
+            .is_err());
     }
 
     #[test]

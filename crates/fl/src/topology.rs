@@ -474,16 +474,22 @@ impl EdgeAggregator {
 
     /// Routes one member message: Join/Leave are mirrored into the subtree
     /// state machine *and* relayed upstream (the root tracks the global
-    /// connected set); an Update is mirrored (with broadcast-value
-    /// placeholders spliced over its sealed segment, which the edge cannot
-    /// open) and, if the subtree state machine accepts it, the **original**
-    /// update is stashed for upstream forwarding; anything else is answered
-    /// by the subtree state machine's Nack — junk frames burn the *edge's*
-    /// straggler budget, which is exactly the per-level semantics.
+    /// connected set); a [`Message::MaskShare`] is relayed upstream
+    /// unopened — it is root-addressed secure-aggregation control traffic
+    /// only the root's enclave context can verify; an Update is mirrored
+    /// (with broadcast-value placeholders spliced over its sealed segment,
+    /// which the edge cannot open) and, if the subtree state machine accepts
+    /// it, the **original** update is stashed for upstream forwarding;
+    /// anything else is answered by the subtree state machine's Nack — junk
+    /// frames burn the *edge's* straggler budget, which is exactly the
+    /// per-level semantics.
     fn route_upward(&mut self, index: usize, message: Message) -> Result<()> {
         match message {
             Message::Join { .. } => {
                 self.server.deliver(&message);
+                self.uplink.send(&message)?;
+            }
+            Message::MaskShare { .. } => {
                 self.uplink.send(&message)?;
             }
             Message::Leave { client_id } => {
@@ -624,9 +630,10 @@ impl EdgeAggregator {
     }
 
     /// Relays downstream traffic from the root: a [`Message::Nack`] goes to
-    /// the addressed member's link, a [`Message::RoundEnd`] to every round
-    /// participant that did not leave mid-round. Returns the number of
-    /// frames relayed.
+    /// the addressed member's link, a [`Message::RoundEnd`] — or a
+    /// [`Message::MaskShare`] reconstruction *request* (empty seeds) — to
+    /// every round participant that did not leave mid-round. Returns the
+    /// number of frames relayed.
     ///
     /// # Errors
     /// Returns an error if a transport fails.
@@ -634,6 +641,16 @@ impl EdgeAggregator {
         let mut relayed = 0;
         while let Some(message) = self.uplink.recv()? {
             match &message {
+                Message::MaskShare { seeds, .. } if seeds.is_empty() => {
+                    for member in &self.members {
+                        if self.sampled.contains(&member.client_id)
+                            && !self.left.contains(&member.client_id)
+                        {
+                            member.link.send(&message)?;
+                            relayed += 1;
+                        }
+                    }
+                }
                 Message::Nack { client_id, .. } => {
                     if let Some(member) = self.members.iter().find(|m| m.client_id == *client_id) {
                         member.link.send(&message)?;

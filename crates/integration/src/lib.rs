@@ -5,3 +5,6 @@
 //! library code of its own; every target is declared in `Cargo.toml` with a
 //! path override so the test and example sources can stay at the repo root
 //! where the documentation references them.
+//!
+//! The acceptance suites in `tests/` pin the repository-wide bit-replay
+//! contract consolidated in `docs/determinism.md`.

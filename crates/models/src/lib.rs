@@ -23,6 +23,10 @@
 //! [`paper_scale`] module additionally provides analytic parameter and
 //! enclave-memory accounting at the paper's true dimensions to regenerate
 //! Table I.
+//!
+//! Model construction takes explicit seeds and training rides the
+//! deterministic kernel backend, so runs replay bit-identically — see
+//! `docs/determinism.md` for the repository-wide contract.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 

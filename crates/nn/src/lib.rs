@@ -28,6 +28,10 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Every layer rides the deterministic kernel backend, so module outputs
+//! are bit-identical at any `PELTA_THREADS` value — the repository-wide
+//! contract is specified in `docs/determinism.md`.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 

@@ -57,6 +57,10 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Shield construction and the masking pipeline are deterministic for a
+//! fixed seed — part of the repository-wide bit-replay contract specified
+//! in `docs/determinism.md`.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 

@@ -80,6 +80,7 @@ pub struct Enclave {
     store: Mutex<HashMap<String, SecureObject>>,
     used: Mutex<usize>,
     ledger: Mutex<CostLedger>,
+    raw_unseals: Mutex<u64>,
 }
 
 impl Enclave {
@@ -90,6 +91,7 @@ impl Enclave {
             store: Mutex::new(HashMap::new()),
             used: Mutex::new(0),
             ledger: Mutex::new(CostLedger::default()),
+            raw_unseals: Mutex::new(0),
         }
     }
 
@@ -316,11 +318,53 @@ impl Enclave {
     /// sealed by a different measurement, plus the usual storage errors.
     pub fn unseal_raw(&self, blob: &SealedBlob) -> Result<String> {
         let (key, bytes) = blob.decode_raw(self.config.measurement)?;
+        *self.raw_unseals.lock() += 1;
         self.ledger
             .lock()
             .record_seal(blob.len(), &self.config.cost_model);
         self.store_bytes(&key, bytes)?;
         Ok(key)
+    }
+
+    /// How many times [`Enclave::unseal_raw`] has exposed an **individual**
+    /// raw blob into the keyed secure store.
+    ///
+    /// Secure aggregation asserts on this counter: a masked federation round
+    /// must fold member updates through [`Enclave::unseal_fold`] (which
+    /// never materialises a per-member object) and leave this count at zero
+    /// on the aggregator's enclave.
+    pub fn raw_unseal_count(&self) -> u64 {
+        *self.raw_unseals.lock()
+    }
+
+    /// Unseals a batch of raw blobs **transiently**, handing each plaintext
+    /// to `visit` without ever storing an individual object in the keyed
+    /// secure store.
+    ///
+    /// This is the secure-aggregation primitive: the visitor folds the
+    /// per-member bytes into a running sum inside the enclave, and only the
+    /// aggregate ever leaves. Each blob is still accounted as an unsealing
+    /// operation in the cost ledger, but none of them increments
+    /// [`Enclave::raw_unseal_count`] — the counter tracks individual
+    /// exposure, which this path by construction avoids.
+    ///
+    /// # Errors
+    /// Returns [`TeeError::SealIntegrity`] if any blob was tampered with or
+    /// sealed by a different measurement; errors from `visit` propagate
+    /// unchanged and abort the fold.
+    pub fn unseal_fold(
+        &self,
+        blobs: &[SealedBlob],
+        visit: &mut dyn FnMut(&str, &[u8]) -> Result<()>,
+    ) -> Result<()> {
+        for blob in blobs {
+            let (key, bytes) = blob.decode_raw(self.config.measurement)?;
+            self.ledger
+                .lock()
+                .record_seal(blob.len(), &self.config.cost_model);
+            visit(&key, &bytes)?;
+        }
+        Ok(())
     }
 
     /// Unseals a blob produced by [`Enclave::seal`] on an enclave with the
@@ -481,6 +525,53 @@ mod tests {
             foreign.unseal_raw(&blob),
             Err(TeeError::SealIntegrity)
         ));
+    }
+
+    #[test]
+    fn unseal_fold_never_exposes_individual_objects() {
+        let sender = Enclave::new(EnclaveConfig::trustzone_default());
+        sender.store_bytes("a", vec![1, 2, 3]).unwrap();
+        sender.store_bytes("b", vec![4, 5]).unwrap();
+        let blobs = vec![sender.seal_raw("a").unwrap(), sender.seal_raw("b").unwrap()];
+
+        let root = Enclave::new(EnclaveConfig::trustzone_default());
+        let mut seen: Vec<(String, Vec<u8>)> = Vec::new();
+        root.unseal_fold(&blobs, &mut |key, bytes| {
+            seen.push((key.to_string(), bytes.to_vec()));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            seen,
+            vec![
+                ("a".to_string(), vec![1, 2, 3]),
+                ("b".to_string(), vec![4, 5])
+            ]
+        );
+        // The fold accounted unsealing costs but stored nothing and never
+        // counted an individual raw unseal.
+        assert_eq!(root.object_count(), 0);
+        assert_eq!(root.raw_unseal_count(), 0);
+        assert!(root.ledger().sealed_bytes > 0);
+
+        // The classic path, by contrast, bumps the exposure counter.
+        root.unseal_raw(&blobs[0]).unwrap();
+        assert_eq!(root.raw_unseal_count(), 1);
+        assert_eq!(root.object_count(), 1);
+
+        // Tampering aborts the fold with a seal-integrity error.
+        let mut tampered = blobs[1].clone();
+        tampered.tamper_for_tests();
+        let err = root.unseal_fold(&[tampered], &mut |_, _| Ok(()));
+        assert!(matches!(err, Err(TeeError::SealIntegrity)));
+
+        // Visitor errors propagate and abort.
+        let err = root.unseal_fold(&blobs, &mut |key, _| {
+            Err(TeeError::InvalidConfig {
+                reason: format!("reject {key}"),
+            })
+        });
+        assert!(matches!(err, Err(TeeError::InvalidConfig { .. })));
     }
 
     #[test]

@@ -39,6 +39,10 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Sealing, attestation and pairwise mask derivation are deterministic
+//! functions of their seeds — the enclave layer's part of the bit-replay
+//! contract specified in `docs/determinism.md`.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
@@ -47,6 +51,7 @@ mod channel;
 mod cost;
 mod enclave;
 mod error;
+mod masking;
 mod sealing;
 
 pub use attestation::{verify_report, AttestationReport};
@@ -54,6 +59,7 @@ pub use channel::SecureChannel;
 pub use cost::{CostLedger, CostModel};
 pub use enclave::{Enclave, EnclaveConfig, World};
 pub use error::TeeError;
+pub use masking::{pair_seed, round_mask_seed};
 pub use sealing::SealedBlob;
 
 /// Convenience alias for results returned throughout this crate.

@@ -37,6 +37,10 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Every kernel in this crate upholds the repository-wide bit-replay
+//! contract — bit-identical results at any `PELTA_THREADS` value; the
+//! normative statement lives in `docs/determinism.md` (§ kernels).
 
 #![deny(rustdoc::broken_intra_doc_links)]
 

@@ -1,0 +1,174 @@
+//! Dead-link check over the repository's markdown documentation.
+//!
+//! CI renders rustdoc under `-D warnings`, which catches broken links
+//! between *items* — but nothing used to catch a `docs/*.md` page linking
+//! to a file that was moved, or a table-of-contents anchor that no longer
+//! matches a heading. This test walks `README.md` and every page under
+//! `docs/`, extracts the relative markdown links, and fails on the first
+//! target that does not exist (files) or does not slug-match a heading
+//! (same-page `#anchors`). External `http(s)` links are skipped — the
+//! build environment is offline by design.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Repository root: this file compiles inside `crates/integration`, whose
+/// manifest dir is two levels down.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+/// The markdown pages under the link-check contract.
+fn documented_pages(root: &Path) -> Vec<PathBuf> {
+    let mut pages = vec![root.join("README.md")];
+    let docs = root.join("docs");
+    let mut entries: Vec<_> = fs::read_dir(&docs)
+        .expect("docs/ exists")
+        .map(|e| e.expect("readable docs entry").path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "md"))
+        .collect();
+    entries.sort();
+    assert!(
+        !entries.is_empty(),
+        "docs/ lost all its markdown pages — the link check has nothing to do"
+    );
+    pages.extend(entries);
+    pages
+}
+
+/// Extracts every inline markdown link target (`[text](target)`) from the
+/// page, ignoring fenced code blocks (wire-format.md quotes link syntax
+/// inside hex-dump examples only as plain text, but be safe).
+fn link_targets(markdown: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i + 1 < bytes.len() {
+            if bytes[i] == b']' && bytes[i + 1] == b'(' {
+                if let Some(close) = line[i + 2..].find(')') {
+                    targets.push(line[i + 2..i + 2 + close].to_string());
+                    i += 2 + close;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    targets
+}
+
+/// GitHub-style anchor slug of a markdown heading: lowercase, alphanumerics
+/// kept, spaces to dashes, everything else dropped.
+fn heading_slug(heading: &str) -> String {
+    let mut slug = String::new();
+    for c in heading.trim().chars() {
+        if c.is_ascii_alphanumeric() {
+            slug.push(c.to_ascii_lowercase());
+        } else if c == ' ' || c == '-' {
+            slug.push('-');
+        }
+    }
+    slug
+}
+
+/// Every anchor a page defines, one per `#`-prefixed heading line.
+fn page_anchors(markdown: &str) -> Vec<String> {
+    let mut in_fence = false;
+    markdown
+        .lines()
+        .filter(|line| {
+            if line.trim_start().starts_with("```") {
+                in_fence = !in_fence;
+                return false;
+            }
+            !in_fence && line.starts_with('#')
+        })
+        .map(|line| heading_slug(line.trim_start_matches('#')))
+        .collect()
+}
+
+#[test]
+fn documentation_links_resolve() {
+    let root = repo_root();
+    let mut checked = 0usize;
+    let mut dead = Vec::new();
+    for page in documented_pages(&root) {
+        let markdown = fs::read_to_string(&page).expect("documented page is readable");
+        let base = page.parent().expect("page has a directory");
+        let display = page
+            .strip_prefix(&root)
+            .unwrap_or(&page)
+            .display()
+            .to_string();
+        for target in link_targets(&markdown) {
+            if target.starts_with("http://") || target.starts_with("https://") {
+                continue;
+            }
+            checked += 1;
+            let (path_part, anchor) = match target.split_once('#') {
+                Some((p, a)) => (p, Some(a)),
+                None => (target.as_str(), None),
+            };
+            let (linked_page, linked_markdown) = if path_part.is_empty() {
+                (display.clone(), markdown.clone())
+            } else {
+                let resolved = base.join(path_part);
+                if !resolved.exists() {
+                    dead.push(format!("{display}: `{target}` — file does not exist"));
+                    continue;
+                }
+                match anchor {
+                    None => continue,
+                    Some(_) if resolved.extension().is_some_and(|e| e == "md") => (
+                        path_part.to_string(),
+                        fs::read_to_string(&resolved).expect("link target is readable"),
+                    ),
+                    // Anchors into non-markdown targets (e.g. source files)
+                    // are line references we cannot slug-check.
+                    Some(_) => continue,
+                }
+            };
+            if let Some(anchor) = anchor {
+                if !page_anchors(&linked_markdown).iter().any(|a| a == anchor) {
+                    dead.push(format!(
+                        "{display}: `{target}` — no heading in {linked_page} slugs to `#{anchor}`"
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        checked > 10,
+        "link extraction broke: only {checked} links found"
+    );
+    assert!(
+        dead.is_empty(),
+        "dead documentation links:\n  {}",
+        dead.join("\n  ")
+    );
+}
+
+#[test]
+fn heading_slugs_match_the_github_convention() {
+    assert_eq!(
+        heading_slug(" 1. Kernels and the thread pool"),
+        "1-kernels-and-the-thread-pool"
+    );
+    assert_eq!(
+        heading_slug(" The wire and the codecs"),
+        "the-wire-and-the-codecs"
+    );
+    assert_eq!(heading_slug(" Crate map"), "crate-map");
+}

@@ -1,11 +1,11 @@
 //! Smoke tests keeping the runnable examples honest.
 //!
-//! The `quickstart` and `shielded_inference` examples are the documented
-//! entry points to the codebase; compiling them is not enough to know they
-//! still work. Each example exposes its body as `pub fn run()` (called by
-//! its own `main`), and these tests include the example source as a module
-//! and drive the same entry point, so `cargo test` fails the moment an
-//! example rots.
+//! The examples are the documented entry points to the codebase (the
+//! README's tour table links each one to the subsystem it demonstrates);
+//! compiling them is not enough to know they still work. Each example
+//! exposes its body as `pub fn run()` (called by its own `main`), and these
+//! tests include the example source as a module and drive the same entry
+//! point, so `cargo test` fails the moment an example rots.
 
 #[path = "../examples/quickstart.rs"]
 #[allow(dead_code)]
@@ -34,6 +34,10 @@ mod chaos_federation;
 #[path = "../examples/compressed_federation.rs"]
 #[allow(dead_code)]
 mod compressed_federation;
+
+#[path = "../examples/secure_aggregation.rs"]
+#[allow(dead_code)]
+mod secure_aggregation;
 
 #[test]
 fn quickstart_example_runs() {
@@ -69,4 +73,9 @@ fn chaos_federation_example_runs() {
 #[test]
 fn compressed_federation_example_runs() {
     compressed_federation::run().expect("compressed_federation example should run to completion");
+}
+
+#[test]
+fn secure_aggregation_example_runs() {
+    secure_aggregation::run().expect("secure_aggregation example should run to completion");
 }

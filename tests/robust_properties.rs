@@ -17,15 +17,19 @@
 //!   fold the same full-population statistics and produce the same bits as
 //!   the flat aggregation.
 //!
-//! The file closes with the adversarial half of the topology acceptance:
-//! the 1-backdoor-vs-4-honest matrix holds when the backdoor sits under an
-//! edge aggregator.
+//! The file closes with the adversarial half of the topology acceptance
+//! (the 1-backdoor-vs-4-honest matrix holds when the backdoor sits under
+//! an edge aggregator) and the secure-aggregation mask-cancellation
+//! properties: pairwise masks cancel exactly in the mod-2³² lattice sum
+//! over any full roster, and over any dropout subset once the survivors'
+//! verified reconstruction shares land (see `docs/determinism.md`).
 
 use proptest::prelude::*;
 
 use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
 use pelta_fl::{
-    backdoor_success_rate, AgentRole, AggregationRule, BroadcastFrame, Delivery, EdgeAggregator,
+    backdoor_success_rate, pair_seeds_for_client, AgentRole, AggregationRule,
+    AggregatorMaskContext, BroadcastFrame, ClientMaskContext, Delivery, EdgeAggregator,
     FaultConfig, FaultPlan, FedAvgServer, Federation, FederationConfig, FlError, Message,
     ModelUpdate, NackReason, ParticipationPolicy, RobustAggregator, ScenarioSpec, Topology,
     Transport, TransportKind, TrojanTrigger, UpdateCodec,
@@ -834,4 +838,145 @@ fn backdoor_under_an_edge_aggregator_is_suppressed_by_robust_rules() {
         trimmed_rate, 0.0,
         "trimmed mean must zero the edge-placed backdoor"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Secure aggregation: pairwise-mask cancellation on the bit lattice
+// ---------------------------------------------------------------------------
+
+/// One client's shielded segment built from drawn values.
+fn mask_segment_of(values: &[f32]) -> Vec<(String, Tensor)> {
+    vec![(
+        "shield.seg".to_string(),
+        Tensor::from_vec(values.to_vec(), &[values.len()]).unwrap(),
+    )]
+}
+
+/// A segment's scalars as raw IEEE-754 bit patterns, in canonical order.
+fn mask_segment_bits(segment: &[(String, Tensor)]) -> Vec<u32> {
+    segment
+        .iter()
+        .flat_map(|(_, t)| t.data().iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+/// The mod-2³² element-wise sum of segment bit patterns — the lattice the
+/// enclave folds on, where pairwise masks cancel exactly (see
+/// `docs/determinism.md`).
+fn lattice_sum(segments: &[Vec<u32>]) -> Vec<u32> {
+    let mut acc = vec![0u32; segments.first().map_or(0, Vec::len)];
+    for bits in segments {
+        for (slot, &word) in acc.iter_mut().zip(bits) {
+            *slot = slot.wrapping_add(word);
+        }
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16).with_seed(0x9a5c_ca11))]
+
+    /// Full participation: over any roster, values and round, the masked
+    /// segments' lattice sum equals the clear segments' lattice sum — the
+    /// aggregate is bit-identical while every individual masked segment is
+    /// scrambled.
+    #[test]
+    fn pairwise_masks_cancel_exactly_over_the_full_roster(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-8.0f32..8.0, 6),
+            3..7,
+        ),
+        round in 0usize..64,
+        handshake in 0u64..=u64::MAX,
+    ) {
+        let measurement = handshake ^ 0x70e1_7a5e;
+        let nonces: std::collections::BTreeMap<usize, u64> = rows
+            .iter()
+            .enumerate()
+            .map(|(id, _)| (id, handshake.wrapping_mul(2 * id as u64 + 1).wrapping_add(id as u64)))
+            .collect();
+        let mut clear_bits = Vec::new();
+        let mut masked_bits = Vec::new();
+        for (id, values) in rows.iter().enumerate() {
+            let clear = mask_segment_of(values);
+            let mut masked = clear.clone();
+            let context =
+                ClientMaskContext::new(id, pair_seeds_for_client(measurement, &nonces, id));
+            context.mask_segment(round, &mut masked);
+            // Each member's masked bits are scrambled individually...
+            prop_assert_ne!(mask_segment_bits(&clear), mask_segment_bits(&masked));
+            clear_bits.push(mask_segment_bits(&clear));
+            masked_bits.push(mask_segment_bits(&masked));
+        }
+        // ...but the lattice sums agree exactly: the masks cancel.
+        prop_assert_eq!(lattice_sum(&clear_bits), lattice_sum(&masked_bits));
+    }
+
+    /// Random dropout subsets: the survivors' masked lattice sum does NOT
+    /// equal their clear sum (orphaned mask halves remain), but once each
+    /// survivor's reconstruction shares land — verified against the
+    /// attested handshake — masking a zero segment with the dead-pair
+    /// seeds extracts exactly the orphaned words, and subtracting them
+    /// restores the clear sum bit for bit.
+    #[test]
+    fn dropout_reconstruction_restores_the_clear_lattice_sum(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-8.0f32..8.0, 5),
+            5..=5,
+        ),
+        dead_mask in 1u8..31,
+        round in 0usize..64,
+        handshake in 0u64..=u64::MAX,
+    ) {
+        let measurement = handshake ^ 0x5ec2_a667;
+        let nonces: std::collections::BTreeMap<usize, u64> = rows
+            .iter()
+            .enumerate()
+            .map(|(id, _)| (id, handshake.wrapping_mul(2 * id as u64 + 1).wrapping_add(id as u64)))
+            .collect();
+        let aggregator = AggregatorMaskContext::new(measurement, nonces.clone());
+        // dead_mask in 1..31 over 5 seats: at least one dead, one survivor.
+        let dead: Vec<usize> = (0..rows.len()).filter(|id| dead_mask & (1 << id) != 0).collect();
+        let survivors: Vec<usize> =
+            (0..rows.len()).filter(|id| dead_mask & (1 << id) == 0).collect();
+        prop_assert!(!dead.is_empty() && !survivors.is_empty());
+
+        let mut clear_bits = Vec::new();
+        let mut masked_bits = Vec::new();
+        let mut orphan_bits = Vec::new();
+        for &id in &survivors {
+            let clear = mask_segment_of(&rows[id]);
+            let mut masked = clear.clone();
+            let context =
+                ClientMaskContext::new(id, pair_seeds_for_client(measurement, &nonces, id));
+            context.mask_segment(round, &mut masked);
+            clear_bits.push(mask_segment_bits(&clear));
+            masked_bits.push(mask_segment_bits(&masked));
+            // The reconstruction path: the survivor's shares for the dead
+            // seats verify against the attested handshake, and masking a
+            // zero segment with only those pair seeds extracts exactly the
+            // survivor's orphaned mask words.
+            let shares = context.shares_for(&dead);
+            let dead_seeds: std::collections::BTreeMap<usize, u64> = dead
+                .iter()
+                .zip(&shares)
+                .map(|(&seat, &seed)| {
+                    aggregator.verify_share(id, seat, seed).unwrap();
+                    (seat, seed)
+                })
+                .collect();
+            let mut orphan = mask_segment_of(&vec![0.0; rows[id].len()]);
+            ClientMaskContext::new(id, dead_seeds).mask_segment(round, &mut orphan);
+            orphan_bits.push(mask_segment_bits(&orphan));
+        }
+        let clear_sum = lattice_sum(&clear_bits);
+        // Orphaned halves poison the survivors-only sum...
+        prop_assert_ne!(&lattice_sum(&masked_bits), &clear_sum);
+        // ...and subtracting the reconstructed orphan words restores it.
+        let mut recovered = lattice_sum(&masked_bits);
+        for (slot, &word) in recovered.iter_mut().zip(&lattice_sum(&orphan_bits)) {
+            *slot = slot.wrapping_sub(word);
+        }
+        prop_assert_eq!(recovered, clear_sum);
+    }
 }

@@ -385,3 +385,85 @@ fn gossip_rejects_configurations_it_cannot_honor() {
         Federation::vit_federation(&data, &deadline_gossip, Partition::Iid, &mut seeds).is_err()
     );
 }
+
+// ---------------------------------------------------------------------------
+// Secure aggregation: the masked matrix
+// ---------------------------------------------------------------------------
+
+/// One shielded run — masked or clear — with a scripted mid-round dropout
+/// (seat 1 leaves during round 0 and rejoins for round 1), returning the
+/// final global bits and the root's individual-blob unseal count.
+fn run_masked_matrix_leg(
+    transport: TransportKind,
+    topology: Topology,
+    masked: bool,
+) -> (GlobalBits, u64) {
+    let data = dataset();
+    let mut seeds = SeedStream::new(SEED);
+    let cfg = FederationConfig {
+        shield_updates: true,
+        secure_aggregation: masked,
+        policy: ParticipationPolicy {
+            quorum: 3,
+            sample: 0,
+            straggler_deadline: 0,
+        },
+        schedules: vec![pelta_fl::ClientSchedule {
+            client_id: 1,
+            drop_at_round: Some(0),
+            rejoin_at_round: Some(1),
+            latency: 0,
+        }],
+        ..config(transport, topology)
+    };
+    let mut federation =
+        Federation::vit_federation(&data, &cfg, Partition::Iid, &mut seeds).unwrap();
+    let history = federation.run(&mut seeds).unwrap();
+    // The dropout really happened mid-round: round 0 closes on three
+    // reporters and in the masked run that forces share reconstruction.
+    assert_eq!(history.rounds[0].summary.dropouts, vec![1]);
+    assert_eq!(history.rounds[0].summary.reporters, vec![0, 2, 3]);
+    let unseals = federation
+        .server_raw_unseals()
+        .expect("shield_updates is on");
+    (global_bits(federation.server().parameters()), unseals)
+}
+
+/// Acceptance matrix of the secure-aggregation tentpole (see
+/// `docs/determinism.md`): a masked shielded federation with a mid-round
+/// dropout produces the **same global model bits** as the clear shielded
+/// run, and replays bit-identically across repeats, both transports,
+/// Star/Hierarchical routing, and `PELTA_THREADS` 1/4 — while the root
+/// never unseals an individual member blob (the clear run opens them all).
+#[test]
+fn masked_runs_match_the_clear_shielded_run_across_the_matrix() {
+    pool::set_global_threads(1);
+    let (reference, clear_unseals) =
+        run_masked_matrix_leg(TransportKind::InMemory, Topology::Star, false);
+    assert!(
+        clear_unseals > 0,
+        "the clear shielded run must open member blobs"
+    );
+    let (repeat, _) = run_masked_matrix_leg(TransportKind::InMemory, Topology::Star, true);
+    let (replay, _) = run_masked_matrix_leg(TransportKind::InMemory, Topology::Star, true);
+    assert_eq!(repeat, replay, "masked star replay diverged");
+
+    for threads in [1usize, 4] {
+        pool::set_global_threads(threads);
+        for transport in [TransportKind::InMemory, TransportKind::Serialized] {
+            for topology in [
+                Topology::Star,
+                Topology::hierarchical(vec![vec![0, 2], vec![1, 3]]),
+            ] {
+                let label = format!(
+                    "masked {} over {transport:?} at {threads} thread(s)",
+                    topology.name()
+                );
+                let (bits, unseals) = run_masked_matrix_leg(transport, topology, true);
+                assert_eq!(bits, reference, "{label} changed the global model bits");
+                assert_eq!(unseals, 0, "{label} unsealed an individual member blob");
+            }
+        }
+    }
+    pool::set_global_threads(pool::env_threads());
+}

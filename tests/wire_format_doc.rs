@@ -1,0 +1,171 @@
+//! Keeps `docs/wire-format.md` honest: every worked hex dump in the spec
+//! is asserted here byte-for-byte against the live encoder, so the
+//! document cannot drift from `Message::encode_with` without this test
+//! failing. Each constant below is a verbatim copy of the corresponding
+//! dump in the spec (whitespace-insensitive hex).
+
+use pelta_fl::{GlobalModel, MemberUpdate, Message, ModelUpdate, NackReason, UpdateCodec};
+use pelta_tensor::Tensor;
+
+/// Parses the doc's whitespace-separated hex into bytes.
+fn hex(dump: &str) -> Vec<u8> {
+    dump.split_whitespace()
+        .map(|pair| u8::from_str_radix(pair, 16).expect("doc dumps are hex byte pairs"))
+        .collect()
+}
+
+fn assert_frame(label: &str, actual: &[u8], documented: &str) {
+    assert_eq!(
+        actual,
+        hex(documented).as_slice(),
+        "{label}: docs/wire-format.md dump no longer matches the encoder"
+    );
+}
+
+/// The tensor every worked example in the spec uses: `[1.0, -2.5]`,
+/// rank 1, named `"w"`.
+fn doc_tensor() -> Tensor {
+    Tensor::from_vec(vec![1.0f32, -2.5], &[2]).unwrap()
+}
+
+fn doc_update() -> ModelUpdate {
+    ModelUpdate {
+        client_id: 2,
+        round: 1,
+        num_samples: 10,
+        parameters: vec![("w".to_string(), doc_tensor())],
+    }
+}
+
+#[test]
+fn join_dump_matches_the_spec() {
+    assert_frame(
+        "Join v2",
+        &Message::Join { client_id: 3 }.encode(),
+        "50 46 4c 01 02 00 00 03 00 00 00 00 00 00 00 19
+         53 fb fd f8 02 62 72",
+    );
+}
+
+#[test]
+fn round_start_dump_matches_the_spec() {
+    let message = Message::RoundStart {
+        round: 1,
+        global: GlobalModel {
+            round: 1,
+            parameters: vec![("w".to_string(), doc_tensor())],
+        },
+    };
+    assert_frame(
+        "RoundStart v2",
+        &message.encode(),
+        "50 46 4c 01 02 00 01 01 00 00 00 00 00 00 00 01
+         00 00 00 00 00 00 00 01 00 00 00 01 00 00 00 77
+         01 00 00 00 02 00 00 00 00 00 00 00 00 00 80 3f
+         00 00 20 c0 b0 13 70 70 ba 71 2b 95",
+    );
+}
+
+#[test]
+fn raw_update_dump_matches_the_spec() {
+    let message = Message::Update {
+        update: doc_update(),
+        shielded: Vec::new(),
+    };
+    assert_frame(
+        "Update v2 raw",
+        &message.encode(),
+        "50 46 4c 01 02 00 02 01 00 00 00 00 00 00 00 02
+         00 00 00 00 00 00 00 0a 00 00 00 00 00 00 00 01
+         00 00 00 01 00 00 00 77 01 00 00 00 02 00 00 00
+         00 00 00 00 00 00 80 3f 00 00 20 c0 00 00 00 00
+         c0 b2 43 d9 1e d2 78 5e",
+    );
+}
+
+#[test]
+fn bf16_update_dump_matches_the_spec() {
+    let message = Message::Update {
+        update: doc_update(),
+        shielded: Vec::new(),
+    };
+    assert_frame(
+        "Update v3 bf16",
+        &message.encode_with(UpdateCodec::Bf16),
+        "50 46 4c 01 03 00 02 01 01 00 00 00 00 00 00 00
+         02 00 00 00 00 00 00 00 0a 00 00 00 00 00 00 00
+         01 00 00 00 01 00 00 00 77 01 00 00 00 02 00 00
+         00 00 00 00 00 80 3f 20 c0 00 00 00 00 d6 74 9f
+         45 d2 99 ce c3",
+    );
+}
+
+#[test]
+fn nack_dump_matches_the_spec() {
+    let message = Message::Nack {
+        client_id: 2,
+        round: 1,
+        reason: NackReason::Duplicate,
+    };
+    assert_frame(
+        "Nack v2",
+        &message.encode(),
+        "50 46 4c 01 02 00 05 02 00 00 00 00 00 00 00 01
+         00 00 00 00 00 00 00 03 00 00 00 00 e3 9c 2a 43
+         ee 74 20 66",
+    );
+}
+
+#[test]
+fn aggregate_update_dump_matches_the_spec() {
+    let message = Message::AggregateUpdate {
+        origin: 0,
+        round: 1,
+        members: vec![MemberUpdate::clear(doc_update())],
+    };
+    assert_frame(
+        "AggregateUpdate v2",
+        &message.encode(),
+        "50 46 4c 01 02 00 06 00 00 00 00 00 00 00 00 01
+         00 00 00 00 00 00 00 01 00 00 00 01 00 00 00 00
+         00 00 00 02 00 00 00 00 00 00 00 0a 00 00 00 00
+         00 00 00 01 00 00 00 01 00 00 00 77 01 00 00 00
+         02 00 00 00 00 00 00 00 00 00 80 3f 00 00 20 c0
+         00 00 00 00 fc ae 48 ec 0e 1b 18 c5",
+    );
+}
+
+#[test]
+fn mask_share_request_dump_matches_the_spec() {
+    let message = Message::MaskShare {
+        client_id: usize::MAX,
+        round: 1,
+        seats: vec![3],
+        seeds: Vec::new(),
+    };
+    assert_frame(
+        "MaskShare v4 request",
+        &message.encode(),
+        "50 46 4c 01 04 00 07 ff ff ff ff ff ff ff ff 01
+         00 00 00 00 00 00 00 01 00 00 00 03 00 00 00 00
+         00 00 00 00 00 00 00 66 0a eb eb 5e 6f 74 fa",
+    );
+}
+
+#[test]
+fn mask_share_response_dump_matches_the_spec() {
+    let message = Message::MaskShare {
+        client_id: 2,
+        round: 1,
+        seats: vec![3],
+        seeds: vec![0x1122_3344_5566_7788],
+    };
+    assert_frame(
+        "MaskShare v4 response",
+        &message.encode(),
+        "50 46 4c 01 04 00 07 02 00 00 00 00 00 00 00 01
+         00 00 00 00 00 00 00 01 00 00 00 03 00 00 00 00
+         00 00 00 01 00 00 00 88 77 66 55 44 33 22 11 3d
+         60 7b 45 6b 7e 55 e7",
+    );
+}

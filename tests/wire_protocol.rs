@@ -4,7 +4,11 @@
 //! the integrity checksum. The v3 compressed framing rides the same
 //! contract: a coded frame decodes to the codec's deterministic round-trip
 //! of the payload, bit-stably across calls and thread counts, and a
-//! tampered compressed frame is refused in-protocol as `CorruptFrame`.
+//! tampered compressed frame is refused in-protocol as `CorruptFrame`. The
+//! v4 secure-aggregation framing closes the matrix: tampered `MaskShare`
+//! responses fault under the share's `(client, round)` identity while
+//! `MaskShare` requests ride hostile links untouched (see
+//! `docs/wire-format.md` for the byte layout).
 
 use proptest::prelude::*;
 
@@ -384,6 +388,78 @@ proptest! {
                 }
             ));
         }
+    }
+
+    /// In-protocol tampering of the v4 secure-aggregation frames. A
+    /// `MaskShare` **response** (seeds present) is faultable: a corrupt
+    /// link surfaces the tamper as [`Delivery::Faulted`] carrying the
+    /// share's `(client, round)` identity — exactly the key the server's
+    /// reconstruction sweep Nacks as `CorruptFrame` and re-requests. A
+    /// `MaskShare` **request** (seeds empty) is server→client control
+    /// traffic like a broadcast: it rides the same hostile link untouched.
+    #[test]
+    fn tampered_mask_shares_fault_with_their_reconstruction_identity(
+        seed in 0u64..1_000_000,
+        round in 0usize..1000,
+        seeds_payload in proptest::collection::vec(0u64..=u64::MAX, 1..5),
+    ) {
+        let seats: Vec<usize> = (0..seeds_payload.len()).map(|i| 7 + i).collect();
+        let plan = FaultPlan::new(FaultConfig {
+            seed,
+            corrupt: 1.0,
+            max_retransmits: 0,
+            ..FaultConfig::default()
+        })
+        .unwrap();
+        let (agent_end, runtime_end) = TransportKind::Serialized.duplex();
+        let link = plan.wrap_seat(3, runtime_end);
+        plan.begin_round(round);
+
+        // The response is faultable under the share-bearer's identity.
+        agent_end
+            .send(&Message::MaskShare {
+                client_id: 3,
+                round,
+                seats: seats.clone(),
+                seeds: seeds_payload.clone(),
+            })
+            .unwrap();
+        let Delivery::Faulted { sender, round: faulted, lost } = link.recv_checked().unwrap()
+        else {
+            panic!("a corrupt-rate-1 link must surface the tampered share as Faulted");
+        };
+        prop_assert_eq!((sender, faulted, lost), (3, round, false));
+        // The sweep's refusal names the share it lost, so the wrapper (and
+        // the bounded re-request loop above it) can key the recovery.
+        link.send(&Message::Nack {
+            client_id: 3,
+            round,
+            reason: NackReason::CorruptFrame,
+        })
+        .unwrap();
+        let nack = agent_end.recv().unwrap().unwrap();
+        prop_assert!(matches!(
+            nack,
+            Message::Nack {
+                client_id: 3,
+                reason: NackReason::CorruptFrame,
+                ..
+            }
+        ));
+
+        // The request (seeds empty) is control traffic: the same hostile
+        // link delivers it clean, so a dead seat can always be named.
+        let request = Message::MaskShare {
+            client_id: usize::MAX,
+            round,
+            seats,
+            seeds: Vec::new(),
+        };
+        agent_end.send(&request).unwrap();
+        let Delivery::Frame(delivered) = link.recv_checked().unwrap() else {
+            panic!("MaskShare requests must never enter the fate draw");
+        };
+        prop_assert_eq!(delivered, request);
     }
 
     /// Truncated frames never decode.
