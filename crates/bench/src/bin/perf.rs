@@ -20,7 +20,11 @@
 //! route and `PELTA_THREADS` 1 vs 4 — plus an **adversarial-round probe**: a mixed honest/malicious
 //! population (boosted outlier updates + junk-frame spam) aggregated under
 //! the trimmed mean, replayed twice to assert the adversarial path is
-//! bit-deterministic. A **hierarchical-round probe** drives the two-hop
+//! bit-deterministic, and a sibling **Krum-round probe** that folds the
+//! same boosted-outlier population under `Krum { f: 1 }` — the
+//! pairwise-distance scan the coordinate-wise rules never pay — with its
+//! own replay-determinism field asserted zero and a `krum_msgs_per_s`
+//! metric in the `--check` gate. A **hierarchical-round probe** drives the two-hop
 //! path of the topology layer (member → edge aggregator → combined subtree
 //! frame → root) over the serialised transport, again replayed twice for a
 //! determinism field. A **fault-injection probe** times a hierarchical
@@ -307,14 +311,15 @@ struct AdversarialRow {
 
 /// One adversarial round over the serialised transport: `clients - 1` honest
 /// seats echo the broadcast, the last seat spams junk frames and ships a
-/// boosted outlier update, and the server aggregates under the trimmed mean
-/// — the message path plus the robust-rule cost the scheduler refactor moved
-/// in-protocol. Returns the message count and the final parameter bits.
+/// boosted outlier update, and the server aggregates under the given robust
+/// rule — the message path plus the robust-rule cost the scheduler refactor
+/// moved in-protocol. Returns the message count and the final parameter bits.
 fn adversarial_round_trip(
     parameters: &[(String, Tensor)],
     clients: usize,
     rounds: usize,
     spam: usize,
+    rule: AggregationRule,
 ) -> (usize, Vec<u32>) {
     let mut server = FedAvgServer::with_rule(
         parameters.to_vec(),
@@ -323,7 +328,7 @@ fn adversarial_round_trip(
             sample: 0,
             straggler_deadline: 0,
         },
-        AggregationRule::TrimmedMean { trim: 1 },
+        rule,
     )
     .expect("valid adversarial policy");
     let links: Vec<_> = (0..clients)
@@ -413,26 +418,45 @@ fn adversarial_round_trip(
     (messages, bits)
 }
 
-fn bench_adversarial(iters: usize) -> AdversarialRow {
+fn bench_adversarial_rule(iters: usize, spam: usize, rule: AggregationRule) -> AdversarialRow {
     const CLIENTS: usize = 5;
     const ROUNDS: usize = 3;
-    const SPAM: usize = 2;
     let parameters = export_parameters(&scaled_vit(13));
 
-    let (messages, reference_bits) = adversarial_round_trip(&parameters, CLIENTS, ROUNDS, SPAM);
-    let (_, replay_bits) = adversarial_round_trip(&parameters, CLIENTS, ROUNDS, SPAM);
+    let (messages, reference_bits) =
+        adversarial_round_trip(&parameters, CLIENTS, ROUNDS, spam, rule);
+    let (_, replay_bits) = adversarial_round_trip(&parameters, CLIENTS, ROUNDS, spam, rule);
     let determinism_param_diffs = param_bit_diffs(&reference_bits, &replay_bits);
     let elapsed = time_best(iters, || {
-        std::hint::black_box(adversarial_round_trip(&parameters, CLIENTS, ROUNDS, SPAM));
+        std::hint::black_box(adversarial_round_trip(
+            &parameters,
+            CLIENTS,
+            ROUNDS,
+            spam,
+            rule,
+        ));
     });
     AdversarialRow {
         clients: CLIENTS,
         adversaries: 1,
-        spam_frames: SPAM * ROUNDS,
+        spam_frames: spam * ROUNDS,
         messages,
         msgs_per_s: messages as f64 / elapsed,
         determinism_param_diffs,
     }
+}
+
+fn bench_adversarial(iters: usize) -> AdversarialRow {
+    bench_adversarial_rule(iters, 2, AggregationRule::TrimmedMean { trim: 1 })
+}
+
+/// The Krum-round probe: the same boosted-outlier population aggregated
+/// under `Krum { f: 1 }` (5 seats satisfy the `n >= 2f + 3` bound), no
+/// spam, replayed twice for a determinism field asserted to be zero. The
+/// pairwise-distance scan is the O(n^2 d) cost the coordinate-wise rules
+/// never pay, so it gets its own throughput metric in the `--check` gate.
+fn bench_krum(iters: usize) -> AdversarialRow {
+    bench_adversarial_rule(iters, 0, AggregationRule::Krum { f: 1 })
 }
 
 struct HierarchicalRow {
@@ -1065,6 +1089,7 @@ fn main() {
     let federation = bench_federation(iters);
     let wire_codecs = bench_wire_codecs(iters, threads);
     let adversarial = bench_adversarial(iters);
+    let krum = bench_krum(iters);
     let hierarchical = bench_hierarchical(iters);
     let fault_injection = bench_fault_injection(iters);
     let secure_agg = bench_secure_agg(iters);
@@ -1113,6 +1138,10 @@ fn main() {
          \"rule\": \"trimmed_mean\",\n    \"spam_frames\": {},\n    \
          \"protocol_messages\": {},\n    \"adversarial_msgs_per_s\": {:.1},\n    \
          \"determinism_param_diffs\": {}\n  }},\n  \
+         \"krum_round\": {{\n    \"clients\": {},\n    \"adversaries\": {},\n    \
+         \"rule\": \"krum_f1\",\n    \"protocol_messages\": {},\n    \
+         \"krum_msgs_per_s\": {:.1},\n    \
+         \"krum_determinism_param_diffs\": {}\n  }},\n  \
          \"hierarchical_round\": {{\n    \"clients\": {},\n    \"edges\": {},\n    \
          \"rounds\": {},\n    \"protocol_messages\": {},\n    \
          \"hierarchical_msgs_per_s\": {:.1},\n    \
@@ -1142,6 +1171,11 @@ fn main() {
         adversarial.messages,
         adversarial.msgs_per_s,
         adversarial.determinism_param_diffs,
+        krum.clients,
+        krum.adversaries,
+        krum.messages,
+        krum.msgs_per_s,
+        krum.determinism_param_diffs,
         hierarchical.clients,
         hierarchical.edges,
         hierarchical.rounds,
@@ -1176,6 +1210,10 @@ fn main() {
     assert_eq!(
         adversarial.determinism_param_diffs, 0,
         "determinism contract violated: adversarial federation replay diverged"
+    );
+    assert_eq!(
+        krum.determinism_param_diffs, 0,
+        "determinism contract violated: Krum-round replay diverged"
     );
     assert_eq!(
         hierarchical.determinism_param_diffs, 0,
@@ -1244,6 +1282,7 @@ fn main() {
                     "serialized_msgs_per_s",
                     "serialized_wire_mb_per_s",
                     "adversarial_msgs_per_s",
+                    "krum_msgs_per_s",
                     "hierarchical_msgs_per_s",
                     "fault_rounds_per_s",
                     "clear_shielded_msgs_per_s",

@@ -11,7 +11,7 @@
 //! fault rate, plus a replay-determinism field that must be zero).
 
 use pelta_autodiff::{Graph, NodeId};
-use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
+use pelta_data::{Dataset, DatasetSpec, GeneratorConfig};
 use pelta_fl::{
     ClientSchedule, CrashPoint, CrashTarget, FaultConfig, FaultStats, Federation, FederationConfig,
     ParticipationPolicy, ScenarioSpec, Topology, TransportKind,
@@ -217,11 +217,10 @@ pub fn run_chaos(
         faults: Some(faults),
         ..FederationConfig::default()
     });
-    let mut federation =
-        Federation::from_scenario(&data, &spec, Partition::Iid, &mut seeds, |rng| {
-            Box::new(ChannelHead::new(rng))
-        })
-        .expect("chaos federation must build");
+    let mut federation = Federation::from_scenario(&data, &spec, &mut seeds, |rng| {
+        Box::new(ChannelHead::new(rng))
+    })
+    .expect("chaos federation must build");
     let history = federation
         .run(&mut seeds)
         .expect("the soak must survive every scripted fault");

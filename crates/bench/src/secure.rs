@@ -12,7 +12,7 @@
 //! `tests/shield_end_to_end.rs`.
 
 use pelta_autodiff::{Graph, NodeId};
-use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
+use pelta_data::{Dataset, DatasetSpec, GeneratorConfig};
 use pelta_fl::{
     ClientSchedule, Federation, FederationConfig, ParticipationPolicy, ScenarioSpec, Topology,
     TransportKind,
@@ -178,11 +178,10 @@ pub fn run_secure_agg(
         secure_aggregation: masked,
         ..FederationConfig::default()
     });
-    let mut federation =
-        Federation::from_scenario(&data, &spec, Partition::Iid, &mut seeds, |rng| {
-            Box::new(ShieldedProbe::new(rng))
-        })
-        .expect("secure-aggregation probe federation must build");
+    let mut federation = Federation::from_scenario(&data, &spec, &mut seeds, |rng| {
+        Box::new(ShieldedProbe::new(rng))
+    })
+    .expect("secure-aggregation probe federation must build");
     let history = federation
         .run(&mut seeds)
         .expect("secure-aggregation probe federation must run");

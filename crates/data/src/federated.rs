@@ -17,6 +17,38 @@ pub enum Partition {
     /// mostly from a subset of classes (Dirichlet-style skew approximated by
     /// sorting by label before dealing contiguous shards).
     LabelSkew,
+    /// Dirichlet(α) label partition — the standard non-IID benchmark split
+    /// (Hsu et al.): for every class, per-client proportions are drawn from
+    /// a symmetric Dirichlet with concentration `alpha` and the class's
+    /// samples are dealt to clients by largest-remainder integer quotas.
+    /// Small `alpha` (e.g. 0.1) concentrates each class on few clients;
+    /// large `alpha` approaches IID. Seeded and bit-reproducible: all draws
+    /// come from the supplied rng through fixed-order scalar arithmetic,
+    /// and every client is guaranteed at least one sample whenever the
+    /// dataset has at least `num_clients` samples (rebalanced
+    /// deterministically from the largest shard).
+    Dirichlet {
+        /// Concentration parameter; must be positive and finite.
+        alpha: f32,
+    },
+}
+
+impl Partition {
+    /// Validates the partition's own parameters.
+    ///
+    /// # Errors
+    /// Returns a description of the defect for a non-positive or non-finite
+    /// Dirichlet concentration.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Partition::Dirichlet { alpha } = self {
+            if !alpha.is_finite() || *alpha <= 0.0 {
+                return Err(format!(
+                    "Dirichlet concentration must be positive and finite, got {alpha}"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// One client's local shard of the federated dataset.
@@ -48,7 +80,9 @@ impl ClientShard {
 /// attack, as the threat model assumes local inference data.
 ///
 /// # Panics
-/// Panics if `num_clients` is zero.
+/// Panics if `num_clients` is zero or the partition's own parameters are
+/// invalid ([`Partition::validate`] rejects them — callers building from a
+/// scenario validate before splitting).
 pub fn federated_split<R: Rng + ?Sized>(
     dataset: &Dataset,
     num_clients: usize,
@@ -56,16 +90,30 @@ pub fn federated_split<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<ClientShard> {
     assert!(num_clients > 0, "at least one client required");
+    if let Err(reason) = partition.validate() {
+        panic!("invalid partition: {reason}");
+    }
     let n = dataset.len();
     let mut order: Vec<usize> = (0..n).collect();
+    let mut dirichlet_assignments: Vec<Vec<usize>> = Vec::new();
     match partition {
         Partition::Iid => order.shuffle(rng),
         Partition::LabelSkew => {
             order.shuffle(rng);
             order.sort_by_key(|&i| dataset.train_labels()[i]);
         }
+        Partition::Dirichlet { alpha } => {
+            // The shuffle randomizes which concrete samples land in each
+            // quota slice; the proportions themselves are drawn per class
+            // below.
+            order.shuffle(rng);
+            dirichlet_assignments =
+                dirichlet_assign(dataset, &order, num_clients, f64::from(alpha), rng);
+        }
     }
 
+    // Consumed one shard per client below — empty unless Dirichlet drew it.
+    let mut dirichlet_assignments = dirichlet_assignments.into_iter();
     let mut shards = Vec::with_capacity(num_clients);
     for client_id in 0..num_clients {
         let indices: Vec<usize> = order
@@ -87,6 +135,9 @@ pub fn federated_split<R: Rng + ?Sized>(
                 };
                 order[start..end].to_vec()
             }
+            Partition::Dirichlet { .. } => dirichlet_assignments
+                .next()
+                .expect("one Dirichlet assignment per client"),
         };
         let (images, labels) = gather(dataset, &indices);
         shards.push(ClientShard {
@@ -101,6 +152,130 @@ pub fn federated_split<R: Rng + ?Sized>(
         });
     }
     shards
+}
+
+/// Per-class Dirichlet(α) assignment: for every (non-empty) class, draws
+/// per-client proportions from a symmetric Dirichlet and deals the class's
+/// samples — in the shuffled `order` — to clients by largest-remainder
+/// integer quotas. Everything is fixed-order scalar arithmetic over the
+/// supplied rng, so the assignment is bit-reproducible for a given seed.
+fn dirichlet_assign<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    order: &[usize],
+    num_clients: usize,
+    alpha: f64,
+    rng: &mut R,
+) -> Vec<Vec<usize>> {
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); dataset.num_classes()];
+    for &i in order {
+        by_class[dataset.train_labels()[i]].push(i);
+    }
+    let mut clients: Vec<Vec<usize>> = vec![Vec::new(); num_clients];
+    for class_samples in by_class.iter().filter(|c| !c.is_empty()) {
+        let proportions = dirichlet_proportions(num_clients, alpha, rng);
+        let quotas = largest_remainder_quotas(&proportions, class_samples.len());
+        let mut cursor = 0;
+        for (client, &quota) in quotas.iter().enumerate() {
+            clients[client].extend_from_slice(&class_samples[cursor..cursor + quota]);
+            cursor += quota;
+        }
+    }
+    // Minimum-shard guarantee: a concentrated draw can leave a client with
+    // nothing, but an empty shard cannot train. Rebalance deterministically:
+    // each empty client (ascending id) takes one sample from the currently
+    // largest shard (lowest id on ties) while a donor with >= 2 remains.
+    while let Some(empty) = clients.iter().position(Vec::is_empty) {
+        let mut donor = 0;
+        for (id, shard) in clients.iter().enumerate() {
+            if shard.len() > clients[donor].len() {
+                donor = id;
+            }
+        }
+        if clients[donor].len() < 2 {
+            break;
+        }
+        let moved = clients[donor].pop().expect("donor has samples");
+        clients[empty].push(moved);
+    }
+    clients
+}
+
+/// Symmetric Dirichlet(α) draw over `k` components: normalized Gamma(α, 1)
+/// variates. Degenerate all-zero draws (possible only at extreme α via
+/// underflow) fall back to the uniform simplex point.
+fn dirichlet_proportions<R: Rng + ?Sized>(k: usize, alpha: f64, rng: &mut R) -> Vec<f64> {
+    let draws: Vec<f64> = (0..k).map(|_| gamma_draw(alpha, rng)).collect();
+    let sum: f64 = draws.iter().sum();
+    // NaN sums fail `is_finite`, so `sum <= 0.0` covers the rest exactly.
+    if sum <= 0.0 || !sum.is_finite() {
+        return vec![1.0 / k as f64; k];
+    }
+    draws.iter().map(|d| d / sum).collect()
+}
+
+/// Gamma(α, 1) variate via Marsaglia–Tsang squeeze, with the standard
+/// `Gamma(α + 1) · U^(1/α)` boost for α < 1.
+fn gamma_draw<R: Rng + ?Sized>(alpha: f64, rng: &mut R) -> f64 {
+    if alpha < 1.0 {
+        let boosted = gamma_draw(alpha + 1.0, rng);
+        let u: f64 = rng.gen();
+        return boosted * u.max(f64::MIN_POSITIVE).powf(1.0 / alpha);
+    }
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u: f64 = rng.gen();
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u.max(f64::MIN_POSITIVE).ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Standard normal variate via the polar (rejection) Box–Muller transform —
+/// one value per call, so the rng word consumption is a pure function of
+/// the draw sequence.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = 2.0 * rng.gen::<f64>() - 1.0;
+        let v = 2.0 * rng.gen::<f64>() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Largest-remainder (Hamilton) apportionment of `total` items under real
+/// `proportions`: exact integer quotas, deterministic, remainder ties broken
+/// toward the lower client id.
+fn largest_remainder_quotas(proportions: &[f64], total: usize) -> Vec<usize> {
+    let raw: Vec<f64> = proportions.iter().map(|p| p * total as f64).collect();
+    let mut quotas: Vec<usize> = raw.iter().map(|r| r.floor() as usize).collect();
+    let assigned: usize = quotas.iter().sum();
+    let mut leftover = total.saturating_sub(assigned);
+    let mut rank: Vec<usize> = (0..proportions.len()).collect();
+    rank.sort_by(|&a, &b| {
+        let ra = raw[a] - quotas[a] as f64;
+        let rb = raw[b] - quotas[b] as f64;
+        rb.total_cmp(&ra).then(a.cmp(&b))
+    });
+    for &client in &rank {
+        if leftover == 0 {
+            break;
+        }
+        quotas[client] += 1;
+        leftover -= 1;
+    }
+    quotas
 }
 
 fn gather(dataset: &Dataset, indices: &[usize]) -> (Tensor, Vec<usize>) {
@@ -205,5 +380,117 @@ mod tests {
         let ds = dataset();
         let mut seeds = SeedStream::new(5);
         federated_split(&ds, 0, Partition::Iid, &mut seeds.derive("split"));
+    }
+
+    #[test]
+    fn dirichlet_split_covers_all_samples_with_no_empty_shard() {
+        let ds = dataset();
+        for alpha in [0.1f32, 1.0] {
+            let mut seeds = SeedStream::new(6);
+            let shards = federated_split(
+                &ds,
+                8,
+                Partition::Dirichlet { alpha },
+                &mut seeds.derive("split"),
+            );
+            assert_eq!(shards.len(), 8);
+            let total: usize = shards.iter().map(|s| s.len()).sum();
+            assert_eq!(total, 60, "alpha {alpha} lost samples");
+            for shard in &shards {
+                assert!(!shard.is_empty(), "alpha {alpha} left a shard empty");
+                assert_eq!(shard.dataset.test_labels().len(), 20);
+            }
+        }
+    }
+
+    #[test]
+    fn dirichlet_split_is_bit_reproducible_given_seed() {
+        let ds = dataset();
+        let mut a_seeds = SeedStream::new(7);
+        let mut b_seeds = SeedStream::new(7);
+        let partition = Partition::Dirichlet { alpha: 0.1 };
+        let a = federated_split(&ds, 5, partition, &mut a_seeds.derive("split"));
+        let b = federated_split(&ds, 5, partition, &mut b_seeds.derive("split"));
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.dataset.train_labels(), y.dataset.train_labels());
+            let xa: Vec<u32> = x
+                .dataset
+                .train_images()
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let ya: Vec<u32> = y
+                .dataset
+                .train_images()
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(xa, ya);
+        }
+    }
+
+    #[test]
+    fn dirichlet_low_alpha_is_more_concentrated_than_high_alpha() {
+        // Per-client share of the largest class holding: at alpha = 0.1 the
+        // Dirichlet mass collapses onto few clients per class, at alpha = 100
+        // it approaches the uniform (IID-like) split.
+        let ds = dataset();
+        let max_class_share = |alpha: f32| -> f64 {
+            let mut seeds = SeedStream::new(8);
+            let shards = federated_split(
+                &ds,
+                5,
+                Partition::Dirichlet { alpha },
+                &mut seeds.derive("split"),
+            );
+            let mut best = 0.0f64;
+            for class in 0..ds.num_classes() {
+                let class_total = ds.train_labels().iter().filter(|&&l| l == class).count();
+                if class_total == 0 {
+                    continue;
+                }
+                for shard in &shards {
+                    let held = shard
+                        .dataset
+                        .train_labels()
+                        .iter()
+                        .filter(|&&l| l == class)
+                        .count();
+                    best = best.max(held as f64 / class_total as f64);
+                }
+            }
+            best
+        };
+        let concentrated = max_class_share(0.1);
+        let diffuse = max_class_share(100.0);
+        assert!(
+            concentrated > diffuse,
+            "alpha 0.1 share {concentrated} should exceed alpha 100 share {diffuse}"
+        );
+        assert!(concentrated >= 0.5, "alpha 0.1 share {concentrated}");
+    }
+
+    #[test]
+    fn dirichlet_alpha_is_validated() {
+        assert!(Partition::Dirichlet { alpha: 0.1 }.validate().is_ok());
+        assert!(Partition::Iid.validate().is_ok());
+        assert!(Partition::Dirichlet { alpha: 0.0 }.validate().is_err());
+        assert!(Partition::Dirichlet { alpha: -1.0 }.validate().is_err());
+        assert!(Partition::Dirichlet { alpha: f32::NAN }.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid partition")]
+    fn dirichlet_split_panics_on_invalid_alpha() {
+        let ds = dataset();
+        let mut seeds = SeedStream::new(9);
+        federated_split(
+            &ds,
+            3,
+            Partition::Dirichlet { alpha: 0.0 },
+            &mut seeds.derive("split"),
+        );
     }
 }

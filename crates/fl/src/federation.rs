@@ -67,7 +67,7 @@ use crate::client::{
 };
 use crate::fault::{FaultConfig, FaultPlan, FaultStats};
 use crate::malicious::{FreeRiderAgent, ProbingAgent};
-use crate::poisoning::{BackdoorAgent, BackdoorClient};
+use crate::poisoning::{AdaptiveBackdoorAgent, BackdoorAgent, BackdoorClient};
 use crate::scenario::{AgentRole, ScenarioSpec};
 use crate::secure_agg::{pair_seeds_for_client, AggregatorMaskContext, ClientMaskContext};
 use crate::server::RoundSummary;
@@ -149,6 +149,148 @@ pub struct FederationConfig {
     /// [`crate::codec`]); [`UpdateCodec::Raw`] ships the uncompressed v2
     /// wire format.
     pub codec: UpdateCodec,
+}
+
+impl FederationConfig {
+    /// Validates every static property of the configuration: population and
+    /// round counts, the participation policy (including its interplay with
+    /// the aggregation rule — a quorum below [`AggregationRule::min_updates`]
+    /// could collect a round the rule can never fold), the rule's own
+    /// parameters, local-training hyper-parameters, schedules, topology,
+    /// codec, fault plan, and the topology-specific constraints on
+    /// shielding, straggler deadlines and secure aggregation.
+    ///
+    /// [`crate::ScenarioSpec::validate`] runs this plus the population-mix
+    /// checks; [`crate::Federation::from_scenario`] rejects on the first
+    /// defect *before* any shard is cut or link constructed.
+    ///
+    /// # Errors
+    /// Returns an error naming the first defect found.
+    pub fn validate(&self) -> Result<()> {
+        if self.clients == 0 || self.rounds == 0 {
+            return Err(FlError::InvalidConfig {
+                reason: "clients and rounds must be positive".to_string(),
+            });
+        }
+        if self.policy.quorum == 0 {
+            return Err(FlError::InvalidConfig {
+                reason: "quorum must be at least 1".to_string(),
+            });
+        }
+        if self.policy.quorum > self.clients {
+            return Err(FlError::InvalidConfig {
+                reason: format!(
+                    "quorum {} exceeds the client count {}",
+                    self.policy.quorum, self.clients
+                ),
+            });
+        }
+        if self.policy.sample != 0 && self.policy.quorum > self.policy.sample {
+            return Err(FlError::InvalidConfig {
+                reason: format!(
+                    "quorum {} cannot be met sampling {} clients per round",
+                    self.policy.quorum, self.policy.sample
+                ),
+            });
+        }
+        self.rule.validate()?;
+        if self.policy.quorum < self.rule.min_updates() {
+            return Err(FlError::InvalidConfig {
+                reason: format!(
+                    "quorum {} cannot satisfy rule {:?}, which needs at least {} updates",
+                    self.policy.quorum,
+                    self.rule,
+                    self.rule.min_updates()
+                ),
+            });
+        }
+        validate_training_config(&self.local_training)?;
+        for schedule in &self.schedules {
+            if schedule.client_id >= self.clients {
+                return Err(FlError::InvalidConfig {
+                    reason: format!(
+                        "schedule refers to client {} of {}",
+                        schedule.client_id, self.clients
+                    ),
+                });
+            }
+        }
+        self.topology.validate(self.clients)?;
+        if let Topology::Gossip { .. } = self.topology {
+            // Gossip has no attested central enclave to open sealed
+            // segments, and no central collection point for a
+            // delivered-message deadline to count against.
+            if self.shield_updates {
+                return Err(FlError::InvalidConfig {
+                    reason: "gossip topologies cannot shield updates: no peer can open \
+                             another peer's sealed segments"
+                        .to_string(),
+                });
+            }
+            if self.policy.straggler_deadline != 0 {
+                return Err(FlError::InvalidConfig {
+                    reason: "gossip topologies have no central straggler deadline; model \
+                             slow peers with per-client latency schedules instead"
+                        .to_string(),
+                });
+            }
+        }
+        if self.secure_aggregation {
+            // Pairwise masking only cancels when the whole roster exchanges
+            // masks under one linear rule at one consensus enclave.
+            if !self.shield_updates {
+                return Err(FlError::InvalidConfig {
+                    reason: "secure aggregation masks sealed segments; enable shield_updates"
+                        .to_string(),
+                });
+            }
+            if self.rule != AggregationRule::FedAvg {
+                return Err(FlError::InvalidConfig {
+                    reason: "secure aggregation needs a linear rule: the enclave folds the \
+                             masked sum, which only FedAvg can consume"
+                        .to_string(),
+                });
+            }
+            if matches!(self.topology, Topology::Gossip { .. }) {
+                return Err(FlError::InvalidConfig {
+                    reason: "secure aggregation needs a root enclave; gossip has none".to_string(),
+                });
+            }
+            if self.policy.sample != 0 {
+                return Err(FlError::InvalidConfig {
+                    reason: "secure aggregation requires full participation (policy.sample = 0): \
+                             masks are exchanged across the whole roster"
+                        .to_string(),
+                });
+            }
+        }
+        self.codec.validate()?;
+        if let Some(fault_config) = &self.faults {
+            fault_config.validate(self.clients, &self.topology)?;
+        }
+        Ok(())
+    }
+}
+
+/// Static sanity of a training configuration: a zero batch size or epoch
+/// count would only surface as a training error mid-round, and a non-finite
+/// learning rate or momentum would poison every parameter it touches —
+/// both must be rejected at validation time, not after shards are cut.
+pub(crate) fn validate_training_config(training: &TrainingConfig) -> Result<()> {
+    if training.batch_size == 0 || training.epochs == 0 {
+        return Err(FlError::InvalidConfig {
+            reason: "training batch_size and epochs must be positive".to_string(),
+        });
+    }
+    if !training.learning_rate.is_finite() || !training.momentum.is_finite() {
+        return Err(FlError::InvalidConfig {
+            reason: format!(
+                "training learning_rate {} and momentum {} must be finite",
+                training.learning_rate, training.momentum
+            ),
+        });
+    }
+    Ok(())
 }
 
 impl Default for FederationConfig {
@@ -324,8 +466,7 @@ impl Federation {
     {
         Self::from_scenario(
             dataset,
-            &ScenarioSpec::honest(config.clone()),
-            partition,
+            &ScenarioSpec::honest(config.clone()).with_partition(partition),
             seeds,
             factory,
         )
@@ -348,7 +489,6 @@ impl Federation {
     pub fn from_scenario<F>(
         dataset: &Dataset,
         spec: &ScenarioSpec,
-        partition: Partition,
         seeds: &mut SeedStream,
         factory: F,
     ) -> Result<Self>
@@ -356,94 +496,11 @@ impl Federation {
         F: Fn(&mut ChaCha8Rng) -> Box<dyn ImageModel>,
     {
         let config = &spec.federation;
-        if config.clients == 0 || config.rounds == 0 {
-            return Err(FlError::InvalidConfig {
-                reason: "clients and rounds must be positive".to_string(),
-            });
-        }
-        if config.policy.quorum > config.clients {
-            return Err(FlError::InvalidConfig {
-                reason: format!(
-                    "quorum {} exceeds the client count {}",
-                    config.policy.quorum, config.clients
-                ),
-            });
-        }
-        for schedule in &config.schedules {
-            if schedule.client_id >= config.clients {
-                return Err(FlError::InvalidConfig {
-                    reason: format!(
-                        "schedule refers to client {} of {}",
-                        schedule.client_id, config.clients
-                    ),
-                });
-            }
-        }
-        config.topology.validate(config.clients)?;
-        if let Topology::Gossip { .. } = config.topology {
-            // Gossip has no attested central enclave to open sealed
-            // segments, and no central collection point for a
-            // delivered-message deadline to count against.
-            if config.shield_updates {
-                return Err(FlError::InvalidConfig {
-                    reason: "gossip topologies cannot shield updates: no peer can open \
-                             another peer's sealed segments"
-                        .to_string(),
-                });
-            }
-            if config.policy.straggler_deadline != 0 {
-                return Err(FlError::InvalidConfig {
-                    reason: "gossip topologies have no central straggler deadline; model \
-                             slow peers with per-client latency schedules instead"
-                        .to_string(),
-                });
-            }
-        }
-        if config.secure_aggregation {
-            // Pairwise masking only cancels when the whole roster exchanges
-            // masks under one linear rule at one consensus enclave.
-            if !config.shield_updates {
-                return Err(FlError::InvalidConfig {
-                    reason: "secure aggregation masks sealed segments; enable shield_updates"
-                        .to_string(),
-                });
-            }
-            if config.rule != AggregationRule::FedAvg {
-                return Err(FlError::InvalidConfig {
-                    reason: "secure aggregation needs a linear rule: the enclave folds the \
-                             masked sum, which only FedAvg can consume"
-                        .to_string(),
-                });
-            }
-            if matches!(config.topology, Topology::Gossip { .. }) {
-                return Err(FlError::InvalidConfig {
-                    reason: "secure aggregation needs a root enclave; gossip has none".to_string(),
-                });
-            }
-            if config.policy.sample != 0 {
-                return Err(FlError::InvalidConfig {
-                    reason: "secure aggregation requires full participation (policy.sample = 0): \
-                             masks are exchanged across the whole roster"
-                        .to_string(),
-                });
-            }
-            if !spec
-                .roles_by_seat()
-                .values()
-                .all(|role| matches!(**role, AgentRole::Honest))
-            {
-                return Err(FlError::InvalidConfig {
-                    reason: "secure aggregation requires an all-honest population: adversaries \
-                             do not cooperate with the masking handshake"
-                        .to_string(),
-                });
-            }
-        }
+        // The single consolidated validation gate: every static defect —
+        // configuration, policy/rule interplay, topology, codec, fault
+        // plan, partition, population mix — is rejected here, before any
+        // shard is cut or link constructed.
         spec.validate()?;
-        config.codec.validate()?;
-        if let Some(fault_config) = &config.faults {
-            fault_config.validate(config.clients, &config.topology)?;
-        }
         let fault_plan = config
             .faults
             .as_ref()
@@ -452,7 +509,7 @@ impl Federation {
         let shards = federated_split(
             dataset,
             config.clients,
-            partition,
+            spec.partition,
             &mut seeds.derive("partition"),
         );
         let eval_model = factory(&mut seeds.derive_indexed("model", u64::MAX));
@@ -536,6 +593,28 @@ impl Federation {
                         boost,
                     )?;
                     Box::new(BackdoorAgent::new(
+                        client,
+                        client_end,
+                        seeds.derive_indexed("adversary", id as u64),
+                    ))
+                }
+                AgentRole::AdaptiveBackdoor {
+                    trigger,
+                    poison_fraction,
+                    max_boost,
+                    training,
+                } => {
+                    let model = factory(&mut seeds.derive_indexed("model", id as u64));
+                    let client = BackdoorClient::new(
+                        id,
+                        shard,
+                        model,
+                        training.unwrap_or_else(|| config.local_training.clone()),
+                        trigger,
+                        poison_fraction,
+                        max_boost,
+                    )?;
+                    Box::new(AdaptiveBackdoorAgent::new(
                         client,
                         client_end,
                         seeds.derive_indexed("adversary", id as u64),
@@ -686,8 +765,7 @@ impl Federation {
     ) -> Result<Self> {
         Self::vit_scenario(
             dataset,
-            &ScenarioSpec::honest(config.clone()),
-            partition,
+            &ScenarioSpec::honest(config.clone()).with_partition(partition),
             seeds,
         )
     }
@@ -702,11 +780,10 @@ impl Federation {
     pub fn vit_scenario(
         dataset: &Dataset,
         scenario: &ScenarioSpec,
-        partition: Partition,
         seeds: &mut SeedStream,
     ) -> Result<Self> {
         let spec = dataset.spec();
-        Self::from_scenario(dataset, scenario, partition, seeds, move |rng| {
+        Self::from_scenario(dataset, scenario, seeds, move |rng| {
             Box::new(
                 VisionTransformer::new(
                     ViTConfig::vit_b16_scaled(

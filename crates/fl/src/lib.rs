@@ -26,23 +26,28 @@
 //!   straggler deadline measured in **delivered messages** (never wall
 //!   clock, so runs are deterministic), and dropout/rejoin handling. The
 //!   server applies its [`AggregationRule`] — plain sample-weighted FedAvg,
-//!   norm clipping, or coordinate-wise trimmed mean — through the crate's
+//!   norm clipping, coordinate-wise trimmed mean, or distance-based
+//!   Krum / multi-Krum selection — through the crate's
 //!   single aggregation code path, the [`AggregationFold`] of
 //!   [`mod@robust`] (weights renormalise over the clients that actually
 //!   reported; [`RobustAggregator`] wraps the same path for call-level
 //!   use). Under the **streaming fold contract** (see [`mod@robust`]),
 //!   FedAvg and norm clipping fold each accepted update as it is delivered
 //!   and drop the payload immediately — peak memory stays O(model), not
-//!   O(population) — while the trimmed mean buffers by mathematical
-//!   necessity; either way the bits are identical to a buffered fold
-//!   because buffered aggregation *is* the same fold, driven from a loop.
+//!   O(population) — while the trimmed mean and the Krum family buffer by
+//!   mathematical necessity; either way the bits are identical to a
+//!   buffered fold because buffered aggregation *is* the same fold, driven
+//!   from a loop.
 //! * **Agent layer** — every seat implements [`FederationAgent`]: the
 //!   honest [`ClientAgent`] ([`FlClient`] is its local-training core), the
-//!   [`BackdoorAgent`] shipping boosted trigger-poisoned updates, the
+//!   [`BackdoorAgent`] shipping boosted trigger-poisoned updates (the
+//!   [`AdaptiveBackdoorAgent`] re-tunes its boost each round against the
+//!   aggregation outcome it observes), the
 //!   [`FreeRiderAgent`] echoing the broadcast under a lying weight while
 //!   Nack-spamming the straggler deadline, and the [`ProbingAgent`] running
 //!   white-box evasion probes behind honest cover traffic. A
-//!   [`ScenarioSpec`] assigns roles to seats; the server cannot tell
+//!   [`ScenarioSpec`] assigns roles to seats (and selects the data
+//!   partition — IID, label skew, or Dirichlet(α)); the server cannot tell
 //!   adversaries apart by message shape or scheduling, only (possibly) by
 //!   its aggregation rule.
 //! * **Topology layer** — a [`Topology`] routes the updates to the
@@ -157,7 +162,8 @@ pub use message::{
     MASK_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 pub use poisoning::{
-    backdoor_success_rate, BackdoorAgent, BackdoorClient, PoisonReport, TrojanTrigger,
+    backdoor_success_rate, AdaptiveBackdoorAgent, BackdoorAgent, BackdoorClient, PoisonReport,
+    TrojanTrigger,
 };
 pub use robust::{aggregate_with_rule, AggregationFold, AggregationRule, RobustAggregator};
 pub use scenario::{AgentRole, RoleAssignment, ScenarioSpec};

@@ -41,21 +41,35 @@ impl TrojanTrigger {
     /// Returns an error if the trigger has zero size or an intensity outside
     /// the valid pixel range.
     pub fn new(size: usize, value: f32, target_class: usize) -> Result<Self> {
-        if size == 0 {
+        let trigger = TrojanTrigger {
+            size,
+            value,
+            target_class,
+        };
+        trigger.validate()?;
+        Ok(trigger)
+    }
+
+    /// Re-checks the construction invariants — the fields are public (and a
+    /// deserialized scenario can carry any values), so validation must be
+    /// repeatable on an existing trigger, not only inside
+    /// [`TrojanTrigger::new`].
+    ///
+    /// # Errors
+    /// Returns an error if the trigger has zero size or an intensity outside
+    /// the valid pixel range.
+    pub fn validate(&self) -> Result<()> {
+        if self.size == 0 {
             return Err(FlError::InvalidConfig {
                 reason: "trigger size must be positive".to_string(),
             });
         }
-        if !(0.0..=1.0).contains(&value) {
+        if !(0.0..=1.0).contains(&self.value) {
             return Err(FlError::InvalidConfig {
-                reason: format!("trigger intensity must be in [0, 1], got {value}"),
+                reason: format!("trigger intensity must be in [0, 1], got {}", self.value),
             });
         }
-        Ok(TrojanTrigger {
-            size,
-            value,
-            target_class,
-        })
+        Ok(())
     }
 
     /// Stamps the trigger into the bottom-right corner of every sample of a
@@ -242,6 +256,18 @@ impl BackdoorClient {
         &self.trigger
     }
 
+    /// The current boost multiplier on the reported sample count.
+    pub fn boost(&self) -> usize {
+        self.boost
+    }
+
+    /// Re-tunes the boost multiplier (the adaptive attacker's knob). A zero
+    /// boost is clamped to 1 — the update must still carry a positive
+    /// sample count to be protocol-conformant.
+    pub(crate) fn set_boost(&mut self, boost: usize) {
+        self.boost = boost.max(1);
+    }
+
     /// One poisoned local round: load the broadcast model, train on the
     /// poisoned shard, and return the (boosted) update.
     ///
@@ -380,6 +406,150 @@ impl FederationAgent for BackdoorAgent {
                     }
                     let (reply, report) =
                         self.client.handle_round_start(&message, &mut self.rng)?;
+                    self.transport.send(&reply)?;
+                    outcome.adversarial = Some(AdversarialAction::Poisoned(report));
+                }
+                Message::Nack { .. } => self.nacks_received += 1,
+                _ => {}
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn transport_messages(&self) -> usize {
+        self.transport.messages_sent()
+    }
+
+    fn transport_bytes(&self) -> usize {
+        self.transport.bytes_sent()
+    }
+
+    fn nacks_received(&self) -> usize {
+        self.nacks_received
+    }
+}
+
+/// The *adaptive* backdoor attacker: a [`BackdoorClient`] whose boost is
+/// re-tuned every round against the aggregation outcome the attacker
+/// observes on the wire — without ever knowing which
+/// [`crate::AggregationRule`] the server runs.
+///
+/// The probe is the broadcast itself. The attacker keeps the parameters it
+/// sent last round and the previous broadcast; when the new broadcast lands
+/// **closer to its own update than to the previous global** the boosted
+/// weight was honored (a FedAvg-like rule — keep escalating toward
+/// `max_boost`), and when it lands closer to the previous global the rule
+/// suppressed it (Krum-family selection, clipping, trimming — halve the
+/// boost to blend into the honest update distribution). Both distances are
+/// whole-model L2 norms accumulated in `f64` in schema order, so the
+/// adaptation path — like everything else in the scheduler — replays
+/// bit-identically across repeats, transports and `PELTA_THREADS` values.
+pub struct AdaptiveBackdoorAgent {
+    client: BackdoorClient,
+    transport: Box<dyn Transport>,
+    rng: ChaCha8Rng,
+    nacks_received: usize,
+    max_boost: usize,
+    last_sent: Option<Vec<(String, Tensor)>>,
+    last_global: Option<Vec<(String, Tensor)>>,
+    boost_history: Vec<usize>,
+}
+
+impl AdaptiveBackdoorAgent {
+    /// Binds an adaptive backdoor client to its transport endpoint. The
+    /// client's construction-time boost is the schedule's upper bound
+    /// (`max_boost`) and the first round ships at it; `rng` drives the
+    /// per-round poisoning draws.
+    pub fn new(client: BackdoorClient, transport: Box<dyn Transport>, rng: ChaCha8Rng) -> Self {
+        let max_boost = client.boost();
+        AdaptiveBackdoorAgent {
+            client,
+            transport,
+            rng,
+            nacks_received: 0,
+            max_boost,
+            last_sent: None,
+            last_global: None,
+            boost_history: Vec::new(),
+        }
+    }
+
+    /// The wrapped backdoor client.
+    pub fn client(&self) -> &BackdoorClient {
+        &self.client
+    }
+
+    /// The boost used in each round shipped so far — the adaptation
+    /// trajectory, for analyses and tests.
+    pub fn boost_history(&self) -> &[usize] {
+        &self.boost_history
+    }
+
+    /// Re-tunes the boost against the newly observed broadcast before this
+    /// round's update is trained.
+    fn adapt(&mut self, global: &GlobalModel) -> Result<()> {
+        if let (Some(sent), Some(previous)) = (&self.last_sent, &self.last_global) {
+            let toward_attacker = param_distance(&global.parameters, sent)?;
+            let round_step = param_distance(&global.parameters, previous)?;
+            let boost = self.client.boost();
+            if toward_attacker <= round_step {
+                // The aggregate tracked the boosted update: escalate.
+                self.client
+                    .set_boost(self.max_boost.min(boost.saturating_mul(2)));
+            } else {
+                // The rule suppressed it: back off toward an honest-looking
+                // weight.
+                self.client.set_boost((boost / 2).max(1));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Whole-model L2 distance between two parameter lists, accumulated per
+/// tensor in `f64` in schema order (the deterministic reduction pattern
+/// shared with the robust rules).
+fn param_distance(a: &[(String, Tensor)], b: &[(String, Tensor)]) -> Result<f64> {
+    let mut sum = 0.0f64;
+    for ((_, va), (_, vb)) in a.iter().zip(b.iter()) {
+        let delta = va.sub(vb)?;
+        let norm = delta.l2_norm();
+        sum += f64::from(norm) * f64::from(norm);
+    }
+    Ok(sum.sqrt())
+}
+
+impl FederationAgent for AdaptiveBackdoorAgent {
+    fn id(&self) -> usize {
+        self.client.id()
+    }
+
+    fn join(&self) -> Result<()> {
+        self.transport.send(&Message::Join {
+            client_id: self.client.id(),
+        })
+    }
+
+    fn step(&mut self, drop_this_round: bool) -> Result<StepOutcome> {
+        let mut outcome = StepOutcome::idle();
+        while let Some(message) = self.transport.recv()? {
+            match message {
+                Message::RoundStart { ref global, .. } => {
+                    if drop_this_round {
+                        self.transport.send(&Message::Leave {
+                            client_id: self.client.id(),
+                        })?;
+                        outcome.left = true;
+                        continue;
+                    }
+                    self.adapt(global)?;
+                    self.boost_history.push(self.client.boost());
+                    self.last_global = Some(global.parameters.clone());
+                    let (reply, report) =
+                        self.client.handle_round_start(&message, &mut self.rng)?;
+                    if let Message::Update { ref update, .. } = reply {
+                        self.last_sent = Some(update.parameters.clone());
+                    }
                     self.transport.send(&reply)?;
                     outcome.adversarial = Some(AdversarialAction::Poisoned(report));
                 }

@@ -65,6 +65,12 @@
 //!   sorts each coordinate column and averages the untrimmed interior. Peak
 //!   memory is inherently O(population × model); deployments that need
 //!   population scale use a streaming rule.
+//! * [`AggregationRule::Krum`] / [`AggregationRule::MultiKrum`] — **buffer**
+//!   by the same mathematical necessity: the Krum score of one client is a
+//!   function of its pairwise distances to *every other* client's update,
+//!   so no update can be scored (let alone selected) before the whole round
+//!   has arrived. Pass one collects, pass two computes the pairwise
+//!   squared-L2 distance matrix, scores and selects.
 //!
 //! Why the bits are unchanged between the streamed and the buffered path:
 //! both are the *same* fold code over the same canonical order — the
@@ -88,6 +94,27 @@
 //!   al.): per coordinate the `trim` largest and smallest client values are
 //!   discarded and the rest averaged **unweighted**, so a lying
 //!   `num_samples` buys the adversary nothing.
+//! * [`AggregationRule::Krum`] — distance-based selection (Blanchard et
+//!   al.): each client is scored by the summed squared L2 distances to its
+//!   `n − f − 2` nearest neighbours, and the single lowest-scoring client's
+//!   parameters become the next global model **bit-exactly** (no averaging
+//!   at all, so nothing the adversary reports — weight or magnitude — mixes
+//!   in unless its update sits inside the honest cluster). Requires
+//!   `n ≥ 2f + 3`.
+//! * [`AggregationRule::MultiKrum`] — the multi-selection variant: the `m`
+//!   lowest-scoring clients are selected by the same score and their
+//!   parameters averaged **unweighted** in ascending client-id order.
+//!   Requires `n ≥ max(2f + 3, m + f + 2)`.
+//!
+//! **Krum-family determinism.** Distances accumulate per-tensor
+//! `‖δ‖₂²` in `f64` in schema order (the same pattern as the clip norm);
+//! per-client neighbour lists and the final ranking sort with
+//! `f64::total_cmp`; score ties break toward the **lowest client id**
+//! (selection ranks by `(score, canonical index)`). Every step is a pure
+//! function of the canonical ascending-client-id update set, so selection is
+//! permutation-, transport-, topology- and thread-invariant like every other
+//! rule — `tests/robust_properties.rs` and `tests/topology_equivalence.rs`
+//! pin this to the bit.
 
 use pelta_tensor::Tensor;
 use serde::{Deserialize, Serialize};
@@ -116,28 +143,58 @@ pub enum AggregationRule {
         /// Number of extreme values trimmed at each end.
         trim: usize,
     },
+    /// Krum selection (Blanchard et al.): each client is scored by the sum
+    /// of squared L2 distances to its `n − f − 2` nearest neighbours and the
+    /// lowest-scoring client's parameters are adopted **bit-exactly** as the
+    /// next global model. Tolerates up to `f` Byzantine clients out of
+    /// `n ≥ 2f + 3` reporters; self-reported sample counts are ignored.
+    Krum {
+        /// Number of Byzantine clients the selection must tolerate.
+        f: usize,
+    },
+    /// Multi-Krum (Blanchard et al.): the `m` lowest Krum scores are
+    /// selected and their parameters averaged **unweighted** in ascending
+    /// client-id order. Requires `n ≥ max(2f + 3, m + f + 2)` reporters.
+    MultiKrum {
+        /// Number of Byzantine clients the selection must tolerate.
+        f: usize,
+        /// Number of selected clients to average.
+        m: usize,
+    },
 }
 
 impl AggregationRule {
     /// Validates the rule's own parameters (independent of any update set).
     ///
     /// # Errors
-    /// Returns an error for a non-positive or non-finite clipping norm.
+    /// Returns an error for a non-positive or non-finite clipping norm, or a
+    /// multi-Krum selection size of zero.
     pub fn validate(&self) -> Result<()> {
-        if let AggregationRule::NormClipping { max_norm } = self {
-            if *max_norm <= 0.0 || !max_norm.is_finite() {
-                return Err(FlError::InvalidConfig {
+        match self {
+            AggregationRule::NormClipping { max_norm }
+                if *max_norm <= 0.0 || !max_norm.is_finite() =>
+            {
+                Err(FlError::InvalidConfig {
                     reason: format!("clipping norm must be positive and finite, got {max_norm}"),
-                });
+                })
             }
+            AggregationRule::MultiKrum { m: 0, .. } => Err(FlError::InvalidConfig {
+                reason: "multi-krum must select at least one client (m >= 1)".to_string(),
+            }),
+            _ => Ok(()),
         }
-        Ok(())
     }
 
     /// The minimum number of updates this rule can aggregate.
     pub fn min_updates(&self) -> usize {
         match self {
             AggregationRule::TrimmedMean { trim } => 2 * trim + 1,
+            // Krum scoring sums the n − f − 2 nearest neighbours and must
+            // keep at least f + 1 honest neighbours in every list, which is
+            // the classic n ≥ 2f + 3 bound; multi-Krum additionally needs
+            // the m selected plus f Byzantine plus 2 to fit.
+            AggregationRule::Krum { f } => 2 * f + 3,
+            AggregationRule::MultiKrum { f, m } => (2 * f + 3).max(m + f + 2),
             _ => 1,
         }
     }
@@ -146,7 +203,12 @@ impl AggregationRule {
     /// or must buffer the round's update set (O(population × model)) — see
     /// the module-level *streaming fold contract*.
     pub fn streams(&self) -> bool {
-        !matches!(self, AggregationRule::TrimmedMean { .. })
+        !matches!(
+            self,
+            AggregationRule::TrimmedMean { .. }
+                | AggregationRule::Krum { .. }
+                | AggregationRule::MultiKrum { .. }
+        )
     }
 }
 
@@ -284,7 +346,9 @@ impl AggregationFold {
                 };
                 self.accumulate(update, scale)?;
             }
-            AggregationRule::TrimmedMean { .. } => {
+            AggregationRule::TrimmedMean { .. }
+            | AggregationRule::Krum { .. }
+            | AggregationRule::MultiKrum { .. } => {
                 self.buffered.push(update.clone());
             }
         }
@@ -347,6 +411,18 @@ impl AggregationFold {
             AggregationRule::TrimmedMean { trim } => {
                 let ordered: Vec<&ModelUpdate> = self.buffered.iter().collect();
                 trimmed_mean(&self.reference, &ordered, trim)
+            }
+            AggregationRule::Krum { f } => {
+                let ordered: Vec<&ModelUpdate> = self.buffered.iter().collect();
+                let winners = krum_winners(&ordered, f, 1)?;
+                // Krum adopts the winner bit-exactly: no averaging
+                // arithmetic may touch the selected parameters.
+                Ok(ordered[winners[0]].parameters.clone())
+            }
+            AggregationRule::MultiKrum { f, m } => {
+                let ordered: Vec<&ModelUpdate> = self.buffered.iter().collect();
+                let winners = krum_winners(&ordered, f, m)?;
+                krum_mean(&ordered, &winners)
             }
         }
     }
@@ -496,6 +572,83 @@ fn trimmed_mean(
             out.data_mut()[coord] = sum / kept as f32;
         }
         aggregated.push((name.clone(), out));
+    }
+    Ok(aggregated)
+}
+
+/// Squared L2 distance between two clients' full parameter vectors,
+/// accumulated per tensor in `f64` in schema order — the same deterministic
+/// reduction pattern as the clip norm, so distances are identical at any
+/// `PELTA_THREADS` value.
+fn pairwise_sq_distance(a: &ModelUpdate, b: &ModelUpdate) -> Result<f64> {
+    let mut sum = 0.0f64;
+    for ((_, va), (_, vb)) in a.parameters.iter().zip(b.parameters.iter()) {
+        let delta = va.sub(vb)?;
+        let norm = delta.l2_norm();
+        sum += f64::from(norm) * f64::from(norm);
+    }
+    Ok(sum)
+}
+
+/// The Krum-family selection pass over a round buffered in canonical
+/// ascending-client-id order: scores every client by the sum of squared L2
+/// distances to its `n − f − 2` nearest neighbours and returns the indices
+/// of the `m` lowest-scoring clients, **sorted ascending** (so a downstream
+/// mean folds in canonical client-id order). Ranking and neighbour lists
+/// sort with `f64::total_cmp`; score ties rank by ascending index, i.e.
+/// ascending client id.
+fn krum_winners(updates: &[&ModelUpdate], f: usize, m: usize) -> Result<Vec<usize>> {
+    let n = updates.len();
+    let needed = (2 * f + 3).max(m + f + 2);
+    if n < needed {
+        return Err(FlError::InvalidConfig {
+            reason: format!(
+                "krum selection with f = {f}, m = {m} needs at least {needed} updates, got {n}"
+            ),
+        });
+    }
+    // Upper-triangular pairwise distance matrix.
+    let mut distance = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = pairwise_sq_distance(updates[i], updates[j])?;
+            distance[i][j] = d;
+            distance[j][i] = d;
+        }
+    }
+    let neighbors = n - f - 2;
+    let mut scores = Vec::with_capacity(n);
+    for (i, row) in distance.iter().enumerate() {
+        let mut others: Vec<f64> = row
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, d)| *d)
+            .collect();
+        others.sort_by(f64::total_cmp);
+        // Summing the sorted prefix keeps the accumulation order (and thus
+        // the bits) a pure function of the update set.
+        scores.push(others[..neighbors].iter().sum::<f64>());
+    }
+    let mut ranked: Vec<usize> = (0..n).collect();
+    ranked.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
+    let mut winners = ranked[..m].to_vec();
+    winners.sort_unstable();
+    Ok(winners)
+}
+
+/// Unweighted mean of the selected clients' parameters, folded in ascending
+/// client-id order (the `winners` slice is ascending) — multi-Krum's
+/// averaging pass.
+fn krum_mean(updates: &[&ModelUpdate], winners: &[usize]) -> Result<Vec<(String, Tensor)>> {
+    let scale = 1.0 / winners.len() as f32;
+    let mut aggregated = Vec::with_capacity(updates[winners[0]].parameters.len());
+    for (index, (name, first)) in updates[winners[0]].parameters.iter().enumerate() {
+        let mut sum = Tensor::zeros(first.dims());
+        for &w in winners {
+            sum = sum.axpy(1.0, &updates[w].parameters[index].1)?;
+        }
+        aggregated.push((name.clone(), Tensor::zeros(first.dims()).axpy(scale, &sum)?));
     }
     Ok(aggregated)
 }
@@ -653,6 +806,8 @@ mod tests {
             AggregationRule::FedAvg,
             AggregationRule::NormClipping { max_norm: 1.0 },
             AggregationRule::TrimmedMean { trim: 1 },
+            AggregationRule::Krum { f: 0 },
+            AggregationRule::MultiKrum { f: 0, m: 1 },
         ] {
             let initial = named(&[0.5, -0.25]);
             let forward = aggregate_with_rule(&initial, 0, &updates, rule).unwrap();
@@ -679,6 +834,117 @@ mod tests {
         assert!(AggregationRule::FedAvg.validate().is_ok());
         assert_eq!(AggregationRule::FedAvg.min_updates(), 1);
         assert_eq!(AggregationRule::TrimmedMean { trim: 2 }.min_updates(), 5);
+        // Krum family: m = 0 is degenerate; the population bounds are
+        // n ≥ 2f + 3 (Krum) and n ≥ max(2f + 3, m + f + 2) (multi-Krum).
+        assert!(AggregationRule::MultiKrum { f: 1, m: 0 }
+            .validate()
+            .is_err());
+        assert!(AggregationRule::Krum { f: 1 }.validate().is_ok());
+        assert_eq!(AggregationRule::Krum { f: 0 }.min_updates(), 3);
+        assert_eq!(AggregationRule::Krum { f: 1 }.min_updates(), 5);
+        assert_eq!(AggregationRule::MultiKrum { f: 1, m: 2 }.min_updates(), 5);
+        assert_eq!(AggregationRule::MultiKrum { f: 1, m: 4 }.min_updates(), 7);
+        assert!(!AggregationRule::Krum { f: 1 }.streams());
+        assert!(!AggregationRule::MultiKrum { f: 1, m: 2 }.streams());
+    }
+
+    #[test]
+    fn krum_adopts_an_honest_update_bit_exactly() {
+        // Four clustered honest clients and one boosted outlier: the winner
+        // must be one of the honest updates, adopted without any averaging
+        // arithmetic — its exact bit pattern becomes the global model.
+        let updates = [
+            update(0, 10, &[1.0, 0.9]),
+            update(1, 10, &[1.1, 1.0]),
+            update(2, 10, &[0.9, 1.1]),
+            update(3, 10, &[1.05, 0.95]),
+            update(4, 512, &[100.0, -100.0]),
+        ];
+        let result = aggregate_with_rule(
+            &named(&[0.0, 0.0]),
+            0,
+            &updates,
+            AggregationRule::Krum { f: 1 },
+        )
+        .unwrap();
+        let winner_bits: Vec<u32> = result[0].1.data().iter().map(|v| v.to_bits()).collect();
+        let matches_honest = updates[..4].iter().any(|u| {
+            let bits: Vec<u32> = u.parameters[0]
+                .1
+                .data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            bits == winner_bits
+        });
+        assert!(matches_honest, "krum selected {:?}", result[0].1.data());
+        assert!(
+            result[0].1.data()[0] < 2.0,
+            "outlier won: {:?}",
+            result[0].1.data()
+        );
+    }
+
+    #[test]
+    fn multi_krum_excludes_the_outlier_from_its_mean() {
+        let updates = [
+            update(0, 10, &[1.0]),
+            update(1, 10, &[1.2]),
+            update(2, 10, &[0.8]),
+            update(3, 10, &[1.1]),
+            update(4, 512, &[100.0]),
+        ];
+        let result = aggregate_with_rule(
+            &named(&[0.0]),
+            0,
+            &updates,
+            AggregationRule::MultiKrum { f: 1, m: 2 },
+        )
+        .unwrap();
+        let value = result[0].1.data()[0];
+        // The mean of any 2 of the clustered updates lies in [0.8, 1.2];
+        // with the outlier mixed in it would exceed 30.
+        assert!((0.8..=1.2).contains(&value), "multi-krum mean {value}");
+    }
+
+    #[test]
+    fn krum_score_ties_break_toward_the_lowest_client_id() {
+        // Two identical honest pairs: scores tie pairwise, so selection
+        // must deterministically prefer the lower client id.
+        let updates = [
+            update(0, 10, &[1.0]),
+            update(1, 10, &[1.0]),
+            update(2, 10, &[1.0]),
+            update(3, 10, &[1.0]),
+            update(4, 10, &[5.0]),
+        ];
+        let result =
+            aggregate_with_rule(&named(&[0.0]), 0, &updates, AggregationRule::Krum { f: 1 })
+                .unwrap();
+        assert_eq!(result[0].1.data()[0].to_bits(), 1.0f32.to_bits());
+    }
+
+    #[test]
+    fn krum_rejects_populations_below_its_bound() {
+        let updates = [
+            update(0, 10, &[1.0]),
+            update(1, 10, &[1.2]),
+            update(2, 10, &[0.8]),
+            update(3, 10, &[1.1]),
+        ];
+        // n = 4 < 2f + 3 = 5.
+        assert!(
+            aggregate_with_rule(&named(&[0.0]), 0, &updates, AggregationRule::Krum { f: 1 },)
+                .is_err()
+        );
+        // n = 4 < m + f + 2 = 5 even though 2f + 3 = 3 fits.
+        assert!(aggregate_with_rule(
+            &named(&[0.0]),
+            0,
+            &updates,
+            AggregationRule::MultiKrum { f: 0, m: 3 },
+        )
+        .is_err());
     }
 
     #[test]
@@ -729,6 +995,8 @@ mod tests {
                 AggregationRule::FedAvg,
                 AggregationRule::NormClipping { max_norm: 1.0 },
                 AggregationRule::TrimmedMean { trim: 1 },
+                AggregationRule::Krum { f: 0 },
+                AggregationRule::MultiKrum { f: 0, m: 1 },
             ] {
                 let mut server = RobustAggregator::new(named(&[0.0]), rule).unwrap();
                 let err = server.aggregate(&[

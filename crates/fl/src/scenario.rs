@@ -19,6 +19,7 @@
 
 use std::collections::BTreeMap;
 
+use pelta_data::Partition;
 use pelta_models::TrainingConfig;
 use serde::{Deserialize, Serialize};
 
@@ -42,6 +43,25 @@ pub enum AgentRole {
         boost: usize,
         /// Attacker-side training override (attackers often train harder
         /// than the honest population); `None` uses the federation's
+        /// `local_training`.
+        training: Option<TrainingConfig>,
+    },
+    /// An [`crate::AdaptiveBackdoorAgent`]: the same trigger-poisoned local
+    /// training as [`AgentRole::Backdoor`], but the boost is re-tuned every
+    /// round against the aggregation outcome the attacker *observes* — when
+    /// the new broadcast tracks its last update (a FedAvg-like rule honored
+    /// the boosted weight) it keeps pushing at full boost; when the rule
+    /// suppressed it (Krum-family selection, clipping, trimming) it halves
+    /// the boost to blend into the honest update distribution.
+    AdaptiveBackdoor {
+        /// The trojan trigger stamped into the poisoned samples.
+        trigger: TrojanTrigger,
+        /// Fraction of the local shard that is poisoned.
+        poison_fraction: f32,
+        /// Upper bound of the adaptive boost schedule (the first round
+        /// ships at this boost; adaptation never exceeds it).
+        max_boost: usize,
+        /// Attacker-side training override; `None` uses the federation's
         /// `local_training`.
         training: Option<TrainingConfig>,
     },
@@ -70,6 +90,92 @@ pub enum AgentRole {
     },
 }
 
+impl AgentRole {
+    /// Validates the role's own budgets — the same invariants the agent
+    /// constructors enforce when the federation is built, checked here so a
+    /// spec is rejected *before* any shard is cut or link constructed
+    /// (a deserialized spec can carry values that never went through a
+    /// constructor).
+    ///
+    /// # Errors
+    /// Returns an error for an out-of-range poison fraction, a zero boost,
+    /// a degenerate trigger or training override, a non-finite free-rider
+    /// perturbation, or a non-positive probe budget.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            AgentRole::Honest => Ok(()),
+            AgentRole::Backdoor {
+                trigger,
+                poison_fraction,
+                boost,
+                training,
+            } => {
+                trigger.validate()?;
+                validate_poison_budget(*poison_fraction, *boost)?;
+                training
+                    .as_ref()
+                    .map_or(Ok(()), crate::federation::validate_training_config)
+            }
+            AgentRole::AdaptiveBackdoor {
+                trigger,
+                poison_fraction,
+                max_boost,
+                training,
+            } => {
+                trigger.validate()?;
+                validate_poison_budget(*poison_fraction, *max_boost)?;
+                training
+                    .as_ref()
+                    .map_or(Ok(()), crate::federation::validate_training_config)
+            }
+            AgentRole::FreeRider { perturbation, .. } => {
+                if *perturbation < 0.0 || !perturbation.is_finite() {
+                    return Err(FlError::InvalidConfig {
+                        reason: format!(
+                            "perturbation must be finite and non-negative, got {perturbation}"
+                        ),
+                    });
+                }
+                Ok(())
+            }
+            AgentRole::Probing {
+                epsilon,
+                steps,
+                probe_samples,
+                ..
+            } => {
+                if !epsilon.is_finite() || *epsilon <= 0.0 || *steps == 0 {
+                    return Err(FlError::InvalidConfig {
+                        reason: "attack epsilon and steps must be positive and finite".to_string(),
+                    });
+                }
+                if *probe_samples == 0 {
+                    return Err(FlError::InvalidConfig {
+                        reason: "probing agent needs at least one probe sample".to_string(),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Shared backdoor budget checks ([`AgentRole::Backdoor`]'s `boost` and
+/// [`AgentRole::AdaptiveBackdoor`]'s `max_boost` obey the same bounds).
+fn validate_poison_budget(poison_fraction: f32, boost: usize) -> Result<()> {
+    if !(0.0..=1.0).contains(&poison_fraction) {
+        return Err(FlError::InvalidConfig {
+            reason: format!("poison fraction must be in [0, 1], got {poison_fraction}"),
+        });
+    }
+    if boost == 0 {
+        return Err(FlError::InvalidConfig {
+            reason: "boost factor must be at least 1".to_string(),
+        });
+    }
+    Ok(())
+}
+
 /// One seat's role assignment (seats without an assignment are honest).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RoleAssignment {
@@ -80,23 +186,35 @@ pub struct RoleAssignment {
 }
 
 /// A complete attack/defense scenario: the base federation configuration
-/// (rounds, policy, rule, transport, shielding, schedules) plus the
-/// population mix.
+/// (rounds, policy, rule, transport, shielding, schedules), how the
+/// training data is partitioned across the seats, plus the population mix.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSpec {
     /// The base federation configuration.
     pub federation: FederationConfig,
+    /// How training samples are partitioned across the client seats —
+    /// IID, sorted label skew, or a seeded Dirichlet(α) label split.
+    pub partition: Partition,
     /// Role assignments by client id; unlisted seats are honest.
     pub roles: Vec<RoleAssignment>,
 }
 
 impl ScenarioSpec {
-    /// An all-honest scenario over the given configuration.
+    /// An all-honest scenario over the given configuration (IID partition).
     pub fn honest(federation: FederationConfig) -> Self {
         ScenarioSpec {
             federation,
+            partition: Partition::Iid,
             roles: Vec::new(),
         }
+    }
+
+    /// Partitions the training data across seats with `partition` (builder
+    /// style).
+    #[must_use]
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        self.partition = partition;
+        self
     }
 
     /// Assigns `role` to `client_id` (builder style).
@@ -176,14 +294,25 @@ impl ScenarioSpec {
             .count()
     }
 
-    /// Validates the population mix against the federation configuration.
-    /// (Role-specific budgets — poison fractions, attack budgets — are
-    /// validated by the agent constructors when the federation is built.)
+    /// Validates the **whole** scenario statically: the base federation
+    /// configuration ([`FederationConfig::validate`] — policy bounds, rule
+    /// parameters and quorum/rule interplay, topology, codec, schedules,
+    /// fault plan, training config), the data partition, the population mix
+    /// (seat range, duplicates, per-role budgets) and the cross-cutting
+    /// constraints between them (secure aggregation demands an all-honest
+    /// roster). This is the single validation gate
+    /// [`crate::Federation::from_scenario`] runs *before* any shard is cut
+    /// or link constructed: everything `validate` accepts builds, and
+    /// everything it rejects never touches the fabric — the agreement the
+    /// scenario fuzzer (`tests/scenario_fuzz.rs`) asserts.
     ///
     /// # Errors
-    /// Returns an error if an assignment refers to a seat outside the
-    /// federation or a seat is assigned twice.
+    /// Returns an error naming the first defect found.
     pub fn validate(&self) -> Result<()> {
+        self.federation.validate()?;
+        self.partition
+            .validate()
+            .map_err(|reason| FlError::InvalidConfig { reason })?;
         for (index, assignment) in self.roles.iter().enumerate() {
             if assignment.client_id >= self.federation.clients {
                 return Err(FlError::InvalidConfig {
@@ -201,6 +330,21 @@ impl ScenarioSpec {
                     reason: format!("client {} is assigned two roles", assignment.client_id),
                 });
             }
+            assignment.role.validate()?;
+        }
+        if self.federation.secure_aggregation
+            && self
+                .roles
+                .iter()
+                .any(|assignment| assignment.role != AgentRole::Honest)
+        {
+            // Pairwise masking only cancels when the whole roster exchanges
+            // masks; adversaries do not cooperate with the handshake.
+            return Err(FlError::InvalidConfig {
+                reason: "secure aggregation requires an all-honest population: adversaries \
+                         do not cooperate with the masking handshake"
+                    .to_string(),
+            });
         }
         Ok(())
     }

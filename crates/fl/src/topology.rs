@@ -78,7 +78,8 @@ pub enum Topology {
     /// peer holds the round's full update set, then all participants apply
     /// the same consensus fold.
     Gossip {
-        /// Out-degree of each peer (clamped to `clients - 1`).
+        /// Out-degree of each peer; validation requires
+        /// `1 <= fanout <= clients - 1`.
         fanout: usize,
     },
 }
@@ -133,7 +134,8 @@ impl Topology {
     /// # Errors
     /// Returns an error if a hierarchical grouping is not an exact partition
     /// of `0..clients`, an edge policy is degenerate (zero or unreachable
-    /// quorum, non-zero sample), or a gossip fanout is zero.
+    /// quorum, non-zero sample), or a gossip fanout is zero or exceeds the
+    /// `clients - 1` possible neighbours of the mesh.
     pub fn validate(&self, clients: usize) -> Result<()> {
         match self {
             Topology::Star => Ok(()),
@@ -200,6 +202,19 @@ impl Topology {
                 if *fanout == 0 {
                     return Err(FlError::InvalidConfig {
                         reason: "gossip fanout must be at least 1".to_string(),
+                    });
+                }
+                // A peer has at most `clients - 1` neighbours. The mesh
+                // constructor used to clamp an oversized fanout silently,
+                // which let a scenario report a fabric it never got —
+                // reject it here so the spec *is* the topology.
+                if *fanout > clients.saturating_sub(1) {
+                    return Err(FlError::InvalidConfig {
+                        reason: format!(
+                            "gossip fanout {fanout} exceeds the {} possible neighbour(s) of \
+                             a {clients}-client mesh",
+                            clients.saturating_sub(1)
+                        ),
                     });
                 }
                 Ok(())
@@ -766,6 +781,9 @@ impl GossipMesh {
         fanout: usize,
     ) -> Self {
         let n = coordinators.len();
+        // Validation rejects fanout > n - 1 before any link exists, so this
+        // clamp is unreachable from a scenario; it stays as a guard for
+        // direct constructor use only.
         let fanout = fanout.min(n.saturating_sub(1));
         let mut outs: Vec<Vec<GossipLink>> = (0..n).map(|_| Vec::new()).collect();
         let mut ins: Vec<Vec<(usize, Box<dyn Transport>)>> = (0..n).map(|_| Vec::new()).collect();
@@ -1190,6 +1208,25 @@ mod tests {
         // Gossip.
         assert!(Topology::Gossip { fanout: 1 }.validate(3).is_ok());
         assert!(Topology::Gossip { fanout: 0 }.validate(3).is_err());
+    }
+
+    /// Pins the oversized-fanout rejection: `GossipMesh::new` would clamp
+    /// `fanout >= n` to `n - 1` silently, so before this check a scenario
+    /// could report a fabric it never got. The spec must *be* the topology.
+    #[test]
+    fn gossip_fanout_beyond_the_mesh_is_rejected_at_validation() {
+        // fanout == n - 1 is the complete mesh and stays valid…
+        assert!(Topology::Gossip { fanout: 2 }.validate(3).is_ok());
+        // …fanout == n (what the constructor used to clamp) is not, and
+        // neither is anything above it.
+        assert!(Topology::Gossip { fanout: 3 }.validate(3).is_err());
+        assert!(Topology::Gossip { fanout: 17 }.validate(3).is_err());
+        // A single-client "mesh" has no possible neighbour at all.
+        assert!(Topology::Gossip { fanout: 1 }.validate(1).is_err());
+    }
+
+    #[test]
+    fn topology_helpers_and_names() {
         // Helpers.
         let hier = Topology::hierarchical(vec![vec![0, 2], vec![1]]);
         assert_eq!(hier.num_edges(), 2);

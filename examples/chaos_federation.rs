@@ -17,7 +17,7 @@
 
 use std::error::Error;
 
-use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
+use pelta_data::{Dataset, DatasetSpec, GeneratorConfig};
 use pelta_fl::{
     CrashPoint, CrashTarget, FaultConfig, FaultStats, Federation, FederationConfig,
     ParticipationPolicy, ScenarioSpec, Topology, TransportKind,
@@ -87,8 +87,7 @@ type TourTrace = (Vec<Vec<usize>>, Vec<u32>, FaultStats);
 /// bits and the fault counters so the caller can check the replay.
 fn tour(dataset: &Dataset) -> Result<TourTrace, Box<dyn Error>> {
     let mut seeds = SeedStream::new(SEED);
-    let mut federation =
-        Federation::vit_scenario(dataset, &scenario(), Partition::Iid, &mut seeds)?;
+    let mut federation = Federation::vit_scenario(dataset, &scenario(), &mut seeds)?;
     let history = federation.run(&mut seeds)?;
 
     let mut reporters = Vec::new();

@@ -19,7 +19,7 @@
 
 use std::error::Error;
 
-use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
+use pelta_data::{Dataset, DatasetSpec, GeneratorConfig};
 use pelta_fl::{
     export_parameters, Federation, FederationConfig, Message, ModelUpdate, ParticipationPolicy,
     ScenarioSpec, TransportKind, UpdateCodec,
@@ -81,8 +81,7 @@ fn scenario(codec: UpdateCodec) -> ScenarioSpec {
 /// The global model's exact parameter bits after one scenario run.
 fn run_scenario(dataset: &Dataset, codec: UpdateCodec) -> Result<(f32, Vec<u32>), Box<dyn Error>> {
     let mut seeds = SeedStream::new(4711);
-    let mut federation =
-        Federation::vit_scenario(dataset, &scenario(codec), Partition::Iid, &mut seeds)?;
+    let mut federation = Federation::vit_scenario(dataset, &scenario(codec), &mut seeds)?;
     let history = federation.run(&mut seeds)?;
     let bits = export_parameters(federation.global_model()?)
         .iter()

@@ -16,7 +16,7 @@
 
 use std::error::Error;
 
-use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
+use pelta_data::{Dataset, DatasetSpec, GeneratorConfig};
 use pelta_fl::{
     backdoor_success_rate, AgentRole, AggregationRule, Federation, FederationConfig,
     ParticipationPolicy, ScenarioSpec, Topology, TransportKind, TrojanTrigger,
@@ -94,7 +94,7 @@ pub fn run() -> Result<(), Box<dyn Error>> {
             "{label:>20}: adversary placement {:?} (client, edge)",
             spec.adversary_edges()
         );
-        let mut federation = Federation::vit_scenario(&dataset, &spec, Partition::Iid, &mut seeds)?;
+        let mut federation = Federation::vit_scenario(&dataset, &spec, &mut seeds)?;
         let history = federation.run(&mut seeds)?;
         let record = &history.rounds[0];
         assert_eq!(

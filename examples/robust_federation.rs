@@ -16,7 +16,7 @@
 
 use std::error::Error;
 
-use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
+use pelta_data::{Dataset, DatasetSpec, GeneratorConfig};
 use pelta_fl::{
     backdoor_success_rate, AgentRole, AggregationRule, Federation, FederationConfig,
     ParticipationPolicy, ScenarioSpec, TransportKind, TrojanTrigger,
@@ -88,7 +88,7 @@ pub fn run() -> Result<(), Box<dyn Error>> {
     ] {
         let mut seeds = SeedStream::new(820);
         let spec = scenario(rule);
-        let mut federation = Federation::vit_scenario(&dataset, &spec, Partition::Iid, &mut seeds)?;
+        let mut federation = Federation::vit_scenario(&dataset, &spec, &mut seeds)?;
         let history = federation.run(&mut seeds)?;
         let record = &history.rounds[0];
         let eval = dataset.test_subset(30);

@@ -19,7 +19,7 @@
 //! `slow-tests` feature; this file is its always-on tier-1 shadow.
 
 use pelta_autodiff::{Graph, NodeId};
-use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
+use pelta_data::{Dataset, DatasetSpec, GeneratorConfig};
 use pelta_fl::{
     ClientSchedule, CrashPoint, CrashTarget, FaultConfig, FaultStats, Federation, FederationConfig,
     ParticipationPolicy, ScenarioSpec, Topology, TransportKind,
@@ -194,11 +194,10 @@ fn run_soak(topology: Topology, transport: TransportKind) -> SoakTrace {
         faults: Some(chaos(&topology)),
         ..FederationConfig::default()
     });
-    let mut federation =
-        Federation::from_scenario(&data, &spec, Partition::Iid, &mut seeds, |rng| {
-            Box::new(ChannelHead::new(rng))
-        })
-        .expect("faulted federation must build");
+    let mut federation = Federation::from_scenario(&data, &spec, &mut seeds, |rng| {
+        Box::new(ChannelHead::new(rng))
+    })
+    .expect("faulted federation must build");
     let history = federation
         .run(&mut seeds)
         .expect("faulted soak must not abort");

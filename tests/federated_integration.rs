@@ -438,7 +438,7 @@ fn backdoor_spec(rule: AggregationRule, transport: TransportKind) -> ScenarioSpe
 fn run_backdoor_scenario(spec: &ScenarioSpec) -> (RunHistory, Vec<(String, Vec<u32>)>, f32, f32) {
     let data = dataset(820, 50);
     let mut seeds = SeedStream::new(820);
-    let mut federation = Federation::vit_scenario(&data, spec, Partition::Iid, &mut seeds).unwrap();
+    let mut federation = Federation::vit_scenario(&data, spec, &mut seeds).unwrap();
     let history = federation.run(&mut seeds).unwrap();
     let bits = global_bits(federation.server().parameters());
     let eval = data.test_subset(30);
@@ -527,6 +527,123 @@ fn adversarial_scenarios_replay_bit_identically() {
     pool::set_global_threads(pool::env_threads());
 }
 
+/// One `AdaptiveBackdoorAgent` among 4 honest agents over a Dirichlet(α)
+/// non-IID partition: the attacker re-tunes its boost each round against
+/// the aggregation outcome it observes, and trains over multiple rounds so
+/// the adaptation loop actually engages.
+fn adaptive_spec(rule: AggregationRule, transport: TransportKind, alpha: f32) -> ScenarioSpec {
+    ScenarioSpec::honest(FederationConfig {
+        clients: 5,
+        rounds: 2,
+        local_training: TrainingConfig {
+            epochs: 1,
+            batch_size: 8,
+            learning_rate: 0.02,
+            momentum: 0.9,
+        },
+        eval_samples: 30,
+        transport,
+        policy: ParticipationPolicy {
+            quorum: 5,
+            sample: 0,
+            straggler_deadline: 0,
+        },
+        rule,
+        ..FederationConfig::default()
+    })
+    .with_partition(Partition::Dirichlet { alpha })
+    .with_role(
+        4,
+        AgentRole::AdaptiveBackdoor {
+            trigger: backdoor_trigger(),
+            poison_fraction: 1.0,
+            max_boost: 30,
+            training: Some(TrainingConfig {
+                epochs: 4,
+                batch_size: 5,
+                learning_rate: 0.05,
+                momentum: 0.9,
+            }),
+        },
+    )
+}
+
+/// The adaptive acceptance matrix: 1 adaptive backdoor vs 4 honest seats
+/// under Dirichlet α ∈ {0.1, 1.0}, against all five aggregation rules —
+/// and the measured divergence that motivates the Krum family (Blanchard
+/// et al. 2017 vs Yin et al. 2018):
+///
+/// * **FedAvg** is fully captured at both concentrations — the boosted
+///   weight buys the attacker the mean.
+/// * **Norm clipping** is captured at both concentrations: clipping bounds
+///   each update's *norm* but not its boosted *weight*, so a patient
+///   multi-round attacker still walks the global model to the backdoor.
+/// * **Trimmed mean** holds only while honest updates cluster (α = 1.0).
+///   Under extreme label skew (α = 0.1) the honest population's
+///   coordinates diverge so widely that the attacker is no longer the
+///   per-coordinate outlier, survives the trim, and its weight dominates.
+/// * **Krum / multi-Krum** hold the backdoor rate at zero at *both*
+///   concentrations: distance-based selection scores the whole update
+///   vector, and the boosted replacement update stays far from every
+///   honest neighbourhood however skewed the shards are.
+#[test]
+fn adaptive_backdoor_matrix_under_dirichlet_partitions() {
+    // (rule, expected backdoor rate at alpha 0.1, at alpha 1.0)
+    let matrix = [
+        (AggregationRule::FedAvg, 1.0f32, 1.0f32),
+        (AggregationRule::NormClipping { max_norm: 1.0 }, 1.0, 1.0),
+        (AggregationRule::TrimmedMean { trim: 1 }, 1.0, 0.0),
+        (AggregationRule::Krum { f: 1 }, 0.0, 0.0),
+        (AggregationRule::MultiKrum { f: 1, m: 2 }, 0.0, 0.0),
+    ];
+    for (rule, expected_skewed, expected_mild) in matrix {
+        for (alpha, expected) in [(0.1f32, expected_skewed), (1.0f32, expected_mild)] {
+            let (history, _, rate, clean) =
+                run_backdoor_scenario(&adaptive_spec(rule, TransportKind::InMemory, alpha));
+            // The attacker acted through the scheduler in both rounds and
+            // the full roster reported.
+            assert_eq!(history.rounds.len(), 2);
+            for round in &history.rounds {
+                assert_eq!(round.adversarial_actions, 1);
+                assert_eq!(round.summary.reporters, vec![0, 1, 2, 3, 4]);
+            }
+            assert!((0.0..=1.0).contains(&clean));
+            assert!(
+                (rate - expected).abs() < f32::EPSILON,
+                "{rule:?} at alpha {alpha}: backdoor rate {rate}, expected {expected}"
+            );
+        }
+    }
+}
+
+/// The adaptive scenario — non-IID Dirichlet shards, a probing attacker
+/// and a Krum-family rule — replays bit-identically across repeats,
+/// transports and `PELTA_THREADS` values.
+#[test]
+fn adaptive_backdoor_replays_bit_identically() {
+    let spec_for = |transport| adaptive_spec(AggregationRule::Krum { f: 1 }, transport, 0.1);
+
+    pool::set_global_threads(1);
+    let reference = run_backdoor_scenario(&spec_for(TransportKind::InMemory));
+    let repeat = run_backdoor_scenario(&spec_for(TransportKind::InMemory));
+    assert_eq!(reference, repeat, "repeat run diverged");
+
+    let serialized = run_backdoor_scenario(&spec_for(TransportKind::Serialized));
+    assert_eq!(
+        reference.1, serialized.1,
+        "serialized transport changed the global model bits"
+    );
+    assert_eq!(reference.0, serialized.0, "round histories diverged");
+
+    pool::set_global_threads(4);
+    let threaded = run_backdoor_scenario(&spec_for(TransportKind::InMemory));
+    assert_eq!(
+        reference, threaded,
+        "global model bits changed with the thread count"
+    );
+    pool::set_global_threads(pool::env_threads());
+}
+
 /// The protocol-timing attack: a free rider's junk frames burn the
 /// straggler-deadline budget (counted in delivered messages), pushing an
 /// honest laggard past the deadline — while without spam the same laggard
@@ -568,8 +685,7 @@ fn free_rider_spam_starves_the_straggler_deadline() {
                 perturbation: 0.0,
             },
         );
-        let mut federation =
-            Federation::vit_scenario(&data, &spec, Partition::Iid, &mut seeds).unwrap();
+        let mut federation = Federation::vit_scenario(&data, &spec, &mut seeds).unwrap();
         federation.run(&mut seeds).unwrap()
     };
 

@@ -26,7 +26,7 @@
 
 use proptest::prelude::*;
 
-use pelta_data::{Dataset, DatasetSpec, GeneratorConfig, Partition};
+use pelta_data::{Dataset, DatasetSpec, GeneratorConfig};
 use pelta_fl::{
     backdoor_success_rate, pair_seeds_for_client, AgentRole, AggregationRule,
     AggregatorMaskContext, BroadcastFrame, ClientMaskContext, Delivery, EdgeAggregator,
@@ -37,12 +37,16 @@ use pelta_fl::{
 use pelta_models::{accuracy, TrainingConfig};
 use pelta_tensor::{pool, SeedStream, Tensor};
 
-/// The three rules under test, parameterised off two proptest draws.
-fn rules(max_norm: f32, trim: usize) -> [AggregationRule; 3] {
+/// The five rules under test, parameterised off two proptest draws. The
+/// properties draw as few as three clients, so the Krum family must satisfy
+/// `n >= max(2f + 3, m + f + 2)` at n = 3 — hence `f: 0` and `m: 1`.
+fn rules(max_norm: f32, trim: usize) -> [AggregationRule; 5] {
     [
         AggregationRule::FedAvg,
         AggregationRule::NormClipping { max_norm },
         AggregationRule::TrimmedMean { trim },
+        AggregationRule::Krum { f: 0 },
+        AggregationRule::MultiKrum { f: 0, m: 1 },
     ]
 }
 
@@ -801,8 +805,7 @@ fn backdoor_under_an_edge_aggregator_is_suppressed_by_robust_rules() {
         let mut seeds = SeedStream::new(820);
         let spec = edge_backdoor_spec(rule);
         assert_eq!(spec.adversary_edges(), vec![(4, 1)]);
-        let mut federation =
-            Federation::vit_scenario(&data, &spec, Partition::Iid, &mut seeds).unwrap();
+        let mut federation = Federation::vit_scenario(&data, &spec, &mut seeds).unwrap();
         let history = federation.run(&mut seeds).unwrap();
         let record = &history.rounds[0];
         assert_eq!(record.adversarial_actions, 1);

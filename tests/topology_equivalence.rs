@@ -249,14 +249,11 @@ fn run_population(data: &Dataset, transport: TransportKind, topology: Topology) 
         },
         ..FederationConfig::default()
     };
-    let mut federation = Federation::from_scenario(
-        data,
-        &ScenarioSpec::honest(cfg),
-        Partition::Iid,
-        &mut seeds,
-        |rng| Box::new(ChannelHead::new(rng)),
-    )
-    .unwrap();
+    let mut federation =
+        Federation::from_scenario(data, &ScenarioSpec::honest(cfg), &mut seeds, |rng| {
+            Box::new(ChannelHead::new(rng))
+        })
+        .unwrap();
     let history = federation.run(&mut seeds).unwrap();
     for record in &history.rounds {
         assert_eq!(record.summary.reporters.len(), POPULATION);
@@ -310,6 +307,98 @@ fn thousand_seat_topologies_produce_bit_identical_global_models() {
         }
     }
     pool::set_global_threads(pool::env_threads());
+}
+
+// ---------------------------------------------------------------------------
+// Krum-family route invariance: the equivalence matrix under distance-based
+// selection
+// ---------------------------------------------------------------------------
+
+/// The three topologies of the Krum matrix over 5 clients (`Krum { f: 1 }`
+/// needs `2f + 3 = 5` seats). The hierarchy is non-contiguous so member
+/// ordering inside the edges differs from the flat client order.
+fn krum_topologies() -> [Topology; 3] {
+    [
+        Topology::Star,
+        Topology::hierarchical(vec![vec![0, 2, 4], vec![1, 3]]),
+        Topology::Gossip { fanout: 1 },
+    ]
+}
+
+/// One all-honest 5-seat federation over the tiny model under a Krum-family
+/// rule; returns the final global model bits.
+fn run_krum(rule: AggregationRule, transport: TransportKind, topology: Topology) -> GlobalBits {
+    let data = dataset();
+    let mut seeds = SeedStream::new(SEED);
+    let cfg = FederationConfig {
+        clients: 5,
+        rounds: 2,
+        local_training: TrainingConfig {
+            epochs: 1,
+            batch_size: 8,
+            learning_rate: 0.02,
+            momentum: 0.9,
+        },
+        eval_samples: 10,
+        transport,
+        topology,
+        policy: ParticipationPolicy {
+            quorum: 5,
+            sample: 0,
+            straggler_deadline: 0,
+        },
+        rule,
+        ..FederationConfig::default()
+    };
+    let mut federation =
+        Federation::from_scenario(&data, &ScenarioSpec::honest(cfg), &mut seeds, |rng| {
+            Box::new(ChannelHead::new(rng))
+        })
+        .unwrap();
+    let history = federation.run(&mut seeds).unwrap();
+    for record in &history.rounds {
+        assert_eq!(record.summary.reporters.len(), 5);
+    }
+    global_bits(federation.server().parameters())
+}
+
+/// The acceptance matrix extended to the Krum family: member granularity
+/// survives to the consensus point on every route, so distance-based
+/// selection scores the same update set and the Krum / multi-Krum global
+/// models are bit-identical across Star/Hierarchical/Gossip, both
+/// transports, and `PELTA_THREADS` 1/4.
+#[test]
+fn krum_family_global_models_are_route_invariant() {
+    for rule in [
+        AggregationRule::Krum { f: 1 },
+        AggregationRule::MultiKrum { f: 1, m: 2 },
+    ] {
+        assert!(!rule.streams(), "the Krum family buffers by necessity");
+        pool::set_global_threads(1);
+        let reference = run_krum(rule, TransportKind::InMemory, Topology::Star);
+        assert_eq!(
+            reference,
+            run_krum(rule, TransportKind::InMemory, Topology::Star),
+            "{rule:?}: star repeat diverged"
+        );
+        for threads in [1usize, 4] {
+            pool::set_global_threads(threads);
+            for transport in [TransportKind::InMemory, TransportKind::Serialized] {
+                for topology in krum_topologies() {
+                    let label = format!(
+                        "{rule:?} over {} / {transport:?} at {threads} thread(s)",
+                        topology.name()
+                    );
+                    assert_eq!(
+                        run_krum(rule, transport, topology),
+                        reference,
+                        "{label} changed the global model bits"
+                    );
+                }
+            }
+        }
+        pool::set_global_threads(pool::env_threads());
+    }
 }
 
 /// Shielded updates thread through the aggregator hop bit-exactly: the edge
